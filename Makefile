@@ -1,0 +1,16 @@
+# Convenience targets for the reproduction artifact.
+.PHONY: all test race bench figure1 impossibility outputs
+all: test
+test:
+	go build ./... && go vet ./... && go test ./...
+race:
+	go test -race ./internal/net ./internal/sharedmem ./internal/sched
+bench:
+	go test -bench=. -benchmem ./...
+figure1:
+	go run ./examples/figure1
+impossibility:
+	go run ./cmd/impossibility -all -k 2 -v
+outputs:
+	go test ./... 2>&1 | tee test_output.txt
+	go test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt

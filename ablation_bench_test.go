@@ -1,0 +1,205 @@
+// Ablation benchmarks for the design decisions called out in DESIGN.md §4:
+// exhaustive versus sampled subset enumeration in the compositionality
+// tester, the cost of the k-BO clique search as conflict density grows,
+// snapshot retry cost under write contention, and the deterministic-versus-
+// concurrent runtime overhead on identical workloads.
+package nobroadcast_test
+
+import (
+	"fmt"
+	"testing"
+
+	"nobroadcast/internal/broadcast"
+	"nobroadcast/internal/model"
+	"nobroadcast/internal/net"
+	"nobroadcast/internal/sched"
+	"nobroadcast/internal/sharedmem"
+	"nobroadcast/internal/spec"
+	"nobroadcast/internal/trace"
+	"nobroadcast/internal/workload"
+)
+
+// BenchmarkAblationSubsetEnumeration compares the compositionality
+// tester's exhaustive mode (2^m restrictions) against structured+random
+// sampling on the same trace. Exhaustive is complete but exponential;
+// sampling is the default above 12 messages — this quantifies the trade.
+func BenchmarkAblationSubsetEnumeration(b *testing.B) {
+	c, err := broadcast.Lookup("total-order")
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt, err := sched.New(sched.Config{N: 3, NewAutomaton: c.NewAutomaton, Oracle: c.OracleFor(1)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs, err := workload.Generate(workload.Config{N: 3, Messages: 10, Seed: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := rt.RunFair(sched.RunOptions{Broadcasts: reqs})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := spec.TotalOrder()
+	b.Run("exhaustive", func(b *testing.B) {
+		var checked int
+		for i := 0; i < b.N; i++ {
+			rep, err := spec.CheckCompositional(s, tr, spec.SymmetryOptions{MaxExhaustiveMsgs: 10})
+			if err != nil || !rep.Holds {
+				b.Fatalf("%+v %v", rep, err)
+			}
+			checked = rep.Checked
+		}
+		b.ReportMetric(float64(checked), "restrictions")
+	})
+	b.Run("sampled", func(b *testing.B) {
+		var checked int
+		for i := 0; i < b.N; i++ {
+			rep, err := spec.CheckCompositional(s, tr, spec.SymmetryOptions{MaxExhaustiveMsgs: 1, RandomSubsets: 32, Seed: 1})
+			if err != nil || !rep.Holds {
+				b.Fatalf("%+v %v", rep, err)
+			}
+			checked = rep.Checked
+		}
+		b.ReportMetric(float64(checked), "restrictions")
+	})
+}
+
+// BenchmarkAblationCliqueSearch measures the k-BO checker — whose core is
+// an exact (k+1)-clique search on the conflict graph — as the number of
+// pairwise-conflicting messages grows. Conflict-free traces are cheap;
+// dense all-own-first traces are the worst case.
+func BenchmarkAblationCliqueSearch(b *testing.B) {
+	for _, msgs := range []int{4, 8, 16, 32} {
+		msgs := msgs
+		b.Run(fmt.Sprintf("dense-msgs=%d", msgs), func(b *testing.B) {
+			// Every process broadcasts msgs/n messages and delivers all
+			// its own first: maximal cross-sender conflicts.
+			const n = 4
+			x := model.NewExecution(n)
+			id := model.MsgID(1)
+			owned := make(map[model.ProcID][]model.MsgID)
+			for p := 1; p <= n; p++ {
+				for j := 0; j < msgs/n; j++ {
+					pid := model.ProcID(p)
+					x.Append(
+						model.Step{Proc: pid, Kind: model.KindBroadcastInvoke, Msg: id, Payload: model.Payload(fmt.Sprintf("d%d", id))},
+						model.Step{Proc: pid, Kind: model.KindBroadcastReturn, Msg: id},
+					)
+					owned[pid] = append(owned[pid], id)
+					id++
+				}
+			}
+			for p := 1; p <= n; p++ {
+				pid := model.ProcID(p)
+				for _, m := range owned[pid] {
+					x.Append(model.Step{Proc: pid, Kind: model.KindDeliver, Peer: pid, Msg: m, Payload: x.PayloadOf(m)})
+				}
+				for q := 1; q <= n; q++ {
+					if q == p {
+						continue
+					}
+					for _, m := range owned[model.ProcID(q)] {
+						x.Append(model.Step{Proc: pid, Kind: model.KindDeliver, Peer: model.ProcID(q), Msg: m, Payload: x.PayloadOf(m)})
+					}
+				}
+			}
+			tr := trace.New(x)
+			// k = n-1 = 3: a 4-clique exists (one message per process).
+			s := spec.KBOOrder(n - 1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if v := s.Check(tr); v == nil {
+					b.Fatal("expected violation on the dense trace")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSnapshotContention measures the double-collect snapshot
+// under increasing writer counts: each retry is a full collect, and
+// contention multiplies retries (the price of the honest non-atomic
+// snapshot; an oracle snapshot would flatten this line).
+func BenchmarkAblationSnapshotContention(b *testing.B) {
+	for _, writers := range []int{1, 2, 4, 8} {
+		writers := writers
+		b.Run(fmt.Sprintf("writers=%d", writers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				n := writers + 1
+				programs := make([]sharedmem.Program, n)
+				for w := 0; w < writers; w++ {
+					w := w
+					programs[w] = func(env *sharedmem.Env) {
+						for j := 0; j < 6; j++ {
+							env.Write("c", sharedmem.Value(fmt.Sprintf("w%d-%d", w, j)))
+						}
+					}
+				}
+				programs[n-1] = func(env *sharedmem.Env) {
+					for j := 0; j < 4; j++ {
+						env.Snapshot("c")
+					}
+				}
+				if _, err := sharedmem.Run(1, programs, sharedmem.RunOptions{Seed: uint64(i + 1)}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationRuntimes runs the same reliable-broadcast workload on
+// the deterministic step-driven runtime and the concurrent goroutine
+// runtime: the cost of full schedule control versus real concurrency.
+func BenchmarkAblationRuntimes(b *testing.B) {
+	const n, msgs = 4, 12
+	reqs, err := workload.Generate(workload.Config{N: n, Messages: msgs, Seed: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("deterministic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rt, err := sched.New(sched.Config{N: n, NewAutomaton: broadcast.NewReliable})
+			if err != nil {
+				b.Fatal(err)
+			}
+			tr, err := rt.RunFair(sched.RunOptions{Broadcasts: reqs})
+			if err != nil || !tr.Complete {
+				b.Fatalf("err=%v complete=%v", err, tr != nil && tr.Complete)
+			}
+		}
+	})
+	b.Run("concurrent", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			nw, err := net.New(net.Config{N: n, NewAutomaton: broadcast.NewReliable})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, r := range reqs {
+				if _, err := nw.Broadcast(r.Proc, r.Payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+			ok := nw.WaitUntil(func() bool {
+				for p := 1; p <= n; p++ {
+					if nw.Delivered(model.ProcID(p)) < int64(msgs) {
+						return false
+					}
+				}
+				return true
+			}, 0)
+			for !ok {
+				ok = nw.WaitUntil(func() bool {
+					for p := 1; p <= n; p++ {
+						if nw.Delivered(model.ProcID(p)) < int64(msgs) {
+							return false
+						}
+					}
+					return true
+				}, 1e9)
+			}
+			nw.Stop()
+		}
+	})
+}

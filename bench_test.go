@@ -1,0 +1,348 @@
+// The benchmark harness: one benchmark per reproduced figure/experiment
+// (see EXPERIMENTS.md for the mapping and the recorded results). The paper
+// is an impossibility result, so the quantities of interest are the sizes
+// and costs of the constructions — steps of α, messages per broadcast,
+// pipeline latency — rather than throughput records; custom metrics
+// (steps/op, sends/broadcast, ...) report the construction shapes.
+package nobroadcast_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"nobroadcast/internal/adversary"
+	"nobroadcast/internal/broadcast"
+	"nobroadcast/internal/core"
+	"nobroadcast/internal/model"
+	"nobroadcast/internal/net"
+	"nobroadcast/internal/sched"
+	"nobroadcast/internal/sharedmem"
+	"nobroadcast/internal/spec"
+	"nobroadcast/internal/trace"
+)
+
+// BenchmarkFigure1 (F1): the adversarial construction of Figure 1 —
+// k = 3, N = 2 — including the mechanical Lemma 1-8/10 verification.
+func BenchmarkFigure1(b *testing.B) {
+	c, err := broadcast.Lookup("first-k")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var steps int
+	for i := 0; i < b.N; i++ {
+		res, err := adversary.Run(adversary.Options{K: 3, N: 2, NewAutomaton: c.NewAutomaton})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, ok := res.Verify(); !ok {
+			b.Fatal("lemma verification failed")
+		}
+		steps = res.Alpha.X.Len()
+	}
+	b.ReportMetric(float64(steps), "alpha-steps")
+}
+
+// BenchmarkNSoloConstruction (E1): Algorithm 1 across the (k, N) grid for
+// a representative implementation; alpha-steps shows how the construction
+// grows (p_k's resets make it superlinear in N for agreement-using
+// implementations).
+func BenchmarkNSoloConstruction(b *testing.B) {
+	c, err := broadcast.Lookup("kbo")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, k := range []int{2, 3, 4} {
+		for _, n := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("k=%d/N=%d", k, n), func(b *testing.B) {
+				var steps int
+				for i := 0; i < b.N; i++ {
+					res, err := adversary.Run(adversary.Options{K: k, N: n, NewAutomaton: c.NewAutomaton})
+					if err != nil {
+						b.Fatal(err)
+					}
+					steps = res.Alpha.X.Len()
+				}
+				b.ReportMetric(float64(steps), "alpha-steps")
+			})
+		}
+	}
+}
+
+// BenchmarkLemmaVerification (E2): the mechanical Lemma 1-8/10 checks on a
+// fixed construction.
+func BenchmarkLemmaVerification(b *testing.B) {
+	c, err := broadcast.Lookup("kbo")
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := adversary.Run(adversary.Options{K: 3, N: 4, NewAutomaton: c.NewAutomaton})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := res.Verify(); !ok {
+			b.Fatal("verification failed")
+		}
+	}
+}
+
+// BenchmarkImpossibility (E3): the full Theorem 1 pipeline per candidate.
+func BenchmarkImpossibility(b *testing.B) {
+	for _, name := range []string{"first-k", "k-stepped", "sa-tagged", "kbo"} {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			c, err := broadcast.Lookup(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := core.RunImpossibility(c, 2, core.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// adversarialBeta builds a reusable admissible trace for the symmetry
+// benchmarks.
+func adversarialBeta(b *testing.B, name string, k, n int) *trace.Trace {
+	b.Helper()
+	c, err := broadcast.Lookup(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := adversary.Run(adversary.Options{K: k, N: n, NewAutomaton: c.NewAutomaton})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res.Beta
+}
+
+// BenchmarkSymmetryCheckers (E4/E5/E11): the compositionality and
+// content-neutrality testers on an adversarial trace.
+func BenchmarkSymmetryCheckers(b *testing.B) {
+	tr := adversarialBeta(b, "kbo", 2, 2)
+	s := spec.KBOOrder(2)
+	b.Run("compositional", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rep, err := spec.CheckCompositional(s, tr, spec.SymmetryOptions{Seed: 1})
+			if err != nil || !rep.Holds {
+				b.Fatalf("rep=%+v err=%v", rep, err)
+			}
+		}
+	})
+	b.Run("content-neutral", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rep, err := spec.CheckContentNeutral(s, tr, spec.SymmetryOptions{Seed: 1})
+			if err != nil || !rep.Holds {
+				b.Fatalf("rep=%+v err=%v", rep, err)
+			}
+		}
+	})
+}
+
+// BenchmarkFirstKSolvesKSA (E6): one full k-SA resolution (5 processes,
+// k = 2) over the First-k broadcast on the deterministic runtime, with
+// the decision histogram shape reported as distinct-decisions.
+func BenchmarkFirstKSolvesKSA(b *testing.B) {
+	c, err := broadcast.Lookup("first-k")
+	if err != nil {
+		b.Fatal(err)
+	}
+	inputs := []model.Value{"v1", "v2", "v3", "v4", "v5"}
+	var distinct int
+	for i := 0; i < b.N; i++ {
+		rt, err := sched.New(sched.Config{
+			N: 5, NewAutomaton: c.NewAutomaton, Oracle: c.OracleFor(2),
+			NewApp: broadcast.NewFirstDecider, Inputs: inputs,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tr, err := rt.RunRandom(sched.RunOptions{Seed: uint64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ix := trace.BuildIndex(tr)
+		distinct = len(ix.DistinctDecisions(sched.DefaultAppObject))
+		if distinct > 2 {
+			b.Fatalf("agreement violated: %d distinct", distinct)
+		}
+	}
+	b.ReportMetric(float64(distinct), "distinct-decisions")
+}
+
+// BenchmarkTotalOrderConsensus (E7): one consensus resolution over Total
+// Order broadcast, n = 4.
+func BenchmarkTotalOrderConsensus(b *testing.B) {
+	c, err := broadcast.Lookup("total-order")
+	if err != nil {
+		b.Fatal(err)
+	}
+	inputs := []model.Value{"v1", "v2", "v3", "v4"}
+	for i := 0; i < b.N; i++ {
+		rt, err := sched.New(sched.Config{
+			N: 4, NewAutomaton: c.NewAutomaton, Oracle: c.OracleFor(1),
+			NewApp: broadcast.NewFirstDecider, Inputs: inputs,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tr, err := rt.RunRandom(sched.RunOptions{Seed: uint64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ix := trace.BuildIndex(tr)
+		if len(ix.DistinctDecisions(sched.DefaultAppObject)) != 1 {
+			b.Fatal("consensus disagreement")
+		}
+	}
+}
+
+// BenchmarkSharedMemKSC (E9): the k-SC-from-k-SA construction in shared
+// memory, n = 5, k = 3.
+func BenchmarkSharedMemKSC(b *testing.B) {
+	inputs := []sharedmem.Value{"a", "b", "c", "d", "e"}
+	for i := 0; i < b.N; i++ {
+		outs, err := sharedmem.RunKSC(3, inputs, sharedmem.RunOptions{Seed: uint64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sharedmem.CheckKSC(3, inputs, outs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKBORefutation (E10): adversarial run + fair completion + k-BO
+// ordering refutation.
+func BenchmarkKBORefutation(b *testing.B) {
+	c, err := broadcast.Lookup("kbo")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := adversary.Run(adversary.Options{K: 2, N: 1, NewAutomaton: c.NewAutomaton})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ext, err := res.Extend(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if v := spec.KBOOrder(2).Check(ext); v == nil {
+			b.Fatal("refutation failed")
+		}
+	}
+}
+
+// BenchmarkBroadcastCost (E12): per-broadcast message and step cost of
+// each candidate on the deterministic runtime — who pays what for its
+// ordering guarantee.
+func BenchmarkBroadcastCost(b *testing.B) {
+	const n, k, perProc = 4, 2, 4
+	for _, c := range broadcast.AllCandidates() {
+		c := c
+		b.Run(c.Name, func(b *testing.B) {
+			var sends, steps, broadcasts int
+			for i := 0; i < b.N; i++ {
+				rt, err := sched.New(sched.Config{N: n, NewAutomaton: c.NewAutomaton, Oracle: c.OracleFor(k)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				var reqs []sched.BroadcastReq
+				for p := 1; p <= n; p++ {
+					for j := 0; j < perProc; j++ {
+						reqs = append(reqs, sched.BroadcastReq{Proc: model.ProcID(p), Payload: model.Payload(fmt.Sprintf("b%d-%d", p, j))})
+					}
+				}
+				tr, err := rt.RunFair(sched.RunOptions{Broadcasts: reqs})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sends, steps, broadcasts = 0, tr.X.Len(), n*perProc
+				for _, s := range tr.X.Steps {
+					if s.Kind == model.KindSend {
+						sends++
+					}
+				}
+			}
+			b.ReportMetric(float64(sends)/float64(broadcasts), "sends/broadcast")
+			b.ReportMetric(float64(steps)/float64(broadcasts), "steps/broadcast")
+		})
+	}
+}
+
+// BenchmarkConcurrentThroughput (E12): end-to-end broadcast latency on the
+// concurrent goroutine runtime (broadcast until delivered everywhere).
+func BenchmarkConcurrentThroughput(b *testing.B) {
+	for _, name := range []string{"send-to-all", "reliable", "causal"} {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			c, err := broadcast.Lookup(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			const n = 4
+			nw, err := net.New(net.Config{N: n, NewAutomaton: c.NewAutomaton, K: 2})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer nw.Stop()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := nw.Broadcast(model.ProcID(i%n+1), model.Payload(fmt.Sprintf("t%d", i))); err != nil {
+					b.Fatal(err)
+				}
+			}
+			want := int64(b.N)
+			if !nw.WaitUntil(func() bool {
+				for p := 1; p <= n; p++ {
+					if nw.Delivered(model.ProcID(p)) < want {
+						return false
+					}
+				}
+				return true
+			}, 2*time.Minute) {
+				b.Fatal("deliveries incomplete")
+			}
+		})
+	}
+}
+
+// BenchmarkSpecChecking: raw spec-checking cost on a sizable trace (the
+// k-BO clique search is the most expensive checker).
+func BenchmarkSpecChecking(b *testing.B) {
+	c, err := broadcast.Lookup("total-order")
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt, err := sched.New(sched.Config{N: 4, NewAutomaton: c.NewAutomaton, Oracle: c.OracleFor(1)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var reqs []sched.BroadcastReq
+	for p := 1; p <= 4; p++ {
+		for j := 0; j < 8; j++ {
+			reqs = append(reqs, sched.BroadcastReq{Proc: model.ProcID(p), Payload: model.Payload(fmt.Sprintf("s%d-%d", p, j))})
+		}
+	}
+	tr, err := rt.RunFair(sched.RunOptions{Broadcasts: reqs})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(tr.X.Len()), "trace-steps")
+	for _, s := range []spec.Spec{spec.BasicBroadcast(), spec.TotalOrder(), spec.KBOOrder(2), spec.Channels()} {
+		s := s
+		b.Run(s.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if v := s.Check(tr); v != nil {
+					b.Fatal(v)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunDefaultFigure1(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"adversarial_scheduler(k=3, N=2, B=first-k)",
+		"Lemma 10 (beta is N-solo)",
+		"Figure 1",
+		"p4",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "FAILED") {
+		t.Errorf("a lemma check failed:\n%s", s)
+	}
+}
+
+func TestRunJSONAndExtend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "alpha.json")
+	var out bytes.Buffer
+	err := run([]string{"-b", "kbo", "-k", "2", "-n", "1", "-diagram=false", "-summary=false", "-json", path, "-extend"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Errorf("trace file missing: %v", err)
+	}
+	if !strings.Contains(out.String(), "ordering specification REFUTED") {
+		t.Errorf("E10 refutation missing:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsBadArgs(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-b", "nope"}, &out); err == nil {
+		t.Error("expected error for unknown candidate")
+	}
+	if err := run([]string{"-k", "1"}, &out); err == nil {
+		t.Error("expected error for k=1")
+	}
+	if err := run([]string{"-badflag"}, &out); err == nil {
+		t.Error("expected flag parse error")
+	}
+}
+
+func TestRunDOTExport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fig1.dot")
+	var out bytes.Buffer
+	if err := run([]string{"-k", "2", "-n", "1", "-diagram=false", "-summary=false", "-dot", path}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "digraph execution") {
+		t.Errorf("DOT file content:\n%s", data)
+	}
+}

@@ -1,0 +1,133 @@
+// Command checker validates recorded execution traces against the
+// machine-checkable specifications, and runs the paper's two symmetry
+// testers (compositionality, Definition 2; content-neutrality,
+// Definition 3) against a spec on a given trace.
+//
+// Usage:
+//
+//	checker -spec kbo -k 2 [-symmetry] [-seed 1] trace.json
+//
+// The trace file is the JSON produced by `adversary -json` or by the
+// trace package. Spec names: well-formed, channels, basic, send-to-all,
+// fifo, causal, total-order, kbo, k-stepped, first-k, sa-tagged,
+// mutual, uniform-reliable, ksa.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"nobroadcast/internal/spec"
+	"nobroadcast/internal/trace"
+)
+
+// errRejected signals an inadmissible trace (exit code 2, distinguishing
+// "checked and rejected" from tool errors).
+var errRejected = errors.New("trace rejected")
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, errRejected) {
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, "checker:", err)
+		os.Exit(1)
+	}
+}
+
+// specByName resolves a specification name.
+func specByName(name string, k int) (spec.Spec, error) {
+	switch name {
+	case "well-formed":
+		return spec.WellFormed(), nil
+	case "channels":
+		return spec.Channels(), nil
+	case "basic", "send-to-all":
+		return spec.SendToAll(), nil
+	case "fifo":
+		return spec.FIFOBroadcast(), nil
+	case "causal":
+		return spec.CausalBroadcast(), nil
+	case "total-order":
+		return spec.TotalOrderBroadcast(), nil
+	case "kbo":
+		return spec.KBOBroadcast(k), nil
+	case "k-stepped":
+		return spec.KSteppedBroadcast(k), nil
+	case "first-k":
+		return spec.FirstKBroadcast(k), nil
+	case "sa-tagged":
+		return spec.SATaggedBroadcast(k), nil
+	case "mutual":
+		return spec.MutualBroadcast(), nil
+	case "uniform-reliable":
+		return spec.UniformReliable(), nil
+	case "scd":
+		return spec.SCDBroadcast(), nil
+	case "ksa":
+		return spec.KSA(k), nil
+	default:
+		return nil, fmt.Errorf("unknown spec %q", name)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("checker", flag.ContinueOnError)
+	specName := fs.String("spec", "basic", "specification to check")
+	k := fs.Int("k", 2, "agreement/ordering degree for parameterized specs")
+	symmetry := fs.Bool("symmetry", false, "also run the compositionality and content-neutrality testers")
+	seed := fs.Uint64("seed", 1, "seed for the symmetry testers' generators")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: checker [-spec name] [-k K] [-symmetry] trace.json")
+	}
+
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := trace.DecodeJSON(f)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "trace %q: %d processes, %d steps, complete=%v\n", tr.Name, tr.X.N, tr.X.Len(), tr.Complete)
+
+	s, err := specByName(*specName, *k)
+	if err != nil {
+		return err
+	}
+	if v := s.Check(tr); v != nil {
+		fmt.Fprintf(out, "REJECTED by %s:\n  %s\n", s.Name(), v)
+		return errRejected
+	}
+	fmt.Fprintf(out, "admitted by %s\n", s.Name())
+
+	if *symmetry {
+		opts := spec.SymmetryOptions{Seed: *seed}
+		comp, err := spec.CheckCompositional(s, tr, opts)
+		if err != nil {
+			return err
+		}
+		if comp.Holds {
+			fmt.Fprintf(out, "compositionality: held on %d restrictions\n", comp.Checked)
+		} else {
+			fmt.Fprintf(out, "compositionality: REFUTED by message subset %v:\n  %s\n", comp.WitnessSubset, comp.Violation)
+		}
+		cn, err := spec.CheckContentNeutral(s, tr, opts)
+		if err != nil {
+			return err
+		}
+		if cn.Holds {
+			fmt.Fprintf(out, "content-neutrality: held on %d renamings\n", cn.Checked)
+		} else {
+			fmt.Fprintf(out, "content-neutrality: REFUTED by renaming %v:\n  %s\n", cn.WitnessRenaming, cn.Violation)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nobroadcast/internal/model"
+	"nobroadcast/internal/trace"
+)
+
+// writeTrace stores a trace as JSON in a temp file.
+func writeTrace(t *testing.T, tr *trace.Trace) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "trace.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := tr.EncodeJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func admissibleTrace() *trace.Trace {
+	x := model.NewExecution(2)
+	x.Append(
+		model.Step{Proc: 1, Kind: model.KindBroadcastInvoke, Msg: 1, Payload: "a"},
+		model.Step{Proc: 1, Kind: model.KindBroadcastReturn, Msg: 1},
+		model.Step{Proc: 1, Kind: model.KindDeliver, Peer: 1, Msg: 1, Payload: "a"},
+		model.Step{Proc: 2, Kind: model.KindDeliver, Peer: 1, Msg: 1, Payload: "a"},
+	)
+	return &trace.Trace{X: x, Complete: true, Name: "t"}
+}
+
+func violatingTrace() *trace.Trace {
+	x := model.NewExecution(2)
+	x.Append(
+		model.Step{Proc: 1, Kind: model.KindDeliver, Peer: 2, Msg: 9, Payload: "ghost"},
+	)
+	return &trace.Trace{X: x, Name: "bad"}
+}
+
+func TestCheckerAdmits(t *testing.T) {
+	path := writeTrace(t, admissibleTrace())
+	var out bytes.Buffer
+	if err := run([]string{"-spec", "total-order", path}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "admitted by Total-Order-Broadcast") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestCheckerRejects(t *testing.T) {
+	path := writeTrace(t, violatingTrace())
+	var out bytes.Buffer
+	err := run([]string{"-spec", "basic", path}, &out)
+	if !errors.Is(err, errRejected) {
+		t.Fatalf("expected errRejected, got %v", err)
+	}
+	if !strings.Contains(out.String(), "REJECTED") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestCheckerSymmetry(t *testing.T) {
+	path := writeTrace(t, admissibleTrace())
+	var out bytes.Buffer
+	if err := run([]string{"-spec", "kbo", "-k", "2", "-symmetry", path}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "compositionality: held") || !strings.Contains(s, "content-neutrality: held") {
+		t.Errorf("output:\n%s", s)
+	}
+}
+
+func TestCheckerAllSpecNames(t *testing.T) {
+	names := []string{"well-formed", "channels", "basic", "send-to-all", "fifo",
+		"causal", "total-order", "kbo", "k-stepped", "first-k", "sa-tagged",
+		"mutual", "uniform-reliable", "scd", "ksa"}
+	for _, n := range names {
+		if _, err := specByName(n, 2); err != nil {
+			t.Errorf("specByName(%q): %v", n, err)
+		}
+	}
+	if _, err := specByName("bogus", 2); err == nil {
+		t.Error("expected error for bogus spec")
+	}
+}
+
+func TestCheckerBadUsage(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Error("expected usage error without a trace file")
+	}
+	if err := run([]string{"/nonexistent/file.json"}, &out); err == nil {
+		t.Error("expected error for missing file")
+	}
+	path := writeTrace(t, admissibleTrace())
+	if err := run([]string{"-spec", "bogus", path}, &out); err == nil {
+		t.Error("expected error for unknown spec")
+	}
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestImpossibilityAll(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-all", "-k", "2"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	wants := []string{
+		"== first-k (k=2",
+		"not compositional",
+		"== sa-tagged (k=2",
+		"not content-neutral",
+		"== kbo (k=2",
+		"Theorem 1 contradiction",
+		"Theorem 1: for 1 < k < n",
+	}
+	for _, w := range wants {
+		if !strings.Contains(s, w) {
+			t.Errorf("output missing %q:\n%s", w, s)
+		}
+	}
+}
+
+func TestImpossibilitySingleVerbose(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-b", "kbo", "-k", "2", "-v"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "solo p1") || !strings.Contains(s, "replay decisions on delta") {
+		t.Errorf("verbose output incomplete:\n%s", s)
+	}
+}
+
+func TestImpossibilityBadArgs(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Error("expected usage error")
+	}
+	if err := run([]string{"-b", "nope"}, &out); err == nil {
+		t.Error("expected unknown-candidate error")
+	}
+	if err := run([]string{"-b", "kbo", "-k", "1"}, &out); err == nil {
+		t.Error("expected k=1 error")
+	}
+}

@@ -1,0 +1,165 @@
+// Command ksasim runs k-set-agreement workloads over a chosen broadcast
+// abstraction, either on the deterministic step-driven runtime (seeded
+// random schedules, reproducible) or on the concurrent goroutine runtime,
+// and reports decision statistics: how many distinct values were decided,
+// message counts, and whether the k-SA specification held.
+//
+// Usage:
+//
+//	ksasim -b first-k -n 5 -k 2 -runs 100 [-crashes 2] [-concurrent]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"nobroadcast/internal/broadcast"
+	"nobroadcast/internal/model"
+	"nobroadcast/internal/net"
+	"nobroadcast/internal/sched"
+	"nobroadcast/internal/spec"
+	"nobroadcast/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ksasim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ksasim", flag.ContinueOnError)
+	name := fs.String("b", "first-k", "broadcast abstraction ("+strings.Join(broadcast.Names(), ", ")+")")
+	n := fs.Int("n", 5, "number of processes")
+	k := fs.Int("k", 2, "agreement degree")
+	runs := fs.Int("runs", 100, "number of seeded runs (deterministic runtime)")
+	crashes := fs.Int("crashes", 0, "number of processes crashed mid-run")
+	concurrent := fs.Bool("concurrent", false, "use the concurrent goroutine runtime instead")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cand, err := broadcast.Lookup(*name)
+	if err != nil {
+		return err
+	}
+	if *crashes >= *n {
+		return fmt.Errorf("crashes must leave at least one process alive")
+	}
+	if *concurrent {
+		return runConcurrent(out, cand, *n, *k)
+	}
+	return runDeterministic(out, cand, *n, *k, *runs, *crashes)
+}
+
+func runDeterministic(out io.Writer, cand broadcast.Candidate, n, k, runs, crashes int) error {
+	inputs := make([]model.Value, n)
+	for i := range inputs {
+		inputs[i] = model.Value(fmt.Sprintf("v%d", i+1))
+	}
+	histogram := make(map[int]int) // distinct decisions -> runs
+	violations := 0
+	var steps, sends int
+	for seed := uint64(1); seed <= uint64(runs); seed++ {
+		rt, err := sched.New(sched.Config{
+			N:            n,
+			NewAutomaton: cand.NewAutomaton,
+			Oracle:       cand.OracleFor(k),
+			NewApp:       cand.SolverFor(),
+			Inputs:       inputs,
+		})
+		if err != nil {
+			return err
+		}
+		crashAt := make(map[int]model.ProcID, crashes)
+		for c := 0; c < crashes; c++ {
+			crashAt[5+7*c] = model.ProcID(n - c)
+		}
+		tr, err := rt.RunRandom(sched.RunOptions{Seed: seed, CrashAt: crashAt})
+		if err != nil {
+			return err
+		}
+		ix := trace.BuildIndex(tr)
+		histogram[len(ix.DistinctDecisions(sched.DefaultAppObject))]++
+		if v := spec.KSA(k).Check(tr); v != nil {
+			violations++
+		}
+		steps += tr.X.Len()
+		for _, s := range tr.X.Steps {
+			if s.Kind == model.KindSend {
+				sends++
+			}
+		}
+	}
+	fmt.Fprintf(out, "%s: n=%d k=%d runs=%d crashes=%d\n", cand.Name, n, k, runs, crashes)
+	fmt.Fprintf(out, "  distinct-decision histogram (distinct -> runs):\n")
+	for d := 0; d <= n; d++ {
+		if c, ok := histogram[d]; ok {
+			marker := ""
+			if d > k {
+				marker = "  <-- exceeds k!"
+			}
+			fmt.Fprintf(out, "    %d: %d%s\n", d, c, marker)
+		}
+	}
+	fmt.Fprintf(out, "  %d-SA violations: %d/%d runs\n", k, violations, runs)
+	fmt.Fprintf(out, "  avg steps/run: %d   avg sends/run: %d\n", steps/runs, sends/runs)
+	if cand.SolvesKSA && violations > 0 {
+		return fmt.Errorf("%s claims to solve %d-SA but violated it", cand.Name, k)
+	}
+	return nil
+}
+
+func runConcurrent(out io.Writer, cand broadcast.Candidate, n, k int) error {
+	ok := 1
+	switch cand.OracleK {
+	case -1:
+		ok = k
+	case 0:
+		ok = 1
+	default:
+		ok = cand.OracleK
+	}
+	nw, err := net.New(net.Config{
+		N:            n,
+		NewAutomaton: cand.NewAutomaton,
+		K:            ok,
+		MaxDelay:     200 * time.Microsecond,
+		Seed:         uint64(time.Now().UnixNano()),
+	})
+	if err != nil {
+		return err
+	}
+	defer nw.Stop()
+	const perNode = 5
+	start := time.Now()
+	for p := 1; p <= n; p++ {
+		for j := 0; j < perNode; j++ {
+			if _, err := nw.Broadcast(model.ProcID(p), model.Payload(fmt.Sprintf("m-%d-%d", p, j))); err != nil {
+				return err
+			}
+		}
+	}
+	want := int64(n * perNode)
+	done := nw.WaitUntil(func() bool {
+		for p := 1; p <= n; p++ {
+			if nw.Delivered(model.ProcID(p)) < want {
+				return false
+			}
+		}
+		return true
+	}, 30*time.Second)
+	elapsed := time.Since(start)
+	st := nw.StatsSnapshot()
+	fmt.Fprintf(out, "%s (concurrent): n=%d, %d broadcasts in %v (complete=%v)\n", cand.Name, n, st.Broadcasts, elapsed, done)
+	fmt.Fprintf(out, "  sends=%d receives=%d deliveries=%d (%.1f sends/broadcast)\n",
+		st.Sent, st.Received, st.Delivered, float64(st.Sent)/float64(st.Broadcasts))
+	if !done {
+		return fmt.Errorf("deliveries incomplete after timeout")
+	}
+	return nil
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestKsasimDeterministic(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-b", "first-k", "-n", "4", "-k", "2", "-runs", "20"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "first-k: n=4 k=2 runs=20") {
+		t.Errorf("header missing:\n%s", s)
+	}
+	if !strings.Contains(s, "2-SA violations: 0/20 runs") {
+		t.Errorf("expected zero violations:\n%s", s)
+	}
+}
+
+func TestKsasimWithCrashes(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-b", "first-k", "-n", "4", "-k", "2", "-runs", "10", "-crashes", "2"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "crashes=2") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestKsasimWeakBroadcastShowsDisagreement(t *testing.T) {
+	// send-to-all does not solve k-SA: the histogram may exceed k, and
+	// since the candidate does not claim to solve it, run still succeeds.
+	var out bytes.Buffer
+	if err := run([]string{"-b", "send-to-all", "-n", "5", "-k", "2", "-runs", "30"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "distinct-decision histogram") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestKsasimConcurrent(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-b", "reliable", "-n", "3", "-concurrent"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "reliable (concurrent): n=3") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestKsasimBadArgs(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-b", "nope"}, &out); err == nil {
+		t.Error("expected unknown-candidate error")
+	}
+	if err := run([]string{"-n", "3", "-crashes", "3"}, &out); err == nil {
+		t.Error("expected too-many-crashes error")
+	}
+}

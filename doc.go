@@ -1,0 +1,32 @@
+// Package nobroadcast is the root of a reproduction, as a Go library, of
+// "No Broadcast Abstraction Characterizes k-Set-Agreement in
+// Message-Passing Systems" (Gay, Mostéfaoui, Perrin — PODC 2024 brief
+// announcement; HAL extended version hal-04571653).
+//
+// The library makes every constructive ingredient of the paper's
+// impossibility proof executable:
+//
+//   - internal/model, internal/trace: the execution formalism of Section 2
+//     and the three transformations the proof uses (restriction, injective
+//     renaming, projection), with recorded traces and diagrams;
+//   - internal/spec: machine-checkable specifications for channels,
+//     broadcast abstractions, ordering predicates and k-set agreement,
+//     plus testers for the paper's two symmetry properties
+//     (compositionality, Definition 2; content-neutrality, Definition 3);
+//   - internal/sched: the deterministic step-driven runtime of
+//     CAMP_n[k-SA]; internal/net: the concurrent goroutine runtime;
+//   - internal/broadcast: candidate broadcast abstractions (send-to-all,
+//     reliable, FIFO, causal, total order, and the paper's three strawmen
+//     plus a doomed k-BO attempt) with their k-SA solvers;
+//   - internal/adversary: Algorithm 1, transcribed line by line, with
+//     mechanical verification of Lemmas 1-8 and 10;
+//   - internal/core: the Theorem 1 pipeline (Lemma 9's restriction,
+//     renaming, and replay) reporting which hypothesis fails for each
+//     candidate;
+//   - internal/sharedmem: the CARW_n[k-SA] model and the k-SA ⇔ k-SC
+//     equivalence grounding the paper's shared-memory contrast.
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the figure/experiment reproduction records. The
+// benchmark harness regenerating them lives in bench_test.go.
+package nobroadcast

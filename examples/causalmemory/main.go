@@ -1,0 +1,122 @@
+// Causalmemory demonstrates the paper's Section 1.1 motivation: causal
+// broadcast is the communication abstraction behind causal memory [2, 24].
+// A writer publishes x=1; a reactive process that SEES x=1 responds by
+// publishing y=2; causal order guarantees no process ever observes y=2
+// without x=1 already applied. Over plain send-to-all broadcast the same
+// scenario breaks on many schedules — the example counts the anomalies.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"nobroadcast/internal/broadcast"
+	"nobroadcast/internal/model"
+	"nobroadcast/internal/sched"
+)
+
+// memNode is a causal-memory node: it applies delivered writes to a local
+// store, and its application logic reacts to the value of x.
+type memNode struct {
+	id    model.ProcID
+	store map[string]string
+	// role: p1 writes x=1; p2 writes y=2 after seeing x=1; p3 observes.
+	wroteY bool
+	// anomaly records an observation of y=2 without x=1.
+	anomaly *bool
+}
+
+var _ sched.App = (*memNode)(nil)
+
+func (m *memNode) Init(env sched.AppEnv, _ model.Value) {
+	if m.id == 1 {
+		env.Broadcast("WRITE x 1")
+	}
+}
+
+func (m *memNode) OnDeliver(env sched.AppEnv, from model.ProcID, msg model.MsgID, payload model.Payload) {
+	parts := strings.SplitN(string(payload), " ", 3)
+	if len(parts) != 3 || parts[0] != "WRITE" {
+		return
+	}
+	m.store[parts[1]] = parts[2]
+	// Causal-consistency observation: y=2 causally depends on x=1.
+	if parts[1] == "y" && m.store["x"] != "1" {
+		*m.anomaly = true
+	}
+	// p2's application logic: respond to x=1 by writing y=2.
+	if m.id == 2 && parts[1] == "x" && parts[2] == "1" && !m.wroteY {
+		m.wroteY = true
+		env.Broadcast("WRITE y 2")
+	}
+}
+
+func (m *memNode) OnReturn(sched.AppEnv, model.MsgID) {}
+
+// runScenario runs the write-read-write chain over the named abstraction
+// for many seeds and returns how many runs showed the causal anomaly.
+func runScenario(name string, seeds int) (anomalies int, err error) {
+	cand, err := broadcast.Lookup(name)
+	if err != nil {
+		return 0, err
+	}
+	for seed := uint64(1); seed <= uint64(seeds); seed++ {
+		anomaly := false
+		rt, err := sched.New(sched.Config{
+			N:            3,
+			NewAutomaton: cand.NewAutomaton,
+			NewApp: func(id model.ProcID) sched.App {
+				return &memNode{id: id, store: make(map[string]string), anomaly: &anomaly}
+			},
+		})
+		if err != nil {
+			return 0, err
+		}
+		tr, err := rt.RunRandom(sched.RunOptions{Seed: seed})
+		if err != nil {
+			return 0, err
+		}
+		if !tr.Complete {
+			return 0, fmt.Errorf("%s seed %d: incomplete", name, seed)
+		}
+		if anomaly {
+			anomalies++
+		}
+	}
+	return anomalies, nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.SetFlags(0)
+		log.SetOutput(os.Stderr)
+		log.Fatalf("causalmemory: %v", err)
+	}
+}
+
+func run() error {
+	const seeds = 200
+	fmt.Println("Causal memory (Section 1.1, [2]): p1 writes x=1; p2, upon seeing")
+	fmt.Println("x=1, writes y=2; nobody may observe y=2 without x=1.")
+	fmt.Println()
+	for _, name := range []string{"causal", "fifo", "send-to-all"} {
+		anomalies, err := runScenario(name, seeds)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-12s: %3d/%d runs with a causal anomaly\n", name, anomalies, seeds)
+		if name == "causal" && anomalies > 0 {
+			return fmt.Errorf("causal broadcast let a causal anomaly through")
+		}
+	}
+	fmt.Println()
+	fmt.Println("Causal broadcast (vector-clock gating) eliminates the anomaly by")
+	fmt.Println("construction; FIFO only orders per-sender (x and y have different")
+	fmt.Println("writers), and send-to-all orders nothing — both show anomalies under")
+	fmt.Println("adversarial schedules. This is the 'relativistic notion of time' end")
+	fmt.Println("of the spectrum the paper's conclusion describes, implementable with")
+	fmt.Println("plain send/receive — unlike anything equivalent to k-SA.")
+	return nil
+}

@@ -1,0 +1,93 @@
+// Impossibility walks through the full Theorem 1 pipeline on the k-BO
+// broadcast candidate, narrating each stage of the paper's proof as it
+// executes: solo runs, the adversarial N-solo construction (Algorithm 1 /
+// Lemma 10), the restriction and renaming of Lemma 9, and the final
+// k-SA-Agreement contradiction.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"nobroadcast/internal/broadcast"
+	"nobroadcast/internal/core"
+	"nobroadcast/internal/model"
+	"nobroadcast/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.SetFlags(0)
+		log.SetOutput(os.Stderr)
+		log.Fatalf("impossibility: %v", err)
+	}
+}
+
+func run() error {
+	const k = 2
+
+	cand, err := broadcast.Lookup("kbo")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Candidate: %s — %s\n", cand.Name, cand.Describe)
+	fmt.Printf("Claim under test: a content-neutral, compositional broadcast abstraction\n")
+	fmt.Printf("computationally equivalent to %d-set agreement in CAMP_%d[0].\n\n", k, k+1)
+
+	res, err := core.RunImpossibility(cand, k, core.Options{})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("Stage 1 — solo executions alpha_i (everyone else crashes at the start):\n")
+	for _, rec := range res.Solo {
+		fmt.Printf("  %v proposes %q, B-delivers %d message(s), decides %q\n",
+			rec.Proc, rec.Input, rec.Ni, rec.Decision)
+	}
+	fmt.Printf("Stage 2 — N = max(1, N_1..N_%d) = %d\n\n", k+1, res.N)
+
+	fmt.Printf("Stage 3 — Algorithm 1 builds alpha_{k,N,B,B}; mechanical Lemma checks:\n")
+	for _, rep := range res.LemmaReports {
+		status := "ok"
+		if !rep.OK {
+			status = "FAILED " + rep.Err
+		}
+		fmt.Printf("  %-55s %s\n", rep.Lemma, status)
+	}
+	fmt.Println()
+
+	highlight := make(map[model.MsgID]bool)
+	for _, ms := range res.Adversary.Counted {
+		for _, m := range ms {
+			highlight[m] = true
+		}
+	}
+	fmt.Println("beta (the N-solo execution of Lemma 10):")
+	fmt.Print(trace.RenderDeliverySummary(res.Beta, highlight))
+	fmt.Println()
+
+	fmt.Println("Stage 5 — gamma: beta restricted to the counted messages (compositionality):")
+	fmt.Print(trace.RenderDeliverySummary(res.Gamma, highlight))
+	fmt.Println()
+
+	fmt.Println("Stage 6 — delta: gamma with each counted message renamed to the matching")
+	fmt.Println("solo-run message (content-neutrality):")
+	fmt.Print(trace.RenderDeliverySummary(res.Delta, nil))
+	fmt.Println()
+
+	fmt.Printf("Stage 7 — replay of the solver on delta (indistinguishable from alpha_i):\n")
+	for p := 1; p <= k+1; p++ {
+		fmt.Printf("  %v decides %q\n", model.ProcID(p), res.ReplayDecisions[model.ProcID(p)])
+	}
+	fmt.Println()
+	fmt.Printf("Outcome: %v\n", res.Outcome)
+	fmt.Printf("Detail:  %s\n\n", res.Detail)
+	fmt.Println("This is the reductio of Theorem 1: IF the k-BO specification were")
+	fmt.Println("implementable in CAMP_n[k-SA] AND solved k-SA in CAMP_n[k-BO], its")
+	fmt.Println("compositionality and content-neutrality would force k+1 distinct")
+	fmt.Println("decisions on one k-SA object. Hence no such equivalence exists — and,")
+	fmt.Println("as a corollary, k-BO broadcast cannot be implemented on top of k-SA in")
+	fmt.Println("message-passing systems (Section 1.3).")
+	return nil
+}

@@ -1,0 +1,90 @@
+// Quickstart: run a crash-tolerant reliable broadcast over the concurrent
+// runtime — five processes, real goroutines, an asynchronous reordering
+// network, and one crash — and watch every live process deliver every
+// message exactly once.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"nobroadcast/internal/broadcast"
+	"nobroadcast/internal/model"
+	"nobroadcast/internal/net"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.SetFlags(0)
+		log.SetOutput(os.Stderr)
+		log.Fatalf("quickstart: %v", err)
+	}
+}
+
+func run() error {
+	const n = 5
+
+	var mu sync.Mutex
+	deliveries := make(map[model.ProcID][]string)
+
+	nw, err := net.New(net.Config{
+		N:            n,
+		NewAutomaton: broadcast.NewReliable, // echo-based reliable broadcast [13]
+		MaxDelay:     300 * time.Microsecond,
+		Seed:         42,
+		OnDeliver: func(d net.Delivery) {
+			mu.Lock()
+			defer mu.Unlock()
+			deliveries[d.At] = append(deliveries[d.At], string(d.Payload))
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer nw.Stop()
+
+	// p5 crashes before doing anything; the paper's model tolerates up to
+	// n-1 crashes (t = n-1, wait-free).
+	if err := nw.Crash(5); err != nil {
+		return err
+	}
+
+	// Every live process broadcasts two messages.
+	for p := 1; p <= 4; p++ {
+		for j := 1; j <= 2; j++ {
+			if _, err := nw.Broadcast(model.ProcID(p), model.Payload(fmt.Sprintf("hello-%d.%d", p, j))); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Await delivery of all 8 messages at the 4 live processes.
+	ok := nw.WaitUntil(func() bool {
+		for p := 1; p <= 4; p++ {
+			if nw.Delivered(model.ProcID(p)) < 8 {
+				return false
+			}
+		}
+		return true
+	}, 10*time.Second)
+	if !ok {
+		return fmt.Errorf("timed out waiting for deliveries")
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	for p := 1; p <= n; p++ {
+		got := append([]string(nil), deliveries[model.ProcID(p)]...)
+		sort.Strings(got)
+		fmt.Printf("p%d delivered %d message(s): %v\n", p, len(got), got)
+	}
+	st := nw.StatsSnapshot()
+	fmt.Printf("network totals: %d broadcasts, %d sends, %d deliveries\n", st.Broadcasts, st.Sent, st.Delivered)
+	fmt.Println("note: crashed p5 delivered nothing, yet all correct processes agree —")
+	fmt.Println("that is BC-Global-CS-Termination plus the echo-based agreement of [13].")
+	return nil
+}

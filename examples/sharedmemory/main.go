@@ -1,0 +1,96 @@
+// Sharedmemory demonstrates the contrast of Section 1.3 and the paper's
+// conclusion: with shared memory, k-set agreement gains the companion
+// abstractions it lacks in message passing. Concretely, k-SA and
+// k-simultaneous consensus (k-SC) are equivalent in the crash-prone
+// asynchronous read/write model [1] — and that equivalence fails in
+// message passing [6], which is the root of the paper's negative result.
+//
+// The example runs the k-SC-from-k-SA construction (one k-SA object,
+// atomic SWMR registers, double-collect snapshots) under many adversarial
+// schedules and crash patterns, checks the k-SC properties each time, and
+// then derives k-SA back from k-SC.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"nobroadcast/internal/model"
+	"nobroadcast/internal/sharedmem"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.SetFlags(0)
+		log.SetOutput(os.Stderr)
+		log.Fatalf("sharedmemory: %v", err)
+	}
+}
+
+func run() error {
+	const n, k = 5, 3
+
+	inputs := make([]sharedmem.Value, n)
+	for i := range inputs {
+		inputs[i] = sharedmem.Value(fmt.Sprintf("value-of-p%d", i+1))
+	}
+
+	fmt.Printf("CARW_%d[%d-SA]: registers + snapshots + one %d-SA object\n\n", n, k, k)
+
+	// Direction 1: k-SA (+ snapshots) implements k-SC.
+	fmt.Println("k-SA -> k-SC (construction of [1]): 50 adversarial schedules")
+	for seed := uint64(1); seed <= 50; seed++ {
+		outs, err := sharedmem.RunKSC(k, inputs, sharedmem.RunOptions{Seed: seed})
+		if err != nil {
+			return err
+		}
+		if err := sharedmem.CheckKSC(k, inputs, outs); err != nil {
+			return fmt.Errorf("seed %d: %w", seed, err)
+		}
+		if seed == 1 {
+			for _, o := range outs {
+				fmt.Printf("  %v -> (index %d, value %q)\n", o.Proc, o.Index, o.Val)
+			}
+		}
+	}
+	fmt.Println("  all schedules: index range, index agreement, validity — ok")
+	fmt.Println()
+
+	// Same, with crashes (wait-freedom).
+	fmt.Println("same, with 2 crashes injected mid-run:")
+	outs, err := sharedmem.RunKSC(k, inputs, sharedmem.RunOptions{
+		Seed:    7,
+		CrashAt: map[int]model.ProcID{3: 2, 11: 5},
+	})
+	if err != nil {
+		return err
+	}
+	if err := sharedmem.CheckKSC(k, inputs, outs); err != nil {
+		return err
+	}
+	for _, o := range outs {
+		fmt.Printf("  %v -> (index %d, value %q)\n", o.Proc, o.Index, o.Val)
+	}
+	fmt.Println("  survivors still satisfy k-SC — the construction is wait-free")
+	fmt.Println()
+
+	// Direction 2: k-SC implements k-SA (decide the value component).
+	fmt.Println("k-SC -> k-SA (decide the value component): 50 adversarial schedules")
+	for seed := uint64(1); seed <= 50; seed++ {
+		decs, err := sharedmem.RunKSAFromKSC(k, inputs, sharedmem.RunOptions{Seed: seed})
+		if err != nil {
+			return err
+		}
+		if err := sharedmem.CheckKSA(k, inputs, decs); err != nil {
+			return fmt.Errorf("seed %d: %w", seed, err)
+		}
+	}
+	fmt.Println("  all schedules: at most", k, "distinct decisions, validity — ok")
+	fmt.Println()
+	fmt.Println("Contrast: in message passing, k-SC is strictly harder than k-SA [6],")
+	fmt.Println("shared memory cannot be emulated with t = n-1 crashes, and — by the")
+	fmt.Println("paper's Theorem 1 — no content-neutral compositional broadcast")
+	fmt.Println("abstraction can fill the gap for 1 < k < n.")
+	return nil
+}

@@ -1,0 +1,159 @@
+// SMR demonstrates the paper's Section 1.2 motivation: State Machine
+// Replication is built on Total Order Broadcast, the abstraction that
+// characterizes consensus [7, 21, 26]. Replicas of a key-value store apply
+// commands in delivery order; with Total Order every replica converges to
+// the same state, while weaker abstractions let replicas diverge — and the
+// k-BO attempt bounds, but does not eliminate, the divergence.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+
+	"nobroadcast/internal/broadcast"
+	"nobroadcast/internal/model"
+	"nobroadcast/internal/sched"
+	"nobroadcast/internal/spec"
+)
+
+// replica is a key-value state machine fed by broadcast deliveries.
+// Commands are "SET key value"; last delivered write wins.
+type replica struct {
+	id    model.ProcID
+	store map[string]string
+	// commands to issue, one per OnReturn (pipelined).
+	queue []string
+}
+
+var _ sched.App = (*replica)(nil)
+
+func (r *replica) Init(env sched.AppEnv, _ model.Value) {
+	if len(r.queue) > 0 {
+		cmd := r.queue[0]
+		r.queue = r.queue[1:]
+		env.Broadcast(model.Payload(cmd))
+	}
+}
+
+func (r *replica) OnDeliver(env sched.AppEnv, from model.ProcID, msg model.MsgID, payload model.Payload) {
+	parts := strings.SplitN(string(payload), " ", 3)
+	if len(parts) == 3 && parts[0] == "SET" {
+		r.store[parts[1]] = parts[2]
+	}
+}
+
+func (r *replica) OnReturn(env sched.AppEnv, _ model.MsgID) {
+	if len(r.queue) > 0 {
+		cmd := r.queue[0]
+		r.queue = r.queue[1:]
+		env.Broadcast(model.Payload(cmd))
+	}
+}
+
+// fingerprint renders the store deterministically.
+func (r *replica) fingerprint() string {
+	keys := make([]string, 0, len(r.store))
+	for k := range r.store {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%s;", k, r.store[k])
+	}
+	return b.String()
+}
+
+// runSMR replicates the same conflicting workload over the named broadcast
+// abstraction across seeds and reports how many distinct final states the
+// replicas reach.
+func runSMR(name string, n, k int, seeds int) (distinctStates map[int]int, err error) {
+	cand, err := broadcast.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	distinctStates = make(map[int]int)
+	for seed := uint64(1); seed <= uint64(seeds); seed++ {
+		replicas := make([]*replica, n)
+		rt, err := sched.New(sched.Config{
+			N:            n,
+			NewAutomaton: cand.NewAutomaton,
+			Oracle:       cand.OracleFor(k),
+			NewApp: func(id model.ProcID) sched.App {
+				// Every replica writes the SAME contended keys with its
+				// own values: application order decides the final state.
+				r := &replica{id: id, store: make(map[string]string)}
+				for j := 0; j < 3; j++ {
+					r.queue = append(r.queue, fmt.Sprintf("SET key%d from-p%d", j, id))
+				}
+				replicas[id-1] = r
+				return r
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		tr, err := rt.RunRandom(sched.RunOptions{Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		if !tr.Complete {
+			return nil, fmt.Errorf("%s seed %d: run incomplete", name, seed)
+		}
+		if v := spec.BasicBroadcast().Check(tr); v != nil {
+			return nil, fmt.Errorf("%s seed %d: %s", name, seed, v)
+		}
+		states := make(map[string]bool)
+		for _, r := range replicas {
+			states[r.fingerprint()] = true
+		}
+		distinctStates[len(states)]++
+	}
+	return distinctStates, nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.SetFlags(0)
+		log.SetOutput(os.Stderr)
+		log.Fatalf("smr: %v", err)
+	}
+}
+
+func run() error {
+	const n, k, seeds = 4, 2, 40
+	fmt.Printf("State machine replication: %d replicas, 3 conflicting writes each,\n", n)
+	fmt.Printf("%d seeded schedules per abstraction. Distinct final states per run:\n\n", seeds)
+	for _, name := range []string{"total-order", "kbo", "send-to-all"} {
+		hist, err := runSMR(name, n, k, seeds)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-12s:", name)
+		for d := 1; d <= n; d++ {
+			if c, ok := hist[d]; ok {
+				fmt.Printf("  %d state(s) x%d", d, c)
+			}
+		}
+		fmt.Println()
+		switch name {
+		case "total-order":
+			if len(hist) != 1 || hist[1] != seeds {
+				return fmt.Errorf("total order must yield exactly one state per run: %v", hist)
+			}
+			fmt.Println("              -> consensus power: replicas always converge (Section 1.2's SMR)")
+		case "kbo":
+			fmt.Println("              -> per-round k-SA bounds, but does not eliminate, divergence")
+		case "send-to-all":
+			fmt.Println("              -> no ordering: replicas apply writes in arbitrary orders")
+		}
+	}
+	fmt.Println()
+	fmt.Println("This is the paper's Section 1.2 in running code: SMR needs Total Order")
+	fmt.Println("Broadcast, Total Order Broadcast is consensus [7] — and, by Theorem 1,")
+	fmt.Println("nothing like it exists for k-set agreement when 1 < k < n.")
+	return nil
+}

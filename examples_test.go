@@ -1,0 +1,130 @@
+package nobroadcast_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The examples are runnable mains; these tests execute each one end to end
+// (guarded by -short: they shell out to the go tool) and assert on the
+// load-bearing lines of their output.
+
+func runExample(t *testing.T, name string) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("examples skipped in -short mode")
+	}
+	ctxCmd := exec.Command("go", "run", "./examples/"+name)
+	ctxCmd.Dir = "."
+	done := make(chan struct{})
+	var out []byte
+	var err error
+	go func() {
+		defer close(done)
+		out, err = ctxCmd.CombinedOutput()
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Minute):
+		_ = ctxCmd.Process.Kill()
+		<-done
+		t.Fatalf("example %s timed out", name)
+	}
+	if err != nil {
+		t.Fatalf("example %s failed: %v\n%s", name, err, out)
+	}
+	return string(out)
+}
+
+func TestExampleQuickstart(t *testing.T) {
+	out := runExample(t, "quickstart")
+	for _, want := range []string{
+		"p1 delivered 8 message(s)",
+		"p5 delivered 0 message(s)",
+		"BC-Global-CS-Termination",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExampleFigure1(t *testing.T) {
+	out := runExample(t, "figure1")
+	for _, want := range []string{
+		"Lemma 10 (beta is N-solo)",
+		"Space-time diagram",
+		"2-solo (Definition 5)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "FAILED") {
+		t.Errorf("a lemma check failed:\n%s", out)
+	}
+}
+
+func TestExampleComposition(t *testing.T) {
+	out := runExample(t, "composition")
+	for _, want := range []string{
+		"is NOT",
+		"composition-safe on this workload",
+		"k-Stepped Broadcast is not compositional",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExampleImpossibility(t *testing.T) {
+	out := runExample(t, "impossibility")
+	for _, want := range []string{
+		"Stage 7",
+		"Theorem 1 contradiction",
+		"k-BO broadcast cannot be implemented on top of k-SA",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExampleSharedMemory(t *testing.T) {
+	out := runExample(t, "sharedmemory")
+	for _, want := range []string{
+		"k-SA -> k-SC",
+		"index agreement, validity — ok",
+		"wait-free",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExampleSMR(t *testing.T) {
+	out := runExample(t, "smr")
+	for _, want := range []string{
+		"total-order :  1 state(s) x40",
+		"kbo",
+		"SMR needs Total Order",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExampleCausalMemory(t *testing.T) {
+	out := runExample(t, "causalmemory")
+	if !strings.Contains(out, "causal      :   0/200 runs with a causal anomaly") {
+		t.Errorf("causal broadcast must show zero anomalies:\n%s", out)
+	}
+	if !strings.Contains(out, "send-to-all") {
+		t.Errorf("missing baseline:\n%s", out)
+	}
+}

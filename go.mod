@@ -1,0 +1,3 @@
+module nobroadcast
+
+go 1.22

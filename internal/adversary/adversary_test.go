@@ -1,0 +1,452 @@
+package adversary_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"nobroadcast/internal/adversary"
+	"nobroadcast/internal/broadcast"
+	"nobroadcast/internal/model"
+	"nobroadcast/internal/sched"
+	"nobroadcast/internal/spec"
+	"nobroadcast/internal/trace"
+)
+
+func mustRun(t *testing.T, name string, k, n int) *adversary.Result {
+	t.Helper()
+	c, err := broadcast.Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := adversary.Run(adversary.Options{K: k, N: n, NewAutomaton: c.NewAutomaton})
+	if err != nil {
+		t.Fatalf("adversary.Run(%s, k=%d, N=%d): %v", name, k, n, err)
+	}
+	return res
+}
+
+func TestRunValidation(t *testing.T) {
+	c, _ := broadcast.Lookup("send-to-all")
+	if _, err := adversary.Run(adversary.Options{K: 1, N: 1, NewAutomaton: c.NewAutomaton}); err == nil {
+		t.Error("expected error for K=1")
+	}
+	if _, err := adversary.Run(adversary.Options{K: 2, N: 0, NewAutomaton: c.NewAutomaton}); err == nil {
+		t.Error("expected error for N=0")
+	}
+	if _, err := adversary.Run(adversary.Options{K: 2, N: 1}); err == nil {
+		t.Error("expected error for missing automaton")
+	}
+}
+
+// TestAlphaAdmissibleAllCandidates (experiment E2): for every candidate
+// implementation, the adversarial execution α is admitted by
+// CAMP_{k+1}[k-SA] — the mechanical Lemma 1-8 checks all pass — and β is
+// N-solo (Lemma 10, experiment E1).
+func TestAlphaAdmissibleAllCandidates(t *testing.T) {
+	for _, c := range broadcast.AllCandidates() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			if c.Name == "mutual" {
+				// Mutual broadcast needs a correct majority: it cannot
+				// progress solo, and the adversary must say so (the
+				// Lemma 7 guard) rather than loop. This is the expected
+				// behaviour for register-strength abstractions in the
+				// wait-free model.
+				_, err := adversary.Run(adversary.Options{
+					K: 2, N: 2, NewAutomaton: c.NewAutomaton, MaxStepsPerPhase: 2000,
+				})
+				var stall *adversary.ErrNotSoloProgressing
+				if !errorsAs(err, &stall) {
+					t.Fatalf("expected ErrNotSoloProgressing for mutual, got %v", err)
+				}
+				return
+			}
+			res := mustRun(t, c.Name, 2, 2)
+			reports, ok := res.Verify()
+			if !ok {
+				for _, rep := range reports {
+					if !rep.OK {
+						t.Errorf("%s: %s", rep.Lemma, rep.Err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSweepKAndN (experiment E1): the construction succeeds across the
+// (k, N) grid for a representative implementation.
+func TestSweepKAndN(t *testing.T) {
+	for _, k := range []int{2, 3, 4} {
+		for _, n := range []int{1, 2, 5} {
+			res := mustRun(t, "kbo", k, n)
+			if _, ok := res.Verify(); !ok {
+				t.Errorf("k=%d N=%d: verification failed", k, n)
+			}
+			if len(res.Counted) != k+1 {
+				t.Errorf("k=%d N=%d: %d counted sets, want %d", k, n, len(res.Counted), k+1)
+			}
+			for p, msgs := range res.Counted {
+				if len(msgs) != n {
+					t.Errorf("k=%d N=%d: %v counted %d messages, want %d", k, n, p, len(msgs), n)
+				}
+			}
+		}
+	}
+}
+
+// TestNSoloStructure: the β projection contains, for each process, its own
+// deliveries first (Definition 5), checked directly on delivery orders.
+func TestNSoloStructure(t *testing.T) {
+	res := mustRun(t, "first-k", 3, 2)
+	ix := trace.BuildIndex(res.Beta)
+	for p := 1; p <= 4; p++ {
+		pid := model.ProcID(p)
+		counted := make(map[model.MsgID]bool, len(res.Counted[pid]))
+		for _, m := range res.Counted[pid] {
+			counted[m] = true
+		}
+		// Find the position of the last counted self-delivery.
+		last := -1
+		for pos, m := range ix.Deliveries[pid] {
+			if counted[m] {
+				last = pos
+			}
+		}
+		if last < 0 {
+			t.Fatalf("%v delivers none of its counted messages", pid)
+		}
+		// No other process's counted message may appear before it.
+		for pos := 0; pos < last; pos++ {
+			m := ix.Deliveries[pid][pos]
+			for q := 1; q <= 4; q++ {
+				if q == p {
+					continue
+				}
+				for _, cm := range res.Counted[model.ProcID(q)] {
+					if m == cm {
+						t.Errorf("%v delivers p%d's counted m%d at position %d before its own last counted at %d", pid, q, m, pos, last)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestResetHappensForPk: implementations that propose on shared objects
+// force line 21-25 resets for p_k — the mechanism that keeps p_{k+1}'s
+// adoption consistent. The k-SA-using candidates must show resets; the
+// oracle-free ones must not.
+func TestResetHappensForPk(t *testing.T) {
+	tests := []struct {
+		name       string
+		wantResets bool
+	}{
+		{"send-to-all", false},
+		{"reliable", false},
+		{"fifo", false},
+		{"causal", false},
+		{"first-k", true},
+		{"k-stepped", true},
+		{"kbo", true},
+		{"total-order", true},
+	}
+	for _, tt := range tests {
+		res := mustRun(t, tt.name, 2, 2)
+		if got := res.Resets > 0; got != tt.wantResets {
+			t.Errorf("%s: resets=%d, wantResets=%v", tt.name, res.Resets, tt.wantResets)
+		}
+	}
+}
+
+// TestPkPlus1AdoptsPk: with a k-SA-using implementation, p_{k+1} adopts
+// p_k's value on fully-decided objects (lines 17-18), and as a
+// consequence delivers messages of p_k — which is precisely why p_k's
+// early messages are excluded from its N count.
+func TestPkPlus1AdoptsPk(t *testing.T) {
+	res := mustRun(t, "first-k", 2, 2)
+	if res.Adoptions == 0 {
+		t.Error("p_{k+1} never took the line 18 adoption branch; first-k shares its election object, so it must")
+	}
+	// Observable consequence: p_3 delivers some message of p_2, and only
+	// uncounted ones before finishing its own counted messages (the
+	// N-solo check already enforces the latter; here we check the former).
+	ix := trace.BuildIndex(res.Alpha)
+	deliversFromPk := false
+	for _, m := range ix.Deliveries[3] {
+		if ix.DeliverOrigin[m] == 2 {
+			deliversFromPk = true
+		}
+	}
+	if !deliversFromPk {
+		t.Error("p_{k+1} delivers no message of p_k despite adopting its decisions")
+	}
+	// Oracle-free implementations never adopt.
+	res2 := mustRun(t, "send-to-all", 2, 2)
+	if res2.Adoptions != 0 {
+		t.Errorf("send-to-all uses no k-SA object; adoptions = %d", res2.Adoptions)
+	}
+}
+
+// TestGammaProjections: γ_i contains only steps of p_i and p_k, and is a
+// subsequence of α.
+func TestGammaProjections(t *testing.T) {
+	res := mustRun(t, "kbo", 2, 2)
+	for i := 1; i <= 3; i++ {
+		g := res.Gamma(model.ProcID(i))
+		for _, s := range g.X.Steps {
+			if s.Proc != model.ProcID(i) && s.Proc != model.ProcID(res.K) {
+				t.Errorf("gamma_%d contains step of %v", i, s.Proc)
+			}
+		}
+		if g.X.Len() == 0 {
+			t.Errorf("gamma_%d is empty", i)
+		}
+		if v := spec.WellFormed().Check(g); v != nil {
+			t.Errorf("gamma_%d not well-formed: %s", i, v)
+		}
+	}
+}
+
+// TestStalledImplementationDetected (Lemma 7 contrapositive): an
+// implementation that waits for other processes before delivering makes no
+// solo progress; the adversary reports it rather than looping forever.
+func TestStalledImplementationDetected(t *testing.T) {
+	_, err := adversary.Run(adversary.Options{
+		K: 2, N: 1,
+		NewAutomaton:     func(model.ProcID) sched.Automaton { return &waitForPeerAutomaton{} },
+		MaxStepsPerPhase: 500,
+	})
+	if err == nil {
+		t.Fatal("expected ErrNotSoloProgressing")
+	}
+	var stall *adversary.ErrNotSoloProgressing
+	if !errorsAs(err, &stall) {
+		t.Fatalf("unexpected error type: %v", err)
+	}
+	if stall.Proc != 1 {
+		t.Errorf("stall reported for %v, want p1", stall.Proc)
+	}
+	if !strings.Contains(err.Error(), "Lemma 7") {
+		t.Errorf("error should cite Lemma 7: %v", err)
+	}
+}
+
+// waitForPeerAutomaton broadcasts by sending only to its successor and
+// delivers only messages received from others — it can never deliver its
+// own message running solo.
+type waitForPeerAutomaton struct{}
+
+func (w *waitForPeerAutomaton) Init(*sched.Env) {}
+func (w *waitForPeerAutomaton) OnBroadcast(env *sched.Env, msg model.MsgID, payload model.Payload) {
+	next := model.ProcID(int(env.ID())%env.N() + 1)
+	env.Send(next, payload)
+	env.ReturnBroadcast(msg)
+}
+func (w *waitForPeerAutomaton) OnReceive(env *sched.Env, from model.ProcID, payload model.Payload) {
+}
+func (w *waitForPeerAutomaton) OnDecide(*sched.Env, model.KSAID, model.Value) {}
+
+func errorsAs(err error, target **adversary.ErrNotSoloProgressing) bool {
+	e, ok := err.(*adversary.ErrNotSoloProgressing)
+	if ok {
+		*target = e
+	}
+	return ok
+}
+
+// TestKBOAttemptFails (experiment E10): completing the adversarial run
+// with fair deliveries makes every process deliver everyone's counted
+// messages after its own — the k+1 first counted messages become pairwise
+// conflicting, violating the k-BO ordering property. This is the paper's
+// corollary made concrete: the k-BO-on-k-SA attempt cannot be a correct
+// k-BO implementation.
+func TestKBOAttemptFails(t *testing.T) {
+	for _, k := range []int{2, 3} {
+		res := mustRun(t, "kbo", k, 1)
+		ext, err := res.Extend(0)
+		if err != nil {
+			t.Fatalf("k=%d: extend: %v", k, err)
+		}
+		if !ext.Complete {
+			t.Fatalf("k=%d: extension did not reach quiescence", k)
+		}
+		v := spec.KBOOrder(k).Check(ext)
+		if v == nil {
+			t.Fatalf("k=%d: completed adversarial run still satisfies %d-BO; the attempt should be refuted", k, k)
+		}
+		if v.Property != "k-Bounded-Order" {
+			t.Errorf("k=%d: unexpected violation %s", k, v)
+		}
+		// The universal properties still hold: the attempt fails on
+		// ordering, not on plumbing.
+		if bv := spec.BasicBroadcast().Check(ext); bv != nil {
+			t.Errorf("k=%d: universal property broken: %s", k, bv)
+		}
+	}
+}
+
+// TestDeterministicConstruction: the adversarial construction is fully
+// deterministic.
+func TestDeterministicConstruction(t *testing.T) {
+	run := func() string {
+		res := mustRun(t, "kbo", 2, 2)
+		return res.Alpha.X.String()
+	}
+	if run() != run() {
+		t.Error("adversarial construction is not deterministic")
+	}
+}
+
+// TestCheckNSoloRejects: the checker rejects fabricated witnesses.
+func TestCheckNSoloRejects(t *testing.T) {
+	res := mustRun(t, "send-to-all", 2, 2)
+	// Wrong count.
+	bad := map[model.ProcID][]model.MsgID{1: res.Counted[1][:1], 2: res.Counted[2], 3: res.Counted[3]}
+	if err := adversary.CheckNSolo(res.Beta, 2, bad); err == nil {
+		t.Error("expected witness-size error")
+	}
+	// Wrong broadcaster.
+	bad = map[model.ProcID][]model.MsgID{1: res.Counted[2], 2: res.Counted[1], 3: res.Counted[3]}
+	if err := adversary.CheckNSolo(res.Beta, 2, bad); err == nil {
+		t.Error("expected wrong-broadcaster error")
+	}
+	// Non-existent message.
+	bad = map[model.ProcID][]model.MsgID{1: {9999, 9998}, 2: res.Counted[2], 3: res.Counted[3]}
+	if err := adversary.CheckNSolo(res.Beta, 2, bad); err == nil {
+		t.Error("expected unknown-message error")
+	}
+}
+
+func TestCheckNSoloRejectsInterleaved(t *testing.T) {
+	// Build a trace where p1 delivers p2's message before its own.
+	x := model.NewExecution(2)
+	x.Append(
+		model.Step{Proc: 1, Kind: model.KindBroadcastInvoke, Msg: 1, Payload: "a"},
+		model.Step{Proc: 2, Kind: model.KindBroadcastInvoke, Msg: 2, Payload: "b"},
+		model.Step{Proc: 1, Kind: model.KindDeliver, Peer: 2, Msg: 2, Payload: "b"},
+		model.Step{Proc: 1, Kind: model.KindDeliver, Peer: 1, Msg: 1, Payload: "a"},
+		model.Step{Proc: 2, Kind: model.KindDeliver, Peer: 2, Msg: 2, Payload: "b"},
+	)
+	w := map[model.ProcID][]model.MsgID{1: {1}, 2: {2}}
+	if err := adversary.CheckNSolo(trace.New(x), 1, w); err == nil {
+		t.Error("expected interleaving violation")
+	}
+}
+
+// TestFindNSoloWitness: the search recovers a witness on adversarial
+// output and fails on ordinary fair executions.
+func TestFindNSoloWitness(t *testing.T) {
+	res := mustRun(t, "send-to-all", 2, 2)
+	w, err := adversary.FindNSoloWitness(res.Beta, 2)
+	if err != nil {
+		t.Fatalf("FindNSoloWitness on adversarial beta: %v", err)
+	}
+	if len(w) != 3 {
+		t.Errorf("witness covers %d processes, want 3", len(w))
+	}
+
+	// A fair run interleaves deliveries, so no 2-solo witness exists.
+	c, _ := broadcast.Lookup("send-to-all")
+	rt, err := sched.New(sched.Config{N: 3, NewAutomaton: c.NewAutomaton})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reqs []sched.BroadcastReq
+	for p := 1; p <= 3; p++ {
+		for j := 0; j < 3; j++ {
+			reqs = append(reqs, sched.BroadcastReq{Proc: model.ProcID(p), Payload: model.Payload(fmt.Sprintf("x%d-%d", p, j))})
+		}
+	}
+	tr, err := rt.RunFair(sched.RunOptions{Broadcasts: reqs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := adversary.FindNSoloWitness(tr, 2); err == nil {
+		t.Error("fair execution should not be 2-solo")
+	}
+}
+
+// TestFigure1Shape (experiment F1): for k=3, N=2, the construction matches
+// Figure 1's shape — 4 sequential phases, each process's counted messages
+// grey-boxed, p_{k+1} adopting p_k on fully decided objects.
+func TestFigure1Shape(t *testing.T) {
+	res := mustRun(t, "first-k", 3, 2)
+	if len(res.Counted) != 4 {
+		t.Fatalf("counted sets: %d", len(res.Counted))
+	}
+	// Sequential phases: all broadcast invocations of p_i precede those
+	// of p_{i+1}.
+	lastInvoke := make(map[model.ProcID]int)
+	firstInvoke := make(map[model.ProcID]int)
+	for idx, s := range res.Alpha.X.Steps {
+		if s.Kind == model.KindBroadcastInvoke {
+			if _, ok := firstInvoke[s.Proc]; !ok {
+				firstInvoke[s.Proc] = idx
+			}
+			lastInvoke[s.Proc] = idx
+		}
+	}
+	for i := 1; i < 4; i++ {
+		if lastInvoke[model.ProcID(i)] > firstInvoke[model.ProcID(i+1)] {
+			t.Errorf("phases not sequential: p%d invokes after p%d starts", i, i+1)
+		}
+	}
+	// The diagram renders with highlighted counted messages.
+	hl := make(map[model.MsgID]bool)
+	for _, ms := range res.Counted {
+		for _, m := range ms {
+			hl[m] = true
+		}
+	}
+	diagram := trace.RenderDiagram(res.Beta, trace.DiagramOptions{Highlight: hl, HideReturns: true})
+	if !strings.Contains(diagram, "*") {
+		t.Error("diagram missing highlights")
+	}
+	summary := trace.RenderDeliverySummary(res.Beta, hl)
+	if !strings.Contains(summary, "p4") {
+		t.Errorf("summary missing p4:\n%s", summary)
+	}
+}
+
+// TestLargeSweep pushes the construction to larger k and N (guarded by
+// -short). The counted sets stay exact and the lemma checks stay green as
+// the construction grows.
+func TestLargeSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large sweep skipped in -short mode")
+	}
+	for _, k := range []int{5, 6} {
+		for _, n := range []int{8, 16} {
+			res := mustRun(t, "kbo", k, n)
+			if _, ok := res.Verify(); !ok {
+				t.Errorf("k=%d N=%d: verification failed", k, n)
+			}
+		}
+	}
+}
+
+// TestExtendRequiresRuntime: Extend on a hand-built Result reports a clear
+// error instead of panicking.
+func TestExtendRequiresRuntime(t *testing.T) {
+	var res adversary.Result
+	if _, err := res.Extend(10); err == nil {
+		t.Error("expected error for Extend without retained runtime")
+	}
+}
+
+// TestBroadcastCounts: the adversary records how many sync-broadcasts each
+// process needed; p_k needs strictly more than N whenever resets occur.
+func TestBroadcastCounts(t *testing.T) {
+	res := mustRun(t, "first-k", 2, 2)
+	if res.Resets == 0 {
+		t.Fatal("expected resets for first-k")
+	}
+	if res.Broadcasts[2] <= res.N {
+		t.Errorf("p_k broadcast %d messages; resets should force more than N=%d", res.Broadcasts[2], res.N)
+	}
+	if res.Broadcasts[1] != res.N {
+		t.Errorf("p_1 broadcast %d messages, want exactly N=%d", res.Broadcasts[1], res.N)
+	}
+}

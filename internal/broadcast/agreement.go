@@ -1,0 +1,116 @@
+package broadcast
+
+import (
+	"nobroadcast/internal/model"
+	"nobroadcast/internal/sched"
+)
+
+// RoundAgreement is a round-based agreement broadcast: messages diffuse
+// reliably, and each process repeatedly proposes its set of known
+// undelivered messages to a fresh agreement object (one per round),
+// delivering the decided set in deterministic order.
+//
+// Instantiated over consensus objects (a 1-SA oracle) it implements Total
+// Order Broadcast: every round decides a single common set, so all
+// processes deliver in the same order — the classical equivalence with
+// consensus [7]. Instantiated over k-SA objects with k > 1 it is
+// KBOAttempt, a natural candidate implementation of k-Bounded Order
+// Broadcast [15]: per round, at most k distinct sets are decided, bounding
+// the divergence. The paper's corollary (Section 1.3) says no such
+// implementation can be correct in message passing; internal/adversary
+// exhibits the failure by driving it into an N-solo execution.
+type RoundAgreement struct {
+	id model.ProcID
+	// known holds received-but-undelivered messages.
+	known map[model.MsgID]msgRec
+	// delivered marks locally delivered messages.
+	delivered map[model.MsgID]bool
+	seen      map[model.MsgID]bool
+	round     int
+	proposing bool
+}
+
+var _ sched.Automaton = (*RoundAgreement)(nil)
+
+// NewTotalOrder constructs the round-agreement automaton; pair it with a
+// consensus oracle (sched.NewFreeOracle(1)) to obtain Total Order
+// Broadcast.
+func NewTotalOrder(id model.ProcID) sched.Automaton {
+	return &RoundAgreement{
+		id:        id,
+		known:     make(map[model.MsgID]msgRec),
+		delivered: make(map[model.MsgID]bool),
+		seen:      make(map[model.MsgID]bool),
+	}
+}
+
+// NewKBOAttempt constructs the same automaton under its other role: a
+// doomed candidate implementation of k-BO broadcast; pair it with a k-SA
+// oracle, k > 1.
+func NewKBOAttempt(id model.ProcID) sched.Automaton {
+	return NewTotalOrder(id)
+}
+
+// Init implements sched.Automaton.
+func (g *RoundAgreement) Init(*sched.Env) {}
+
+// OnBroadcast implements sched.Automaton.
+func (g *RoundAgreement) OnBroadcast(env *sched.Env, msg model.MsgID, payload model.Payload) {
+	env.SendAll(encodeFrame(Frame{T: "msg", Origin: env.ID(), Msg: msg, Content: payload}))
+	env.ReturnBroadcast(msg)
+}
+
+// OnReceive implements sched.Automaton.
+func (g *RoundAgreement) OnReceive(env *sched.Env, from model.ProcID, payload model.Payload) {
+	fr, err := decodeFrame(payload)
+	if err != nil || (fr.T != "msg" && fr.T != "echo") || !fr.validOrigin(env.N()) {
+		return
+	}
+	if g.seen[fr.Msg] {
+		return
+	}
+	g.seen[fr.Msg] = true
+	env.SendAll(encodeFrame(Frame{T: "echo", Origin: fr.Origin, Msg: fr.Msg, Content: fr.Content}))
+	if !g.delivered[fr.Msg] {
+		g.known[fr.Msg] = msgRec{Origin: fr.Origin, Msg: fr.Msg, Content: fr.Content}
+	}
+	g.maybePropose(env)
+}
+
+// maybePropose starts the next round when undelivered messages are known
+// and no proposition is outstanding.
+func (g *RoundAgreement) maybePropose(env *sched.Env) {
+	if g.proposing || len(g.known) == 0 {
+		return
+	}
+	recs := make([]msgRec, 0, len(g.known))
+	for _, rec := range g.known {
+		recs = append(recs, rec)
+	}
+	g.round++
+	g.proposing = true
+	env.Propose(model.KSAID(g.round), encodeRecs(recs))
+}
+
+// OnDecide implements sched.Automaton: deliver the decided set in id
+// order, then move to the next round if messages remain.
+func (g *RoundAgreement) OnDecide(env *sched.Env, obj model.KSAID, val model.Value) {
+	recs, err := decodeRecs(val)
+	if err != nil {
+		// A decided value not produced by encodeRecs would indicate a
+		// foreign proposer on our round objects; ignore the round.
+		g.proposing = false
+		g.maybePropose(env)
+		return
+	}
+	for _, rec := range recs { // encodeRecs sorted by message id
+		if g.delivered[rec.Msg] {
+			continue
+		}
+		g.delivered[rec.Msg] = true
+		delete(g.known, rec.Msg)
+		env.Deliver(rec.Msg, rec.Origin, rec.Content)
+	}
+	g.proposing = false
+	g.maybePropose(env)
+}

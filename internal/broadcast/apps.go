@@ -1,0 +1,138 @@
+package broadcast
+
+import (
+	"nobroadcast/internal/model"
+	"nobroadcast/internal/sched"
+)
+
+// FirstDecider is the canonical algorithm 𝓐 solving k-SA in CAMP_n[B] for
+// ordering-constrained broadcasts B: broadcast the proposed value, decide
+// the content of the first delivered message. Its agreement degree is
+// inherited from B's ordering property — at most k distinct first
+// deliveries (First-k, k-BO with everyone correct, Total Order with k = 1)
+// yield at most k distinct decisions. This is also the algorithm whose
+// solo executions α_i drive Lemma 9: the substitution argument replays it
+// against the δ execution and exhibits k+1 distinct decisions.
+type FirstDecider struct {
+	decided bool
+}
+
+var _ sched.App = (*FirstDecider)(nil)
+
+// NewFirstDecider constructs the app for one process.
+func NewFirstDecider(model.ProcID) sched.App {
+	return &FirstDecider{}
+}
+
+// Init implements sched.App: broadcast the proposal.
+func (a *FirstDecider) Init(env sched.AppEnv, input model.Value) {
+	env.Broadcast(model.Payload(input))
+}
+
+// OnDeliver implements sched.App: the first delivery decides.
+func (a *FirstDecider) OnDeliver(env sched.AppEnv, from model.ProcID, msg model.MsgID, payload model.Payload) {
+	if a.decided {
+		return
+	}
+	a.decided = true
+	env.Decide(model.Value(payload))
+}
+
+// OnReturn implements sched.App.
+func (a *FirstDecider) OnReturn(sched.AppEnv, model.MsgID) {}
+
+// DepthDecider is a k-SA solver that stretches its decision point: it
+// broadcasts its proposal depth times (pipelined on returns, all carrying
+// the proposal as content) and decides the content of its first delivery
+// only once depth messages have been delivered. Functionally it solves
+// k-SA exactly like FirstDecider; its purpose is to force N_i = depth > 1
+// in the solo runs, so the Theorem 1 pipeline (internal/core) exercises
+// the multi-message branch of Lemma 9's substitution.
+type DepthDecider struct {
+	depth     int
+	sent      int
+	delivered int
+	first     model.Value
+	haveFirst bool
+	decided   bool
+	input     model.Value
+}
+
+var _ sched.App = (*DepthDecider)(nil)
+
+// NewDepthDecider returns a factory for solvers of the given depth
+// (depth >= 1; 1 behaves like FirstDecider).
+func NewDepthDecider(depth int) func(model.ProcID) sched.App {
+	return func(model.ProcID) sched.App {
+		return &DepthDecider{depth: depth}
+	}
+}
+
+// Init implements sched.App.
+func (a *DepthDecider) Init(env sched.AppEnv, input model.Value) {
+	a.input = input
+	a.sent = 1
+	env.Broadcast(model.Payload(input))
+}
+
+// OnDeliver implements sched.App.
+func (a *DepthDecider) OnDeliver(env sched.AppEnv, from model.ProcID, msg model.MsgID, payload model.Payload) {
+	if !a.haveFirst {
+		a.haveFirst = true
+		a.first = model.Value(payload)
+	}
+	a.delivered++
+	if !a.decided && a.delivered >= a.depth {
+		a.decided = true
+		env.Decide(a.first)
+	}
+}
+
+// OnReturn implements sched.App: pipeline the next copy.
+func (a *DepthDecider) OnReturn(env sched.AppEnv, _ model.MsgID) {
+	if a.sent < a.depth {
+		a.sent++
+		env.Broadcast(model.Payload(a.input))
+	}
+}
+
+// Flooder is a load-generating app used by benchmarks and composition
+// examples: it broadcasts Count messages, the next one as soon as the
+// previous invocation returns, and never decides.
+type Flooder struct {
+	id     model.ProcID
+	prefix string
+	count  int
+	sent   int
+}
+
+var _ sched.App = (*Flooder)(nil)
+
+// NewFlooder returns a factory producing flooders broadcasting count
+// messages tagged with the prefix.
+func NewFlooder(prefix string, count int) func(model.ProcID) sched.App {
+	return func(id model.ProcID) sched.App {
+		return &Flooder{id: id, prefix: prefix, count: count}
+	}
+}
+
+// Init implements sched.App.
+func (f *Flooder) Init(env sched.AppEnv, _ model.Value) {
+	f.next(env)
+}
+
+func (f *Flooder) next(env sched.AppEnv) {
+	if f.sent >= f.count {
+		return
+	}
+	f.sent++
+	env.Broadcast(model.Payload(f.prefix))
+}
+
+// OnDeliver implements sched.App.
+func (f *Flooder) OnDeliver(sched.AppEnv, model.ProcID, model.MsgID, model.Payload) {}
+
+// OnReturn implements sched.App: pipeline the next broadcast.
+func (f *Flooder) OnReturn(env sched.AppEnv, _ model.MsgID) {
+	f.next(env)
+}

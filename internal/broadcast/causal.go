@@ -1,0 +1,114 @@
+package broadcast
+
+import (
+	"nobroadcast/internal/model"
+	"nobroadcast/internal/sched"
+	"nobroadcast/internal/vc"
+)
+
+// Causal implements causal broadcast in the style of Raynal, Schiper and
+// Toueg [24]: reliable diffusion where every message carries a vector
+// clock, and delivery is gated until all causal predecessors have been
+// delivered locally.
+//
+// The clock C attached to a message m from origin o reads: C[o] is the
+// number of messages o broadcast before m, and C[j] (j ≠ o) is the number
+// of j's messages o had delivered before broadcasting m. A process q
+// delivers m once q's per-origin delivered counts D satisfy D[o] = C[o]
+// and D[j] ≥ C[j] for all j ≠ o.
+type Causal struct {
+	id model.ProcID
+	n  int
+	// delivered[j] counts messages from p_j delivered locally.
+	delivered vc.VC
+	// broadcasts counts local broadcast invocations.
+	broadcasts uint64
+	seen       map[model.MsgID]bool
+	pending    []Frame
+}
+
+var _ sched.Automaton = (*Causal)(nil)
+
+// NewCausal constructs the automaton for one process.
+func NewCausal(id model.ProcID) sched.Automaton {
+	return &Causal{id: id, seen: make(map[model.MsgID]bool)}
+}
+
+// Init implements sched.Automaton.
+func (c *Causal) Init(env *sched.Env) {
+	c.n = env.N()
+	c.delivered = vc.New(env.N())
+}
+
+// OnBroadcast implements sched.Automaton.
+func (c *Causal) OnBroadcast(env *sched.Env, msg model.MsgID, payload model.Payload) {
+	clock := c.delivered.Clone()
+	clock[c.id-1] = c.broadcasts
+	c.broadcasts++
+	env.SendAll(encodeFrame(Frame{
+		T: "msg", Origin: env.ID(), Msg: msg, Content: payload, Clock: clock.Encode(),
+	}))
+	env.ReturnBroadcast(msg)
+}
+
+// OnReceive implements sched.Automaton.
+func (c *Causal) OnReceive(env *sched.Env, from model.ProcID, payload model.Payload) {
+	fr, err := decodeFrame(payload)
+	if err != nil || (fr.T != "msg" && fr.T != "echo") || !fr.validOrigin(env.N()) {
+		return
+	}
+	if c.seen[fr.Msg] {
+		return
+	}
+	c.seen[fr.Msg] = true
+	env.SendAll(encodeFrame(Frame{
+		T: "echo", Origin: fr.Origin, Msg: fr.Msg, Content: fr.Content, Clock: fr.Clock,
+	}))
+	c.pending = append(c.pending, fr)
+	c.drain(env)
+}
+
+// deliverable reports whether the frame's causal predecessors have all
+// been delivered locally.
+func (c *Causal) deliverable(fr Frame) bool {
+	clock, err := vc.Decode(fr.Clock)
+	if err != nil {
+		return false // malformed clock: never deliverable, never blocks others
+	}
+	for j := 1; j <= c.n; j++ {
+		cj := clock.Get(j)
+		dj := c.delivered.Get(j)
+		if model.ProcID(j) == fr.Origin {
+			if dj != cj {
+				return false
+			}
+		} else if dj < cj {
+			return false
+		}
+	}
+	return true
+}
+
+// drain repeatedly delivers pending deliverable frames until a fixpoint.
+func (c *Causal) drain(env *sched.Env) {
+	for {
+		progress := false
+		for i := 0; i < len(c.pending); i++ {
+			fr := c.pending[i]
+			if !c.deliverable(fr) {
+				continue
+			}
+			c.pending = append(c.pending[:i], c.pending[i+1:]...)
+			c.delivered.Tick(int(fr.Origin))
+			env.Deliver(fr.Msg, fr.Origin, fr.Content)
+			progress = true
+			break
+		}
+		if !progress {
+			return
+		}
+	}
+}
+
+// OnDecide implements sched.Automaton. Causal uses no k-SA object.
+func (c *Causal) OnDecide(*sched.Env, model.KSAID, model.Value) {}

@@ -1,0 +1,81 @@
+package broadcast
+
+import (
+	"nobroadcast/internal/model"
+	"nobroadcast/internal/sched"
+)
+
+// FIFO implements FIFO broadcast [3, 24]: reliable diffusion plus
+// per-sender sequence numbers. A message carrying sequence number s from
+// origin o is buffered until the s-1 previous messages of o have been
+// delivered, so deliveries respect each sender's broadcast order.
+type FIFO struct {
+	seen map[model.MsgID]bool
+	// next[o] is the sequence number of o's next deliverable message.
+	next map[model.ProcID]int
+	// buffer[o][s] holds o's message with sequence number s, received but
+	// not yet deliverable.
+	buffer map[model.ProcID]map[int]Frame
+	// seq is the local broadcast counter.
+	seq int
+}
+
+var _ sched.Automaton = (*FIFO)(nil)
+
+// NewFIFO constructs the automaton for one process.
+func NewFIFO(model.ProcID) sched.Automaton {
+	return &FIFO{
+		seen:   make(map[model.MsgID]bool),
+		next:   make(map[model.ProcID]int),
+		buffer: make(map[model.ProcID]map[int]Frame),
+	}
+}
+
+// Init implements sched.Automaton.
+func (f *FIFO) Init(*sched.Env) {}
+
+// OnBroadcast implements sched.Automaton.
+func (f *FIFO) OnBroadcast(env *sched.Env, msg model.MsgID, payload model.Payload) {
+	f.seq++
+	env.SendAll(encodeFrame(Frame{T: "msg", Origin: env.ID(), Msg: msg, Seq: f.seq, Content: payload}))
+	env.ReturnBroadcast(msg)
+}
+
+// OnReceive implements sched.Automaton.
+func (f *FIFO) OnReceive(env *sched.Env, from model.ProcID, payload model.Payload) {
+	fr, err := decodeFrame(payload)
+	if err != nil || (fr.T != "msg" && fr.T != "echo") || !fr.validOrigin(env.N()) {
+		return
+	}
+	if f.seen[fr.Msg] {
+		return
+	}
+	f.seen[fr.Msg] = true
+	env.SendAll(encodeFrame(Frame{T: "echo", Origin: fr.Origin, Msg: fr.Msg, Seq: fr.Seq, Content: fr.Content}))
+	buf := f.buffer[fr.Origin]
+	if buf == nil {
+		buf = make(map[int]Frame)
+		f.buffer[fr.Origin] = buf
+	}
+	buf[fr.Seq] = fr
+	f.drain(env, fr.Origin)
+}
+
+// drain delivers the origin's buffered messages while the next expected
+// sequence number is present.
+func (f *FIFO) drain(env *sched.Env, origin model.ProcID) {
+	buf := f.buffer[origin]
+	for {
+		want := f.next[origin] + 1 // sequence numbers start at 1
+		fr, ok := buf[want]
+		if !ok {
+			return
+		}
+		delete(buf, want)
+		f.next[origin] = want
+		env.Deliver(fr.Msg, fr.Origin, fr.Content)
+	}
+}
+
+// OnDecide implements sched.Automaton. FIFO uses no k-SA object.
+func (f *FIFO) OnDecide(*sched.Env, model.KSAID, model.Value) {}

@@ -1,0 +1,97 @@
+package broadcast
+
+import (
+	"nobroadcast/internal/model"
+	"nobroadcast/internal/sched"
+)
+
+// FirstK implements the one-shot strawman of Section 1.4: a single k-SA
+// object elects, among the candidate messages, the ones eligible for
+// initial delivery, so that at most k distinct messages are delivered
+// first across all processes. Subsequent messages are delivered in receipt
+// order (reliable diffusion). As the paper observes, the abstraction can
+// solve exactly one instance of k-SA (decide the first delivered value);
+// its ordering property is content-neutral but not compositional, which
+// internal/spec's symmetry testers demonstrate (experiment E4 bis).
+//
+// The election object is FirstKObject.
+type FirstK struct {
+	seen      map[model.MsgID]bool
+	delivered map[model.MsgID]bool
+	// buffered holds messages received before the first delivery.
+	buffered  []msgRec
+	proposed  bool
+	firstDone bool
+}
+
+// FirstKObject is the k-SA object identity used for the first-delivery
+// election.
+const FirstKObject model.KSAID = 1
+
+var _ sched.Automaton = (*FirstK)(nil)
+
+// NewFirstK constructs the automaton for one process.
+func NewFirstK(model.ProcID) sched.Automaton {
+	return &FirstK{
+		seen:      make(map[model.MsgID]bool),
+		delivered: make(map[model.MsgID]bool),
+	}
+}
+
+// Init implements sched.Automaton.
+func (f *FirstK) Init(*sched.Env) {}
+
+// OnBroadcast implements sched.Automaton.
+func (f *FirstK) OnBroadcast(env *sched.Env, msg model.MsgID, payload model.Payload) {
+	env.SendAll(encodeFrame(Frame{T: "msg", Origin: env.ID(), Msg: msg, Content: payload}))
+	env.ReturnBroadcast(msg)
+}
+
+// OnReceive implements sched.Automaton.
+func (f *FirstK) OnReceive(env *sched.Env, from model.ProcID, payload model.Payload) {
+	fr, err := decodeFrame(payload)
+	if err != nil || (fr.T != "msg" && fr.T != "echo") || !fr.validOrigin(env.N()) {
+		return
+	}
+	if f.seen[fr.Msg] {
+		return
+	}
+	f.seen[fr.Msg] = true
+	env.SendAll(encodeFrame(Frame{T: "echo", Origin: fr.Origin, Msg: fr.Msg, Content: fr.Content}))
+	rec := msgRec{Origin: fr.Origin, Msg: fr.Msg, Content: fr.Content}
+	if f.firstDone {
+		f.deliver(env, rec)
+		return
+	}
+	// Buffer in any case: if the election picks a different message, the
+	// candidate is still delivered right after the elected one.
+	f.buffered = append(f.buffered, rec)
+	if !f.proposed {
+		// First candidate: let the k-SA object elect the first delivery.
+		f.proposed = true
+		env.Propose(FirstKObject, encodeRecs([]msgRec{rec}))
+	}
+}
+
+// OnDecide implements sched.Automaton: the decided message is delivered
+// first, then the buffered backlog in receipt order.
+func (f *FirstK) OnDecide(env *sched.Env, obj model.KSAID, val model.Value) {
+	recs, err := decodeRecs(val)
+	if err != nil || len(recs) != 1 {
+		return
+	}
+	f.firstDone = true
+	f.deliver(env, recs[0])
+	for _, rec := range f.buffered {
+		f.deliver(env, rec)
+	}
+	f.buffered = nil
+}
+
+func (f *FirstK) deliver(env *sched.Env, rec msgRec) {
+	if f.delivered[rec.Msg] {
+		return
+	}
+	f.delivered[rec.Msg] = true
+	env.Deliver(rec.Msg, rec.Origin, rec.Content)
+}

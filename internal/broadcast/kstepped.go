@@ -1,0 +1,110 @@
+package broadcast
+
+import (
+	"nobroadcast/internal/model"
+	"nobroadcast/internal/sched"
+)
+
+// KStepped implements the iterated strawman of Section 3.2, k-Stepped
+// Broadcast: messages are grouped by their broadcast step index a (message
+// m is in S_a when it is the a-th message broadcast by its sender), and
+// for each a, a dedicated k-SA object elects the message a process must
+// deliver first within S_a. At most k distinct messages of each S_a are
+// therefore delivered first, which is exactly the k-stepped ordering
+// predicate — an ordering that characterizes iterated k-SA but, as the
+// paper shows and the symmetry testers confirm, is not compositional.
+//
+// The election object for step a is KSAID(a).
+type KStepped struct {
+	seen      map[model.MsgID]bool
+	delivered map[model.MsgID]bool
+	groups    map[int]*steppedGroup
+	// seq counts local broadcast invocations (the sender-side step index).
+	seq int
+}
+
+type steppedGroup struct {
+	proposed  bool
+	firstDone bool
+	buffered  []msgRec
+}
+
+var _ sched.Automaton = (*KStepped)(nil)
+
+// NewKStepped constructs the automaton for one process.
+func NewKStepped(model.ProcID) sched.Automaton {
+	return &KStepped{
+		seen:      make(map[model.MsgID]bool),
+		delivered: make(map[model.MsgID]bool),
+		groups:    make(map[int]*steppedGroup),
+	}
+}
+
+// Init implements sched.Automaton.
+func (s *KStepped) Init(*sched.Env) {}
+
+// OnBroadcast implements sched.Automaton.
+func (s *KStepped) OnBroadcast(env *sched.Env, msg model.MsgID, payload model.Payload) {
+	s.seq++
+	env.SendAll(encodeFrame(Frame{T: "msg", Origin: env.ID(), Msg: msg, Seq: s.seq, Content: payload}))
+	env.ReturnBroadcast(msg)
+}
+
+func (s *KStepped) group(a int) *steppedGroup {
+	g := s.groups[a]
+	if g == nil {
+		g = &steppedGroup{}
+		s.groups[a] = g
+	}
+	return g
+}
+
+// OnReceive implements sched.Automaton.
+func (s *KStepped) OnReceive(env *sched.Env, from model.ProcID, payload model.Payload) {
+	fr, err := decodeFrame(payload)
+	if err != nil || (fr.T != "msg" && fr.T != "echo") || fr.Seq < 1 || !fr.validOrigin(env.N()) {
+		return
+	}
+	if s.seen[fr.Msg] {
+		return
+	}
+	s.seen[fr.Msg] = true
+	env.SendAll(encodeFrame(Frame{T: "echo", Origin: fr.Origin, Msg: fr.Msg, Seq: fr.Seq, Content: fr.Content}))
+	rec := msgRec{Origin: fr.Origin, Msg: fr.Msg, Seq: fr.Seq, Content: fr.Content}
+	g := s.group(fr.Seq)
+	if g.firstDone {
+		s.deliver(env, rec)
+		return
+	}
+	// Buffer in any case: if the election picks a different message, the
+	// candidate is still delivered right after the elected one.
+	g.buffered = append(g.buffered, rec)
+	if !g.proposed {
+		g.proposed = true
+		env.Propose(model.KSAID(fr.Seq), encodeRecs([]msgRec{rec}))
+	}
+}
+
+// OnDecide implements sched.Automaton: the decided message is the first
+// delivery within its step group; the group's backlog follows.
+func (s *KStepped) OnDecide(env *sched.Env, obj model.KSAID, val model.Value) {
+	recs, err := decodeRecs(val)
+	if err != nil || len(recs) != 1 {
+		return
+	}
+	g := s.group(int(obj))
+	g.firstDone = true
+	s.deliver(env, recs[0])
+	for _, rec := range g.buffered {
+		s.deliver(env, rec)
+	}
+	g.buffered = nil
+}
+
+func (s *KStepped) deliver(env *sched.Env, rec msgRec) {
+	if s.delivered[rec.Msg] {
+		return
+	}
+	s.delivered[rec.Msg] = true
+	env.Deliver(rec.Msg, rec.Origin, rec.Content)
+}

@@ -1,0 +1,131 @@
+package broadcast
+
+import (
+	"nobroadcast/internal/model"
+	"nobroadcast/internal/sched"
+)
+
+// Mutual implements Mutual Broadcast [9], the abstraction computationally
+// equivalent to read/write registers, with a quorum-echo pattern:
+//
+//   - a broadcaster sends its message to all and waits for echoes from a
+//     majority of processes;
+//   - an echoer records the message in its echo log, delivers it if new,
+//     and returns an echo carrying ALL messages it has echoed so far;
+//   - before delivering its own message (and returning), the broadcaster
+//     first delivers every message learned from the received echoes.
+//
+// Two majorities intersect in some process r, and r echoed the two
+// messages in some order; its echo for the later one carries the earlier
+// one, so at least one of the two broadcasters delivers the other's
+// message before its own — the Mutual-Order property, the broadcast-level
+// reflection of register atomicity.
+//
+// The implementation requires a majority of correct processes (t < n/2),
+// exactly like register emulation in message passing. Under the paper's
+// wait-free model (t = n - 1) it cannot make solo progress: driving it
+// with the adversary of internal/adversary trips the Lemma 7 guard — a
+// faithful demonstration that Mutual Broadcast (and with it shared
+// memory) is out of reach when a majority may crash.
+type Mutual struct {
+	id model.ProcID
+	n  int
+	// delivered marks locally delivered messages.
+	delivered map[model.MsgID]bool
+	// echoed is the ordered log of messages this process has echoed.
+	echoed []msgRec
+	inLog  map[model.MsgID]bool
+	// echoes counts echo senders per own in-flight broadcast.
+	echoes map[model.MsgID]map[model.ProcID]bool
+	// learned accumulates the prior messages carried by echoes, in
+	// arrival order, per own in-flight broadcast.
+	learned map[model.MsgID][]msgRec
+	// pending holds the content of own in-flight broadcasts.
+	pending map[model.MsgID]model.Payload
+}
+
+var _ sched.Automaton = (*Mutual)(nil)
+
+// NewMutual constructs the automaton for one process.
+func NewMutual(id model.ProcID) sched.Automaton {
+	return &Mutual{
+		id:        id,
+		delivered: make(map[model.MsgID]bool),
+		inLog:     make(map[model.MsgID]bool),
+		echoes:    make(map[model.MsgID]map[model.ProcID]bool),
+		learned:   make(map[model.MsgID][]msgRec),
+		pending:   make(map[model.MsgID]model.Payload),
+	}
+}
+
+// Init implements sched.Automaton.
+func (m *Mutual) Init(env *sched.Env) { m.n = env.N() }
+
+// majority is the quorum size.
+func (m *Mutual) majority() int { return m.n/2 + 1 }
+
+// OnBroadcast implements sched.Automaton: diffuse and await a majority of
+// echoes before delivering locally and returning.
+func (m *Mutual) OnBroadcast(env *sched.Env, msg model.MsgID, payload model.Payload) {
+	m.pending[msg] = payload
+	m.echoes[msg] = make(map[model.ProcID]bool, m.n)
+	env.SendAll(encodeFrame(Frame{T: "msg", Origin: env.ID(), Msg: msg, Content: payload}))
+}
+
+// OnReceive implements sched.Automaton.
+func (m *Mutual) OnReceive(env *sched.Env, from model.ProcID, payload model.Payload) {
+	fr, err := decodeFrame(payload)
+	if err != nil || !fr.validOrigin(env.N()) {
+		return
+	}
+	switch fr.T {
+	case "msg":
+		rec := msgRec{Origin: fr.Origin, Msg: fr.Msg, Content: fr.Content}
+		if !m.inLog[fr.Msg] {
+			m.inLog[fr.Msg] = true
+			m.echoed = append(m.echoed, rec)
+		}
+		// Others' messages deliver on receipt; one's own message only
+		// delivers at its echo quorum.
+		if fr.Origin != m.id {
+			m.deliver(env, rec)
+		}
+		// The echo carries everything echoed so far (including rec).
+		prior := make([]msgRec, len(m.echoed))
+		copy(prior, m.echoed)
+		env.Send(fr.Origin, encodeFrame(Frame{T: "echo", Origin: m.id, Msg: fr.Msg, Prior: prior}))
+	case "echo":
+		set, mine := m.echoes[fr.Msg]
+		if !mine {
+			return
+		}
+		set[fr.Origin] = true
+		m.learned[fr.Msg] = append(m.learned[fr.Msg], fr.Prior...)
+		if len(set) >= m.majority() {
+			// Quorum: deliver everything learned — skipping one's own
+			// message, which echoes carry back — then the own message.
+			for _, rec := range m.learned[fr.Msg] {
+				if rec.Origin == m.id {
+					continue
+				}
+				m.deliver(env, rec)
+			}
+			m.deliver(env, msgRec{Origin: m.id, Msg: fr.Msg, Content: m.pending[fr.Msg]})
+			env.ReturnBroadcast(fr.Msg)
+			delete(m.pending, fr.Msg)
+			delete(m.echoes, fr.Msg)
+			delete(m.learned, fr.Msg)
+		}
+	}
+}
+
+func (m *Mutual) deliver(env *sched.Env, rec msgRec) {
+	if m.delivered[rec.Msg] {
+		return
+	}
+	m.delivered[rec.Msg] = true
+	env.Deliver(rec.Msg, rec.Origin, rec.Content)
+}
+
+// OnDecide implements sched.Automaton. Mutual uses no k-SA object.
+func (m *Mutual) OnDecide(*sched.Env, model.KSAID, model.Value) {}

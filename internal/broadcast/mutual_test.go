@@ -1,0 +1,248 @@
+package broadcast_test
+
+import (
+	"fmt"
+	"testing"
+
+	"nobroadcast/internal/broadcast"
+	"nobroadcast/internal/model"
+	"nobroadcast/internal/sched"
+	"nobroadcast/internal/spec"
+	"nobroadcast/internal/trace"
+)
+
+// TestMutualOrderHolds: the quorum-echo implementation preserves the
+// mutual ordering property across many adversarial random schedules —
+// including schedules that delay the direct msg frames arbitrarily (the
+// scenario that breaks a naive majority-ack design).
+func TestMutualOrderHolds(t *testing.T) {
+	for _, n := range []int{2, 3, 5} {
+		for seed := uint64(1); seed <= 30; seed++ {
+			c, err := broadcast.Lookup("mutual")
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr := runCandidate(t, c, n, 1, sched.RunOptions{
+				Seed:       seed,
+				Broadcasts: stdBroadcasts(n, 2),
+			}, false)
+			if !tr.Complete {
+				t.Fatalf("n=%d seed=%d: incomplete", n, seed)
+			}
+			if v := spec.MutualBroadcast().Check(tr); v != nil {
+				t.Errorf("n=%d seed=%d: %s", n, seed, v)
+			}
+		}
+	}
+}
+
+// TestMutualToleratesMinorityCrashes: with a correct majority, broadcasts
+// of correct processes still return and deliver everywhere correct.
+func TestMutualToleratesMinorityCrashes(t *testing.T) {
+	c, err := broadcast.Lookup("mutual")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := uint64(1); seed <= 10; seed++ {
+		tr := runCandidate(t, c, 5, 1, sched.RunOptions{
+			Seed:       seed,
+			Broadcasts: stdBroadcasts(5, 1),
+			CrashAt:    map[int]model.ProcID{8: 4, 15: 5},
+		}, false)
+		if !tr.Complete {
+			t.Fatalf("seed %d: incomplete", seed)
+		}
+		if v := spec.MutualBroadcast().Check(tr); v != nil {
+			t.Errorf("seed %d: %s", seed, v)
+		}
+	}
+}
+
+// TestMutualBlocksWithoutMajority: with a majority crashed, a broadcast
+// cannot return — the run stalls incomplete rather than violating safety.
+// This is the t < n/2 requirement of register emulation made visible.
+func TestMutualBlocksWithoutMajority(t *testing.T) {
+	c, err := broadcast.Lookup("mutual")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := sched.New(sched.Config{N: 3, NewAutomaton: c.NewAutomaton})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Crash(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Crash(3); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := rt.RunFair(sched.RunOptions{
+		Broadcasts: []sched.BroadcastReq{{Proc: 1, Payload: "stuck"}},
+		MaxEvents:  5000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := trace.BuildIndex(tr)
+	if _, delivered := ix.DeliveryPos[1][1]; delivered {
+		t.Error("p1 delivered its own message without a quorum")
+	}
+	// Safety still intact on the stalled run.
+	if v := spec.MutualOrder().Check(tr); v != nil {
+		t.Error(v)
+	}
+	// Liveness genuinely fails: with a crashed majority the broadcast can
+	// never return — exactly the t < n/2 lower bound for register-strength
+	// abstractions, reported by the checker as a termination violation.
+	v := spec.BasicBroadcast().Check(tr)
+	if v == nil || v.Property != "BC-Local-Termination" {
+		t.Errorf("expected BC-Local-Termination violation for the majority-crash stall, got %v", v)
+	}
+}
+
+// TestReliableIsUniform: the echo-before-deliver pattern makes Reliable
+// uniformly reliable — even when the sender crashes mid-broadcast, either
+// nobody delivers or all correct processes do. SendToAll, by contrast, is
+// provably not uniform: a partial send crash makes one process deliver
+// and leaves the others empty-handed.
+func TestReliableIsUniform(t *testing.T) {
+	for seed := uint64(1); seed <= 12; seed++ {
+		for crashAt := 0; crashAt < 8; crashAt++ {
+			rt, err := sched.New(sched.Config{N: 3, NewAutomaton: broadcast.NewReliable})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr, err := rt.RunRandom(sched.RunOptions{
+				Seed:       seed,
+				Broadcasts: []sched.BroadcastReq{{Proc: 1, Payload: "u"}},
+				CrashAt:    map[int]model.ProcID{crashAt: 1},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !tr.Complete {
+				t.Fatal("incomplete")
+			}
+			if v := spec.UniformReliable().Check(tr); v != nil {
+				t.Errorf("seed=%d crash@%d: %s", seed, crashAt, v)
+			}
+		}
+	}
+}
+
+// TestSendToAllNotUniform: crash the sender between its send actions so
+// that the message reaches p2 but never p3 — p2 delivers, p3 cannot, and
+// uniformity is violated while the plain (CS) spec tolerates it.
+func TestSendToAllNotUniform(t *testing.T) {
+	rt, err := sched.New(sched.Config{N: 3, NewAutomaton: broadcast.NewSendToAll})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.InvokeBroadcast(1, "partial"); err != nil {
+		t.Fatal(err)
+	}
+	// Queue: send(p1), send(p2), send(p3), return. Execute the self-send
+	// and the send to p2, deliver the latter at p2, then crash p1 before
+	// the send to p3 executes.
+	var toP2 model.MsgID
+	for i := 0; i < 2; i++ {
+		step, ok, err := rt.ExecNext(1)
+		if err != nil || !ok || step.Kind != model.KindSend {
+			t.Fatalf("unexpected action %d: %v %v %v", i, step, ok, err)
+		}
+		if step.Peer == 2 {
+			toP2 = step.Msg
+		}
+	}
+	if toP2 == model.NoMsg {
+		t.Fatal("send to p2 not observed")
+	}
+	if _, err := rt.ReceiveInstance(toP2); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Crash(1); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := rt.RunFair(sched.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Complete {
+		t.Fatal("incomplete")
+	}
+	ix := trace.BuildIndex(tr)
+	if len(ix.Deliveries[2]) != 1 {
+		t.Fatalf("p2 should have delivered the message: %v", ix.Deliveries[2])
+	}
+	if len(ix.Deliveries[3]) != 0 {
+		t.Fatalf("p3 cannot have delivered: %v", ix.Deliveries[3])
+	}
+	v := spec.UniformReliable().Check(tr)
+	if v == nil || v.Property != "BC-Uniform-Termination" {
+		t.Fatalf("expected uniform-termination violation, got %v", v)
+	}
+	// The plain spec is satisfied: the sender was faulty, so its message
+	// is exempt from the CS-termination guarantee.
+	if v := spec.BasicBroadcast().Check(tr); v != nil {
+		t.Errorf("plain reliable spec should tolerate this: %s", v)
+	}
+}
+
+// TestMutualDeliversAtCorrectProcesses: content and origins survive the
+// quorum-echo path (learned deliveries carry full records).
+func TestMutualDeliversAtCorrectProcesses(t *testing.T) {
+	c, err := broadcast.Lookup("mutual")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := runCandidate(t, c, 3, 1, sched.RunOptions{
+		Seed: 3,
+		Broadcasts: []sched.BroadcastReq{
+			{Proc: 1, Payload: "alpha"},
+			{Proc: 2, Payload: "beta"},
+		},
+	}, false)
+	if !tr.Complete {
+		t.Fatal("incomplete")
+	}
+	ix := trace.BuildIndex(tr)
+	for p := 1; p <= 3; p++ {
+		pid := model.ProcID(p)
+		if got := len(ix.Deliveries[pid]); got != 2 {
+			t.Errorf("p%d delivered %d messages, want 2", p, got)
+		}
+	}
+	for m, info := range ix.Broadcasts {
+		if ix.DeliverOrigin[m] != info.From {
+			t.Errorf("m%d origin recorded as %v, broadcast by %v", m, ix.DeliverOrigin[m], info.From)
+		}
+	}
+	if v := spec.Channels().Check(tr); v != nil {
+		t.Error(v)
+	}
+}
+
+// TestMutualEchoPriorGrows: later echoes carry earlier messages — the
+// mechanism behind the quorum-intersection argument, verified through the
+// observable effect: across many seeds, whenever two processes broadcast
+// concurrently, at least one delivers the other's message before its own.
+func TestMutualEchoPriorGrows(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		c, _ := broadcast.Lookup("mutual")
+		tr := runCandidate(t, c, 3, 1, sched.RunOptions{
+			Seed: seed,
+			Broadcasts: []sched.BroadcastReq{
+				{Proc: 1, Payload: model.Payload(fmt.Sprintf("a%d", seed))},
+				{Proc: 2, Payload: model.Payload(fmt.Sprintf("b%d", seed))},
+			},
+		}, false)
+		ix := trace.BuildIndex(tr)
+		m1 := ix.BroadcastSeq[1][0]
+		m2 := ix.BroadcastSeq[2][0]
+		p1OwnFirst := ix.DeliveryPos[1][m1] < ix.DeliveryPos[1][m2]
+		p2OwnFirst := ix.DeliveryPos[2][m2] < ix.DeliveryPos[2][m1]
+		if p1OwnFirst && p2OwnFirst {
+			t.Errorf("seed %d: both broadcasters delivered their own message first", seed)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package broadcast
+
+import (
+	"nobroadcast/internal/model"
+	"nobroadcast/internal/sched"
+	"nobroadcast/internal/spec"
+)
+
+// SATagged implements the non-content-neutral strawman of Section 3.3: the
+// ordering property applies only to messages of the special form
+// SA(ksa, v). Plain messages diffuse and deliver immediately; for each ksa
+// identifier, a dedicated k-SA election object picks the SA(ksa, _)
+// message each process must deliver first among the SA(ksa, _) messages.
+//
+// The abstraction is compositional (the predicate is evaluated identically
+// on any message subset) but not content-neutral: renaming plain messages
+// into SA tags, or tags into plain payloads, changes which executions are
+// admissible — which is exactly what the Theorem 1 pipeline exhibits for
+// it (outcome: not content-neutral).
+//
+// The election object for tag identifier ksa is ElectionBase + ksa.
+type SATagged struct {
+	seen      map[model.MsgID]bool
+	delivered map[model.MsgID]bool
+	elections map[model.KSAID]*saElection
+}
+
+type saElection struct {
+	proposed  bool
+	firstDone bool
+	buffered  []msgRec
+}
+
+// ElectionBase offsets election object identifiers away from the small
+// integers used by round-based automata.
+const ElectionBase model.KSAID = 100
+
+var _ sched.Automaton = (*SATagged)(nil)
+
+// NewSATagged constructs the automaton for one process.
+func NewSATagged(model.ProcID) sched.Automaton {
+	return &SATagged{
+		seen:      make(map[model.MsgID]bool),
+		delivered: make(map[model.MsgID]bool),
+		elections: make(map[model.KSAID]*saElection),
+	}
+}
+
+// Init implements sched.Automaton.
+func (s *SATagged) Init(*sched.Env) {}
+
+// OnBroadcast implements sched.Automaton.
+func (s *SATagged) OnBroadcast(env *sched.Env, msg model.MsgID, payload model.Payload) {
+	env.SendAll(encodeFrame(Frame{T: "msg", Origin: env.ID(), Msg: msg, Content: payload}))
+	env.ReturnBroadcast(msg)
+}
+
+// OnReceive implements sched.Automaton.
+func (s *SATagged) OnReceive(env *sched.Env, from model.ProcID, payload model.Payload) {
+	fr, err := decodeFrame(payload)
+	if err != nil || (fr.T != "msg" && fr.T != "echo") || !fr.validOrigin(env.N()) {
+		return
+	}
+	if s.seen[fr.Msg] {
+		return
+	}
+	s.seen[fr.Msg] = true
+	env.SendAll(encodeFrame(Frame{T: "echo", Origin: fr.Origin, Msg: fr.Msg, Content: fr.Content}))
+	rec := msgRec{Origin: fr.Origin, Msg: fr.Msg, Content: fr.Content}
+	obj, _, tagged := spec.ParseSATag(fr.Content)
+	if !tagged {
+		// Plain content: the ordering property does not apply.
+		s.deliver(env, rec)
+		return
+	}
+	el := s.elections[obj]
+	if el == nil {
+		el = &saElection{}
+		s.elections[obj] = el
+	}
+	if el.firstDone {
+		s.deliver(env, rec)
+		return
+	}
+	el.buffered = append(el.buffered, rec)
+	if !el.proposed {
+		el.proposed = true
+		env.Propose(ElectionBase+obj, encodeRecs([]msgRec{rec}))
+	}
+}
+
+// OnDecide implements sched.Automaton: the elected SA(ksa, _) message is
+// delivered first among its tag group, then the group's backlog.
+func (s *SATagged) OnDecide(env *sched.Env, obj model.KSAID, val model.Value) {
+	recs, err := decodeRecs(val)
+	if err != nil || len(recs) != 1 {
+		return
+	}
+	el := s.elections[obj-ElectionBase]
+	if el == nil {
+		el = &saElection{}
+		s.elections[obj-ElectionBase] = el
+	}
+	el.firstDone = true
+	s.deliver(env, recs[0])
+	for _, rec := range el.buffered {
+		s.deliver(env, rec)
+	}
+	el.buffered = nil
+}
+
+func (s *SATagged) deliver(env *sched.Env, rec msgRec) {
+	if s.delivered[rec.Msg] {
+		return
+	}
+	s.delivered[rec.Msg] = true
+	env.Deliver(rec.Msg, rec.Origin, rec.Content)
+}
+
+// SATagDecider is the k-SA solver matching SATagged: it broadcasts its
+// proposal wrapped in an SA(1, v) tag and decides the value of the first
+// SA(1, _) message delivered.
+type SATagDecider struct {
+	decided bool
+}
+
+var _ sched.App = (*SATagDecider)(nil)
+
+// NewSATagDecider constructs the app for one process.
+func NewSATagDecider(model.ProcID) sched.App {
+	return &SATagDecider{}
+}
+
+// Init implements sched.App.
+func (a *SATagDecider) Init(env sched.AppEnv, input model.Value) {
+	env.Broadcast(spec.SATag(1, input))
+}
+
+// OnDeliver implements sched.App.
+func (a *SATagDecider) OnDeliver(env sched.AppEnv, from model.ProcID, msg model.MsgID, payload model.Payload) {
+	if a.decided {
+		return
+	}
+	obj, v, ok := spec.ParseSATag(payload)
+	if !ok || obj != 1 {
+		return
+	}
+	a.decided = true
+	env.Decide(v)
+}
+
+// OnReturn implements sched.App.
+func (a *SATagDecider) OnReturn(sched.AppEnv, model.MsgID) {}

@@ -1,0 +1,91 @@
+package broadcast
+
+import (
+	"nobroadcast/internal/model"
+	"nobroadcast/internal/sched"
+)
+
+// SendToAll is the basic broadcast abstraction of Section 3.1: broadcast
+// sends the message to every process (including the sender) and returns;
+// delivery happens on receipt. It satisfies exactly the four universal
+// properties — BC-Validity, BC-No-Duplication, BC-Local-Termination, and
+// BC-Global-CS-Termination — and nothing more: a sender that crashes
+// mid-broadcast may be delivered by some processes and not others.
+type SendToAll struct {
+	delivered map[model.MsgID]bool
+}
+
+var _ sched.Automaton = (*SendToAll)(nil)
+
+// NewSendToAll constructs the automaton for one process.
+func NewSendToAll(model.ProcID) sched.Automaton {
+	return &SendToAll{delivered: make(map[model.MsgID]bool)}
+}
+
+// Init implements sched.Automaton.
+func (s *SendToAll) Init(*sched.Env) {}
+
+// OnBroadcast implements sched.Automaton.
+func (s *SendToAll) OnBroadcast(env *sched.Env, msg model.MsgID, payload model.Payload) {
+	env.SendAll(encodeFrame(Frame{T: "msg", Origin: env.ID(), Msg: msg, Content: payload}))
+	env.ReturnBroadcast(msg)
+}
+
+// OnReceive implements sched.Automaton.
+func (s *SendToAll) OnReceive(env *sched.Env, from model.ProcID, payload model.Payload) {
+	f, err := decodeFrame(payload)
+	if err != nil || f.T != "msg" || !f.validOrigin(env.N()) {
+		return
+	}
+	if s.delivered[f.Msg] {
+		return
+	}
+	s.delivered[f.Msg] = true
+	env.Deliver(f.Msg, f.Origin, f.Content)
+}
+
+// OnDecide implements sched.Automaton. SendToAll uses no k-SA object.
+func (s *SendToAll) OnDecide(*sched.Env, model.KSAID, model.Value) {}
+
+// Reliable is the echo-based reliable broadcast [13]: every process
+// re-diffuses the first copy of each message it receives before delivering
+// it, so if any correct process delivers a message, all correct processes
+// do — even when the sender crashes mid-broadcast.
+type Reliable struct {
+	seen map[model.MsgID]bool
+}
+
+var _ sched.Automaton = (*Reliable)(nil)
+
+// NewReliable constructs the automaton for one process.
+func NewReliable(model.ProcID) sched.Automaton {
+	return &Reliable{seen: make(map[model.MsgID]bool)}
+}
+
+// Init implements sched.Automaton.
+func (r *Reliable) Init(*sched.Env) {}
+
+// OnBroadcast implements sched.Automaton.
+func (r *Reliable) OnBroadcast(env *sched.Env, msg model.MsgID, payload model.Payload) {
+	env.SendAll(encodeFrame(Frame{T: "msg", Origin: env.ID(), Msg: msg, Content: payload}))
+	env.ReturnBroadcast(msg)
+}
+
+// OnReceive implements sched.Automaton.
+func (r *Reliable) OnReceive(env *sched.Env, from model.ProcID, payload model.Payload) {
+	f, err := decodeFrame(payload)
+	if err != nil || (f.T != "msg" && f.T != "echo") || !f.validOrigin(env.N()) {
+		return
+	}
+	if r.seen[f.Msg] {
+		return
+	}
+	r.seen[f.Msg] = true
+	// Echo before delivering: once delivered anywhere, the message is on
+	// its way to every correct process.
+	env.SendAll(encodeFrame(Frame{T: "echo", Origin: f.Origin, Msg: f.Msg, Content: f.Content}))
+	env.Deliver(f.Msg, f.Origin, f.Content)
+}
+
+// OnDecide implements sched.Automaton. Reliable uses no k-SA object.
+func (r *Reliable) OnDecide(*sched.Env, model.KSAID, model.Value) {}

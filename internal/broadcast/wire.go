@@ -1,0 +1,106 @@
+// Package broadcast implements the candidate broadcast abstractions as
+// deterministic automata in the model CAMP_n[k-SA]:
+//
+//   - SendToAll: the basic broadcast (Section 3.1), send to all and
+//     deliver on receipt.
+//   - Reliable: crash-tolerant reliable broadcast by message echo [13].
+//   - FIFO: reliable diffusion plus per-sender sequence numbers [3, 24].
+//   - Causal: reliable diffusion plus vector-clock gating [3, 24].
+//   - TotalOrder: rounds of consensus (1-SA objects) on pending message
+//     sets — the abstraction equivalent to consensus [7, 21].
+//   - FirstK: the one-shot strawman of Section 1.4 — a single k-SA object
+//     elects the messages eligible for first delivery.
+//   - KStepped: the iterated strawman of Section 3.2 — one k-SA object
+//     per step index a elects the first delivery within each set S_a.
+//   - KBOAttempt: a natural but necessarily doomed attempt to implement
+//     k-Bounded Order Broadcast [15] on k-SA objects in message passing —
+//     the paper's corollary says no correct such implementation exists,
+//     and the adversary of internal/adversary exhibits each attempt's
+//     failure.
+//
+// All automata exchange JSON-encoded wire frames over the point-to-point
+// network and are deterministic, as the runtime requires.
+package broadcast
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"nobroadcast/internal/model"
+)
+
+// Frame is the wire format shared by the automata. Type tags:
+//
+//	"msg"  — diffusion of a broadcast message
+//	"echo" — reliable re-diffusion
+type Frame struct {
+	T       string        `json:"t"`
+	Origin  model.ProcID  `json:"o"`
+	Msg     model.MsgID   `json:"m"`
+	Seq     int           `json:"s,omitempty"`
+	Content model.Payload `json:"c"`
+	Clock   string        `json:"vc,omitempty"`
+	// Prior carries previously-echoed messages (Mutual broadcast echoes).
+	Prior []msgRec `json:"p,omitempty"`
+}
+
+// encodeFrame serializes a frame into a network payload. Marshalling a
+// Frame cannot fail; the function is total.
+func encodeFrame(f Frame) model.Payload {
+	b, err := json.Marshal(f)
+	if err != nil {
+		// Frame contains only marshalable field types; this is untestable
+		// but kept as a guard against future field additions.
+		panic(fmt.Sprintf("broadcast: marshal frame: %v", err))
+	}
+	return model.Payload(b)
+}
+
+// decodeFrame parses a network payload into a frame.
+func decodeFrame(p model.Payload) (Frame, error) {
+	var f Frame
+	if err := json.Unmarshal([]byte(p), &f); err != nil {
+		return Frame{}, fmt.Errorf("broadcast: decode frame: %w", err)
+	}
+	return f, nil
+}
+
+// validOrigin reports whether the frame's origin identifies a process of
+// an n-process system and its message id is plausible. Automata drop
+// frames that fail it: on the reliable network of the model such frames
+// cannot occur, and a malformed frame must never corrupt automaton state
+// (found by FuzzAutomataOnGarbage).
+func (f Frame) validOrigin(n int) bool {
+	return f.Origin >= 1 && int(f.Origin) <= n && f.Msg > 0
+}
+
+// msgRec identifies a broadcast message inside k-SA proposal values.
+type msgRec struct {
+	Origin  model.ProcID  `json:"o"`
+	Msg     model.MsgID   `json:"m"`
+	Seq     int           `json:"s,omitempty"`
+	Content model.Payload `json:"c"`
+}
+
+// encodeRecs serializes a deterministic, id-sorted message list into a
+// k-SA value.
+func encodeRecs(recs []msgRec) model.Value {
+	sorted := make([]msgRec, len(recs))
+	copy(sorted, recs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Msg < sorted[j].Msg })
+	b, err := json.Marshal(sorted)
+	if err != nil {
+		panic(fmt.Sprintf("broadcast: marshal recs: %v", err))
+	}
+	return model.Value(b)
+}
+
+// decodeRecs parses a k-SA value produced by encodeRecs.
+func decodeRecs(v model.Value) ([]msgRec, error) {
+	var recs []msgRec
+	if err := json.Unmarshal([]byte(v), &recs); err != nil {
+		return nil, fmt.Errorf("broadcast: decode recs: %w", err)
+	}
+	return recs, nil
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+
+	"nobroadcast/internal/model"
+	"nobroadcast/internal/sched"
+	"nobroadcast/internal/trace"
+)
+
+// This file implements the replay step of Lemma 9: running the solver 𝓐
+// deterministically against the broadcast events a given execution assigns
+// to one process. Because 𝓐 is deterministic and only observes broadcast
+// events, executions with identical per-process event sequences are
+// indistinguishable to it — replaying δ reproduces the solo-run behavior.
+
+// replayEnv adapts a fixed event trace to the sched.AppEnv interface.
+type replayEnv struct {
+	id model.ProcID
+	n  int
+	// invokes are the broadcast invocations the trace attributes to the
+	// process, matched in order against the app's Broadcast calls.
+	invokes []model.Step
+	next    int
+	// extra counts Broadcast calls beyond the trace's invocations (legal:
+	// the trace may be a restriction that dropped later messages).
+	extra   int
+	decided bool
+	dec     model.Value
+	err     error
+}
+
+var _ sched.AppEnv = (*replayEnv)(nil)
+
+func (e *replayEnv) ID() model.ProcID { return e.id }
+func (e *replayEnv) N() int           { return e.n }
+
+// Broadcast matches the app's invocation against the trace.
+func (e *replayEnv) Broadcast(payload model.Payload) {
+	if e.next >= len(e.invokes) {
+		e.extra++
+		return
+	}
+	want := e.invokes[e.next]
+	e.next++
+	if want.Payload != payload {
+		e.err = fmt.Errorf("core: replay of %v: app broadcasts %q, trace records %q (execution not well-formed w.r.t. the algorithm)", e.id, payload, want.Payload)
+	}
+}
+
+// Decide captures the app's one-shot decision.
+func (e *replayEnv) Decide(v model.Value) {
+	if e.decided {
+		return
+	}
+	e.decided = true
+	e.dec = v
+}
+
+// ReplayOnTrace drives the app with the broadcast events the trace assigns
+// to process id and returns the value the app decides. It verifies that
+// the app's own broadcasts match the trace's invocations (Definition 1's
+// third condition, conformance to the algorithm) and errors if the app
+// never decides.
+func ReplayOnTrace(app sched.App, id model.ProcID, n int, input model.Value, t *trace.Trace) (model.Value, error) {
+	env := &replayEnv{id: id, n: n}
+	for _, s := range t.X.Steps {
+		if s.Proc == id && s.Kind == model.KindBroadcastInvoke {
+			env.invokes = append(env.invokes, s)
+		}
+	}
+	app.Init(env, input)
+	if env.err != nil {
+		return "", env.err
+	}
+	for _, s := range t.X.Steps {
+		if s.Proc != id {
+			continue
+		}
+		switch s.Kind {
+		case model.KindDeliver:
+			app.OnDeliver(env, s.Peer, s.Msg, s.Payload)
+		case model.KindBroadcastReturn:
+			app.OnReturn(env, s.Msg)
+		}
+		if env.err != nil {
+			return "", env.err
+		}
+	}
+	if !env.decided {
+		return "", fmt.Errorf("core: replay of %v: app never decides on the given events", id)
+	}
+	return env.dec, nil
+}

@@ -1,0 +1,138 @@
+// Package ksa provides k-set-agreement building blocks beyond the default
+// oracle of internal/sched: alternative oracle behaviours used to probe
+// algorithms (adversarial value choice, forced adoption), the trivial
+// boundary cases of Section 4 (k = n needs no communication; k = 1 is
+// consensus), and analysis helpers over decision tables.
+//
+// The paper's Theorem 1 concerns 1 < k < n exactly because both boundaries
+// collapse: n-set agreement is solved without communication (every process
+// decides its own value — equivalent to Send-To-All broadcast), and
+// consensus is characterized by Total Order broadcast [7]. This package
+// makes both boundary arguments executable.
+package ksa
+
+import (
+	"fmt"
+	"sort"
+
+	"nobroadcast/internal/model"
+	"nobroadcast/internal/sched"
+)
+
+// MaxDistinctOracle is a k-SA oracle that adversarially maximizes
+// disagreement: it hands out distinct decided values for as long as
+// k-SA-Agreement permits, then adopts round-robin among the decided ones.
+// It is the harshest legal oracle for algorithms built on k-SA.
+type MaxDistinctOracle struct {
+	k       int
+	decided map[model.KSAID][]model.Value
+	next    map[model.KSAID]int
+}
+
+var _ sched.Oracle = (*MaxDistinctOracle)(nil)
+
+// NewMaxDistinctOracle returns the oracle for agreement degree k.
+func NewMaxDistinctOracle(k int) *MaxDistinctOracle {
+	return &MaxDistinctOracle{
+		k:       k,
+		decided: make(map[model.KSAID][]model.Value),
+		next:    make(map[model.KSAID]int),
+	}
+}
+
+// Propose implements sched.Oracle.
+func (o *MaxDistinctOracle) Propose(obj model.KSAID, proc model.ProcID, v model.Value) model.Value {
+	vals := o.decided[obj]
+	fresh := true
+	for _, d := range vals {
+		if d == v {
+			fresh = false
+			break
+		}
+	}
+	if fresh && len(vals) < o.k {
+		o.decided[obj] = append(vals, v)
+		return v
+	}
+	if len(vals) == 0 {
+		// v was not fresh yet nothing is decided: impossible; decide v.
+		o.decided[obj] = []model.Value{v}
+		return v
+	}
+	i := o.next[obj] % len(vals)
+	o.next[obj]++
+	return vals[i]
+}
+
+// ConsensusOracle is the k = 1 oracle: every proposer adopts the first
+// proposed value. It is NewFreeOracle(1) under a sharper name.
+func ConsensusOracle() sched.Oracle {
+	return sched.NewFreeOracle(1)
+}
+
+// SingleValueOracle always decides the fixed value, regardless of
+// proposals. It violates k-SA-Validity unless the value is proposed, so it
+// exists for negative testing of the specification checkers.
+type SingleValueOracle struct {
+	Value model.Value
+}
+
+var _ sched.Oracle = SingleValueOracle{}
+
+// Propose implements sched.Oracle.
+func (o SingleValueOracle) Propose(model.KSAID, model.ProcID, model.Value) model.Value {
+	return o.Value
+}
+
+// TrivialNSA is the k = n boundary of Section 4: n-set agreement is solved
+// with no communication at all — every process decides its own proposal.
+// As an App it never broadcasts anything.
+type TrivialNSA struct{}
+
+var _ sched.App = TrivialNSA{}
+
+// NewTrivialNSA constructs the app for one process.
+func NewTrivialNSA(model.ProcID) sched.App { return TrivialNSA{} }
+
+// Init implements sched.App: decide immediately.
+func (TrivialNSA) Init(env sched.AppEnv, input model.Value) {
+	env.Decide(input)
+}
+
+// OnDeliver implements sched.App.
+func (TrivialNSA) OnDeliver(sched.AppEnv, model.ProcID, model.MsgID, model.Payload) {}
+
+// OnReturn implements sched.App.
+func (TrivialNSA) OnReturn(sched.AppEnv, model.MsgID) {}
+
+// DecisionStats summarizes the decisions on one object.
+type DecisionStats struct {
+	Obj      model.KSAID
+	Deciders int
+	Distinct []model.Value
+}
+
+// Analyze aggregates per-object decision statistics from a decision table
+// (proc -> value per object), sorted by object id.
+func Analyze(decisions map[model.KSAID]map[model.ProcID]model.Value) []DecisionStats {
+	out := make([]DecisionStats, 0, len(decisions))
+	for obj, m := range decisions {
+		set := make(map[model.Value]bool, len(m))
+		for _, v := range m {
+			set[v] = true
+		}
+		distinct := make([]model.Value, 0, len(set))
+		for v := range set {
+			distinct = append(distinct, v)
+		}
+		sort.Slice(distinct, func(i, j int) bool { return distinct[i] < distinct[j] })
+		out = append(out, DecisionStats{Obj: obj, Deciders: len(m), Distinct: distinct})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Obj < out[j].Obj })
+	return out
+}
+
+// String renders the stats compactly.
+func (s DecisionStats) String() string {
+	return fmt.Sprintf("%v: %d decider(s), %d distinct value(s)", s.Obj, s.Deciders, len(s.Distinct))
+}

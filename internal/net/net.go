@@ -1,0 +1,331 @@
+// Package net provides the concurrent runtime: an in-memory asynchronous
+// reliable network where each process runs as its own goroutine and
+// messages travel with randomized delays and reordering. It drives the
+// same deterministic automata as the step-driven runtime (internal/sched),
+// so algorithms verified there run unchanged under real concurrency.
+//
+// The network implements the communication model of Section 2: complete
+// (every process can send to every process, including itself), reliable
+// (no loss, duplication, or corruption), non-FIFO (randomized per-message
+// delay), and asynchronous (finite but unbounded — here bounded by
+// MaxDelay — transit times). Crash failures stop a process's event loop;
+// messages addressed to crashed processes are dropped, which is
+// indistinguishable from them being forever in transit.
+//
+// Unlike internal/sched, runs are not deterministic: this runtime exists
+// for realistic end-to-end examples and throughput benchmarks, not for
+// the proof machinery.
+package net
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nobroadcast/internal/model"
+	"nobroadcast/internal/rng"
+	"nobroadcast/internal/sched"
+)
+
+// Delivery is one B-delivery observed at a node.
+type Delivery struct {
+	At      model.ProcID
+	From    model.ProcID
+	Msg     model.MsgID
+	Payload model.Payload
+}
+
+// Config configures a Network.
+type Config struct {
+	// N is the number of processes.
+	N int
+	// NewAutomaton builds the broadcast algorithm per process. Required.
+	NewAutomaton func(id model.ProcID) sched.Automaton
+	// K is the agreement degree of the shared k-SA oracle (default 1).
+	K int
+	// MaxDelay bounds the random per-message transit delay. Zero means
+	// immediate forwarding (still concurrent, still reordered by
+	// goroutine scheduling).
+	MaxDelay time.Duration
+	// Seed feeds the delay generator.
+	Seed uint64
+	// OnDeliver, if set, observes every B-delivery (called from node
+	// goroutines; it must be safe for concurrent use).
+	OnDeliver func(Delivery)
+	// InboxSize is the per-node event buffer (default 1024).
+	InboxSize int
+}
+
+type netEvent struct {
+	kind    int // 0 receive, 1 broadcast
+	from    model.ProcID
+	msg     model.MsgID
+	payload model.Payload
+}
+
+// Network is a running concurrent system.
+type Network struct {
+	cfg    Config
+	nodes  []*node
+	oracle *safeOracle
+	msgSeq atomic.Int64
+	delays *safeRng
+
+	// mu guards shutdown: senders hold it shared while enqueueing into
+	// inboxes; Stop takes it exclusively to flip stopped.
+	mu      sync.RWMutex
+	stopped bool
+	msgWg   sync.WaitGroup // in-flight message goroutines
+	nodeWg  sync.WaitGroup // node event loops
+
+	stats Stats
+}
+
+// Stats aggregates run counters (all atomics; read with Snapshot).
+type Stats struct {
+	Sent       atomic.Int64
+	Received   atomic.Int64
+	Delivered  atomic.Int64
+	Broadcasts atomic.Int64
+}
+
+// StatsSnapshot is a plain copy of the counters.
+type StatsSnapshot struct {
+	Sent, Received, Delivered, Broadcasts int64
+}
+
+// node is one process.
+type node struct {
+	id        model.ProcID
+	automaton sched.Automaton
+	inbox     chan netEvent
+	crashed   atomic.Bool
+	delivered atomic.Int64
+}
+
+// safeOracle serializes k-SA propositions across node goroutines.
+type safeOracle struct {
+	mu    sync.Mutex
+	inner *sched.FreeOracle
+}
+
+func (o *safeOracle) propose(obj model.KSAID, proc model.ProcID, v model.Value) model.Value {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.inner.Propose(obj, proc, v)
+}
+
+// safeRng serializes the delay generator.
+type safeRng struct {
+	mu  sync.Mutex
+	src *rng.Source
+}
+
+func (s *safeRng) delay(max time.Duration) time.Duration {
+	if max <= 0 {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return time.Duration(s.src.Intn(int(max)))
+}
+
+// New builds and starts a network. Callers must Stop it.
+func New(cfg Config) (*Network, error) {
+	if cfg.N < 1 {
+		return nil, fmt.Errorf("net: N must be positive, got %d", cfg.N)
+	}
+	if cfg.NewAutomaton == nil {
+		return nil, fmt.Errorf("net: NewAutomaton is required")
+	}
+	if cfg.K < 1 {
+		cfg.K = 1
+	}
+	if cfg.InboxSize <= 0 {
+		cfg.InboxSize = 1024
+	}
+	nw := &Network{
+		cfg:    cfg,
+		oracle: &safeOracle{inner: sched.NewFreeOracle(cfg.K)},
+		delays: &safeRng{src: rng.New(cfg.Seed)},
+	}
+	nw.nodes = make([]*node, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		nw.nodes[i] = &node{
+			id:        model.ProcID(i + 1),
+			automaton: cfg.NewAutomaton(model.ProcID(i + 1)),
+			inbox:     make(chan netEvent, cfg.InboxSize),
+		}
+	}
+	for _, nd := range nw.nodes {
+		nd := nd
+		// Init runs in the node's goroutine before consuming events.
+		nw.nodeWg.Add(1)
+		go func() {
+			defer nw.nodeWg.Done()
+			nw.runNode(nd)
+		}()
+	}
+	return nw, nil
+}
+
+// runNode is a node's event loop.
+func (nw *Network) runNode(nd *node) {
+	nw.handle(nd, func(env *sched.Env) { nd.automaton.Init(env) })
+	for ev := range nd.inbox {
+		if nd.crashed.Load() {
+			continue // drain without processing
+		}
+		switch ev.kind {
+		case 0:
+			nw.stats.Received.Add(1)
+			nw.handle(nd, func(env *sched.Env) { nd.automaton.OnReceive(env, ev.from, ev.payload) })
+		case 1:
+			nw.stats.Broadcasts.Add(1)
+			nw.handle(nd, func(env *sched.Env) { nd.automaton.OnBroadcast(env, ev.msg, ev.payload) })
+		}
+	}
+}
+
+// handle runs a handler and applies the emitted actions, including the
+// cascading effects of immediate k-SA decisions.
+func (nw *Network) handle(nd *node, call func(env *sched.Env)) {
+	env := sched.NewEnv(nd.id, nw.cfg.N)
+	call(env)
+	queue := env.TakeActions()
+	for len(queue) > 0 {
+		a := queue[0]
+		queue = queue[1:]
+		switch a.Kind {
+		case model.KindSend:
+			nw.route(nd.id, a.To, a.Payload)
+		case model.KindPropose:
+			val := nw.oracle.propose(a.Obj, nd.id, a.Val)
+			env := sched.NewEnv(nd.id, nw.cfg.N)
+			nd.automaton.OnDecide(env, a.Obj, val)
+			queue = append(queue, env.TakeActions()...)
+		case model.KindDeliver:
+			nd.delivered.Add(1)
+			nw.stats.Delivered.Add(1)
+			if nw.cfg.OnDeliver != nil {
+				nw.cfg.OnDeliver(Delivery{At: nd.id, From: a.Origin, Msg: a.Msg, Payload: a.Payload})
+			}
+		case model.KindBroadcastReturn, model.KindInternal:
+			// No effect at the network layer.
+		}
+	}
+}
+
+// route forwards a point-to-point message with a random delay.
+func (nw *Network) route(from, to model.ProcID, payload model.Payload) {
+	if to < 1 || int(to) > nw.cfg.N {
+		return
+	}
+	nw.stats.Sent.Add(1)
+	target := nw.nodes[to-1]
+	d := nw.delays.delay(nw.cfg.MaxDelay)
+	nw.msgWg.Add(1)
+	go func() {
+		defer nw.msgWg.Done()
+		if d > 0 {
+			time.Sleep(d)
+		}
+		// A message dropped here is indistinguishable from one still in
+		// transit at shutdown or addressed to a crashed process.
+		nw.send(target, netEvent{kind: 0, from: from, payload: payload})
+	}()
+}
+
+// send enqueues an event unless the network stopped or the target
+// crashed; it reports whether the event was enqueued. Holding the
+// shutdown lock shared guarantees the inbox cannot close mid-send.
+func (nw *Network) send(nd *node, ev netEvent) bool {
+	nw.mu.RLock()
+	defer nw.mu.RUnlock()
+	if nw.stopped || nd.crashed.Load() {
+		return false
+	}
+	nd.inbox <- ev
+	return true
+}
+
+// Broadcast invokes B.broadcast at process p with the given content and
+// returns the fresh message identity.
+func (nw *Network) Broadcast(p model.ProcID, payload model.Payload) (model.MsgID, error) {
+	if p < 1 || int(p) > nw.cfg.N {
+		return model.NoMsg, fmt.Errorf("net: no process %v", p)
+	}
+	nd := nw.nodes[p-1]
+	if nd.crashed.Load() {
+		return model.NoMsg, fmt.Errorf("net: %v is crashed", p)
+	}
+	msg := model.MsgID(nw.msgSeq.Add(1))
+	if !nw.send(nd, netEvent{kind: 1, msg: msg, payload: payload}) {
+		return model.NoMsg, fmt.Errorf("net: network is stopped or %v crashed", p)
+	}
+	return msg, nil
+}
+
+// Crash crashes process p: it stops processing events immediately.
+func (nw *Network) Crash(p model.ProcID) error {
+	if p < 1 || int(p) > nw.cfg.N {
+		return fmt.Errorf("net: no process %v", p)
+	}
+	nw.nodes[p-1].crashed.Store(true)
+	return nil
+}
+
+// Delivered reports how many messages process p has B-delivered.
+func (nw *Network) Delivered(p model.ProcID) int64 {
+	if p < 1 || int(p) > nw.cfg.N {
+		return 0
+	}
+	return nw.nodes[p-1].delivered.Load()
+}
+
+// StatsSnapshot returns the current counters.
+func (nw *Network) StatsSnapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Sent:       nw.stats.Sent.Load(),
+		Received:   nw.stats.Received.Load(),
+		Delivered:  nw.stats.Delivered.Load(),
+		Broadcasts: nw.stats.Broadcasts.Load(),
+	}
+}
+
+// WaitUntil polls cond until it holds or the timeout elapses, returning
+// whether it held. It is the intended way for integration tests and
+// examples to await eventual-delivery conditions.
+func (nw *Network) WaitUntil(cond func() bool, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		if cond() {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return cond()
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// Stop shuts the network down: no further events are accepted, in-flight
+// message goroutines drain, and all node goroutines join. It is
+// idempotent.
+func (nw *Network) Stop() {
+	nw.mu.Lock()
+	if nw.stopped {
+		nw.mu.Unlock()
+		return
+	}
+	nw.stopped = true
+	nw.mu.Unlock()
+	// All senders either finished or will observe stopped; once they have
+	// drained, closing the inboxes ends the node loops.
+	nw.msgWg.Wait()
+	for _, nd := range nw.nodes {
+		close(nd.inbox)
+	}
+	nw.nodeWg.Wait()
+}

@@ -1,0 +1,83 @@
+// Package rng provides a small, deterministic, splittable pseudo-random
+// number generator (splitmix64) used for seeded schedules, randomized spec
+// testing, and workload generation.
+//
+// The standard library's math/rand would work, but a self-contained
+// generator guarantees identical sequences across Go versions, which
+// matters for reproducible adversarial schedules recorded in
+// EXPERIMENTS.md.
+package rng
+
+// Source is a splitmix64 generator. The zero value is a valid generator
+// seeded with 0.
+type Source struct {
+	state uint64
+}
+
+// New returns a generator with the given seed.
+func New(seed uint64) *Source {
+	return &Source{state: seed}
+}
+
+// Uint64 returns the next 64-bit value.
+func (s *Source) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0, mirroring
+// math/rand's contract.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Rejection sampling to avoid modulo bias.
+	max := uint64(n)
+	limit := (^uint64(0) / max) * max
+	for {
+		v := s.Uint64()
+		if v < limit {
+			return int(v % max)
+		}
+	}
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns a uniform boolean.
+func (s *Source) Bool() bool {
+	return s.Uint64()&1 == 1
+}
+
+// Split returns a new generator whose stream is independent of the
+// receiver's future outputs (it is seeded from the receiver).
+func (s *Source) Split() *Source {
+	return New(s.Uint64())
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle permutes the first n elements using the provided swap function.
+func (s *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		swap(i, j)
+	}
+}

@@ -1,0 +1,147 @@
+package rng
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterministic(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestKnownVector(t *testing.T) {
+	// splitmix64 reference values for seed 0 (from the original C
+	// reference implementation by Sebastiano Vigna).
+	s := New(0)
+	want := []uint64{
+		0xe220a8397b1dcdaf,
+		0x6e789e6aa1b965f4,
+		0x06c45d188009454f,
+	}
+	for i, w := range want {
+		if got := s.Uint64(); got != w {
+			t.Errorf("value %d = %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	s := New(7)
+	for n := 1; n <= 17; n++ {
+		for i := 0; i < 200; i++ {
+			v := s.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnCoversAllValues(t *testing.T) {
+	s := New(3)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		seen[s.Intn(5)] = true
+	}
+	for v := 0; v < 5; v++ {
+		if !seen[v] {
+			t.Errorf("value %d never produced", v)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(11)
+	for i := 0; i < 1000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint16) bool {
+		s := New(uint64(seed))
+		n := 1 + int(seed)%20
+		p := s.Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(99)
+	child := parent.Split()
+	// The child must not replay the parent's stream.
+	same := 0
+	for i := 0; i < 64; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("parent and child streams coincide on %d/64 draws", same)
+	}
+}
+
+func TestShuffle(t *testing.T) {
+	s := New(5)
+	v := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	s.Shuffle(len(v), func(i, j int) { v[i], v[j] = v[j], v[i] })
+	seen := make([]bool, len(v))
+	for _, x := range v {
+		seen[x] = true
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Errorf("Shuffle lost element %d", i)
+		}
+	}
+}
+
+func TestBoolBothValues(t *testing.T) {
+	s := New(8)
+	var trues, falses int
+	for i := 0; i < 200; i++ {
+		if s.Bool() {
+			trues++
+		} else {
+			falses++
+		}
+	}
+	if trues == 0 || falses == 0 {
+		t.Errorf("Bool() biased: %d true, %d false", trues, falses)
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var s Source
+	_ = s.Uint64() // must not panic
+}

@@ -1,0 +1,51 @@
+package sched
+
+import "nobroadcast/internal/model"
+
+// This file exposes the Env action collector to alternative runtimes
+// (internal/net runs the same automata under real concurrency and needs
+// to drain the actions a handler emitted).
+
+// NewEnv returns a standalone action collector for process id of an
+// n-process system.
+func NewEnv(id model.ProcID, n int) *Env {
+	return &Env{id: id, n: n}
+}
+
+// Action is the exported view of one emitted action.
+type Action struct {
+	Kind model.StepKind
+	// To is the destination of a send.
+	To model.ProcID
+	// Origin is the broadcaster of a delivered message.
+	Origin  model.ProcID
+	Msg     model.MsgID
+	Payload model.Payload
+	Obj     model.KSAID
+	Val     model.Value
+	Note    string
+}
+
+// TakeActions drains and returns the actions emitted on the Env since the
+// last call, in emission order.
+func (e *Env) TakeActions() []Action {
+	out := make([]Action, len(e.emitted))
+	for i, a := range e.emitted {
+		out[i] = Action{
+			Kind:    a.kind,
+			Msg:     a.msg,
+			Payload: a.payload,
+			Obj:     a.obj,
+			Val:     a.val,
+			Note:    a.note,
+		}
+		switch a.kind {
+		case model.KindSend:
+			out[i].To = a.to
+		case model.KindDeliver:
+			out[i].Origin = a.to
+		}
+	}
+	e.emitted = e.emitted[:0]
+	return out
+}

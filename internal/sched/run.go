@@ -1,0 +1,250 @@
+package sched
+
+import (
+	"fmt"
+
+	"nobroadcast/internal/model"
+	"nobroadcast/internal/rng"
+	"nobroadcast/internal/trace"
+)
+
+// This file provides generic schedulers on top of the event primitives:
+// a deterministic fair scheduler and a seeded random scheduler with crash
+// injection. The paper's adversarial scheduler lives in internal/adversary.
+
+// RunOptions configures a scheduler run.
+type RunOptions struct {
+	// Seed drives the random scheduler. Ignored by RunFair.
+	Seed uint64
+	// MaxEvents bounds the run; zero selects the default (100000).
+	// Exceeding the bound returns an incomplete trace, not an error: the
+	// run is a valid execution prefix.
+	MaxEvents int
+	// CrashAt injects crashes: after the event with the given ordinal has
+	// executed, the listed process crashes. Crashing an already-crashed
+	// process is ignored.
+	CrashAt map[int]model.ProcID
+	// Broadcasts feeds upper-layer B.broadcast invocations: each entry
+	// (proc, payload) is invoked, in per-process order, as soon as the
+	// process's previous invocation has returned (well-formedness
+	// requires alternating invocations and responses). Runs driven by an
+	// App usually leave this empty.
+	Broadcasts []BroadcastReq
+}
+
+// BroadcastReq is an upper-layer broadcast request.
+type BroadcastReq struct {
+	Proc    model.ProcID
+	Payload model.Payload
+}
+
+func (o RunOptions) maxEvents() int {
+	if o.MaxEvents <= 0 {
+		return 100000
+	}
+	return o.MaxEvents
+}
+
+// event is one enabled scheduler choice.
+type event struct {
+	kind int // 0 exec, 1 decide, 2 receive, 3 invoke broadcast
+	proc model.ProcID
+	net  int
+}
+
+// runState carries the per-run scheduling state.
+type runState struct {
+	// queues holds not-yet-invoked upper-layer broadcasts per process.
+	queues map[model.ProcID][]model.Payload
+}
+
+func newRunState(opts RunOptions) *runState {
+	st := &runState{queues: make(map[model.ProcID][]model.Payload)}
+	for _, b := range opts.Broadcasts {
+		st.queues[b.Proc] = append(st.queues[b.Proc], b.Payload)
+	}
+	return st
+}
+
+// canInvoke reports whether process p may take its next upper-layer
+// broadcast invocation: alive, not blocked mid-proposition, and no open
+// invocation.
+func (r *Runtime) canInvoke(st *runState, p model.ProcID) bool {
+	ps, err := r.proc(p)
+	if err != nil {
+		return false
+	}
+	return len(st.queues[p]) > 0 && !ps.crashed && !ps.blocked && ps.openBroadcast == model.NoMsg
+}
+
+// enabledEvents lists the currently enabled events in a deterministic
+// order.
+func (r *Runtime) enabledEvents(st *runState) []event {
+	var out []event
+	for _, ps := range r.procs {
+		if ps.crashed {
+			continue
+		}
+		if ps.blocked && ps.pendingDecide != nil {
+			out = append(out, event{kind: 1, proc: ps.id})
+		} else if !ps.blocked && len(ps.pending) > 0 {
+			out = append(out, event{kind: 0, proc: ps.id})
+		}
+		if r.canInvoke(st, ps.id) {
+			out = append(out, event{kind: 3, proc: ps.id})
+		}
+	}
+	for i, f := range r.network {
+		if to, err := r.proc(f.to); err == nil && !to.crashed {
+			out = append(out, event{kind: 2, net: i})
+		}
+	}
+	return out
+}
+
+func (r *Runtime) execEvent(st *runState, e event) error {
+	switch e.kind {
+	case 0:
+		_, ok, err := r.ExecNext(e.proc)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("sched: exec event on %v not enabled", e.proc)
+		}
+		return nil
+	case 1:
+		_, err := r.FireDecide(e.proc)
+		return err
+	case 2:
+		_, err := r.ReceiveIndex(e.net)
+		return err
+	case 3:
+		q := st.queues[e.proc]
+		if len(q) == 0 {
+			return fmt.Errorf("sched: no queued broadcast for %v", e.proc)
+		}
+		st.queues[e.proc] = q[1:]
+		_, err := r.InvokeBroadcast(e.proc, q[0])
+		return err
+	default:
+		return fmt.Errorf("sched: unknown event kind %d", e.kind)
+	}
+}
+
+// quiescentWith reports quiescence including the run's pending
+// upper-layer broadcasts on live processes.
+func (r *Runtime) quiescentWith(st *runState) bool {
+	if !r.Quiescent() {
+		return false
+	}
+	for p, q := range st.queues {
+		if len(q) == 0 {
+			continue
+		}
+		if ps, err := r.proc(p); err == nil && !ps.crashed {
+			return false
+		}
+	}
+	return true
+}
+
+// RunRandom drives the runtime with a uniformly random (seeded,
+// deterministic) choice among enabled events until quiescence or the event
+// bound. It returns the recorded trace, with Complete set iff the run
+// reached quiescence.
+func (r *Runtime) RunRandom(opts RunOptions) (*trace.Trace, error) {
+	st := newRunState(opts)
+	src := rng.New(opts.Seed)
+	count := 0
+	for count < opts.maxEvents() {
+		if p, ok := opts.CrashAt[count]; ok && !r.Crashed(p) {
+			if err := r.Crash(p); err != nil {
+				return nil, err
+			}
+		}
+		events := r.enabledEvents(st)
+		if len(events) == 0 {
+			break
+		}
+		if err := r.execEvent(st, events[src.Intn(len(events))]); err != nil {
+			return nil, err
+		}
+		count++
+	}
+	return &trace.Trace{X: r.x, Complete: r.quiescentWith(st)}, nil
+}
+
+// RunFair drives the runtime with a deterministic fair schedule: each
+// round lets every live process invoke a queued broadcast if possible and
+// execute one action or decision, then delivers every message currently in
+// flight (oldest first). Message transit is thus bounded by one round — a
+// convenient synchronous-looking special case of the asynchronous model.
+func (r *Runtime) RunFair(opts RunOptions) (*trace.Trace, error) {
+	st := newRunState(opts)
+	count := 0
+	max := opts.maxEvents()
+	// RunFair executes several events per pass, so crash points are
+	// honored at the first opportunity at or after their scheduled event
+	// ordinal.
+	maybeCrash := func() error {
+		for at, p2 := range opts.CrashAt {
+			if count >= at && !r.Crashed(p2) {
+				if err := r.Crash(p2); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	for count < max {
+		progress := false
+		for p := 1; p <= r.cfg.N; p++ {
+			if err := maybeCrash(); err != nil {
+				return nil, err
+			}
+			pid := model.ProcID(p)
+			if r.canInvoke(st, pid) {
+				if err := r.execEvent(st, event{kind: 3, proc: pid}); err != nil {
+					return nil, err
+				}
+				progress = true
+				count++
+			}
+			if r.Blocked(pid) {
+				if _, err := r.FireDecide(pid); err != nil {
+					return nil, err
+				}
+				progress = true
+				count++
+			} else if r.HasPending(pid) {
+				if _, ok, err := r.ExecNext(pid); err != nil {
+					return nil, err
+				} else if ok {
+					progress = true
+					count++
+				}
+			}
+		}
+		// Deliver everything currently in flight to live processes.
+		// Receivers may send more; those wait for the next round.
+		snapshot := len(r.network)
+		for i := 0; i < snapshot && i < len(r.network); {
+			f := r.network[i]
+			if to, err := r.proc(f.to); err == nil && !to.crashed {
+				if _, err := r.ReceiveIndex(i); err != nil {
+					return nil, err
+				}
+				progress = true
+				count++
+				snapshot-- // the slice shifted left; same index, one fewer old message
+				continue
+			}
+			i++
+		}
+		if !progress {
+			break
+		}
+	}
+	return &trace.Trace{X: r.x, Complete: r.quiescentWith(st)}, nil
+}

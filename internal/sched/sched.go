@@ -1,0 +1,347 @@
+// Package sched implements the deterministic, step-driven runtime for the
+// model CAMP_n[k-SA]: processes are deterministic reactive automata whose
+// externally visible actions (sends, receives, k-SA propositions and
+// decisions, broadcast invocations, responses and deliveries) are executed
+// one step at a time under the full control of a scheduler.
+//
+// The paper's proof requires this level of control twice: Algorithm 1 needs
+// "p_i's next local step in C(α), according to B" (internal/adversary
+// drives the runtime step by step), and Definition 1 requires executions to
+// be well-formed with respect to the algorithm, which the runtime
+// guarantees by construction — every recorded step is produced by running
+// the algorithm's own handlers.
+//
+// Two kinds of code run on the runtime:
+//
+//   - Automaton: an implementation of a broadcast abstraction B in
+//     CAMP_n[k-SA] (the algorithm 𝓑 of the paper). It reacts to broadcast
+//     invocations, message receptions, and k-SA decisions by emitting
+//     actions.
+//   - App: an algorithm 𝓐 solving k-SA in CAMP_n[B]. It consumes
+//     B-deliveries and emits B-broadcasts and one decision.
+//
+// Determinism contract: handlers must be pure functions of the automaton's
+// state and the event; given the same event sequence they must emit the
+// same actions. The runtime replays are used by the proof machinery
+// (Lemma 9's indistinguishability argument), so this is load-bearing and
+// covered by replay-determinism tests.
+package sched
+
+import (
+	"fmt"
+
+	"nobroadcast/internal/model"
+)
+
+// Automaton is a deterministic reactive process implementing a broadcast
+// abstraction on top of send/receive and k-SA objects.
+//
+// Handlers emit actions through the Env. Emitted actions are queued and
+// executed later, one per scheduler step; they do not take effect during
+// the handler call. After calling Env.Propose, the automaton must not emit
+// further actions until the matching OnDecide (propose blocks, k-SA being
+// an operation with a return value); the runtime enforces this by holding
+// queued actions back until the decision fires.
+type Automaton interface {
+	// Init is called once before any other handler.
+	Init(env *Env)
+	// OnBroadcast is called when the upper layer invokes B.broadcast.
+	// msg is the identity of the fresh broadcast message.
+	OnBroadcast(env *Env, msg model.MsgID, payload model.Payload)
+	// OnReceive is called when a point-to-point message is received.
+	OnReceive(env *Env, from model.ProcID, payload model.Payload)
+	// OnDecide is called when a pending k-SA proposition decides.
+	OnDecide(env *Env, obj model.KSAID, val model.Value)
+}
+
+// App is a deterministic algorithm running on top of a broadcast
+// abstraction (the algorithm 𝓐 of the paper, solving k-SA in CAMP_n[B]).
+type App interface {
+	// Init is called once with the process's input value (the value it
+	// proposes to the implemented object).
+	Init(env AppEnv, input model.Value)
+	// OnDeliver is called when the underlying broadcast B-delivers a
+	// message.
+	OnDeliver(env AppEnv, from model.ProcID, msg model.MsgID, payload model.Payload)
+	// OnReturn is called when a B.broadcast invocation issued by this
+	// process returns.
+	OnReturn(env AppEnv, msg model.MsgID)
+}
+
+// AppEnv is the interface the runtime (and the replayer of internal/core)
+// presents to an App.
+type AppEnv interface {
+	// ID returns the process's identity; N the number of processes.
+	ID() model.ProcID
+	N() int
+	// Broadcast invokes B.broadcast with the given content.
+	Broadcast(payload model.Payload)
+	// Decide outputs the app's decision on the implemented object. Only
+	// the first call has an effect (the object is one-shot).
+	Decide(v model.Value)
+}
+
+// Oracle provides the k-SA objects of the model CAMP_n[k-SA]. Propose is
+// called when a propose action executes and must return the value the
+// process will decide; the runtime records the decision as a separate step
+// fired by the scheduler. Implementations must satisfy k-SA-Validity and
+// k-SA-Agreement; the paper's adversary supplies its own oracle
+// implementing the decision table of Algorithm 1 (lines 16-20).
+type Oracle interface {
+	Propose(obj model.KSAID, proc model.ProcID, v model.Value) model.Value
+}
+
+// FreeOracle is the default k-SA oracle: the first proposals contribute up
+// to k distinct decided values; later proposers adopt the most recent
+// decided value. The zero value is not usable; use NewFreeOracle.
+type FreeOracle struct {
+	k       int
+	decided map[model.KSAID][]model.Value
+}
+
+var _ Oracle = (*FreeOracle)(nil)
+
+// NewFreeOracle returns an oracle for k-set agreement.
+func NewFreeOracle(k int) *FreeOracle {
+	return &FreeOracle{k: k, decided: make(map[model.KSAID][]model.Value)}
+}
+
+// Propose implements Oracle.
+func (o *FreeOracle) Propose(obj model.KSAID, proc model.ProcID, v model.Value) model.Value {
+	vals := o.decided[obj]
+	for _, d := range vals {
+		if d == v {
+			return v // value already decided: deciding it again is free
+		}
+	}
+	if len(vals) < o.k {
+		o.decided[obj] = append(vals, v)
+		return v
+	}
+	return vals[len(vals)-1]
+}
+
+// action is one queued externally-visible action of an automaton.
+type action struct {
+	kind    model.StepKind
+	to      model.ProcID
+	msg     model.MsgID
+	payload model.Payload
+	obj     model.KSAID
+	val     model.Value
+	note    string
+}
+
+// Env collects the actions an automaton emits during a handler call.
+type Env struct {
+	id      model.ProcID
+	n       int
+	emitted []action
+}
+
+// ID returns the process identity the automaton runs as.
+func (e *Env) ID() model.ProcID { return e.id }
+
+// N returns the number of processes.
+func (e *Env) N() int { return e.n }
+
+// Send queues a point-to-point send of payload to process to.
+func (e *Env) Send(to model.ProcID, payload model.Payload) {
+	e.emitted = append(e.emitted, action{kind: model.KindSend, to: to, payload: payload})
+}
+
+// SendAll queues a send of payload to every process, including the sender
+// (the paper's network is complete and includes self-loops).
+func (e *Env) SendAll(payload model.Payload) {
+	for p := 1; p <= e.n; p++ {
+		e.Send(model.ProcID(p), payload)
+	}
+}
+
+// Propose queues a proposition of val on the k-SA object obj. The matching
+// decision arrives through OnDecide; no action emitted after Propose
+// executes before the decision does.
+func (e *Env) Propose(obj model.KSAID, val model.Value) {
+	e.emitted = append(e.emitted, action{kind: model.KindPropose, obj: obj, val: val})
+}
+
+// Deliver queues the B-delivery of broadcast message msg (broadcast by
+// origin, with the given content) to the local upper layer.
+func (e *Env) Deliver(msg model.MsgID, origin model.ProcID, payload model.Payload) {
+	e.emitted = append(e.emitted, action{kind: model.KindDeliver, to: origin, msg: msg, payload: payload})
+}
+
+// ReturnBroadcast queues the response of the B.broadcast invocation that
+// created msg.
+func (e *Env) ReturnBroadcast(msg model.MsgID) {
+	e.emitted = append(e.emitted, action{kind: model.KindBroadcastReturn, msg: msg})
+}
+
+// Internal queues an internal computation step, visible in traces for
+// debugging but ignored by all specifications.
+func (e *Env) Internal(note string) {
+	e.emitted = append(e.emitted, action{kind: model.KindInternal, note: note})
+}
+
+// inFlight is a sent, not yet received, point-to-point message.
+type inFlight struct {
+	inst    model.MsgID
+	from    model.ProcID
+	to      model.ProcID
+	payload model.Payload
+}
+
+// procState is the runtime state of one process.
+type procState struct {
+	id        model.ProcID
+	automaton Automaton
+	app       App
+	pending   []action
+	// blocked is set between the execution of a propose action and the
+	// firing of its decision.
+	blocked bool
+	// pendingDecide holds the oracle's answer awaiting FireDecide.
+	pendingDecide *struct {
+		obj model.KSAID
+		val model.Value
+	}
+	crashed bool
+	// openBroadcast is the message id of the in-progress B.broadcast
+	// invocation, or NoMsg.
+	openBroadcast model.MsgID
+	// appDecided tracks the one-shot output of the app.
+	appDecided bool
+}
+
+// Config configures a Runtime.
+type Config struct {
+	// N is the number of processes (p_1..p_N).
+	N int
+	// NewAutomaton builds the broadcast algorithm instance for each
+	// process. Required.
+	NewAutomaton func(id model.ProcID) Automaton
+	// Oracle provides the k-SA objects. Defaults to NewFreeOracle(1),
+	// which is usually wrong for k>1 workloads — set it explicitly.
+	Oracle Oracle
+	// NewApp optionally builds a k-SA-solving application per process.
+	NewApp func(id model.ProcID) App
+	// Inputs are the app's proposed values, indexed by process-1.
+	Inputs []model.Value
+	// AppObject is the k-SA object identity under which app proposals
+	// and decisions are recorded. Defaults to DefaultAppObject.
+	AppObject model.KSAID
+}
+
+// DefaultAppObject is the object id used to record app-level (implemented)
+// k-SA propositions and decisions, chosen high to stay clear of oracle
+// object ids.
+const DefaultAppObject model.KSAID = 1000
+
+// Runtime executes automata step by step and records the execution.
+type Runtime struct {
+	cfg     Config
+	x       *model.Execution
+	procs   []*procState
+	network []inFlight
+	nextMsg model.MsgID
+}
+
+// New builds a runtime. It returns an error on invalid configuration.
+func New(cfg Config) (*Runtime, error) {
+	if cfg.N < 1 {
+		return nil, fmt.Errorf("sched: N must be positive, got %d", cfg.N)
+	}
+	if cfg.NewAutomaton == nil {
+		return nil, fmt.Errorf("sched: NewAutomaton is required")
+	}
+	if cfg.Oracle == nil {
+		cfg.Oracle = NewFreeOracle(1)
+	}
+	if cfg.AppObject == model.NoKSA {
+		cfg.AppObject = DefaultAppObject
+	}
+	r := &Runtime{
+		cfg:     cfg,
+		x:       model.NewExecution(cfg.N),
+		procs:   make([]*procState, cfg.N),
+		nextMsg: 1,
+	}
+	for i := 0; i < cfg.N; i++ {
+		id := model.ProcID(i + 1)
+		ps := &procState{id: id, automaton: cfg.NewAutomaton(id)}
+		if cfg.NewApp != nil {
+			ps.app = cfg.NewApp(id)
+		}
+		r.procs[i] = ps
+	}
+	for _, ps := range r.procs {
+		r.runAutomaton(ps, func(env *Env) { ps.automaton.Init(env) })
+	}
+	for _, ps := range r.procs {
+		if ps.app == nil {
+			continue
+		}
+		input := model.Value(fmt.Sprintf("input-%d", ps.id))
+		if int(ps.id)-1 < len(cfg.Inputs) {
+			input = cfg.Inputs[ps.id-1]
+		}
+		r.x.Append(model.Step{Proc: ps.id, Kind: model.KindPropose, Obj: cfg.AppObject, Val: input})
+		ps.app.Init(&appEnv{rt: r, ps: ps}, input)
+	}
+	return r, nil
+}
+
+// Execution returns the execution recorded so far. Callers must not
+// mutate it while the runtime is still running.
+func (r *Runtime) Execution() *model.Execution { return r.x }
+
+// NewMsgID allocates a fresh message identity (shared between broadcast
+// messages and point-to-point instances, so identities never collide).
+func (r *Runtime) NewMsgID() model.MsgID {
+	id := r.nextMsg
+	r.nextMsg++
+	return id
+}
+
+// proc returns the state of process p.
+func (r *Runtime) proc(p model.ProcID) (*procState, error) {
+	if p < 1 || int(p) > r.cfg.N {
+		return nil, fmt.Errorf("sched: no process %v", p)
+	}
+	return r.procs[p-1], nil
+}
+
+// runAutomaton invokes an automaton handler and appends the emitted
+// actions to the process's queue.
+func (r *Runtime) runAutomaton(ps *procState, call func(env *Env)) {
+	env := &Env{id: ps.id, n: r.cfg.N}
+	call(env)
+	ps.pending = append(ps.pending, env.emitted...)
+}
+
+// appEnv adapts the runtime to the AppEnv interface.
+type appEnv struct {
+	rt *Runtime
+	ps *procState
+}
+
+var _ AppEnv = (*appEnv)(nil)
+
+func (e *appEnv) ID() model.ProcID { return e.ps.id }
+func (e *appEnv) N() int           { return e.rt.cfg.N }
+
+// Broadcast invokes B.broadcast on the process's broadcast automaton. The
+// invocation is a step recorded immediately: in the paper's model the
+// invocation event is the app's own step, not a queued action.
+func (e *appEnv) Broadcast(payload model.Payload) {
+	e.rt.invokeBroadcast(e.ps, payload)
+}
+
+// Decide records the app's one-shot decision on the implemented object.
+func (e *appEnv) Decide(v model.Value) {
+	if e.ps.appDecided {
+		return
+	}
+	e.ps.appDecided = true
+	e.rt.x.Append(model.Step{Proc: e.ps.id, Kind: model.KindDecide, Obj: e.rt.cfg.AppObject, Val: v})
+}

@@ -1,0 +1,182 @@
+package sharedmem
+
+import (
+	"fmt"
+
+	"nobroadcast/internal/model"
+)
+
+// This file implements Commit-Adopt (also known as graded agreement), the
+// classical wait-free shared-memory building block of set-agreement
+// algorithms (Gafni's rounds, and the adopt-commit objects used by the
+// k-SA constructions the paper's Section 1.3 points to).
+//
+// A commit-adopt object offers one operation, propose(v), returning a pair
+// (grade, value) with grade ∈ {Adopt, Commit} such that:
+//
+//   - CA-Validity: the returned value was proposed by some process;
+//   - CA-Commitment: if every proposer proposes the same value, every
+//     returned grade is Commit;
+//   - CA-Agreement: if any process returns (Commit, v), every process
+//     returns value v (with either grade).
+//
+// The two-phase register implementation: phase 1, write your proposal and
+// collect; if the collect is unanimous, carry the value as "clean"; phase
+// 2, write (clean, value) and collect; commit if every phase-2 entry seen
+// is clean with your value, adopt a clean value if one is seen, else keep
+// your own.
+
+// Grade is the commit-adopt outcome grade.
+type Grade int
+
+// The grades.
+const (
+	// Adopt means the value must be carried to the next round.
+	Adopt Grade = iota + 1
+	// Commit means the value is decided: every other process at least
+	// adopted it.
+	Commit
+)
+
+// String names the grade.
+func (g Grade) String() string {
+	switch g {
+	case Adopt:
+		return "adopt"
+	case Commit:
+		return "commit"
+	default:
+		return fmt.Sprintf("Grade(%d)", int(g))
+	}
+}
+
+// CAOutput is one commit-adopt result.
+type CAOutput struct {
+	Proc  model.ProcID
+	Grade Grade
+	Val   Value
+}
+
+// caPhase1 and caPhase2 name the object's register arrays; a tag keeps
+// distinct objects apart.
+func caPhase1(tag string) string { return "ca1-" + tag }
+func caPhase2(tag string) string { return "ca2-" + tag }
+
+// cleanMark prefixes phase-2 values written by processes that saw a
+// unanimous phase 1.
+const cleanMark = "C|"
+
+// CommitAdopt executes the two-phase commit-adopt protocol for the object
+// named tag with proposal v, using the calling process's Env. Proposals
+// must be non-empty.
+func CommitAdopt(env *Env, tag string, v Value) CAOutput {
+	// Phase 1: publish the proposal, then collect.
+	env.Write(caPhase1(tag), v)
+	seen := env.Collect(caPhase1(tag))
+	unanimous := true
+	for _, o := range seen {
+		if o != "" && o != v {
+			unanimous = false
+			break
+		}
+	}
+	// Phase 2: publish (clean?, value), then collect.
+	p2 := Value(string(v))
+	if unanimous {
+		p2 = Value(cleanMark + string(v))
+	}
+	env.Write(caPhase2(tag), p2)
+	seen2 := env.Collect(caPhase2(tag))
+
+	allCleanMine := true
+	var cleanVal Value
+	hasClean := false
+	for _, o := range seen2 {
+		if o == "" {
+			continue
+		}
+		s := string(o)
+		if len(s) >= len(cleanMark) && s[:len(cleanMark)] == cleanMark {
+			val := Value(s[len(cleanMark):])
+			hasClean = true
+			cleanVal = val
+			if val != v {
+				allCleanMine = false
+			}
+		} else {
+			allCleanMine = false
+		}
+	}
+	switch {
+	case allCleanMine && unanimous:
+		return CAOutput{Proc: env.ID(), Grade: Commit, Val: v}
+	case hasClean:
+		return CAOutput{Proc: env.ID(), Grade: Adopt, Val: cleanVal}
+	default:
+		return CAOutput{Proc: env.ID(), Grade: Adopt, Val: v}
+	}
+}
+
+// RunCommitAdopt runs one commit-adopt object for n processes with the
+// given proposals under the options, returning the outputs of processes
+// that completed.
+func RunCommitAdopt(inputs []Value, opts RunOptions) ([]CAOutput, error) {
+	for i, in := range inputs {
+		if in == "" {
+			return nil, fmt.Errorf("sharedmem: input of p%d is empty", i+1)
+		}
+	}
+	outs := make([]CAOutput, 0, len(inputs))
+	programs := make([]Program, len(inputs))
+	for i, in := range inputs {
+		in := in
+		programs[i] = func(env *Env) {
+			outs = append(outs, CommitAdopt(env, "obj", in))
+		}
+	}
+	if _, err := Run(1, programs, opts); err != nil {
+		return nil, err
+	}
+	return outs, nil
+}
+
+// CheckCommitAdopt verifies the three commit-adopt properties on a set of
+// outputs given the proposals.
+func CheckCommitAdopt(inputs []Value, outs []CAOutput) error {
+	proposed := make(map[Value]bool, len(inputs))
+	allSame := true
+	for _, in := range inputs {
+		proposed[in] = true
+		if in != inputs[0] {
+			allSame = false
+		}
+	}
+	var committed Value
+	hasCommit := false
+	for _, o := range outs {
+		if !proposed[o.Val] {
+			return fmt.Errorf("sharedmem: %v returned unproposed %q (CA-Validity)", o.Proc, o.Val)
+		}
+		if o.Grade != Adopt && o.Grade != Commit {
+			return fmt.Errorf("sharedmem: %v returned invalid grade %v", o.Proc, o.Grade)
+		}
+		if allSame && o.Grade != Commit {
+			return fmt.Errorf("sharedmem: unanimous proposals but %v only adopted (CA-Commitment)", o.Proc)
+		}
+		if o.Grade == Commit {
+			if hasCommit && committed != o.Val {
+				return fmt.Errorf("sharedmem: two different values committed: %q and %q", committed, o.Val)
+			}
+			hasCommit = true
+			committed = o.Val
+		}
+	}
+	if hasCommit {
+		for _, o := range outs {
+			if o.Val != committed {
+				return fmt.Errorf("sharedmem: %q committed but %v returned %q (CA-Agreement)", committed, o.Proc, o.Val)
+			}
+		}
+	}
+	return nil
+}

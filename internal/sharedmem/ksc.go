@@ -1,0 +1,158 @@
+package sharedmem
+
+import (
+	"fmt"
+	"sort"
+
+	"nobroadcast/internal/model"
+)
+
+// This file implements the shared-memory equivalence the paper's Section
+// 1.3 builds its contrast on: k-set agreement and k-simultaneous consensus
+// (k-SC) are equivalent in the crash-prone asynchronous read/write model
+// (Afek, Gafni, Rajsbaum, Raynal, Travers [1]), while in message passing
+// k-SC is strictly harder than k-SA (Bouzid, Travers [6]).
+//
+// k-simultaneous consensus gives each process one operation that returns a
+// pair (i, v), 1 ≤ i ≤ k, such that any two processes returning the same
+// index i return the same value v, and every returned value was proposed.
+//
+// The construction of k-SC from one k-SA object and atomic snapshots:
+//
+//  1. w := KSA.propose(input)          — at most k distinct w exist;
+//  2. write w into your slot of a shared array;
+//  3. V := snapshot(array)             — the set of values written so far.
+//
+// Atomic-snapshot views are totally ordered by containment, so two
+// processes whose views contain the same number of distinct values have
+// the same view; returning (|V|, max(V)) therefore satisfies index
+// agreement, and 1 ≤ |V| ≤ k because only k-SA decisions are written.
+//
+// The reverse direction is immediate: k-SC's value component solves k-SA.
+
+// KSCOutput is the result of a k-simultaneous-consensus invocation.
+type KSCOutput struct {
+	Proc  model.ProcID
+	Index int
+	Val   Value
+}
+
+// kscArray is the shared array name used by the construction.
+const kscArray = "ksc-decided"
+
+// kscObject is the k-SA object backing the construction.
+const kscObject model.KSAID = 1
+
+// KSCProgram returns the program run by one process to execute the k-SC
+// construction with the given input; the output is delivered through the
+// out callback (invoked at most once, before the program returns).
+// Inputs must be non-empty (the empty value marks unwritten registers).
+func KSCProgram(input Value, out func(KSCOutput)) Program {
+	return func(env *Env) {
+		w := env.Propose(kscObject, input)
+		env.Write(kscArray, w)
+		view := env.Snapshot(kscArray)
+		distinct := distinctNonEmpty(view)
+		out(KSCOutput{
+			Proc:  env.ID(),
+			Index: len(distinct),
+			Val:   distinct[len(distinct)-1], // max, by sortedness
+		})
+	}
+}
+
+// distinctNonEmpty returns the sorted distinct non-empty values of a view.
+func distinctNonEmpty(view []Value) []Value {
+	set := make(map[Value]bool, len(view))
+	for _, v := range view {
+		if v != "" {
+			set[v] = true
+		}
+	}
+	out := make([]Value, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// RunKSC runs the k-SC construction for n processes with the given inputs
+// under the options, returning the outputs of the processes that
+// completed. This is the k-SA → k-SC direction of the equivalence.
+func RunKSC(k int, inputs []Value, opts RunOptions) ([]KSCOutput, error) {
+	for i, in := range inputs {
+		if in == "" {
+			return nil, fmt.Errorf("sharedmem: input of p%d is empty; non-empty inputs required", i+1)
+		}
+	}
+	outs := make([]KSCOutput, 0, len(inputs))
+	programs := make([]Program, len(inputs))
+	for i, in := range inputs {
+		programs[i] = KSCProgram(in, func(o KSCOutput) { outs = append(outs, o) })
+	}
+	if _, err := Run(k, programs, opts); err != nil {
+		return nil, err
+	}
+	return outs, nil
+}
+
+// CheckKSC verifies the three k-SC properties on a set of outputs:
+// index range (1 ≤ i ≤ k), index agreement (same index ⇒ same value), and
+// validity (every value was proposed).
+func CheckKSC(k int, inputs []Value, outs []KSCOutput) error {
+	proposed := make(map[Value]bool, len(inputs))
+	for _, in := range inputs {
+		proposed[in] = true
+	}
+	byIndex := make(map[int]Value)
+	for _, o := range outs {
+		if o.Index < 1 || o.Index > k {
+			return fmt.Errorf("sharedmem: %v returned index %d outside [1,%d]", o.Proc, o.Index, k)
+		}
+		if !proposed[o.Val] {
+			return fmt.Errorf("sharedmem: %v returned unproposed value %q", o.Proc, o.Val)
+		}
+		if prev, ok := byIndex[o.Index]; ok && prev != o.Val {
+			return fmt.Errorf("sharedmem: index %d maps to both %q and %q", o.Index, prev, o.Val)
+		}
+		byIndex[o.Index] = o.Val
+	}
+	return nil
+}
+
+// RunKSAFromKSC runs the k-SC → k-SA direction: each process executes the
+// k-SC construction and decides the value component. It returns the
+// per-process decisions of completing processes.
+func RunKSAFromKSC(k int, inputs []Value, opts RunOptions) (map[model.ProcID]Value, error) {
+	outs, err := RunKSC(k, inputs, opts)
+	if err != nil {
+		return nil, err
+	}
+	decisions := make(map[model.ProcID]Value, len(outs))
+	for _, o := range outs {
+		decisions[o.Proc] = o.Val
+	}
+	return decisions, nil
+}
+
+// CheckKSA verifies the k-SA properties on shared-memory decisions:
+// validity (decided values were proposed) and agreement (at most k
+// distinct).
+func CheckKSA(k int, inputs []Value, decisions map[model.ProcID]Value) error {
+	proposed := make(map[Value]bool, len(inputs))
+	for _, in := range inputs {
+		proposed[in] = true
+	}
+	distinct := make(map[Value]bool)
+	for p, v := range decisions {
+		if !proposed[v] {
+			return fmt.Errorf("sharedmem: %v decided unproposed %q", p, v)
+		}
+		distinct[v] = true
+	}
+	if len(distinct) > k {
+		return fmt.Errorf("sharedmem: %d distinct decisions, at most %d allowed", len(distinct), k)
+	}
+	return nil
+}

@@ -1,0 +1,346 @@
+// Package sharedmem implements the crash-prone asynchronous shared-memory
+// model CARW_n[k-SA]: processes communicating through atomic single-writer
+// multi-reader registers, with access to k-set-agreement objects.
+//
+// The package exists for the contrast the paper draws in Section 1.3 and
+// its conclusion: k-SA is equivalent to a broadcast abstraction in shared
+// memory but not in message passing. The executable form of that contrast
+// is the equivalence, in shared memory, between k-SA and k-simultaneous
+// consensus (k-SC) established by Afek, Gafni, Rajsbaum, Raynal and
+// Travers [1] — the very result the paper's argument leans on (k-SC is
+// strictly harder than k-SA in message passing [6]).
+//
+// The model is executed by a deterministic coroutine scheduler: each
+// process runs as a goroutine whose shared-memory operations (register
+// reads and writes, k-SA propositions) are individual atomic steps; the
+// scheduler interleaves them under a seeded schedule and can crash
+// processes between steps. Register collects and snapshots are NOT atomic
+// primitives — they are implemented honestly as sequences of single-
+// register reads (double-collect), so the linearizability of snapshot
+// views is a property of the algorithm, verified by tests, not an oracle
+// gift.
+package sharedmem
+
+import (
+	"fmt"
+	"sync"
+
+	"nobroadcast/internal/model"
+	"nobroadcast/internal/rng"
+)
+
+// Value is a shared-memory register value. The empty string is the initial
+// value of every register.
+type Value = model.Value
+
+// Memory is the shared store: named arrays of n SWMR registers plus the
+// k-SA objects. It is only accessed from the scheduler goroutine; atomic
+// operations are functions executed there one at a time.
+type Memory struct {
+	n    int
+	regs map[string][]regCell
+	ksa  *ksaStore
+}
+
+type regCell struct {
+	val Value
+	seq uint64 // write counter, used by double-collect snapshots
+}
+
+func newMemory(n, k int) *Memory {
+	return &Memory{n: n, regs: make(map[string][]regCell), ksa: newKSAStore(k)}
+}
+
+func (m *Memory) array(name string) []regCell {
+	a, ok := m.regs[name]
+	if !ok {
+		a = make([]regCell, m.n)
+		m.regs[name] = a
+	}
+	return a
+}
+
+// ksaStore provides the k-SA objects of CARW_n[k-SA] with the same
+// adoption rule as the message-passing oracle: the first proposals
+// contribute up to k distinct decided values, later proposers adopt the
+// most recent one.
+type ksaStore struct {
+	k       int
+	decided map[model.KSAID][]Value
+}
+
+func newKSAStore(k int) *ksaStore {
+	return &ksaStore{k: k, decided: make(map[model.KSAID][]Value)}
+}
+
+func (s *ksaStore) propose(obj model.KSAID, v Value) Value {
+	vals := s.decided[obj]
+	for _, d := range vals {
+		if d == v {
+			return v
+		}
+	}
+	if len(vals) < s.k {
+		s.decided[obj] = append(vals, v)
+		return v
+	}
+	return vals[len(vals)-1]
+}
+
+// Program is the sequential code of one process. It runs in its own
+// goroutine and performs shared-memory steps through the Env. Returning
+// ends the process (it halts correctly); a crash injected by the scheduler
+// aborts it at its next step.
+type Program func(env *Env)
+
+// errCrashed aborts a crashed process's program via panic/recover inside
+// the framework (programs never observe it).
+type crashSignal struct{}
+
+// Env is a process's handle on the shared memory. All methods block until
+// the scheduler grants the step; each granted step executes atomically.
+type Env struct {
+	id model.ProcID
+	n  int
+	// pending carries the next atomic operation to the scheduler.
+	pending chan func(m *Memory) Value
+	// resume carries the operation's result back, or a crash signal.
+	resume chan stepResult
+}
+
+type stepResult struct {
+	val     Value
+	crashed bool
+}
+
+// ID returns the process identity (1-based).
+func (e *Env) ID() model.ProcID { return e.id }
+
+// N returns the number of processes.
+func (e *Env) N() int { return e.n }
+
+// step submits one atomic operation and waits for its result.
+func (e *Env) step(op func(m *Memory) Value) Value {
+	e.pending <- op
+	res := <-e.resume
+	if res.crashed {
+		panic(crashSignal{})
+	}
+	return res.val
+}
+
+// Write atomically writes v into the calling process's register of the
+// named array (single-writer: a process only writes its own slot).
+func (e *Env) Write(array string, v Value) {
+	id := e.id
+	e.step(func(m *Memory) Value {
+		a := m.array(array)
+		a[id-1] = regCell{val: v, seq: a[id-1].seq + 1}
+		return ""
+	})
+}
+
+// Read atomically reads register j (1-based) of the named array.
+func (e *Env) Read(array string, j int) Value {
+	e.mustIndex(j)
+	return e.step(func(m *Memory) Value {
+		return m.array(array)[j-1].val
+	})
+}
+
+// readCell reads value and sequence number (used by Snapshot).
+func (e *Env) readCell(array string, j int) (Value, uint64) {
+	e.mustIndex(j)
+	var seq uint64
+	v := e.step(func(m *Memory) Value {
+		c := m.array(array)[j-1]
+		seq = c.seq
+		return c.val
+	})
+	return v, seq
+}
+
+func (e *Env) mustIndex(j int) {
+	if j < 1 || j > e.n {
+		panic(fmt.Sprintf("sharedmem: register index %d out of [1,%d]", j, e.n))
+	}
+}
+
+// Collect reads all n registers of the array, one atomic read at a time
+// (NOT atomic as a whole).
+func (e *Env) Collect(array string) []Value {
+	out := make([]Value, e.n)
+	for j := 1; j <= e.n; j++ {
+		out[j-1] = e.Read(array, j)
+	}
+	return out
+}
+
+// Snapshot returns an atomic snapshot of the array by double collect: it
+// repeatedly collects (value, sequence) pairs until two consecutive
+// collects are identical. A clean double collect is linearizable at any
+// point between its two collects, so snapshot views are totally ordered by
+// containment — the property the k-SC construction needs, and which the
+// tests verify. The loop terminates when writers eventually stop (all
+// programs here write finitely many times).
+func (e *Env) Snapshot(array string) []Value {
+	prev := make([]uint64, e.n)
+	for j := 1; j <= e.n; j++ {
+		_, prev[j-1] = e.readCell(array, j)
+	}
+	for {
+		same := true
+		cur := make([]uint64, e.n)
+		next := make([]Value, e.n)
+		for j := 1; j <= e.n; j++ {
+			next[j-1], cur[j-1] = e.readCell(array, j)
+			if cur[j-1] != prev[j-1] {
+				same = false
+			}
+		}
+		if same {
+			return next
+		}
+		prev = cur
+	}
+}
+
+// Propose atomically proposes v on the k-SA object obj and returns the
+// decided value.
+func (e *Env) Propose(obj model.KSAID, v Value) Value {
+	return e.step(func(m *Memory) Value {
+		return m.ksa.propose(obj, v)
+	})
+}
+
+// RunOptions configures a shared-memory run.
+type RunOptions struct {
+	// Seed drives the scheduler's choices.
+	Seed uint64
+	// MaxSteps bounds the run; zero selects the default (1 << 20).
+	MaxSteps int
+	// CrashAt injects crashes: after the step with the given ordinal, the
+	// listed process is crashed.
+	CrashAt map[int]model.ProcID
+}
+
+func (o RunOptions) maxSteps() int {
+	if o.MaxSteps <= 0 {
+		return 1 << 20
+	}
+	return o.MaxSteps
+}
+
+// Run executes the programs (one per process, index i runs as p_{i+1}) in
+// the model CARW_n[k-SA] under a seeded schedule. It returns the set of
+// processes that completed their program (crashed processes are absent).
+// It returns an error if the step bound is exceeded while processes are
+// still running.
+func Run(k int, programs []Program, opts RunOptions) (completed map[model.ProcID]bool, err error) {
+	n := len(programs)
+	if n == 0 {
+		return nil, fmt.Errorf("sharedmem: no programs")
+	}
+	mem := newMemory(n, k)
+	src := rng.New(opts.Seed)
+
+	envs := make([]*Env, n)
+	var wg sync.WaitGroup
+	done := make([]chan struct{}, n)
+	for i := range programs {
+		envs[i] = &Env{
+			id:      model.ProcID(i + 1),
+			n:       n,
+			pending: make(chan func(*Memory) Value),
+			resume:  make(chan stepResult),
+		}
+		done[i] = make(chan struct{})
+	}
+	for i, prog := range programs {
+		i, prog := i, prog
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer close(done[i])
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(crashSignal); !ok {
+						panic(r) // programming error: re-raise
+					}
+				}
+			}()
+			prog(envs[i])
+		}()
+	}
+
+	// The scheduler is strictly lock-step: between scheduling decisions,
+	// every live process is parked at a step boundary (its next operation
+	// sits in parked[i]) or has finished. At most one program goroutine
+	// runs user code at any moment, so programs and their callbacks never
+	// race with each other.
+	completed = make(map[model.ProcID]bool, n)
+	crashed := make(map[int]bool, n)
+	finished := make(map[int]bool, n)
+	parked := make([]func(*Memory) Value, n)
+
+	// park waits until process i reaches its next step boundary or
+	// finishes.
+	park := func(i int) {
+		select {
+		case op := <-envs[i].pending:
+			parked[i] = op
+		case <-done[i]:
+			finished[i] = true
+			completed[model.ProcID(i+1)] = true
+		}
+	}
+	// poison aborts process i at its parked step and joins its goroutine.
+	poison := func(i int) {
+		crashed[i] = true
+		if parked[i] != nil {
+			parked[i] = nil
+			envs[i].resume <- stepResult{crashed: true}
+		}
+		<-done[i]
+	}
+
+	for i := range programs {
+		park(i)
+	}
+	defer func() {
+		for i := 0; i < n; i++ {
+			if !crashed[i] && !finished[i] {
+				poison(i)
+			}
+		}
+		wg.Wait()
+	}()
+
+	runnable := func() []int {
+		var out []int
+		for i := 0; i < n; i++ {
+			if !crashed[i] && !finished[i] {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+
+	for steps := 0; ; steps++ {
+		if p, ok := opts.CrashAt[steps]; ok && int(p) >= 1 && int(p) <= n && !crashed[int(p)-1] && !finished[int(p)-1] {
+			poison(int(p) - 1)
+		}
+		candidates := runnable()
+		if len(candidates) == 0 {
+			return completed, nil
+		}
+		if steps >= opts.maxSteps() {
+			return completed, fmt.Errorf("sharedmem: step bound %d exceeded with %d processes still running", opts.maxSteps(), len(candidates))
+		}
+		i := candidates[src.Intn(len(candidates))]
+		op := parked[i]
+		parked[i] = nil
+		envs[i].resume <- stepResult{val: op(mem)}
+		park(i)
+	}
+}

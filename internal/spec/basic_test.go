@@ -1,0 +1,200 @@
+package spec
+
+import (
+	"testing"
+
+	"nobroadcast/internal/model"
+	"nobroadcast/internal/trace"
+)
+
+func TestBasicBroadcastAccepts(t *testing.T) {
+	b := newTB(2)
+	m := b.bcast(1, "a")
+	b.deliver(1, m)
+	b.deliver(2, m)
+	wantOK(t, BasicBroadcast(), b.trace(true))
+}
+
+func TestSendToAllIsBasic(t *testing.T) {
+	if SendToAll().Name() != "Send-To-All" {
+		t.Errorf("name = %q", SendToAll().Name())
+	}
+	b := newTB(2)
+	m := b.bcast(1, "a")
+	b.deliver(1, m)
+	b.deliver(2, m)
+	wantOK(t, SendToAll(), b.trace(true))
+}
+
+func TestBCValidityUnbroadcast(t *testing.T) {
+	b := newTB(2)
+	b.x.Append(model.Step{Proc: 1, Kind: model.KindDeliver, Peer: 2, Msg: 9, Payload: "x"})
+	wantViolation(t, BasicBroadcast(), b.trace(false), "BC-Validity")
+}
+
+func TestBCValidityWrongOrigin(t *testing.T) {
+	b := newTB(3)
+	m := b.bcast(1, "a")
+	b.x.Append(model.Step{Proc: 2, Kind: model.KindDeliver, Peer: 3, Msg: m, Payload: "a"})
+	wantViolation(t, BasicBroadcast(), b.trace(false), "BC-Validity")
+}
+
+func TestBCValidityPayloadMismatch(t *testing.T) {
+	b := newTB(2)
+	m := b.bcast(1, "a")
+	b.x.Append(model.Step{Proc: 2, Kind: model.KindDeliver, Peer: 1, Msg: m, Payload: "tampered"})
+	wantViolation(t, BasicBroadcast(), b.trace(false), "BC-Validity")
+}
+
+func TestBCValidityDoubleBroadcast(t *testing.T) {
+	b := newTB(2)
+	b.x.Append(
+		model.Step{Proc: 1, Kind: model.KindBroadcastInvoke, Msg: 1, Payload: "a"},
+		model.Step{Proc: 1, Kind: model.KindBroadcastReturn, Msg: 1},
+		model.Step{Proc: 2, Kind: model.KindBroadcastInvoke, Msg: 1, Payload: "b"},
+	)
+	wantViolation(t, BasicBroadcast(), b.trace(false), "BC-Validity")
+}
+
+func TestBCNoDuplication(t *testing.T) {
+	b := newTB(2)
+	m := b.bcast(1, "a")
+	b.deliver(2, m)
+	b.deliver(2, m)
+	wantViolation(t, BasicBroadcast(), b.trace(false), "BC-No-Duplication")
+}
+
+func TestBCLocalTermination(t *testing.T) {
+	b := newTB(2)
+	// Invocation without return.
+	b.x.Append(model.Step{Proc: 1, Kind: model.KindBroadcastInvoke, Msg: 1, Payload: "a"})
+	b.deliver(1, 1)
+	b.deliver(2, 1)
+	wantOK(t, BasicBroadcast(), b.trace(false)) // prefix: fine
+	wantViolation(t, BasicBroadcast(), b.trace(true), "BC-Local-Termination")
+}
+
+func TestBCLocalTerminationFaultyExempt(t *testing.T) {
+	b := newTB(2)
+	b.x.Append(model.Step{Proc: 1, Kind: model.KindBroadcastInvoke, Msg: 1, Payload: "a"})
+	b.crash(1)
+	wantOK(t, BasicBroadcast(), b.trace(true))
+}
+
+func TestBCGlobalCSTermination(t *testing.T) {
+	b := newTB(3)
+	m := b.bcast(1, "a")
+	b.deliver(1, m)
+	b.deliver(2, m)
+	// p3 never delivers; p1 is correct, so on a complete trace this is a
+	// violation.
+	wantOK(t, BasicBroadcast(), b.trace(false))
+	wantViolation(t, BasicBroadcast(), b.trace(true), "BC-Global-CS-Termination")
+}
+
+func TestBCGlobalCSTerminationFaultySenderExempt(t *testing.T) {
+	b := newTB(3)
+	m := b.bcast(1, "a")
+	b.deliver(1, m)
+	b.crash(1)
+	// Faulty sender: other processes need not deliver (the "CS" of the
+	// property name: it is contingent on the sender's correctness).
+	wantOK(t, BasicBroadcast(), b.trace(true))
+}
+
+func TestBCGlobalCSTerminationFaultyReceiverExempt(t *testing.T) {
+	b := newTB(3)
+	m := b.bcast(1, "a")
+	b.deliver(1, m)
+	b.deliver(2, m)
+	b.crash(3)
+	wantOK(t, BasicBroadcast(), b.trace(true))
+}
+
+// --- k-SA specification ---
+
+func proposeStep(p model.ProcID, obj model.KSAID, v model.Value) model.Step {
+	return model.Step{Proc: p, Kind: model.KindPropose, Obj: obj, Val: v}
+}
+
+func decideStep(p model.ProcID, obj model.KSAID, v model.Value) model.Step {
+	return model.Step{Proc: p, Kind: model.KindDecide, Obj: obj, Val: v}
+}
+
+func TestKSAAccepts(t *testing.T) {
+	x := model.NewExecution(3)
+	x.Append(
+		proposeStep(1, 1, "a"), decideStep(1, 1, "a"),
+		proposeStep(2, 1, "b"), decideStep(2, 1, "b"),
+		proposeStep(3, 1, "c"), decideStep(3, 1, "b"),
+	)
+	wantOK(t, KSA(2), &trace.Trace{X: x, Complete: true})
+}
+
+func TestKSAValidityUnproposed(t *testing.T) {
+	x := model.NewExecution(2)
+	x.Append(proposeStep(1, 1, "a"), decideStep(1, 1, "z"))
+	wantViolation(t, KSA(2), &trace.Trace{X: x}, "k-SA-Validity")
+}
+
+func TestKSAValidityDecideWithoutPropose(t *testing.T) {
+	x := model.NewExecution(2)
+	x.Append(proposeStep(1, 1, "a"), decideStep(2, 1, "a"))
+	wantViolation(t, KSA(2), &trace.Trace{X: x}, "k-SA-Validity")
+}
+
+func TestKSAValidityAnotherProcessValue(t *testing.T) {
+	// Deciding a value proposed by a different process is valid.
+	x := model.NewExecution(2)
+	x.Append(
+		proposeStep(1, 1, "a"), decideStep(1, 1, "a"),
+		proposeStep(2, 1, "b"), decideStep(2, 1, "a"),
+	)
+	wantOK(t, KSA(1), &trace.Trace{X: x, Complete: true})
+}
+
+func TestKSAAgreement(t *testing.T) {
+	x := model.NewExecution(3)
+	x.Append(
+		proposeStep(1, 1, "a"), decideStep(1, 1, "a"),
+		proposeStep(2, 1, "b"), decideStep(2, 1, "b"),
+		proposeStep(3, 1, "c"), decideStep(3, 1, "c"),
+	)
+	wantViolation(t, KSA(2), &trace.Trace{X: x}, "k-SA-Agreement")
+	wantOK(t, KSA(3), &trace.Trace{X: x, Complete: true})
+}
+
+func TestKSAAgreementPerObject(t *testing.T) {
+	// Two objects with 2 distinct decisions each: fine for k=2.
+	x := model.NewExecution(2)
+	x.Append(
+		proposeStep(1, 1, "a"), decideStep(1, 1, "a"),
+		proposeStep(2, 1, "b"), decideStep(2, 1, "b"),
+		proposeStep(1, 2, "c"), decideStep(1, 2, "c"),
+		proposeStep(2, 2, "d"), decideStep(2, 2, "d"),
+	)
+	wantOK(t, KSA(2), &trace.Trace{X: x, Complete: true})
+}
+
+func TestKSAOneShot(t *testing.T) {
+	x := model.NewExecution(2)
+	x.Append(proposeStep(1, 1, "a"), decideStep(1, 1, "a"), proposeStep(1, 1, "b"))
+	wantViolation(t, KSA(2), &trace.Trace{X: x}, "One-Shot")
+
+	y := model.NewExecution(2)
+	y.Append(proposeStep(1, 1, "a"), decideStep(1, 1, "a"), decideStep(1, 1, "a"))
+	wantViolation(t, KSA(2), &trace.Trace{X: y}, "One-Shot")
+}
+
+func TestKSATermination(t *testing.T) {
+	x := model.NewExecution(2)
+	x.Append(proposeStep(1, 1, "a"))
+	wantOK(t, KSA(2), &trace.Trace{X: x, Complete: false})
+	wantViolation(t, KSA(2), &trace.Trace{X: x, Complete: true}, "k-SA-Termination")
+}
+
+func TestKSATerminationFaultyExempt(t *testing.T) {
+	x := model.NewExecution(2)
+	x.Append(proposeStep(1, 1, "a"), model.Step{Proc: 1, Kind: model.KindCrash})
+	wantOK(t, KSA(2), &trace.Trace{X: x, Complete: true})
+}

@@ -1,0 +1,86 @@
+package spec
+
+import (
+	"testing"
+
+	"nobroadcast/internal/model"
+	"nobroadcast/internal/trace"
+)
+
+func send(p, q model.ProcID, m model.MsgID, pl model.Payload) model.Step {
+	return model.Step{Proc: p, Kind: model.KindSend, Peer: q, Msg: m, Payload: pl}
+}
+
+func recv(p, q model.ProcID, m model.MsgID, pl model.Payload) model.Step {
+	return model.Step{Proc: p, Kind: model.KindReceive, Peer: q, Msg: m, Payload: pl}
+}
+
+func TestChannelsAccepts(t *testing.T) {
+	x := model.NewExecution(2)
+	x.Append(
+		send(1, 2, 1, "a"),
+		recv(2, 1, 1, "a"),
+		send(2, 2, 2, "self"),
+		recv(2, 2, 2, "self"),
+	)
+	wantOK(t, Channels(), &trace.Trace{X: x, Complete: true})
+}
+
+func TestChannelsSRValidityUnsent(t *testing.T) {
+	x := model.NewExecution(2)
+	x.Append(recv(2, 1, 1, "a"))
+	wantViolation(t, Channels(), &trace.Trace{X: x}, "SR-Validity")
+}
+
+func TestChannelsSRValidityWrongSender(t *testing.T) {
+	x := model.NewExecution(3)
+	x.Append(
+		send(1, 2, 1, "a"),
+		recv(2, 3, 1, "a"), // claims to come from p3
+	)
+	wantViolation(t, Channels(), &trace.Trace{X: x}, "SR-Validity")
+}
+
+func TestChannelsSRValidityWrongReceiver(t *testing.T) {
+	x := model.NewExecution(3)
+	x.Append(
+		send(1, 2, 1, "a"),
+		recv(3, 1, 1, "a"), // delivered to p3, was sent to p2
+	)
+	wantViolation(t, Channels(), &trace.Trace{X: x}, "SR-Validity")
+}
+
+func TestChannelsSRValidityDoubleSend(t *testing.T) {
+	x := model.NewExecution(2)
+	x.Append(send(1, 2, 1, "a"), send(1, 2, 1, "a"))
+	wantViolation(t, Channels(), &trace.Trace{X: x}, "SR-Validity")
+}
+
+func TestChannelsSRNoDuplication(t *testing.T) {
+	x := model.NewExecution(2)
+	x.Append(
+		send(1, 2, 1, "a"),
+		recv(2, 1, 1, "a"),
+		recv(2, 1, 1, "a"),
+	)
+	wantViolation(t, Channels(), &trace.Trace{X: x}, "SR-No-Duplication")
+}
+
+func TestChannelsSRTerminationOnComplete(t *testing.T) {
+	x := model.NewExecution(2)
+	x.Append(send(1, 2, 1, "a"))
+	// Incomplete trace: liveness not evaluated.
+	wantOK(t, Channels(), &trace.Trace{X: x, Complete: false})
+	// Complete trace with the receiver correct: violation.
+	wantViolation(t, Channels(), &trace.Trace{X: x, Complete: true}, "SR-Termination")
+}
+
+func TestChannelsSRTerminationFaultyReceiverExempt(t *testing.T) {
+	x := model.NewExecution(2)
+	x.Append(
+		send(1, 2, 1, "a"),
+		model.Step{Proc: 2, Kind: model.KindCrash},
+	)
+	// p2 crashed: its pending message need not be received.
+	wantOK(t, Channels(), &trace.Trace{X: x, Complete: true})
+}

@@ -1,0 +1,131 @@
+package spec
+
+import (
+	"testing"
+
+	"nobroadcast/internal/model"
+)
+
+func TestUniformReliableAccepts(t *testing.T) {
+	b := newTB(3)
+	m := b.bcast(1, "a")
+	b.deliver(1, m)
+	b.deliver(2, m)
+	b.deliver(3, m)
+	wantOK(t, UniformReliable(), b.trace(true))
+}
+
+func TestUniformReliableRejectsPartialDelivery(t *testing.T) {
+	// The faulty sender delivered its own message, p3 did not: plain
+	// reliable broadcast tolerates this only if NOBODY delivered; uniform
+	// reliable does not.
+	b := newTB(3)
+	m := b.bcast(1, "a")
+	b.deliver(1, m)
+	b.crash(1)
+	// p2 also delivered (it got the direct send), p3 never does.
+	b.deliver(2, m)
+	wantViolation(t, UniformReliable(), b.trace(true), "BC-Uniform-Termination")
+	// The plain (CS) termination property exempts the faulty sender's
+	// message entirely — same trace, weaker spec, admissible.
+	wantOK(t, BasicBroadcast(), b.trace(true))
+}
+
+func TestUniformReliableFaultyDelivererStillBinds(t *testing.T) {
+	// Even a delivery by a process that later crashes obliges everyone.
+	b := newTB(3)
+	m := b.bcast(1, "a")
+	b.deliver(1, m)
+	b.crash(1)
+	wantViolation(t, UniformReliable(), b.trace(true), "BC-Uniform-Termination")
+}
+
+func TestUniformReliableUndeliveredEverywhereOK(t *testing.T) {
+	// Sender crashes before anyone delivers: vacuously fine.
+	b := newTB(3)
+	b.x.Append(model.Step{Proc: 1, Kind: model.KindBroadcastInvoke, Msg: 1, Payload: "a"})
+	b.crash(1)
+	wantOK(t, UniformReliable(), b.trace(true))
+}
+
+func TestUniformReliableIncompleteSkipsLiveness(t *testing.T) {
+	b := newTB(3)
+	m := b.bcast(1, "a")
+	b.deliver(1, m)
+	wantOK(t, UniformReliable(), b.trace(false))
+}
+
+func TestMutualOrderAccepts(t *testing.T) {
+	// p1 sees m2 before its own m1; p2 sees its own first — legal, only
+	// BOTH-own-first is forbidden.
+	b := newTB(2)
+	m1 := b.bcast(1, "a")
+	m2 := b.bcast(2, "b")
+	b.deliver(1, m2)
+	b.deliver(1, m1)
+	b.deliver(2, m2)
+	b.deliver(2, m1)
+	wantOK(t, MutualOrder(), b.trace(true))
+	wantOK(t, MutualBroadcast(), b.trace(true))
+}
+
+func TestMutualOrderRejectsMutualInvisibility(t *testing.T) {
+	b := newTB(2)
+	m1 := b.bcast(1, "a")
+	m2 := b.bcast(2, "b")
+	b.deliver(1, m1) // own first at p1
+	b.deliver(1, m2)
+	b.deliver(2, m2) // own first at p2
+	b.deliver(2, m1)
+	wantViolation(t, MutualOrder(), b.trace(true), "Mutual")
+}
+
+func TestMutualOrderSameSenderExempt(t *testing.T) {
+	// Two messages by the same sender never conflict under the mutual
+	// property.
+	b := newTB(2)
+	m1 := b.bcast(1, "a")
+	m2 := b.bcast(1, "b")
+	b.deliver(1, m1)
+	b.deliver(1, m2)
+	b.deliver(2, m2)
+	b.deliver(2, m1)
+	wantOK(t, MutualOrder(), b.trace(true))
+}
+
+func TestMutualOrderPrefixSafe(t *testing.T) {
+	// p2 has not delivered m1 yet: the violation requires all four
+	// deliveries, so the prefix is admissible.
+	b := newTB(2)
+	m1 := b.bcast(1, "a")
+	m2 := b.bcast(2, "b")
+	b.deliver(1, m1)
+	b.deliver(1, m2)
+	b.deliver(2, m2)
+	wantOK(t, MutualOrder(), b.trace(false))
+}
+
+func TestMutualOrderSymmetryProperties(t *testing.T) {
+	b := newTB(2)
+	m1 := b.bcast(1, "a")
+	m2 := b.bcast(2, "b")
+	b.deliver(1, m2)
+	b.deliver(1, m1)
+	b.deliver(2, m2)
+	b.deliver(2, m1)
+	tr := b.trace(true)
+	comp, err := CheckCompositional(MutualOrder(), tr, SymmetryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !comp.Holds {
+		t.Errorf("mutual order should be compositional: %v", comp.Violation)
+	}
+	cn, err := CheckContentNeutral(MutualOrder(), tr, SymmetryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cn.Holds {
+		t.Errorf("mutual order should be content-neutral: %v", cn.Violation)
+	}
+}

@@ -1,0 +1,330 @@
+package spec
+
+import (
+	"fmt"
+	"testing"
+
+	"nobroadcast/internal/model"
+)
+
+func TestFIFOAccepts(t *testing.T) {
+	b := newTB(2)
+	m1 := b.bcast(1, "a")
+	m2 := b.bcast(1, "b")
+	b.deliver(1, m1)
+	b.deliver(1, m2)
+	b.deliver(2, m1)
+	b.deliver(2, m2)
+	wantOK(t, FIFOOrder(), b.trace(true))
+	wantOK(t, FIFOBroadcast(), b.trace(true))
+}
+
+func TestFIFORejectsReorder(t *testing.T) {
+	b := newTB(2)
+	m1 := b.bcast(1, "a")
+	m2 := b.bcast(1, "b")
+	b.deliver(2, m2) // m2 before m1: FIFO violation
+	b.deliver(2, m1)
+	_ = m1
+	wantViolation(t, FIFOOrder(), b.trace(false), "FIFO")
+}
+
+func TestFIFOAllowsCrossSenderReorder(t *testing.T) {
+	b := newTB(2)
+	m1 := b.bcast(1, "a")
+	m2 := b.bcast(2, "b")
+	b.deliver(1, m1)
+	b.deliver(1, m2)
+	b.deliver(2, m2)
+	b.deliver(2, m1)
+	wantOK(t, FIFOOrder(), b.trace(true))
+}
+
+func TestCausalAccepts(t *testing.T) {
+	b := newTB(2)
+	m1 := b.bcast(1, "a")
+	b.deliver(1, m1)
+	b.deliver(2, m1)
+	m2 := b.bcast(2, "reply") // causally after m1 at p2
+	b.deliver(2, m2)
+	b.deliver(1, m2)
+	wantOK(t, CausalOrder(), b.trace(true))
+	wantOK(t, CausalBroadcast(), b.trace(true))
+}
+
+func TestCausalRejectsReplyBeforeCause(t *testing.T) {
+	b := newTB(3)
+	m1 := b.bcast(1, "a")
+	b.deliver(1, m1)
+	b.deliver(2, m1)
+	m2 := b.bcast(2, "reply")
+	b.deliver(2, m2)
+	// p3 delivers the reply before its cause.
+	b.deliver(3, m2)
+	b.deliver(3, m1)
+	wantViolation(t, CausalOrder(), b.trace(false), "Causal")
+}
+
+func TestCausalRejectsLocalOrderViolation(t *testing.T) {
+	b := newTB(2)
+	m1 := b.bcast(1, "a")
+	m2 := b.bcast(1, "b") // local order: m1 -> m2
+	b.deliver(2, m2)
+	b.deliver(2, m1)
+	_ = m1
+	wantViolation(t, CausalOrder(), b.trace(false), "Causal")
+}
+
+func TestCausalTransitivity(t *testing.T) {
+	b := newTB(3)
+	m1 := b.bcast(1, "a")
+	b.deliver(1, m1)
+	b.deliver(2, m1)
+	m2 := b.bcast(2, "b") // m1 -> m2
+	b.deliver(2, m2)
+	b.deliver(3, m2)
+	m3 := b.bcast(3, "c") // m2 -> m3, so m1 -> m3 transitively
+	b.deliver(3, m3)
+	// p1 delivers m3 without m1's successor m2 — wait, p1 already has m1.
+	// Deliver m3 at p1 before m2: causal violation (m2 -> m3).
+	b.deliver(1, m3)
+	wantViolation(t, CausalOrder(), b.trace(false), "Causal")
+}
+
+func TestCausalAllowsConcurrent(t *testing.T) {
+	b := newTB(2)
+	m1 := b.bcast(1, "a")
+	m2 := b.bcast(2, "b") // concurrent with m1
+	b.deliver(1, m1)
+	b.deliver(1, m2)
+	b.deliver(2, m2)
+	b.deliver(2, m1)
+	wantOK(t, CausalOrder(), b.trace(true))
+}
+
+func TestTotalOrderAccepts(t *testing.T) {
+	b := newTB(2)
+	m1 := b.bcast(1, "a")
+	m2 := b.bcast(2, "b")
+	b.deliver(1, m1)
+	b.deliver(1, m2)
+	b.deliver(2, m1)
+	b.deliver(2, m2)
+	wantOK(t, TotalOrder(), b.trace(true))
+	wantOK(t, TotalOrderBroadcast(), b.trace(true))
+}
+
+func TestTotalOrderRejectsDisagreement(t *testing.T) {
+	b := newTB(2)
+	m1 := b.bcast(1, "a")
+	m2 := b.bcast(2, "b")
+	b.deliver(1, m1)
+	b.deliver(1, m2)
+	b.deliver(2, m2)
+	b.deliver(2, m1)
+	wantViolation(t, TotalOrder(), b.trace(false), "Total-Order")
+}
+
+func TestTotalOrderPrefixSafe(t *testing.T) {
+	// p1 delivered both, p2 delivered only m2: no violation yet (p2 may
+	// deliver m1 later... but then orders would conflict; still, the
+	// prefix itself must not be flagged since p2's m1 delivery has not
+	// happened).
+	b := newTB(2)
+	m1 := b.bcast(1, "a")
+	m2 := b.bcast(2, "b")
+	b.deliver(1, m1)
+	b.deliver(1, m2)
+	b.deliver(2, m2)
+	wantOK(t, TotalOrder(), b.trace(false))
+}
+
+// kboCliqueTrace builds a trace over n = size processes where each process
+// broadcasts one message and delivers its own first, then everyone
+// delivers everything — making all cross-sender pairs conflict.
+func kboCliqueTrace(size int) *tb {
+	b := newTB(size)
+	msgs := make([]model.MsgID, size)
+	for p := 1; p <= size; p++ {
+		msgs[p-1] = b.bcast(model.ProcID(p), model.Payload(fmt.Sprintf("v%d", p)))
+	}
+	for p := 1; p <= size; p++ {
+		b.deliver(model.ProcID(p), msgs[p-1]) // own first
+		for q := 1; q <= size; q++ {
+			if q != p {
+				b.deliver(model.ProcID(p), msgs[q-1])
+			}
+		}
+	}
+	return b
+}
+
+func TestKBORejectsCliqueOfKPlus1(t *testing.T) {
+	// 3 processes, each delivering its own message first: all 3 pairs
+	// conflict, so 2-BO is violated (every 3 messages must contain a
+	// commonly ordered pair) but 3-BO holds.
+	b := kboCliqueTrace(3)
+	wantViolation(t, KBOOrder(2), b.trace(true), "k-Bounded-Order")
+	wantOK(t, KBOOrder(3), b.trace(true))
+}
+
+func TestKBOTotalOrderIsOneBO(t *testing.T) {
+	b := newTB(2)
+	m1 := b.bcast(1, "a")
+	m2 := b.bcast(2, "b")
+	for _, p := range []model.ProcID{1, 2} {
+		b.deliver(p, m1)
+		b.deliver(p, m2)
+	}
+	wantOK(t, KBOOrder(1), b.trace(true))
+}
+
+func TestKBOOneBORejectsAnyConflict(t *testing.T) {
+	b := newTB(2)
+	m1 := b.bcast(1, "a")
+	m2 := b.bcast(2, "b")
+	b.deliver(1, m1)
+	b.deliver(1, m2)
+	b.deliver(2, m2)
+	b.deliver(2, m1)
+	wantViolation(t, KBOOrder(1), b.trace(true), "k-Bounded-Order")
+}
+
+func TestKBOCommonlyOrderedPairSaves(t *testing.T) {
+	// 3 messages; m1,m2 conflict but m3 is ordered after both everywhere:
+	// every 3-set contains a commonly ordered pair, so 2-BO holds.
+	b := newTB(2)
+	m1 := b.bcast(1, "a")
+	m2 := b.bcast(2, "b")
+	m3 := b.bcast(1, "c")
+	b.deliver(1, m1)
+	b.deliver(1, m2)
+	b.deliver(1, m3)
+	b.deliver(2, m2)
+	b.deliver(2, m1)
+	b.deliver(2, m3)
+	wantOK(t, KBOOrder(2), b.trace(true))
+}
+
+func TestKBOBroadcastComposite(t *testing.T) {
+	b := kboCliqueTrace(3)
+	wantViolation(t, KBOBroadcast(2), b.trace(true), "k-Bounded-Order")
+}
+
+func TestFirstKOrder(t *testing.T) {
+	// 3 processes with 3 distinct first deliveries: violates First-2.
+	b := kboCliqueTrace(3)
+	wantViolation(t, FirstKOrder(2), b.trace(true), "First-k")
+	wantOK(t, FirstKOrder(3), b.trace(true))
+}
+
+func TestFirstKOrderAgreeingFirsts(t *testing.T) {
+	b := newTB(3)
+	m1 := b.bcast(1, "a")
+	for p := 1; p <= 3; p++ {
+		b.deliver(model.ProcID(p), m1)
+	}
+	wantOK(t, FirstKOrder(1), b.trace(true))
+	wantOK(t, FirstKBroadcast(1), b.trace(true))
+}
+
+// paperKSteppedTrace is the execution of Section 3.2's compositionality
+// counterexample: p1 and p2 each 1-Stepped-broadcast two messages (m_i then
+// m'_i); p1 delivers [m1, m1', m2, m2'], p2 delivers [m1, m2, m1', m2'].
+// (The paper numbers processes p0,p1; we use p1,p2.)
+func paperKSteppedTrace() (*tb, [4]model.MsgID) {
+	b := newTB(2)
+	m1 := b.bcast(1, "m1")
+	mp1 := b.bcast(1, "m1'")
+	m2 := b.bcast(2, "m2")
+	mp2 := b.bcast(2, "m2'")
+	// p1: [m1, m1', m2, m2']
+	b.deliver(1, m1)
+	b.deliver(1, mp1)
+	b.deliver(1, m2)
+	b.deliver(1, mp2)
+	// p2: [m1, m2, m1', m2']
+	b.deliver(2, m1)
+	b.deliver(2, m2)
+	b.deliver(2, mp1)
+	b.deliver(2, mp2)
+	return b, [4]model.MsgID{m1, mp1, m2, mp2}
+}
+
+func TestKSteppedAcceptsPaperTrace(t *testing.T) {
+	// Both processes deliver m1 before m2 (the S_1 set) and m1' before m2'
+	// (the S_2 set), so the 1-stepped predicate holds on the full trace.
+	b, _ := paperKSteppedTrace()
+	wantOK(t, KSteppedOrder(1), b.trace(true))
+	wantOK(t, KSteppedBroadcast(1), b.trace(true))
+}
+
+func TestKSteppedRejectsDivergentFirsts(t *testing.T) {
+	b := newTB(2)
+	m1 := b.bcast(1, "a")
+	m2 := b.bcast(2, "b")
+	// S_1 = {m1, m2}; p1 delivers m1 first within S_1, p2 delivers m2
+	// first: 2 distinct firsts > k=1.
+	b.deliver(1, m1)
+	b.deliver(1, m2)
+	b.deliver(2, m2)
+	b.deliver(2, m1)
+	wantViolation(t, KSteppedOrder(1), b.trace(true), "k-Stepped")
+	wantOK(t, KSteppedOrder(2), b.trace(true))
+}
+
+func TestSATagRoundTrip(t *testing.T) {
+	p := SATag(7, "hello")
+	obj, v, ok := ParseSATag(p)
+	if !ok || obj != 7 || v != "hello" {
+		t.Errorf("ParseSATag(%q) = %v, %q, %v", p, obj, v, ok)
+	}
+	if _, _, ok := ParseSATag("plain"); ok {
+		t.Error("plain payload parsed as SA tag")
+	}
+	if _, _, ok := ParseSATag("SA|nonsense"); ok {
+		t.Error("malformed tag parsed")
+	}
+	if _, _, ok := ParseSATag("SA|x|y"); ok {
+		t.Error("non-numeric object parsed")
+	}
+}
+
+func TestSATaggedOrder(t *testing.T) {
+	b := newTB(3)
+	// Three processes each broadcast an SA-tagged proposal for object 1.
+	m := make([]model.MsgID, 3)
+	for p := 1; p <= 3; p++ {
+		m[p-1] = b.bcast(model.ProcID(p), SATag(1, model.Value(fmt.Sprintf("v%d", p))))
+	}
+	// Each delivers its own first: 3 distinct SA firsts for object 1.
+	for p := 1; p <= 3; p++ {
+		b.deliver(model.ProcID(p), m[p-1])
+		for q := 1; q <= 3; q++ {
+			if q != p {
+				b.deliver(model.ProcID(p), m[q-1])
+			}
+		}
+	}
+	wantViolation(t, SATaggedOrder(2), b.trace(true), "SA-Tagged-First-k")
+	wantOK(t, SATaggedOrder(3), b.trace(true))
+}
+
+func TestSATaggedOrderIgnoresPlainMessages(t *testing.T) {
+	// Plain (untagged) messages delivered first divergently do not count.
+	b := kboCliqueTrace(3)
+	wantOK(t, SATaggedOrder(1), b.trace(true))
+	wantOK(t, SATaggedBroadcast(1), b.trace(true))
+}
+
+func TestSATaggedOrderPerObject(t *testing.T) {
+	b := newTB(2)
+	ma := b.bcast(1, SATag(1, "a"))
+	mb := b.bcast(2, SATag(2, "b"))
+	// Different objects: each has one first, fine for k=1.
+	b.deliver(1, ma)
+	b.deliver(1, mb)
+	b.deliver(2, mb)
+	b.deliver(2, ma)
+	wantOK(t, SATaggedOrder(1), b.trace(true))
+}

@@ -1,0 +1,204 @@
+package spec
+
+import (
+	"fmt"
+	"testing"
+
+	"nobroadcast/internal/model"
+	"nobroadcast/internal/rng"
+	"nobroadcast/internal/trace"
+)
+
+// genTrace builds a random broadcast-level trace: procs broadcast messages
+// at random points and deliver random subsets of the broadcast messages in
+// random orders (no duplication, valid origins). The traces are admissible
+// by BC-Validity/No-Duplication by construction but deliberately violate
+// ordering specs often — which is what the monotonicity property needs.
+func genTrace(src *rng.Source, n, msgs int) *trace.Trace {
+	x := model.NewExecution(n)
+	type binfo struct {
+		id      model.MsgID
+		from    model.ProcID
+		payload model.Payload
+	}
+	var broadcastSoFar []binfo
+	delivered := make([]map[model.MsgID]bool, n+1)
+	for p := 1; p <= n; p++ {
+		delivered[p] = make(map[model.MsgID]bool)
+	}
+	nextID := model.MsgID(1)
+	for nextID <= model.MsgID(msgs) || src.Intn(4) != 0 {
+		if nextID <= model.MsgID(msgs) && (len(broadcastSoFar) == 0 || src.Bool()) {
+			p := model.ProcID(1 + src.Intn(n))
+			b := binfo{id: nextID, from: p, payload: model.Payload(fmt.Sprintf("g%d", nextID))}
+			nextID++
+			broadcastSoFar = append(broadcastSoFar, b)
+			x.Append(
+				model.Step{Proc: p, Kind: model.KindBroadcastInvoke, Msg: b.id, Payload: b.payload},
+				model.Step{Proc: p, Kind: model.KindBroadcastReturn, Msg: b.id},
+			)
+			continue
+		}
+		// Random delivery of a not-yet-delivered message at a random proc.
+		p := model.ProcID(1 + src.Intn(n))
+		var candidates []binfo
+		for _, b := range broadcastSoFar {
+			if !delivered[p][b.id] {
+				candidates = append(candidates, b)
+			}
+		}
+		if len(candidates) == 0 {
+			if nextID > model.MsgID(msgs) {
+				break
+			}
+			continue
+		}
+		b := candidates[src.Intn(len(candidates))]
+		delivered[p][b.id] = true
+		x.Append(model.Step{Proc: p, Kind: model.KindDeliver, Peer: b.from, Msg: b.id, Payload: b.payload})
+	}
+	return &trace.Trace{X: x, Complete: false}
+}
+
+// safetySpecs are the prefix-monotone specifications under test.
+func safetySpecs() []Spec {
+	return []Spec{
+		BasicBroadcast(),
+		FIFOOrder(),
+		CausalOrder(),
+		TotalOrder(),
+		KBOOrder(1),
+		KBOOrder(2),
+		KSteppedOrder(1),
+		KSteppedOrder(2),
+		FirstKOrder(1),
+		FirstKOrder(2),
+		SATaggedOrder(1),
+		MutualOrder(),
+		WellFormed(),
+	}
+}
+
+// TestSafetyPrefixMonotone: once a finite trace violates a safety spec,
+// every extension violates it too — equivalently, if any prefix is
+// violated the full trace is. Checking prefixes of random traces covers
+// both directions.
+func TestSafetyPrefixMonotone(t *testing.T) {
+	src := rng.New(2024)
+	for round := 0; round < 60; round++ {
+		tr := genTrace(src.Split(), 3, 5)
+		for _, s := range safetySpecs() {
+			full := s.Check(tr) != nil
+			prefixViolated := false
+			for cut := 0; cut <= tr.X.Len(); cut++ {
+				prefix := &trace.Trace{X: &model.Execution{N: tr.X.N, Steps: tr.X.Steps[:cut]}}
+				if s.Check(prefix) != nil {
+					prefixViolated = true
+					break
+				}
+			}
+			if prefixViolated && !full {
+				t.Errorf("round %d: %s violated on a prefix but not on the full trace:\n%s", round, s.Name(), tr.X)
+			}
+		}
+	}
+}
+
+// TestKBORestrictionInvariance (compositionality as a property test): for
+// random traces admitted by k-BO, every random restriction stays admitted
+// (conflict graphs of restrictions are subgraphs).
+func TestKBORestrictionInvariance(t *testing.T) {
+	src := rng.New(7)
+	checked := 0
+	for round := 0; round < 120 && checked < 30; round++ {
+		tr := genTrace(src.Split(), 3, 5)
+		s := KBOOrder(2)
+		if s.Check(tr) != nil {
+			continue // only admissible traces feed the property
+		}
+		checked++
+		sub := src.Split()
+		for trial := 0; trial < 8; trial++ {
+			keep := make(map[model.MsgID]bool)
+			for _, m := range tr.X.Messages() {
+				if sub.Bool() {
+					keep[m] = true
+				}
+			}
+			restricted := &trace.Trace{X: tr.X.Restrict(keep)}
+			if v := s.Check(restricted); v != nil {
+				t.Fatalf("round %d: restriction broke 2-BO: %s\nsubset %v of trace:\n%s", round, v, keep, tr.X)
+			}
+		}
+	}
+	if checked < 10 {
+		t.Fatalf("generator produced too few admissible traces (%d)", checked)
+	}
+}
+
+// TestContentNeutralRenamingInvariance: for the payload-blind specs, the
+// verdict (admitted or violated, and the violated property) is invariant
+// under injective renamings of random traces — a stronger property than
+// Definition 3, which only requires admissibility to be preserved.
+func TestContentNeutralRenamingInvariance(t *testing.T) {
+	src := rng.New(99)
+	blind := []Spec{BasicBroadcast(), FIFOOrder(), CausalOrder(), TotalOrder(), KBOOrder(2), KSteppedOrder(1), FirstKOrder(1), MutualOrder()}
+	for round := 0; round < 40; round++ {
+		tr := genTrace(src.Split(), 3, 4)
+		// Fresh injective renaming.
+		ren := make(model.Renaming)
+		for i, p := range tr.X.Payloads() {
+			ren[p] = model.Payload(fmt.Sprintf("fresh-%d-%d", round, i))
+		}
+		renamed, err := tr.X.Rename(ren)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt := &trace.Trace{X: renamed}
+		for _, s := range blind {
+			v1, v2 := s.Check(tr), s.Check(rt)
+			if (v1 == nil) != (v2 == nil) {
+				t.Errorf("round %d: %s verdict changed under renaming: %v vs %v", round, s.Name(), v1, v2)
+			}
+			if v1 != nil && v2 != nil && v1.Property != v2.Property {
+				t.Errorf("round %d: %s violated property changed: %s vs %s", round, s.Name(), v1.Property, v2.Property)
+			}
+		}
+	}
+}
+
+// TestGeneratorSanity: generated traces satisfy BC-Validity and
+// BC-No-Duplication by construction.
+func TestGeneratorSanity(t *testing.T) {
+	src := rng.New(5)
+	for round := 0; round < 30; round++ {
+		tr := genTrace(src.Split(), 4, 6)
+		if v := BasicBroadcast().Check(tr); v != nil {
+			t.Fatalf("round %d: generator produced invalid trace: %s", round, v)
+		}
+		if v := WellFormed().Check(tr); v != nil {
+			t.Fatalf("round %d: generator produced ill-formed trace: %s", round, v)
+		}
+	}
+}
+
+// TestOrderingSpecsViolatedSometimes: the generator is adversarial enough
+// to exercise the violation paths of every ordering spec.
+func TestOrderingSpecsViolatedSometimes(t *testing.T) {
+	src := rng.New(31)
+	hit := map[string]bool{}
+	specs := []Spec{FIFOOrder(), CausalOrder(), TotalOrder(), KBOOrder(1), KSteppedOrder(1), FirstKOrder(1), MutualOrder()}
+	for round := 0; round < 200; round++ {
+		tr := genTrace(src.Split(), 3, 5)
+		for _, s := range specs {
+			if s.Check(tr) != nil {
+				hit[s.Name()] = true
+			}
+		}
+	}
+	for _, s := range specs {
+		if !hit[s.Name()] {
+			t.Errorf("%s never violated across 200 random traces: generator too tame", s.Name())
+		}
+	}
+}

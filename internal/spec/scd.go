@@ -1,0 +1,172 @@
+package spec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nobroadcast/internal/model"
+	"nobroadcast/internal/trace"
+)
+
+// This file implements the set-delivery generalization the paper's Section
+// 3.1 remark sets aside for readability: Set-Constrained Delivery
+// Broadcast (SCD Broadcast [16]) and its k-SCD extension [15] deliver
+// messages within unordered sets rather than individually. The model
+// supports it through the Batch field of delivery steps: deliveries by one
+// process sharing a positive Batch value form one delivered set; Batch 0
+// marks an ordinary singleton delivery.
+//
+// SCD's ordering property, batch-wise: for any two messages m and m',
+// no two processes deliver them in strictly opposite set orders — if p
+// delivers (a set containing) m strictly before (a set containing) m',
+// then no q delivers m' strictly before m. Messages inside the same set
+// are unordered, which is exactly the slack that makes SCD implementable
+// from read/write registers [16] where Total Order is not.
+
+// batchIndex maps, per process, each delivered message to the ordinal of
+// the delivered set containing it. Consecutive deliveries sharing a
+// positive Batch share an ordinal; Batch-0 deliveries are singleton sets.
+func batchIndex(t *trace.Trace) map[model.ProcID]map[model.MsgID]int {
+	out := make(map[model.ProcID]map[model.MsgID]int)
+	cur := make(map[model.ProcID]int64) // current batch tag per process
+	ord := make(map[model.ProcID]int)   // current set ordinal per process
+	for _, s := range t.X.Steps {
+		if s.Kind != model.KindDeliver {
+			continue
+		}
+		m := out[s.Proc]
+		if m == nil {
+			m = make(map[model.MsgID]int)
+			out[s.Proc] = m
+		}
+		if s.Batch == 0 || s.Batch != cur[s.Proc] {
+			ord[s.Proc]++
+			cur[s.Proc] = s.Batch
+		}
+		if _, dup := m[s.Msg]; !dup {
+			m[s.Msg] = ord[s.Proc]
+		}
+	}
+	return out
+}
+
+// SCDOrder checks the set-constrained delivery ordering property. It is
+// prefix-safe: a strict opposite ordering of two delivered sets cannot be
+// undone by any extension.
+func SCDOrder() Spec {
+	return Func{SpecName: "SCD-Order", CheckFn: checkSCD}
+}
+
+// SCDBroadcast composes the SCD order with the universal properties.
+func SCDBroadcast() Spec {
+	return All("SCD-Broadcast", BasicBroadcast(), SCDOrder())
+}
+
+// KSCDOrder checks the ordering property of k-SCD Broadcast [15], the
+// set-delivery form of k-Bounded Order: every set of k+1 messages contains
+// two messages whose delivered-set order agrees at all processes. A finite
+// trace violates it iff some k+1 messages are pairwise batch-conflicting —
+// each pair delivered in strictly opposite set orders by two processes.
+// SCDOrder is the k = 1 case.
+func KSCDOrder(k int) Spec {
+	return Func{
+		SpecName: fmt.Sprintf("%d-SCD-Order", k),
+		CheckFn:  func(t *trace.Trace) *Violation { return checkKSCD(t, k) },
+	}
+}
+
+// KSCDBroadcast composes the k-SCD order with the universal properties.
+func KSCDBroadcast(k int) Spec {
+	return All(fmt.Sprintf("%d-SCD-Broadcast", k), BasicBroadcast(), KSCDOrder(k))
+}
+
+func checkKSCD(t *trace.Trace, k int) *Violation {
+	name := fmt.Sprintf("%d-SCD-Order", k)
+	ix := trace.BuildIndex(t)
+	batches := batchIndex(t)
+	msgs := ix.MessagesSorted()
+	adj := make(map[model.MsgID]map[model.MsgID]bool)
+	link := func(a, b model.MsgID) {
+		if adj[a] == nil {
+			adj[a] = make(map[model.MsgID]bool)
+		}
+		if adj[b] == nil {
+			adj[b] = make(map[model.MsgID]bool)
+		}
+		adj[a][b] = true
+		adj[b][a] = true
+	}
+	for i := 0; i < len(msgs); i++ {
+		for j := i + 1; j < len(msgs); j++ {
+			a, b := msgs[i], msgs[j]
+			var before, after bool
+			for pn := 1; pn <= t.X.N; pn++ {
+				p := model.ProcID(pn)
+				ba, oka := batches[p][a]
+				bb, okb := batches[p][b]
+				if !oka || !okb {
+					continue
+				}
+				switch {
+				case ba < bb:
+					before = true
+				case bb < ba:
+					after = true
+				}
+			}
+			if before && after {
+				link(a, b)
+			}
+		}
+	}
+	if len(adj) == 0 {
+		return nil
+	}
+	nodes := make([]model.MsgID, 0, len(adj))
+	for m := range adj {
+		nodes = append(nodes, m)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	if clique := findClique(nodes, adj, k+1); clique != nil {
+		parts := make([]string, len(clique))
+		for i, m := range clique {
+			parts[i] = fmt.Sprintf("m%d", m)
+		}
+		return &Violation{Spec: name, Property: "k-Set-Constrained-Delivery",
+			Detail: fmt.Sprintf("messages {%s} are pairwise delivered in strictly opposite set orders; every set of %d messages must contain a commonly set-ordered pair", strings.Join(parts, ","), k+1), StepIdx: -1}
+	}
+	return nil
+}
+
+func checkSCD(t *trace.Trace) *Violation {
+	ix := trace.BuildIndex(t)
+	batches := batchIndex(t)
+	msgs := ix.MessagesSorted()
+	for i := 0; i < len(msgs); i++ {
+		for j := i + 1; j < len(msgs); j++ {
+			a, b := msgs[i], msgs[j]
+			var before, after model.ProcID
+			for pn := 1; pn <= t.X.N; pn++ {
+				p := model.ProcID(pn)
+				ba, oka := batches[p][a]
+				bb, okb := batches[p][b]
+				if !oka || !okb {
+					continue
+				}
+				switch {
+				case ba < bb:
+					before = p
+				case bb < ba:
+					after = p
+				}
+				// ba == bb: same set, unordered — constrains nobody.
+			}
+			if before != model.NoProc && after != model.NoProc {
+				return &Violation{Spec: "SCD-Order", Property: "Set-Constrained-Delivery",
+					Detail: fmt.Sprintf("%v delivers m%d in a strictly earlier set than m%d, while %v delivers m%d strictly earlier than m%d", before, a, b, after, b, a), StepIdx: -1}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,209 @@
+package spec
+
+import (
+	"testing"
+
+	"nobroadcast/internal/model"
+)
+
+// deliverBatch appends a delivery with a batch tag.
+func (b *tb) deliverBatch(p model.ProcID, m model.MsgID, batch int64) {
+	b.x.Append(model.Step{
+		Proc: p, Kind: model.KindDeliver,
+		Peer: b.x.Broadcaster(m), Msg: m, Payload: b.x.PayloadOf(m),
+		Batch: batch,
+	})
+}
+
+func TestSCDAcceptsCommonSetOrder(t *testing.T) {
+	b := newTB(2)
+	m1 := b.bcast(1, "a")
+	m2 := b.bcast(2, "b")
+	m3 := b.bcast(1, "c")
+	// p1: {m1, m2} then {m3}; p2: {m1} then {m2, m3}. Pair (m1,m2):
+	// p1 same-set, p2 m1 earlier — no strict opposition anywhere.
+	b.deliverBatch(1, m1, 1)
+	b.deliverBatch(1, m2, 1)
+	b.deliverBatch(1, m3, 2)
+	b.deliverBatch(2, m1, 1)
+	b.deliverBatch(2, m2, 2)
+	b.deliverBatch(2, m3, 2)
+	wantOK(t, SCDOrder(), b.trace(true))
+	wantOK(t, SCDBroadcast(), b.trace(true))
+}
+
+func TestSCDRejectsOppositeSets(t *testing.T) {
+	b := newTB(2)
+	m1 := b.bcast(1, "a")
+	m2 := b.bcast(2, "b")
+	// p1: {m1} then {m2}; p2: {m2} then {m1} — strictly opposite.
+	b.deliverBatch(1, m1, 1)
+	b.deliverBatch(1, m2, 2)
+	b.deliverBatch(2, m2, 1)
+	b.deliverBatch(2, m1, 2)
+	wantViolation(t, SCDOrder(), b.trace(true), "Set-Constrained-Delivery")
+}
+
+func TestSCDSameSetResolvesConflict(t *testing.T) {
+	// The same pair as above, but p2 delivers both in ONE set: the slack
+	// that makes SCD weaker than Total Order.
+	b := newTB(2)
+	m1 := b.bcast(1, "a")
+	m2 := b.bcast(2, "b")
+	b.deliverBatch(1, m1, 1)
+	b.deliverBatch(1, m2, 2)
+	b.deliverBatch(2, m2, 7)
+	b.deliverBatch(2, m1, 7)
+	wantOK(t, SCDOrder(), b.trace(true))
+	// The same trace violates Total Order (which ignores batches).
+	wantViolation(t, TotalOrder(), b.trace(true), "Total-Order")
+}
+
+func TestSCDSingletonBatchesDegradeToTotalOrderCheck(t *testing.T) {
+	// With Batch 0 everywhere, every delivery is its own set: SCD order
+	// coincides with pairwise total order.
+	b := newTB(2)
+	m1 := b.bcast(1, "a")
+	m2 := b.bcast(2, "b")
+	b.deliver(1, m1)
+	b.deliver(1, m2)
+	b.deliver(2, m2)
+	b.deliver(2, m1)
+	wantViolation(t, SCDOrder(), b.trace(true), "Set-Constrained-Delivery")
+}
+
+func TestSCDPartialDeliveryUnconstrained(t *testing.T) {
+	b := newTB(2)
+	m1 := b.bcast(1, "a")
+	m2 := b.bcast(2, "b")
+	b.deliverBatch(1, m1, 1)
+	b.deliverBatch(1, m2, 2)
+	// p2 delivered only m2: no strict opposition yet (prefix-safety).
+	b.deliverBatch(2, m2, 1)
+	wantOK(t, SCDOrder(), b.trace(false))
+}
+
+func TestSCDIsCompositionalAndContentNeutral(t *testing.T) {
+	b := newTB(2)
+	m1 := b.bcast(1, "a")
+	m2 := b.bcast(2, "b")
+	m3 := b.bcast(1, "c")
+	for _, p := range []model.ProcID{1, 2} {
+		b.deliverBatch(p, m1, 1)
+		b.deliverBatch(p, m2, 1)
+		b.deliverBatch(p, m3, 2)
+	}
+	tr := b.trace(true)
+	comp, err := CheckCompositional(SCDOrder(), tr, SymmetryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !comp.Holds {
+		t.Errorf("SCD order should be compositional: subset %v: %v", comp.WitnessSubset, comp.Violation)
+	}
+	cn, err := CheckContentNeutral(SCDOrder(), tr, SymmetryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cn.Holds {
+		t.Errorf("SCD order should be content-neutral: %v", cn.Violation)
+	}
+}
+
+func TestBatchIndexOrdinals(t *testing.T) {
+	b := newTB(1)
+	m1 := b.bcast(1, "a")
+	m2 := b.bcast(1, "b")
+	m3 := b.bcast(1, "c")
+	m4 := b.bcast(1, "d")
+	b.deliverBatch(1, m1, 5) // set 1
+	b.deliverBatch(1, m2, 5) // set 1
+	b.deliverBatch(1, m3, 0) // singleton set 2
+	b.deliverBatch(1, m4, 5) // a NEW set 3 (tag reuse after a break)
+	idx := batchIndex(b.trace(false))
+	if idx[1][m1] != 1 || idx[1][m2] != 1 {
+		t.Errorf("m1/m2 ordinals: %v", idx[1])
+	}
+	if idx[1][m3] != 2 {
+		t.Errorf("m3 ordinal: %d", idx[1][m3])
+	}
+	if idx[1][m4] != 3 {
+		t.Errorf("m4 ordinal after break: %d", idx[1][m4])
+	}
+}
+
+func TestKSCDCliqueOfBatchConflicts(t *testing.T) {
+	// Three processes, each delivering its own message in an earlier set
+	// than the others': all pairs batch-conflict, violating 2-SCD but not
+	// 3-SCD.
+	b := newTB(3)
+	ms := []model.MsgID{b.bcast(1, "a"), b.bcast(2, "b"), b.bcast(3, "c")}
+	for p := 1; p <= 3; p++ {
+		pid := model.ProcID(p)
+		b.deliverBatch(pid, ms[p-1], 1)
+		batch := int64(2)
+		for q := 1; q <= 3; q++ {
+			if q != p {
+				b.deliverBatch(pid, ms[q-1], batch)
+				batch++
+			}
+		}
+	}
+	wantViolation(t, KSCDOrder(2), b.trace(true), "k-Set-Constrained-Delivery")
+	wantOK(t, KSCDOrder(3), b.trace(true))
+	wantViolation(t, KSCDBroadcast(2), b.trace(true), "k-Set-Constrained-Delivery")
+}
+
+func TestKSCDSameSetBreaksClique(t *testing.T) {
+	// As above, but p3 delivers everything in ONE set. p1 and p2 still
+	// conflict on (m1, m2). A conflict on (m1, m3) or (m2, m3) would need
+	// some process delivering m3 strictly first — only p3 could, and its
+	// single-set delivery orders nothing. No 3-clique: 2-SCD holds.
+	b := newTB(3)
+	ms := []model.MsgID{b.bcast(1, "a"), b.bcast(2, "b"), b.bcast(3, "c")}
+	for p := 1; p <= 2; p++ {
+		pid := model.ProcID(p)
+		b.deliverBatch(pid, ms[p-1], 1)
+		batch := int64(2)
+		for q := 1; q <= 3; q++ {
+			if q != p {
+				b.deliverBatch(pid, ms[q-1], batch)
+				batch++
+			}
+		}
+	}
+	for q := 1; q <= 3; q++ {
+		b.deliverBatch(3, ms[q-1], 1)
+	}
+	wantOK(t, KSCDOrder(2), b.trace(true))
+	// SCD (k=1) still sees the p1/p2 conflict on (m1, m2).
+	wantViolation(t, SCDOrder(), b.trace(true), "Set-Constrained-Delivery")
+}
+
+func TestSCDOrderIsOneSCD(t *testing.T) {
+	// SCDOrder and KSCDOrder(1) agree on both an admissible and a
+	// violating trace.
+	mk := func(opposite bool) *tb {
+		b := newTB(2)
+		m1 := b.bcast(1, "a")
+		m2 := b.bcast(2, "b")
+		b.deliverBatch(1, m1, 1)
+		b.deliverBatch(1, m2, 2)
+		if opposite {
+			b.deliverBatch(2, m2, 1)
+			b.deliverBatch(2, m1, 2)
+		} else {
+			b.deliverBatch(2, m1, 1)
+			b.deliverBatch(2, m2, 2)
+		}
+		return b
+	}
+	good := mk(false).trace(true)
+	bad := mk(true).trace(true)
+	if (SCDOrder().Check(good) == nil) != (KSCDOrder(1).Check(good) == nil) {
+		t.Error("SCD and 1-SCD disagree on the admissible trace")
+	}
+	if (SCDOrder().Check(bad) == nil) != (KSCDOrder(1).Check(bad) == nil) {
+		t.Error("SCD and 1-SCD disagree on the violating trace")
+	}
+}

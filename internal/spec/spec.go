@@ -1,0 +1,137 @@
+// Package spec provides machine-checkable specifications: predicates over
+// recorded executions. It covers the three property families of the paper —
+// the send/receive channel properties (Section 2), the broadcast
+// abstraction properties (Section 3.1) and ordering predicates (Section
+// 3.2), and the k-set-agreement properties (Section 4.1) — together with
+// testers for the two symmetry properties the paper introduces:
+// compositionality (Definition 2) and content-neutrality (Definition 3).
+//
+// # Safety versus liveness
+//
+// Safety specifications are prefix-monotone violation detectors: once a
+// finite trace violates them, every extension does too, so checking them on
+// an execution prefix is sound. Liveness specifications (the termination
+// properties) are only evaluated on traces marked Complete, i.e. runs that
+// terminated with every correct process quiescent and no message in flight;
+// on incomplete traces they vacuously pass.
+package spec
+
+import (
+	"fmt"
+
+	"nobroadcast/internal/model"
+	"nobroadcast/internal/trace"
+)
+
+// Violation describes why a trace is not admitted by a specification.
+// A nil *Violation means the trace is admissible.
+type Violation struct {
+	// Spec is the name of the violated specification.
+	Spec string
+	// Property is the specific property within the spec, using the
+	// paper's names (e.g. "BC-Validity", "k-SA-Agreement").
+	Property string
+	// Detail is a human-readable account of the counterexample.
+	Detail string
+	// StepIdx is the index of the violating step when identifiable, else -1.
+	StepIdx int
+}
+
+// String renders the violation for logs and test failures.
+func (v *Violation) String() string {
+	if v == nil {
+		return "admissible"
+	}
+	where := ""
+	if v.StepIdx >= 0 {
+		where = fmt.Sprintf(" at step %d", v.StepIdx)
+	}
+	return fmt.Sprintf("%s: %s violated%s: %s", v.Spec, v.Property, where, v.Detail)
+}
+
+// Spec is a specification: a predicate on executions. Check returns nil if
+// the trace is admitted, else a description of the violation.
+type Spec interface {
+	Name() string
+	Check(t *trace.Trace) *Violation
+}
+
+// Func adapts a function to the Spec interface.
+type Func struct {
+	SpecName string
+	CheckFn  func(t *trace.Trace) *Violation
+}
+
+var _ Spec = Func{}
+
+// Name implements Spec.
+func (f Func) Name() string { return f.SpecName }
+
+// Check implements Spec.
+func (f Func) Check(t *trace.Trace) *Violation { return f.CheckFn(t) }
+
+// All combines specifications; the composite admits a trace iff every
+// component does. Check returns the first violation found, in order.
+func All(name string, specs ...Spec) Spec {
+	return Func{
+		SpecName: name,
+		CheckFn: func(t *trace.Trace) *Violation {
+			for _, s := range specs {
+				if v := s.Check(t); v != nil {
+					return v
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// WellFormed checks the machine-checkable parts of Definition 1
+// (well-formed executions): only processes p_1..p_n take steps, no process
+// takes a step after crashing, and broadcast invocations and responses
+// alternate per process (an operation is only invoked after the previous
+// invocation returned). The third condition of Definition 1 — conformance
+// of the steps to the algorithm — is enforced by construction by the
+// deterministic runtime and is not re-derivable from a trace alone.
+func WellFormed() Spec {
+	return Func{SpecName: "Well-Formed", CheckFn: checkWellFormed}
+}
+
+func checkWellFormed(t *trace.Trace) *Violation {
+	x := t.X
+	crashed := make(map[model.ProcID]bool)
+	inFlight := make(map[model.ProcID]model.MsgID) // proc -> msg of open broadcast invocation
+	open := make(map[model.ProcID]bool)
+	for i, s := range x.Steps {
+		if s.Proc < 1 || int(s.Proc) > x.N {
+			return &Violation{Spec: "Well-Formed", Property: "Participants",
+				Detail: fmt.Sprintf("step by %v outside p1..p%d", s.Proc, x.N), StepIdx: i}
+		}
+		if crashed[s.Proc] {
+			return &Violation{Spec: "Well-Formed", Property: "Crash-Finality",
+				Detail: fmt.Sprintf("%v takes a step after crashing", s.Proc), StepIdx: i}
+		}
+		switch s.Kind {
+		case model.KindCrash:
+			crashed[s.Proc] = true
+		case model.KindBroadcastInvoke:
+			if open[s.Proc] {
+				return &Violation{Spec: "Well-Formed", Property: "Invocation-Alternation",
+					Detail: fmt.Sprintf("%v invokes B.broadcast(m%d) before returning from B.broadcast(m%d)", s.Proc, s.Msg, inFlight[s.Proc]), StepIdx: i}
+			}
+			open[s.Proc] = true
+			inFlight[s.Proc] = s.Msg
+		case model.KindBroadcastReturn:
+			if !open[s.Proc] {
+				return &Violation{Spec: "Well-Formed", Property: "Invocation-Alternation",
+					Detail: fmt.Sprintf("%v returns from B.broadcast(m%d) without an open invocation", s.Proc, s.Msg), StepIdx: i}
+			}
+			if inFlight[s.Proc] != s.Msg {
+				return &Violation{Spec: "Well-Formed", Property: "Invocation-Alternation",
+					Detail: fmt.Sprintf("%v returns from B.broadcast(m%d), but the open invocation is m%d", s.Proc, s.Msg, inFlight[s.Proc]), StepIdx: i}
+			}
+			open[s.Proc] = false
+		}
+	}
+	return nil
+}

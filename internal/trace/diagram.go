@@ -1,0 +1,173 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nobroadcast/internal/model"
+)
+
+// DiagramOptions configures the space-time diagram renderer.
+type DiagramOptions struct {
+	// Kinds selects the step kinds drawn. Nil selects the broadcast and
+	// k-SA events (the events Figure 1 shows: B-broadcasts, B-deliveries,
+	// propositions and decisions), plus sends and receives, which the
+	// figure draws as plain arrows.
+	Kinds map[model.StepKind]bool
+	// Highlight marks message instances to decorate with a '*' (the grey
+	// boxes of Figure 1: the final N messages of each process, which are
+	// incompatible with an implementation of k-set agreement).
+	Highlight map[model.MsgID]bool
+	// HideReturns suppresses broadcast-return steps to keep rows compact.
+	HideReturns bool
+}
+
+func defaultKinds() map[model.StepKind]bool {
+	return map[model.StepKind]bool{
+		model.KindBroadcastInvoke: true,
+		model.KindBroadcastReturn: true,
+		model.KindDeliver:         true,
+		model.KindPropose:         true,
+		model.KindDecide:          true,
+		model.KindSend:            true,
+		model.KindReceive:         true,
+		model.KindCrash:           true,
+	}
+}
+
+// glyph renders one step as a compact cell label.
+func glyph(s model.Step, hl map[model.MsgID]bool) string {
+	star := ""
+	if hl[s.Msg] && s.Msg != model.NoMsg {
+		star = "*"
+	}
+	switch s.Kind {
+	case model.KindBroadcastInvoke:
+		return fmt.Sprintf("B(m%d%s)", s.Msg, star)
+	case model.KindBroadcastReturn:
+		return "ret"
+	case model.KindDeliver:
+		return fmt.Sprintf("D(m%d%s<%v)", s.Msg, star, s.Peer)
+	case model.KindPropose:
+		return fmt.Sprintf("P(%v:%s)", s.Obj, string(s.Val))
+	case model.KindDecide:
+		return fmt.Sprintf("=%s", string(s.Val))
+	case model.KindSend:
+		return fmt.Sprintf("s(m%d>%v)", s.Msg, s.Peer)
+	case model.KindReceive:
+		return fmt.Sprintf("r(m%d<%v)", s.Msg, s.Peer)
+	case model.KindCrash:
+		return "CRASH"
+	case model.KindInternal:
+		return "."
+	default:
+		return "?"
+	}
+}
+
+// RenderDiagram draws the trace as an ASCII space-time diagram: one row per
+// process, one column per drawn step, time flowing left to right. This is
+// the renderer behind examples/figure1, which regenerates the paper's
+// Figure 1 from an actual run of the adversarial scheduler.
+func RenderDiagram(t *Trace, opts DiagramOptions) string {
+	kinds := opts.Kinds
+	if kinds == nil {
+		kinds = defaultKinds()
+	}
+	x := t.X
+
+	type cell struct {
+		proc  model.ProcID
+		label string
+	}
+	var cells []cell
+	for _, s := range x.Steps {
+		if !kinds[s.Kind] {
+			continue
+		}
+		if opts.HideReturns && s.Kind == model.KindBroadcastReturn {
+			continue
+		}
+		cells = append(cells, cell{proc: s.Proc, label: glyph(s, opts.Highlight)})
+	}
+
+	var b strings.Builder
+	if t.Name != "" {
+		fmt.Fprintf(&b, "%s\n", t.Name)
+	}
+	if len(cells) == 0 {
+		b.WriteString("(no drawable steps)\n")
+		return b.String()
+	}
+
+	widths := make([]int, len(cells))
+	for i, c := range cells {
+		widths[i] = len(c.label)
+	}
+
+	for p := 1; p <= x.N; p++ {
+		fmt.Fprintf(&b, "p%-2d |", p)
+		for i, c := range cells {
+			s := ""
+			if c.proc == model.ProcID(p) {
+				s = c.label
+			}
+			fmt.Fprintf(&b, " %-*s", widths[i], s)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// RenderDeliverySummary prints, for each process, the sequence of messages
+// it B-delivers with their origins, decorating highlighted messages with a
+// '*'. This is the compact view of the N-solo structure of Definition 5.
+func RenderDeliverySummary(t *Trace, highlight map[model.MsgID]bool) string {
+	ix := BuildIndex(t)
+	var b strings.Builder
+	for p := 1; p <= t.X.N; p++ {
+		pid := model.ProcID(p)
+		fmt.Fprintf(&b, "p%-2d delivers:", p)
+		for _, m := range ix.Deliveries[pid] {
+			star := ""
+			if highlight[m] {
+				star = "*"
+			}
+			fmt.Fprintf(&b, " m%d%s(from %v)", m, star, ix.DeliverOrigin[m])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// RenderDecisionTable prints, per k-SA object, each process's proposed and
+// decided values and the number of distinct decisions.
+func RenderDecisionTable(t *Trace) string {
+	ix := BuildIndex(t)
+	objs := make([]model.KSAID, 0, len(ix.Proposals))
+	for o := range ix.Proposals {
+		objs = append(objs, o)
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i] < objs[j] })
+
+	var b strings.Builder
+	for _, o := range objs {
+		distinct := ix.DistinctDecisions(o)
+		fmt.Fprintf(&b, "%v: %d distinct decision(s)\n", o, len(distinct))
+		procs := make([]model.ProcID, 0, len(ix.Proposals[o]))
+		for p := range ix.Proposals[o] {
+			procs = append(procs, p)
+		}
+		sort.Slice(procs, func(i, j int) bool { return procs[i] < procs[j] })
+		for _, p := range procs {
+			dec, ok := ix.Decisions[o][p]
+			decs := string(dec)
+			if !ok {
+				decs = "(undecided)"
+			}
+			fmt.Fprintf(&b, "  %v proposed %q decided %q\n", p, string(ix.Proposals[o][p]), decs)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"nobroadcast/internal/model"
+)
+
+// RenderDOT exports the trace as a Graphviz digraph in the space-time
+// style of the paper's Figure 1: one horizontal chain of events per
+// process (rank-constrained), solid edges for point-to-point transfers,
+// dashed edges from broadcast invocations to their deliveries, and
+// highlighted (grey-box) nodes for the given messages. Render with:
+//
+//	dot -Tsvg figure1.dot -o figure1.svg
+func RenderDOT(t *Trace, highlight map[model.MsgID]bool) string {
+	x := t.X
+	var b strings.Builder
+	b.WriteString("digraph execution {\n")
+	b.WriteString("  rankdir=LR;\n  node [shape=box, fontsize=10];\n")
+	if t.Name != "" {
+		fmt.Fprintf(&b, "  label=%q;\n", t.Name)
+	}
+
+	// One node per drawn step; per-process chains keep lanes horizontal.
+	nodeName := func(idx int) string { return fmt.Sprintf("s%d", idx) }
+	perProc := make(map[model.ProcID][]int)
+	// Track emission/first-delivery nodes for edges.
+	sendNode := make(map[model.MsgID]int)
+	invokeNode := make(map[model.MsgID]int)
+
+	label := func(s model.Step) (string, bool) {
+		switch s.Kind {
+		case model.KindBroadcastInvoke:
+			return fmt.Sprintf("B(m%d)", s.Msg), true
+		case model.KindDeliver:
+			return fmt.Sprintf("D(m%d<%v)", s.Msg, s.Peer), true
+		case model.KindPropose:
+			return fmt.Sprintf("P(%v:%s)", s.Obj, string(s.Val)), true
+		case model.KindDecide:
+			return fmt.Sprintf("=%s", string(s.Val)), true
+		case model.KindSend:
+			return fmt.Sprintf("s(m%d)", s.Msg), true
+		case model.KindReceive:
+			return fmt.Sprintf("r(m%d)", s.Msg), true
+		case model.KindCrash:
+			return "CRASH", true
+		default:
+			return "", false
+		}
+	}
+
+	for idx, s := range x.Steps {
+		lbl, ok := label(s)
+		if !ok {
+			continue
+		}
+		attrs := fmt.Sprintf("label=%q", fmt.Sprintf("%v %s", s.Proc, lbl))
+		if highlight[s.Msg] && s.Msg != model.NoMsg &&
+			(s.Kind == model.KindBroadcastInvoke || s.Kind == model.KindDeliver) {
+			attrs += ", style=filled, fillcolor=lightgrey"
+		}
+		fmt.Fprintf(&b, "  %s [%s];\n", nodeName(idx), attrs)
+		perProc[s.Proc] = append(perProc[s.Proc], idx)
+		switch s.Kind {
+		case model.KindSend:
+			sendNode[s.Msg] = idx
+		case model.KindBroadcastInvoke:
+			invokeNode[s.Msg] = idx
+		case model.KindReceive:
+			if from, ok := sendNode[s.Msg]; ok {
+				fmt.Fprintf(&b, "  %s -> %s [color=black];\n", nodeName(from), nodeName(idx))
+			}
+		case model.KindDeliver:
+			if from, ok := invokeNode[s.Msg]; ok && from != idx {
+				fmt.Fprintf(&b, "  %s -> %s [style=dashed, color=gray40];\n", nodeName(from), nodeName(idx))
+			}
+		}
+	}
+
+	// Process lanes: invisible chains keep each process's events ordered
+	// left to right.
+	for p := 1; p <= x.N; p++ {
+		chain := perProc[model.ProcID(p)]
+		if len(chain) == 0 {
+			continue
+		}
+		names := make([]string, len(chain))
+		for i, idx := range chain {
+			names[i] = nodeName(idx)
+		}
+		fmt.Fprintf(&b, "  { rank=same; }\n")
+		fmt.Fprintf(&b, "  %s [style=invis];\n", strings.Join(names, " -> "))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,213 @@
+// Package trace wraps recorded executions with the index structures the
+// specification checkers need (per-process delivery orders, send/receive
+// matching, proposal/decision tables), JSON serialization for the cmd
+// tools, and the ASCII space-time diagram renderer that regenerates the
+// paper's Figure 1.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"nobroadcast/internal/model"
+)
+
+// Trace is a recorded execution together with run metadata.
+//
+// Complete indicates that the run terminated normally: every process either
+// crashed or reached quiescence with no message in flight. Liveness
+// properties (the two termination properties of broadcasts, SR-Termination,
+// k-SA-Termination) are only meaningful on complete traces; safety
+// properties are checked on any trace.
+type Trace struct {
+	X        *model.Execution `json:"execution"`
+	Complete bool             `json:"complete"`
+	Name     string           `json:"name,omitempty"`
+}
+
+// New wraps an execution in a trace.
+func New(x *model.Execution) *Trace {
+	return &Trace{X: x}
+}
+
+// Index holds the derived lookup structures over a trace. Build it once and
+// share it between spec checks; it is read-only after construction.
+type Index struct {
+	// Deliveries[p] is the sequence of messages p B-delivers, in order.
+	Deliveries map[model.ProcID][]model.MsgID
+	// DeliveryPos[p][m] is the position of m in Deliveries[p] (0-based);
+	// absent if p never delivers m.
+	DeliveryPos map[model.ProcID]map[model.MsgID]int
+	// DeliverOrigin[m] is the origin process recorded on deliveries of m.
+	DeliverOrigin map[model.MsgID]model.ProcID
+	// Broadcasts[m] holds the broadcaster, payload, and invocation step
+	// index of every broadcast message.
+	Broadcasts map[model.MsgID]BroadcastInfo
+	// BroadcastSeq[p] is the sequence of messages p broadcasts, in order.
+	BroadcastSeq map[model.ProcID][]model.MsgID
+	// Proposals[obj][p] is the value p proposed to obj (one-shot).
+	Proposals map[model.KSAID]map[model.ProcID]model.Value
+	// Decisions[obj][p] is the value p decided on obj.
+	Decisions map[model.KSAID]map[model.ProcID]model.Value
+	// Sends[m] lists (step index, sender, receiver) of point-to-point
+	// sends of message instance m; Receives likewise.
+	Sends    map[model.MsgID][]Transfer
+	Receives map[model.MsgID][]Transfer
+	// Correct[p] reports whether p is correct in the trace.
+	Correct map[model.ProcID]bool
+}
+
+// BroadcastInfo records the broadcast invocation of a message.
+type BroadcastInfo struct {
+	From    model.ProcID
+	Payload model.Payload
+	StepIdx int
+	// Returned is the step index of the matching return, or -1.
+	Returned int
+}
+
+// Transfer records one point-to-point transfer event.
+type Transfer struct {
+	StepIdx int
+	From    model.ProcID
+	To      model.ProcID
+	Payload model.Payload
+}
+
+// BuildIndex scans the trace once and produces the lookup structures.
+func BuildIndex(t *Trace) *Index {
+	x := t.X
+	ix := &Index{
+		Deliveries:    make(map[model.ProcID][]model.MsgID),
+		DeliveryPos:   make(map[model.ProcID]map[model.MsgID]int),
+		DeliverOrigin: make(map[model.MsgID]model.ProcID),
+		Broadcasts:    make(map[model.MsgID]BroadcastInfo),
+		BroadcastSeq:  make(map[model.ProcID][]model.MsgID),
+		Proposals:     make(map[model.KSAID]map[model.ProcID]model.Value),
+		Decisions:     make(map[model.KSAID]map[model.ProcID]model.Value),
+		Sends:         make(map[model.MsgID][]Transfer),
+		Receives:      make(map[model.MsgID][]Transfer),
+		Correct:       x.CorrectSet(),
+	}
+	for i, s := range x.Steps {
+		switch s.Kind {
+		case model.KindBroadcastInvoke:
+			if _, dup := ix.Broadcasts[s.Msg]; !dup {
+				ix.Broadcasts[s.Msg] = BroadcastInfo{From: s.Proc, Payload: s.Payload, StepIdx: i, Returned: -1}
+				ix.BroadcastSeq[s.Proc] = append(ix.BroadcastSeq[s.Proc], s.Msg)
+			}
+		case model.KindBroadcastReturn:
+			if info, ok := ix.Broadcasts[s.Msg]; ok && info.Returned < 0 {
+				info.Returned = i
+				ix.Broadcasts[s.Msg] = info
+			}
+		case model.KindDeliver:
+			pos := ix.DeliveryPos[s.Proc]
+			if pos == nil {
+				pos = make(map[model.MsgID]int)
+				ix.DeliveryPos[s.Proc] = pos
+			}
+			if _, dup := pos[s.Msg]; !dup {
+				pos[s.Msg] = len(ix.Deliveries[s.Proc])
+			}
+			ix.Deliveries[s.Proc] = append(ix.Deliveries[s.Proc], s.Msg)
+			ix.DeliverOrigin[s.Msg] = s.Peer
+		case model.KindPropose:
+			m := ix.Proposals[s.Obj]
+			if m == nil {
+				m = make(map[model.ProcID]model.Value)
+				ix.Proposals[s.Obj] = m
+			}
+			if _, dup := m[s.Proc]; !dup {
+				m[s.Proc] = s.Val
+			}
+		case model.KindDecide:
+			m := ix.Decisions[s.Obj]
+			if m == nil {
+				m = make(map[model.ProcID]model.Value)
+				ix.Decisions[s.Obj] = m
+			}
+			if _, dup := m[s.Proc]; !dup {
+				m[s.Proc] = s.Val
+			}
+		case model.KindSend:
+			ix.Sends[s.Msg] = append(ix.Sends[s.Msg], Transfer{StepIdx: i, From: s.Proc, To: s.Peer, Payload: s.Payload})
+		case model.KindReceive:
+			ix.Receives[s.Msg] = append(ix.Receives[s.Msg], Transfer{StepIdx: i, From: s.Peer, To: s.Proc, Payload: s.Payload})
+		}
+	}
+	return ix
+}
+
+// DeliversBefore reports whether process p delivers a strictly before b.
+// If p delivers a but never b, a counts as before b (b can only appear
+// later in any extension). If p delivers neither, it reports false.
+func (ix *Index) DeliversBefore(p model.ProcID, a, b model.MsgID) bool {
+	pos := ix.DeliveryPos[p]
+	if pos == nil {
+		return false
+	}
+	pa, oka := pos[a]
+	pb, okb := pos[b]
+	switch {
+	case oka && okb:
+		return pa < pb
+	case oka:
+		return true
+	default:
+		return false
+	}
+}
+
+// MessagesSorted returns all broadcast message ids in increasing order.
+func (ix *Index) MessagesSorted() []model.MsgID {
+	out := make([]model.MsgID, 0, len(ix.Broadcasts))
+	for m := range ix.Broadcasts {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// DistinctDecisions returns the distinct values decided on obj.
+func (ix *Index) DistinctDecisions(obj model.KSAID) []model.Value {
+	set := make(map[model.Value]bool)
+	for _, v := range ix.Decisions[obj] {
+		set[v] = true
+	}
+	out := make([]model.Value, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// EncodeJSON writes the trace as indented JSON.
+func (t *Trace) EncodeJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(t); err != nil {
+		return fmt.Errorf("trace: encode: %w", err)
+	}
+	return nil
+}
+
+// DecodeJSON reads a trace previously written by EncodeJSON.
+func DecodeJSON(r io.Reader) (*Trace, error) {
+	var t Trace
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	if t.X == nil {
+		return nil, fmt.Errorf("trace: decode: missing execution")
+	}
+	for i, s := range t.X.Steps {
+		if !s.Kind.Valid() {
+			return nil, fmt.Errorf("trace: decode: step %d has invalid kind %d", i, int(s.Kind))
+		}
+	}
+	return &t, nil
+}

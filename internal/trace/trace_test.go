@@ -1,0 +1,270 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"nobroadcast/internal/model"
+)
+
+// sample builds an execution where p1 and p2 each broadcast one message;
+// p1 delivers m1 then m2, p2 delivers m2 then m1 (a mutual first-delivery
+// disagreement), and both use a k-SA object.
+func sample() *Trace {
+	x := model.NewExecution(2)
+	x.Append(
+		model.Step{Proc: 1, Kind: model.KindBroadcastInvoke, Msg: 1, Payload: "a"},
+		model.Step{Proc: 1, Kind: model.KindSend, Peer: 2, Msg: 1, Payload: "a"},
+		model.Step{Proc: 1, Kind: model.KindDeliver, Peer: 1, Msg: 1, Payload: "a"},
+		model.Step{Proc: 1, Kind: model.KindBroadcastReturn, Msg: 1},
+		model.Step{Proc: 2, Kind: model.KindBroadcastInvoke, Msg: 2, Payload: "b"},
+		model.Step{Proc: 2, Kind: model.KindDeliver, Peer: 2, Msg: 2, Payload: "b"},
+		model.Step{Proc: 2, Kind: model.KindBroadcastReturn, Msg: 2},
+		model.Step{Proc: 2, Kind: model.KindReceive, Peer: 1, Msg: 1, Payload: "a"},
+		model.Step{Proc: 2, Kind: model.KindDeliver, Peer: 1, Msg: 1, Payload: "a"},
+		model.Step{Proc: 1, Kind: model.KindDeliver, Peer: 2, Msg: 2, Payload: "b"},
+		model.Step{Proc: 1, Kind: model.KindPropose, Obj: 1, Val: "a"},
+		model.Step{Proc: 1, Kind: model.KindDecide, Obj: 1, Val: "a"},
+		model.Step{Proc: 2, Kind: model.KindPropose, Obj: 1, Val: "b"},
+		model.Step{Proc: 2, Kind: model.KindDecide, Obj: 1, Val: "b"},
+	)
+	tr := New(x)
+	tr.Complete = true
+	tr.Name = "sample"
+	return tr
+}
+
+func TestBuildIndexDeliveries(t *testing.T) {
+	ix := BuildIndex(sample())
+	if got := ix.Deliveries[1]; len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("p1 deliveries = %v", got)
+	}
+	if got := ix.Deliveries[2]; len(got) != 2 || got[0] != 2 || got[1] != 1 {
+		t.Errorf("p2 deliveries = %v", got)
+	}
+	if ix.DeliveryPos[1][1] != 0 || ix.DeliveryPos[1][2] != 1 {
+		t.Errorf("p1 delivery positions wrong: %v", ix.DeliveryPos[1])
+	}
+	if ix.DeliverOrigin[1] != 1 || ix.DeliverOrigin[2] != 2 {
+		t.Errorf("origins wrong: %v", ix.DeliverOrigin)
+	}
+}
+
+func TestBuildIndexBroadcasts(t *testing.T) {
+	ix := BuildIndex(sample())
+	info, ok := ix.Broadcasts[1]
+	if !ok || info.From != 1 || info.Payload != "a" || info.StepIdx != 0 {
+		t.Errorf("broadcast info for m1 = %+v", info)
+	}
+	if info.Returned != 3 {
+		t.Errorf("m1 return index = %d, want 3", info.Returned)
+	}
+	if got := ix.BroadcastSeq[1]; len(got) != 1 || got[0] != 1 {
+		t.Errorf("p1 broadcast seq = %v", got)
+	}
+}
+
+func TestBuildIndexKSA(t *testing.T) {
+	ix := BuildIndex(sample())
+	if ix.Proposals[1][1] != "a" || ix.Proposals[1][2] != "b" {
+		t.Errorf("proposals = %v", ix.Proposals[1])
+	}
+	if ix.Decisions[1][1] != "a" || ix.Decisions[1][2] != "b" {
+		t.Errorf("decisions = %v", ix.Decisions[1])
+	}
+	dd := ix.DistinctDecisions(1)
+	if len(dd) != 2 {
+		t.Errorf("distinct decisions = %v", dd)
+	}
+}
+
+func TestBuildIndexTransfers(t *testing.T) {
+	ix := BuildIndex(sample())
+	sends := ix.Sends[1]
+	if len(sends) != 1 || sends[0].From != 1 || sends[0].To != 2 {
+		t.Errorf("sends of m1 = %v", sends)
+	}
+	recvs := ix.Receives[1]
+	if len(recvs) != 1 || recvs[0].From != 1 || recvs[0].To != 2 {
+		t.Errorf("receives of m1 = %v", recvs)
+	}
+}
+
+func TestDeliversBefore(t *testing.T) {
+	ix := BuildIndex(sample())
+	if !ix.DeliversBefore(1, 1, 2) {
+		t.Error("p1 delivers m1 before m2")
+	}
+	if ix.DeliversBefore(1, 2, 1) {
+		t.Error("p1 does not deliver m2 before m1")
+	}
+	if !ix.DeliversBefore(2, 2, 1) {
+		t.Error("p2 delivers m2 before m1")
+	}
+	// Delivered vs never-delivered: delivered counts as before.
+	if !ix.DeliversBefore(1, 1, 99) {
+		t.Error("delivered m1 should precede never-delivered m99")
+	}
+	if ix.DeliversBefore(1, 99, 1) {
+		t.Error("never-delivered m99 cannot precede m1")
+	}
+	// A process with no deliveries orders nothing.
+	if ix.DeliversBefore(7, 1, 2) {
+		t.Error("unknown process should order nothing")
+	}
+}
+
+func TestMessagesSorted(t *testing.T) {
+	ix := BuildIndex(sample())
+	ms := ix.MessagesSorted()
+	if len(ms) != 2 || ms[0] != 1 || ms[1] != 2 {
+		t.Errorf("MessagesSorted = %v", ms)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	tr := sample()
+	var buf bytes.Buffer
+	if err := tr.EncodeJSON(&buf); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := DecodeJSON(&buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Name != "sample" || !got.Complete {
+		t.Errorf("metadata lost: %+v", got)
+	}
+	if got.X.Len() != tr.X.Len() || got.X.N != tr.X.N {
+		t.Errorf("execution shape lost: %d/%d steps, n=%d", got.X.Len(), tr.X.Len(), got.X.N)
+	}
+	for i := range tr.X.Steps {
+		if got.X.Steps[i] != tr.X.Steps[i] {
+			t.Errorf("step %d mismatch: %v != %v", i, got.X.Steps[i], tr.X.Steps[i])
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := DecodeJSON(strings.NewReader("{not json")); err == nil {
+		t.Error("expected error for malformed JSON")
+	}
+	if _, err := DecodeJSON(strings.NewReader(`{"complete":true}`)); err == nil {
+		t.Error("expected error for missing execution")
+	}
+	if _, err := DecodeJSON(strings.NewReader(`{"execution":{"n":2,"steps":[{"proc":1,"kind":99}]}}`)); err == nil {
+		t.Error("expected error for invalid step kind")
+	}
+}
+
+func TestRenderDiagram(t *testing.T) {
+	tr := sample()
+	out := RenderDiagram(tr, DiagramOptions{Highlight: map[model.MsgID]bool{2: true}})
+	if !strings.Contains(out, "p1 ") || !strings.Contains(out, "p2 ") {
+		t.Errorf("diagram missing process rows:\n%s", out)
+	}
+	if !strings.Contains(out, "B(m1)") {
+		t.Errorf("diagram missing broadcast glyph:\n%s", out)
+	}
+	if !strings.Contains(out, "m2*") {
+		t.Errorf("diagram missing highlight star:\n%s", out)
+	}
+	if !strings.Contains(out, "sample") {
+		t.Errorf("diagram missing trace name:\n%s", out)
+	}
+	// Rows must align: all lines equal length.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("expected name + 2 rows, got %d lines", len(lines))
+	}
+	if len(lines[1]) != len(lines[2]) {
+		t.Errorf("rows not aligned: %d vs %d chars", len(lines[1]), len(lines[2]))
+	}
+}
+
+func TestRenderDiagramHideReturns(t *testing.T) {
+	out := RenderDiagram(sample(), DiagramOptions{HideReturns: true})
+	if strings.Contains(out, "ret") {
+		t.Errorf("returns not hidden:\n%s", out)
+	}
+}
+
+func TestRenderDiagramEmpty(t *testing.T) {
+	tr := New(model.NewExecution(2))
+	out := RenderDiagram(tr, DiagramOptions{})
+	if !strings.Contains(out, "no drawable steps") {
+		t.Errorf("empty diagram output: %q", out)
+	}
+}
+
+func TestRenderDeliverySummary(t *testing.T) {
+	out := RenderDeliverySummary(sample(), map[model.MsgID]bool{1: true})
+	if !strings.Contains(out, "p1  delivers: m1*(from p1) m2(from p2)") {
+		t.Errorf("summary:\n%s", out)
+	}
+	if !strings.Contains(out, "p2  delivers: m2(from p2) m1*(from p1)") {
+		t.Errorf("summary:\n%s", out)
+	}
+}
+
+func TestRenderDecisionTable(t *testing.T) {
+	out := RenderDecisionTable(sample())
+	if !strings.Contains(out, "ksa1: 2 distinct decision(s)") {
+		t.Errorf("decision table:\n%s", out)
+	}
+	if !strings.Contains(out, `p1 proposed "a" decided "a"`) {
+		t.Errorf("decision table:\n%s", out)
+	}
+}
+
+func TestRenderDecisionTableUndecided(t *testing.T) {
+	x := model.NewExecution(1)
+	x.Append(model.Step{Proc: 1, Kind: model.KindPropose, Obj: 3, Val: "v"})
+	out := RenderDecisionTable(New(x))
+	if !strings.Contains(out, "(undecided)") {
+		t.Errorf("expected undecided marker:\n%s", out)
+	}
+}
+
+func TestRenderDiagramKindsFilter(t *testing.T) {
+	tr := sample()
+	out := RenderDiagram(tr, DiagramOptions{Kinds: map[model.StepKind]bool{model.KindDeliver: true}})
+	if strings.Contains(out, "B(m") || strings.Contains(out, "P(") {
+		t.Errorf("filter leaked other kinds:\n%s", out)
+	}
+	if !strings.Contains(out, "D(m1") {
+		t.Errorf("filter dropped deliveries:\n%s", out)
+	}
+}
+
+func TestRenderDOT(t *testing.T) {
+	tr := sample()
+	out := RenderDOT(tr, map[model.MsgID]bool{2: true})
+	for _, want := range []string{
+		"digraph execution {",
+		"rankdir=LR",
+		"B(m1)",
+		"style=dashed",        // invoke -> deliver edge
+		"fillcolor=lightgrey", // highlighted m2
+		"style=invis",         // process lanes
+		"}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	// Balanced braces.
+	if strings.Count(out, "{") != strings.Count(out, "}") {
+		t.Error("unbalanced braces in DOT output")
+	}
+}
+
+func TestRenderDOTSendReceiveEdges(t *testing.T) {
+	tr := sample()
+	out := RenderDOT(tr, nil)
+	// The sample sends m1 from p1 to p2 and p2 receives it: a solid edge.
+	if !strings.Contains(out, "color=black") {
+		t.Errorf("missing transfer edge:\n%s", out)
+	}
+}

@@ -1,0 +1,150 @@
+// Package vc implements vector clocks and Lamport clocks, the logical-time
+// substrates used by the causal and total-order broadcast implementations.
+//
+// Vector clocks track the "happened before" partial order of Lamport's
+// seminal paper (reference [17] of the reproduced paper); the causal
+// broadcast of [24] delays deliveries until all causal predecessors are
+// delivered, which the VC comparison operators decide.
+package vc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// VC is a vector clock over processes 1..n, stored at indices 0..n-1.
+// The zero-length VC compares as all-zeros.
+type VC []uint64
+
+// New returns an all-zero vector clock for n processes.
+func New(n int) VC {
+	return make(VC, n)
+}
+
+// Clone returns a copy of the clock.
+func (v VC) Clone() VC {
+	c := make(VC, len(v))
+	copy(c, v)
+	return c
+}
+
+// Get returns the component for process p (1-based). Out-of-range
+// components read as zero.
+func (v VC) Get(p int) uint64 {
+	if p < 1 || p > len(v) {
+		return 0
+	}
+	return v[p-1]
+}
+
+// Tick increments the component of process p (1-based) and returns the
+// clock for chaining. It panics if p is out of range: a tick on an unknown
+// process is a programming error, not a recoverable condition.
+func (v VC) Tick(p int) VC {
+	if p < 1 || p > len(v) {
+		panic(fmt.Sprintf("vc: Tick(%d) on clock of width %d", p, len(v)))
+	}
+	v[p-1]++
+	return v
+}
+
+// Merge sets v to the component-wise maximum of v and other.
+func (v VC) Merge(other VC) {
+	for i := 0; i < len(v) && i < len(other); i++ {
+		if other[i] > v[i] {
+			v[i] = other[i]
+		}
+	}
+}
+
+// LessEq reports whether v ≤ other component-wise (v happened before or
+// equals other).
+func (v VC) LessEq(other VC) bool {
+	for i := range v {
+		var o uint64
+		if i < len(other) {
+			o = other[i]
+		}
+		if v[i] > o {
+			return false
+		}
+	}
+	return true
+}
+
+// Less reports whether v < other: v ≤ other and v ≠ other (strict
+// happened-before).
+func (v VC) Less(other VC) bool {
+	return v.LessEq(other) && !other.LessEq(v)
+}
+
+// Concurrent reports whether neither clock precedes the other.
+func (v VC) Concurrent(other VC) bool {
+	return !v.LessEq(other) && !other.LessEq(v)
+}
+
+// Equal reports component-wise equality (missing components read as zero).
+func (v VC) Equal(other VC) bool {
+	return v.LessEq(other) && other.LessEq(v)
+}
+
+// String renders the clock as "[1 0 2]".
+func (v VC) String() string {
+	parts := make([]string, len(v))
+	for i, x := range v {
+		parts[i] = fmt.Sprintf("%d", x)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+// Encode serializes the clock to a compact string for embedding in message
+// payloads ("1,0,2"). Decode inverts it.
+func (v VC) Encode() string {
+	parts := make([]string, len(v))
+	for i, x := range v {
+		parts[i] = fmt.Sprintf("%d", x)
+	}
+	return strings.Join(parts, ",")
+}
+
+// Decode parses a clock produced by Encode. It returns an error on
+// malformed input.
+func Decode(s string) (VC, error) {
+	if s == "" {
+		return VC{}, nil
+	}
+	parts := strings.Split(s, ",")
+	v := make(VC, len(parts))
+	for i, p := range parts {
+		var x uint64
+		if _, err := fmt.Sscanf(p, "%d", &x); err != nil {
+			return nil, fmt.Errorf("vc: bad component %q: %w", p, err)
+		}
+		v[i] = x
+	}
+	return v, nil
+}
+
+// Lamport is a scalar Lamport clock. The zero value is ready to use.
+type Lamport struct {
+	t uint64
+}
+
+// Now returns the current clock value.
+func (l *Lamport) Now() uint64 { return l.t }
+
+// Tick advances the clock for a local event and returns the new value.
+func (l *Lamport) Tick() uint64 {
+	l.t++
+	return l.t
+}
+
+// Witness merges a remote timestamp and advances past it, returning the
+// new value (the receive rule of Lamport clocks).
+func (l *Lamport) Witness(remote uint64) uint64 {
+	if remote > l.t {
+		l.t = remote
+	}
+	l.t++
+	return l.t
+}

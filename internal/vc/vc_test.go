@@ -1,0 +1,149 @@
+package vc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTickAndGet(t *testing.T) {
+	v := New(3)
+	v.Tick(1).Tick(1).Tick(3)
+	if v.Get(1) != 2 || v.Get(2) != 0 || v.Get(3) != 1 {
+		t.Errorf("clock = %v", v)
+	}
+	if v.Get(0) != 0 || v.Get(4) != 0 {
+		t.Error("out-of-range Get should read zero")
+	}
+}
+
+func TestTickPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Tick(4) on width-3 clock did not panic")
+		}
+	}()
+	New(3).Tick(4)
+}
+
+func TestOrdering(t *testing.T) {
+	a := New(3)
+	a.Tick(1)
+	b := a.Clone()
+	b.Tick(2)
+	if !a.Less(b) {
+		t.Error("a should precede b")
+	}
+	if b.Less(a) {
+		t.Error("b should not precede a")
+	}
+	if a.Concurrent(b) {
+		t.Error("a,b are ordered, not concurrent")
+	}
+
+	c := New(3)
+	c.Tick(3)
+	if !a.Concurrent(c) || !c.Concurrent(a) {
+		t.Error("a and c should be concurrent")
+	}
+	if !a.Equal(a.Clone()) {
+		t.Error("clock should equal its clone")
+	}
+	if a.Less(a) {
+		t.Error("Less must be irreflexive")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := VC{3, 0, 1}
+	b := VC{1, 2, 1}
+	a.Merge(b)
+	if !a.Equal(VC{3, 2, 1}) {
+		t.Errorf("merge = %v", a)
+	}
+}
+
+func TestMergeDifferentWidths(t *testing.T) {
+	a := VC{1, 2}
+	a.Merge(VC{0, 5, 9}) // extra component ignored
+	if !a.Equal(VC{1, 5}) {
+		t.Errorf("merge = %v", a)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(a, b, c uint16) bool {
+		v := VC{uint64(a), uint64(b), uint64(c)}
+		d, err := Decode(v.Encode())
+		if err != nil {
+			return false
+		}
+		return d.Equal(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeEmpty(t *testing.T) {
+	v, err := Decode("")
+	if err != nil || len(v) != 0 {
+		t.Errorf("Decode(\"\") = %v, %v", v, err)
+	}
+}
+
+func TestDecodeMalformed(t *testing.T) {
+	if _, err := Decode("1,x,3"); err == nil {
+		t.Error("expected error for malformed clock")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := (VC{1, 0, 2}).String(); got != "[1 0 2]" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+// Property: merge is the least upper bound — both inputs are ≤ the result.
+func TestMergeIsUpperBoundQuick(t *testing.T) {
+	f := func(a1, a2, b1, b2 uint8) bool {
+		a := VC{uint64(a1), uint64(a2)}
+		b := VC{uint64(b1), uint64(b2)}
+		m := a.Clone()
+		m.Merge(b)
+		return a.LessEq(m) && b.LessEq(m)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: happened-before is transitive.
+func TestLessTransitiveQuick(t *testing.T) {
+	f := func(x, y, z uint8) bool {
+		a := VC{uint64(x % 4), uint64(y % 4)}
+		b := a.Clone()
+		b.Tick(1 + int(z)%2)
+		c := b.Clone()
+		c.Tick(1)
+		return a.Less(b) && b.Less(c) && a.Less(c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLamport(t *testing.T) {
+	var l Lamport
+	if l.Now() != 0 {
+		t.Error("zero value should read 0")
+	}
+	if l.Tick() != 1 || l.Tick() != 2 {
+		t.Error("Tick should increment")
+	}
+	if got := l.Witness(10); got != 11 {
+		t.Errorf("Witness(10) = %d, want 11", got)
+	}
+	if got := l.Witness(3); got != 12 {
+		t.Errorf("Witness(3) = %d, want 12 (monotone)", got)
+	}
+}

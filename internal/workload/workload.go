@@ -1,0 +1,111 @@
+// Package workload generates broadcast request patterns for simulations
+// and benchmarks: uniform round-robin load, skewed (hot-broadcaster) load,
+// and bursty load. Generators are deterministic functions of their seed.
+package workload
+
+import (
+	"fmt"
+
+	"nobroadcast/internal/model"
+	"nobroadcast/internal/rng"
+	"nobroadcast/internal/sched"
+)
+
+// Kind selects a generator shape.
+type Kind int
+
+// The workload shapes.
+const (
+	// Uniform spreads messages round-robin across processes.
+	Uniform Kind = iota + 1
+	// Skewed draws broadcasters from a geometric-ish distribution: low
+	// process ids broadcast most messages (a "hot writer" pattern).
+	Skewed
+	// Bursty alternates silent processes with bursts from one process.
+	Bursty
+)
+
+var kindNames = map[Kind]string{
+	Uniform: "uniform",
+	Skewed:  "skewed",
+	Bursty:  "bursty",
+}
+
+// String names the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Config parameterizes a generator.
+type Config struct {
+	// Kind selects the shape (default Uniform).
+	Kind Kind
+	// N is the number of processes. Required.
+	N int
+	// Messages is the total number of broadcasts. Required.
+	Messages int
+	// Seed drives the randomized shapes.
+	Seed uint64
+	// BurstLen is the burst length for Bursty (default 4).
+	BurstLen int
+	// Prefix tags the generated payloads (default "w").
+	Prefix string
+}
+
+// Generate produces the broadcast requests. It returns an error on
+// invalid configuration.
+func Generate(cfg Config) ([]sched.BroadcastReq, error) {
+	if cfg.N < 1 {
+		return nil, fmt.Errorf("workload: N must be positive, got %d", cfg.N)
+	}
+	if cfg.Messages < 0 {
+		return nil, fmt.Errorf("workload: Messages must be non-negative, got %d", cfg.Messages)
+	}
+	if cfg.Kind == 0 {
+		cfg.Kind = Uniform
+	}
+	if cfg.BurstLen <= 0 {
+		cfg.BurstLen = 4
+	}
+	if cfg.Prefix == "" {
+		cfg.Prefix = "w"
+	}
+	src := rng.New(cfg.Seed)
+	out := make([]sched.BroadcastReq, 0, cfg.Messages)
+	pick := func(i int) model.ProcID {
+		switch cfg.Kind {
+		case Skewed:
+			// Geometric: p1 twice as likely as p2, etc., truncated.
+			p := 1
+			for p < cfg.N && src.Bool() {
+				p++
+			}
+			return model.ProcID(p)
+		case Bursty:
+			burst := i / cfg.BurstLen
+			return model.ProcID(burst%cfg.N + 1)
+		default:
+			return model.ProcID(i%cfg.N + 1)
+		}
+	}
+	for i := 0; i < cfg.Messages; i++ {
+		p := pick(i)
+		out = append(out, sched.BroadcastReq{
+			Proc:    p,
+			Payload: model.Payload(fmt.Sprintf("%s-%v-%d", cfg.Prefix, cfg.Kind, i)),
+		})
+	}
+	return out, nil
+}
+
+// PerProcess counts the requests per process.
+func PerProcess(reqs []sched.BroadcastReq) map[model.ProcID]int {
+	out := make(map[model.ProcID]int)
+	for _, r := range reqs {
+		out[r.Proc]++
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"nobroadcast/internal/broadcast"
+	"nobroadcast/internal/model"
+	"nobroadcast/internal/sched"
+	"nobroadcast/internal/spec"
+	"nobroadcast/internal/trace"
+)
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(Config{N: 0, Messages: 5}); err == nil {
+		t.Error("expected error for N=0")
+	}
+	if _, err := Generate(Config{N: 2, Messages: -1}); err == nil {
+		t.Error("expected error for negative Messages")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Uniform.String() != "uniform" || Skewed.String() != "skewed" || Bursty.String() != "bursty" {
+		t.Error("kind names wrong")
+	}
+	if !strings.HasPrefix(Kind(9).String(), "Kind(") {
+		t.Error("unknown kind name")
+	}
+}
+
+func TestUniformRoundRobin(t *testing.T) {
+	reqs, err := Generate(Config{N: 3, Messages: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := PerProcess(reqs)
+	for p := 1; p <= 3; p++ {
+		if counts[model.ProcID(p)] != 3 {
+			t.Errorf("p%d got %d messages, want 3", p, counts[model.ProcID(p)])
+		}
+	}
+}
+
+func TestSkewedFavorsLowIDs(t *testing.T) {
+	reqs, err := Generate(Config{Kind: Skewed, N: 4, Messages: 400, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := PerProcess(reqs)
+	if counts[1] <= counts[4] {
+		t.Errorf("skew inverted: p1=%d p4=%d", counts[1], counts[4])
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 400 {
+		t.Errorf("total %d", total)
+	}
+}
+
+func TestBurstyGroups(t *testing.T) {
+	reqs, err := Generate(Config{Kind: Bursty, N: 2, Messages: 8, BurstLen: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if reqs[i].Proc != 1 {
+			t.Errorf("req %d from %v, want p1", i, reqs[i].Proc)
+		}
+	}
+	for i := 4; i < 8; i++ {
+		if reqs[i].Proc != 2 {
+			t.Errorf("req %d from %v, want p2", i, reqs[i].Proc)
+		}
+	}
+}
+
+func TestPayloadsUnique(t *testing.T) {
+	f := func(seed uint16) bool {
+		reqs, err := Generate(Config{Kind: Skewed, N: 3, Messages: 20, Seed: uint64(seed)})
+		if err != nil {
+			return false
+		}
+		seen := make(map[string]bool)
+		for _, r := range reqs {
+			if seen[string(r.Payload)] {
+				return false
+			}
+			seen[string(r.Payload)] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	a, _ := Generate(Config{Kind: Skewed, N: 4, Messages: 50, Seed: 9})
+	b, _ := Generate(Config{Kind: Skewed, N: 4, Messages: 50, Seed: 9})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d differs", i)
+		}
+	}
+}
+
+// TestWorkloadsDriveRuntimes: each workload shape runs green end-to-end
+// over a real broadcast implementation.
+func TestWorkloadsDriveRuntimes(t *testing.T) {
+	for _, kind := range []Kind{Uniform, Skewed, Bursty} {
+		reqs, err := Generate(Config{Kind: kind, N: 3, Messages: 9, Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt, err := sched.New(sched.Config{N: 3, NewAutomaton: broadcast.NewCausal})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := rt.RunRandom(sched.RunOptions{Seed: 5, Broadcasts: reqs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tr.Complete {
+			t.Fatalf("%v workload: incomplete", kind)
+		}
+		if v := spec.CausalBroadcast().Check(tr); v != nil {
+			t.Errorf("%v workload: %s", kind, v)
+		}
+		_ = trace.BuildIndex(tr)
+	}
+}
