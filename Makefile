@@ -1,5 +1,5 @@
 # Convenience targets for the reproduction artifact.
-.PHONY: all test race bench figure1 impossibility outputs
+.PHONY: all test race bench figure1 impossibility outputs metrics-smoke
 all: test
 test:
 	go build ./... && go vet ./... && go test ./...
@@ -11,6 +11,19 @@ figure1:
 	go run ./examples/figure1
 impossibility:
 	go run ./cmd/impossibility -all -k 2 -v
+# metrics-smoke: the observability layer end to end — run the pipeline with
+# -metrics and -events, check the phase spans appear and the event log is
+# valid JSONL (one object per line, each with ts and event keys).
+metrics-smoke:
+	go run ./cmd/impossibility -all -k 2 -metrics -events /tmp/nobroadcast-events.jsonl > /tmp/nobroadcast-metrics.txt
+	grep -q 'pipeline.adversary' /tmp/nobroadcast-metrics.txt
+	grep -q 'pipeline.nsolo-check' /tmp/nobroadcast-metrics.txt
+	grep -q 'pipeline.restriction' /tmp/nobroadcast-metrics.txt
+	grep -q 'pipeline.renaming' /tmp/nobroadcast-metrics.txt
+	grep -q 'pipeline.replay' /tmp/nobroadcast-metrics.txt
+	grep -q 'sched.steps' /tmp/nobroadcast-metrics.txt
+	awk 'NF && ($$0 !~ /^\{"ts":".*","event":".*\}$$/) { bad=1 } END { exit bad }' /tmp/nobroadcast-events.jsonl
+	@echo "metrics smoke test passed"
 outputs:
 	go test ./... 2>&1 | tee test_output.txt
 	go test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt

@@ -8,6 +8,7 @@ package nobroadcast_test
 
 import (
 	"fmt"
+	"io"
 	"testing"
 	"time"
 
@@ -16,6 +17,7 @@ import (
 	"nobroadcast/internal/core"
 	"nobroadcast/internal/model"
 	"nobroadcast/internal/net"
+	"nobroadcast/internal/obs"
 	"nobroadcast/internal/sched"
 	"nobroadcast/internal/sharedmem"
 	"nobroadcast/internal/spec"
@@ -345,4 +347,52 @@ func BenchmarkSpecChecking(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkSchedObs (E13): scheduler throughput with observability off
+// (nil registry — the default for every library call), on (registry
+// attached, no event sink), and streaming (JSONL events to io.Discard).
+// The off/on delta is the true cost of the instrumentation hooks on the
+// deterministic runtime's hot path.
+func BenchmarkSchedObs(b *testing.B) {
+	c, err := broadcast.Lookup("reliable")
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n, perProc = 4, 4
+	runOnce := func(b *testing.B, reg *obs.Registry) {
+		rt, err := sched.New(sched.Config{N: n, NewAutomaton: c.NewAutomaton, Oracle: c.OracleFor(2), Obs: reg})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var reqs []sched.BroadcastReq
+		for p := 1; p <= n; p++ {
+			for j := 0; j < perProc; j++ {
+				reqs = append(reqs, sched.BroadcastReq{Proc: model.ProcID(p), Payload: model.Payload(fmt.Sprintf("b%d-%d", p, j))})
+			}
+		}
+		tr, err := rt.RunFair(sched.RunOptions{Broadcasts: reqs})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(tr.X.Len()), "steps/run")
+	}
+	b.Run("off", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runOnce(b, nil)
+		}
+	})
+	b.Run("on", func(b *testing.B) {
+		reg := obs.New()
+		for i := 0; i < b.N; i++ {
+			runOnce(b, reg)
+		}
+	})
+	b.Run("streaming", func(b *testing.B) {
+		reg := obs.New()
+		reg.AttachEvents(obs.NewEventLog(io.Discard))
+		for i := 0; i < b.N; i++ {
+			runOnce(b, reg)
+		}
+	})
 }

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	adversary [-b kbo] [-k 3] [-n 2] [-diagram] [-summary] [-json out.json] [-extend]
+//	adversary [-b kbo] [-k 3] [-n 2] [-diagram] [-summary] [-json out.json] [-extend] [-metrics] [-events out.jsonl]
 //
 // With the defaults -b first-k -k 3 -n 2 and -diagram, the output is the
 // reproduction of Figure 1 of the paper.
@@ -21,6 +21,7 @@ import (
 	"nobroadcast/internal/adversary"
 	"nobroadcast/internal/broadcast"
 	"nobroadcast/internal/model"
+	"nobroadcast/internal/obs"
 	"nobroadcast/internal/spec"
 	"nobroadcast/internal/trace"
 )
@@ -42,7 +43,12 @@ func run(args []string, out io.Writer) error {
 	jsonPath := fs.String("json", "", "write the α trace as JSON to this file")
 	dotPath := fs.String("dot", "", "write the Figure 1 diagram as Graphviz DOT to this file")
 	extend := fs.Bool("extend", false, "extend the run fairly to quiescence and re-check the candidate's ordering spec (experiment E10)")
+	oc := obs.BindFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	reg, err := oc.Registry()
+	if err != nil {
 		return err
 	}
 
@@ -50,7 +56,7 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	res, err := adversary.Run(adversary.Options{K: *k, N: *n, NewAutomaton: cand.NewAutomaton})
+	res, err := adversary.Run(adversary.Options{K: *k, N: *n, NewAutomaton: cand.NewAutomaton, Obs: reg})
 	if err != nil {
 		return err
 	}
@@ -132,5 +138,5 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "universal properties violated: %s\n", v)
 		}
 	}
-	return nil
+	return oc.Finish(out)
 }

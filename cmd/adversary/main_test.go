@@ -71,3 +71,23 @@ func TestRunDOTExport(t *testing.T) {
 		t.Errorf("DOT file content:\n%s", data)
 	}
 }
+
+func TestAdversaryMetrics(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-b", "first-k", "-k", "3", "-n", "2", "-diagram=false", "-summary=false", "-metrics"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	for _, w := range []string{
+		"adversary.phase.p1",
+		"adversary.flush",
+		"adversary.sync_broadcasts",
+		"adversary.resets",
+		"adversary.local_del",
+		"adversary.phase_steps",
+	} {
+		if !strings.Contains(s, w) {
+			t.Errorf("metrics output missing %q:\n%s", w, s)
+		}
+	}
+}

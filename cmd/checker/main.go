@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	checker -spec kbo -k 2 [-symmetry] [-seed 1] trace.json
+//	checker -spec kbo -k 2 [-symmetry] [-seed 1] [-metrics] [-events out.jsonl] trace.json
 //
 // The trace file is the JSON produced by `adversary -json` or by the
 // trace package. Spec names: well-formed, channels, basic, send-to-all,
@@ -20,6 +20,7 @@ import (
 	"io"
 	"os"
 
+	"nobroadcast/internal/obs"
 	"nobroadcast/internal/spec"
 	"nobroadcast/internal/trace"
 )
@@ -80,11 +81,16 @@ func run(args []string, out io.Writer) error {
 	k := fs.Int("k", 2, "agreement/ordering degree for parameterized specs")
 	symmetry := fs.Bool("symmetry", false, "also run the compositionality and content-neutrality testers")
 	seed := fs.Uint64("seed", 1, "seed for the symmetry testers' generators")
+	oc := obs.BindFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("usage: checker [-spec name] [-k K] [-symmetry] trace.json")
+	}
+	reg, err := oc.Registry()
+	if err != nil {
+		return err
 	}
 
 	f, err := os.Open(fs.Arg(0))
@@ -92,25 +98,35 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	defer f.Close()
+	sp := reg.StartSpan("checker.decode")
 	tr, err := trace.DecodeJSON(f)
+	sp.End()
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(out, "trace %q: %d processes, %d steps, complete=%v\n", tr.Name, tr.X.N, tr.X.Len(), tr.Complete)
+	reg.Counter("checker.steps").Add(int64(tr.X.Len()))
 
 	s, err := specByName(*specName, *k)
 	if err != nil {
 		return err
 	}
-	if v := s.Check(tr); v != nil {
+	sp = reg.StartSpan("checker.spec")
+	v := s.Check(tr)
+	sp.End()
+	reg.Emit("checker.verdict", obs.Str("spec", s.Name()), obs.Int("rejected", boolInt(v != nil)))
+	if v != nil {
 		fmt.Fprintf(out, "REJECTED by %s:\n  %s\n", s.Name(), v)
+		oc.Finish(out)
 		return errRejected
 	}
 	fmt.Fprintf(out, "admitted by %s\n", s.Name())
 
 	if *symmetry {
 		opts := spec.SymmetryOptions{Seed: *seed}
+		sp = reg.StartSpan("checker.compositionality")
 		comp, err := spec.CheckCompositional(s, tr, opts)
+		sp.End()
 		if err != nil {
 			return err
 		}
@@ -119,7 +135,9 @@ func run(args []string, out io.Writer) error {
 		} else {
 			fmt.Fprintf(out, "compositionality: REFUTED by message subset %v:\n  %s\n", comp.WitnessSubset, comp.Violation)
 		}
+		sp = reg.StartSpan("checker.content_neutrality")
 		cn, err := spec.CheckContentNeutral(s, tr, opts)
+		sp.End()
 		if err != nil {
 			return err
 		}
@@ -129,5 +147,12 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "content-neutrality: REFUTED by renaming %v:\n  %s\n", cn.WitnessRenaming, cn.Violation)
 		}
 	}
-	return nil
+	return oc.Finish(out)
+}
+
+func boolInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }

@@ -108,3 +108,44 @@ func TestCheckerBadUsage(t *testing.T) {
 		t.Error("expected error for unknown spec")
 	}
 }
+
+func TestCheckerMetricsAndEvents(t *testing.T) {
+	path := writeTrace(t, admissibleTrace())
+	events := filepath.Join(t.TempDir(), "events.jsonl")
+	var out bytes.Buffer
+	if err := run([]string{"-spec", "kbo", "-k", "2", "-symmetry", "-metrics", "-events", events, path}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	for _, w := range []string{
+		"checker.decode",
+		"checker.spec",
+		"checker.compositionality",
+		"checker.content_neutrality",
+		"checker.steps",
+	} {
+		if !strings.Contains(s, w) {
+			t.Errorf("metrics output missing %q:\n%s", w, s)
+		}
+	}
+	data, err := os.ReadFile(events)
+	if err != nil {
+		t.Fatalf("reading event log: %v", err)
+	}
+	if !strings.Contains(string(data), `"event":"checker.verdict"`) {
+		t.Errorf("event log missing checker.verdict:\n%s", data)
+	}
+}
+
+func TestCheckerMetricsOnRejection(t *testing.T) {
+	// The summary must still be rendered when the trace is rejected.
+	path := writeTrace(t, violatingTrace())
+	var out bytes.Buffer
+	err := run([]string{"-spec", "basic", "-metrics", path}, &out)
+	if !errors.Is(err, errRejected) {
+		t.Fatalf("expected errRejected, got %v", err)
+	}
+	if !strings.Contains(out.String(), "checker.spec") {
+		t.Errorf("metrics summary missing on rejection:\n%s", out.String())
+	}
+}

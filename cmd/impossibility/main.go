@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	impossibility [-b kbo | -all] [-k 2] [-v]
+//	impossibility [-b kbo | -all] [-k 2] [-v] [-metrics] [-events out.jsonl]
 package main
 
 import (
@@ -17,6 +17,7 @@ import (
 
 	"nobroadcast/internal/broadcast"
 	"nobroadcast/internal/core"
+	"nobroadcast/internal/obs"
 )
 
 func main() {
@@ -32,7 +33,12 @@ func run(args []string, out io.Writer) error {
 	all := fs.Bool("all", false, "run the pipeline on every k-SA-claiming candidate")
 	k := fs.Int("k", 2, "agreement degree k, 1 < k")
 	verbose := fs.Bool("v", false, "print solo records and lemma reports")
+	oc := obs.BindFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	reg, err := oc.Registry()
+	if err != nil {
 		return err
 	}
 	var cands []broadcast.Candidate
@@ -54,7 +60,7 @@ func run(args []string, out io.Writer) error {
 	}
 
 	for _, c := range cands {
-		res, err := core.RunImpossibility(c, *k, core.Options{})
+		res, err := core.RunImpossibility(c, *k, core.Options{Obs: reg})
 		if err != nil {
 			return fmt.Errorf("%s: %w", c.Name, err)
 		}
@@ -82,5 +88,5 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintln(out, "Theorem 1: for 1 < k < n, no content-neutral and compositional broadcast")
 	fmt.Fprintln(out, "abstraction is computationally equivalent to k-set agreement in CAMP_n[0].")
 	fmt.Fprintln(out, "Each candidate above fails at least one hypothesis, as the outcomes show.")
-	return nil
+	return oc.Finish(out)
 }

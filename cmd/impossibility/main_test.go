@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -49,5 +52,48 @@ func TestImpossibilityBadArgs(t *testing.T) {
 	}
 	if err := run([]string{"-b", "kbo", "-k", "1"}, &out); err == nil {
 		t.Error("expected k=1 error")
+	}
+}
+
+func TestImpossibilityMetricsAndEvents(t *testing.T) {
+	events := filepath.Join(t.TempDir(), "out.jsonl")
+	var out bytes.Buffer
+	if err := run([]string{"-all", "-k", "2", "-metrics", "-events", events}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	for _, w := range []string{
+		"-- spans",
+		"pipeline.adversary",
+		"pipeline.nsolo-check",
+		"pipeline.restriction",
+		"pipeline.renaming",
+		"pipeline.replay",
+		"-- counters",
+		"core.pipelines",
+		"sched.steps",
+		"adversary.oracle.proposals",
+		"events written to",
+	} {
+		if !strings.Contains(s, w) {
+			t.Errorf("metrics output missing %q:\n%s", w, s)
+		}
+	}
+	data, err := os.ReadFile(events)
+	if err != nil {
+		t.Fatalf("reading event log: %v", err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) < 10 {
+		t.Fatalf("expected a rich event log, got %d lines", len(lines))
+	}
+	for i, line := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", i+1, err, line)
+		}
+		if m["ts"] == nil || m["event"] == nil {
+			t.Fatalf("line %d lacks ts/event: %s", i+1, line)
+		}
 	}
 }

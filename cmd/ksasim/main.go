@@ -7,19 +7,28 @@
 // Usage:
 //
 //	ksasim -b first-k -n 5 -k 2 -runs 100 [-crashes 2] [-concurrent]
+//	       [-metrics] [-events out.jsonl] [-http 127.0.0.1:8123]
+//
+// With -http the command serves live metrics while the workload runs:
+// `/` is a plain-text summary, `/metrics` Prometheus text exposition,
+// and `/vars` an expvar-style JSON map of counters and gauges.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	stdnet "net"
+	"net/http"
 	"os"
 	"strings"
 	"time"
 
 	"nobroadcast/internal/broadcast"
+	"nobroadcast/internal/ksa"
 	"nobroadcast/internal/model"
 	"nobroadcast/internal/net"
+	"nobroadcast/internal/obs"
 	"nobroadcast/internal/sched"
 	"nobroadcast/internal/spec"
 	"nobroadcast/internal/trace"
@@ -40,6 +49,8 @@ func run(args []string, out io.Writer) error {
 	runs := fs.Int("runs", 100, "number of seeded runs (deterministic runtime)")
 	crashes := fs.Int("crashes", 0, "number of processes crashed mid-run")
 	concurrent := fs.Bool("concurrent", false, "use the concurrent goroutine runtime instead")
+	httpAddr := fs.String("http", "", "serve live metrics (/, /metrics, /vars) on this `address` while the workload runs")
+	oc := obs.BindFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -50,13 +61,35 @@ func run(args []string, out io.Writer) error {
 	if *crashes >= *n {
 		return fmt.Errorf("crashes must leave at least one process alive")
 	}
-	if *concurrent {
-		return runConcurrent(out, cand, *n, *k)
+	reg, err := oc.Registry()
+	if err != nil {
+		return err
 	}
-	return runDeterministic(out, cand, *n, *k, *runs, *crashes)
+	if *httpAddr != "" {
+		if reg == nil {
+			reg = obs.New()
+		}
+		ln, err := stdnet.Listen("tcp", *httpAddr)
+		if err != nil {
+			return err
+		}
+		srv := &http.Server{Handler: reg}
+		go srv.Serve(ln)
+		defer srv.Close()
+		fmt.Fprintf(out, "metrics endpoint: http://%s/ (paths: /, /metrics, /vars)\n", ln.Addr())
+	}
+	if *concurrent {
+		err = runConcurrent(out, cand, *n, *k, reg)
+	} else {
+		err = runDeterministic(out, cand, *n, *k, *runs, *crashes, reg)
+	}
+	if err != nil {
+		return err
+	}
+	return oc.Finish(out)
 }
 
-func runDeterministic(out io.Writer, cand broadcast.Candidate, n, k, runs, crashes int) error {
+func runDeterministic(out io.Writer, cand broadcast.Candidate, n, k, runs, crashes int, reg *obs.Registry) error {
 	inputs := make([]model.Value, n)
 	for i := range inputs {
 		inputs[i] = model.Value(fmt.Sprintf("v%d", i+1))
@@ -64,13 +97,18 @@ func runDeterministic(out io.Writer, cand broadcast.Candidate, n, k, runs, crash
 	histogram := make(map[int]int) // distinct decisions -> runs
 	violations := 0
 	var steps, sends int
+	span := reg.StartSpan("ksasim.deterministic")
+	defer span.End()
+	runCounter := reg.Counter("ksasim.runs")
+	violCounter := reg.Counter("ksasim.violations")
 	for seed := uint64(1); seed <= uint64(runs); seed++ {
 		rt, err := sched.New(sched.Config{
 			N:            n,
 			NewAutomaton: cand.NewAutomaton,
-			Oracle:       cand.OracleFor(k),
+			Oracle:       ksa.Instrument(cand.OracleFor(k), reg),
 			NewApp:       cand.SolverFor(),
 			Inputs:       inputs,
+			Obs:          reg,
 		})
 		if err != nil {
 			return err
@@ -85,8 +123,10 @@ func runDeterministic(out io.Writer, cand broadcast.Candidate, n, k, runs, crash
 		}
 		ix := trace.BuildIndex(tr)
 		histogram[len(ix.DistinctDecisions(sched.DefaultAppObject))]++
+		runCounter.Inc()
 		if v := spec.KSA(k).Check(tr); v != nil {
 			violations++
+			violCounter.Inc()
 		}
 		steps += tr.X.Len()
 		for _, s := range tr.X.Steps {
@@ -114,7 +154,7 @@ func runDeterministic(out io.Writer, cand broadcast.Candidate, n, k, runs, crash
 	return nil
 }
 
-func runConcurrent(out io.Writer, cand broadcast.Candidate, n, k int) error {
+func runConcurrent(out io.Writer, cand broadcast.Candidate, n, k int, reg *obs.Registry) error {
 	ok := 1
 	switch cand.OracleK {
 	case -1:
@@ -124,12 +164,15 @@ func runConcurrent(out io.Writer, cand broadcast.Candidate, n, k int) error {
 	default:
 		ok = cand.OracleK
 	}
+	span := reg.StartSpan("ksasim.concurrent")
+	defer span.End()
 	nw, err := net.New(net.Config{
 		N:            n,
 		NewAutomaton: cand.NewAutomaton,
 		K:            ok,
 		MaxDelay:     200 * time.Microsecond,
 		Seed:         uint64(time.Now().UnixNano()),
+		Obs:          reg,
 	})
 	if err != nil {
 		return err

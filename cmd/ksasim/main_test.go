@@ -61,3 +61,36 @@ func TestKsasimBadArgs(t *testing.T) {
 		t.Error("expected too-many-crashes error")
 	}
 }
+
+func TestKsasimMetricsAndHTTP(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-b", "first-k", "-n", "4", "-k", "2", "-runs", "5", "-metrics", "-http", "127.0.0.1:0"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	for _, w := range []string{
+		"metrics endpoint: http://127.0.0.1:",
+		"ksasim.runs",
+		"ksa.proposals",
+		"ksa.decisions",
+		"sched.steps",
+		"ksasim.deterministic",
+	} {
+		if !strings.Contains(s, w) {
+			t.Errorf("output missing %q:\n%s", w, s)
+		}
+	}
+}
+
+func TestKsasimConcurrentMetrics(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-b", "reliable", "-n", "3", "-concurrent", "-metrics"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	for _, w := range []string{"ksasim.concurrent", "net.sent", "net.delivered", "net.delay_us"} {
+		if !strings.Contains(s, w) {
+			t.Errorf("output missing %q:\n%s", w, s)
+		}
+	}
+}

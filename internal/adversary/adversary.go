@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"nobroadcast/internal/model"
+	"nobroadcast/internal/obs"
 	"nobroadcast/internal/sched"
 	"nobroadcast/internal/trace"
 )
@@ -43,6 +44,12 @@ type Options struct {
 	// Lemma 7 contradiction — and Run returns ErrNotSoloProgressing.
 	// Zero selects the default (100000).
 	MaxStepsPerPhase int
+	// Obs receives Algorithm 1 line-level progress: per-phase spans and
+	// step histograms, solo-delivery watermarks (local_del), reset and
+	// adoption counters, and structured phase/reset/adoption events. It
+	// is also threaded into the underlying sched runtime. Nil disables
+	// all recording.
+	Obs *obs.Registry
 }
 
 func (o Options) maxSteps() int {
@@ -117,12 +124,22 @@ type tableOracle struct {
 	// adoptions counts executions of the line 18 branch (p_{k+1} adopting
 	// p_k's value).
 	adoptions int
+	// reg observes proposals and adoptions (nil-safe).
+	reg       *obs.Registry
+	proposals *obs.Counter
+	adopted   *obs.Counter
 }
 
 var _ sched.Oracle = (*tableOracle)(nil)
 
-func newTableOracle(k int) *tableOracle {
-	return &tableOracle{k: k, decided: make(map[model.KSAID]map[model.ProcID]model.Value)}
+func newTableOracle(k int, reg *obs.Registry) *tableOracle {
+	return &tableOracle{
+		k:         k,
+		decided:   make(map[model.KSAID]map[model.ProcID]model.Value),
+		reg:       reg,
+		proposals: reg.Counter("adversary.oracle.proposals"),
+		adopted:   reg.Counter("adversary.adoptions"),
+	}
 }
 
 // allLowDecided reports ∀j ≤ k: decided[obj][j] ≠ ⊥ (the condition of
@@ -178,10 +195,15 @@ func (o *tableOracle) Propose(obj model.KSAID, proc model.ProcID, v model.Value)
 		return m[proc]
 	}
 	o.lastObj = obj
+	o.proposals.Inc()
 	// Lines 17-19.
 	if int(proc) == o.k+1 && o.allLowDecided(obj) {
 		m[proc] = m[model.ProcID(o.k)]
 		o.adoptions++
+		o.adopted.Inc()
+		o.reg.Emit("adversary.adoption",
+			obs.Int("obj", int64(obj)), obs.Int("proc", int64(proc)),
+			obs.Str("proposed", string(v)), obs.Str("adopted", string(m[proc])))
 	} else {
 		m[proc] = v
 	}
@@ -203,15 +225,18 @@ func Run(opts Options) (*Result, error) {
 		return nil, fmt.Errorf("adversary: NewAutomaton is required")
 	}
 	k, n := opts.K, opts.N
-	oracle := newTableOracle(k)
+	reg := opts.Obs
+	oracle := newTableOracle(k, reg)
 	rt, err := sched.New(sched.Config{
 		N:            k + 1,
 		NewAutomaton: opts.NewAutomaton,
 		Oracle:       oracle,
+		Obs:          reg,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("adversary: %w", err)
 	}
+	met := newAdvMetrics(reg)
 
 	res := &Result{
 		K:          k,
@@ -235,6 +260,8 @@ func Run(opts Options) (*Result, error) {
 		returned, deliveredOwn := false, false
 		steps := 0
 
+		span := met.phaseEnter(reg, i)
+
 		for localDel < n { // line 5
 			steps++
 			if steps > opts.maxSteps() {
@@ -249,6 +276,7 @@ func Run(opts Options) (*Result, error) {
 				}
 				syncMsg, syncOpen, returned, deliveredOwn = msg, true, false, false
 				res.Broadcasts[pi]++
+				met.broadcast()
 				continue
 			}
 			// Line 8: p_i's next local step in C(α), according to 𝓑.
@@ -268,6 +296,7 @@ func Run(opts Options) (*Result, error) {
 					if _, err := rt.ReceiveInstance(step.Msg); err != nil {
 						return nil, fmt.Errorf("adversary: self-receive at %v: %w", pi, err)
 					}
+					met.selfReceive()
 				}
 				// Lines 12-13: sends to other processes stay in flight
 				// (the runtime's network is the scheduler's `sent` set).
@@ -275,6 +304,7 @@ func Run(opts Options) (*Result, error) {
 				if step.Peer == pi {
 					// Lines 14-15: p_i B-delivers one of its own messages.
 					localDel++
+					met.watermark(localDel)
 					if localDel >= 1 {
 						counted = append(counted, step.Msg)
 					}
@@ -301,19 +331,26 @@ func Run(opts Options) (*Result, error) {
 					counted = nil
 					res.Resets++
 					res.ResetBoundary = rt.Execution().Len()
+					met.reset(reg, i, res.ResetBoundary)
 				}
 			}
 		}
 		res.Counted[pi] = counted
+		met.phaseExit(reg, span, i, steps, len(counted))
 	}
 
 	// Line 26: every message still in flight is received.
 	res.FlushStart = rt.Execution().Len()
+	flushSpan := reg.StartSpan("adversary.flush")
+	flushed := 0
 	for len(rt.InFlight()) > 0 {
 		if _, err := rt.ReceiveIndex(0); err != nil {
 			return nil, fmt.Errorf("adversary: final flush: %w", err)
 		}
+		flushed++
 	}
+	met.flushed(flushed)
+	flushSpan.End()
 
 	res.Adoptions = oracle.adoptions
 

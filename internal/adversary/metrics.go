@@ -1,0 +1,98 @@
+package adversary
+
+import (
+	"fmt"
+
+	"nobroadcast/internal/obs"
+)
+
+// advMetrics instruments Algorithm 1 line by line: sync-broadcast
+// invocations (lines 6-7), immediate self-receives (lines 10-11), the
+// local_del watermark (lines 14-15), resets (line 25), the final flush
+// (line 26), and per-phase spans with a step-count histogram. Adoption
+// counting (line 18) lives on the tableOracle, where the branch executes.
+// A nil *advMetrics records nothing.
+type advMetrics struct {
+	broadcasts   *obs.Counter
+	selfReceives *obs.Counter
+	resets       *obs.Counter
+	flushCount   *obs.Counter
+	localDel     *obs.Gauge
+	phaseSteps   *obs.Histogram
+}
+
+func newAdvMetrics(reg *obs.Registry) *advMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &advMetrics{
+		broadcasts:   reg.Counter("adversary.sync_broadcasts"),
+		selfReceives: reg.Counter("adversary.self_receives"),
+		resets:       reg.Counter("adversary.resets"),
+		flushCount:   reg.Counter("adversary.flushed_messages"),
+		localDel:     reg.Gauge("adversary.local_del"),
+		phaseSteps:   reg.Histogram("adversary.phase_steps", 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384, 65536),
+	}
+}
+
+// phaseEnter opens the span for process p_i's solo phase (line 3).
+func (m *advMetrics) phaseEnter(reg *obs.Registry, i int) *obs.Span {
+	if m == nil {
+		return nil
+	}
+	reg.Emit("adversary.phase.enter", obs.Int("proc", int64(i)))
+	return reg.StartSpan(fmt.Sprintf("adversary.phase.p%d", i))
+}
+
+// phaseExit closes the phase span and records its cost.
+func (m *advMetrics) phaseExit(reg *obs.Registry, span *obs.Span, i, steps, counted int) {
+	if m == nil {
+		return
+	}
+	span.End()
+	m.phaseSteps.Observe(int64(steps))
+	reg.Emit("adversary.phase.exit",
+		obs.Int("proc", int64(i)), obs.Int("steps", int64(steps)), obs.Int("counted", int64(counted)))
+}
+
+// watermark tracks local_del; the gauge's Max is the deepest solo
+// progress any phase reached.
+func (m *advMetrics) watermark(localDel int) {
+	if m == nil {
+		return
+	}
+	m.localDel.Set(int64(localDel))
+}
+
+// reset records one execution of line 25.
+func (m *advMetrics) reset(reg *obs.Registry, i, boundary int) {
+	if m == nil {
+		return
+	}
+	m.resets.Inc()
+	reg.Emit("adversary.reset", obs.Int("proc", int64(i)), obs.Int("alpha_len", int64(boundary)))
+}
+
+// broadcast records one sync-broadcast invocation.
+func (m *advMetrics) broadcast() {
+	if m == nil {
+		return
+	}
+	m.broadcasts.Inc()
+}
+
+// selfReceive records one immediate self-receive (lines 10-11).
+func (m *advMetrics) selfReceive() {
+	if m == nil {
+		return
+	}
+	m.selfReceives.Inc()
+}
+
+// flushed records the size of the line 26 flush.
+func (m *advMetrics) flushed(n int) {
+	if m == nil {
+		return
+	}
+	m.flushCount.Add(int64(n))
+}

@@ -42,6 +42,7 @@ import (
 	"nobroadcast/internal/adversary"
 	"nobroadcast/internal/broadcast"
 	"nobroadcast/internal/model"
+	"nobroadcast/internal/obs"
 	"nobroadcast/internal/sched"
 	"nobroadcast/internal/trace"
 )
@@ -141,6 +142,12 @@ type Options struct {
 	MaxSoloEvents int
 	// MaxStepsPerPhase is passed to the adversary (default 100000).
 	MaxStepsPerPhase int
+	// Obs receives pipeline observability: one span per phase of
+	// RunImpossibility (solo runs, adversary, N-solo check, spec check on
+	// β, restriction, renaming, replay), stage events, and — threaded
+	// down — the sched/adversary metrics of the underlying runs. Nil
+	// disables recording.
+	Obs *obs.Registry
 }
 
 func (o Options) maxSolo() int {
@@ -170,6 +177,7 @@ func RunSolo(c broadcast.Candidate, k int, i model.ProcID, opts Options) (*SoloR
 		Oracle:       c.OracleFor(k),
 		NewApp:       c.SolverFor(),
 		Inputs:       inputs,
+		Obs:          opts.Obs,
 	})
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: solo run: %w", err)
@@ -220,21 +228,38 @@ func RunImpossibility(c broadcast.Candidate, k int, opts Options) (*Result, erro
 	if k < 2 {
 		return nil, fmt.Errorf("core: Theorem 1 concerns 1 < k < n; got k=%d", k)
 	}
+	reg := opts.Obs
 	res := &Result{Candidate: c.Name, K: k}
+	reg.Counter("core.pipelines").Inc()
+	reg.Emit("pipeline.start", obs.Str("candidate", c.Name), obs.Int("k", int64(k)))
+	// finish stamps the terminal event on every classified return path.
+	finish := func() (*Result, error) {
+		reg.Counter("core.outcomes").Inc()
+		reg.Emit("pipeline.outcome",
+			obs.Str("candidate", c.Name), obs.Int("k", int64(k)), obs.Int("n", int64(res.N)),
+			obs.Str("outcome", res.Outcome.String()))
+		return res, nil
+	}
 
 	// Stage 1: solo executions.
+	soloSpan := reg.StartSpan("pipeline.solo")
 	for i := 1; i <= k+1; i++ {
 		rec, _, err := RunSolo(c, k, model.ProcID(i), opts)
 		if err != nil {
 			return nil, err
 		}
 		res.Solo = append(res.Solo, *rec)
+		reg.Emit("pipeline.solo_run",
+			obs.Str("candidate", c.Name), obs.Int("proc", int64(i)),
+			obs.Int("ni", int64(rec.Ni)), obs.Str("decision", string(rec.Decision)))
 		if rec.Decision == "" {
+			soloSpan.End()
 			res.Outcome = OutcomeNoSoloDecision
 			res.Detail = fmt.Sprintf("%v never decides running alone", rec.Proc)
-			return res, nil
+			return finish()
 		}
 	}
+	soloSpan.End()
 
 	// Stage 2: N.
 	res.N = 1
@@ -245,23 +270,28 @@ func RunImpossibility(c broadcast.Candidate, k int, opts Options) (*Result, erro
 	}
 
 	// Stage 3: the adversarial N-solo construction (Lemma 10).
+	advSpan := reg.StartSpan("pipeline.adversary")
 	adv, err := adversary.Run(adversary.Options{
 		K: k, N: res.N,
 		NewAutomaton:     c.NewAutomaton,
 		MaxStepsPerPhase: opts.MaxStepsPerPhase,
+		Obs:              opts.Obs,
 	})
+	advSpan.End()
 	if err != nil {
 		var stall *adversary.ErrNotSoloProgressing
 		if asStall(err, &stall) {
 			res.Outcome = OutcomeNotSoloProgressing
 			res.Detail = err.Error()
-			return res, nil
+			return finish()
 		}
 		return nil, err
 	}
 	res.Adversary = adv
 	res.Beta = adv.Beta
+	checkSpan := reg.StartSpan("pipeline.nsolo-check")
 	reports, ok := adv.Verify()
+	checkSpan.End()
 	res.LemmaReports = reports
 	if !ok {
 		return nil, fmt.Errorf("core: adversarial construction failed its own lemma checks: %+v", reports)
@@ -269,13 +299,17 @@ func RunImpossibility(c broadcast.Candidate, k int, opts Options) (*Result, erro
 
 	// Stage 4: does the candidate's spec admit β?
 	s := c.Spec(k)
-	if v := s.Check(adv.Beta); v != nil {
+	betaSpan := reg.StartSpan("pipeline.spec-beta")
+	v := s.Check(adv.Beta)
+	betaSpan.End()
+	if v != nil {
 		res.Outcome = OutcomeImplementationIncorrect
 		res.Detail = v.String()
-		return res, nil
+		return finish()
 	}
 
 	// Stage 5: restriction γ (compositionality).
+	restrictSpan := reg.StartSpan("pipeline.restriction")
 	keep := make(map[model.MsgID]bool)
 	subst := make(map[model.MsgID]model.Payload)
 	for i := 1; i <= k+1; i++ {
@@ -293,30 +327,36 @@ func RunImpossibility(c broadcast.Candidate, k int, opts Options) (*Result, erro
 		Name:     fmt.Sprintf("gamma(%s,k=%d,N=%d)", c.Name, k, res.N),
 	}
 	res.Gamma = gamma
-	if v := s.Check(gamma); v != nil {
+	v = s.Check(gamma)
+	restrictSpan.End()
+	if v != nil {
 		res.Outcome = OutcomeNotCompositional
 		res.Detail = v.String()
-		return res, nil
+		return finish()
 	}
 
 	// Stage 6: renaming δ (content-neutrality). Each counted message
 	// becomes the corresponding solo-run message; distinct message
 	// instances keep distinct identities, so the substitution is
 	// injective on messages.
+	renameSpan := reg.StartSpan("pipeline.renaming")
 	delta := &trace.Trace{
 		X:        gamma.X.RenameByMsg(subst),
 		Complete: false,
 		Name:     fmt.Sprintf("delta(%s,k=%d,N=%d)", c.Name, k, res.N),
 	}
 	res.Delta = delta
-	if v := s.Check(delta); v != nil {
+	v = s.Check(delta)
+	renameSpan.End()
+	if v != nil {
 		res.Outcome = OutcomeNotContentNeutral
 		res.Detail = v.String()
-		return res, nil
+		return finish()
 	}
 
 	// Stage 7: replay 𝓐 against δ per process — indistinguishable from
 	// the solo runs, so each process decides its own value.
+	replaySpan := reg.StartSpan("pipeline.replay")
 	res.ReplayDecisions = make(map[model.ProcID]model.Value, k+1)
 	distinct := make(map[model.Value]bool)
 	for i := 1; i <= k+1; i++ {
@@ -331,12 +371,13 @@ func RunImpossibility(c broadcast.Candidate, k int, opts Options) (*Result, erro
 			return nil, fmt.Errorf("core: replay of %v on delta decided %q, solo run decided %q: indistinguishability broken", pid, dec, res.Solo[i-1].Decision)
 		}
 	}
+	replaySpan.End()
 	if len(distinct) <= k {
 		return nil, fmt.Errorf("core: replay produced only %d distinct decisions; expected %d (pipeline invariant)", len(distinct), k+1)
 	}
 	res.Outcome = OutcomeAgreementViolated
 	res.Detail = fmt.Sprintf("%d distinct values decided on one %d-SA object: %v", len(distinct), k, res.ReplayDecisions)
-	return res, nil
+	return finish()
 }
 
 func asStall(err error, target **adversary.ErrNotSoloProgressing) bool {

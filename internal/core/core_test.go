@@ -1,12 +1,14 @@
 package core_test
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 
 	"nobroadcast/internal/broadcast"
 	"nobroadcast/internal/core"
 	"nobroadcast/internal/model"
+	"nobroadcast/internal/obs"
 	"nobroadcast/internal/sched"
 	"nobroadcast/internal/spec"
 	"nobroadcast/internal/trace"
@@ -399,3 +401,73 @@ func (constDecideApp) OnDeliver(env sched.AppEnv, _ model.ProcID, _ model.MsgID,
 	env.Decide("always-the-same")
 }
 func (constDecideApp) OnReturn(sched.AppEnv, model.MsgID) {}
+
+// TestPipelineObservability: with a Registry attached, RunImpossibility
+// records one span per pipeline phase and the stage events, and threads
+// the registry into the scheduler and adversary underneath.
+func TestPipelineObservability(t *testing.T) {
+	c, err := broadcast.Lookup("kbo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.New()
+	var events bytes.Buffer
+	reg.AttachEvents(obs.NewEventLog(&events))
+	res, err := core.RunImpossibility(c, 2, core.Options{Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != core.OutcomeAgreementViolated {
+		t.Fatalf("outcome = %v", res.Outcome)
+	}
+	names := make(map[string]int)
+	for _, s := range reg.Spans() {
+		names[s.Name]++
+	}
+	for _, want := range []string{
+		"pipeline.solo", "pipeline.adversary", "pipeline.nsolo-check",
+		"pipeline.spec-beta", "pipeline.restriction", "pipeline.renaming",
+		"pipeline.replay",
+	} {
+		if names[want] != 1 {
+			t.Errorf("span %q recorded %d times, want 1 (spans: %v)", want, names[want], names)
+		}
+	}
+	// kbo runs 3 solo phases + the adversary's phases: one span per phase.
+	if names["adversary.phase.p1"] != 1 {
+		t.Errorf("adversary phase spans missing: %v", names)
+	}
+	if reg.Counter("sched.steps").Value() == 0 {
+		t.Error("scheduler metrics not threaded through the pipeline")
+	}
+	if reg.Counter("core.pipelines").Value() != 1 {
+		t.Error("core.pipelines not counted")
+	}
+	for _, want := range []string{`"event":"pipeline.start"`, `"event":"pipeline.solo_run"`, `"event":"pipeline.outcome"`, `"outcome":`} {
+		if !bytes.Contains(events.Bytes(), []byte(want)) {
+			t.Errorf("event log missing %s", want)
+		}
+	}
+}
+
+// TestPipelineOutcomeEventOnEarlyExit: classified early exits (e.g. a
+// non-compositional spec) still emit the terminal outcome event.
+func TestPipelineOutcomeEventOnEarlyExit(t *testing.T) {
+	c, err := broadcast.Lookup("first-k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.New()
+	var events bytes.Buffer
+	reg.AttachEvents(obs.NewEventLog(&events))
+	res, err := core.RunImpossibility(c, 2, core.Options{Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != core.OutcomeNotCompositional {
+		t.Fatalf("outcome = %v", res.Outcome)
+	}
+	if !bytes.Contains(events.Bytes(), []byte(`"event":"pipeline.outcome"`)) {
+		t.Error("outcome event missing on early-exit path")
+	}
+}

@@ -1,0 +1,51 @@
+package ksa
+
+import (
+	"nobroadcast/internal/model"
+	"nobroadcast/internal/obs"
+	"nobroadcast/internal/sched"
+)
+
+// InstrumentedOracle wraps any k-SA oracle with observability: it counts
+// proposals and decisions, counts adoptions (decisions that differ from
+// the proposal — the proposer was forced onto an already-decided value),
+// and emits one structured event per decision. It changes no decision
+// values, so wrapping is behaviour-preserving.
+type InstrumentedOracle struct {
+	inner     sched.Oracle
+	reg       *obs.Registry
+	proposals *obs.Counter
+	decisions *obs.Counter
+	adoptions *obs.Counter
+}
+
+var _ sched.Oracle = (*InstrumentedOracle)(nil)
+
+// Instrument wraps inner with counters registered under ksa.* names.
+// With a nil registry it returns inner unchanged (zero overhead).
+func Instrument(inner sched.Oracle, reg *obs.Registry) sched.Oracle {
+	if reg == nil {
+		return inner
+	}
+	return &InstrumentedOracle{
+		inner:     inner,
+		reg:       reg,
+		proposals: reg.Counter("ksa.proposals"),
+		decisions: reg.Counter("ksa.decisions"),
+		adoptions: reg.Counter("ksa.adoptions"),
+	}
+}
+
+// Propose implements sched.Oracle.
+func (o *InstrumentedOracle) Propose(obj model.KSAID, proc model.ProcID, v model.Value) model.Value {
+	o.proposals.Inc()
+	out := o.inner.Propose(obj, proc, v)
+	o.decisions.Inc()
+	if out != v {
+		o.adoptions.Inc()
+	}
+	o.reg.Emit("ksa.decision",
+		obs.Int("obj", int64(obj)), obs.Int("proc", int64(proc)),
+		obs.Str("proposed", string(v)), obs.Str("decided", string(out)))
+	return out
+}

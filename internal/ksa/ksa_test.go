@@ -8,6 +8,7 @@ import (
 	"nobroadcast/internal/broadcast"
 	"nobroadcast/internal/ksa"
 	"nobroadcast/internal/model"
+	"nobroadcast/internal/obs"
 	"nobroadcast/internal/sched"
 	"nobroadcast/internal/spec"
 	"nobroadcast/internal/trace"
@@ -207,5 +208,40 @@ func TestAnalyze(t *testing.T) {
 	}
 	if s := stats[1].String(); !strings.Contains(s, "3 decider(s)") || !strings.Contains(s, "2 distinct") {
 		t.Errorf("String = %q", s)
+	}
+}
+
+// TestInstrumentedOracle: the wrapper preserves decisions exactly and
+// counts proposals/decisions/adoptions; a nil registry is a pass-through.
+func TestInstrumentedOracle(t *testing.T) {
+	if got := ksa.Instrument(sched.NewFreeOracle(1), nil); got == nil {
+		t.Fatal("nil-registry Instrument returned nil")
+	} else if _, wrapped := got.(*ksa.InstrumentedOracle); wrapped {
+		t.Error("nil-registry Instrument should return the inner oracle unchanged")
+	}
+
+	reg := obs.New()
+	plain := sched.NewFreeOracle(1)
+	inst := ksa.Instrument(sched.NewFreeOracle(1), reg)
+	props := []struct {
+		proc model.ProcID
+		v    model.Value
+	}{{1, "a"}, {2, "b"}, {3, "a"}}
+	for _, p := range props {
+		want := plain.Propose(1, p.proc, p.v)
+		got := inst.Propose(1, p.proc, p.v)
+		if got != want {
+			t.Errorf("instrumented decision %q differs from plain %q", got, want)
+		}
+	}
+	if n := reg.Counter("ksa.proposals").Value(); n != 3 {
+		t.Errorf("proposals = %d, want 3", n)
+	}
+	if n := reg.Counter("ksa.decisions").Value(); n != 3 {
+		t.Errorf("decisions = %d, want 3", n)
+	}
+	// Consensus (k=1) on "a" forces p2's "b" to adopt: exactly 1 adoption.
+	if n := reg.Counter("ksa.adoptions").Value(); n != 1 {
+		t.Errorf("adoptions = %d, want 1", n)
 	}
 }

@@ -1,0 +1,59 @@
+package net
+
+import "nobroadcast/internal/obs"
+
+// netMetrics is the network's instrumentation, built on internal/obs. The
+// counters always exist — StatsSnapshot reports them with or without a
+// Registry — but they live under registry names (and gain latency/depth
+// histograms plus the in-flight gauge) when Config.Obs is set. This
+// replaces the hand-rolled Stats struct the package used to carry.
+type netMetrics struct {
+	sent       *obs.Counter
+	received   *obs.Counter
+	delivered  *obs.Counter
+	broadcasts *obs.Counter
+	// dropped counts messages discarded because the network stopped, the
+	// destination crashed, or the destination did not exist — the events
+	// the old Stats never tracked.
+	dropped *obs.Counter
+	// reordered counts receptions that overtook an earlier send to the
+	// same destination (non-FIFO transport made visible).
+	reordered *obs.Counter
+	// crashes counts Crash calls that took effect.
+	crashes *obs.Counter
+	// inFlight gauges message goroutines currently in transit (registry
+	// mode only; nil-safe no-op otherwise).
+	inFlight *obs.Gauge
+	// delayUS observes the assigned per-message transit delay; handleUS
+	// the automaton handler latency (registry mode only).
+	delayUS  *obs.Histogram
+	handleUS *obs.Histogram
+}
+
+func newNetMetrics(reg *obs.Registry) *netMetrics {
+	if reg == nil {
+		// Standalone counters keep StatsSnapshot alive with observability
+		// disabled; gauge and histograms stay nil (no-op recorders).
+		return &netMetrics{
+			sent:       obs.NewCounter(),
+			received:   obs.NewCounter(),
+			delivered:  obs.NewCounter(),
+			broadcasts: obs.NewCounter(),
+			dropped:    obs.NewCounter(),
+			reordered:  obs.NewCounter(),
+			crashes:    obs.NewCounter(),
+		}
+	}
+	return &netMetrics{
+		sent:       reg.Counter("net.sent"),
+		received:   reg.Counter("net.received"),
+		delivered:  reg.Counter("net.delivered"),
+		broadcasts: reg.Counter("net.broadcasts"),
+		dropped:    reg.Counter("net.dropped"),
+		reordered:  reg.Counter("net.reordered"),
+		crashes:    reg.Counter("net.crashes"),
+		inFlight:   reg.Gauge("net.in_flight"),
+		delayUS:    reg.Histogram("net.delay_us", obs.DefaultLatencyBuckets...),
+		handleUS:   reg.Histogram("net.handle_us", obs.DefaultLatencyBuckets...),
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"nobroadcast/internal/model"
+	"nobroadcast/internal/obs"
 	"nobroadcast/internal/rng"
 	"nobroadcast/internal/sched"
 )
@@ -55,6 +56,10 @@ type Config struct {
 	OnDeliver func(Delivery)
 	// InboxSize is the per-node event buffer (default 1024).
 	InboxSize int
+	// Obs receives network metrics (send/receive/delivery counters, the
+	// in-flight gauge, delay and handler-latency histograms). Nil keeps
+	// the cheap standalone counters behind StatsSnapshot and nothing else.
+	Obs *obs.Registry
 }
 
 type netEvent struct {
@@ -62,6 +67,8 @@ type netEvent struct {
 	from    model.ProcID
 	msg     model.MsgID
 	payload model.Payload
+	// seq is the global send ordinal, used to detect reordered arrivals.
+	seq int64
 }
 
 // Network is a running concurrent system.
@@ -79,20 +86,17 @@ type Network struct {
 	msgWg   sync.WaitGroup // in-flight message goroutines
 	nodeWg  sync.WaitGroup // node event loops
 
-	stats Stats
+	sendSeq atomic.Int64
+	met     *netMetrics
 }
 
-// Stats aggregates run counters (all atomics; read with Snapshot).
-type Stats struct {
-	Sent       atomic.Int64
-	Received   atomic.Int64
-	Delivered  atomic.Int64
-	Broadcasts atomic.Int64
-}
-
-// StatsSnapshot is a plain copy of the counters.
+// StatsSnapshot is a plain copy of the network counters (now backed by
+// internal/obs; this type remains as the compatibility surface of the old
+// hand-rolled Stats struct, extended with the drop/reorder/crash counters
+// it never tracked).
 type StatsSnapshot struct {
 	Sent, Received, Delivered, Broadcasts int64
+	Dropped, Reordered, Crashes           int64
 }
 
 // node is one process.
@@ -102,6 +106,9 @@ type node struct {
 	inbox     chan netEvent
 	crashed   atomic.Bool
 	delivered atomic.Int64
+	// lastSeq is the highest send ordinal received so far; only the
+	// node's own goroutine touches it.
+	lastSeq int64
 }
 
 // safeOracle serializes k-SA propositions across node goroutines.
@@ -149,6 +156,7 @@ func New(cfg Config) (*Network, error) {
 		cfg:    cfg,
 		oracle: &safeOracle{inner: sched.NewFreeOracle(cfg.K)},
 		delays: &safeRng{src: rng.New(cfg.Seed)},
+		met:    newNetMetrics(cfg.Obs),
 	}
 	nw.nodes = make([]*node, cfg.N)
 	for i := 0; i < cfg.N; i++ {
@@ -175,14 +183,20 @@ func (nw *Network) runNode(nd *node) {
 	nw.handle(nd, func(env *sched.Env) { nd.automaton.Init(env) })
 	for ev := range nd.inbox {
 		if nd.crashed.Load() {
+			nw.met.dropped.Inc()
 			continue // drain without processing
 		}
 		switch ev.kind {
 		case 0:
-			nw.stats.Received.Add(1)
+			nw.met.received.Inc()
+			if ev.seq < nd.lastSeq {
+				nw.met.reordered.Inc()
+			} else {
+				nd.lastSeq = ev.seq
+			}
 			nw.handle(nd, func(env *sched.Env) { nd.automaton.OnReceive(env, ev.from, ev.payload) })
 		case 1:
-			nw.stats.Broadcasts.Add(1)
+			nw.met.broadcasts.Inc()
 			nw.handle(nd, func(env *sched.Env) { nd.automaton.OnBroadcast(env, ev.msg, ev.payload) })
 		}
 	}
@@ -191,6 +205,10 @@ func (nw *Network) runNode(nd *node) {
 // handle runs a handler and applies the emitted actions, including the
 // cascading effects of immediate k-SA decisions.
 func (nw *Network) handle(nd *node, call func(env *sched.Env)) {
+	var began time.Time
+	if nw.met.handleUS != nil {
+		began = time.Now()
+	}
 	env := sched.NewEnv(nd.id, nw.cfg.N)
 	call(env)
 	queue := env.TakeActions()
@@ -207,7 +225,7 @@ func (nw *Network) handle(nd *node, call func(env *sched.Env)) {
 			queue = append(queue, env.TakeActions()...)
 		case model.KindDeliver:
 			nd.delivered.Add(1)
-			nw.stats.Delivered.Add(1)
+			nw.met.delivered.Inc()
 			if nw.cfg.OnDeliver != nil {
 				nw.cfg.OnDeliver(Delivery{At: nd.id, From: a.Origin, Msg: a.Msg, Payload: a.Payload})
 			}
@@ -215,25 +233,35 @@ func (nw *Network) handle(nd *node, call func(env *sched.Env)) {
 			// No effect at the network layer.
 		}
 	}
+	if nw.met.handleUS != nil {
+		nw.met.handleUS.Observe(time.Since(began).Microseconds())
+	}
 }
 
 // route forwards a point-to-point message with a random delay.
 func (nw *Network) route(from, to model.ProcID, payload model.Payload) {
 	if to < 1 || int(to) > nw.cfg.N {
+		nw.met.dropped.Inc()
 		return
 	}
-	nw.stats.Sent.Add(1)
+	nw.met.sent.Inc()
 	target := nw.nodes[to-1]
 	d := nw.delays.delay(nw.cfg.MaxDelay)
+	nw.met.delayUS.Observe(d.Microseconds())
+	seq := nw.sendSeq.Add(1)
+	nw.met.inFlight.Inc()
 	nw.msgWg.Add(1)
 	go func() {
 		defer nw.msgWg.Done()
+		defer nw.met.inFlight.Dec()
 		if d > 0 {
 			time.Sleep(d)
 		}
 		// A message dropped here is indistinguishable from one still in
 		// transit at shutdown or addressed to a crashed process.
-		nw.send(target, netEvent{kind: 0, from: from, payload: payload})
+		if !nw.send(target, netEvent{kind: 0, from: from, payload: payload, seq: seq}) {
+			nw.met.dropped.Inc()
+		}
 	}()
 }
 
@@ -272,7 +300,9 @@ func (nw *Network) Crash(p model.ProcID) error {
 	if p < 1 || int(p) > nw.cfg.N {
 		return fmt.Errorf("net: no process %v", p)
 	}
-	nw.nodes[p-1].crashed.Store(true)
+	if nw.nodes[p-1].crashed.CompareAndSwap(false, true) {
+		nw.met.crashes.Inc()
+	}
 	return nil
 }
 
@@ -287,10 +317,13 @@ func (nw *Network) Delivered(p model.ProcID) int64 {
 // StatsSnapshot returns the current counters.
 func (nw *Network) StatsSnapshot() StatsSnapshot {
 	return StatsSnapshot{
-		Sent:       nw.stats.Sent.Load(),
-		Received:   nw.stats.Received.Load(),
-		Delivered:  nw.stats.Delivered.Load(),
-		Broadcasts: nw.stats.Broadcasts.Load(),
+		Sent:       nw.met.sent.Value(),
+		Received:   nw.met.received.Value(),
+		Delivered:  nw.met.delivered.Value(),
+		Broadcasts: nw.met.broadcasts.Value(),
+		Dropped:    nw.met.dropped.Value(),
+		Reordered:  nw.met.reordered.Value(),
+		Crashes:    nw.met.crashes.Value(),
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"nobroadcast/internal/broadcast"
 	"nobroadcast/internal/model"
 	"nobroadcast/internal/net"
+	"nobroadcast/internal/obs"
 )
 
 const waitTimeout = 5 * time.Second
@@ -263,5 +264,64 @@ func TestConcurrentBroadcasters(t *testing.T) {
 	}, waitTimeout)
 	if !ok {
 		t.Fatal("concurrent load lost deliveries")
+	}
+}
+
+// TestObsRegistryStats: with a Registry attached, the network's counters
+// are registered under net.* names, the in-flight gauge drains to zero at
+// Stop, and StatsSnapshot mirrors the registry values.
+func TestObsRegistryStats(t *testing.T) {
+	reg := obs.New()
+	nw, err := net.New(net.Config{N: 3, NewAutomaton: broadcast.NewSendToAll, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.Broadcast(1, "x"); err != nil {
+		t.Fatal(err)
+	}
+	ok := nw.WaitUntil(func() bool { return nw.StatsSnapshot().Delivered == 3 }, waitTimeout)
+	nw.Stop()
+	if !ok {
+		t.Fatalf("deliveries incomplete: %+v", nw.StatsSnapshot())
+	}
+	s := nw.StatsSnapshot()
+	if got := reg.Counter("net.sent").Value(); got != s.Sent {
+		t.Errorf("registry net.sent = %d, snapshot %d", got, s.Sent)
+	}
+	if got := reg.Counter("net.delivered").Value(); got != 3 {
+		t.Errorf("registry net.delivered = %d, want 3", got)
+	}
+	if g := reg.Gauge("net.in_flight"); g.Value() != 0 || g.Max() < 1 {
+		t.Errorf("in-flight gauge = %d (max %d), want 0 with max >= 1", g.Value(), g.Max())
+	}
+}
+
+// TestDroppedAndCrashCounters: messages addressed to a crashed process are
+// counted as dropped, and crashes are counted once even when repeated.
+func TestDroppedAndCrashCounters(t *testing.T) {
+	nw, err := net.New(net.Config{N: 2, NewAutomaton: broadcast.NewSendToAll})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Stop()
+	if err := nw.Crash(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Crash(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.Broadcast(1, "to-the-dead"); err != nil {
+		t.Fatal(err)
+	}
+	ok := nw.WaitUntil(func() bool {
+		s := nw.StatsSnapshot()
+		return s.Delivered >= 1 && s.Dropped >= 1
+	}, waitTimeout)
+	s := nw.StatsSnapshot()
+	if !ok {
+		t.Fatalf("expected at least one delivery and one drop: %+v", s)
+	}
+	if s.Crashes != 1 {
+		t.Errorf("crashes = %d, want 1 (idempotent)", s.Crashes)
 	}
 }

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+// CLI binds the observability flags every command shares:
+//
+//	-metrics        print a metrics summary after the run
+//	-events <path>  stream structured JSONL events to a file
+//
+// The flow in a main: c := obs.BindFlags(fs); reg, err := c.Registry()
+// (nil registry when neither flag is passed — everything downstream
+// nil-checks for free); thread reg through the run; defer/call
+// c.Finish(out) to print the summary and close the event log.
+type CLI struct {
+	// Metrics mirrors -metrics; Events mirrors -events.
+	Metrics bool
+	Events  string
+
+	reg *Registry
+	f   *os.File
+	log *EventLog
+}
+
+// BindFlags registers the flags on fs and returns the handle.
+func BindFlags(fs *flag.FlagSet) *CLI {
+	c := &CLI{}
+	fs.BoolVar(&c.Metrics, "metrics", false, "print a metrics summary (phase spans, counters, gauges, histograms) after the run")
+	fs.StringVar(&c.Events, "events", "", "write structured JSONL events to this `path`")
+	return c
+}
+
+// Registry builds (once) and returns the registry implied by the parsed
+// flags: nil when observability was not requested, a plain registry for
+// -metrics, and a registry with an attached JSONL sink for -events.
+func (c *CLI) Registry() (*Registry, error) {
+	if c == nil || (!c.Metrics && c.Events == "") {
+		return nil, nil
+	}
+	if c.reg == nil {
+		c.reg = New()
+		if c.Events != "" {
+			f, err := os.Create(c.Events)
+			if err != nil {
+				return nil, fmt.Errorf("obs: creating event log: %w", err)
+			}
+			c.f = f
+			c.log = NewEventLog(f)
+			c.reg.AttachEvents(c.log)
+		}
+	}
+	return c.reg, nil
+}
+
+// Finish renders the -metrics summary to w and closes the -events file,
+// reporting any deferred write error. Safe to call when no flag was set.
+func (c *CLI) Finish(w io.Writer) error {
+	if c == nil || c.reg == nil {
+		return nil
+	}
+	if c.Metrics {
+		if err := c.reg.WriteSummary(w); err != nil {
+			return err
+		}
+	}
+	if c.f != nil {
+		c.reg.AttachEvents(nil)
+		werr := c.log.Err()
+		cerr := c.f.Close()
+		c.f = nil
+		if werr != nil {
+			return fmt.Errorf("obs: event log: %w", werr)
+		}
+		if cerr != nil {
+			return cerr
+		}
+		fmt.Fprintf(w, "%d events written to %s\n", c.log.Count(), c.Events)
+	}
+	return nil
+}

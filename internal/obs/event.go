@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"io"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Field is one key/value of a structured event. Fields are plain values —
+// building them never allocates, and Emit does not retain them, so the
+// variadic field slice stays on the caller's stack.
+type Field struct {
+	key   string
+	str   string
+	num   int64
+	isStr bool
+}
+
+// Str builds a string-valued field.
+func Str(key, val string) Field { return Field{key: key, str: val, isStr: true} }
+
+// Int builds an integer-valued field.
+func Int(key string, val int64) Field { return Field{key: key, num: val} }
+
+// EventLog serializes structured events as JSONL: one JSON object per
+// line, with "ts" (RFC3339Nano, UTC), "event", and the given fields, in
+// order. Serialization is hand-rolled (no reflection, no encoding/json)
+// so the enabled path allocates only when the internal buffer grows.
+type EventLog struct {
+	mu    sync.Mutex
+	w     io.Writer
+	buf   []byte
+	count int64
+	err   error
+}
+
+// NewEventLog wraps a writer. The caller owns the writer's lifetime
+// (Close the underlying file after detaching the log).
+func NewEventLog(w io.Writer) *EventLog {
+	return &EventLog{w: w, buf: make([]byte, 0, 256)}
+}
+
+// Count returns the number of events written.
+func (l *EventLog) Count() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.count
+}
+
+// Err returns the first write error encountered, if any.
+func (l *EventLog) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+func (l *EventLog) emit(event string, fields []Field) {
+	now := time.Now().UTC()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.buf[:0]
+	b = append(b, `{"ts":"`...)
+	b = now.AppendFormat(b, time.RFC3339Nano)
+	b = append(b, `","event":`...)
+	b = appendJSONString(b, event)
+	for _, f := range fields {
+		b = append(b, ',')
+		b = appendJSONString(b, f.key)
+		b = append(b, ':')
+		if f.isStr {
+			b = appendJSONString(b, f.str)
+		} else {
+			b = strconv.AppendInt(b, f.num, 10)
+		}
+	}
+	b = append(b, '}', '\n')
+	l.buf = b // keep the grown capacity
+	if _, err := l.w.Write(b); err != nil && l.err == nil {
+		l.err = err
+	}
+	l.count++
+}
+
+// AttachEvents connects an event sink; subsequent Emit calls stream to it.
+// Attaching nil detaches (Emit becomes free again).
+func (r *Registry) AttachEvents(l *EventLog) {
+	if r == nil {
+		return
+	}
+	r.events.Store(l)
+}
+
+// EventLogged returns the attached sink, or nil.
+func (r *Registry) EventLogged() *EventLog {
+	if r == nil {
+		return nil
+	}
+	return r.events.Load()
+}
+
+// Emit records a structured event on the attached sink. With no sink (or
+// a nil registry) it returns immediately without touching the fields —
+// the disabled path is two pointer loads and costs no allocation.
+func (r *Registry) Emit(event string, fields ...Field) {
+	if r == nil {
+		return
+	}
+	l := r.events.Load()
+	if l == nil {
+		return
+	}
+	l.emit(event, fields)
+}
+
+// appendJSONString appends s as a JSON string literal. Valid UTF-8 passes
+// through; quotes, backslashes, and control characters are escaped.
+func appendJSONString(b []byte, s string) []byte {
+	b = append(b, '"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			b = append(b, '\\', c)
+		case c == '\n':
+			b = append(b, '\\', 'n')
+		case c == '\t':
+			b = append(b, '\\', 't')
+		case c == '\r':
+			b = append(b, '\\', 'r')
+		case c < 0x20:
+			const hex = "0123456789abcdef"
+			b = append(b, '\\', 'u', '0', '0', hex[c>>4], hex[c&0xf])
+		default:
+			b = append(b, c)
+		}
+	}
+	return append(b, '"')
+}

@@ -1,0 +1,109 @@
+package obs
+
+import "sync/atomic"
+
+// Histogram is a fixed-bucket histogram over int64 observations (step
+// latencies in microseconds, queue depths, messages per broadcast, ...).
+// Bucket bounds are fixed at construction, so Observe is a linear scan
+// over a small array of atomics: lock-free and allocation-free. A nil
+// *Histogram is a no-op recorder.
+type Histogram struct {
+	// bounds are inclusive upper bounds; observations above the last bound
+	// land in the overflow bucket.
+	bounds   []int64
+	buckets  []atomic.Int64 // len(bounds)+1, last is overflow (+Inf)
+	count    atomic.Int64
+	sum      atomic.Int64
+	observed atomic.Int64 // max observation
+}
+
+// NewHistogram returns a standalone histogram with the given inclusive
+// upper bounds, which must be strictly increasing.
+func NewHistogram(bounds ...int64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be strictly increasing")
+		}
+	}
+	b := make([]int64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, buckets: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// DefaultDepthBuckets suits queue depths and per-phase step counts.
+var DefaultDepthBuckets = []int64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 1024}
+
+// DefaultLatencyBuckets suits microsecond latencies from sub-µs handler
+// calls up to long phases.
+var DefaultLatencyBuckets = []int64{1, 5, 10, 50, 100, 500, 1000, 5000, 10000, 50000, 100000, 1000000}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		m := h.observed.Load()
+		if v <= m || h.observed.CompareAndSwap(m, v) {
+			break
+		}
+	}
+}
+
+// HistogramSnapshot is a plain copy of a histogram's state.
+type HistogramSnapshot struct {
+	Bounds []int64 // inclusive upper bounds; the final bucket is +Inf
+	Counts []int64 // len(Bounds)+1
+	Count  int64
+	Sum    int64
+	Max    int64
+}
+
+// Snapshot copies the current state (zero value on nil).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]int64, len(h.buckets)),
+		Count:  h.count.Load(),
+		Sum:    h.sum.Load(),
+		Max:    h.observed.Load(),
+	}
+	for i := range h.buckets {
+		s.Counts[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Quantile returns the upper bound of the bucket containing the q-th
+// quantile (0 < q <= 1) of the observations, or Max for the overflow
+// bucket. It is a bucketed approximation, good enough for summaries.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	target := int64(q * float64(s.Count))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, c := range s.Counts {
+		cum += c
+		if cum >= target {
+			if i < len(s.Bounds) {
+				return s.Bounds[i]
+			}
+			return s.Max
+		}
+	}
+	return s.Max
+}

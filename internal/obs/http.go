@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// ServeHTTP makes the registry an http.Handler for long-running processes
+// (cmd/ksasim -http). Three views, in the spirit of expvar:
+//
+//	GET /            plain-text human summary
+//	GET /metrics     Prometheus text exposition
+//	GET /vars        JSON object of counters and gauges
+func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	if r == nil {
+		http.Error(w, "observability disabled", http.StatusServiceUnavailable)
+		return
+	}
+	switch req.URL.Path {
+	case "/metrics":
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	case "/vars":
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		cs, gs, _ := r.views()
+		var b []byte
+		b = append(b, '{')
+		first := true
+		for _, c := range cs {
+			if !first {
+				b = append(b, ',')
+			}
+			first = false
+			b = appendJSONString(b, c.name)
+			b = append(b, ':')
+			b = fmt.Appendf(b, "%d", c.val)
+		}
+		for _, g := range gs {
+			if !first {
+				b = append(b, ',')
+			}
+			first = false
+			b = appendJSONString(b, g.name)
+			b = append(b, ':')
+			b = fmt.Appendf(b, "%d", g.val)
+		}
+		b = append(b, '}', '\n')
+		w.Write(b)
+	default:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		r.WriteSummary(w)
+	}
+}

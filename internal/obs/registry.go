@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Registry is a named collection of metrics, spans, and an optional event
+// sink. Get-or-create accessors (Counter, Gauge, Histogram) are intended
+// for setup time — instrumented layers resolve their handles once, at
+// construction, and hold the returned pointers for the hot path.
+//
+// All methods are safe on a nil *Registry: accessors return nil handles
+// (themselves no-op recorders), StartSpan returns a no-op span, and Emit
+// returns immediately. A nil Registry is therefore the disabled state.
+type Registry struct {
+	start time.Time
+
+	mu       sync.Mutex
+	order    []metricEntry
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+
+	spanMu sync.Mutex
+	spans  []SpanRecord
+
+	events atomic.Pointer[EventLog]
+}
+
+type metricEntry struct {
+	kind byte // 'c', 'g', 'h'
+	name string
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{
+		start:    time.Now(),
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Nil on a
+// nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = NewCounter()
+		r.counters[name] = c
+		r.order = append(r.order, metricEntry{kind: 'c', name: name})
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = NewGauge()
+		r.gauges[name] = g
+		r.order = append(r.order, metricEntry{kind: 'g', name: name})
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given bounds
+// on first use (later calls ignore the bounds).
+func (r *Registry) Histogram(name string, bounds ...int64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewHistogram(bounds...)
+		r.hists[name] = h
+		r.order = append(r.order, metricEntry{kind: 'h', name: name})
+	}
+	return h
+}
+
+// SpanRecord is one completed span.
+type SpanRecord struct {
+	Name     string
+	Start    time.Time
+	Duration time.Duration
+}
+
+// Span times one phase of a run. End records it on the registry (and emits
+// a "span" event when an event sink is attached). A nil *Span is a no-op,
+// so callers may unconditionally defer End.
+type Span struct {
+	r     *Registry
+	name  string
+	start time.Time
+}
+
+// StartSpan opens a named span. Nil (a no-op span) on a nil registry.
+func (r *Registry) StartSpan(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	return &Span{r: r, name: name, start: time.Now()}
+}
+
+// End closes the span and returns its duration (0 on nil).
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	s.r.spanMu.Lock()
+	s.r.spans = append(s.r.spans, SpanRecord{Name: s.name, Start: s.start, Duration: d})
+	s.r.spanMu.Unlock()
+	s.r.Emit("span", Str("name", s.name), Int("dur_us", d.Microseconds()))
+	return d
+}
+
+// Spans returns the completed spans in end order.
+func (r *Registry) Spans() []SpanRecord {
+	if r == nil {
+		return nil
+	}
+	r.spanMu.Lock()
+	defer r.spanMu.Unlock()
+	out := make([]SpanRecord, len(r.spans))
+	copy(out, r.spans)
+	return out
+}
+
+// snapshot views for the sinks.
+
+type counterView struct {
+	name string
+	val  int64
+}
+
+type gaugeView struct {
+	name     string
+	val, max int64
+}
+
+type histView struct {
+	name string
+	snap HistogramSnapshot
+}
+
+// views copies the registered metrics in registration order.
+func (r *Registry) views() (cs []counterView, gs []gaugeView, hs []histView) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, e := range r.order {
+		switch e.kind {
+		case 'c':
+			cs = append(cs, counterView{name: e.name, val: r.counters[e.name].Value()})
+		case 'g':
+			g := r.gauges[e.name]
+			gs = append(gs, gaugeView{name: e.name, val: g.Value(), max: g.Max()})
+		case 'h':
+			hs = append(hs, histView{name: e.name, snap: r.hists[e.name].Snapshot()})
+		}
+	}
+	return cs, gs, hs
+}

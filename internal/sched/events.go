@@ -32,7 +32,7 @@ func (r *Runtime) InvokeBroadcast(p model.ProcID, payload model.Payload) (model.
 func (r *Runtime) invokeBroadcast(ps *procState, payload model.Payload) model.MsgID {
 	msg := r.NewMsgID()
 	ps.openBroadcast = msg
-	r.x.Append(model.Step{Proc: ps.id, Kind: model.KindBroadcastInvoke, Msg: msg, Payload: payload})
+	r.record(model.Step{Proc: ps.id, Kind: model.KindBroadcastInvoke, Msg: msg, Payload: payload})
 	r.runAutomaton(ps, func(env *Env) { ps.automaton.OnBroadcast(env, msg, payload) })
 	return msg
 }
@@ -87,17 +87,19 @@ func (r *Runtime) ExecNext(p model.ProcID) (step model.Step, ok bool, err error)
 	if ps.crashed || ps.blocked || len(ps.pending) == 0 {
 		return model.Step{}, false, nil
 	}
+	r.met.depth(len(ps.pending))
 	a := ps.pending[0]
 	ps.pending = ps.pending[1:]
 	switch a.kind {
 	case model.KindSend:
 		inst := r.NewMsgID()
 		step = model.Step{Proc: ps.id, Kind: model.KindSend, Peer: a.to, Msg: inst, Payload: a.payload}
-		r.x.Append(step)
+		r.record(step)
 		r.network = append(r.network, inFlight{inst: inst, from: ps.id, to: a.to, payload: a.payload})
+		r.met.network(len(r.network))
 	case model.KindPropose:
 		step = model.Step{Proc: ps.id, Kind: model.KindPropose, Obj: a.obj, Val: a.val}
-		r.x.Append(step)
+		r.record(step)
 		val := r.cfg.Oracle.Propose(a.obj, ps.id, a.val)
 		ps.blocked = true
 		ps.pendingDecide = &struct {
@@ -106,13 +108,13 @@ func (r *Runtime) ExecNext(p model.ProcID) (step model.Step, ok bool, err error)
 		}{obj: a.obj, val: val}
 	case model.KindDeliver:
 		step = model.Step{Proc: ps.id, Kind: model.KindDeliver, Peer: a.to, Msg: a.msg, Payload: a.payload}
-		r.x.Append(step)
+		r.record(step)
 		if ps.app != nil {
 			ps.app.OnDeliver(&appEnv{rt: r, ps: ps}, a.to, a.msg, a.payload)
 		}
 	case model.KindBroadcastReturn:
 		step = model.Step{Proc: ps.id, Kind: model.KindBroadcastReturn, Msg: a.msg}
-		r.x.Append(step)
+		r.record(step)
 		if ps.openBroadcast == a.msg {
 			ps.openBroadcast = model.NoMsg
 		}
@@ -121,7 +123,7 @@ func (r *Runtime) ExecNext(p model.ProcID) (step model.Step, ok bool, err error)
 		}
 	case model.KindInternal:
 		step = model.Step{Proc: ps.id, Kind: model.KindInternal, Note: a.note}
-		r.x.Append(step)
+		r.record(step)
 	default:
 		return model.Step{}, false, fmt.Errorf("sched: unknown queued action kind %v", a.kind)
 	}
@@ -145,7 +147,7 @@ func (r *Runtime) FireDecide(p model.ProcID) (model.Step, error) {
 	ps.pendingDecide = nil
 	ps.blocked = false
 	step := model.Step{Proc: ps.id, Kind: model.KindDecide, Obj: d.obj, Val: d.val}
-	r.x.Append(step)
+	r.record(step)
 	r.runAutomaton(ps, func(env *Env) { ps.automaton.OnDecide(env, d.obj, d.val) })
 	return step, nil
 }
@@ -176,8 +178,9 @@ func (r *Runtime) ReceiveIndex(i int) (model.Step, error) {
 		return model.Step{}, fmt.Errorf("sched: cannot deliver to crashed %v", f.to)
 	}
 	r.network = append(r.network[:i], r.network[i+1:]...)
+	r.met.network(len(r.network))
 	step := model.Step{Proc: f.to, Kind: model.KindReceive, Peer: f.from, Msg: f.inst, Payload: f.payload}
-	r.x.Append(step)
+	r.record(step)
 	r.runAutomaton(ps, func(env *Env) { ps.automaton.OnReceive(env, f.from, f.payload) })
 	return step, nil
 }
@@ -207,7 +210,8 @@ func (r *Runtime) Crash(p model.ProcID) error {
 	ps.pending = nil
 	ps.blocked = false
 	ps.pendingDecide = nil
-	r.x.Append(model.Step{Proc: p, Kind: model.KindCrash})
+	r.record(model.Step{Proc: p, Kind: model.KindCrash})
+	r.met.crashed()
 	return nil
 }
 

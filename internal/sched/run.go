@@ -172,6 +172,7 @@ func (r *Runtime) RunRandom(opts RunOptions) (*trace.Trace, error) {
 		}
 		count++
 	}
+	r.met.dispatched(count)
 	return &trace.Trace{X: r.x, Complete: r.quiescentWith(st)}, nil
 }
 
@@ -246,5 +247,6 @@ func (r *Runtime) RunFair(opts RunOptions) (*trace.Trace, error) {
 			break
 		}
 	}
+	r.met.dispatched(count)
 	return &trace.Trace{X: r.x, Complete: r.quiescentWith(st)}, nil
 }

@@ -31,6 +31,7 @@ import (
 	"fmt"
 
 	"nobroadcast/internal/model"
+	"nobroadcast/internal/obs"
 )
 
 // Automaton is a deterministic reactive process implementing a broadcast
@@ -230,6 +231,10 @@ type Config struct {
 	// AppObject is the k-SA object identity under which app proposals
 	// and decisions are recorded. Defaults to DefaultAppObject.
 	AppObject model.KSAID
+	// Obs receives runtime metrics (step counts per kind, dispatched
+	// events, queue depths, crash injections). Nil disables recording
+	// entirely; the hot path then costs nil checks only.
+	Obs *obs.Registry
 }
 
 // DefaultAppObject is the object id used to record app-level (implemented)
@@ -244,6 +249,7 @@ type Runtime struct {
 	procs   []*procState
 	network []inFlight
 	nextMsg model.MsgID
+	met     *schedMetrics
 }
 
 // New builds a runtime. It returns an error on invalid configuration.
@@ -265,6 +271,7 @@ func New(cfg Config) (*Runtime, error) {
 		x:       model.NewExecution(cfg.N),
 		procs:   make([]*procState, cfg.N),
 		nextMsg: 1,
+		met:     newSchedMetrics(cfg.Obs),
 	}
 	for i := 0; i < cfg.N; i++ {
 		id := model.ProcID(i + 1)
@@ -285,7 +292,7 @@ func New(cfg Config) (*Runtime, error) {
 		if int(ps.id)-1 < len(cfg.Inputs) {
 			input = cfg.Inputs[ps.id-1]
 		}
-		r.x.Append(model.Step{Proc: ps.id, Kind: model.KindPropose, Obj: cfg.AppObject, Val: input})
+		r.record(model.Step{Proc: ps.id, Kind: model.KindPropose, Obj: cfg.AppObject, Val: input})
 		ps.app.Init(&appEnv{rt: r, ps: ps}, input)
 	}
 	return r, nil
@@ -294,6 +301,12 @@ func New(cfg Config) (*Runtime, error) {
 // Execution returns the execution recorded so far. Callers must not
 // mutate it while the runtime is still running.
 func (r *Runtime) Execution() *model.Execution { return r.x }
+
+// record appends a step to the execution and counts it.
+func (r *Runtime) record(s model.Step) {
+	r.x.Append(s)
+	r.met.record(s)
+}
 
 // NewMsgID allocates a fresh message identity (shared between broadcast
 // messages and point-to-point instances, so identities never collide).
@@ -316,6 +329,7 @@ func (r *Runtime) proc(p model.ProcID) (*procState, error) {
 func (r *Runtime) runAutomaton(ps *procState, call func(env *Env)) {
 	env := &Env{id: ps.id, n: r.cfg.N}
 	call(env)
+	r.met.emitted(len(env.emitted))
 	ps.pending = append(ps.pending, env.emitted...)
 }
 
@@ -343,5 +357,5 @@ func (e *appEnv) Decide(v model.Value) {
 		return
 	}
 	e.ps.appDecided = true
-	e.rt.x.Append(model.Step{Proc: e.ps.id, Kind: model.KindDecide, Obj: e.rt.cfg.AppObject, Val: v})
+	e.rt.record(model.Step{Proc: e.ps.id, Kind: model.KindDecide, Obj: e.rt.cfg.AppObject, Val: v})
 }

@@ -1,0 +1,93 @@
+package trace_test
+
+// Golden-file tests for the human-facing renderers. The fixture is the
+// paper's Figure 1 execution: Algorithm 1 driving first-k with k=3 and
+// N=2, which is fully deterministic, so the rendered diagram, summary,
+// decision table, and DOT graph must match the checked-in goldens byte
+// for byte. Regenerate after an intentional format change with
+//
+//	go test ./internal/trace -run Golden -update
+//
+// and review the diff like any other code change.
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"nobroadcast/internal/adversary"
+	"nobroadcast/internal/broadcast"
+	"nobroadcast/internal/model"
+	"nobroadcast/internal/trace"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files with the current renderer output")
+
+// figure1 reproduces the deterministic Figure 1 execution.
+func figure1(t *testing.T) (*adversary.Result, map[model.MsgID]bool) {
+	t.Helper()
+	cand, err := broadcast.Lookup("first-k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := adversary.Run(adversary.Options{K: 3, N: 2, NewAutomaton: cand.NewAutomaton})
+	if err != nil {
+		t.Fatal(err)
+	}
+	highlight := make(map[model.MsgID]bool)
+	for _, ms := range res.Counted {
+		for _, m := range ms {
+			highlight[m] = true
+		}
+	}
+	return res, highlight
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s drifted from golden.\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestGoldenDiagram(t *testing.T) {
+	res, highlight := figure1(t)
+	got := trace.RenderDiagram(res.Beta, trace.DiagramOptions{Highlight: highlight, HideReturns: true})
+	checkGolden(t, "figure1_diagram.golden", got)
+}
+
+func TestGoldenDiagramWithReturns(t *testing.T) {
+	res, highlight := figure1(t)
+	got := trace.RenderDiagram(res.Beta, trace.DiagramOptions{Highlight: highlight})
+	checkGolden(t, "figure1_diagram_returns.golden", got)
+}
+
+func TestGoldenDeliverySummary(t *testing.T) {
+	res, highlight := figure1(t)
+	checkGolden(t, "figure1_summary.golden", trace.RenderDeliverySummary(res.Beta, highlight))
+}
+
+func TestGoldenDecisionTable(t *testing.T) {
+	res, _ := figure1(t)
+	checkGolden(t, "figure1_decisions.golden", trace.RenderDecisionTable(res.Alpha))
+}
+
+func TestGoldenDOT(t *testing.T) {
+	res, highlight := figure1(t)
+	checkGolden(t, "figure1_dot.golden", trace.RenderDOT(res.Beta, highlight))
+}
