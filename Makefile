@@ -4,7 +4,9 @@ all: test
 test:
 	go build ./... && go vet ./... && go test ./...
 race:
-	go test -race ./internal/net ./internal/sharedmem ./internal/sched
+	go test -race ./internal/net ./internal/sharedmem ./internal/sched ./internal/conformance
+stress:
+	go test -race -count=3 -run 'Reentrant|Concurrent|Stress|Stop|Reorder' ./internal/net
 bench:
 	go test -bench=. -benchmem ./...
 figure1:

@@ -7,7 +7,21 @@
 // Usage:
 //
 //	ksasim -b first-k -n 5 -k 2 -runs 100 [-crashes 2] [-concurrent]
+//	       [-drop 0.1] [-dup 0.05] [-partition "1,2|3,4@100ms+500ms"]
+//	       [-seed 7] [-wait 30s] [-conformance]
 //	       [-metrics] [-events out.jsonl] [-http 127.0.0.1:8123]
+//
+// The fault flags apply to the concurrent runtime: -drop and -dup are
+// per-transit loss/duplication probabilities, and -partition cuts the
+// links between two comma-separated process sets, optionally activating
+// at @start and healing after +heal (omit +heal for a permanent cut;
+// separate multiple partitions with ';'). Injections are counted under
+// the net.faults.* metrics (visible with -metrics or -http).
+//
+// -conformance runs the cross-runtime differential check instead: the
+// same workload script on the deterministic and the concurrent runtime,
+// compared by spec verdict and per-process deliveries
+// (see internal/conformance).
 //
 // With -http the command serves live metrics while the workload runs:
 // `/` is a plain-text summary, `/metrics` Prometheus text exposition,
@@ -25,6 +39,7 @@ import (
 	"time"
 
 	"nobroadcast/internal/broadcast"
+	conf "nobroadcast/internal/conformance"
 	"nobroadcast/internal/ksa"
 	"nobroadcast/internal/model"
 	"nobroadcast/internal/net"
@@ -32,6 +47,7 @@ import (
 	"nobroadcast/internal/sched"
 	"nobroadcast/internal/spec"
 	"nobroadcast/internal/trace"
+	"nobroadcast/internal/workload"
 )
 
 func main() {
@@ -49,6 +65,12 @@ func run(args []string, out io.Writer) error {
 	runs := fs.Int("runs", 100, "number of seeded runs (deterministic runtime)")
 	crashes := fs.Int("crashes", 0, "number of processes crashed mid-run")
 	concurrent := fs.Bool("concurrent", false, "use the concurrent goroutine runtime instead")
+	drop := fs.Float64("drop", 0, "per-transit loss probability (concurrent runtime)")
+	dup := fs.Float64("dup", 0, "per-transit duplication probability (concurrent runtime)")
+	partition := fs.String("partition", "", "timed link cuts, `\"A|B[@start+heal]\"` with comma-separated process ids; ';' separates partitions (concurrent runtime)")
+	seed := fs.Uint64("seed", 0, "delay/fault seed for the concurrent runtime (0 = wall clock)")
+	wait := fs.Duration("wait", 30*time.Second, "delivery-convergence timeout (concurrent runtime)")
+	conformance := fs.Bool("conformance", false, "run the cross-runtime differential check instead of a workload")
 	httpAddr := fs.String("http", "", "serve live metrics (/, /metrics, /vars) on this `address` while the workload runs")
 	oc := obs.BindFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -60,6 +82,10 @@ func run(args []string, out io.Writer) error {
 	}
 	if *crashes >= *n {
 		return fmt.Errorf("crashes must leave at least one process alive")
+	}
+	faults, err := buildFaultPlan(*drop, *dup, *partition)
+	if err != nil {
+		return err
 	}
 	reg, err := oc.Registry()
 	if err != nil {
@@ -78,9 +104,15 @@ func run(args []string, out io.Writer) error {
 		defer srv.Close()
 		fmt.Fprintf(out, "metrics endpoint: http://%s/ (paths: /, /metrics, /vars)\n", ln.Addr())
 	}
-	if *concurrent {
-		err = runConcurrent(out, cand, *n, *k, reg)
-	} else {
+	switch {
+	case *conformance:
+		err = runConformance(out, cand, *n, *k, *seed, faults, *wait)
+	case *concurrent:
+		err = runConcurrent(out, cand, *n, *k, *seed, faults, *wait, reg)
+	default:
+		if faults != nil {
+			return fmt.Errorf("-drop/-dup/-partition need -concurrent or -conformance (the deterministic runtime has no transport faults)")
+		}
 		err = runDeterministic(out, cand, *n, *k, *runs, *crashes, reg)
 	}
 	if err != nil {
@@ -154,24 +186,99 @@ func runDeterministic(out io.Writer, cand broadcast.Candidate, n, k, runs, crash
 	return nil
 }
 
-func runConcurrent(out io.Writer, cand broadcast.Candidate, n, k int, reg *obs.Registry) error {
-	ok := 1
+// buildFaultPlan assembles a net.FaultPlan from the -drop/-dup/-partition
+// flags; all zero flags yield a nil plan (the reliable network).
+func buildFaultPlan(drop, dup float64, partitions string) (*net.FaultPlan, error) {
+	if drop == 0 && dup == 0 && partitions == "" {
+		return nil, nil
+	}
+	plan := &net.FaultPlan{Drop: drop, Dup: dup}
+	if partitions != "" {
+		for _, spec := range strings.Split(partitions, ";") {
+			p, err := parsePartition(strings.TrimSpace(spec))
+			if err != nil {
+				return nil, err
+			}
+			plan.Partitions = append(plan.Partitions, p)
+		}
+	}
+	return plan, nil
+}
+
+// parsePartition parses "A|B[@start[+heal]]", e.g. "1,2|3,4,5@100ms+500ms":
+// cut all links between processes {1,2} and {3,4,5} from 100ms after start,
+// healing at 500ms. Omitting +heal makes the cut permanent.
+func parsePartition(s string) (net.Partition, error) {
+	var p net.Partition
+	sides, timing, hasTiming := strings.Cut(s, "@")
+	if hasTiming {
+		startStr, healStr, hasHeal := strings.Cut(timing, "+")
+		start, err := time.ParseDuration(startStr)
+		if err != nil {
+			return p, fmt.Errorf("partition %q: bad start: %w", s, err)
+		}
+		p.Start = start
+		if hasHeal {
+			heal, err := time.ParseDuration(healStr)
+			if err != nil {
+				return p, fmt.Errorf("partition %q: bad heal: %w", s, err)
+			}
+			p.Heal = heal
+		}
+	}
+	a, b, found := strings.Cut(sides, "|")
+	if !found {
+		return p, fmt.Errorf("partition %q: want \"A|B[@start+heal]\" with comma-separated process ids", s)
+	}
+	var err error
+	if p.A, err = parseProcs(a); err != nil {
+		return p, fmt.Errorf("partition %q: %w", s, err)
+	}
+	if p.B, err = parseProcs(b); err != nil {
+		return p, fmt.Errorf("partition %q: %w", s, err)
+	}
+	return p, nil
+}
+
+func parseProcs(s string) ([]model.ProcID, error) {
+	var out []model.ProcID
+	for _, tok := range strings.Split(s, ",") {
+		var id int
+		if _, err := fmt.Sscanf(strings.TrimSpace(tok), "%d", &id); err != nil || id < 1 {
+			return nil, fmt.Errorf("bad process id %q", tok)
+		}
+		out = append(out, model.ProcID(id))
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty process set")
+	}
+	return out, nil
+}
+
+func oracleDegree(cand broadcast.Candidate, k int) int {
 	switch cand.OracleK {
 	case -1:
-		ok = k
+		return k
 	case 0:
-		ok = 1
+		return 1
 	default:
-		ok = cand.OracleK
+		return cand.OracleK
+	}
+}
+
+func runConcurrent(out io.Writer, cand broadcast.Candidate, n, k int, seed uint64, faults *net.FaultPlan, wait time.Duration, reg *obs.Registry) error {
+	if seed == 0 {
+		seed = uint64(time.Now().UnixNano())
 	}
 	span := reg.StartSpan("ksasim.concurrent")
 	defer span.End()
 	nw, err := net.New(net.Config{
 		N:            n,
 		NewAutomaton: cand.NewAutomaton,
-		K:            ok,
+		K:            oracleDegree(cand, k),
 		MaxDelay:     200 * time.Microsecond,
-		Seed:         uint64(time.Now().UnixNano()),
+		Seed:         seed,
+		Faults:       faults,
 		Obs:          reg,
 	})
 	if err != nil {
@@ -195,14 +302,58 @@ func runConcurrent(out io.Writer, cand broadcast.Candidate, n, k int, reg *obs.R
 			}
 		}
 		return true
-	}, 30*time.Second)
+	}, wait)
 	elapsed := time.Since(start)
 	st := nw.StatsSnapshot()
 	fmt.Fprintf(out, "%s (concurrent): n=%d, %d broadcasts in %v (complete=%v)\n", cand.Name, n, st.Broadcasts, elapsed, done)
 	fmt.Fprintf(out, "  sends=%d receives=%d deliveries=%d (%.1f sends/broadcast)\n",
 		st.Sent, st.Received, st.Delivered, float64(st.Sent)/float64(st.Broadcasts))
+	if faults != nil {
+		fmt.Fprintf(out, "  faults: dropped=%d duplicated=%d partition-dropped=%d\n",
+			st.FaultDrops, st.FaultDups, st.PartitionDrops)
+		if !done {
+			// Under injected faults, lost deliveries are the experiment's
+			// measurement, not a runtime failure.
+			fmt.Fprintf(out, "  deliveries incomplete after %v — expected under injected faults\n", wait)
+		}
+		return nil
+	}
 	if !done {
 		return fmt.Errorf("deliveries incomplete after timeout")
 	}
 	return nil
+}
+
+// runConformance runs the cross-runtime differential check for the chosen
+// candidate (internal/conformance) and prints the comparison.
+func runConformance(out io.Writer, cand broadcast.Candidate, n, k int, seed uint64, faults *net.FaultPlan, wait time.Duration) error {
+	res, err := conf.Check(conf.Config{
+		Candidate:   cand,
+		N:           n,
+		K:           k,
+		Workload:    workload.Config{Kind: workload.Uniform, Messages: 3 * n, Seed: seed},
+		Seed:        seed,
+		Faults:      faults,
+		WaitTimeout: wait,
+	})
+	if res != nil {
+		verdict := func(v *spec.Violation) string {
+			if v == nil {
+				return "admissible"
+			}
+			return v.String()
+		}
+		fmt.Fprintf(out, "%s (conformance): n=%d k=%d messages=%d\n", cand.Name, n, k, 3*n)
+		fmt.Fprintf(out, "  deterministic runtime: %s\n", verdict(res.Sched.Verdict))
+		fmt.Fprintf(out, "  concurrent runtime:    %s (complete=%v)\n", verdict(res.Net.Verdict), res.NetComplete)
+		fmt.Fprintf(out, "  verdicts-agree=%v delivery-sets-agree=%v\n", res.VerdictsAgree, res.DeliverySetsAgree)
+		if res.CounterexampleFound {
+			fmt.Fprintf(out, "  counterexample schedule found (expected: %s is schedule-sensitive)\n", cand.Name)
+		}
+		if faults != nil {
+			fmt.Fprintf(out, "  faults: dropped=%d duplicated=%d partition-dropped=%d\n",
+				res.NetStats.FaultDrops, res.NetStats.FaultDups, res.NetStats.PartitionDrops)
+		}
+	}
+	return err
 }

@@ -94,3 +94,91 @@ func TestKsasimConcurrentMetrics(t *testing.T) {
 		}
 	}
 }
+
+func TestKsasimConcurrentWithDrop(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-b", "reliable", "-n", "4", "-concurrent", "-drop", "0.1", "-seed", "7", "-wait", "5s", "-metrics"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "faults: dropped=") {
+		t.Errorf("fault counter line missing:\n%s", s)
+	}
+	if !strings.Contains(s, "net.faults.dropped") {
+		t.Errorf("net.faults.dropped metric missing:\n%s", s)
+	}
+	// Drop 0.1 over a 4-node echo storm loses something with overwhelming
+	// probability at this seed; the counter must be observable and non-zero.
+	if strings.Contains(s, "faults: dropped=0 ") {
+		t.Errorf("expected non-zero injected drops:\n%s", s)
+	}
+}
+
+func TestKsasimConcurrentWithPartition(t *testing.T) {
+	var out bytes.Buffer
+	// Permanent cut {1}|{2,3}: send-to-all cannot complete deliveries, which
+	// under injected faults is reported, not an error.
+	if err := run([]string{"-b", "send-to-all", "-n", "3", "-concurrent", "-partition", "1|2,3", "-seed", "3", "-wait", "300ms"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "partition-dropped=") {
+		t.Errorf("partition counter line missing:\n%s", s)
+	}
+	if !strings.Contains(s, "expected under injected faults") {
+		t.Errorf("incomplete-delivery note missing:\n%s", s)
+	}
+}
+
+func TestKsasimConformance(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-b", "reliable", "-n", "3", "-k", "2", "-conformance", "-seed", "5"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	for _, w := range []string{
+		"reliable (conformance): n=3 k=2",
+		"deterministic runtime: admissible",
+		"verdicts-agree=true delivery-sets-agree=true",
+	} {
+		if !strings.Contains(s, w) {
+			t.Errorf("output missing %q:\n%s", w, s)
+		}
+	}
+}
+
+func TestKsasimFaultFlagValidation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-b", "reliable", "-n", "3", "-drop", "0.1"}, &out); err == nil {
+		t.Error("expected error: fault flags without -concurrent")
+	}
+	if err := run([]string{"-b", "reliable", "-n", "3", "-concurrent", "-drop", "1.5"}, &out); err == nil {
+		t.Error("expected error: drop probability out of range")
+	}
+	if err := run([]string{"-b", "reliable", "-n", "3", "-concurrent", "-partition", "1,2"}, &out); err == nil {
+		t.Error("expected error: partition without the | separator")
+	}
+	if err := run([]string{"-b", "reliable", "-n", "3", "-concurrent", "-partition", "1|9"}, &out); err == nil {
+		t.Error("expected error: partition names an out-of-range process")
+	}
+	if err := run([]string{"-b", "reliable", "-n", "3", "-concurrent", "-partition", "1|2@5s+1s"}, &out); err == nil {
+		t.Error("expected error: heal before start")
+	}
+}
+
+func TestParsePartitionTimings(t *testing.T) {
+	p, err := parsePartition("1,2|3@100ms+500ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.A) != 2 || len(p.B) != 1 || p.Start.Milliseconds() != 100 || p.Heal.Milliseconds() != 500 {
+		t.Errorf("parsed %+v", p)
+	}
+	p, err = parsePartition("1|2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Start != 0 || p.Heal != 0 {
+		t.Errorf("untimed partition parsed %+v", p)
+	}
+}

@@ -30,6 +30,21 @@ type Candidate struct {
 	// SolvesKSA reports whether the solver app over this abstraction
 	// solves k-SA (the B → k-SA direction of the claimed equivalence).
 	SolvesKSA bool
+	// DeterministicOrder reports that, on a fault-free run with a single
+	// broadcaster, every process must deliver in exactly the broadcast
+	// order — regardless of scheduling or runtime. The conformance
+	// harness (internal/conformance) uses it to assert identical
+	// per-process delivery sequences across the two runtimes.
+	DeterministicOrder bool
+	// ScheduleSensitive reports that the implementation's spec compliance
+	// depends on the schedule: the deterministic fair scheduler admits its
+	// runs, while adversarial or genuinely concurrent schedules can
+	// violate the spec. Set for the doomed attempts the paper refutes
+	// (kbo). The conformance harness accepts a concurrent-side violation
+	// paired with a deterministic-side pass for such candidates — the
+	// concurrent runtime found a counterexample schedule, which is the
+	// expected outcome, not a runtime divergence.
+	ScheduleSensitive bool
 	// NewSolver builds the k-SA-solving app 𝓐 matched to this
 	// abstraction. Nil means the generic FirstDecider.
 	NewSolver func(id model.ProcID) sched.App
@@ -75,18 +90,20 @@ var candidates = map[string]Candidate{
 		OracleK:      0,
 	},
 	"fifo": {
-		Name:         "fifo",
-		Describe:     "FIFO broadcast: per-sender delivery order [3,24]",
-		Spec:         func(int) spec.Spec { return spec.FIFOBroadcast() },
-		NewAutomaton: NewFIFO,
-		OracleK:      0,
+		Name:               "fifo",
+		Describe:           "FIFO broadcast: per-sender delivery order [3,24]",
+		Spec:               func(int) spec.Spec { return spec.FIFOBroadcast() },
+		NewAutomaton:       NewFIFO,
+		OracleK:            0,
+		DeterministicOrder: true,
 	},
 	"causal": {
-		Name:         "causal",
-		Describe:     "causal broadcast: vector-clock gated delivery [24]",
-		Spec:         func(int) spec.Spec { return spec.CausalBroadcast() },
-		NewAutomaton: NewCausal,
-		OracleK:      0,
+		Name:               "causal",
+		Describe:           "causal broadcast: vector-clock gated delivery [24]",
+		Spec:               func(int) spec.Spec { return spec.CausalBroadcast() },
+		NewAutomaton:       NewCausal,
+		OracleK:            0,
+		DeterministicOrder: true,
 	},
 	"mutual": {
 		Name:         "mutual",
@@ -102,6 +119,10 @@ var candidates = map[string]Candidate{
 		NewAutomaton: NewTotalOrder,
 		OracleK:      1,
 		SolvesKSA:    true, // with k = 1: consensus
+		// Not DeterministicOrder: plain total order fixes one agreed
+		// delivery sequence per run, not the broadcast order — consensus
+		// rounds may elect single-sender messages out of send order when
+		// the transport reorders their arrival.
 	},
 	"first-k": {
 		Name:         "first-k",
@@ -129,12 +150,13 @@ var candidates = map[string]Candidate{
 		NewSolver:    NewSATagDecider,
 	},
 	"kbo": {
-		Name:         "kbo",
-		Describe:     "k-Bounded Order broadcast attempt on k-SA rounds [15] (doomed in message passing)",
-		Spec:         spec.KBOBroadcast,
-		NewAutomaton: NewKBOAttempt,
-		OracleK:      -1,
-		SolvesKSA:    true,
+		Name:              "kbo",
+		Describe:          "k-Bounded Order broadcast attempt on k-SA rounds [15] (doomed in message passing)",
+		Spec:              spec.KBOBroadcast,
+		NewAutomaton:      NewKBOAttempt,
+		OracleK:           -1,
+		SolvesKSA:         true,
+		ScheduleSensitive: true,
 	},
 }
 

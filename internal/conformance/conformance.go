@@ -1,0 +1,338 @@
+// Package conformance differentially checks the repository's two runtimes
+// against each other. DESIGN §4 claims "two runtimes, one automaton model":
+// an algorithm verified on the deterministic step-driven runtime
+// (internal/sched) runs unchanged on the concurrent goroutine runtime
+// (internal/net). This package turns that claim into a tested invariant:
+// it runs the same broadcast automaton family under the same workload
+// script on both runtimes, projects both recorded traces to per-process
+// broadcast-event sequences, and asserts
+//
+//   - identical specification verdicts (the candidate's own spec admits
+//     both traces, or rejects both for the same property) — with one
+//     sanctioned asymmetry: for candidates marked ScheduleSensitive (the
+//     paper's doomed attempts, e.g. kbo) a concurrent-side violation
+//     under a deterministic-side pass is a found counterexample schedule,
+//     the expected refutation, not a divergence; and
+//   - identical per-process delivery sequences, on fault-free runs of
+//     candidates whose delivery order is deterministic (single
+//     broadcaster, FIFO-or-stronger ordering).
+//
+// Message identities are runtime-specific, so cross-runtime comparison
+// uses the identity-erased projections of internal/trace (events keyed by
+// origin and content; workload payloads are unique per message).
+//
+// A net.FaultPlan may be applied to the concurrent side only, in which
+// case the harness shows which specification clauses survive the model
+// violation: safety must still hold (drops and duplicates never excuse a
+// mis-ordered or duplicated delivery), while liveness is vacuous on the
+// now-incomplete trace.
+package conformance
+
+import (
+	"fmt"
+	"time"
+
+	"nobroadcast/internal/broadcast"
+	"nobroadcast/internal/model"
+	"nobroadcast/internal/net"
+	"nobroadcast/internal/sched"
+	"nobroadcast/internal/spec"
+	"nobroadcast/internal/trace"
+	"nobroadcast/internal/workload"
+)
+
+// Config parameterizes one differential run.
+type Config struct {
+	// Candidate is the broadcast abstraction under test. Required.
+	Candidate broadcast.Candidate
+	// N is the number of processes; K the workload's agreement degree.
+	N, K int
+	// Requests is the workload script: the broadcast requests submitted,
+	// in order, to both runtimes. When empty it is generated from
+	// Workload.
+	Requests []sched.BroadcastReq
+	// Workload generates Requests when none are given (its N is forced to
+	// Config.N).
+	Workload workload.Config
+	// Seed feeds the concurrent runtime's delay generator and fault plan.
+	Seed uint64
+	// MaxDelay is the concurrent runtime's transit-delay bound (default
+	// 100µs; enough to exercise reordering without slowing the run).
+	MaxDelay time.Duration
+	// Faults, if set, is applied to the concurrent runtime only.
+	Faults *net.FaultPlan
+	// WaitTimeout bounds the concurrent side's convergence wait (default
+	// 10s).
+	WaitTimeout time.Duration
+}
+
+// Side is one runtime's recorded half of a differential run.
+type Side struct {
+	// Trace is the recorded execution.
+	Trace *trace.Trace
+	// Verdict is the candidate specification's judgment of Trace (nil =
+	// admissible).
+	Verdict *spec.Violation
+	// Deliveries is the identity-erased per-process delivery sequence.
+	Deliveries map[model.ProcID][]trace.DeliveryEvent
+}
+
+// Result is the outcome of one differential run.
+type Result struct {
+	Sched, Net Side
+	// VerdictsAgree reports that both sides are admissible, or both are
+	// rejected for the same property.
+	VerdictsAgree bool
+	// CounterexampleFound reports the one sanctioned verdict asymmetry:
+	// the deterministic fair schedule passed while the concurrent runtime
+	// violated the spec, on a candidate marked ScheduleSensitive (a
+	// doomed attempt). The concurrent runtime found a refuting schedule —
+	// the paper's expected outcome — so Check does not treat it as a
+	// divergence.
+	CounterexampleFound bool
+	// DeliveriesAgree reports that every process delivered the identical
+	// sequence of (origin, content) pairs on both runtimes.
+	DeliveriesAgree bool
+	// DeliverySetsAgree reports the weaker set-equality: every process
+	// delivered the same multiset of messages on both runtimes, in some
+	// order.
+	DeliverySetsAgree bool
+	// DeterministicOrder reports whether the strict sequence check
+	// applies: fault-free, single broadcaster, and a candidate with
+	// deterministic delivery order.
+	DeterministicOrder bool
+	// NetComplete reports that the concurrent side converged: every
+	// broadcast returned and every process delivered the full script.
+	NetComplete bool
+	// NetStats is the concurrent network's final counter snapshot
+	// (fault-injection experiments read the net.faults.* counts here).
+	NetStats net.StatsSnapshot
+}
+
+func (cfg *Config) defaults() error {
+	if cfg.Candidate.NewAutomaton == nil {
+		return fmt.Errorf("conformance: Candidate is required")
+	}
+	if cfg.N < 1 {
+		return fmt.Errorf("conformance: N must be positive, got %d", cfg.N)
+	}
+	if cfg.K < 1 {
+		cfg.K = 1
+	}
+	if cfg.MaxDelay == 0 {
+		cfg.MaxDelay = 100 * time.Microsecond
+	}
+	if cfg.WaitTimeout == 0 {
+		cfg.WaitTimeout = 10 * time.Second
+	}
+	if len(cfg.Requests) == 0 {
+		w := cfg.Workload
+		w.N = cfg.N
+		if w.Messages == 0 {
+			w.Messages = 3 * cfg.N
+		}
+		reqs, err := workload.Generate(w)
+		if err != nil {
+			return err
+		}
+		cfg.Requests = reqs
+	}
+	return nil
+}
+
+// oracleDegree resolves the candidate's oracle need against the workload's
+// k (the same rule the cmd tools apply).
+func oracleDegree(c broadcast.Candidate, k int) int {
+	switch c.OracleK {
+	case 0:
+		return 1
+	case -1:
+		return k
+	default:
+		return c.OracleK
+	}
+}
+
+// singleBroadcaster reports whether every request names the same process.
+func singleBroadcaster(reqs []sched.BroadcastReq) bool {
+	for _, r := range reqs[1:] {
+		if r.Proc != reqs[0].Proc {
+			return false
+		}
+	}
+	return len(reqs) > 0
+}
+
+// runSched executes the script on the deterministic runtime under the
+// fair scheduler and returns its trace.
+func runSched(cfg *Config) (*trace.Trace, error) {
+	rt, err := sched.New(sched.Config{
+		N:            cfg.N,
+		NewAutomaton: cfg.Candidate.NewAutomaton,
+		Oracle:       cfg.Candidate.OracleFor(cfg.K),
+	})
+	if err != nil {
+		return nil, err
+	}
+	tr, err := rt.RunFair(sched.RunOptions{Broadcasts: cfg.Requests})
+	if err != nil {
+		return nil, err
+	}
+	if !tr.Complete {
+		return nil, fmt.Errorf("conformance: deterministic run did not quiesce (%d steps)", tr.X.Len())
+	}
+	return tr, nil
+}
+
+// runNet executes the script on the concurrent runtime and returns its
+// trace, convergence status, and counter snapshot. Submissions respect
+// well-formedness: a process's next invocation waits for the previous one
+// to return (mutual broadcast, for instance, returns only after a quorum
+// of echoes).
+func runNet(cfg *Config) (*trace.Trace, bool, net.StatsSnapshot, error) {
+	nw, err := net.New(net.Config{
+		N:            cfg.N,
+		NewAutomaton: cfg.Candidate.NewAutomaton,
+		K:            oracleDegree(cfg.Candidate, cfg.K),
+		MaxDelay:     cfg.MaxDelay,
+		Seed:         cfg.Seed,
+		Faults:       cfg.Faults,
+		RecordTrace:  true,
+	})
+	if err != nil {
+		return nil, false, net.StatsSnapshot{}, err
+	}
+	defer nw.Stop()
+	submitted := make(map[model.ProcID]int64)
+	for _, req := range cfg.Requests {
+		p := req.Proc
+		if !nw.WaitUntil(func() bool { return nw.Returned(p) >= submitted[p] }, cfg.WaitTimeout) {
+			return nil, false, nw.StatsSnapshot(), fmt.Errorf("conformance: %v's B.broadcast never returned (%d/%d)", p, nw.Returned(p), submitted[p])
+		}
+		if _, err := nw.Broadcast(p, req.Payload); err != nil {
+			return nil, false, nw.StatsSnapshot(), err
+		}
+		submitted[p]++
+	}
+	want := int64(len(cfg.Requests))
+	complete := nw.WaitUntil(func() bool {
+		for p := 1; p <= cfg.N; p++ {
+			if nw.Delivered(model.ProcID(p)) < want {
+				return false
+			}
+		}
+		for p, n := range submitted {
+			if nw.Returned(p) < n {
+				return false
+			}
+		}
+		return true
+	}, cfg.WaitTimeout)
+	nw.Stop()
+	tr := nw.Trace()
+	tr.Complete = complete
+	return tr, complete, nw.StatsSnapshot(), nil
+}
+
+func sameVerdict(a, b *spec.Violation) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	return a == nil || a.Property == b.Property
+}
+
+func sameSequences(a, b map[model.ProcID][]trace.DeliveryEvent, n int) bool {
+	for p := 1; p <= n; p++ {
+		da, db := a[model.ProcID(p)], b[model.ProcID(p)]
+		if len(da) != len(db) {
+			return false
+		}
+		for i := range da {
+			if da[i] != db[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func sameSets(a, b map[model.ProcID][]trace.DeliveryEvent, n int) bool {
+	for p := 1; p <= n; p++ {
+		da, db := a[model.ProcID(p)], b[model.ProcID(p)]
+		if len(da) != len(db) {
+			return false
+		}
+		count := make(map[trace.DeliveryEvent]int, len(da))
+		for _, d := range da {
+			count[d]++
+		}
+		for _, d := range db {
+			count[d]--
+		}
+		for _, c := range count {
+			if c != 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Run executes the script on both runtimes and compares the projections.
+// It returns an error only when a run itself fails; disagreements are
+// reported in the Result (use Check for a pass/fail answer).
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	schedTr, err := runSched(&cfg)
+	if err != nil {
+		return nil, err
+	}
+	netTr, complete, stats, err := runNet(&cfg)
+	if err != nil {
+		return nil, err
+	}
+	sp := cfg.Candidate.Spec(cfg.K)
+	res := &Result{
+		Sched: Side{Trace: schedTr, Verdict: sp.Check(schedTr), Deliveries: trace.ProjectDeliveries(schedTr)},
+		Net:   Side{Trace: netTr, Verdict: sp.Check(netTr), Deliveries: trace.ProjectDeliveries(netTr)},
+		DeterministicOrder: cfg.Faults == nil && cfg.Candidate.DeterministicOrder &&
+			singleBroadcaster(cfg.Requests),
+		NetComplete: complete,
+		NetStats:    stats,
+	}
+	res.VerdictsAgree = sameVerdict(res.Sched.Verdict, res.Net.Verdict)
+	res.CounterexampleFound = cfg.Candidate.ScheduleSensitive &&
+		res.Sched.Verdict == nil && res.Net.Verdict != nil
+	res.DeliveriesAgree = sameSequences(res.Sched.Deliveries, res.Net.Deliveries, cfg.N)
+	res.DeliverySetsAgree = sameSets(res.Sched.Deliveries, res.Net.Deliveries, cfg.N)
+	return res, nil
+}
+
+// Check runs the differential comparison and returns a descriptive error
+// on any divergence: disagreeing verdicts, a fault-free concurrent run
+// that failed to converge or delivered different message sets, or — for
+// deterministic-order cases — different delivery sequences.
+func Check(cfg Config) (*Result, error) {
+	res, err := Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if !res.VerdictsAgree && !res.CounterexampleFound {
+		return res, fmt.Errorf("conformance: %s verdicts diverge: sched=%v net=%v",
+			cfg.Candidate.Name, res.Sched.Verdict, res.Net.Verdict)
+	}
+	if cfg.Faults == nil {
+		if !res.NetComplete {
+			return res, fmt.Errorf("conformance: %s fault-free concurrent run did not converge", cfg.Candidate.Name)
+		}
+		if !res.DeliverySetsAgree {
+			return res, fmt.Errorf("conformance: %s per-process delivery sets diverge across runtimes", cfg.Candidate.Name)
+		}
+	}
+	if res.DeterministicOrder && !res.DeliveriesAgree {
+		return res, fmt.Errorf("conformance: %s per-process delivery sequences diverge on a deterministic-order run", cfg.Candidate.Name)
+	}
+	return res, nil
+}

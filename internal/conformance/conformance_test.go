@@ -1,0 +1,116 @@
+package conformance_test
+
+import (
+	"testing"
+	"time"
+
+	"nobroadcast/internal/broadcast"
+	"nobroadcast/internal/conformance"
+	"nobroadcast/internal/net"
+	"nobroadcast/internal/workload"
+)
+
+// TestAllCandidatesConform is the headline differential check: every
+// registered broadcast abstraction, run under the same workload script on
+// the deterministic runtime and the concurrent runtime, produces the same
+// specification verdict, converges on the concurrent side, and delivers
+// the same per-process message sets.
+func TestAllCandidatesConform(t *testing.T) {
+	for _, cand := range broadcast.AllCandidates() {
+		cand := cand
+		t.Run(cand.Name, func(t *testing.T) {
+			t.Parallel()
+			res, err := conformance.Check(conformance.Config{
+				Candidate: cand,
+				N:         3,
+				K:         2,
+				Workload:  workload.Config{Kind: workload.Uniform, Messages: 6, Seed: 11},
+				Seed:      11,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Sched.Verdict != nil {
+				t.Errorf("deterministic run violates the candidate's own spec: %v", res.Sched.Verdict)
+			}
+		})
+	}
+}
+
+// TestDeterministicOrderCandidates: with a single broadcaster and no
+// faults, FIFO-or-stronger candidates must deliver the identical sequence
+// at every process on both runtimes — not just the same set.
+func TestDeterministicOrderCandidates(t *testing.T) {
+	for _, cand := range broadcast.AllCandidates() {
+		if !cand.DeterministicOrder {
+			continue
+		}
+		cand := cand
+		t.Run(cand.Name, func(t *testing.T) {
+			t.Parallel()
+			res, err := conformance.Check(conformance.Config{
+				Candidate: cand,
+				N:         3,
+				K:         1,
+				Workload:  workload.Config{Kind: workload.Single, Messages: 8, Seed: 5},
+				Seed:      5,
+				// A real delay spread makes the sequence assertion earn its
+				// keep: the transport reorders, the abstraction must not.
+				MaxDelay: 500 * time.Microsecond,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.DeterministicOrder {
+				t.Fatal("single-sender fault-free run not classified deterministic-order")
+			}
+			if !res.DeliveriesAgree {
+				t.Error("per-process delivery sequences diverge across runtimes")
+			}
+		})
+	}
+}
+
+// TestConformanceUnderFaults: with 10% loss and 5% duplication on the
+// concurrent side only, reliable broadcast's safety clauses must hold on
+// both runtimes (verdicts still agree: both admissible — liveness is
+// vacuous on the incomplete concurrent trace) and the injections must be
+// visible in the counters.
+func TestConformanceUnderFaults(t *testing.T) {
+	cand, err := broadcast.Lookup("reliable")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := conformance.Run(conformance.Config{
+		Candidate:   cand,
+		N:           3,
+		K:           1,
+		Workload:    workload.Config{Kind: workload.Uniform, Messages: 9, Seed: 3},
+		Seed:        3,
+		Faults:      &net.FaultPlan{Drop: 0.10, Dup: 0.05},
+		WaitTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.VerdictsAgree {
+		t.Errorf("verdicts diverge under faults: sched=%v net=%v", res.Sched.Verdict, res.Net.Verdict)
+	}
+	if res.Net.Verdict != nil {
+		t.Errorf("faulty concurrent run violates a safety clause: %v", res.Net.Verdict)
+	}
+	if res.NetStats.FaultDrops == 0 {
+		t.Error("FaultDrops = 0 with Drop = 0.10 over 9 broadcasts; injection not applied?")
+	}
+}
+
+// TestCheckValidation: Check surfaces configuration errors.
+func TestCheckValidation(t *testing.T) {
+	if _, err := conformance.Check(conformance.Config{N: 3}); err == nil {
+		t.Error("expected error for missing candidate")
+	}
+	cand, _ := broadcast.Lookup("send-to-all")
+	if _, err := conformance.Check(conformance.Config{Candidate: cand, N: 0}); err == nil {
+		t.Error("expected error for N = 0")
+	}
+}

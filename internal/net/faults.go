@@ -1,0 +1,241 @@
+package net
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"nobroadcast/internal/model"
+)
+
+// This file defines the link-level fault-injection plan. The paper's model
+// (Section 2) assumes complete, reliable, non-FIFO, asynchronous links; a
+// FaultPlan makes each of those assumptions an explicit, injectable knob —
+// message loss, duplication, alternative transit-delay distributions, and
+// timed partitions — so experiments can measure which broadcast
+// specifications survive which model violations. All randomness is drawn
+// from the network's seeded generator, and every injected fault is counted
+// under the net.faults.* metrics.
+
+// Link identifies a directed link from one process to another.
+type Link struct {
+	From, To model.ProcID
+}
+
+// LinkFaults overrides the global drop/duplication probabilities for one
+// directed link.
+type LinkFaults struct {
+	// Drop is the probability a message on this link is lost in transit.
+	Drop float64
+	// Dup is the probability a message on this link is duplicated.
+	Dup float64
+}
+
+// DelayKind selects a transit-delay distribution.
+type DelayKind int
+
+// The delay distributions.
+const (
+	// DelayUniform draws uniformly from [0, Max). This is the default
+	// distribution the network uses (with Max = Config.MaxDelay) when no
+	// override is configured.
+	DelayUniform DelayKind = iota
+	// DelayExponential draws from an exponential distribution with the
+	// given Mean, clipped to Max (Max = 0 clips at 10×Mean). Heavy-ish
+	// tails surface reorderings a uniform delay rarely produces.
+	DelayExponential
+	// DelayFixed always returns Mean (a synchronous-looking special case).
+	DelayFixed
+)
+
+// DelayDist describes a transit-delay distribution.
+type DelayDist struct {
+	Kind DelayKind
+	// Mean is the exponential mean or the fixed value (ignored by
+	// DelayUniform).
+	Mean time.Duration
+	// Max bounds the delay: the uniform upper bound, or the clip point of
+	// the exponential (0 = 10×Mean).
+	Max time.Duration
+}
+
+// sample draws one transit delay from the distribution.
+func (d *DelayDist) sample(s *safeRng) time.Duration {
+	switch d.Kind {
+	case DelayFixed:
+		return d.Mean
+	case DelayExponential:
+		clip := d.Max
+		if clip <= 0 {
+			clip = 10 * d.Mean
+		}
+		v := time.Duration(-math.Log(1-s.float64()) * float64(d.Mean))
+		if v > clip {
+			v = clip
+		}
+		return v
+	default:
+		return s.uniform(d.Max)
+	}
+}
+
+func (d *DelayDist) validate() error {
+	if d == nil {
+		return nil
+	}
+	if d.Mean < 0 || d.Max < 0 {
+		return fmt.Errorf("net: negative delay parameter (mean %v, max %v)", d.Mean, d.Max)
+	}
+	if d.Kind == DelayExponential && d.Mean <= 0 {
+		return fmt.Errorf("net: exponential delay needs a positive mean")
+	}
+	return nil
+}
+
+// Partition is a timed set of link cuts: while active, every link between
+// a process in A and a process in B (both directions) drops its messages.
+// Activation and healing are measured from network start.
+type Partition struct {
+	// A and B are the two sides of the cut. Processes in neither side are
+	// unaffected.
+	A, B []model.ProcID
+	// Start is when the cut activates (zero = from the beginning).
+	Start time.Duration
+	// Heal is when the cut heals; zero means it never does.
+	Heal time.Duration
+}
+
+// FaultPlan configures link-level fault injection. The zero value (and a
+// nil plan) injects nothing, reproducing the reliable network of the
+// model. Probabilities are evaluated once per message transit with the
+// network's seeded generator.
+type FaultPlan struct {
+	// Drop is the global per-transit loss probability.
+	Drop float64
+	// Dup is the global per-transit duplication probability.
+	Dup float64
+	// Delay, if set, replaces the uniform [0, MaxDelay) transit delay.
+	Delay *DelayDist
+	// Links overrides Drop/Dup per directed link.
+	Links map[Link]LinkFaults
+	// Partitions are timed link cuts.
+	Partitions []Partition
+}
+
+func validProb(p float64) bool { return p >= 0 && p <= 1 && !math.IsNaN(p) }
+
+// validate checks the plan against an n-process system. A nil plan is
+// valid.
+func (fp *FaultPlan) validate(n int) error {
+	if fp == nil {
+		return nil
+	}
+	if !validProb(fp.Drop) || !validProb(fp.Dup) {
+		return fmt.Errorf("net: fault probabilities must be in [0,1] (drop %v, dup %v)", fp.Drop, fp.Dup)
+	}
+	if err := fp.Delay.validate(); err != nil {
+		return err
+	}
+	inRange := func(p model.ProcID) bool { return p >= 1 && int(p) <= n }
+	for l, lf := range fp.Links {
+		if !inRange(l.From) || !inRange(l.To) {
+			return fmt.Errorf("net: fault link %v->%v outside p1..p%d", l.From, l.To, n)
+		}
+		if !validProb(lf.Drop) || !validProb(lf.Dup) {
+			return fmt.Errorf("net: link %v->%v fault probabilities must be in [0,1]", l.From, l.To)
+		}
+	}
+	for i, p := range fp.Partitions {
+		if len(p.A) == 0 || len(p.B) == 0 {
+			return fmt.Errorf("net: partition %d has an empty side", i)
+		}
+		for _, id := range append(append([]model.ProcID{}, p.A...), p.B...) {
+			if !inRange(id) {
+				return fmt.Errorf("net: partition %d names %v outside p1..p%d", i, id, n)
+			}
+		}
+		if p.Start < 0 || p.Heal < 0 {
+			return fmt.Errorf("net: partition %d has negative timing", i)
+		}
+		if p.Heal != 0 && p.Heal <= p.Start {
+			return fmt.Errorf("net: partition %d heals (%v) before it starts (%v)", i, p.Heal, p.Start)
+		}
+	}
+	return nil
+}
+
+// compiledPartition precomputes the cut set of one partition.
+type compiledPartition struct {
+	cuts        map[Link]bool
+	start, heal time.Duration
+}
+
+// faultState is the runtime form of a FaultPlan.
+type faultState struct {
+	plan  FaultPlan
+	parts []compiledPartition
+}
+
+// compileFaults precomputes partition cut sets; a nil plan compiles to a
+// nil state (all methods are nil-safe no-ops).
+func compileFaults(fp *FaultPlan) *faultState {
+	if fp == nil {
+		return nil
+	}
+	fs := &faultState{plan: *fp}
+	for _, p := range fp.Partitions {
+		cp := compiledPartition{cuts: make(map[Link]bool), start: p.Start, heal: p.Heal}
+		for _, a := range p.A {
+			for _, b := range p.B {
+				cp.cuts[Link{From: a, To: b}] = true
+				cp.cuts[Link{From: b, To: a}] = true
+			}
+		}
+		fs.parts = append(fs.parts, cp)
+	}
+	return fs
+}
+
+// cut reports whether the link from→to is severed by an active partition
+// at the given elapsed time, counting the drop and refreshing the
+// active-partition gauge.
+func (fs *faultState) cut(from, to model.ProcID, elapsed time.Duration, met *netMetrics) bool {
+	if fs == nil || len(fs.parts) == 0 {
+		return false
+	}
+	active, severed := 0, false
+	for _, p := range fs.parts {
+		if elapsed < p.start || (p.heal > 0 && elapsed >= p.heal) {
+			continue
+		}
+		active++
+		if p.cuts[Link{From: from, To: to}] {
+			severed = true
+		}
+	}
+	met.partitionsActive.Set(int64(active))
+	if severed {
+		met.faultPartitionDropped.Inc()
+	}
+	return severed
+}
+
+// linkProbs returns the drop/duplication probabilities of the link,
+// honoring per-link overrides.
+func (fs *faultState) linkProbs(from, to model.ProcID) (drop, dup float64) {
+	if fs == nil {
+		return 0, 0
+	}
+	if lf, ok := fs.plan.Links[Link{From: from, To: to}]; ok {
+		return lf.Drop, lf.Dup
+	}
+	return fs.plan.Drop, fs.plan.Dup
+}
+
+// delayDist returns the configured delay override, or nil.
+func (fs *faultState) delayDist() *DelayDist {
+	if fs == nil {
+		return nil
+	}
+	return fs.plan.Delay
+}

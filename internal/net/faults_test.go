@@ -1,0 +1,253 @@
+package net_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"nobroadcast/internal/broadcast"
+	"nobroadcast/internal/model"
+	"nobroadcast/internal/net"
+)
+
+// TestFaultPlanValidation: invalid plans are rejected at New.
+func TestFaultPlanValidation(t *testing.T) {
+	base := func() net.Config {
+		return net.Config{N: 3, NewAutomaton: broadcast.NewSendToAll}
+	}
+	cases := []struct {
+		name string
+		plan *net.FaultPlan
+		want string
+	}{
+		{"drop-over-one", &net.FaultPlan{Drop: 1.5}, "probabilities"},
+		{"negative-dup", &net.FaultPlan{Dup: -0.1}, "probabilities"},
+		{"link-out-of-range", &net.FaultPlan{Links: map[net.Link]net.LinkFaults{{From: 1, To: 9}: {Drop: 0.5}}}, "outside"},
+		{"exp-zero-mean", &net.FaultPlan{Delay: &net.DelayDist{Kind: net.DelayExponential}}, "positive mean"},
+		{"partition-empty-side", &net.FaultPlan{Partitions: []net.Partition{{A: []model.ProcID{1}}}}, "empty side"},
+		{"partition-bad-proc", &net.FaultPlan{Partitions: []net.Partition{{A: []model.ProcID{1}, B: []model.ProcID{7}}}}, "outside"},
+		{"partition-heal-before-start", &net.FaultPlan{Partitions: []net.Partition{{A: []model.ProcID{1}, B: []model.ProcID{2}, Start: time.Second, Heal: time.Millisecond}}}, "heals"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base()
+			cfg.Faults = tc.plan
+			if _, err := net.New(cfg); err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("New(%s) error = %v, want containing %q", tc.name, err, tc.want)
+			}
+		})
+	}
+	// The zero-value plan injects nothing and is valid.
+	cfg := base()
+	cfg.Faults = &net.FaultPlan{}
+	nw, err := net.New(cfg)
+	if err != nil {
+		t.Fatalf("zero-value plan rejected: %v", err)
+	}
+	nw.Stop()
+}
+
+// TestDropAllLosesEverything: with Drop = 1 every transit is lost, so
+// send-to-all delivers nothing and every loss is counted.
+func TestDropAllLosesEverything(t *testing.T) {
+	nw, err := net.New(net.Config{
+		N: 3, NewAutomaton: broadcast.NewSendToAll, Seed: 1,
+		Faults: &net.FaultPlan{Drop: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.Broadcast(1, "doomed"); err != nil {
+		t.Fatal(err)
+	}
+	nw.WaitUntil(func() bool { return nw.StatsSnapshot().FaultDrops >= 3 }, waitTimeout)
+	nw.Stop()
+	s := nw.StatsSnapshot()
+	if s.Delivered != 0 {
+		t.Errorf("Delivered = %d under total loss, want 0", s.Delivered)
+	}
+	if s.FaultDrops != s.Sent || s.Sent == 0 {
+		t.Errorf("FaultDrops = %d, Sent = %d; want every send counted lost", s.FaultDrops, s.Sent)
+	}
+}
+
+// TestDupAllDoublesReceptions: with Dup = 1 every transit is duplicated;
+// each process receives two copies per broadcast, while send-to-all's
+// BC-No-Duplication dedup keeps deliveries at one per process.
+func TestDupAllDoublesReceptions(t *testing.T) {
+	nw, err := net.New(net.Config{
+		N: 3, NewAutomaton: broadcast.NewSendToAll, Seed: 1,
+		Faults: &net.FaultPlan{Dup: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.Broadcast(1, "twice"); err != nil {
+		t.Fatal(err)
+	}
+	ok := nw.WaitUntil(func() bool { return nw.StatsSnapshot().Received == 6 }, waitTimeout)
+	nw.Stop()
+	s := nw.StatsSnapshot()
+	if !ok {
+		t.Fatalf("Received = %d, want 6 (each of 3 sends duplicated)", s.Received)
+	}
+	if s.FaultDups != 3 {
+		t.Errorf("FaultDups = %d, want 3", s.FaultDups)
+	}
+	if s.Delivered != 3 {
+		t.Errorf("Delivered = %d, want 3 (BC-No-Duplication masks the copies)", s.Delivered)
+	}
+}
+
+// TestReliableSurvivesDuplication: reliable broadcast's echo/dedup layer
+// must mask duplication — exactly one delivery per process despite Dup=1.
+func TestReliableSurvivesDuplication(t *testing.T) {
+	nw, err := net.New(net.Config{
+		N: 3, NewAutomaton: broadcast.NewReliable, Seed: 1,
+		Faults: &net.FaultPlan{Dup: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.Broadcast(1, "once"); err != nil {
+		t.Fatal(err)
+	}
+	ok := nw.WaitUntil(func() bool {
+		for p := 1; p <= 3; p++ {
+			if nw.Delivered(model.ProcID(p)) < 1 {
+				return false
+			}
+		}
+		return true
+	}, waitTimeout)
+	// Give straggler duplicates a moment to land, then check no over-delivery.
+	nw.WaitUntil(func() bool { return false }, 20*time.Millisecond)
+	nw.Stop()
+	if !ok {
+		t.Fatalf("reliable lost deliveries under duplication: %+v", nw.StatsSnapshot())
+	}
+	for p := 1; p <= 3; p++ {
+		if got := nw.Delivered(model.ProcID(p)); got != 1 {
+			t.Errorf("process %d delivered %d times, want exactly 1", p, got)
+		}
+	}
+	if s := nw.StatsSnapshot(); s.FaultDups == 0 {
+		t.Error("FaultDups = 0, want > 0 (duplication was configured)")
+	}
+}
+
+// TestPartitionCutsBothDirections: an unhealed partition {1}|{2,3} from
+// the start severs every cross-side link; process 1's broadcast reaches
+// only itself, and the cuts are counted.
+func TestPartitionCutsBothDirections(t *testing.T) {
+	nw, err := net.New(net.Config{
+		N: 3, NewAutomaton: broadcast.NewSendToAll, Seed: 1,
+		Faults: &net.FaultPlan{Partitions: []net.Partition{
+			{A: []model.ProcID{1}, B: []model.ProcID{2, 3}},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.Broadcast(1, "isolated"); err != nil {
+		t.Fatal(err)
+	}
+	ok := nw.WaitUntil(func() bool { return nw.Delivered(1) == 1 }, waitTimeout)
+	nw.Stop()
+	if !ok {
+		t.Fatalf("process 1's self-delivery missing: %+v", nw.StatsSnapshot())
+	}
+	s := nw.StatsSnapshot()
+	if nw.Delivered(2) != 0 || nw.Delivered(3) != 0 {
+		t.Errorf("deliveries crossed an active partition: p2=%d p3=%d", nw.Delivered(2), nw.Delivered(3))
+	}
+	if s.PartitionDrops != 2 {
+		t.Errorf("PartitionDrops = %d, want 2 (1→2 and 1→3)", s.PartitionDrops)
+	}
+}
+
+// TestPartitionHeals: after Heal elapses the cut links carry messages
+// again.
+func TestPartitionHeals(t *testing.T) {
+	const heal = 30 * time.Millisecond
+	nw, err := net.New(net.Config{
+		N: 3, NewAutomaton: broadcast.NewSendToAll, Seed: 1,
+		Faults: &net.FaultPlan{Partitions: []net.Partition{
+			{A: []model.ProcID{1}, B: []model.ProcID{2, 3}, Start: 0, Heal: heal},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(heal + 20*time.Millisecond)
+	if _, err := nw.Broadcast(1, "after-heal"); err != nil {
+		t.Fatal(err)
+	}
+	ok := nw.WaitUntil(func() bool { return nw.StatsSnapshot().Delivered == 3 }, waitTimeout)
+	nw.Stop()
+	if !ok {
+		t.Fatalf("healed partition still dropping: %+v", nw.StatsSnapshot())
+	}
+}
+
+// TestPerLinkOverride: a Links entry overrides the global probabilities
+// for that directed link only — 1→2 loses everything while 1→3 is clean.
+func TestPerLinkOverride(t *testing.T) {
+	nw, err := net.New(net.Config{
+		N: 3, NewAutomaton: broadcast.NewSendToAll, Seed: 1,
+		Faults: &net.FaultPlan{
+			Links: map[net.Link]net.LinkFaults{{From: 1, To: 2}: {Drop: 1}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.Broadcast(1, "selective"); err != nil {
+		t.Fatal(err)
+	}
+	ok := nw.WaitUntil(func() bool { return nw.Delivered(1) == 1 && nw.Delivered(3) == 1 }, waitTimeout)
+	nw.Stop()
+	if !ok {
+		t.Fatalf("clean links lost deliveries: %+v", nw.StatsSnapshot())
+	}
+	if got := nw.Delivered(2); got != 0 {
+		t.Errorf("process 2 delivered %d via a fully lossy link, want 0", got)
+	}
+	if s := nw.StatsSnapshot(); s.FaultDrops != 1 {
+		t.Errorf("FaultDrops = %d, want exactly 1 (only 1→2 is lossy)", s.FaultDrops)
+	}
+}
+
+// TestDelayDistributions: the exponential and fixed overrides drive a
+// working network (delivery still converges).
+func TestDelayDistributions(t *testing.T) {
+	for _, dist := range []net.DelayDist{
+		{Kind: net.DelayExponential, Mean: 100 * time.Microsecond},
+		{Kind: net.DelayFixed, Mean: 50 * time.Microsecond},
+		{Kind: net.DelayUniform, Max: 200 * time.Microsecond},
+	} {
+		dist := dist
+		nw, err := net.New(net.Config{
+			N: 3, NewAutomaton: broadcast.NewReliable, Seed: 42,
+			Faults: &net.FaultPlan{Delay: &dist},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := nw.Broadcast(2, "delayed"); err != nil {
+			t.Fatal(err)
+		}
+		ok := nw.WaitUntil(func() bool {
+			for p := 1; p <= 3; p++ {
+				if nw.Delivered(model.ProcID(p)) < 1 {
+					return false
+				}
+			}
+			return true
+		}, waitTimeout)
+		nw.Stop()
+		if !ok {
+			t.Errorf("delay dist %+v: deliveries incomplete: %+v", dist, nw.StatsSnapshot())
+		}
+	}
+}

@@ -21,6 +21,16 @@ type netMetrics struct {
 	reordered *obs.Counter
 	// crashes counts Crash calls that took effect.
 	crashes *obs.Counter
+	// faultDropped, faultDuplicated, and faultPartitionDropped count the
+	// FaultPlan's injections: probabilistic losses, duplications, and
+	// messages cut by an active partition. Always live (StatsSnapshot
+	// reports them), named net.faults.* in registry mode.
+	faultDropped          *obs.Counter
+	faultDuplicated       *obs.Counter
+	faultPartitionDropped *obs.Counter
+	// partitionsActive gauges the number of currently active partitions,
+	// refreshed on every routed message while a fault plan is configured.
+	partitionsActive *obs.Gauge
 	// inFlight gauges message goroutines currently in transit (registry
 	// mode only; nil-safe no-op otherwise).
 	inFlight *obs.Gauge
@@ -35,25 +45,33 @@ func newNetMetrics(reg *obs.Registry) *netMetrics {
 		// Standalone counters keep StatsSnapshot alive with observability
 		// disabled; gauge and histograms stay nil (no-op recorders).
 		return &netMetrics{
-			sent:       obs.NewCounter(),
-			received:   obs.NewCounter(),
-			delivered:  obs.NewCounter(),
-			broadcasts: obs.NewCounter(),
-			dropped:    obs.NewCounter(),
-			reordered:  obs.NewCounter(),
-			crashes:    obs.NewCounter(),
+			sent:                  obs.NewCounter(),
+			received:              obs.NewCounter(),
+			delivered:             obs.NewCounter(),
+			broadcasts:            obs.NewCounter(),
+			dropped:               obs.NewCounter(),
+			reordered:             obs.NewCounter(),
+			crashes:               obs.NewCounter(),
+			faultDropped:          obs.NewCounter(),
+			faultDuplicated:       obs.NewCounter(),
+			faultPartitionDropped: obs.NewCounter(),
+			partitionsActive:      obs.NewGauge(),
 		}
 	}
 	return &netMetrics{
-		sent:       reg.Counter("net.sent"),
-		received:   reg.Counter("net.received"),
-		delivered:  reg.Counter("net.delivered"),
-		broadcasts: reg.Counter("net.broadcasts"),
-		dropped:    reg.Counter("net.dropped"),
-		reordered:  reg.Counter("net.reordered"),
-		crashes:    reg.Counter("net.crashes"),
-		inFlight:   reg.Gauge("net.in_flight"),
-		delayUS:    reg.Histogram("net.delay_us", obs.DefaultLatencyBuckets...),
-		handleUS:   reg.Histogram("net.handle_us", obs.DefaultLatencyBuckets...),
+		sent:                  reg.Counter("net.sent"),
+		received:              reg.Counter("net.received"),
+		delivered:             reg.Counter("net.delivered"),
+		broadcasts:            reg.Counter("net.broadcasts"),
+		dropped:               reg.Counter("net.dropped"),
+		reordered:             reg.Counter("net.reordered"),
+		crashes:               reg.Counter("net.crashes"),
+		faultDropped:          reg.Counter("net.faults.dropped"),
+		faultDuplicated:       reg.Counter("net.faults.duplicated"),
+		faultPartitionDropped: reg.Counter("net.faults.partition_dropped"),
+		partitionsActive:      reg.Gauge("net.faults.partitions_active"),
+		inFlight:              reg.Gauge("net.in_flight"),
+		delayUS:               reg.Histogram("net.delay_us", obs.DefaultLatencyBuckets...),
+		handleUS:              reg.Histogram("net.handle_us", obs.DefaultLatencyBuckets...),
 	}
 }

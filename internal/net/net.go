@@ -1,20 +1,29 @@
 // Package net provides the concurrent runtime: an in-memory asynchronous
-// reliable network where each process runs as its own goroutine and
-// messages travel with randomized delays and reordering. It drives the
-// same deterministic automata as the step-driven runtime (internal/sched),
-// so algorithms verified there run unchanged under real concurrency.
+// network where each process runs as its own goroutine and messages travel
+// with randomized delays and reordering. It drives the same deterministic
+// automata as the step-driven runtime (internal/sched), so algorithms
+// verified there run unchanged under real concurrency.
 //
-// The network implements the communication model of Section 2: complete
-// (every process can send to every process, including itself), reliable
-// (no loss, duplication, or corruption), non-FIFO (randomized per-message
-// delay), and asynchronous (finite but unbounded — here bounded by
-// MaxDelay — transit times). Crash failures stop a process's event loop;
-// messages addressed to crashed processes are dropped, which is
-// indistinguishable from them being forever in transit.
+// By default the network implements the communication model of Section 2:
+// complete (every process can send to every process, including itself),
+// reliable (no loss, duplication, or corruption), non-FIFO (randomized
+// per-message delay), and asynchronous (finite but unbounded — here
+// bounded by MaxDelay — transit times). Crash failures stop a process's
+// event loop; messages addressed to crashed processes are dropped, which
+// is indistinguishable from them being forever in transit.
+//
+// A Config.Faults plan deliberately violates the reliability assumptions —
+// seeded message loss, duplication, alternative delay distributions, and
+// timed partitions — so experiments can measure which broadcast
+// specifications survive which model violations. Every injected fault is
+// counted under the net.faults.* metrics.
 //
 // Unlike internal/sched, runs are not deterministic: this runtime exists
-// for realistic end-to-end examples and throughput benchmarks, not for
-// the proof machinery.
+// for realistic end-to-end examples, fault-injection experiments, and
+// throughput benchmarks, not for the proof machinery. The cross-runtime
+// conformance harness (internal/conformance) differentially checks the two
+// runtimes against the same specifications using the optional trace
+// recorder (Config.RecordTrace).
 package net
 
 import (
@@ -46,19 +55,34 @@ type Config struct {
 	// K is the agreement degree of the shared k-SA oracle (default 1).
 	K int
 	// MaxDelay bounds the random per-message transit delay. Zero means
-	// immediate forwarding (still concurrent, still reordered by
-	// goroutine scheduling).
+	// inline forwarding: messages are enqueued at their destination in
+	// send order (per-link FIFO), though cross-node concurrency remains.
 	MaxDelay time.Duration
-	// Seed feeds the delay generator.
+	// Seed feeds the delay generator and the fault plan's coin flips.
 	Seed uint64
-	// OnDeliver, if set, observes every B-delivery (called from node
-	// goroutines; it must be safe for concurrent use).
+	// OnDeliver, if set, observes every B-delivery. It is called from node
+	// goroutines and must be safe for concurrent use; it may call back
+	// into Broadcast (reentrancy is supported — enqueueing never blocks
+	// the node loop).
 	OnDeliver func(Delivery)
-	// InboxSize is the per-node event buffer (default 1024).
+	// InboxSize is the per-node event buffer (default 1024). When an
+	// inbox overflows, the enqueue is shed to a background goroutine, so
+	// senders never block; shed messages may arrive out of send order
+	// (the network is non-FIFO anyway).
 	InboxSize int
+	// Faults optionally injects link-level faults (drop, duplication,
+	// delay distributions, timed partitions). Nil keeps the reliable
+	// network of the model.
+	Faults *FaultPlan
+	// RecordTrace records broadcast-interface events (invocations,
+	// returns, deliveries) plus k-SA propositions, decisions, and crashes
+	// into an Execution retrievable via Trace. Used by the cross-runtime
+	// conformance harness.
+	RecordTrace bool
 	// Obs receives network metrics (send/receive/delivery counters, the
-	// in-flight gauge, delay and handler-latency histograms). Nil keeps
-	// the cheap standalone counters behind StatsSnapshot and nothing else.
+	// in-flight gauge, delay and handler-latency histograms, fault
+	// counters). Nil keeps the cheap standalone counters behind
+	// StatsSnapshot and nothing else.
 	Obs *obs.Registry
 }
 
@@ -67,7 +91,8 @@ type netEvent struct {
 	from    model.ProcID
 	msg     model.MsgID
 	payload model.Payload
-	// seq is the global send ordinal, used to detect reordered arrivals.
+	// seq is the per-(sender,receiver) send ordinal, used to detect
+	// genuinely reordered arrivals on a link.
 	seq int64
 }
 
@@ -78,25 +103,45 @@ type Network struct {
 	oracle *safeOracle
 	msgSeq atomic.Int64
 	delays *safeRng
+	faults *faultState
+	rec    *recorder
+	start  time.Time
 
-	// mu guards shutdown: senders hold it shared while enqueueing into
-	// inboxes; Stop takes it exclusively to flip stopped.
+	// mu guards the stopped flag. It is never held across a blocking
+	// channel send: enqueuers take it shared just long enough to observe
+	// !stopped (and, on the shed path, to register with msgWg), which is
+	// what lets Stop proceed even while a reentrant OnDeliver callback is
+	// mid-Broadcast. The previous design held it shared across
+	// `inbox <- ev` and deadlocked: a full inbox parked the sender inside
+	// the read lock, Stop blocked on the write lock, and the node loop
+	// that should have drained the inbox was itself the parked sender.
 	mu      sync.RWMutex
 	stopped bool
-	msgWg   sync.WaitGroup // in-flight message goroutines
-	nodeWg  sync.WaitGroup // node event loops
+	// done is closed when Stop begins; it unparks transit sleepers and
+	// shed enqueues so msgWg can drain.
+	done   chan struct{}
+	msgWg  sync.WaitGroup // transit and shed-enqueue goroutines
+	nodeWg sync.WaitGroup // node event loops
 
-	sendSeq atomic.Int64
+	// linkSeq assigns per-(sender,receiver) send ordinals, indexed by
+	// (from-1)*N + (to-1). Receivers compare arrivals against a
+	// per-sender high-water mark, so the reorder counter means "this link
+	// delivered out of send order" — two perfectly-FIFO senders
+	// interleaving no longer count (they did when the ordinal was global).
+	linkSeq []atomic.Int64
 	met     *netMetrics
 }
 
-// StatsSnapshot is a plain copy of the network counters (now backed by
+// StatsSnapshot is a plain copy of the network counters (backed by
 // internal/obs; this type remains as the compatibility surface of the old
 // hand-rolled Stats struct, extended with the drop/reorder/crash counters
-// it never tracked).
+// it never tracked and the fault-injection counters).
 type StatsSnapshot struct {
 	Sent, Received, Delivered, Broadcasts int64
 	Dropped, Reordered, Crashes           int64
+	// FaultDrops, FaultDups, and PartitionDrops count messages lost,
+	// duplicated, and cut by the FaultPlan (zero without one).
+	FaultDrops, FaultDups, PartitionDrops int64
 }
 
 // node is one process.
@@ -106,9 +151,10 @@ type node struct {
 	inbox     chan netEvent
 	crashed   atomic.Bool
 	delivered atomic.Int64
-	// lastSeq is the highest send ordinal received so far; only the
-	// node's own goroutine touches it.
-	lastSeq int64
+	returned  atomic.Int64
+	// lastSeq[q-1] is the highest send ordinal received from q so far;
+	// only the node's own goroutine touches it.
+	lastSeq []int64
 }
 
 // safeOracle serializes k-SA propositions across node goroutines.
@@ -123,19 +169,31 @@ func (o *safeOracle) propose(obj model.KSAID, proc model.ProcID, v model.Value) 
 	return o.inner.Propose(obj, proc, v)
 }
 
-// safeRng serializes the delay generator.
+// safeRng serializes the delay/fault generator.
 type safeRng struct {
 	mu  sync.Mutex
 	src *rng.Source
 }
 
-func (s *safeRng) delay(max time.Duration) time.Duration {
+// uniform draws a uniform duration in [0, max). The draw reduces a full
+// 64-bit value modulo the int64 nanosecond count: the previous
+// int-truncating Intn path overflowed for max > ~2.1s on 32-bit platforms
+// (Intn panics on a non-positive bound). The modulo bias is max/2^64 —
+// negligible for any realistic delay.
+func (s *safeRng) uniform(max time.Duration) time.Duration {
 	if max <= 0 {
 		return 0
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return time.Duration(s.src.Intn(int(max)))
+	return time.Duration(s.src.Uint64() % uint64(max))
+}
+
+// float64 draws a uniform value in [0, 1) for fault coin flips.
+func (s *safeRng) float64() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.src.Float64()
 }
 
 // New builds and starts a network. Callers must Stop it.
@@ -146,6 +204,9 @@ func New(cfg Config) (*Network, error) {
 	if cfg.NewAutomaton == nil {
 		return nil, fmt.Errorf("net: NewAutomaton is required")
 	}
+	if err := cfg.Faults.validate(cfg.N); err != nil {
+		return nil, err
+	}
 	if cfg.K < 1 {
 		cfg.K = 1
 	}
@@ -153,10 +214,17 @@ func New(cfg Config) (*Network, error) {
 		cfg.InboxSize = 1024
 	}
 	nw := &Network{
-		cfg:    cfg,
-		oracle: &safeOracle{inner: sched.NewFreeOracle(cfg.K)},
-		delays: &safeRng{src: rng.New(cfg.Seed)},
-		met:    newNetMetrics(cfg.Obs),
+		cfg:     cfg,
+		oracle:  &safeOracle{inner: sched.NewFreeOracle(cfg.K)},
+		delays:  &safeRng{src: rng.New(cfg.Seed)},
+		faults:  compileFaults(cfg.Faults),
+		start:   time.Now(),
+		done:    make(chan struct{}),
+		linkSeq: make([]atomic.Int64, cfg.N*cfg.N),
+		met:     newNetMetrics(cfg.Obs),
+	}
+	if cfg.RecordTrace {
+		nw.rec = newRecorder(cfg.N)
 	}
 	nw.nodes = make([]*node, cfg.N)
 	for i := 0; i < cfg.N; i++ {
@@ -164,6 +232,7 @@ func New(cfg Config) (*Network, error) {
 			id:        model.ProcID(i + 1),
 			automaton: cfg.NewAutomaton(model.ProcID(i + 1)),
 			inbox:     make(chan netEvent, cfg.InboxSize),
+			lastSeq:   make([]int64, cfg.N),
 		}
 	}
 	for _, nd := range nw.nodes {
@@ -189,14 +258,15 @@ func (nw *Network) runNode(nd *node) {
 		switch ev.kind {
 		case 0:
 			nw.met.received.Inc()
-			if ev.seq < nd.lastSeq {
+			if last := nd.lastSeq[ev.from-1]; ev.seq < last {
 				nw.met.reordered.Inc()
 			} else {
-				nd.lastSeq = ev.seq
+				nd.lastSeq[ev.from-1] = ev.seq
 			}
 			nw.handle(nd, func(env *sched.Env) { nd.automaton.OnReceive(env, ev.from, ev.payload) })
 		case 1:
 			nw.met.broadcasts.Inc()
+			nw.rec.record(model.Step{Proc: nd.id, Kind: model.KindBroadcastInvoke, Msg: ev.msg, Payload: ev.payload})
 			nw.handle(nd, func(env *sched.Env) { nd.automaton.OnBroadcast(env, ev.msg, ev.payload) })
 		}
 	}
@@ -219,17 +289,23 @@ func (nw *Network) handle(nd *node, call func(env *sched.Env)) {
 		case model.KindSend:
 			nw.route(nd.id, a.To, a.Payload)
 		case model.KindPropose:
+			nw.rec.record(model.Step{Proc: nd.id, Kind: model.KindPropose, Obj: a.Obj, Val: a.Val})
 			val := nw.oracle.propose(a.Obj, nd.id, a.Val)
+			nw.rec.record(model.Step{Proc: nd.id, Kind: model.KindDecide, Obj: a.Obj, Val: val})
 			env := sched.NewEnv(nd.id, nw.cfg.N)
 			nd.automaton.OnDecide(env, a.Obj, val)
 			queue = append(queue, env.TakeActions()...)
 		case model.KindDeliver:
 			nd.delivered.Add(1)
 			nw.met.delivered.Inc()
+			nw.rec.record(model.Step{Proc: nd.id, Kind: model.KindDeliver, Peer: a.Origin, Msg: a.Msg, Payload: a.Payload})
 			if nw.cfg.OnDeliver != nil {
 				nw.cfg.OnDeliver(Delivery{At: nd.id, From: a.Origin, Msg: a.Msg, Payload: a.Payload})
 			}
-		case model.KindBroadcastReturn, model.KindInternal:
+		case model.KindBroadcastReturn:
+			nd.returned.Add(1)
+			nw.rec.record(model.Step{Proc: nd.id, Kind: model.KindBroadcastReturn, Msg: a.Msg})
+		case model.KindInternal:
 			// No effect at the network layer.
 		}
 	}
@@ -238,7 +314,17 @@ func (nw *Network) handle(nd *node, call func(env *sched.Env)) {
 	}
 }
 
-// route forwards a point-to-point message with a random delay.
+// transitDelay draws one per-message transit delay from the configured
+// distribution (the fault plan's override, or uniform [0, MaxDelay)).
+func (nw *Network) transitDelay() time.Duration {
+	if d := nw.faults.delayDist(); d != nil {
+		return d.sample(nw.delays)
+	}
+	return nw.delays.uniform(nw.cfg.MaxDelay)
+}
+
+// route forwards a point-to-point message, applying the fault plan and a
+// random transit delay.
 func (nw *Network) route(from, to model.ProcID, payload model.Payload) {
 	if to < 1 || int(to) > nw.cfg.N {
 		nw.met.dropped.Inc()
@@ -246,40 +332,113 @@ func (nw *Network) route(from, to model.ProcID, payload model.Payload) {
 	}
 	nw.met.sent.Inc()
 	target := nw.nodes[to-1]
-	d := nw.delays.delay(nw.cfg.MaxDelay)
-	nw.met.delayUS.Observe(d.Microseconds())
-	seq := nw.sendSeq.Add(1)
-	nw.met.inFlight.Inc()
+	if nw.faults.cut(from, to, time.Since(nw.start), nw.met) {
+		return // the link is severed by an active partition
+	}
+	drop, dup := nw.faults.linkProbs(from, to)
+	if drop > 0 && nw.delays.float64() < drop {
+		nw.met.faultDropped.Inc()
+		return
+	}
+	copies := 1
+	if dup > 0 && nw.delays.float64() < dup {
+		copies = 2
+		nw.met.faultDuplicated.Inc()
+	}
+	seq := nw.linkSeq[(int(from)-1)*nw.cfg.N+(int(to)-1)].Add(1)
+	ev := netEvent{kind: 0, from: from, payload: payload, seq: seq}
+	for c := 0; c < copies; c++ {
+		d := nw.transitDelay()
+		nw.met.delayUS.Observe(d.Microseconds())
+		if d == 0 {
+			// Inline fast path: no transit goroutine, so zero-delay links
+			// are per-link FIFO and the reorder counter stays exactly
+			// zero on delay-free fault-free runs.
+			if !nw.enqueue(target, ev) {
+				nw.met.dropped.Inc()
+			}
+			continue
+		}
+		if !nw.beginAsync() {
+			nw.met.dropped.Inc()
+			continue
+		}
+		nw.met.inFlight.Inc()
+		go func(d time.Duration) {
+			defer nw.msgWg.Done()
+			defer nw.met.inFlight.Dec()
+			select {
+			case <-time.After(d):
+			case <-nw.done:
+				// Shutdown mid-transit: indistinguishable from a message
+				// still in flight.
+				nw.met.dropped.Inc()
+				return
+			}
+			if !nw.enqueue(target, ev) {
+				nw.met.dropped.Inc()
+			}
+		}(d)
+	}
+}
+
+// beginAsync registers a transit goroutine with msgWg, unless the network
+// already stopped. Registration happens under the shared lock so Stop's
+// msgWg.Wait can never miss a registration that observed !stopped.
+func (nw *Network) beginAsync() bool {
+	nw.mu.RLock()
+	defer nw.mu.RUnlock()
+	if nw.stopped {
+		return false
+	}
 	nw.msgWg.Add(1)
+	return true
+}
+
+// enqueue hands ev to nd's event loop without ever blocking the caller and
+// without holding any lock across a blocking send. The fast path is a
+// non-blocking send under the shared lock (which cannot block: the select
+// has a default); a full inbox sheds the enqueue to a goroutine registered
+// with msgWg that parks on the channel until space frees or Stop begins.
+// This is the reentrancy-deadlock fix: an OnDeliver callback may call
+// straight back into Broadcast while Stop awaits the exclusive lock, and
+// neither may wedge the node loop that has to drain the inbox.
+func (nw *Network) enqueue(nd *node, ev netEvent) bool {
+	if nd.crashed.Load() {
+		return false
+	}
+	nw.mu.RLock()
+	if nw.stopped {
+		nw.mu.RUnlock()
+		return false
+	}
+	select {
+	case nd.inbox <- ev:
+		nw.mu.RUnlock()
+		return true
+	default:
+	}
+	// Inbox full: shed. msgWg.Add happens while the shared lock still
+	// guarantees Stop has not begun, so the inbox cannot close underneath
+	// the parked goroutine.
+	nw.msgWg.Add(1)
+	nw.mu.RUnlock()
 	go func() {
 		defer nw.msgWg.Done()
-		defer nw.met.inFlight.Dec()
-		if d > 0 {
-			time.Sleep(d)
-		}
-		// A message dropped here is indistinguishable from one still in
-		// transit at shutdown or addressed to a crashed process.
-		if !nw.send(target, netEvent{kind: 0, from: from, payload: payload, seq: seq}) {
+		select {
+		case nd.inbox <- ev:
+		case <-nw.done:
 			nw.met.dropped.Inc()
 		}
 	}()
-}
-
-// send enqueues an event unless the network stopped or the target
-// crashed; it reports whether the event was enqueued. Holding the
-// shutdown lock shared guarantees the inbox cannot close mid-send.
-func (nw *Network) send(nd *node, ev netEvent) bool {
-	nw.mu.RLock()
-	defer nw.mu.RUnlock()
-	if nw.stopped || nd.crashed.Load() {
-		return false
-	}
-	nd.inbox <- ev
 	return true
 }
 
 // Broadcast invokes B.broadcast at process p with the given content and
-// returns the fresh message identity.
+// returns the fresh message identity. It never blocks: under inbox
+// overflow the invocation event is enqueued asynchronously, and an event
+// still queued when Stop begins is discarded (indistinguishable from a
+// crash between invocation and any send).
 func (nw *Network) Broadcast(p model.ProcID, payload model.Payload) (model.MsgID, error) {
 	if p < 1 || int(p) > nw.cfg.N {
 		return model.NoMsg, fmt.Errorf("net: no process %v", p)
@@ -289,7 +448,7 @@ func (nw *Network) Broadcast(p model.ProcID, payload model.Payload) (model.MsgID
 		return model.NoMsg, fmt.Errorf("net: %v is crashed", p)
 	}
 	msg := model.MsgID(nw.msgSeq.Add(1))
-	if !nw.send(nd, netEvent{kind: 1, msg: msg, payload: payload}) {
+	if !nw.enqueue(nd, netEvent{kind: 1, msg: msg, payload: payload}) {
 		return model.NoMsg, fmt.Errorf("net: network is stopped or %v crashed", p)
 	}
 	return msg, nil
@@ -302,6 +461,7 @@ func (nw *Network) Crash(p model.ProcID) error {
 	}
 	if nw.nodes[p-1].crashed.CompareAndSwap(false, true) {
 		nw.met.crashes.Inc()
+		nw.rec.record(model.Step{Proc: p, Kind: model.KindCrash})
 	}
 	return nil
 }
@@ -314,24 +474,44 @@ func (nw *Network) Delivered(p model.ProcID) int64 {
 	return nw.nodes[p-1].delivered.Load()
 }
 
+// Returned reports how many B.broadcast invocations at process p have
+// returned. The conformance harness uses it to respect well-formedness
+// (invocations and responses alternate per process).
+func (nw *Network) Returned(p model.ProcID) int64 {
+	if p < 1 || int(p) > nw.cfg.N {
+		return 0
+	}
+	return nw.nodes[p-1].returned.Load()
+}
+
 // StatsSnapshot returns the current counters.
 func (nw *Network) StatsSnapshot() StatsSnapshot {
 	return StatsSnapshot{
-		Sent:       nw.met.sent.Value(),
-		Received:   nw.met.received.Value(),
-		Delivered:  nw.met.delivered.Value(),
-		Broadcasts: nw.met.broadcasts.Value(),
-		Dropped:    nw.met.dropped.Value(),
-		Reordered:  nw.met.reordered.Value(),
-		Crashes:    nw.met.crashes.Value(),
+		Sent:           nw.met.sent.Value(),
+		Received:       nw.met.received.Value(),
+		Delivered:      nw.met.delivered.Value(),
+		Broadcasts:     nw.met.broadcasts.Value(),
+		Dropped:        nw.met.dropped.Value(),
+		Reordered:      nw.met.reordered.Value(),
+		Crashes:        nw.met.crashes.Value(),
+		FaultDrops:     nw.met.faultDropped.Value(),
+		FaultDups:      nw.met.faultDuplicated.Value(),
+		PartitionDrops: nw.met.faultPartitionDropped.Value(),
 	}
 }
 
 // WaitUntil polls cond until it holds or the timeout elapses, returning
 // whether it held. It is the intended way for integration tests and
-// examples to await eventual-delivery conditions.
+// examples to await eventual-delivery conditions. Polling backs off
+// exponentially from 200µs to 5ms, so a slow condition costs bounded
+// wake-ups instead of a busy core.
 func (nw *Network) WaitUntil(cond func() bool, timeout time.Duration) bool {
+	const (
+		floor   = 200 * time.Microsecond
+		ceiling = 5 * time.Millisecond
+	)
 	deadline := time.Now().Add(timeout)
+	sleep := floor
 	for {
 		if cond() {
 			return true
@@ -339,13 +519,20 @@ func (nw *Network) WaitUntil(cond func() bool, timeout time.Duration) bool {
 		if time.Now().After(deadline) {
 			return cond()
 		}
-		time.Sleep(200 * time.Microsecond)
+		time.Sleep(sleep)
+		if sleep < ceiling {
+			sleep *= 2
+			if sleep > ceiling {
+				sleep = ceiling
+			}
+		}
 	}
 }
 
 // Stop shuts the network down: no further events are accepted, in-flight
 // message goroutines drain, and all node goroutines join. It is
-// idempotent.
+// idempotent, and it terminates even while OnDeliver callbacks are
+// reentrantly broadcasting into full inboxes.
 func (nw *Network) Stop() {
 	nw.mu.Lock()
 	if nw.stopped {
@@ -354,9 +541,13 @@ func (nw *Network) Stop() {
 	}
 	nw.stopped = true
 	nw.mu.Unlock()
-	// All senders either finished or will observe stopped; once they have
-	// drained, closing the inboxes ends the node loops.
+	// Unpark every transit sleeper and shed enqueue; they observe done,
+	// count themselves dropped, and exit without touching an inbox.
+	close(nw.done)
 	nw.msgWg.Wait()
+	// No sender remains: new enqueues observe stopped under the shared
+	// lock before reaching a channel, so closing the inboxes is safe and
+	// ends the node loops.
 	for _, nd := range nw.nodes {
 		close(nd.inbox)
 	}

@@ -272,7 +272,9 @@ func TestConcurrentBroadcasters(t *testing.T) {
 // Stop, and StatsSnapshot mirrors the registry values.
 func TestObsRegistryStats(t *testing.T) {
 	reg := obs.New()
-	nw, err := net.New(net.Config{N: 3, NewAutomaton: broadcast.NewSendToAll, Obs: reg})
+	// MaxDelay > 0 forces the transit-goroutine path so the in-flight
+	// gauge is exercised (zero delay forwards inline and never counts).
+	nw, err := net.New(net.Config{N: 3, NewAutomaton: broadcast.NewSendToAll, Obs: reg, MaxDelay: 200 * time.Microsecond})
 	if err != nil {
 		t.Fatal(err)
 	}

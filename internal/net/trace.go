@@ -1,0 +1,52 @@
+package net
+
+import (
+	"sync"
+
+	"nobroadcast/internal/model"
+	"nobroadcast/internal/trace"
+)
+
+// recorder captures the broadcast-interface steps of a concurrent run into
+// an Execution, so the same specification checkers that judge the
+// deterministic runtime's traces can judge this runtime's. Node goroutines
+// append under a mutex; the resulting order is a real-time linearization
+// (an invocation is always recorded before any delivery it causes), which
+// is exactly the positional "previously" the safety specs rely on.
+//
+// Only the events the specifications inspect are recorded: B-invocations,
+// B-returns, B-deliveries, k-SA propositions and decisions, and crashes.
+// Point-to-point sends and receives are not (the channel-level specs are
+// the deterministic runtime's domain).
+type recorder struct {
+	mu sync.Mutex
+	x  *model.Execution
+}
+
+func newRecorder(n int) *recorder {
+	return &recorder{x: model.NewExecution(n)}
+}
+
+// record appends one step; a nil recorder is a no-op, so call sites stay
+// unconditional.
+func (r *recorder) record(s model.Step) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.x.Append(s)
+	r.mu.Unlock()
+}
+
+// Trace returns a snapshot of the recorded execution, or nil when the
+// network was built without Config.RecordTrace. Complete is left false:
+// the network cannot know a run quiesced; callers that do (the conformance
+// harness, after every delivery arrived) set it before checking liveness.
+func (nw *Network) Trace() *trace.Trace {
+	if nw.rec == nil {
+		return nil
+	}
+	nw.rec.mu.Lock()
+	defer nw.rec.mu.Unlock()
+	return &trace.Trace{X: nw.rec.x.Clone()}
+}

@@ -23,12 +23,18 @@ const (
 	Skewed
 	// Bursty alternates silent processes with bursts from one process.
 	Bursty
+	// Single puts every broadcast on process 1. Useful as the
+	// deterministic-order case of the conformance harness: with one
+	// broadcaster, FIFO-or-stronger abstractions must deliver in exactly
+	// the broadcast order at every process, on either runtime.
+	Single
 )
 
 var kindNames = map[Kind]string{
 	Uniform: "uniform",
 	Skewed:  "skewed",
 	Bursty:  "bursty",
+	Single:  "single",
 }
 
 // String names the kind.
@@ -87,6 +93,8 @@ func Generate(cfg Config) ([]sched.BroadcastReq, error) {
 		case Bursty:
 			burst := i / cfg.BurstLen
 			return model.ProcID(burst%cfg.N + 1)
+		case Single:
+			return 1
 		default:
 			return model.ProcID(i%cfg.N + 1)
 		}
