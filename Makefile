@@ -1,5 +1,5 @@
 # Convenience targets for the reproduction artifact.
-.PHONY: all test race bench figure1 impossibility outputs metrics-smoke
+.PHONY: all test race bench bench-all figure1 impossibility outputs metrics-smoke
 all: test
 test:
 	go build ./... && go vet ./... && go test ./...
@@ -7,7 +7,20 @@ race:
 	go test -race ./internal/net ./internal/sharedmem ./internal/sched ./internal/conformance
 stress:
 	go test -race -count=3 -run 'Reentrant|Concurrent|Stress|Stop|Reorder' ./internal/net
+# bench: the PR 3 headline comparison — one streaming pass of the online
+# checkers versus checkpointed re-runs of the batch reference predicates on
+# the same 100k-step trace — recorded as BENCH_PR3.json. -benchtime 1x
+# because one batch iteration already takes minutes (the batch causal check
+# is quadratic; that is the point).
 bench:
+	go test -run '^$$' -bench 'BenchmarkSpec(Online|Batch)$$' -benchtime 1x ./internal/spec | tee /tmp/bench_pr3.txt
+	awk '/^BenchmarkSpecOnline/ { online=$$3; steps=$$5 } \
+	  /^BenchmarkSpecBatch/ { batch=$$3 } \
+	  END { if (!online || !batch) exit 1; \
+	    printf "{\n  \"benchmark\": \"online spec checkers vs repeated batch checking\",\n  \"trace_steps\": %.0f,\n  \"specs\": [\"FIFO-Order\", \"Causal-Order\"],\n  \"batch_checkpoints\": 4,\n  \"online_ns_per_op\": %.0f,\n  \"batch_ns_per_op\": %.0f,\n  \"speedup\": %.1f\n}\n", steps, online, batch, batch/online }' \
+	  /tmp/bench_pr3.txt > BENCH_PR3.json
+	cat BENCH_PR3.json
+bench-all:
 	go test -bench=. -benchmem ./...
 figure1:
 	go run ./examples/figure1

@@ -43,6 +43,7 @@ func run(args []string, out io.Writer) error {
 	jsonPath := fs.String("json", "", "write the α trace as JSON to this file")
 	dotPath := fs.String("dot", "", "write the Figure 1 diagram as Graphviz DOT to this file")
 	extend := fs.Bool("extend", false, "extend the run fairly to quiescence and re-check the candidate's ordering spec (experiment E10)")
+	live := fs.Bool("live", false, "report the verdicts the incremental checkers latched while Algorithm 1 ran")
 	oc := obs.BindFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -64,6 +65,18 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "adversarial_scheduler(k=%d, N=%d, B=%s): alpha has %d steps, beta %d broadcast events\n",
 		*k, *n, cand.Name, res.Alpha.X.Len(), res.Beta.X.Len())
 	fmt.Fprintf(out, "resets (line 25): %d   adoptions (line 18): %d\n\n", res.Resets, res.Adoptions)
+
+	if *live && res.Live != nil {
+		fmt.Fprintf(out, "live verdicts (checked incrementally during Algorithm 1, %d steps):\n", res.Live.Steps())
+		for _, sv := range res.Live.Verdicts() {
+			status := "ok"
+			if sv.Violation != nil {
+				status = fmt.Sprintf("VIOLATED at step %d: %s", sv.StepIdx, sv.Violation)
+			}
+			fmt.Fprintf(out, "  %-30s %s\n", sv.Spec, status)
+		}
+		fmt.Fprintln(out)
+	}
 
 	reports, ok := res.Verify()
 	for _, rep := range reports {

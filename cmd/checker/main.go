@@ -6,11 +6,15 @@
 // Usage:
 //
 //	checker -spec kbo -k 2 [-symmetry] [-seed 1] [-metrics] [-events out.jsonl] trace.json
+//	checker -spec fifo -stream trace.jsonl     # or "-" for stdin
 //
 // The trace file is the JSON produced by `adversary -json` or by the
-// trace package. Spec names: well-formed, channels, basic, send-to-all,
-// fifo, causal, total-order, kbo, k-stepped, first-k, sa-tagged,
-// mutual, uniform-reliable, ksa.
+// trace package. With -stream the input is JSONL (one header line, one
+// step per line) and is checked incrementally: only online checker state
+// is resident, so traces of any length fit in constant memory. Spec
+// names are the registry keys (spec.Names); the classics: well-formed,
+// channels, basic, send-to-all, fifo, causal, total-order, kbo,
+// k-stepped, first-k, sa-tagged, mutual, uniform-reliable, scd, ksa.
 package main
 
 import (
@@ -19,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"nobroadcast/internal/obs"
 	"nobroadcast/internal/spec"
@@ -39,40 +44,63 @@ func main() {
 	}
 }
 
-// specByName resolves a specification name.
+// specByName resolves a specification name against the spec registry.
 func specByName(name string, k int) (spec.Spec, error) {
-	switch name {
-	case "well-formed":
-		return spec.WellFormed(), nil
-	case "channels":
-		return spec.Channels(), nil
-	case "basic", "send-to-all":
-		return spec.SendToAll(), nil
-	case "fifo":
-		return spec.FIFOBroadcast(), nil
-	case "causal":
-		return spec.CausalBroadcast(), nil
-	case "total-order":
-		return spec.TotalOrderBroadcast(), nil
-	case "kbo":
-		return spec.KBOBroadcast(k), nil
-	case "k-stepped":
-		return spec.KSteppedBroadcast(k), nil
-	case "first-k":
-		return spec.FirstKBroadcast(k), nil
-	case "sa-tagged":
-		return spec.SATaggedBroadcast(k), nil
-	case "mutual":
-		return spec.MutualBroadcast(), nil
-	case "uniform-reliable":
-		return spec.UniformReliable(), nil
-	case "scd":
-		return spec.SCDBroadcast(), nil
-	case "ksa":
-		return spec.KSA(k), nil
-	default:
-		return nil, fmt.Errorf("unknown spec %q", name)
+	s, err := spec.ByName(name, k)
+	if err != nil {
+		return nil, fmt.Errorf("%w (known: %s)", err, strings.Join(spec.Names(), ", "))
 	}
+	return s, nil
+}
+
+// runStream checks a JSONL step stream incrementally, without ever
+// materializing the trace. The verdict reports the index of the step
+// that latched the violation, when the checker knows it.
+func runStream(s spec.Spec, r io.Reader, reg *obs.Registry, out io.Writer) error {
+	sr, err := trace.NewStepReader(r)
+	if err != nil {
+		return err
+	}
+	hdr := sr.Header()
+	fmt.Fprintf(out, "stream %q: %d processes, complete=%v\n", hdr.Name, hdr.N, hdr.Complete)
+	c := spec.NewCheckerFor(s, hdr.N)
+	sp := reg.StartSpan("checker.stream")
+	steps := 0
+	var v *spec.Violation
+	violIdx := -1
+	for {
+		st, err := sr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			sp.End()
+			return err
+		}
+		if v == nil {
+			if v = c.Feed(st); v != nil {
+				violIdx = steps
+			}
+		}
+		steps++
+	}
+	if v == nil {
+		v = c.Finish(hdr.Complete)
+	}
+	sp.End()
+	reg.Counter("checker.steps").Add(int64(steps))
+	reg.Emit("checker.verdict", obs.Str("spec", s.Name()), obs.Int("rejected", boolInt(v != nil)))
+	fmt.Fprintf(out, "checked %d steps online\n", steps)
+	if v != nil {
+		if v.StepIdx < 0 && violIdx >= 0 {
+			fmt.Fprintf(out, "REJECTED by %s (latched at step %d):\n  %s\n", s.Name(), violIdx, v)
+		} else {
+			fmt.Fprintf(out, "REJECTED by %s:\n  %s\n", s.Name(), v)
+		}
+		return errRejected
+	}
+	fmt.Fprintf(out, "admitted by %s\n", s.Name())
+	return nil
 }
 
 func run(args []string, out io.Writer) error {
@@ -80,17 +108,44 @@ func run(args []string, out io.Writer) error {
 	specName := fs.String("spec", "basic", "specification to check")
 	k := fs.Int("k", 2, "agreement/ordering degree for parameterized specs")
 	symmetry := fs.Bool("symmetry", false, "also run the compositionality and content-neutrality testers")
+	stream := fs.Bool("stream", false, "input is JSONL; check it incrementally (\"-\" reads stdin)")
 	seed := fs.Uint64("seed", 1, "seed for the symmetry testers' generators")
 	oc := obs.BindFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: checker [-spec name] [-k K] [-symmetry] trace.json")
+		return fmt.Errorf("usage: checker [-spec name] [-k K] [-symmetry | -stream] trace.json")
+	}
+	if *stream && *symmetry {
+		return fmt.Errorf("-symmetry needs the whole trace; it cannot be combined with -stream")
 	}
 	reg, err := oc.Registry()
 	if err != nil {
 		return err
+	}
+
+	if *stream {
+		s, err := specByName(*specName, *k)
+		if err != nil {
+			return err
+		}
+		in := io.Reader(os.Stdin)
+		if fs.Arg(0) != "-" {
+			f, err := os.Open(fs.Arg(0))
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			in = f
+		}
+		if err := runStream(s, in, reg, out); err != nil {
+			if errors.Is(err, errRejected) {
+				oc.Finish(out)
+			}
+			return err
+		}
+		return oc.Finish(out)
 	}
 
 	f, err := os.Open(fs.Arg(0))

@@ -149,3 +149,50 @@ func TestCheckerMetricsOnRejection(t *testing.T) {
 		t.Errorf("metrics summary missing on rejection:\n%s", out.String())
 	}
 }
+
+// writeTraceJSONL stores a trace in streaming JSONL form.
+func writeTraceJSONL(t *testing.T, tr *trace.Trace) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := tr.EncodeJSONL(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCheckerStreamAdmits(t *testing.T) {
+	path := writeTraceJSONL(t, admissibleTrace())
+	var out bytes.Buffer
+	if err := run([]string{"-spec", "fifo", "-stream", path}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "checked 4 steps online") || !strings.Contains(s, "admitted by FIFO-Broadcast") {
+		t.Errorf("output:\n%s", s)
+	}
+}
+
+func TestCheckerStreamRejects(t *testing.T) {
+	path := writeTraceJSONL(t, violatingTrace())
+	var out bytes.Buffer
+	err := run([]string{"-spec", "basic", "-stream", path}, &out)
+	if !errors.Is(err, errRejected) {
+		t.Fatalf("expected errRejected, got %v", err)
+	}
+	if !strings.Contains(out.String(), "REJECTED") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestCheckerStreamExcludesSymmetry(t *testing.T) {
+	path := writeTraceJSONL(t, admissibleTrace())
+	var out bytes.Buffer
+	if err := run([]string{"-spec", "fifo", "-stream", "-symmetry", path}, &out); err == nil {
+		t.Error("expected -stream/-symmetry conflict error")
+	}
+}

@@ -29,6 +29,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -46,7 +47,6 @@ import (
 	"nobroadcast/internal/obs"
 	"nobroadcast/internal/sched"
 	"nobroadcast/internal/spec"
-	"nobroadcast/internal/trace"
 	"nobroadcast/internal/workload"
 )
 
@@ -71,6 +71,7 @@ func run(args []string, out io.Writer) error {
 	seed := fs.Uint64("seed", 0, "delay/fault seed for the concurrent runtime (0 = wall clock)")
 	wait := fs.Duration("wait", 30*time.Second, "delivery-convergence timeout (concurrent runtime)")
 	conformance := fs.Bool("conformance", false, "run the cross-runtime differential check instead of a workload")
+	live := fs.Bool("live", false, "check specs incrementally while runs execute (streaming, no post-hoc rescan)")
 	httpAddr := fs.String("http", "", "serve live metrics (/, /metrics, /vars) on this `address` while the workload runs")
 	oc := obs.BindFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -108,12 +109,12 @@ func run(args []string, out io.Writer) error {
 	case *conformance:
 		err = runConformance(out, cand, *n, *k, *seed, faults, *wait)
 	case *concurrent:
-		err = runConcurrent(out, cand, *n, *k, *seed, faults, *wait, reg)
+		err = runConcurrent(out, cand, *n, *k, *seed, faults, *wait, *live, reg)
 	default:
 		if faults != nil {
 			return fmt.Errorf("-drop/-dup/-partition need -concurrent or -conformance (the deterministic runtime has no transport faults)")
 		}
-		err = runDeterministic(out, cand, *n, *k, *runs, *crashes, reg)
+		err = runDeterministic(out, cand, *n, *k, *runs, *crashes, *live, reg)
 	}
 	if err != nil {
 		return err
@@ -121,27 +122,32 @@ func run(args []string, out io.Writer) error {
 	return oc.Finish(out)
 }
 
-func runDeterministic(out io.Writer, cand broadcast.Candidate, n, k, runs, crashes int, reg *obs.Registry) error {
+func runDeterministic(out io.Writer, cand broadcast.Candidate, n, k, runs, crashes int, live bool, reg *obs.Registry) error {
 	inputs := make([]model.Value, n)
 	for i := range inputs {
 		inputs[i] = model.Value(fmt.Sprintf("v%d", i+1))
 	}
 	histogram := make(map[int]int) // distinct decisions -> runs
 	violations := 0
+	liveStops := 0
 	var steps, sends int
 	span := reg.StartSpan("ksasim.deterministic")
 	defer span.End()
 	runCounter := reg.Counter("ksasim.runs")
 	violCounter := reg.Counter("ksasim.violations")
 	for seed := uint64(1); seed <= uint64(runs); seed++ {
-		rt, err := sched.New(sched.Config{
+		cfg := sched.Config{
 			N:            n,
 			NewAutomaton: cand.NewAutomaton,
 			Oracle:       ksa.Instrument(cand.OracleFor(k), reg),
 			NewApp:       cand.SolverFor(),
 			Inputs:       inputs,
 			Obs:          reg,
-		})
+		}
+		if live {
+			cfg.LiveSpecs = []spec.Spec{spec.KSA(k)}
+		}
+		rt, err := sched.New(cfg)
 		if err != nil {
 			return err
 		}
@@ -150,16 +156,34 @@ func runDeterministic(out io.Writer, cand broadcast.Candidate, n, k, runs, crash
 			crashAt[5+7*c] = model.ProcID(n - c)
 		}
 		tr, err := rt.RunRandom(sched.RunOptions{Seed: seed, CrashAt: crashAt})
-		if err != nil {
+		var lve *sched.LiveViolationError
+		switch {
+		case errors.As(err, &lve):
+			// The live checker stopped the run at the violating step; the
+			// partial trace still contributes to the statistics.
+			tr = lve.Trace
+			violations++
+			liveStops++
+			violCounter.Inc()
+		case err != nil:
 			return err
+		default:
+			verdict := spec.KSA(k).Check(tr)
+			if live {
+				// The monitor saw every step already; read its latched
+				// verdict instead of rescanning the trace.
+				mon := rt.LiveMonitor()
+				mon.Finish(tr.Complete)
+				verdict, _ = mon.Verdict(spec.KSA(k).Name())
+			}
+			if verdict != nil {
+				violations++
+				violCounter.Inc()
+			}
 		}
-		ix := trace.BuildIndex(tr)
+		ix := tr.Index()
 		histogram[len(ix.DistinctDecisions(sched.DefaultAppObject))]++
 		runCounter.Inc()
-		if v := spec.KSA(k).Check(tr); v != nil {
-			violations++
-			violCounter.Inc()
-		}
 		steps += tr.X.Len()
 		for _, s := range tr.X.Steps {
 			if s.Kind == model.KindSend {
@@ -179,6 +203,9 @@ func runDeterministic(out io.Writer, cand broadcast.Candidate, n, k, runs, crash
 		}
 	}
 	fmt.Fprintf(out, "  %d-SA violations: %d/%d runs\n", k, violations, runs)
+	if live {
+		fmt.Fprintf(out, "  live checking: %d runs stopped at the violating step\n", liveStops)
+	}
 	fmt.Fprintf(out, "  avg steps/run: %d   avg sends/run: %d\n", steps/runs, sends/runs)
 	if cand.SolvesKSA && violations > 0 {
 		return fmt.Errorf("%s claims to solve %d-SA but violated it", cand.Name, k)
@@ -266,13 +293,13 @@ func oracleDegree(cand broadcast.Candidate, k int) int {
 	}
 }
 
-func runConcurrent(out io.Writer, cand broadcast.Candidate, n, k int, seed uint64, faults *net.FaultPlan, wait time.Duration, reg *obs.Registry) error {
+func runConcurrent(out io.Writer, cand broadcast.Candidate, n, k int, seed uint64, faults *net.FaultPlan, wait time.Duration, live bool, reg *obs.Registry) error {
 	if seed == 0 {
 		seed = uint64(time.Now().UnixNano())
 	}
 	span := reg.StartSpan("ksasim.concurrent")
 	defer span.End()
-	nw, err := net.New(net.Config{
+	cfg := net.Config{
 		N:            n,
 		NewAutomaton: cand.NewAutomaton,
 		K:            oracleDegree(cand, k),
@@ -280,7 +307,13 @@ func runConcurrent(out io.Writer, cand broadcast.Candidate, n, k int, seed uint6
 		Seed:         seed,
 		Faults:       faults,
 		Obs:          reg,
-	})
+	}
+	if live {
+		// Streaming mode: the candidate's spec is checked step by step as
+		// the run executes, with no trace recorded (RecordTrace stays off).
+		cfg.LiveSpecs = []spec.Spec{cand.Spec(k)}
+	}
+	nw, err := net.New(cfg)
 	if err != nil {
 		return err
 	}
@@ -308,6 +341,28 @@ func runConcurrent(out io.Writer, cand broadcast.Candidate, n, k int, seed uint6
 	fmt.Fprintf(out, "%s (concurrent): n=%d, %d broadcasts in %v (complete=%v)\n", cand.Name, n, st.Broadcasts, elapsed, done)
 	fmt.Fprintf(out, "  sends=%d receives=%d deliveries=%d (%.1f sends/broadcast)\n",
 		st.Sent, st.Received, st.Delivered, float64(st.Sent)/float64(st.Broadcasts))
+	if live {
+		nw.Stop()
+		verdicts := nw.FinishLive(done && faults == nil)
+		fmt.Fprintf(out, "  live checking: %d steps streamed through %s\n", nw.LiveSteps(), cand.Spec(k).Name())
+		violated := false
+		for _, sv := range verdicts {
+			if sv.Violation != nil {
+				violated = true
+				fmt.Fprintf(out, "  live VIOLATION (step %d): %s\n", sv.StepIdx, sv.Violation)
+			}
+		}
+		switch {
+		case !violated:
+			fmt.Fprintf(out, "  live verdict: admissible\n")
+		case cand.ScheduleSensitive:
+			// A doomed candidate violating under a concurrent schedule is
+			// the paper's expected refutation, found while still running.
+			fmt.Fprintf(out, "  counterexample schedule found live (expected: %s is schedule-sensitive)\n", cand.Name)
+		default:
+			return fmt.Errorf("live spec violation on concurrent run")
+		}
+	}
 	if faults != nil {
 		fmt.Fprintf(out, "  faults: dropped=%d duplicated=%d partition-dropped=%d\n",
 			st.FaultDrops, st.FaultDups, st.PartitionDrops)

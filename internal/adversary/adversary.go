@@ -23,6 +23,7 @@ import (
 	"nobroadcast/internal/model"
 	"nobroadcast/internal/obs"
 	"nobroadcast/internal/sched"
+	"nobroadcast/internal/spec"
 	"nobroadcast/internal/trace"
 )
 
@@ -102,6 +103,11 @@ type Result struct {
 	ResetBoundary int
 	// Broadcasts counts sync-broadcast invocations per process.
 	Broadcasts map[model.ProcID]int
+	// Live holds the incremental checkers that observed α as it was
+	// built: the Lemma 1-6 spec checks (k-SA, SR channels,
+	// well-formedness) ran online during Algorithm 1, and Verify reads
+	// their latched verdicts instead of rescanning α.
+	Live *spec.Monitor
 	// oracle retains the decision table for the continuation runtime.
 	oracle *tableOracle
 	// runtime retains the driven runtime so callers can extend the run
@@ -232,6 +238,9 @@ func Run(opts Options) (*Result, error) {
 		NewAutomaton: opts.NewAutomaton,
 		Oracle:       oracle,
 		Obs:          reg,
+		// The Lemma 1-6 checks run incrementally while Algorithm 1
+		// drives the run; Verify consumes the latched verdicts.
+		LiveSpecs: []spec.Spec{spec.KSA(k), spec.Channels(), spec.WellFormed()},
 	})
 	if err != nil {
 		return nil, fmt.Errorf("adversary: %w", err)
@@ -357,6 +366,12 @@ func Run(opts Options) (*Result, error) {
 	// Line 27: return α (a prefix — liveness is not claimed for it).
 	res.Alpha = &trace.Trace{X: rt.Execution(), Complete: false, Name: fmt.Sprintf("alpha(k=%d,N=%d)", k, n)}
 	res.Beta = &trace.Trace{X: res.Alpha.X.ProjectBroadcast(), Complete: false, Name: fmt.Sprintf("beta(k=%d,N=%d)", k, n)}
+	if mon := rt.LiveMonitor(); mon != nil {
+		// α is a prefix, not a complete run; Finish(false) skips the
+		// liveness clauses, matching Check on Complete=false.
+		mon.Finish(false)
+		res.Live = mon
+	}
 	return res, nil
 }
 

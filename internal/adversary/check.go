@@ -124,8 +124,20 @@ func (r *Result) Verify() (reports []LemmaReport, ok bool) {
 	for i := 1; i <= r.K+1; i++ {
 		gammas = append(gammas, r.Gamma(model.ProcID(i)))
 	}
+	// alphaVerdict prefers the verdict the live checkers latched while
+	// Algorithm 1 ran (Result.Live) over rescanning α; runs constructed
+	// without a live monitor (old serialized results) fall back to the
+	// batch check.
+	alphaVerdict := func(s spec.Spec) *spec.Violation {
+		if r.Live != nil {
+			if v, ok := r.Live.Verdict(s.Name()); ok {
+				return v
+			}
+		}
+		return s.Check(r.Alpha)
+	}
 	onAll := func(lemma string, s spec.Spec) {
-		if err := violationErr(s.Check(r.Alpha)); err != nil {
+		if err := violationErr(alphaVerdict(s)); err != nil {
 			add(lemma+" (alpha)", err)
 			return
 		}

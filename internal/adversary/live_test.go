@@ -1,0 +1,34 @@
+package adversary_test
+
+import (
+	"testing"
+
+	"nobroadcast/internal/spec"
+)
+
+// TestLiveMonitorAgreesWithBatch: the Lemma 1-6 specs checked
+// incrementally while Algorithm 1 runs latch the same verdicts a batch
+// re-scan of α produces, and Verify consumes them (Result.Live is set on
+// every fresh run).
+func TestLiveMonitorAgreesWithBatch(t *testing.T) {
+	res := mustRun(t, "first-k", 3, 2)
+	if res.Live == nil {
+		t.Fatal("Run did not attach the live monitor")
+	}
+	if res.Live.Steps() != res.Alpha.X.Len() {
+		t.Fatalf("monitor saw %d steps, alpha has %d", res.Live.Steps(), res.Alpha.X.Len())
+	}
+	for _, s := range []spec.Spec{spec.KSA(3), spec.Channels(), spec.WellFormed()} {
+		live, ok := res.Live.Verdict(s.Name())
+		if !ok {
+			t.Fatalf("%s not monitored", s.Name())
+		}
+		batch := s.Check(res.Alpha)
+		if !spec.SameVerdict(live, batch) {
+			t.Errorf("%s: live=%v batch=%v", s.Name(), live, batch)
+		}
+	}
+	if reports, ok := res.Verify(); !ok {
+		t.Fatalf("Verify failed with live verdicts: %+v", reports)
+	}
+}

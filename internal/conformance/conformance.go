@@ -101,6 +101,18 @@ type Result struct {
 	// applies: fault-free, single broadcaster, and a candidate with
 	// deterministic delivery order.
 	DeterministicOrder bool
+	// NetLive is the verdict the candidate spec's incremental checker
+	// latched while the concurrent run was still in flight (the same
+	// spec.Monitor the recorder feeds under its mutex), with liveness
+	// clauses evaluated against the run's actual convergence status.
+	NetLive *spec.Violation
+	// LiveAgrees reports that the live verdict and the post-hoc batch
+	// verdict of the concurrent trace agree on admissibility. Only
+	// nil-ness is compared: a composite spec's batch check blames the
+	// first violated member in declaration order while the live monitor
+	// blames the first in time order, so Property may legitimately
+	// differ; admissibility never does.
+	LiveAgrees bool
 	// NetComplete reports that the concurrent side converged: every
 	// broadcast returned and every process delivered the full script.
 	NetComplete bool
@@ -185,11 +197,13 @@ func runSched(cfg *Config) (*trace.Trace, error) {
 }
 
 // runNet executes the script on the concurrent runtime and returns its
-// trace, convergence status, and counter snapshot. Submissions respect
-// well-formedness: a process's next invocation waits for the previous one
-// to return (mutual broadcast, for instance, returns only after a quorum
-// of echoes).
-func runNet(cfg *Config) (*trace.Trace, bool, net.StatsSnapshot, error) {
+// trace, convergence status, live verdict, and counter snapshot. The
+// candidate's own spec runs incrementally inside the recorder while the
+// run is in flight; its latched verdict is the differential counterpart
+// to the post-hoc batch check. Submissions respect well-formedness: a
+// process's next invocation waits for the previous one to return (mutual
+// broadcast, for instance, returns only after a quorum of echoes).
+func runNet(cfg *Config, sp spec.Spec) (*trace.Trace, bool, *spec.Violation, net.StatsSnapshot, error) {
 	nw, err := net.New(net.Config{
 		N:            cfg.N,
 		NewAutomaton: cfg.Candidate.NewAutomaton,
@@ -198,19 +212,20 @@ func runNet(cfg *Config) (*trace.Trace, bool, net.StatsSnapshot, error) {
 		Seed:         cfg.Seed,
 		Faults:       cfg.Faults,
 		RecordTrace:  true,
+		LiveSpecs:    []spec.Spec{sp},
 	})
 	if err != nil {
-		return nil, false, net.StatsSnapshot{}, err
+		return nil, false, nil, net.StatsSnapshot{}, err
 	}
 	defer nw.Stop()
 	submitted := make(map[model.ProcID]int64)
 	for _, req := range cfg.Requests {
 		p := req.Proc
 		if !nw.WaitUntil(func() bool { return nw.Returned(p) >= submitted[p] }, cfg.WaitTimeout) {
-			return nil, false, nw.StatsSnapshot(), fmt.Errorf("conformance: %v's B.broadcast never returned (%d/%d)", p, nw.Returned(p), submitted[p])
+			return nil, false, nil, nw.StatsSnapshot(), fmt.Errorf("conformance: %v's B.broadcast never returned (%d/%d)", p, nw.Returned(p), submitted[p])
 		}
 		if _, err := nw.Broadcast(p, req.Payload); err != nil {
-			return nil, false, nw.StatsSnapshot(), err
+			return nil, false, nil, nw.StatsSnapshot(), err
 		}
 		submitted[p]++
 	}
@@ -231,7 +246,13 @@ func runNet(cfg *Config) (*trace.Trace, bool, net.StatsSnapshot, error) {
 	nw.Stop()
 	tr := nw.Trace()
 	tr.Complete = complete
-	return tr, complete, nw.StatsSnapshot(), nil
+	var live *spec.Violation
+	for _, sv := range nw.FinishLive(complete) {
+		if sv.Spec == sp.Name() {
+			live = sv.Violation
+		}
+	}
+	return tr, complete, live, nw.StatsSnapshot(), nil
 }
 
 func sameVerdict(a, b *spec.Violation) bool {
@@ -289,20 +310,22 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	netTr, complete, stats, err := runNet(&cfg)
+	sp := cfg.Candidate.Spec(cfg.K)
+	netTr, complete, live, stats, err := runNet(&cfg, sp)
 	if err != nil {
 		return nil, err
 	}
-	sp := cfg.Candidate.Spec(cfg.K)
 	res := &Result{
 		Sched: Side{Trace: schedTr, Verdict: sp.Check(schedTr), Deliveries: trace.ProjectDeliveries(schedTr)},
 		Net:   Side{Trace: netTr, Verdict: sp.Check(netTr), Deliveries: trace.ProjectDeliveries(netTr)},
 		DeterministicOrder: cfg.Faults == nil && cfg.Candidate.DeterministicOrder &&
 			singleBroadcaster(cfg.Requests),
+		NetLive:     live,
 		NetComplete: complete,
 		NetStats:    stats,
 	}
 	res.VerdictsAgree = sameVerdict(res.Sched.Verdict, res.Net.Verdict)
+	res.LiveAgrees = (res.NetLive == nil) == (res.Net.Verdict == nil)
 	res.CounterexampleFound = cfg.Candidate.ScheduleSensitive &&
 		res.Sched.Verdict == nil && res.Net.Verdict != nil
 	res.DeliveriesAgree = sameSequences(res.Sched.Deliveries, res.Net.Deliveries, cfg.N)
@@ -322,6 +345,10 @@ func Check(cfg Config) (*Result, error) {
 	if !res.VerdictsAgree && !res.CounterexampleFound {
 		return res, fmt.Errorf("conformance: %s verdicts diverge: sched=%v net=%v",
 			cfg.Candidate.Name, res.Sched.Verdict, res.Net.Verdict)
+	}
+	if !res.LiveAgrees {
+		return res, fmt.Errorf("conformance: %s live and batch verdicts diverge on the concurrent trace: live=%v batch=%v",
+			cfg.Candidate.Name, res.NetLive, res.Net.Verdict)
 	}
 	if cfg.Faults == nil {
 		if !res.NetComplete {

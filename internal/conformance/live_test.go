@@ -1,0 +1,41 @@
+package conformance_test
+
+import (
+	"testing"
+
+	"nobroadcast/internal/broadcast"
+	"nobroadcast/internal/conformance"
+	"nobroadcast/internal/workload"
+)
+
+// TestLiveVerdictMatchesBatchOnCorpus: across the candidate corpus and
+// several workload shapes, the verdict the candidate spec's incremental
+// checker latches while the concurrent run executes agrees (on
+// admissibility) with the post-hoc batch check of the recorded trace.
+// This is the conformance-level differential for the online checkers: the
+// same linearization judged two ways.
+func TestLiveVerdictMatchesBatchOnCorpus(t *testing.T) {
+	kinds := []workload.Kind{workload.Uniform, workload.Single}
+	for _, cand := range broadcast.AllCandidates() {
+		cand := cand
+		t.Run(cand.Name, func(t *testing.T) {
+			t.Parallel()
+			for _, kind := range kinds {
+				res, err := conformance.Run(conformance.Config{
+					Candidate: cand,
+					N:         3,
+					K:         2,
+					Workload:  workload.Config{Kind: kind, Messages: 6, Seed: 23},
+					Seed:      23,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !res.LiveAgrees {
+					t.Errorf("workload %v: live and batch verdicts diverge: live=%v batch=%v",
+						kind, res.NetLive, res.Net.Verdict)
+				}
+			}
+		})
+	}
+}

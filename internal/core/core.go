@@ -44,6 +44,7 @@ import (
 	"nobroadcast/internal/model"
 	"nobroadcast/internal/obs"
 	"nobroadcast/internal/sched"
+	"nobroadcast/internal/spec"
 	"nobroadcast/internal/trace"
 )
 
@@ -297,10 +298,14 @@ func RunImpossibility(c broadcast.Candidate, k int, opts Options) (*Result, erro
 		return nil, fmt.Errorf("core: adversarial construction failed its own lemma checks: %+v", reports)
 	}
 
-	// Stage 4: does the candidate's spec admit β?
+	// Stage 4: does the candidate's spec admit β? The derived traces are
+	// judged by streaming each once through the spec's online checker
+	// (checkStreaming) — a violation's step index then points into the
+	// derived trace, and candidate specs without a streaming form still
+	// work through the buffered fallback.
 	s := c.Spec(k)
 	betaSpan := reg.StartSpan("pipeline.spec-beta")
-	v := s.Check(adv.Beta)
+	v := checkStreaming(s, adv.Beta)
 	betaSpan.End()
 	if v != nil {
 		res.Outcome = OutcomeImplementationIncorrect
@@ -327,7 +332,7 @@ func RunImpossibility(c broadcast.Candidate, k int, opts Options) (*Result, erro
 		Name:     fmt.Sprintf("gamma(%s,k=%d,N=%d)", c.Name, k, res.N),
 	}
 	res.Gamma = gamma
-	v = s.Check(gamma)
+	v = checkStreaming(s, gamma)
 	restrictSpan.End()
 	if v != nil {
 		res.Outcome = OutcomeNotCompositional
@@ -346,7 +351,7 @@ func RunImpossibility(c broadcast.Candidate, k int, opts Options) (*Result, erro
 		Name:     fmt.Sprintf("delta(%s,k=%d,N=%d)", c.Name, k, res.N),
 	}
 	res.Delta = delta
-	v = s.Check(delta)
+	v = checkStreaming(s, delta)
 	renameSpan.End()
 	if v != nil {
 		res.Outcome = OutcomeNotContentNeutral
@@ -378,6 +383,14 @@ func RunImpossibility(c broadcast.Candidate, k int, opts Options) (*Result, erro
 	res.Outcome = OutcomeAgreementViolated
 	res.Detail = fmt.Sprintf("%d distinct values decided on one %d-SA object: %v", len(distinct), k, res.ReplayDecisions)
 	return finish()
+}
+
+// checkStreaming judges a trace by streaming it once through the spec's
+// online checker. Equivalent to s.Check for the specs this repo defines
+// (their Check is the same adapter), but also gives candidate-supplied
+// batch-only specs a uniform entry point via the buffered fallback.
+func checkStreaming(s spec.Spec, t *trace.Trace) *spec.Violation {
+	return spec.RunChecker(spec.NewCheckerFor(s, t.X.N), t)
 }
 
 func asStall(err error, target **adversary.ErrNotSoloProgressing) bool {

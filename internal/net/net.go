@@ -36,6 +36,7 @@ import (
 	"nobroadcast/internal/obs"
 	"nobroadcast/internal/rng"
 	"nobroadcast/internal/sched"
+	"nobroadcast/internal/spec"
 )
 
 // Delivery is one B-delivery observed at a node.
@@ -79,6 +80,13 @@ type Config struct {
 	// into an Execution retrievable via Trace. Used by the cross-runtime
 	// conformance harness.
 	RecordTrace bool
+	// LiveSpecs are specifications checked online during the run: every
+	// step the recorder observes is fed to each spec's incremental
+	// checker, under the recorder mutex. This works with or without
+	// RecordTrace — without it, the run is checked in O(checker state)
+	// memory and no step log is kept (streaming mode). Verdicts are read
+	// via LiveViolation and FinishLive.
+	LiveSpecs []spec.Spec
 	// Obs receives network metrics (send/receive/delivery counters, the
 	// in-flight gauge, delay and handler-latency histograms, fault
 	// counters). Nil keeps the cheap standalone counters behind
@@ -223,8 +231,8 @@ func New(cfg Config) (*Network, error) {
 		linkSeq: make([]atomic.Int64, cfg.N*cfg.N),
 		met:     newNetMetrics(cfg.Obs),
 	}
-	if cfg.RecordTrace {
-		nw.rec = newRecorder(cfg.N)
+	if cfg.RecordTrace || len(cfg.LiveSpecs) > 0 {
+		nw.rec = newRecorder(cfg.N, cfg.RecordTrace, cfg.LiveSpecs)
 	}
 	nw.nodes = make([]*node, cfg.N)
 	for i := 0; i < cfg.N; i++ {

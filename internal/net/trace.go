@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"nobroadcast/internal/model"
+	"nobroadcast/internal/spec"
 	"nobroadcast/internal/trace"
 )
 
@@ -14,27 +15,54 @@ import (
 // (an invocation is always recorded before any delivery it causes), which
 // is exactly the positional "previously" the safety specs rely on.
 //
+// With live specs configured, each recorded step is additionally fed —
+// still under the mutex, so the checkers see the same linearization that
+// is (or would be) recorded — to a spec.Monitor of incremental checkers.
+// In streaming mode (live specs without Config.RecordTrace) x stays nil:
+// the run is checked with only checker state resident, no step log.
+//
 // Only the events the specifications inspect are recorded: B-invocations,
 // B-returns, B-deliveries, k-SA propositions and decisions, and crashes.
 // Point-to-point sends and receives are not (the channel-level specs are
 // the deterministic runtime's domain).
 type recorder struct {
-	mu sync.Mutex
-	x  *model.Execution
+	mu      sync.Mutex
+	x       *model.Execution // nil in streaming-only mode
+	mon     *spec.Monitor    // nil without live specs
+	steps   int
+	liveV   *spec.Violation
+	liveIdx int
 }
 
-func newRecorder(n int) *recorder {
-	return &recorder{x: model.NewExecution(n)}
+func newRecorder(n int, keep bool, specs []spec.Spec) *recorder {
+	r := &recorder{liveIdx: -1}
+	if keep {
+		r.x = model.NewExecution(n)
+	}
+	if len(specs) > 0 {
+		r.mon = spec.NewMonitor(n, specs...)
+	}
+	return r
 }
 
-// record appends one step; a nil recorder is a no-op, so call sites stay
-// unconditional.
+// record appends one step and feeds the live checkers; a nil recorder is
+// a no-op, so call sites stay unconditional.
 func (r *recorder) record(s model.Step) {
 	if r == nil {
 		return
 	}
 	r.mu.Lock()
-	r.x.Append(s)
+	idx := r.steps
+	r.steps++
+	if r.x != nil {
+		r.x.Append(s)
+	}
+	if r.mon != nil {
+		if v := r.mon.Feed(s); v != nil && r.liveV == nil {
+			r.liveV = v
+			r.liveIdx = idx
+		}
+	}
 	r.mu.Unlock()
 }
 
@@ -43,10 +71,50 @@ func (r *recorder) record(s model.Step) {
 // the network cannot know a run quiesced; callers that do (the conformance
 // harness, after every delivery arrived) set it before checking liveness.
 func (nw *Network) Trace() *trace.Trace {
-	if nw.rec == nil {
+	if nw.rec == nil || nw.rec.x == nil {
 		return nil
 	}
 	nw.rec.mu.Lock()
 	defer nw.rec.mu.Unlock()
 	return &trace.Trace{X: nw.rec.x.Clone()}
+}
+
+// LiveViolation returns the first violation latched by the live checkers
+// and the index of the step (in recorder order) that caused it; nil, -1
+// when none, or when no live specs are configured.
+func (nw *Network) LiveViolation() (*spec.Violation, int) {
+	if nw.rec == nil {
+		return nil, -1
+	}
+	nw.rec.mu.Lock()
+	defer nw.rec.mu.Unlock()
+	return nw.rec.liveV, nw.rec.liveIdx
+}
+
+// FinishLive evaluates the live checkers' end-of-trace (liveness) clauses
+// and returns every monitored spec's latched verdict; complete reports
+// whether the run quiesced (the recorder cannot know — the caller does).
+// Nil without live specs. Idempotent; typically called after Stop.
+func (nw *Network) FinishLive(complete bool) []spec.SpecVerdict {
+	if nw.rec == nil || nw.rec.mon == nil {
+		return nil
+	}
+	nw.rec.mu.Lock()
+	defer nw.rec.mu.Unlock()
+	mon := nw.rec.mon
+	if v := mon.Finish(complete); v != nil && nw.rec.liveV == nil {
+		nw.rec.liveV = v
+	}
+	return mon.Verdicts()
+}
+
+// LiveSteps returns how many steps the recorder has observed (whether or
+// not a step log is kept).
+func (nw *Network) LiveSteps() int {
+	if nw.rec == nil {
+		return 0
+	}
+	nw.rec.mu.Lock()
+	defer nw.rec.mu.Unlock()
+	return nw.rec.steps
 }

@@ -5,6 +5,7 @@ import (
 
 	"nobroadcast/internal/model"
 	"nobroadcast/internal/rng"
+	"nobroadcast/internal/spec"
 	"nobroadcast/internal/trace"
 )
 
@@ -36,6 +37,30 @@ type RunOptions struct {
 type BroadcastReq struct {
 	Proc    model.ProcID
 	Payload model.Payload
+}
+
+// LiveViolationError is returned by RunRandom and RunFair when a live
+// spec checker rejects a recorded step: the run stops at the violating
+// step instead of executing to the event bound. Trace holds the recorded
+// prefix up to and including that step (never complete — the run was cut
+// short).
+type LiveViolationError struct {
+	V       *spec.Violation
+	StepIdx int
+	Trace   *trace.Trace
+}
+
+// Error implements error.
+func (e *LiveViolationError) Error() string {
+	return fmt.Sprintf("sched: live spec violation at step %d: %v", e.StepIdx, e.V)
+}
+
+// liveError wraps the latched live violation, nil when none.
+func (r *Runtime) liveError() error {
+	if r.liveV == nil {
+		return nil
+	}
+	return &LiveViolationError{V: r.liveV, StepIdx: r.liveIdx, Trace: &trace.Trace{X: r.x}}
 }
 
 func (o RunOptions) maxEvents() int {
@@ -170,6 +195,10 @@ func (r *Runtime) RunRandom(opts RunOptions) (*trace.Trace, error) {
 		if err := r.execEvent(st, events[src.Intn(len(events))]); err != nil {
 			return nil, err
 		}
+		if err := r.liveError(); err != nil {
+			r.met.dispatched(count + 1)
+			return nil, err
+		}
 		count++
 	}
 	r.met.dispatched(count)
@@ -226,6 +255,10 @@ func (r *Runtime) RunFair(opts RunOptions) (*trace.Trace, error) {
 					count++
 				}
 			}
+			if err := r.liveError(); err != nil {
+				r.met.dispatched(count)
+				return nil, err
+			}
 		}
 		// Deliver everything currently in flight to live processes.
 		// Receivers may send more; those wait for the next round.
@@ -234,6 +267,10 @@ func (r *Runtime) RunFair(opts RunOptions) (*trace.Trace, error) {
 			f := r.network[i]
 			if to, err := r.proc(f.to); err == nil && !to.crashed {
 				if _, err := r.ReceiveIndex(i); err != nil {
+					return nil, err
+				}
+				if err := r.liveError(); err != nil {
+					r.met.dispatched(count + 1)
 					return nil, err
 				}
 				progress = true

@@ -32,6 +32,7 @@ import (
 
 	"nobroadcast/internal/model"
 	"nobroadcast/internal/obs"
+	"nobroadcast/internal/spec"
 )
 
 // Automaton is a deterministic reactive process implementing a broadcast
@@ -235,6 +236,12 @@ type Config struct {
 	// events, queue depths, crash injections). Nil disables recording
 	// entirely; the hot path then costs nil checks only.
 	Obs *obs.Registry
+	// LiveSpecs are specifications checked online while the run executes:
+	// every recorded step is fed to each spec's incremental checker the
+	// moment it is appended. RunRandom and RunFair stop at the first
+	// violating step (see LiveViolationError); the verdicts are available
+	// through LiveMonitor whether or not a violation occurred.
+	LiveSpecs []spec.Spec
 }
 
 // DefaultAppObject is the object id used to record app-level (implemented)
@@ -250,6 +257,11 @@ type Runtime struct {
 	network []inFlight
 	nextMsg model.MsgID
 	met     *schedMetrics
+	// mon checks LiveSpecs incrementally as steps are recorded; nil when
+	// no live specs are configured.
+	mon     *spec.Monitor
+	liveV   *spec.Violation
+	liveIdx int
 }
 
 // New builds a runtime. It returns an error on invalid configuration.
@@ -272,6 +284,12 @@ func New(cfg Config) (*Runtime, error) {
 		procs:   make([]*procState, cfg.N),
 		nextMsg: 1,
 		met:     newSchedMetrics(cfg.Obs),
+		liveIdx: -1,
+	}
+	if len(cfg.LiveSpecs) > 0 {
+		// Built before the init loop below: app initialization records
+		// Propose steps, which the live checkers must see too.
+		r.mon = spec.NewMonitor(cfg.N, cfg.LiveSpecs...)
 	}
 	for i := 0; i < cfg.N; i++ {
 		id := model.ProcID(i + 1)
@@ -302,11 +320,30 @@ func New(cfg Config) (*Runtime, error) {
 // mutate it while the runtime is still running.
 func (r *Runtime) Execution() *model.Execution { return r.x }
 
-// record appends a step to the execution and counts it.
+// record appends a step to the execution and counts it. With live specs
+// configured, the step is also fed to their incremental checkers, and the
+// first overall violation is latched together with its step index.
 func (r *Runtime) record(s model.Step) {
+	idx := len(r.x.Steps)
 	r.x.Append(s)
 	r.met.record(s)
+	if r.mon != nil {
+		if v := r.mon.Feed(s); v != nil && r.liveV == nil {
+			r.liveV = v
+			r.liveIdx = idx
+		}
+	}
 }
+
+// LiveViolation returns the first violation latched by the live checkers
+// and the index of the step that caused it (nil, -1 when none, or when no
+// live specs are configured).
+func (r *Runtime) LiveViolation() (*spec.Violation, int) { return r.liveV, r.liveIdx }
+
+// LiveMonitor returns the live checking monitor, nil when no live specs
+// are configured. Callers that want end-of-trace (liveness) verdicts must
+// call its Finish once the run is over.
+func (r *Runtime) LiveMonitor() *spec.Monitor { return r.mon }
 
 // NewMsgID allocates a fresh message identity (shared between broadcast
 // messages and point-to-point instances, so identities never collide).

@@ -13,13 +13,15 @@ import (
 // on complete traces only). In the model CAMP_n[∅] this specification alone
 // is the Send-To-All broadcast.
 func BasicBroadcast() Spec {
-	return Func{SpecName: "Basic-Broadcast", CheckFn: checkBasicBroadcast}
+	return streamSpec{name: "Basic-Broadcast", batch: checkBasicBroadcast,
+		mk: func(n int) Checker { return newBasicChecker(n) }}
 }
 
 // SendToAll is the basic broadcast under its usual name: it admits exactly
 // the executions satisfying the four universal properties.
 func SendToAll() Spec {
-	return Func{SpecName: "Send-To-All", CheckFn: checkBasicBroadcast}
+	return streamSpec{name: "Send-To-All", batch: checkBasicBroadcast,
+		mk: func(n int) Checker { return newBasicChecker(n) }}
 }
 
 func checkBasicBroadcast(t *trace.Trace) *Violation {
@@ -72,7 +74,7 @@ func checkBasicBroadcast(t *trace.Trace) *Violation {
 		return nil
 	}
 	correct := x.CorrectSet()
-	ix := trace.BuildIndex(t)
+	ix := t.Index()
 
 	// BC-Local-Termination: a correct process's broadcast invocation
 	// eventually returns.
@@ -109,9 +111,10 @@ func checkBasicBroadcast(t *trace.Trace) *Violation {
 // k-SA-Termination (liveness; complete traces only). It also enforces the
 // one-shot discipline: one propose per process per object.
 func KSA(k int) Spec {
-	return Func{
-		SpecName: fmt.Sprintf("%d-SA", k),
-		CheckFn:  func(t *trace.Trace) *Violation { return checkKSA(t, k) },
+	return streamSpec{
+		name:  fmt.Sprintf("%d-SA", k),
+		batch: func(t *trace.Trace) *Violation { return checkKSA(t, k) },
+		mk:    func(n int) Checker { return newKSAChecker(n, k) },
 	}
 }
 

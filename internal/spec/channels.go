@@ -12,7 +12,8 @@ import (
 // safety properties checked on every trace; SR-Termination is liveness and
 // only evaluated on complete traces.
 func Channels() Spec {
-	return Func{SpecName: "SR-Channels", CheckFn: checkChannels}
+	return streamSpec{name: "SR-Channels", batch: checkChannels,
+		mk: func(n int) Checker { return newChannelsChecker(n) }}
 }
 
 func checkChannels(t *trace.Trace) *Violation {

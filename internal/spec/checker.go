@@ -1,0 +1,333 @@
+package spec
+
+import (
+	"fmt"
+
+	"nobroadcast/internal/model"
+	"nobroadcast/internal/trace"
+)
+
+// This file defines the incremental checking layer: every specification in
+// this package is backed by an online Checker that consumes one step at a
+// time and keeps only per-spec summary state (FIFO cursors, vector-clock
+// frontiers, conflict sets, decision tables) instead of the whole trace.
+// Spec.Check remains the public batch entry point, implemented as a thin
+// adapter that streams the trace through a fresh checker, so every
+// existing call site keeps working; the original whole-trace predicates
+// are retained behind CheckBatch for differential testing and as the
+// reference semantics.
+
+// Checker is an online specification checker. Feed consumes the next step
+// of the execution and returns a violation as soon as one exists; Finish
+// evaluates the end-of-trace (liveness) clauses, with complete reporting
+// whether the run terminated with every correct process quiescent (the
+// same meaning as trace.Trace.Complete — liveness is vacuous otherwise).
+//
+// Checkers latch: once Feed or Finish has returned a violation, every
+// later call returns the same violation. This is the online counterpart
+// of prefix-monotonicity — a violated prefix stays violated in every
+// extension. Checkers track their own step index; the StepIdx of a
+// violation returned by Feed refers to the position of the offending step
+// in the fed sequence.
+//
+// A Checker is single-goroutine; callers that feed from several
+// goroutines must serialize (the concurrent runtime feeds under its trace
+// recorder's mutex).
+type Checker interface {
+	Feed(s model.Step) *Violation
+	Finish(complete bool) *Violation
+}
+
+// Streaming is implemented by specifications that provide an online
+// checker. Every spec constructed by this package implements it; n is the
+// number of processes of the execution to be checked.
+type Streaming interface {
+	Spec
+	NewChecker(n int) Checker
+}
+
+// Batch is implemented by specifications that retain their whole-trace
+// reference predicate alongside the streaming form.
+type Batch interface {
+	Spec
+	CheckBatch(t *trace.Trace) *Violation
+}
+
+// RunChecker streams an entire trace through a checker and returns its
+// verdict: the first per-step violation, else the Finish-time verdict.
+func RunChecker(c Checker, t *trace.Trace) *Violation {
+	for _, s := range t.X.Steps {
+		if v := c.Feed(s); v != nil {
+			return v
+		}
+	}
+	return c.Finish(t.Complete)
+}
+
+// NewCheckerFor returns an online checker for any Spec: the spec's own
+// checker when it is Streaming, else a fallback that buffers steps and
+// evaluates the batch predicate at Finish time (correct, but without the
+// per-step early detection or the memory bound).
+func NewCheckerFor(s Spec, n int) Checker {
+	if st, ok := s.(Streaming); ok {
+		return st.NewChecker(n)
+	}
+	return &bufferedChecker{s: s, x: model.NewExecution(n)}
+}
+
+// CheckBatch evaluates a spec's whole-trace reference predicate when it
+// retains one, else falls back to Check. Used by the differential tests
+// and benchmarks comparing the online and batch forms.
+func CheckBatch(s Spec, t *trace.Trace) *Violation {
+	if b, ok := s.(Batch); ok {
+		return b.CheckBatch(t)
+	}
+	return s.Check(t)
+}
+
+// SameVerdict reports whether two violations agree as verdicts: both nil,
+// or naming the same spec and property. Details and step indices are not
+// compared — details may enumerate map-ordered witnesses.
+func SameVerdict(a, b *Violation) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	return a == nil || (a.Spec == b.Spec && a.Property == b.Property)
+}
+
+// streamSpec is the standard implementation of a specification in this
+// package: a name, the retained whole-trace reference predicate, and the
+// online checker constructor. Check streams the trace through a fresh
+// checker, so batch call sites get the online semantics transparently.
+type streamSpec struct {
+	name  string
+	batch func(t *trace.Trace) *Violation
+	mk    func(n int) Checker
+}
+
+var (
+	_ Streaming = streamSpec{}
+	_ Batch     = streamSpec{}
+)
+
+func (s streamSpec) Name() string                         { return s.name }
+func (s streamSpec) Check(t *trace.Trace) *Violation      { return RunChecker(s.mk(t.X.N), t) }
+func (s streamSpec) CheckBatch(t *trace.Trace) *Violation { return s.batch(t) }
+func (s streamSpec) NewChecker(n int) Checker             { return s.mk(n) }
+
+// allSpec is the composite returned by All. Check preserves the historic
+// semantics — component specs are checked in declaration order, whole
+// trace each — while NewChecker multiplexes one checker per component and
+// reports the first violation in *time* order. The two can disagree on
+// which component is blamed when several are violated, never on
+// admissibility.
+type allSpec struct {
+	name  string
+	specs []Spec
+}
+
+var (
+	_ Streaming = allSpec{}
+	_ Batch     = allSpec{}
+)
+
+func (a allSpec) Name() string { return a.name }
+
+func (a allSpec) Check(t *trace.Trace) *Violation {
+	for _, s := range a.specs {
+		if v := s.Check(t); v != nil {
+			return v
+		}
+	}
+	return nil
+}
+
+func (a allSpec) CheckBatch(t *trace.Trace) *Violation {
+	for _, s := range a.specs {
+		if v := CheckBatch(s, t); v != nil {
+			return v
+		}
+	}
+	return nil
+}
+
+func (a allSpec) NewChecker(n int) Checker {
+	cks := make([]Checker, len(a.specs))
+	for i, s := range a.specs {
+		cks[i] = NewCheckerFor(s, n)
+	}
+	return &multiChecker{cks: cks}
+}
+
+// multiChecker feeds every component checker and latches the first
+// violation any of them reports.
+type multiChecker struct {
+	cks []Checker
+	v   *Violation
+}
+
+func (c *multiChecker) Feed(s model.Step) *Violation {
+	if c.v != nil {
+		return c.v
+	}
+	for _, ck := range c.cks {
+		if v := ck.Feed(s); v != nil && c.v == nil {
+			c.v = v
+		}
+	}
+	return c.v
+}
+
+func (c *multiChecker) Finish(complete bool) *Violation {
+	if c.v != nil {
+		return c.v
+	}
+	for _, ck := range c.cks {
+		if v := ck.Finish(complete); v != nil {
+			c.v = v
+			return c.v
+		}
+	}
+	return nil
+}
+
+// bufferedChecker is the fallback for user-supplied specs without a
+// streaming form: it buffers the fed steps and runs the batch predicate
+// once at Finish. No per-step early detection.
+type bufferedChecker struct {
+	s Spec
+	x *model.Execution
+	v *Violation
+}
+
+func (c *bufferedChecker) Feed(s model.Step) *Violation {
+	if c.v != nil {
+		return c.v
+	}
+	c.x.Append(s)
+	return nil
+}
+
+func (c *bufferedChecker) Finish(complete bool) *Violation {
+	if c.v != nil {
+		return c.v
+	}
+	c.v = c.s.Check(&trace.Trace{X: c.x, Complete: complete})
+	return c.v
+}
+
+// SpecVerdict is one spec's latched verdict inside a Monitor.
+type SpecVerdict struct {
+	Spec      string
+	Violation *Violation // nil = no violation observed (so far)
+	StepIdx   int        // index of the latching step, -1 for Finish-time or none
+}
+
+// Monitor runs several specifications' checkers over one step stream. It
+// is the unit the runtimes embed for live checking: feed every recorded
+// step, then read the latched per-spec verdicts. Feed returns the overall
+// first violation (nil until one occurs), so callers can fail fast while
+// the monitor keeps collecting verdicts for the remaining specs.
+type Monitor struct {
+	steps    int
+	entries  []*monEntry
+	first    *Violation
+	firstIdx int
+	finished bool
+}
+
+type monEntry struct {
+	spec Spec
+	ck   Checker
+	v    *Violation
+	idx  int
+}
+
+// NewMonitor builds a monitor over the given specs for an n-process
+// execution.
+func NewMonitor(n int, specs ...Spec) *Monitor {
+	m := &Monitor{firstIdx: -1}
+	for _, s := range specs {
+		m.entries = append(m.entries, &monEntry{spec: s, ck: NewCheckerFor(s, n), idx: -1})
+	}
+	return m
+}
+
+// Feed advances every non-violated checker by one step and returns the
+// overall first violation (latched).
+func (m *Monitor) Feed(s model.Step) *Violation {
+	idx := m.steps
+	m.steps++
+	for _, e := range m.entries {
+		if e.v != nil {
+			continue
+		}
+		if v := e.ck.Feed(s); v != nil {
+			e.v, e.idx = v, idx
+			if m.first == nil {
+				m.first, m.firstIdx = v, idx
+			}
+		}
+	}
+	return m.first
+}
+
+// Finish evaluates the end-of-trace clauses of every spec that has not
+// already violated. It is idempotent.
+func (m *Monitor) Finish(complete bool) *Violation {
+	if m.finished {
+		return m.first
+	}
+	m.finished = true
+	for _, e := range m.entries {
+		if e.v != nil {
+			continue
+		}
+		if v := e.ck.Finish(complete); v != nil {
+			e.v = v
+			if m.first == nil {
+				m.first = v
+			}
+		}
+	}
+	return m.first
+}
+
+// Violation returns the overall first violation and the index of the step
+// that latched it (-1 when none, or when it latched at Finish).
+func (m *Monitor) Violation() (*Violation, int) { return m.first, m.firstIdx }
+
+// Steps returns how many steps have been fed.
+func (m *Monitor) Steps() int { return m.steps }
+
+// Verdict returns the latched verdict for the named spec; ok reports
+// whether that spec is monitored at all.
+func (m *Monitor) Verdict(specName string) (v *Violation, ok bool) {
+	for _, e := range m.entries {
+		if e.spec.Name() == specName {
+			return e.v, true
+		}
+	}
+	return nil, false
+}
+
+// Verdicts returns every monitored spec's latched verdict, in monitor
+// order.
+func (m *Monitor) Verdicts() []SpecVerdict {
+	out := make([]SpecVerdict, len(m.entries))
+	for i, e := range m.entries {
+		out[i] = SpecVerdict{Spec: e.spec.Name(), Violation: e.v, StepIdx: e.idx}
+	}
+	return out
+}
+
+// String summarizes the monitor state for logs.
+func (m *Monitor) String() string {
+	bad := 0
+	for _, e := range m.entries {
+		if e.v != nil {
+			bad++
+		}
+	}
+	return fmt.Sprintf("monitor{%d specs, %d steps, %d violated}", len(m.entries), m.steps, bad)
+}

@@ -20,7 +20,8 @@ import (
 // complete traces only.
 func UniformReliable() Spec {
 	return All("Uniform-Reliable-Broadcast", BasicBroadcast(),
-		Func{SpecName: "Uniform-Reliable-Broadcast", CheckFn: checkUniformTermination})
+		streamSpec{name: "Uniform-Reliable-Broadcast", batch: checkUniformTermination,
+			mk: func(n int) Checker { return newUniformChecker(n) }})
 }
 
 func checkUniformTermination(t *trace.Trace) *Violation {
@@ -29,7 +30,7 @@ func checkUniformTermination(t *trace.Trace) *Violation {
 	}
 	x := t.X
 	correct := x.CorrectSet()
-	ix := trace.BuildIndex(t)
+	ix := t.Index()
 	for m := range ix.Broadcasts {
 		deliveredSomewhere := model.NoProc
 		for pn := 1; pn <= x.N; pn++ {
@@ -66,7 +67,8 @@ func checkUniformTermination(t *trace.Trace) *Violation {
 // delivered both messages with their own strictly first, which no
 // extension can undo.
 func MutualOrder() Spec {
-	return Func{SpecName: "Mutual-Order", CheckFn: checkMutualOrder}
+	return streamSpec{name: "Mutual-Order", batch: checkMutualOrder,
+		mk: func(int) Checker { return newMutualChecker() }}
 }
 
 // MutualBroadcast composes the mutual order with the universal properties.
@@ -75,7 +77,7 @@ func MutualBroadcast() Spec {
 }
 
 func checkMutualOrder(t *trace.Trace) *Violation {
-	ix := trace.BuildIndex(t)
+	ix := t.Index()
 	msgs := ix.MessagesSorted()
 	for i := 0; i < len(msgs); i++ {
 		for j := i + 1; j < len(msgs); j++ {

@@ -1,0 +1,372 @@
+package spec
+
+import (
+	"fmt"
+
+	"nobroadcast/internal/model"
+)
+
+// This file holds the online checkers for the per-step specifications
+// whose batch loops translate directly: well-formedness, the universal
+// broadcast properties, the channel properties, and k-SA. Each checker's
+// Feed body is the corresponding batch loop body, so the two forms return
+// identical verdicts by construction (asserted by the differential
+// tests).
+
+// wellFormedChecker streams checkWellFormed.
+type wellFormedChecker struct {
+	n        int
+	i        int
+	v        *Violation
+	crashed  map[model.ProcID]bool
+	inFlight map[model.ProcID]model.MsgID
+	open     map[model.ProcID]bool
+}
+
+func newWellFormedChecker(n int) *wellFormedChecker {
+	return &wellFormedChecker{
+		n:        n,
+		crashed:  make(map[model.ProcID]bool),
+		inFlight: make(map[model.ProcID]model.MsgID),
+		open:     make(map[model.ProcID]bool),
+	}
+}
+
+func (c *wellFormedChecker) fail(v *Violation) *Violation { c.v = v; return v }
+
+func (c *wellFormedChecker) Feed(s model.Step) *Violation {
+	if c.v != nil {
+		return c.v
+	}
+	i := c.i
+	c.i++
+	if s.Proc < 1 || int(s.Proc) > c.n {
+		return c.fail(&Violation{Spec: "Well-Formed", Property: "Participants",
+			Detail: fmt.Sprintf("step by %v outside p1..p%d", s.Proc, c.n), StepIdx: i})
+	}
+	if c.crashed[s.Proc] {
+		return c.fail(&Violation{Spec: "Well-Formed", Property: "Crash-Finality",
+			Detail: fmt.Sprintf("%v takes a step after crashing", s.Proc), StepIdx: i})
+	}
+	switch s.Kind {
+	case model.KindCrash:
+		c.crashed[s.Proc] = true
+	case model.KindBroadcastInvoke:
+		if c.open[s.Proc] {
+			return c.fail(&Violation{Spec: "Well-Formed", Property: "Invocation-Alternation",
+				Detail: fmt.Sprintf("%v invokes B.broadcast(m%d) before returning from B.broadcast(m%d)", s.Proc, s.Msg, c.inFlight[s.Proc]), StepIdx: i})
+		}
+		c.open[s.Proc] = true
+		c.inFlight[s.Proc] = s.Msg
+	case model.KindBroadcastReturn:
+		if !c.open[s.Proc] {
+			return c.fail(&Violation{Spec: "Well-Formed", Property: "Invocation-Alternation",
+				Detail: fmt.Sprintf("%v returns from B.broadcast(m%d) without an open invocation", s.Proc, s.Msg), StepIdx: i})
+		}
+		if c.inFlight[s.Proc] != s.Msg {
+			return c.fail(&Violation{Spec: "Well-Formed", Property: "Invocation-Alternation",
+				Detail: fmt.Sprintf("%v returns from B.broadcast(m%d), but the open invocation is m%d", s.Proc, s.Msg, c.inFlight[s.Proc]), StepIdx: i})
+		}
+		c.open[s.Proc] = false
+	}
+	return nil
+}
+
+func (c *wellFormedChecker) Finish(bool) *Violation { return c.v }
+
+// crashTracker gives checkers with liveness clauses the correct set.
+type crashTracker struct {
+	n       int
+	crashed map[model.ProcID]bool
+}
+
+func newCrashTracker(n int) crashTracker {
+	return crashTracker{n: n, crashed: make(map[model.ProcID]bool)}
+}
+
+func (c *crashTracker) observe(s model.Step) {
+	if s.Kind == model.KindCrash {
+		c.crashed[s.Proc] = true
+	}
+}
+
+func (c *crashTracker) correct(p model.ProcID) bool { return !c.crashed[p] }
+
+// basicBcast is the retained per-message broadcast summary of
+// basicChecker (the streaming replacement for Index.Broadcasts).
+type basicBcast struct {
+	from     model.ProcID
+	stepIdx  int
+	returned bool
+}
+
+// basicChecker streams checkBasicBroadcast: BC-Validity and
+// BC-No-Duplication per step, the two termination clauses at Finish.
+type basicChecker struct {
+	crashTracker
+	i         int
+	v         *Violation
+	bcasts    map[model.MsgID]*basicBcast
+	payloadAt map[model.MsgID]model.Payload
+	delivered map[model.ProcID]map[model.MsgID]bool
+}
+
+func newBasicChecker(n int) *basicChecker {
+	return &basicChecker{
+		crashTracker: newCrashTracker(n),
+		bcasts:       make(map[model.MsgID]*basicBcast),
+		payloadAt:    make(map[model.MsgID]model.Payload),
+		delivered:    make(map[model.ProcID]map[model.MsgID]bool),
+	}
+}
+
+func (c *basicChecker) fail(v *Violation) *Violation { c.v = v; return v }
+
+func (c *basicChecker) Feed(s model.Step) *Violation {
+	if c.v != nil {
+		return c.v
+	}
+	i := c.i
+	c.i++
+	c.observe(s)
+	switch s.Kind {
+	case model.KindBroadcastInvoke:
+		if info, dup := c.bcasts[s.Msg]; dup {
+			return c.fail(&Violation{Spec: "Basic-Broadcast", Property: "BC-Validity",
+				Detail: fmt.Sprintf("message m%d broadcast twice (by %v and %v); broadcast messages are unique", s.Msg, info.from, s.Proc), StepIdx: i})
+		}
+		c.bcasts[s.Msg] = &basicBcast{from: s.Proc, stepIdx: i}
+		c.payloadAt[s.Msg] = s.Payload
+	case model.KindBroadcastReturn:
+		if info, ok := c.bcasts[s.Msg]; ok {
+			info.returned = true
+		}
+	case model.KindDeliver:
+		info, ok := c.bcasts[s.Msg]
+		if !ok {
+			return c.fail(&Violation{Spec: "Basic-Broadcast", Property: "BC-Validity",
+				Detail: fmt.Sprintf("%v B-delivers m%d from %v, never broadcast", s.Proc, s.Msg, s.Peer), StepIdx: i})
+		}
+		if info.from != s.Peer {
+			return c.fail(&Violation{Spec: "Basic-Broadcast", Property: "BC-Validity",
+				Detail: fmt.Sprintf("%v B-delivers m%d from %v, but m%d was broadcast by %v", s.Proc, s.Msg, s.Peer, s.Msg, info.from), StepIdx: i})
+		}
+		if got, want := s.Payload, c.payloadAt[s.Msg]; got != want {
+			return c.fail(&Violation{Spec: "Basic-Broadcast", Property: "BC-Validity",
+				Detail: fmt.Sprintf("%v B-delivers m%d with content %q, broadcast with %q", s.Proc, s.Msg, got, want), StepIdx: i})
+		}
+		dm := c.delivered[s.Proc]
+		if dm == nil {
+			dm = make(map[model.MsgID]bool)
+			c.delivered[s.Proc] = dm
+		}
+		if dm[s.Msg] {
+			return c.fail(&Violation{Spec: "Basic-Broadcast", Property: "BC-No-Duplication",
+				Detail: fmt.Sprintf("%v B-delivers m%d twice", s.Proc, s.Msg), StepIdx: i})
+		}
+		dm[s.Msg] = true
+	}
+	return nil
+}
+
+func (c *basicChecker) Finish(complete bool) *Violation {
+	if c.v != nil || !complete {
+		return c.v
+	}
+	for m, info := range c.bcasts {
+		if c.correct(info.from) && !info.returned {
+			return c.fail(&Violation{Spec: "Basic-Broadcast", Property: "BC-Local-Termination",
+				Detail: fmt.Sprintf("correct %v never returns from B.broadcast(m%d)", info.from, m), StepIdx: info.stepIdx})
+		}
+	}
+	for m, info := range c.bcasts {
+		if !c.correct(info.from) {
+			continue
+		}
+		for p := 1; p <= c.n; p++ {
+			pid := model.ProcID(p)
+			if !c.correct(pid) {
+				continue
+			}
+			if !c.delivered[pid][m] {
+				return c.fail(&Violation{Spec: "Basic-Broadcast", Property: "BC-Global-CS-Termination",
+					Detail: fmt.Sprintf("m%d broadcast by correct %v never B-delivered by correct %v", m, info.from, pid), StepIdx: -1})
+			}
+		}
+	}
+	return nil
+}
+
+// channelsChecker streams checkChannels.
+type channelsChecker struct {
+	crashTracker
+	i          int
+	v          *Violation
+	sent       map[model.MsgID]srDest
+	receivedBy map[model.MsgID]map[model.ProcID]int
+}
+
+type srDest struct {
+	from, to model.ProcID
+}
+
+func newChannelsChecker(n int) *channelsChecker {
+	return &channelsChecker{
+		crashTracker: newCrashTracker(n),
+		sent:         make(map[model.MsgID]srDest),
+		receivedBy:   make(map[model.MsgID]map[model.ProcID]int),
+	}
+}
+
+func (c *channelsChecker) fail(v *Violation) *Violation { c.v = v; return v }
+
+func (c *channelsChecker) Feed(s model.Step) *Violation {
+	if c.v != nil {
+		return c.v
+	}
+	i := c.i
+	c.i++
+	c.observe(s)
+	switch s.Kind {
+	case model.KindSend:
+		if _, dup := c.sent[s.Msg]; dup {
+			return c.fail(&Violation{Spec: "SR-Channels", Property: "SR-Validity",
+				Detail: fmt.Sprintf("message instance m%d sent twice", s.Msg), StepIdx: i})
+		}
+		c.sent[s.Msg] = srDest{from: s.Proc, to: s.Peer}
+	case model.KindReceive:
+		d, ok := c.sent[s.Msg]
+		if !ok {
+			return c.fail(&Violation{Spec: "SR-Channels", Property: "SR-Validity",
+				Detail: fmt.Sprintf("%v receives m%d from %v, never sent", s.Proc, s.Msg, s.Peer), StepIdx: i})
+		}
+		if d.from != s.Peer || d.to != s.Proc {
+			return c.fail(&Violation{Spec: "SR-Channels", Property: "SR-Validity",
+				Detail: fmt.Sprintf("%v receives m%d from %v, but m%d was sent by %v to %v", s.Proc, s.Msg, s.Peer, s.Msg, d.from, d.to), StepIdx: i})
+		}
+		m := c.receivedBy[s.Msg]
+		if m == nil {
+			m = make(map[model.ProcID]int)
+			c.receivedBy[s.Msg] = m
+		}
+		m[s.Proc]++
+		if m[s.Proc] > 1 {
+			return c.fail(&Violation{Spec: "SR-Channels", Property: "SR-No-Duplication",
+				Detail: fmt.Sprintf("%v receives m%d twice", s.Proc, s.Msg), StepIdx: i})
+		}
+	}
+	return nil
+}
+
+func (c *channelsChecker) Finish(complete bool) *Violation {
+	if c.v != nil || !complete {
+		return c.v
+	}
+	for m, d := range c.sent {
+		if !c.correct(d.to) {
+			continue
+		}
+		if c.receivedBy[m][d.to] == 0 {
+			return c.fail(&Violation{Spec: "SR-Channels", Property: "SR-Termination",
+				Detail: fmt.Sprintf("m%d sent by %v to correct %v never received", m, d.from, d.to), StepIdx: -1})
+		}
+	}
+	return nil
+}
+
+// ksaChecker streams checkKSA: the one-shot discipline, k-SA-Validity,
+// and k-SA-Agreement per step (the streaming decision tables), and
+// k-SA-Termination at Finish.
+type ksaChecker struct {
+	crashTracker
+	k              int
+	name           string
+	i              int
+	v              *Violation
+	proposed       map[model.KSAID]map[model.ProcID]model.Value
+	valuesProposed map[model.KSAID]map[model.Value]bool
+	decided        map[model.KSAID]map[model.ProcID]model.Value
+	distinct       map[model.KSAID]map[model.Value]bool
+}
+
+func newKSAChecker(n, k int) *ksaChecker {
+	return &ksaChecker{
+		crashTracker:   newCrashTracker(n),
+		k:              k,
+		name:           fmt.Sprintf("%d-SA", k),
+		proposed:       make(map[model.KSAID]map[model.ProcID]model.Value),
+		valuesProposed: make(map[model.KSAID]map[model.Value]bool),
+		decided:        make(map[model.KSAID]map[model.ProcID]model.Value),
+		distinct:       make(map[model.KSAID]map[model.Value]bool),
+	}
+}
+
+func (c *ksaChecker) fail(v *Violation) *Violation { c.v = v; return v }
+
+func (c *ksaChecker) Feed(s model.Step) *Violation {
+	if c.v != nil {
+		return c.v
+	}
+	i := c.i
+	c.i++
+	c.observe(s)
+	switch s.Kind {
+	case model.KindPropose:
+		pm := c.proposed[s.Obj]
+		if pm == nil {
+			pm = make(map[model.ProcID]model.Value)
+			c.proposed[s.Obj] = pm
+			c.valuesProposed[s.Obj] = make(map[model.Value]bool)
+		}
+		if _, dup := pm[s.Proc]; dup {
+			return c.fail(&Violation{Spec: c.name, Property: "One-Shot",
+				Detail: fmt.Sprintf("%v proposes twice on %v", s.Proc, s.Obj), StepIdx: i})
+		}
+		pm[s.Proc] = s.Val
+		c.valuesProposed[s.Obj][s.Val] = true
+	case model.KindDecide:
+		if _, ok := c.proposed[s.Obj][s.Proc]; !ok {
+			return c.fail(&Violation{Spec: c.name, Property: "k-SA-Validity",
+				Detail: fmt.Sprintf("%v decides on %v without proposing", s.Proc, s.Obj), StepIdx: i})
+		}
+		if !c.valuesProposed[s.Obj][s.Val] {
+			return c.fail(&Violation{Spec: c.name, Property: "k-SA-Validity",
+				Detail: fmt.Sprintf("%v decides %q on %v, never proposed", s.Proc, s.Val, s.Obj), StepIdx: i})
+		}
+		dm := c.decided[s.Obj]
+		if dm == nil {
+			dm = make(map[model.ProcID]model.Value)
+			c.decided[s.Obj] = dm
+			c.distinct[s.Obj] = make(map[model.Value]bool)
+		}
+		if _, dup := dm[s.Proc]; dup {
+			return c.fail(&Violation{Spec: c.name, Property: "One-Shot",
+				Detail: fmt.Sprintf("%v decides twice on %v", s.Proc, s.Obj), StepIdx: i})
+		}
+		dm[s.Proc] = s.Val
+		c.distinct[s.Obj][s.Val] = true
+		if len(c.distinct[s.Obj]) > c.k {
+			return c.fail(&Violation{Spec: c.name, Property: "k-SA-Agreement",
+				Detail: fmt.Sprintf("%d distinct values decided on %v, at most %d allowed", len(c.distinct[s.Obj]), s.Obj, c.k), StepIdx: i})
+		}
+	}
+	return nil
+}
+
+func (c *ksaChecker) Finish(complete bool) *Violation {
+	if c.v != nil || !complete {
+		return c.v
+	}
+	for obj, pm := range c.proposed {
+		for p := range pm {
+			if !c.correct(p) {
+				continue
+			}
+			if _, ok := c.decided[obj][p]; !ok {
+				return c.fail(&Violation{Spec: c.name, Property: "k-SA-Termination",
+					Detail: fmt.Sprintf("correct %v proposed on %v but never decides", p, obj), StepIdx: -1})
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,879 @@
+package spec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nobroadcast/internal/model"
+)
+
+// This file holds the online checkers for the ordering predicates of
+// Sections 1.4, 3.2 and 3.3: FIFO per-sender cursors, causal vector-clock
+// frontiers, the pairwise conflict tracker shared by Total Order / k-BO /
+// SCD / k-SCD, and the first-delivery counters of the strawman specs.
+//
+// Faithfulness note: the checkers return verdicts identical to the batch
+// predicates on every trace in which a message's broadcast precedes its
+// deliveries — which both runtimes guarantee by recording order (an
+// invocation is always recorded before any delivery it causes). The
+// conflict-based checkers additionally handle late broadcasts exactly
+// (deliveries of a not-yet-broadcast message are parked and joined to the
+// conflict graph when the broadcast arrives, matching the batch scan over
+// broadcast messages only).
+
+// fifoChecker streams checkFIFO: one cursor per (receiver, sender) pair —
+// the number of the sender's messages the receiver has delivered, which
+// must advance in broadcast order with no gaps.
+type fifoChecker struct {
+	i            int
+	v            *Violation
+	seq          map[model.MsgID]fifoSlot
+	counts       map[model.ProcID]int
+	deliveredIdx map[model.ProcID]map[model.ProcID]int
+}
+
+type fifoSlot struct {
+	from model.ProcID
+	idx  int
+}
+
+func newFIFOChecker() *fifoChecker {
+	return &fifoChecker{
+		seq:          make(map[model.MsgID]fifoSlot),
+		counts:       make(map[model.ProcID]int),
+		deliveredIdx: make(map[model.ProcID]map[model.ProcID]int),
+	}
+}
+
+func (c *fifoChecker) Feed(s model.Step) *Violation {
+	if c.v != nil {
+		return c.v
+	}
+	i := c.i
+	c.i++
+	switch s.Kind {
+	case model.KindBroadcastInvoke:
+		c.seq[s.Msg] = fifoSlot{from: s.Proc, idx: c.counts[s.Proc]}
+		c.counts[s.Proc]++
+	case model.KindDeliver:
+		sl, ok := c.seq[s.Msg]
+		if !ok {
+			return nil // BC-Validity's concern, not FIFO's
+		}
+		dm := c.deliveredIdx[s.Proc]
+		if dm == nil {
+			dm = make(map[model.ProcID]int)
+			c.deliveredIdx[s.Proc] = dm
+		}
+		if want := dm[sl.from]; sl.idx != want {
+			c.v = &Violation{Spec: "FIFO-Order", Property: "FIFO",
+				Detail: fmt.Sprintf("%v delivers m%d (message #%d of %v) but has delivered only %d of %v's earlier messages", s.Proc, s.Msg, sl.idx+1, sl.from, want, sl.from), StepIdx: i}
+			return c.v
+		}
+		dm[sl.from]++
+	}
+	return nil
+}
+
+func (c *fifoChecker) Finish(bool) *Violation { return c.v }
+
+// causalChecker streams checkCausal without materializing past sets.
+//
+// The batch predicate keeps an explicit message set per causal past —
+// O(M²) memory. The streaming form exploits that causal pasts are
+// per-sender prefix-closed: a process's causal history restricted to one
+// sender's broadcasts is always a prefix of that sender's broadcast
+// sequence (by induction — histories grow by unioning snapshots that are
+// themselves prefix-shaped, plus the next own broadcast). A past is then
+// a vector clock (one prefix length per sender), and the delivery check
+// compares the vector against the receiver's delivered-prefix frontier,
+// consulting the out-of-order buffer for the gap. Deliveries of
+// never-broadcast messages (possible only on BC-invalid traces) carry no
+// vector and are tracked in explicit side sets, preserving the batch
+// verdict there too.
+type causalChecker struct {
+	i    int
+	v    *Violation
+	bseq map[model.ProcID][]model.MsgID
+	meta map[model.MsgID]*causalMsg
+	// hist[p][q] = length of the prefix of q's broadcasts in p's causal
+	// history; histUnknown[p] = never-broadcast messages in that history.
+	hist        map[model.ProcID]map[model.ProcID]int
+	histUnknown map[model.ProcID]map[model.MsgID]bool
+	// prefix[p][q] = length of the contiguous prefix of q's broadcasts p
+	// has delivered; ooo[p][q] = delivered broadcast ordinals beyond it.
+	prefix           map[model.ProcID]map[model.ProcID]int
+	ooo              map[model.ProcID]map[model.ProcID]map[int]bool
+	deliveredUnknown map[model.ProcID]map[model.MsgID]bool
+}
+
+type causalMsg struct {
+	sender  model.ProcID
+	seq     int
+	vc      map[model.ProcID]int
+	unknown []model.MsgID
+}
+
+func newCausalChecker() *causalChecker {
+	return &causalChecker{
+		bseq:             make(map[model.ProcID][]model.MsgID),
+		meta:             make(map[model.MsgID]*causalMsg),
+		hist:             make(map[model.ProcID]map[model.ProcID]int),
+		histUnknown:      make(map[model.ProcID]map[model.MsgID]bool),
+		prefix:           make(map[model.ProcID]map[model.ProcID]int),
+		ooo:              make(map[model.ProcID]map[model.ProcID]map[int]bool),
+		deliveredUnknown: make(map[model.ProcID]map[model.MsgID]bool),
+	}
+}
+
+func (c *causalChecker) hasDelivered(p model.ProcID, m model.MsgID) bool {
+	if c.deliveredUnknown[p][m] {
+		return true
+	}
+	mm := c.meta[m]
+	if mm == nil {
+		return false
+	}
+	if mm.seq < c.prefix[p][mm.sender] {
+		return true
+	}
+	return c.ooo[p][mm.sender][mm.seq]
+}
+
+func (c *causalChecker) Feed(s model.Step) *Violation {
+	if c.v != nil {
+		return c.v
+	}
+	i := c.i
+	c.i++
+	switch s.Kind {
+	case model.KindBroadcastInvoke:
+		p := s.Proc
+		seq := len(c.bseq[p])
+		vc := make(map[model.ProcID]int, len(c.hist[p]))
+		for q, l := range c.hist[p] {
+			vc[q] = l
+		}
+		var unk []model.MsgID
+		for m := range c.histUnknown[p] {
+			unk = append(unk, m)
+		}
+		c.meta[s.Msg] = &causalMsg{sender: p, seq: seq, vc: vc, unknown: unk}
+		c.bseq[p] = append(c.bseq[p], s.Msg)
+		if c.hist[p] == nil {
+			c.hist[p] = make(map[model.ProcID]int)
+		}
+		c.hist[p][p] = seq + 1
+	case model.KindDeliver:
+		p := s.Proc
+		mm := c.meta[s.Msg]
+		if mm == nil {
+			// Never broadcast: no causal past to check (matching the
+			// batch predicate); it still joins p's delivered set and
+			// causal history.
+			if c.deliveredUnknown[p] == nil {
+				c.deliveredUnknown[p] = make(map[model.MsgID]bool)
+			}
+			c.deliveredUnknown[p][s.Msg] = true
+			if c.histUnknown[p] == nil {
+				c.histUnknown[p] = make(map[model.MsgID]bool)
+			}
+			c.histUnknown[p][s.Msg] = true
+			return nil
+		}
+		// Every message in m's causal past must already be delivered at p.
+		pre := c.prefix[p]
+		for q, need := range mm.vc {
+			from := pre[q]
+			for j := from; j < need; j++ {
+				if !c.ooo[p][q][j] {
+					c.v = &Violation{Spec: "Causal-Order", Property: "Causal",
+						Detail: fmt.Sprintf("%v delivers m%d before its causal predecessor m%d", p, s.Msg, c.bseq[q][j]), StepIdx: i}
+					return c.v
+				}
+			}
+		}
+		for _, u := range mm.unknown {
+			if !c.hasDelivered(p, u) {
+				c.v = &Violation{Spec: "Causal-Order", Property: "Causal",
+					Detail: fmt.Sprintf("%v delivers m%d before its causal predecessor m%d", p, s.Msg, u), StepIdx: i}
+				return c.v
+			}
+		}
+		// Record the delivery in the prefix/out-of-order structure.
+		if pre == nil {
+			pre = make(map[model.ProcID]int)
+			c.prefix[p] = pre
+		}
+		switch {
+		case mm.seq == pre[mm.sender]:
+			pre[mm.sender]++
+			buf := c.ooo[p][mm.sender]
+			for buf[pre[mm.sender]] {
+				delete(buf, pre[mm.sender])
+				pre[mm.sender]++
+			}
+		case mm.seq > pre[mm.sender]:
+			if c.ooo[p] == nil {
+				c.ooo[p] = make(map[model.ProcID]map[int]bool)
+			}
+			if c.ooo[p][mm.sender] == nil {
+				c.ooo[p][mm.sender] = make(map[int]bool)
+			}
+			c.ooo[p][mm.sender][mm.seq] = true
+		}
+		// The delivered message and its past join p's causal history.
+		h := c.hist[p]
+		if h == nil {
+			h = make(map[model.ProcID]int)
+			c.hist[p] = h
+		}
+		for q, l := range mm.vc {
+			if l > h[q] {
+				h[q] = l
+			}
+		}
+		if mm.seq+1 > h[mm.sender] {
+			h[mm.sender] = mm.seq + 1
+		}
+		if len(mm.unknown) > 0 {
+			if c.histUnknown[p] == nil {
+				c.histUnknown[p] = make(map[model.MsgID]bool)
+			}
+			for _, u := range mm.unknown {
+				c.histUnknown[p][u] = true
+			}
+		}
+	}
+	return nil
+}
+
+func (c *causalChecker) Finish(bool) *Violation { return c.v }
+
+// orderTracker maintains the per-process order key of each first delivery
+// and, per process pair, the list of messages both have delivered. When a
+// message becomes common to a pair, one linear scan over the pair's
+// previously-common messages finds every newly-created opposite-order
+// conflict — the online replacement for the batch all-pairs scan.
+type orderTracker struct {
+	n      int
+	pos    []map[model.MsgID]int
+	common map[pairPQ][]model.MsgID
+}
+
+type pairPQ struct{ p, q model.ProcID }
+
+func newOrderTracker(n int) *orderTracker {
+	t := &orderTracker{n: n, pos: make([]map[model.MsgID]int, n+1), common: make(map[pairPQ][]model.MsgID)}
+	for p := 1; p <= n; p++ {
+		t.pos[p] = make(map[model.MsgID]int)
+	}
+	return t
+}
+
+// observe registers the first delivery of m by p with the given order key
+// and returns the conflicts it creates. Keys are compared strictly, so
+// equal keys (messages in the same delivered set, SCD mode) conflict with
+// nothing — matching the batch predicates.
+func (t *orderTracker) observe(p model.ProcID, m model.MsgID, key int) []conflict {
+	t.pos[p][m] = key
+	var out []conflict
+	for qn := 1; qn <= t.n; qn++ {
+		q := model.ProcID(qn)
+		if q == p {
+			continue
+		}
+		kq, ok := t.pos[q][m]
+		if !ok {
+			continue
+		}
+		pk := pairPQ{p, q}
+		if q < p {
+			pk = pairPQ{q, p}
+		}
+		for _, prev := range t.common[pk] {
+			dp := key - t.pos[p][prev]
+			dq := kq - t.pos[q][prev]
+			switch {
+			case dp > 0 && dq < 0: // prev before m at p, m before prev at q
+				out = append(out, conflict{a: prev, b: m, p: p, q: q})
+			case dp < 0 && dq > 0:
+				out = append(out, conflict{a: m, b: prev, p: p, q: q})
+			}
+		}
+		t.common[pk] = append(t.common[pk], m)
+	}
+	return out
+}
+
+// conflictStream adapts a step stream to orderTracker.observe calls: it
+// assigns order keys (delivery positions, or delivered-set ordinals in
+// SCD mode), deduplicates to first deliveries, and parks deliveries of
+// not-yet-broadcast messages until the broadcast arrives — the batch
+// predicates scan broadcast messages only, so conflicts involving a
+// message only exist once it is broadcast.
+type conflictStream struct {
+	n   int
+	trk *orderTracker
+	// scd selects delivered-set ordinal keys (batchIndex semantics: the
+	// ordinal advances on every delivery whose Batch tag is zero or
+	// differs from the previous delivery's).
+	scd            bool
+	dcount         []int
+	curBatch       []int64
+	ord            []int
+	seen           []map[model.MsgID]bool
+	known          map[model.MsgID]bool
+	pendingUnknown map[model.MsgID]map[model.ProcID]int
+}
+
+func newConflictStream(n int, scd bool) *conflictStream {
+	f := &conflictStream{
+		n:              n,
+		trk:            newOrderTracker(n),
+		scd:            scd,
+		dcount:         make([]int, n+1),
+		curBatch:       make([]int64, n+1),
+		ord:            make([]int, n+1),
+		seen:           make([]map[model.MsgID]bool, n+1),
+		known:          make(map[model.MsgID]bool),
+		pendingUnknown: make(map[model.MsgID]map[model.ProcID]int),
+	}
+	for p := 1; p <= n; p++ {
+		f.seen[p] = make(map[model.MsgID]bool)
+	}
+	return f
+}
+
+// step consumes one step and returns the new conflicts it creates.
+func (f *conflictStream) step(s model.Step) []conflict {
+	switch s.Kind {
+	case model.KindBroadcastInvoke:
+		if f.known[s.Msg] {
+			return nil
+		}
+		f.known[s.Msg] = true
+		pu := f.pendingUnknown[s.Msg]
+		if pu == nil {
+			return nil
+		}
+		delete(f.pendingUnknown, s.Msg)
+		procs := make([]model.ProcID, 0, len(pu))
+		for p := range pu {
+			procs = append(procs, p)
+		}
+		sort.Slice(procs, func(i, j int) bool { return procs[i] < procs[j] })
+		var out []conflict
+		for _, p := range procs {
+			out = append(out, f.trk.observe(p, s.Msg, pu[p])...)
+		}
+		return out
+	case model.KindDeliver:
+		p := s.Proc
+		if p < 1 || int(p) > f.n {
+			return nil // outside p1..pn: the batch pair scan ignores it
+		}
+		var key int
+		if f.scd {
+			if s.Batch == 0 || s.Batch != f.curBatch[p] {
+				f.ord[p]++
+				f.curBatch[p] = s.Batch
+			}
+			key = f.ord[p]
+		} else {
+			key = f.dcount[p]
+			f.dcount[p]++
+		}
+		if f.seen[p][s.Msg] {
+			return nil
+		}
+		f.seen[p][s.Msg] = true
+		if !f.known[s.Msg] {
+			pu := f.pendingUnknown[s.Msg]
+			if pu == nil {
+				pu = make(map[model.ProcID]int)
+				f.pendingUnknown[s.Msg] = pu
+			}
+			pu[p] = key
+			return nil
+		}
+		return f.trk.observe(p, s.Msg, key)
+	}
+	return nil
+}
+
+// totalOrderChecker rejects on the first opposite-order conflict.
+type totalOrderChecker struct {
+	i  int
+	v  *Violation
+	cs *conflictStream
+}
+
+func newTotalOrderChecker(n int) *totalOrderChecker {
+	return &totalOrderChecker{cs: newConflictStream(n, false)}
+}
+
+func (c *totalOrderChecker) Feed(s model.Step) *Violation {
+	if c.v != nil {
+		return c.v
+	}
+	i := c.i
+	c.i++
+	if cf := c.cs.step(s); len(cf) > 0 {
+		x := cf[0]
+		c.v = &Violation{Spec: "Total-Order", Property: "Total-Order",
+			Detail: fmt.Sprintf("%v delivers m%d before m%d but %v delivers m%d before m%d", x.p, x.a, x.b, x.q, x.b, x.a), StepIdx: i}
+	}
+	return c.v
+}
+
+func (c *totalOrderChecker) Finish(bool) *Violation { return c.v }
+
+// cliqueChecker is the shared streaming core of k-BO and k-SCD: it
+// accumulates conflict edges and, on each new edge, searches for a
+// (k+1)-clique containing that edge among the endpoints' common
+// neighbors, under the shared exploration budget.
+type cliqueChecker struct {
+	name     string
+	property string
+	detail   string // wording after the clique list
+	k        int
+	i        int
+	v        *Violation
+	cs       *conflictStream
+	adj      map[model.MsgID]map[model.MsgID]bool
+	budget   int
+}
+
+func newCliqueChecker(n, k int, scd bool, name, property, detail string, budget int) *cliqueChecker {
+	return &cliqueChecker{
+		name:     name,
+		property: property,
+		detail:   detail,
+		k:        k,
+		cs:       newConflictStream(n, scd),
+		adj:      make(map[model.MsgID]map[model.MsgID]bool),
+		budget:   budget,
+	}
+}
+
+func (c *cliqueChecker) Feed(s model.Step) *Violation {
+	if c.v != nil {
+		return c.v
+	}
+	i := c.i
+	c.i++
+	for _, cf := range c.cs.step(s) {
+		if c.adj[cf.a][cf.b] {
+			continue
+		}
+		linkConflict(c.adj, cf.a, cf.b)
+		// A (k+1)-clique through the new edge needs a (k-1)-clique among
+		// the edge's common neighbors.
+		var cands []model.MsgID
+		for m := range c.adj[cf.a] {
+			if m != cf.b && c.adj[cf.b][m] {
+				cands = append(cands, m)
+			}
+		}
+		sort.Slice(cands, func(x, y int) bool { return cands[x] < cands[y] })
+		clique, exceeded := findCliqueBudget(cands, c.adj, c.k+1-2, &c.budget)
+		if exceeded {
+			c.v = cliqueBudgetViolation(c.name, i)
+			return c.v
+		}
+		if clique == nil {
+			continue
+		}
+		full := append([]model.MsgID{cf.a, cf.b}, clique...)
+		sort.Slice(full, func(x, y int) bool { return full[x] < full[y] })
+		parts := make([]string, len(full))
+		for j, m := range full {
+			parts[j] = fmt.Sprintf("m%d", m)
+		}
+		c.v = &Violation{Spec: c.name, Property: c.property,
+			Detail: fmt.Sprintf("messages {%s} %s", strings.Join(parts, ","), fmt.Sprintf(c.detail, c.k+1)), StepIdx: i}
+		return c.v
+	}
+	return nil
+}
+
+func (c *cliqueChecker) Finish(bool) *Violation { return c.v }
+
+func linkConflict(adj map[model.MsgID]map[model.MsgID]bool, a, b model.MsgID) {
+	if adj[a] == nil {
+		adj[a] = make(map[model.MsgID]bool)
+	}
+	if adj[b] == nil {
+		adj[b] = make(map[model.MsgID]bool)
+	}
+	adj[a][b] = true
+	adj[b][a] = true
+}
+
+// firstKChecker counts distinct first-delivered messages.
+type firstKChecker struct {
+	name      string
+	k, n      int
+	i         int
+	v         *Violation
+	firstSeen []bool
+	firsts    map[model.MsgID]bool
+}
+
+func newFirstKChecker(n, k int) *firstKChecker {
+	return &firstKChecker{
+		name:      fmt.Sprintf("First-%d-Order", k),
+		k:         k,
+		n:         n,
+		firstSeen: make([]bool, n+1),
+		firsts:    make(map[model.MsgID]bool),
+	}
+}
+
+func (c *firstKChecker) Feed(s model.Step) *Violation {
+	if c.v != nil {
+		return c.v
+	}
+	i := c.i
+	c.i++
+	if s.Kind != model.KindDeliver || s.Proc < 1 || int(s.Proc) > c.n {
+		return nil
+	}
+	if c.firstSeen[s.Proc] {
+		return nil
+	}
+	c.firstSeen[s.Proc] = true
+	c.firsts[s.Msg] = true
+	if len(c.firsts) > c.k {
+		c.v = &Violation{Spec: c.name, Property: "First-k",
+			Detail: fmt.Sprintf("%d distinct messages delivered first, at most %d allowed", len(c.firsts), c.k), StepIdx: i}
+	}
+	return c.v
+}
+
+func (c *firstKChecker) Finish(bool) *Violation { return c.v }
+
+// ksteppedChecker tracks, per broadcast ordinal a, the size of the group
+// S_a and the set of S_a messages delivered first-within-S_a by some
+// process. Both counts only grow, so the latched verdict equals the batch
+// verdict on every trace where broadcasts precede deliveries.
+type ksteppedChecker struct {
+	name        string
+	k, n        int
+	i           int
+	v           *Violation
+	bcount      []int
+	groupOf     map[model.MsgID]int
+	groupSize   map[int]int
+	firstSa     []map[int]bool
+	groupFirsts map[int]map[model.MsgID]bool
+}
+
+func newKSteppedChecker(n, k int) *ksteppedChecker {
+	c := &ksteppedChecker{
+		name:        fmt.Sprintf("%d-Stepped-Order", k),
+		k:           k,
+		n:           n,
+		bcount:      make([]int, n+1),
+		groupOf:     make(map[model.MsgID]int),
+		groupSize:   make(map[int]int),
+		firstSa:     make([]map[int]bool, n+1),
+		groupFirsts: make(map[int]map[model.MsgID]bool),
+	}
+	for p := 1; p <= n; p++ {
+		c.firstSa[p] = make(map[int]bool)
+	}
+	return c
+}
+
+func (c *ksteppedChecker) check(a, i int) *Violation {
+	if c.groupSize[a] <= c.k || len(c.groupFirsts[a]) <= c.k {
+		return nil
+	}
+	c.v = &Violation{Spec: c.name, Property: "k-Stepped",
+		Detail: fmt.Sprintf("step %d: %d distinct messages of S_%d delivered first within S_%d, at most %d allowed", a+1, len(c.groupFirsts[a]), a+1, a+1, c.k), StepIdx: i}
+	return c.v
+}
+
+func (c *ksteppedChecker) Feed(s model.Step) *Violation {
+	if c.v != nil {
+		return c.v
+	}
+	i := c.i
+	c.i++
+	switch s.Kind {
+	case model.KindBroadcastInvoke:
+		if s.Proc < 1 || int(s.Proc) > c.n {
+			return nil
+		}
+		if _, dup := c.groupOf[s.Msg]; dup {
+			return nil
+		}
+		a := c.bcount[s.Proc]
+		c.bcount[s.Proc]++
+		c.groupOf[s.Msg] = a
+		c.groupSize[a]++
+		return c.check(a, i)
+	case model.KindDeliver:
+		if s.Proc < 1 || int(s.Proc) > c.n {
+			return nil
+		}
+		a, ok := c.groupOf[s.Msg]
+		if !ok {
+			return nil
+		}
+		if c.firstSa[s.Proc][a] {
+			return nil
+		}
+		c.firstSa[s.Proc][a] = true
+		if c.groupFirsts[a] == nil {
+			c.groupFirsts[a] = make(map[model.MsgID]bool)
+		}
+		c.groupFirsts[a][s.Msg] = true
+		return c.check(a, i)
+	}
+	return nil
+}
+
+func (c *ksteppedChecker) Finish(bool) *Violation { return c.v }
+
+// saTaggedChecker counts, per k-SA identifier, the distinct SA-tagged
+// messages delivered first-among-tagged by some process.
+type saTaggedChecker struct {
+	name    string
+	k, n    int
+	i       int
+	v       *Violation
+	bseen   map[model.MsgID]bool
+	tagged  map[model.MsgID]model.KSAID
+	seenObj []map[model.KSAID]bool
+	firsts  map[model.KSAID]map[model.MsgID]bool
+}
+
+func newSATaggedChecker(n, k int) *saTaggedChecker {
+	c := &saTaggedChecker{
+		name:    fmt.Sprintf("SA-Tagged-%d-Order", k),
+		k:       k,
+		n:       n,
+		bseen:   make(map[model.MsgID]bool),
+		tagged:  make(map[model.MsgID]model.KSAID),
+		seenObj: make([]map[model.KSAID]bool, n+1),
+		firsts:  make(map[model.KSAID]map[model.MsgID]bool),
+	}
+	for p := 1; p <= n; p++ {
+		c.seenObj[p] = make(map[model.KSAID]bool)
+	}
+	return c
+}
+
+func (c *saTaggedChecker) Feed(s model.Step) *Violation {
+	if c.v != nil {
+		return c.v
+	}
+	i := c.i
+	c.i++
+	switch s.Kind {
+	case model.KindBroadcastInvoke:
+		if c.bseen[s.Msg] {
+			return nil
+		}
+		c.bseen[s.Msg] = true
+		if obj, _, ok := ParseSATag(s.Payload); ok {
+			c.tagged[s.Msg] = obj
+		}
+	case model.KindDeliver:
+		if s.Proc < 1 || int(s.Proc) > c.n {
+			return nil
+		}
+		obj, ok := c.tagged[s.Msg]
+		if !ok {
+			return nil
+		}
+		if c.seenObj[s.Proc][obj] {
+			return nil
+		}
+		c.seenObj[s.Proc][obj] = true
+		if c.firsts[obj] == nil {
+			c.firsts[obj] = make(map[model.MsgID]bool)
+		}
+		c.firsts[obj][s.Msg] = true
+		if len(c.firsts[obj]) > c.k {
+			c.v = &Violation{Spec: c.name, Property: "SA-Tagged-First-k",
+				Detail: fmt.Sprintf("%v: %d distinct SA-tagged messages delivered first, at most %d allowed", obj, len(c.firsts[obj]), c.k), StepIdx: i}
+		}
+	}
+	return c.v
+}
+
+func (c *saTaggedChecker) Finish(bool) *Violation { return c.v }
+
+// mutualChecker detects mutual invisibility online: when a process r
+// delivers a message x broadcast by w ≠ r, the delivery can only complete
+// the forbidden four-delivery pattern if r already delivered one of its
+// own messages o while w delivered its own x strictly before o — a scan
+// over r's own-delivered list against w's positions. A message delivered
+// before its broadcast is seen carries no attribution yet; the broadcast,
+// when it arrives, re-runs the same scan retroactively (delivs remembers
+// who first-delivered each message), so late broadcasts cannot hide a
+// completed pattern.
+type mutualChecker struct {
+	i       int
+	v       *Violation
+	bcaster map[model.MsgID]model.ProcID
+	dcount  map[model.ProcID]int
+	pos     map[model.ProcID]map[model.MsgID]int
+	own     map[model.ProcID][]model.MsgID
+	delivs  map[model.MsgID][]model.ProcID
+}
+
+func newMutualChecker() *mutualChecker {
+	return &mutualChecker{
+		bcaster: make(map[model.MsgID]model.ProcID),
+		dcount:  make(map[model.ProcID]int),
+		pos:     make(map[model.ProcID]map[model.MsgID]int),
+		own:     make(map[model.ProcID][]model.MsgID),
+		delivs:  make(map[model.MsgID][]model.ProcID),
+	}
+}
+
+func (c *mutualChecker) Feed(s model.Step) *Violation {
+	if c.v != nil {
+		return c.v
+	}
+	i := c.i
+	c.i++
+	switch s.Kind {
+	case model.KindBroadcastInvoke:
+		w, x := s.Proc, s.Msg
+		if _, dup := c.bcaster[x]; dup {
+			break
+		}
+		c.bcaster[x] = w
+		wx, ok := c.pos[w][x]
+		if !ok {
+			break // w has not delivered x; no pattern can involve x yet
+		}
+		// x was delivered before this broadcast attributed it: it is now
+		// one of w's own messages, and every earlier foreign delivery of x
+		// skipped its pattern scan — repeat it here.
+		c.own[w] = append(c.own[w], x)
+		for _, r := range c.delivs[x] {
+			if r == w {
+				continue
+			}
+			rx := c.pos[r][x]
+			for _, o := range c.own[r] {
+				ro := c.pos[r][o]
+				if wo, ok2 := c.pos[w][o]; ok2 && ro < rx && wx < wo {
+					c.v = &Violation{Spec: "Mutual-Order", Property: "Mutual",
+						Detail: fmt.Sprintf("%v delivers its own m%d before m%d, and %v delivers its own m%d before m%d: the two broadcasts are mutually invisible", r, o, x, w, x, o), StepIdx: i}
+					return c.v
+				}
+			}
+		}
+	case model.KindDeliver:
+		r, x := s.Proc, s.Msg
+		key := c.dcount[r]
+		c.dcount[r]++
+		pm := c.pos[r]
+		if pm == nil {
+			pm = make(map[model.MsgID]int)
+			c.pos[r] = pm
+		}
+		if _, dup := pm[x]; dup {
+			return nil
+		}
+		w, known := c.bcaster[x]
+		if known && w != r {
+			wpos := c.pos[w]
+			if wx, ok := wpos[x]; ok { // w delivered its own x already
+				for _, o := range c.own[r] {
+					if wo, ok2 := wpos[o]; ok2 && wx < wo {
+						c.v = &Violation{Spec: "Mutual-Order", Property: "Mutual",
+							Detail: fmt.Sprintf("%v delivers its own m%d before m%d, and %v delivers its own m%d before m%d: the two broadcasts are mutually invisible", r, o, x, w, x, o), StepIdx: i}
+						return c.v
+					}
+				}
+			}
+		}
+		pm[x] = key
+		c.delivs[x] = append(c.delivs[x], r)
+		if known && w == r {
+			c.own[r] = append(c.own[r], x)
+		}
+	}
+	return nil
+}
+
+func (c *mutualChecker) Finish(bool) *Violation { return c.v }
+
+// uniformChecker evaluates BC-Uniform-Termination at Finish from the
+// retained delivered-by tables.
+type uniformChecker struct {
+	crashTracker
+	i           int
+	v           *Violation
+	bcast       map[model.MsgID]bool
+	deliveredBy map[model.MsgID]model.ProcID
+	delivered   map[model.ProcID]map[model.MsgID]bool
+}
+
+func newUniformChecker(n int) *uniformChecker {
+	return &uniformChecker{
+		crashTracker: newCrashTracker(n),
+		bcast:        make(map[model.MsgID]bool),
+		deliveredBy:  make(map[model.MsgID]model.ProcID),
+		delivered:    make(map[model.ProcID]map[model.MsgID]bool),
+	}
+}
+
+func (c *uniformChecker) Feed(s model.Step) *Violation {
+	if c.v != nil {
+		return c.v
+	}
+	c.i++
+	c.observe(s)
+	switch s.Kind {
+	case model.KindBroadcastInvoke:
+		c.bcast[s.Msg] = true
+	case model.KindDeliver:
+		if s.Proc >= 1 && int(s.Proc) <= c.n {
+			if _, ok := c.deliveredBy[s.Msg]; !ok {
+				c.deliveredBy[s.Msg] = s.Proc
+			}
+			dm := c.delivered[s.Proc]
+			if dm == nil {
+				dm = make(map[model.MsgID]bool)
+				c.delivered[s.Proc] = dm
+			}
+			dm[s.Msg] = true
+		}
+	}
+	return nil
+}
+
+func (c *uniformChecker) Finish(complete bool) *Violation {
+	if c.v != nil || !complete {
+		return c.v
+	}
+	for m := range c.bcast {
+		by, ok := c.deliveredBy[m]
+		if !ok {
+			continue
+		}
+		for pn := 1; pn <= c.n; pn++ {
+			pid := model.ProcID(pn)
+			if !c.correct(pid) {
+				continue
+			}
+			if !c.delivered[pid][m] {
+				c.v = &Violation{Spec: "Uniform-Reliable-Broadcast", Property: "BC-Uniform-Termination",
+					Detail: fmt.Sprintf("m%d was B-delivered by %v but correct %v never B-delivers it", m, by, pid), StepIdx: -1}
+				return c.v
+			}
+		}
+	}
+	return nil
+}

@@ -17,7 +17,8 @@ import (
 // FIFOOrder checks FIFO delivery: if a process broadcasts m before m', no
 // process delivers m' without having delivered m first.
 func FIFOOrder() Spec {
-	return Func{SpecName: "FIFO-Order", CheckFn: checkFIFO}
+	return streamSpec{name: "FIFO-Order", batch: checkFIFO,
+		mk: func(int) Checker { return newFIFOChecker() }}
 }
 
 // FIFOBroadcast is FIFO order plus the universal broadcast properties.
@@ -69,7 +70,8 @@ func checkFIFO(t *trace.Trace) *Violation {
 // Happened-before is the transitive closure of (a) local broadcast order
 // and (b) delivering m before broadcasting m'.
 func CausalOrder() Spec {
-	return Func{SpecName: "Causal-Order", CheckFn: checkCausal}
+	return streamSpec{name: "Causal-Order", batch: checkCausal,
+		mk: func(int) Checker { return newCausalChecker() }}
 }
 
 // CausalBroadcast is causal order plus the universal broadcast properties.
@@ -134,14 +136,17 @@ func checkCausal(t *trace.Trace) *Violation {
 // two messages in opposite orders. This is the safety core of Total Order
 // Broadcast, the abstraction computationally equivalent to consensus [7].
 func TotalOrder() Spec {
-	return Func{SpecName: "Total-Order", CheckFn: func(t *trace.Trace) *Violation {
-		ix := trace.BuildIndex(t)
-		if a, b, p, q := findConflict(t.X.N, ix); a != model.NoMsg {
-			return &Violation{Spec: "Total-Order", Property: "Total-Order",
-				Detail: fmt.Sprintf("%v delivers m%d before m%d but %v delivers m%d before m%d", p, a, b, q, b, a), StepIdx: -1}
-		}
-		return nil
-	}}
+	return streamSpec{name: "Total-Order", batch: checkTotalOrder,
+		mk: func(n int) Checker { return newTotalOrderChecker(n) }}
+}
+
+func checkTotalOrder(t *trace.Trace) *Violation {
+	ix := t.Index()
+	if a, b, p, q := findConflict(t.X.N, ix); a != model.NoMsg {
+		return &Violation{Spec: "Total-Order", Property: "Total-Order",
+			Detail: fmt.Sprintf("%v delivers m%d before m%d but %v delivers m%d before m%d", p, a, b, q, b, a), StepIdx: -1}
+	}
+	return nil
 }
 
 // TotalOrderBroadcast is total order plus the universal properties.
@@ -209,9 +214,13 @@ func conflictPairs(n int, ix *trace.Index, limit int) []conflict {
 // processes) — a (k+1)-clique in the conflict graph. Conflicts are
 // irreparable, so the check is prefix-safe.
 func KBOOrder(k int) Spec {
-	return Func{
-		SpecName: fmt.Sprintf("%d-BO-Order", k),
-		CheckFn:  func(t *trace.Trace) *Violation { return checkKBO(t, k) },
+	name := fmt.Sprintf("%d-BO-Order", k)
+	return streamSpec{
+		name:  name,
+		batch: func(t *trace.Trace) *Violation { return checkKBO(t, k) },
+		mk: func(n int) Checker {
+			return newCliqueChecker(n, k, false, name, "k-Bounded-Order", kboCliqueDetail, DefaultCliqueBudget)
+		},
 	}
 }
 
@@ -220,9 +229,16 @@ func KBOBroadcast(k int) Spec {
 	return All(fmt.Sprintf("%d-BO-Broadcast", k), BasicBroadcast(), KBOOrder(k))
 }
 
+// kboCliqueDetail and kscdCliqueDetail are the per-spec wording after the
+// clique list in a violation Detail ("%d" is the clique size k+1).
+const (
+	kboCliqueDetail  = "are pairwise delivered in opposite orders by some processes; every set of %d messages must contain a commonly-ordered pair"
+	kscdCliqueDetail = "are pairwise delivered in strictly opposite set orders; every set of %d messages must contain a commonly set-ordered pair"
+)
+
 func checkKBO(t *trace.Trace, k int) *Violation {
 	name := fmt.Sprintf("%d-BO-Order", k)
-	ix := trace.BuildIndex(t)
+	ix := t.Index()
 	pairs := conflictPairs(t.X.N, ix, 0)
 	if len(pairs) == 0 {
 		return nil
@@ -243,31 +259,73 @@ func checkKBO(t *trace.Trace, k int) *Violation {
 		nodes = append(nodes, m)
 	}
 	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
-	if clique := findClique(nodes, adj, k+1); clique != nil {
+	budget := DefaultCliqueBudget
+	clique, exceeded := findCliqueBudget(nodes, adj, k+1, &budget)
+	if exceeded {
+		return cliqueBudgetViolation(name, -1)
+	}
+	if clique != nil {
 		parts := make([]string, len(clique))
 		for i, m := range clique {
 			parts[i] = fmt.Sprintf("m%d", m)
 		}
 		return &Violation{Spec: name, Property: "k-Bounded-Order",
-			Detail: fmt.Sprintf("messages {%s} are pairwise delivered in opposite orders by some processes; every set of %d messages must contain a commonly-ordered pair", strings.Join(parts, ","), k+1), StepIdx: -1}
+			Detail: fmt.Sprintf("messages {%s} %s", strings.Join(parts, ","), fmt.Sprintf(kboCliqueDetail, k+1)), StepIdx: -1}
 	}
 	return nil
 }
 
+// DefaultCliqueBudget bounds the branch-and-bound clique search (in
+// candidate-node expansions). Clique is NP-hard in general; an adversarial
+// trace could otherwise drive the k-BO / k-SCD check super-polynomial
+// silently. Conflict graphs of recorded executions are tiny, so the
+// budget is far beyond anything a legitimate check needs.
+const DefaultCliqueBudget = 1 << 20
+
+// cliqueBudgetViolation is the distinct verdict returned when the search
+// exhausts its budget: the trace is rejected as unverifiable rather than
+// silently accepted or searched without bound.
+func cliqueBudgetViolation(name string, stepIdx int) *Violation {
+	return &Violation{Spec: name, Property: PropCliqueBudget,
+		Detail: fmt.Sprintf("conflict-graph clique search exceeded the %d-node exploration budget; trace rejected as unverifiable", DefaultCliqueBudget), StepIdx: stepIdx}
+}
+
+// PropCliqueBudget is the Property of a budget-exceeded violation.
+const PropCliqueBudget = "Clique-Search-Budget"
+
 // findClique searches for a clique of the requested size in the conflict
 // graph, using a simple branch-and-bound over nodes in increasing id
-// order. Conflict graphs of recorded executions are small and sparse; this
-// is exact, not approximate.
+// order. This is exact, not approximate; findCliqueBudget bounds the
+// search and reports exhaustion distinctly.
 func findClique(nodes []model.MsgID, adj map[model.MsgID]map[model.MsgID]bool, size int) []model.MsgID {
+	budget := DefaultCliqueBudget
+	clique, _ := findCliqueBudget(nodes, adj, size, &budget)
+	return clique
+}
+
+// findCliqueBudget is findClique under an explicit expansion budget. Every
+// candidate node considered decrements *budget; when it runs out the
+// search stops and exceeded is true (the clique result is then
+// meaningless). The budget is a pointer so incremental callers can spread
+// one budget across many searches.
+func findCliqueBudget(nodes []model.MsgID, adj map[model.MsgID]map[model.MsgID]bool, size int, budget *int) (clique []model.MsgID, exceeded bool) {
 	var cur []model.MsgID
 	var rec func(start int) []model.MsgID
 	rec = func(start int) []model.MsgID {
+		if exceeded {
+			return nil
+		}
 		if len(cur) == size {
 			out := make([]model.MsgID, size)
 			copy(out, cur)
 			return out
 		}
 		for i := start; i < len(nodes); i++ {
+			if *budget <= 0 {
+				exceeded = true
+				return nil
+			}
+			*budget--
 			if len(cur)+(len(nodes)-i) < size {
 				return nil // not enough nodes left
 			}
@@ -290,7 +348,7 @@ func findClique(nodes []model.MsgID, adj map[model.MsgID]map[model.MsgID]bool, s
 		}
 		return nil
 	}
-	return rec(0)
+	return rec(0), exceeded
 }
 
 // FirstKOrder checks the "simplistic" one-shot ordering property of
@@ -299,23 +357,26 @@ func findClique(nodes []model.MsgID, adj map[model.MsgID]map[model.MsgID]bool, s
 // equivalent to one instance of k-SA, is content-neutral but NOT
 // compositional; the symmetry testers demonstrate it.
 func FirstKOrder(k int) Spec {
-	return Func{
-		SpecName: fmt.Sprintf("First-%d-Order", k),
-		CheckFn: func(t *trace.Trace) *Violation {
-			ix := trace.BuildIndex(t)
-			firsts := make(map[model.MsgID]bool)
-			for pn := 1; pn <= t.X.N; pn++ {
-				if ds := ix.Deliveries[model.ProcID(pn)]; len(ds) > 0 {
-					firsts[ds[0]] = true
-				}
-			}
-			if len(firsts) > k {
-				return &Violation{Spec: fmt.Sprintf("First-%d-Order", k), Property: "First-k",
-					Detail: fmt.Sprintf("%d distinct messages delivered first, at most %d allowed", len(firsts), k), StepIdx: -1}
-			}
-			return nil
-		},
+	return streamSpec{
+		name:  fmt.Sprintf("First-%d-Order", k),
+		batch: func(t *trace.Trace) *Violation { return checkFirstK(t, k) },
+		mk:    func(n int) Checker { return newFirstKChecker(n, k) },
 	}
+}
+
+func checkFirstK(t *trace.Trace, k int) *Violation {
+	ix := t.Index()
+	firsts := make(map[model.MsgID]bool)
+	for pn := 1; pn <= t.X.N; pn++ {
+		if ds := ix.Deliveries[model.ProcID(pn)]; len(ds) > 0 {
+			firsts[ds[0]] = true
+		}
+	}
+	if len(firsts) > k {
+		return &Violation{Spec: fmt.Sprintf("First-%d-Order", k), Property: "First-k",
+			Detail: fmt.Sprintf("%d distinct messages delivered first, at most %d allowed", len(firsts), k), StepIdx: -1}
+	}
+	return nil
 }
 
 // FirstKBroadcast composes the first-k order with the universal properties.
@@ -330,9 +391,10 @@ func FirstKBroadcast(k int) Spec {
 // spec content-neutral but not compositional (the restriction shifts the
 // sequence numbers a).
 func KSteppedOrder(k int) Spec {
-	return Func{
-		SpecName: fmt.Sprintf("%d-Stepped-Order", k),
-		CheckFn:  func(t *trace.Trace) *Violation { return checkKStepped(t, k) },
+	return streamSpec{
+		name:  fmt.Sprintf("%d-Stepped-Order", k),
+		batch: func(t *trace.Trace) *Violation { return checkKStepped(t, k) },
+		mk:    func(n int) Checker { return newKSteppedChecker(n, k) },
 	}
 }
 
@@ -344,7 +406,7 @@ func KSteppedBroadcast(k int) Spec {
 
 func checkKStepped(t *trace.Trace, k int) *Violation {
 	name := fmt.Sprintf("%d-Stepped-Order", k)
-	ix := trace.BuildIndex(t)
+	ix := t.Index()
 	// Group messages by their broadcast sequence number a (0-based here).
 	bySeq := make(map[int]map[model.MsgID]bool)
 	maxSeq := 0
@@ -419,9 +481,10 @@ func ParseSATag(p model.Payload) (obj model.KSAID, v model.Value, ok bool) {
 // every subset of messages the same way — but inspects message contents,
 // violating content-neutrality, which the symmetry testers demonstrate.
 func SATaggedOrder(k int) Spec {
-	return Func{
-		SpecName: fmt.Sprintf("SA-Tagged-%d-Order", k),
-		CheckFn:  func(t *trace.Trace) *Violation { return checkSATagged(t, k) },
+	return streamSpec{
+		name:  fmt.Sprintf("SA-Tagged-%d-Order", k),
+		batch: func(t *trace.Trace) *Violation { return checkSATagged(t, k) },
+		mk:    func(n int) Checker { return newSATaggedChecker(n, k) },
 	}
 }
 
@@ -433,7 +496,7 @@ func SATaggedBroadcast(k int) Spec {
 
 func checkSATagged(t *trace.Trace, k int) *Violation {
 	name := fmt.Sprintf("SA-Tagged-%d-Order", k)
-	ix := trace.BuildIndex(t)
+	ix := t.Index()
 	// tagged[obj] = set of messages of the form SA(obj, _).
 	tagged := make(map[model.KSAID]map[model.MsgID]bool)
 	for m, info := range ix.Broadcasts {

@@ -55,7 +55,8 @@ func batchIndex(t *trace.Trace) map[model.ProcID]map[model.MsgID]int {
 // prefix-safe: a strict opposite ordering of two delivered sets cannot be
 // undone by any extension.
 func SCDOrder() Spec {
-	return Func{SpecName: "SCD-Order", CheckFn: checkSCD}
+	return streamSpec{name: "SCD-Order", batch: checkSCD,
+		mk: func(n int) Checker { return newSCDChecker(n) }}
 }
 
 // SCDBroadcast composes the SCD order with the universal properties.
@@ -70,9 +71,13 @@ func SCDBroadcast() Spec {
 // each pair delivered in strictly opposite set orders by two processes.
 // SCDOrder is the k = 1 case.
 func KSCDOrder(k int) Spec {
-	return Func{
-		SpecName: fmt.Sprintf("%d-SCD-Order", k),
-		CheckFn:  func(t *trace.Trace) *Violation { return checkKSCD(t, k) },
+	name := fmt.Sprintf("%d-SCD-Order", k)
+	return streamSpec{
+		name:  name,
+		batch: func(t *trace.Trace) *Violation { return checkKSCD(t, k) },
+		mk: func(n int) Checker {
+			return newCliqueChecker(n, k, true, name, "k-Set-Constrained-Delivery", kscdCliqueDetail, DefaultCliqueBudget)
+		},
 	}
 }
 
@@ -83,7 +88,7 @@ func KSCDBroadcast(k int) Spec {
 
 func checkKSCD(t *trace.Trace, k int) *Violation {
 	name := fmt.Sprintf("%d-SCD-Order", k)
-	ix := trace.BuildIndex(t)
+	ix := t.Index()
 	batches := batchIndex(t)
 	msgs := ix.MessagesSorted()
 	adj := make(map[model.MsgID]map[model.MsgID]bool)
@@ -128,19 +133,24 @@ func checkKSCD(t *trace.Trace, k int) *Violation {
 		nodes = append(nodes, m)
 	}
 	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
-	if clique := findClique(nodes, adj, k+1); clique != nil {
+	budget := DefaultCliqueBudget
+	clique, exceeded := findCliqueBudget(nodes, adj, k+1, &budget)
+	if exceeded {
+		return cliqueBudgetViolation(name, -1)
+	}
+	if clique != nil {
 		parts := make([]string, len(clique))
 		for i, m := range clique {
 			parts[i] = fmt.Sprintf("m%d", m)
 		}
 		return &Violation{Spec: name, Property: "k-Set-Constrained-Delivery",
-			Detail: fmt.Sprintf("messages {%s} are pairwise delivered in strictly opposite set orders; every set of %d messages must contain a commonly set-ordered pair", strings.Join(parts, ","), k+1), StepIdx: -1}
+			Detail: fmt.Sprintf("messages {%s} %s", strings.Join(parts, ","), fmt.Sprintf(kscdCliqueDetail, k+1)), StepIdx: -1}
 	}
 	return nil
 }
 
 func checkSCD(t *trace.Trace) *Violation {
-	ix := trace.BuildIndex(t)
+	ix := t.Index()
 	batches := batchIndex(t)
 	msgs := ix.MessagesSorted()
 	for i := 0; i < len(msgs); i++ {

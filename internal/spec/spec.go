@@ -71,19 +71,12 @@ func (f Func) Name() string { return f.SpecName }
 func (f Func) Check(t *trace.Trace) *Violation { return f.CheckFn(t) }
 
 // All combines specifications; the composite admits a trace iff every
-// component does. Check returns the first violation found, in order.
+// component does. Check returns the first violation found, in declaration
+// order; the composite's online checker (see allSpec) reports the first
+// violation in time order instead — the two can differ in blame, never in
+// admissibility.
 func All(name string, specs ...Spec) Spec {
-	return Func{
-		SpecName: name,
-		CheckFn: func(t *trace.Trace) *Violation {
-			for _, s := range specs {
-				if v := s.Check(t); v != nil {
-					return v
-				}
-			}
-			return nil
-		},
-	}
+	return allSpec{name: name, specs: specs}
 }
 
 // WellFormed checks the machine-checkable parts of Definition 1
@@ -94,7 +87,8 @@ func All(name string, specs ...Spec) Spec {
 // of the steps to the algorithm — is enforced by construction by the
 // deterministic runtime and is not re-derivable from a trace alone.
 func WellFormed() Spec {
-	return Func{SpecName: "Well-Formed", CheckFn: checkWellFormed}
+	return streamSpec{name: "Well-Formed", batch: checkWellFormed,
+		mk: func(n int) Checker { return newWellFormedChecker(n) }}
 }
 
 func checkWellFormed(t *trace.Trace) *Violation {

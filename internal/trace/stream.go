@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"nobroadcast/internal/model"
+)
+
+// Streaming trace support: a JSONL wire format (one header object, then
+// one step object per line) and the Sink interface the runtimes tee
+// recorded steps into. Together they let a consumer — typically an online
+// spec checker — process an execution of any length in O(checker state)
+// memory, without the full step log ever being resident.
+
+// Sink receives the steps of an execution as they are recorded, in order.
+// It is the streaming alternative to materializing a Trace.
+type Sink interface {
+	Step(s model.Step)
+}
+
+// SinkFunc adapts a function to a Sink.
+type SinkFunc func(s model.Step)
+
+// Step implements Sink.
+func (f SinkFunc) Step(s model.Step) { f(s) }
+
+// StreamHeader is the first line of a JSONL trace stream.
+type StreamHeader struct {
+	N        int    `json:"n"`
+	Complete bool   `json:"complete"`
+	Name     string `json:"name,omitempty"`
+}
+
+// EncodeJSONL writes the trace in streaming JSONL form: a header line
+// followed by one step per line. The counterpart of DecodeJSONL and
+// NewStepReader.
+func (t *Trace) EncodeJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(StreamHeader{N: t.X.N, Complete: t.Complete, Name: t.Name}); err != nil {
+		return fmt.Errorf("trace: encode jsonl header: %w", err)
+	}
+	for i := range t.X.Steps {
+		if err := enc.Encode(&t.X.Steps[i]); err != nil {
+			return fmt.Errorf("trace: encode jsonl step %d: %w", i, err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("trace: encode jsonl: %w", err)
+	}
+	return nil
+}
+
+// StepReader reads a JSONL trace stream one step at a time.
+type StepReader struct {
+	hdr StreamHeader
+	dec *json.Decoder
+	i   int
+}
+
+// NewStepReader consumes the header line and returns a reader positioned
+// at the first step.
+func NewStepReader(r io.Reader) (*StepReader, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var hdr StreamHeader
+	if err := dec.Decode(&hdr); err != nil {
+		return nil, fmt.Errorf("trace: jsonl header: %w", err)
+	}
+	if hdr.N <= 0 {
+		return nil, fmt.Errorf("trace: jsonl header: invalid process count %d", hdr.N)
+	}
+	return &StepReader{hdr: hdr, dec: dec}, nil
+}
+
+// Header returns the stream metadata.
+func (r *StepReader) Header() StreamHeader { return r.hdr }
+
+// Next returns the next step, or io.EOF when the stream is exhausted.
+func (r *StepReader) Next() (model.Step, error) {
+	var s model.Step
+	if err := r.dec.Decode(&s); err != nil {
+		if err == io.EOF {
+			return s, io.EOF
+		}
+		return s, fmt.Errorf("trace: jsonl step %d: %w", r.i, err)
+	}
+	if !s.Kind.Valid() {
+		return s, fmt.Errorf("trace: jsonl step %d has invalid kind %d", r.i, int(s.Kind))
+	}
+	r.i++
+	return s, nil
+}
+
+// DecodeJSONL materializes a full trace from a JSONL stream — the inverse
+// of EncodeJSONL, for callers that do want the whole step log.
+func DecodeJSONL(r io.Reader) (*Trace, error) {
+	sr, err := NewStepReader(r)
+	if err != nil {
+		return nil, err
+	}
+	x := model.NewExecution(sr.hdr.N)
+	for {
+		s, err := sr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		x.Append(s)
+	}
+	return &Trace{X: x, Complete: sr.hdr.Complete, Name: sr.hdr.Name}, nil
+}

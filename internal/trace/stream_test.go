@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"nobroadcast/internal/model"
+)
+
+// TestIndexMemoized: Trace.Index builds the index once and reuses it for
+// repeated calls, invalidating only when the step log grows.
+func TestIndexMemoized(t *testing.T) {
+	tr := sample()
+	ix1 := tr.Index()
+	if ix1 == nil {
+		t.Fatal("Index returned nil")
+	}
+	if ix2 := tr.Index(); ix2 != ix1 {
+		t.Fatal("repeated Index call rebuilt the index instead of reusing it")
+	}
+	// Appending a step invalidates the memo.
+	tr.X.Append(model.Step{Proc: 1, Kind: model.KindDeliver, Peer: 2, Msg: 2, Payload: "b"})
+	ix3 := tr.Index()
+	if ix3 == ix1 {
+		t.Fatal("Index did not rebuild after the trace grew")
+	}
+	if got := len(ix3.Deliveries[1]); got != 3 {
+		t.Fatalf("rebuilt index misses the appended delivery: %d deliveries", got)
+	}
+	if ix4 := tr.Index(); ix4 != ix3 {
+		t.Fatal("rebuilt index not memoized")
+	}
+}
+
+// TestJSONLRoundTrip: EncodeJSONL → DecodeJSONL is the identity on traces.
+func TestJSONLRoundTrip(t *testing.T) {
+	tr := sample()
+	var buf bytes.Buffer
+	if err := tr.EncodeJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != tr.Name || got.Complete != tr.Complete || got.X.N != tr.X.N {
+		t.Fatalf("header mismatch: %q/%v/%d vs %q/%v/%d", got.Name, got.Complete, got.X.N, tr.Name, tr.Complete, tr.X.N)
+	}
+	if len(got.X.Steps) != len(tr.X.Steps) {
+		t.Fatalf("step count mismatch: %d vs %d", len(got.X.Steps), len(tr.X.Steps))
+	}
+	for i := range got.X.Steps {
+		if got.X.Steps[i] != tr.X.Steps[i] {
+			t.Fatalf("step %d mismatch: %v vs %v", i, got.X.Steps[i], tr.X.Steps[i])
+		}
+	}
+}
+
+// TestStepReaderIncremental: the reader yields steps one at a time with
+// the header available up front, and ends with io.EOF.
+func TestStepReaderIncremental(t *testing.T) {
+	tr := sample()
+	var buf bytes.Buffer
+	if err := tr.EncodeJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sr, err := NewStepReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr := sr.Header(); hdr.N != 2 || !hdr.Complete || hdr.Name != "sample" {
+		t.Fatalf("bad header: %+v", hdr)
+	}
+	n := 0
+	for {
+		s, err := sr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s != tr.X.Steps[n] {
+			t.Fatalf("step %d mismatch: %v vs %v", n, s, tr.X.Steps[n])
+		}
+		n++
+	}
+	if n != tr.X.Len() {
+		t.Fatalf("read %d steps, want %d", n, tr.X.Len())
+	}
+}
+
+// TestStepReaderRejectsGarbage: invalid headers and step kinds are errors,
+// not silently skipped steps.
+func TestStepReaderRejectsGarbage(t *testing.T) {
+	if _, err := NewStepReader(strings.NewReader(`{"n":0}` + "\n")); err == nil {
+		t.Fatal("header with n=0 accepted")
+	}
+	sr, err := NewStepReader(strings.NewReader(`{"n":2}` + "\n" + `{"proc":1,"kind":99}` + "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sr.Next(); err == nil || err == io.EOF {
+		t.Fatalf("invalid step kind accepted: %v", err)
+	}
+}

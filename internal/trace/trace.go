@@ -25,11 +25,29 @@ type Trace struct {
 	X        *model.Execution `json:"execution"`
 	Complete bool             `json:"complete"`
 	Name     string           `json:"name,omitempty"`
+
+	// ix memoizes BuildIndex for Index(); ixLen is the step count it was
+	// built at, so appending to X invalidates it naturally.
+	ix    *Index
+	ixLen int
 }
 
 // New wraps an execution in a trace.
 func New(x *model.Execution) *Trace {
 	return &Trace{X: x}
+}
+
+// Index returns the trace's lookup index, building it on first use and
+// memoizing it for subsequent calls. The batch spec predicates all go
+// through here, so checking many specs against one trace scans it once. A
+// trace whose execution grew since the last call is re-indexed. Not safe
+// for concurrent use (neither is appending to an Execution).
+func (t *Trace) Index() *Index {
+	if t.ix == nil || t.ixLen != len(t.X.Steps) {
+		t.ix = BuildIndex(t)
+		t.ixLen = len(t.X.Steps)
+	}
+	return t.ix
 }
 
 // Index holds the derived lookup structures over a trace. Build it once and
