@@ -1,25 +1,60 @@
 # Convenience targets for the reproduction artifact.
-.PHONY: all test race bench bench-all figure1 impossibility outputs metrics-smoke
+.PHONY: all test race bench bench-pr4 bench-all figure1 impossibility outputs metrics-smoke
 all: test
 test:
 	go build ./... && go vet ./... && go test ./...
 race:
-	go test -race ./internal/net ./internal/sharedmem ./internal/sched ./internal/conformance
+	go test -race ./internal/net ./internal/sharedmem ./internal/sched ./internal/conformance ./internal/sweep
 stress:
 	go test -race -count=3 -run 'Reentrant|Concurrent|Stress|Stop|Reorder' ./internal/net
+
+# Benchmark artifacts follow one pattern: run a benchmark selection, tee
+# the raw transcript under /tmp, then distill it into a JSON artifact with
+# an awk program held in a make variable. bench-json is the shared distill
+# step: $(call bench-json,RAW-FILE(S),AWK-VARIABLE-NAME,OUT.json) — the awk
+# program is passed by variable *name* (its text contains commas, which
+# $(call) would split on).
+define bench-json
+	awk $($(2)) $(1) > $(3)
+	cat $(3)
+endef
+
 # bench: the PR 3 headline comparison — one streaming pass of the online
 # checkers versus checkpointed re-runs of the batch reference predicates on
 # the same 100k-step trace — recorded as BENCH_PR3.json. -benchtime 1x
 # because one batch iteration already takes minutes (the batch causal check
 # is quadratic; that is the point).
+AWK_PR3 = '/^BenchmarkSpecOnline/ { online=$$3; steps=$$5 } \
+  /^BenchmarkSpecBatch/ { batch=$$3 } \
+  END { if (!online || !batch) exit 1; \
+    printf "{\n  \"benchmark\": \"online spec checkers vs repeated batch checking\",\n  \"trace_steps\": %.0f,\n  \"specs\": [\"FIFO-Order\", \"Causal-Order\"],\n  \"batch_checkpoints\": 4,\n  \"online_ns_per_op\": %.0f,\n  \"batch_ns_per_op\": %.0f,\n  \"speedup\": %.1f\n}\n", steps, online, batch, batch/online }'
 bench:
 	go test -run '^$$' -bench 'BenchmarkSpec(Online|Batch)$$' -benchtime 1x ./internal/spec | tee /tmp/bench_pr3.txt
-	awk '/^BenchmarkSpecOnline/ { online=$$3; steps=$$5 } \
-	  /^BenchmarkSpecBatch/ { batch=$$3 } \
-	  END { if (!online || !batch) exit 1; \
-	    printf "{\n  \"benchmark\": \"online spec checkers vs repeated batch checking\",\n  \"trace_steps\": %.0f,\n  \"specs\": [\"FIFO-Order\", \"Causal-Order\"],\n  \"batch_checkpoints\": 4,\n  \"online_ns_per_op\": %.0f,\n  \"batch_ns_per_op\": %.0f,\n  \"speedup\": %.1f\n}\n", steps, online, batch, batch/online }' \
-	  /tmp/bench_pr3.txt > BENCH_PR3.json
-	cat BENCH_PR3.json
+	$(call bench-json,/tmp/bench_pr3.txt,AWK_PR3,BENCH_PR3.json)
+
+# bench-pr4: the PR 4 headline numbers — sweep wall-clock at 1 vs 4
+# workers (the CPU-bound E1 grid scales with cores; the latency-bound
+# conformance corpus overlaps timer waits and speeds up even on one core)
+# and the hot-path allocation wins (VC encode/decode, trace append) —
+# recorded as BENCH_PR4.json with the host's GOMAXPROCS for context.
+AWK_PR4 = '/^BenchmarkSweepE1\/workers=1/ { e1w1=$$3 } \
+  /^BenchmarkSweepE1\/workers=4/ { e1w4=$$3 } \
+  /^BenchmarkSweepConformance\/workers=1/ { cw1=$$3 } \
+  /^BenchmarkSweepConformance\/workers=4/ { cw4=$$3 } \
+  /^BenchmarkVCEncodeDecode\/old/ { vcold=$$3; vcoldalloc=$$7 } \
+  /^BenchmarkVCEncodeDecode\/new/ { vcnew=$$3; vcnewalloc=$$7 } \
+  /^BenchmarkTraceAppend\/naive/ { trn=$$3; trnb=$$5 } \
+  /^BenchmarkTraceAppend\/chunked/ { trc=$$3; trcb=$$5 } \
+  END { if (!e1w1 || !e1w4 || !cw1 || !cw4 || !vcold || !vcnew || !trn || !trc) exit 1; \
+    e1s=e1w1/e1w4; cs=cw1/cw4; head=(cs>e1s)?cs:e1s; \
+    printf "{\n  \"benchmark\": \"parallel sweep engine and hot-path allocation overhaul\",\n  \"gomaxprocs\": %d,\n  \"headline_sweep_speedup_4v1\": %.2f,\n  \"sweep_e1\": {\n    \"workers1_ns_per_op\": %.0f,\n    \"workers4_ns_per_op\": %.0f,\n    \"speedup_4v1\": %.2f\n  },\n  \"sweep_conformance\": {\n    \"workers1_ns_per_op\": %.0f,\n    \"workers4_ns_per_op\": %.0f,\n    \"speedup_4v1\": %.2f\n  },\n  \"vc_encode_decode\": {\n    \"old_ns_per_op\": %.0f,\n    \"new_ns_per_op\": %.0f,\n    \"old_allocs_per_op\": %.0f,\n    \"new_allocs_per_op\": %.0f\n  },\n  \"trace_append_100k\": {\n    \"naive_ns_per_op\": %.0f,\n    \"chunked_ns_per_op\": %.0f,\n    \"naive_bytes_per_op\": %.0f,\n    \"chunked_bytes_per_op\": %.0f\n  }\n}\n", \
+      gomaxprocs, head, e1w1, e1w4, e1s, cw1, cw4, cs, vcold, vcnew, vcoldalloc, vcnewalloc, trn, trc, trnb, trcb }'
+bench-pr4:
+	go test -run '^$$' -bench 'BenchmarkSweep(E1|Conformance)$$' -benchtime 5x ./internal/sweep | tee /tmp/bench_pr4.txt
+	go test -run '^$$' -bench 'BenchmarkVCEncodeDecode$$' -benchmem ./internal/vc | tee -a /tmp/bench_pr4.txt
+	go test -run '^$$' -bench 'BenchmarkTraceAppend$$' -benchmem ./internal/model | tee -a /tmp/bench_pr4.txt
+	awk -v gomaxprocs=$$(nproc) $(AWK_PR4) /tmp/bench_pr4.txt > BENCH_PR4.json
+	cat BENCH_PR4.json
 bench-all:
 	go test -bench=. -benchmem ./...
 figure1:

@@ -9,9 +9,15 @@
 //
 // With the defaults -b first-k -k 3 -n 2 and -diagram, the output is the
 // reproduction of Figure 1 of the paper.
+//
+// Grid mode sweeps the construction over a (k, N) rectangle on a bounded
+// worker pool, printing one summary row per cell in grid order:
+//
+//	adversary -b kbo -sweep 2..5 -N 1..4 [-workers 4]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -23,6 +29,7 @@ import (
 	"nobroadcast/internal/model"
 	"nobroadcast/internal/obs"
 	"nobroadcast/internal/spec"
+	"nobroadcast/internal/sweep"
 	"nobroadcast/internal/trace"
 )
 
@@ -44,6 +51,9 @@ func run(args []string, out io.Writer) error {
 	dotPath := fs.String("dot", "", "write the Figure 1 diagram as Graphviz DOT to this file")
 	extend := fs.Bool("extend", false, "extend the run fairly to quiescence and re-check the candidate's ordering spec (experiment E10)")
 	live := fs.Bool("live", false, "report the verdicts the incremental checkers latched while Algorithm 1 ran")
+	sweepK := fs.String("sweep", "", "grid mode: sweep k over this range (k1..k2 or a single k)")
+	sweepN := fs.String("N", "", "grid mode: sweep N over this range (n1..n2); defaults to the -n value")
+	workers := fs.Int("workers", 0, "grid mode: sweep worker bound; 0 means GOMAXPROCS")
 	oc := obs.BindFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -56,6 +66,16 @@ func run(args []string, out io.Writer) error {
 	cand, err := broadcast.Lookup(*name)
 	if err != nil {
 		return err
+	}
+
+	if *sweepK != "" {
+		if err := runGrid(out, cand, *sweepK, *sweepN, *n, *workers, reg); err != nil {
+			return err
+		}
+		return oc.Finish(out)
+	}
+	if *sweepN != "" {
+		return fmt.Errorf("-N is a grid-mode flag; pass -sweep as well (or use -n for a single run)")
 	}
 	res, err := adversary.Run(adversary.Options{K: *k, N: *n, NewAutomaton: cand.NewAutomaton, Obs: reg})
 	if err != nil {
@@ -152,4 +172,69 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	return oc.Finish(out)
+}
+
+// gridRow is one cell's summary in grid mode.
+type gridRow struct {
+	k, n, steps, beta, resets, adoptions int
+	lemmasOK                             bool
+}
+
+// runGrid sweeps the adversarial construction over the (k, N) rectangle on
+// the sweep engine and prints one row per cell, k-major, in grid order.
+func runGrid(out io.Writer, cand broadcast.Candidate, sweepK, sweepN string, defaultN, workers int, reg *obs.Registry) error {
+	kLo, kHi, err := sweep.ParseRange(sweepK)
+	if err != nil {
+		return err
+	}
+	nLo, nHi := defaultN, defaultN
+	if sweepN != "" {
+		if nLo, nHi, err = sweep.ParseRange(sweepN); err != nil {
+			return err
+		}
+	}
+	grid := sweep.Pairs(sweep.Range(kLo, kHi), sweep.Range(nLo, nHi))
+	rows, err := sweep.Run(context.Background(), len(grid),
+		sweep.Options{Workers: workers, Obs: reg},
+		func(_ context.Context, cell sweep.Cell) (gridRow, error) {
+			p := grid[cell.Index]
+			res, err := adversary.Run(adversary.Options{K: p.A, N: p.B, NewAutomaton: cand.NewAutomaton, Obs: reg})
+			if err != nil {
+				return gridRow{}, fmt.Errorf("k=%d N=%d: %w", p.A, p.B, err)
+			}
+			_, ok := res.Verify()
+			return gridRow{
+				k: p.A, n: p.B, steps: res.Alpha.X.Len(), beta: res.Beta.X.Len(),
+				resets: res.Resets, adoptions: res.Adoptions, lemmasOK: ok,
+			}, nil
+		})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "adversarial sweep: B=%s, k=%d..%d, N=%d..%d (%d cells)\n",
+		cand.Name, kLo, kHi, nLo, nHi, len(grid))
+	fmt.Fprintf(out, "%4s %4s %8s %8s %8s %10s %8s\n", "k", "N", "steps", "beta", "resets", "adoptions", "lemmas")
+	for _, r := range rows {
+		status := "ok"
+		if !r.lemmasOK {
+			status = "FAILED"
+		}
+		fmt.Fprintf(out, "%4d %4d %8d %8d %8d %10d %8s\n", r.k, r.n, r.steps, r.beta, r.resets, r.adoptions, status)
+	}
+	for _, r := range rows {
+		if !r.lemmasOK {
+			return fmt.Errorf("lemma verification failed in %d of %d cells", countFailed(rows), len(rows))
+		}
+	}
+	return nil
+}
+
+func countFailed(rows []gridRow) int {
+	n := 0
+	for _, r := range rows {
+		if !r.lemmasOK {
+			n++
+		}
+	}
+	return n
 }

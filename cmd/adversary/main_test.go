@@ -91,3 +91,47 @@ func TestAdversaryMetrics(t *testing.T) {
 		}
 	}
 }
+
+// TestRunGridMode: -sweep/-N produce one summary row per (k, N) cell in
+// grid order, identical at any worker count, with lemma status per cell.
+func TestRunGridMode(t *testing.T) {
+	var parallel, serial bytes.Buffer
+	args := []string{"-b", "kbo", "-sweep", "2..3", "-N", "1..2"}
+	if err := run(append(args, "-workers", "4"), &parallel); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if err := run(append(args, "-workers", "1"), &serial); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if parallel.String() != serial.String() {
+		t.Errorf("grid output differs across worker counts:\n%s\nvs\n%s", parallel.String(), serial.String())
+	}
+	s := parallel.String()
+	if !strings.Contains(s, "adversarial sweep: B=kbo, k=2..3, N=1..2 (4 cells)") {
+		t.Errorf("missing sweep header:\n%s", s)
+	}
+	rows := 0
+	for _, line := range strings.Split(s, "\n") {
+		if strings.HasSuffix(strings.TrimSpace(line), " ok") {
+			rows++
+		}
+	}
+	if rows != 4 {
+		t.Errorf("got %d ok rows, want 4:\n%s", rows, s)
+	}
+}
+
+// TestRunGridModeBadArgs: malformed ranges and -N without -sweep are
+// rejected.
+func TestRunGridModeBadArgs(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-b", "kbo", "-sweep", "3..2"}, &out); err == nil {
+		t.Error("expected error for descending -sweep range")
+	}
+	if err := run([]string{"-b", "kbo", "-sweep", "2..3", "-N", "x"}, &out); err == nil {
+		t.Error("expected error for malformed -N range")
+	}
+	if err := run([]string{"-b", "kbo", "-N", "1..2"}, &out); err == nil {
+		t.Error("expected error for -N without -sweep")
+	}
+}

@@ -3,12 +3,19 @@
 // hypothesis of the claimed k-SA equivalence fails — the executable form
 // of the paper's main result.
 //
+// The -k flag accepts a single degree ("-k 2") or an inclusive range
+// ("-k 2..4"); with -all the candidate × k grid is swept on a bounded
+// worker pool (-workers), each cell an independent pipeline run, with the
+// output printed in grid order regardless of completion order.
+//
 // Usage:
 //
-//	impossibility [-b kbo | -all] [-k 2] [-v] [-metrics] [-events out.jsonl]
+//	impossibility [-b kbo | -all] [-k 2 | -k 2..4] [-workers 4] [-v] [-metrics] [-events out.jsonl]
 package main
 
 import (
+	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -18,6 +25,7 @@ import (
 	"nobroadcast/internal/broadcast"
 	"nobroadcast/internal/core"
 	"nobroadcast/internal/obs"
+	"nobroadcast/internal/sweep"
 )
 
 func main() {
@@ -31,13 +39,18 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("impossibility", flag.ContinueOnError)
 	name := fs.String("b", "", "candidate abstraction ("+strings.Join(broadcast.Names(), ", ")+")")
 	all := fs.Bool("all", false, "run the pipeline on every k-SA-claiming candidate")
-	k := fs.Int("k", 2, "agreement degree k, 1 < k")
+	kRange := fs.String("k", "2", "agreement degree k (1 < k), or inclusive range k1..k2")
+	workers := fs.Int("workers", 0, "sweep worker bound; 0 means GOMAXPROCS")
 	verbose := fs.Bool("v", false, "print solo records and lemma reports")
 	oc := obs.BindFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	reg, err := oc.Registry()
+	if err != nil {
+		return err
+	}
+	kLo, kHi, err := sweep.ParseRange(*kRange)
 	if err != nil {
 		return err
 	}
@@ -59,34 +72,60 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("pass -b <name> or -all")
 	}
 
-	for _, c := range cands {
-		res, err := core.RunImpossibility(c, *k, core.Options{Obs: reg})
-		if err != nil {
-			return fmt.Errorf("%s: %w", c.Name, err)
-		}
-		fmt.Fprintf(out, "== %s (k=%d, N=%d) ==\n", c.Name, res.K, res.N)
-		fmt.Fprintf(out, "   %s\n", c.Describe)
-		fmt.Fprintf(out, "   outcome: %v\n", res.Outcome)
-		fmt.Fprintf(out, "   detail:  %s\n", res.Detail)
-		if *verbose {
-			for _, rec := range res.Solo {
-				fmt.Fprintf(out, "   solo %v: input=%q decided=%q N_i=%d\n", rec.Proc, rec.Input, rec.Decision, rec.Ni)
+	// Candidate-major, k-minor grid; each cell is one full pipeline run
+	// rendered to its own buffer, so parallel cells never interleave
+	// output and the printed order is the grid order.
+	ks := sweep.Range(kLo, kHi)
+	grid := sweep.Pairs(sweep.Range(0, len(cands)-1), ks)
+	blocks, err := sweep.Run(context.Background(), len(grid),
+		sweep.Options{Workers: *workers, Obs: reg},
+		func(_ context.Context, cell sweep.Cell) (string, error) {
+			p := grid[cell.Index]
+			c := cands[p.A]
+			var buf bytes.Buffer
+			if err := renderPipeline(&buf, c, p.B, *verbose, reg); err != nil {
+				return "", fmt.Errorf("%s (k=%d): %w", c.Name, p.B, err)
 			}
-			for _, rep := range res.LemmaReports {
-				status := "ok"
-				if !rep.OK {
-					status = "FAILED " + rep.Err
-				}
-				fmt.Fprintf(out, "   %-55s %s\n", rep.Lemma, status)
-			}
-			if res.ReplayDecisions != nil {
-				fmt.Fprintf(out, "   replay decisions on delta: %v\n", res.ReplayDecisions)
-			}
-		}
-		fmt.Fprintln(out)
+			return buf.String(), nil
+		})
+	if err != nil {
+		return err
+	}
+	for _, b := range blocks {
+		fmt.Fprint(out, b)
 	}
 	fmt.Fprintln(out, "Theorem 1: for 1 < k < n, no content-neutral and compositional broadcast")
 	fmt.Fprintln(out, "abstraction is computationally equivalent to k-set agreement in CAMP_n[0].")
 	fmt.Fprintln(out, "Each candidate above fails at least one hypothesis, as the outcomes show.")
 	return oc.Finish(out)
+}
+
+// renderPipeline runs the Theorem 1 pipeline for one (candidate, k) cell
+// and renders its report block.
+func renderPipeline(out io.Writer, c broadcast.Candidate, k int, verbose bool, reg *obs.Registry) error {
+	res, err := core.RunImpossibility(c, k, core.Options{Obs: reg})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "== %s (k=%d, N=%d) ==\n", c.Name, res.K, res.N)
+	fmt.Fprintf(out, "   %s\n", c.Describe)
+	fmt.Fprintf(out, "   outcome: %v\n", res.Outcome)
+	fmt.Fprintf(out, "   detail:  %s\n", res.Detail)
+	if verbose {
+		for _, rec := range res.Solo {
+			fmt.Fprintf(out, "   solo %v: input=%q decided=%q N_i=%d\n", rec.Proc, rec.Input, rec.Decision, rec.Ni)
+		}
+		for _, rep := range res.LemmaReports {
+			status := "ok"
+			if !rep.OK {
+				status = "FAILED " + rep.Err
+			}
+			fmt.Fprintf(out, "   %-55s %s\n", rep.Lemma, status)
+		}
+		if res.ReplayDecisions != nil {
+			fmt.Fprintf(out, "   replay decisions on delta: %v\n", res.ReplayDecisions)
+		}
+	}
+	fmt.Fprintln(out)
+	return nil
 }

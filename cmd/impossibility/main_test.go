@@ -42,6 +42,35 @@ func TestImpossibilitySingleVerbose(t *testing.T) {
 	}
 }
 
+// TestImpossibilityKRangeSweep: "-k 2..3 -workers 4" fans the candidate ×
+// k grid out on the worker pool; the report blocks come back in grid order
+// (candidate-major, k ascending) and parallel output is identical to the
+// serial run.
+func TestImpossibilityKRangeSweep(t *testing.T) {
+	var parallel, serial bytes.Buffer
+	if err := run([]string{"-all", "-k", "2..3", "-workers", "4"}, &parallel); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if err := run([]string{"-all", "-k", "2..3", "-workers", "1"}, &serial); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if parallel.String() != serial.String() {
+		t.Error("parallel sweep output differs from serial run")
+	}
+	s := parallel.String()
+	for _, w := range []string{"== kbo (k=2", "== kbo (k=3"} {
+		if !strings.Contains(s, w) {
+			t.Errorf("output missing %q", w)
+		}
+	}
+	// Grid order: all of first-k's blocks (k=2 then k=3) precede kbo's.
+	i2, i3 := strings.Index(s, "== first-k (k=2"), strings.Index(s, "== first-k (k=3")
+	j2 := strings.Index(s, "== kbo (k=2")
+	if i2 < 0 || i3 < 0 || j2 < 0 || !(i2 < i3 && i3 < j2) {
+		t.Errorf("blocks not in candidate-major grid order: first-k@%d,%d kbo@%d", i2, i3, j2)
+	}
+}
+
 func TestImpossibilityBadArgs(t *testing.T) {
 	var out bytes.Buffer
 	if err := run(nil, &out); err == nil {

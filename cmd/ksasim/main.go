@@ -21,7 +21,9 @@
 // -conformance runs the cross-runtime differential check instead: the
 // same workload script on the deterministic and the concurrent runtime,
 // compared by spec verdict and per-process deliveries
-// (see internal/conformance).
+// (see internal/conformance). With -b all it runs the whole differential
+// corpus — every registered candidate across the standard grid — on the
+// parallel sweep engine (-workers bounds the cells in flight).
 //
 // With -http the command serves live metrics while the workload runs:
 // `/` is a plain-text summary, `/metrics` Prometheus text exposition,
@@ -29,6 +31,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -71,11 +74,22 @@ func run(args []string, out io.Writer) error {
 	seed := fs.Uint64("seed", 0, "delay/fault seed for the concurrent runtime (0 = wall clock)")
 	wait := fs.Duration("wait", 30*time.Second, "delivery-convergence timeout (concurrent runtime)")
 	conformance := fs.Bool("conformance", false, "run the cross-runtime differential check instead of a workload")
+	workers := fs.Int("workers", 0, "corpus worker bound for -b all -conformance; 0 means GOMAXPROCS")
 	live := fs.Bool("live", false, "check specs incrementally while runs execute (streaming, no post-hoc rescan)")
 	httpAddr := fs.String("http", "", "serve live metrics (/, /metrics, /vars) on this `address` while the workload runs")
 	oc := obs.BindFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *name == "all" && *conformance {
+		reg, err := oc.Registry()
+		if err != nil {
+			return err
+		}
+		if err := runCorpus(out, *seed, *workers, reg); err != nil {
+			return err
+		}
+		return oc.Finish(out)
 	}
 	cand, err := broadcast.Lookup(*name)
 	if err != nil {
@@ -376,6 +390,25 @@ func runConcurrent(out io.Writer, cand broadcast.Candidate, n, k int, seed uint6
 	if !done {
 		return fmt.Errorf("deliveries incomplete after timeout")
 	}
+	return nil
+}
+
+// runCorpus runs the full differential corpus — every registered candidate
+// across the standard (N, K, workload) grid — concurrently on the sweep
+// engine and prints one summary line per cell in corpus order.
+func runCorpus(out io.Writer, seed uint64, workers int, reg *obs.Registry) error {
+	cfgs := conf.Corpus(seed)
+	span := reg.StartSpan("ksasim.corpus")
+	sums, err := conf.RunCorpus(context.Background(), cfgs, workers, reg)
+	span.End()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "conformance corpus: %d cells (every candidate × standard grid)\n", len(cfgs))
+	for _, s := range sums {
+		fmt.Fprintf(out, "  %s\n", s)
+	}
+	fmt.Fprintln(out, "all cells conform")
 	return nil
 }
 

@@ -182,3 +182,23 @@ func TestParsePartitionTimings(t *testing.T) {
 		t.Errorf("untimed partition parsed %+v", p)
 	}
 }
+
+// TestKsasimCorpus: -b all -conformance runs the full differential corpus
+// on the sweep engine and reports every cell.
+func TestKsasimCorpus(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-b", "all", "-conformance", "-workers", "4", "-seed", "9"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	for _, w := range []string{
+		"conformance corpus:",
+		"causal n=2 k=1",
+		"kbo n=4 k=2",
+		"all cells conform",
+	} {
+		if !strings.Contains(s, w) {
+			t.Errorf("output missing %q:\n%s", w, s)
+		}
+	}
+}

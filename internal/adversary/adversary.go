@@ -339,7 +339,7 @@ func Run(opts Options) (*Result, error) {
 					localDel = -1
 					counted = nil
 					res.Resets++
-					res.ResetBoundary = rt.Execution().Len()
+					res.ResetBoundary = rt.StepCount()
 					met.reset(reg, i, res.ResetBoundary)
 				}
 			}
@@ -349,7 +349,7 @@ func Run(opts Options) (*Result, error) {
 	}
 
 	// Line 26: every message still in flight is received.
-	res.FlushStart = rt.Execution().Len()
+	res.FlushStart = rt.StepCount()
 	flushSpan := reg.StartSpan("adversary.flush")
 	flushed := 0
 	for len(rt.InFlight()) > 0 {

@@ -1,6 +1,7 @@
 package adversary_test
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -10,6 +11,7 @@ import (
 	"nobroadcast/internal/model"
 	"nobroadcast/internal/sched"
 	"nobroadcast/internal/spec"
+	"nobroadcast/internal/sweep"
 	"nobroadcast/internal/trace"
 )
 
@@ -47,6 +49,7 @@ func TestAlphaAdmissibleAllCandidates(t *testing.T) {
 	for _, c := range broadcast.AllCandidates() {
 		c := c
 		t.Run(c.Name, func(t *testing.T) {
+			t.Parallel()
 			if c.Name == "mutual" {
 				// Mutual broadcast needs a correct majority: it cannot
 				// progress solo, and the adversary must say so (the
@@ -76,23 +79,38 @@ func TestAlphaAdmissibleAllCandidates(t *testing.T) {
 }
 
 // TestSweepKAndN (experiment E1): the construction succeeds across the
-// (k, N) grid for a representative implementation.
+// (k, N) grid for a representative implementation. The grid runs on the
+// parallel sweep engine; each cell's checks are pure functions of its own
+// adversary.Result, so failures map back to cells by index.
 func TestSweepKAndN(t *testing.T) {
-	for _, k := range []int{2, 3, 4} {
-		for _, n := range []int{1, 2, 5} {
-			res := mustRun(t, "kbo", k, n)
+	t.Parallel()
+	c, err := broadcast.Lookup("kbo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := sweep.Pairs([]int{2, 3, 4}, []int{1, 2, 5})
+	_, err = sweep.Run(context.Background(), len(grid), sweep.Options{},
+		func(_ context.Context, cell sweep.Cell) (struct{}, error) {
+			k, n := grid[cell.Index].A, grid[cell.Index].B
+			res, err := adversary.Run(adversary.Options{K: k, N: n, NewAutomaton: c.NewAutomaton})
+			if err != nil {
+				return struct{}{}, err
+			}
 			if _, ok := res.Verify(); !ok {
-				t.Errorf("k=%d N=%d: verification failed", k, n)
+				return struct{}{}, fmt.Errorf("k=%d N=%d: verification failed", k, n)
 			}
 			if len(res.Counted) != k+1 {
-				t.Errorf("k=%d N=%d: %d counted sets, want %d", k, n, len(res.Counted), k+1)
+				return struct{}{}, fmt.Errorf("k=%d N=%d: %d counted sets, want %d", k, n, len(res.Counted), k+1)
 			}
 			for p, msgs := range res.Counted {
 				if len(msgs) != n {
-					t.Errorf("k=%d N=%d: %v counted %d messages, want %d", k, n, p, len(msgs), n)
+					return struct{}{}, fmt.Errorf("k=%d N=%d: %v counted %d messages, want %d", k, n, p, len(msgs), n)
 				}
 			}
-		}
+			return struct{}{}, nil
+		})
+	if err != nil {
+		t.Error(err)
 	}
 }
 
@@ -417,13 +435,26 @@ func TestLargeSweep(t *testing.T) {
 	if testing.Short() {
 		t.Skip("large sweep skipped in -short mode")
 	}
-	for _, k := range []int{5, 6} {
-		for _, n := range []int{8, 16} {
-			res := mustRun(t, "kbo", k, n)
-			if _, ok := res.Verify(); !ok {
-				t.Errorf("k=%d N=%d: verification failed", k, n)
+	t.Parallel()
+	c, err := broadcast.Lookup("kbo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := sweep.Pairs([]int{5, 6}, []int{8, 16})
+	_, err = sweep.Run(context.Background(), len(grid), sweep.Options{},
+		func(_ context.Context, cell sweep.Cell) (struct{}, error) {
+			k, n := grid[cell.Index].A, grid[cell.Index].B
+			res, err := adversary.Run(adversary.Options{K: k, N: n, NewAutomaton: c.NewAutomaton})
+			if err != nil {
+				return struct{}{}, err
 			}
-		}
+			if _, ok := res.Verify(); !ok {
+				return struct{}{}, fmt.Errorf("k=%d N=%d: verification failed", k, n)
+			}
+			return struct{}{}, nil
+		})
+	if err != nil {
+		t.Error(err)
 	}
 }
 

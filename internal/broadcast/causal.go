@@ -21,10 +21,24 @@ type Causal struct {
 	n  int
 	// delivered[j] counts messages from p_j delivered locally.
 	delivered vc.VC
+	// scratch is the reusable clock for stamping outgoing broadcasts:
+	// the stamp is delivered with the own component swapped for the
+	// broadcast count, so building it is a copy into scratch rather than
+	// a fresh Clone per invocation.
+	scratch vc.VC
 	// broadcasts counts local broadcast invocations.
 	broadcasts uint64
 	seen       map[model.MsgID]bool
-	pending    []Frame
+	pending    []pendingFrame
+}
+
+// pendingFrame is a received frame awaiting delivery together with its
+// decoded clock. Decoding once at enqueue keeps the delivery check — run
+// over every pending frame after every delivery — free of per-check
+// Decode allocations.
+type pendingFrame struct {
+	fr    Frame
+	clock vc.VC
 }
 
 var _ sched.Automaton = (*Causal)(nil)
@@ -42,11 +56,11 @@ func (c *Causal) Init(env *sched.Env) {
 
 // OnBroadcast implements sched.Automaton.
 func (c *Causal) OnBroadcast(env *sched.Env, msg model.MsgID, payload model.Payload) {
-	clock := c.delivered.Clone()
-	clock[c.id-1] = c.broadcasts
+	c.scratch = append(c.scratch[:0], c.delivered...)
+	c.scratch[c.id-1] = c.broadcasts
 	c.broadcasts++
 	env.SendAll(encodeFrame(Frame{
-		T: "msg", Origin: env.ID(), Msg: msg, Content: payload, Clock: clock.Encode(),
+		T: "msg", Origin: env.ID(), Msg: msg, Content: payload, Clock: c.scratch.Encode(),
 	}))
 	env.ReturnBroadcast(msg)
 }
@@ -64,21 +78,24 @@ func (c *Causal) OnReceive(env *sched.Env, from model.ProcID, payload model.Payl
 	env.SendAll(encodeFrame(Frame{
 		T: "echo", Origin: fr.Origin, Msg: fr.Msg, Content: fr.Content, Clock: fr.Clock,
 	}))
-	c.pending = append(c.pending, fr)
+	clock, err := vc.Decode(fr.Clock)
+	if err != nil {
+		// Malformed clock: the frame could never become deliverable, so
+		// it is dropped rather than parked forever (the pre-overhaul code
+		// re-decoded — and re-failed — on every delivery check).
+		return
+	}
+	c.pending = append(c.pending, pendingFrame{fr: fr, clock: clock})
 	c.drain(env)
 }
 
 // deliverable reports whether the frame's causal predecessors have all
 // been delivered locally.
-func (c *Causal) deliverable(fr Frame) bool {
-	clock, err := vc.Decode(fr.Clock)
-	if err != nil {
-		return false // malformed clock: never deliverable, never blocks others
-	}
+func (c *Causal) deliverable(pf pendingFrame) bool {
 	for j := 1; j <= c.n; j++ {
-		cj := clock.Get(j)
+		cj := pf.clock.Get(j)
 		dj := c.delivered.Get(j)
-		if model.ProcID(j) == fr.Origin {
+		if model.ProcID(j) == pf.fr.Origin {
 			if dj != cj {
 				return false
 			}
@@ -94,13 +111,13 @@ func (c *Causal) drain(env *sched.Env) {
 	for {
 		progress := false
 		for i := 0; i < len(c.pending); i++ {
-			fr := c.pending[i]
-			if !c.deliverable(fr) {
+			pf := c.pending[i]
+			if !c.deliverable(pf) {
 				continue
 			}
 			c.pending = append(c.pending[:i], c.pending[i+1:]...)
-			c.delivered.Tick(int(fr.Origin))
-			env.Deliver(fr.Msg, fr.Origin, fr.Content)
+			c.delivered.Tick(int(pf.fr.Origin))
+			env.Deliver(pf.fr.Msg, pf.fr.Origin, pf.fr.Content)
 			progress = true
 			break
 		}

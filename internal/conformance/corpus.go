@@ -1,0 +1,95 @@
+package conformance
+
+import (
+	"context"
+	"fmt"
+
+	"nobroadcast/internal/broadcast"
+	"nobroadcast/internal/obs"
+	"nobroadcast/internal/rng"
+	"nobroadcast/internal/sweep"
+	"nobroadcast/internal/workload"
+)
+
+// Corpus returns the standard differential battery: every registered
+// candidate crossed with a few (N, K, workload) points. The list — order,
+// sizes, and per-cell seeds (derived from the root seed by position) — is
+// a pure function of seed, so two parties holding the same root seed run
+// the identical corpus.
+func Corpus(seed uint64) []Config {
+	points := []struct {
+		n, k     int
+		kind     workload.Kind
+		messages int
+	}{
+		{n: 2, k: 1, kind: workload.Single, messages: 6},
+		{n: 3, k: 2, kind: workload.Uniform, messages: 6},
+		{n: 4, k: 2, kind: workload.Uniform, messages: 8},
+	}
+	var cfgs []Config
+	i := uint64(0)
+	for _, cand := range broadcast.AllCandidates() {
+		for _, pt := range points {
+			s := rng.Derive(seed, i)
+			i++
+			cfgs = append(cfgs, Config{
+				Candidate: cand,
+				N:         pt.n,
+				K:         pt.k,
+				Workload:  workload.Config{Kind: pt.kind, Messages: pt.messages, Seed: s},
+				Seed:      s,
+			})
+		}
+	}
+	return cfgs
+}
+
+// CellSummary is the comparable outcome of one corpus cell: the verdict
+// bits the corpus asserts on, stripped of traces and runtime handles.
+type CellSummary struct {
+	Candidate string
+	N, K      int
+	Steps     int
+
+	VerdictsAgree       bool
+	CounterexampleFound bool
+	DeliverySetsAgree   bool
+	NetComplete         bool
+	LiveAgrees          bool
+}
+
+// String renders the summary as one stable line (the corpus determinism
+// test compares these byte-for-byte across worker counts).
+func (s CellSummary) String() string {
+	return fmt.Sprintf("%s n=%d k=%d verdicts=%t cex=%t sets=%t complete=%t live=%t",
+		s.Candidate, s.N, s.K, s.VerdictsAgree, s.CounterexampleFound,
+		s.DeliverySetsAgree, s.NetComplete, s.LiveAgrees)
+}
+
+// RunCorpus runs the configs concurrently on the sweep engine and returns
+// one summary per config, in config order. Each cell is a full
+// differential check (Check), so a corpus over C candidates exercises C
+// concurrent networks' worth of goroutines bounded by workers cells at a
+// time. Failures are aggregated per cell (sweep.Errors); the summaries of
+// the cells that did succeed are returned alongside.
+func RunCorpus(ctx context.Context, cfgs []Config, workers int, reg *obs.Registry) ([]CellSummary, error) {
+	return sweep.Run(ctx, len(cfgs), sweep.Options{Workers: workers, Obs: reg},
+		func(ctx context.Context, c sweep.Cell) (CellSummary, error) {
+			cfg := cfgs[c.Index]
+			res, err := Check(cfg)
+			if err != nil {
+				return CellSummary{}, err
+			}
+			return CellSummary{
+				Candidate:           cfg.Candidate.Name,
+				N:                   cfg.N,
+				K:                   cfg.K,
+				Steps:               res.Sched.Trace.X.Len(),
+				VerdictsAgree:       res.VerdictsAgree,
+				CounterexampleFound: res.CounterexampleFound,
+				DeliverySetsAgree:   res.DeliverySetsAgree,
+				NetComplete:         res.NetComplete,
+				LiveAgrees:          res.LiveAgrees,
+			}, nil
+		})
+}

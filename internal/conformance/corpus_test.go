@@ -1,0 +1,73 @@
+package conformance_test
+
+import (
+	"context"
+	"testing"
+
+	"nobroadcast/internal/broadcast"
+	"nobroadcast/internal/conformance"
+	"nobroadcast/internal/obs"
+)
+
+// TestCorpusIsPureInSeed: two Corpus calls with the same root seed produce
+// the identical config list; a different root changes the workload seeds
+// but not the grid shape.
+func TestCorpusIsPureInSeed(t *testing.T) {
+	t.Parallel()
+	a, b := conformance.Corpus(11), conformance.Corpus(11)
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("corpus sizes: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Candidate.Name != b[i].Candidate.Name || a[i].Seed != b[i].Seed ||
+			a[i].N != b[i].N || a[i].K != b[i].K {
+			t.Fatalf("cell %d differs between identical-seed corpora", i)
+		}
+	}
+	c := conformance.Corpus(12)
+	if len(c) != len(a) {
+		t.Fatalf("grid shape depends on seed: %d vs %d cells", len(c), len(a))
+	}
+	if c[0].Seed == a[0].Seed {
+		t.Error("different roots derived the same cell seed")
+	}
+}
+
+// TestRunCorpusConcurrent is the concurrent differential battery: the full
+// corpus — every candidate × every grid point, each cell spinning up its
+// own concurrent network — run through the sweep engine at 4 workers. The
+// summaries come back in config order with every cell's identity intact.
+func TestRunCorpusConcurrent(t *testing.T) {
+	t.Parallel()
+	cfgs := conformance.Corpus(31)
+	reg := obs.New()
+	sums, err := conformance.RunCorpus(context.Background(), cfgs, 4, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) != len(cfgs) {
+		t.Fatalf("%d summaries for %d configs", len(sums), len(cfgs))
+	}
+	for i, s := range sums {
+		if s.Candidate != cfgs[i].Candidate.Name || s.N != cfgs[i].N || s.K != cfgs[i].K {
+			t.Errorf("summary %d = %v, want cell for %s n=%d k=%d",
+				i, s, cfgs[i].Candidate.Name, cfgs[i].N, cfgs[i].K)
+		}
+		if s.Steps == 0 {
+			t.Errorf("summary %d records an empty deterministic trace", i)
+		}
+	}
+	if got, want := reg.Counter("sweep.cells_completed").Value(), int64(len(cfgs)); got != want {
+		t.Errorf("cells_completed = %d, want %d", got, want)
+	}
+	// Sanity on the corpus coverage: every registered candidate appears.
+	seen := map[string]bool{}
+	for _, s := range sums {
+		seen[s.Candidate] = true
+	}
+	for _, cand := range broadcast.AllCandidates() {
+		if !seen[cand.Name] {
+			t.Errorf("corpus misses candidate %s", cand.Name)
+		}
+	}
+}

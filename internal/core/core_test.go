@@ -2,6 +2,8 @@ package core_test
 
 import (
 	"bytes"
+	"context"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -11,6 +13,7 @@ import (
 	"nobroadcast/internal/obs"
 	"nobroadcast/internal/sched"
 	"nobroadcast/internal/spec"
+	"nobroadcast/internal/sweep"
 	"nobroadcast/internal/trace"
 )
 
@@ -89,11 +92,27 @@ func TestLemma9Pipeline(t *testing.T) {
 		// power cannot come from k-SA.
 		{"total-order", 2, core.OutcomeAgreementViolated},
 	}
-	for _, tt := range tests {
-		res := runPipeline(t, tt.name, tt.k)
-		if res.Outcome != tt.want {
-			t.Errorf("%s k=%d: outcome = %v, want %v (detail: %s)", tt.name, tt.k, res.Outcome, tt.want, res.Detail)
-		}
+	t.Parallel()
+	// The table is a candidate × k sweep (experiment E3): run it on the
+	// parallel sweep engine, one pipeline per cell.
+	_, err := sweep.Run(context.Background(), len(tests), sweep.Options{},
+		func(_ context.Context, cell sweep.Cell) (struct{}, error) {
+			tt := tests[cell.Index]
+			c, err := broadcast.Lookup(tt.name)
+			if err != nil {
+				return struct{}{}, err
+			}
+			res, err := core.RunImpossibility(c, tt.k, core.Options{})
+			if err != nil {
+				return struct{}{}, fmt.Errorf("RunImpossibility(%s, k=%d): %w", tt.name, tt.k, err)
+			}
+			if res.Outcome != tt.want {
+				return struct{}{}, fmt.Errorf("%s k=%d: outcome = %v, want %v (detail: %s)", tt.name, tt.k, res.Outcome, tt.want, res.Detail)
+			}
+			return struct{}{}, nil
+		})
+	if err != nil {
+		t.Error(err)
 	}
 }
 

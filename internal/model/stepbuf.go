@@ -1,0 +1,76 @@
+package model
+
+// StepBuffer accumulates the steps of a growing execution in fixed-size
+// chunks. A plain []Step grows by realloc-and-copy: recording a 100k-step
+// trace through append copies every step several times over and leaves a
+// trail of abandoned backing arrays roughly 4× the final size. The buffer
+// never moves a step once written — each chunk is allocated once and filled
+// in place — so recording is one chunk allocation per chunkSize steps and
+// zero copying. Materializing a contiguous []Step (for the readers that
+// index executions directly) is a single exactly-sized allocation plus one
+// copy, paid only when a reader actually asks.
+//
+// The zero value is an empty buffer ready for use. A StepBuffer is not safe
+// for concurrent use; callers that share one across goroutines (the
+// concurrent runtime's recorder) serialize access themselves.
+type StepBuffer struct {
+	// chunks are all full except the last; the invariant lets At and
+	// AppendTo address step i as chunks[i/chunkSize][i%chunkSize].
+	chunks [][]Step
+	n      int
+}
+
+// chunkSize is the number of steps per chunk: 1024 steps ≈ 100 KiB per
+// chunk, large enough to amortize allocation, small enough that short
+// traces don't overcommit.
+const chunkSize = 1024
+
+// Append adds one step at the end of the buffer.
+func (b *StepBuffer) Append(s Step) {
+	last := len(b.chunks) - 1
+	if last < 0 || len(b.chunks[last]) == chunkSize {
+		b.chunks = append(b.chunks, make([]Step, 0, chunkSize))
+		last++
+	}
+	b.chunks[last] = append(b.chunks[last], s)
+	b.n++
+}
+
+// Len returns the number of buffered steps.
+func (b *StepBuffer) Len() int { return b.n }
+
+// At returns step i (0-based). It panics when i is out of range, matching
+// slice indexing.
+func (b *StepBuffer) At(i int) Step {
+	if i < 0 || i >= b.n {
+		panic("model: StepBuffer index out of range")
+	}
+	return b.chunks[i/chunkSize][i%chunkSize]
+}
+
+// AppendTo copies the steps dst does not yet hold — those at indices
+// len(dst)..Len()-1 — onto dst and returns the result. When dst lacks
+// capacity it is reallocated once, exactly sized, so repeated calls against
+// a growing buffer (the runtime materializes its execution at phase
+// boundaries) copy each step into the canonical slice at most once per
+// materialization, never through append's geometric over-allocation.
+func (b *StepBuffer) AppendTo(dst []Step) []Step {
+	if len(dst) > b.n {
+		panic("model: StepBuffer.AppendTo on a destination longer than the buffer")
+	}
+	if cap(dst) < b.n {
+		grown := make([]Step, len(dst), b.n)
+		copy(grown, dst)
+		dst = grown
+	}
+	for len(dst) < b.n {
+		i := len(dst)
+		dst = append(dst, b.chunks[i/chunkSize][i%chunkSize:]...)
+	}
+	return dst
+}
+
+// Steps materializes the whole buffer as a fresh, exactly-sized slice.
+func (b *StepBuffer) Steps() []Step {
+	return b.AppendTo(make([]Step, 0, b.n))
+}

@@ -1,0 +1,38 @@
+package model
+
+import "testing"
+
+// BenchmarkTraceAppend compares the two ways of recording a long trace:
+// the pre-overhaul representation (one []Step grown through append, each
+// growth a realloc-and-copy of everything recorded so far) against the
+// chunked StepBuffer, including the final contiguous materialization the
+// buffer's readers pay. Run with -benchmem: the headline is allocated
+// bytes per recorded step, not time.
+func BenchmarkTraceAppend(b *testing.B) {
+	const steps = 100_000
+	b.Run("naive", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var x Execution
+			for j := 0; j < steps; j++ {
+				x.Steps = append(x.Steps, Step{Proc: ProcID(j%5 + 1), Kind: KindInternal, Msg: MsgID(j)})
+			}
+			if x.Len() != steps {
+				b.Fatal("bad length")
+			}
+		}
+	})
+	b.Run("chunked", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var buf StepBuffer
+			for j := 0; j < steps; j++ {
+				buf.Append(Step{Proc: ProcID(j%5 + 1), Kind: KindInternal, Msg: MsgID(j)})
+			}
+			x := Execution{Steps: buf.Steps()}
+			if x.Len() != steps {
+				b.Fatal("bad length")
+			}
+		}
+	})
+}

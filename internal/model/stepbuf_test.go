@@ -1,0 +1,77 @@
+package model
+
+import "testing"
+
+func mkStep(i int) Step {
+	return Step{Proc: ProcID(i%5 + 1), Kind: KindInternal, Msg: MsgID(i)}
+}
+
+func TestStepBufferAppendAtLen(t *testing.T) {
+	var b StepBuffer
+	const n = 3*chunkSize + 17 // cross several chunk boundaries
+	for i := 0; i < n; i++ {
+		b.Append(mkStep(i))
+		if b.Len() != i+1 {
+			t.Fatalf("Len = %d after %d appends", b.Len(), i+1)
+		}
+	}
+	for _, i := range []int{0, 1, chunkSize - 1, chunkSize, 2*chunkSize + 5, n - 1} {
+		if got := b.At(i); got != mkStep(i) {
+			t.Errorf("At(%d) = %+v, want %+v", i, got, mkStep(i))
+		}
+	}
+}
+
+func TestStepBufferAtPanicsOutOfRange(t *testing.T) {
+	var b StepBuffer
+	b.Append(mkStep(0))
+	for _, i := range []int{-1, 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("At(%d) on len-1 buffer did not panic", i)
+				}
+			}()
+			b.At(i)
+		}()
+	}
+}
+
+func TestStepBufferAppendToIncremental(t *testing.T) {
+	var b StepBuffer
+	var dst []Step
+	total := 0
+	// Materialize at irregular boundaries, including mid-chunk and
+	// zero-growth calls, and check the canonical slice matches throughout.
+	for _, grow := range []int{0, 1, chunkSize - 1, 3, 2 * chunkSize, 0, 7} {
+		for i := 0; i < grow; i++ {
+			b.Append(mkStep(total + i))
+		}
+		total += grow
+		dst = b.AppendTo(dst)
+		if len(dst) != total {
+			t.Fatalf("after growth to %d: len(dst) = %d", total, len(dst))
+		}
+		for i, s := range dst {
+			if s != mkStep(i) {
+				t.Fatalf("dst[%d] = %+v, want %+v", i, s, mkStep(i))
+			}
+		}
+	}
+	// Steps() is an independent exact-size materialization.
+	all := b.Steps()
+	if len(all) != total || cap(all) != total {
+		t.Errorf("Steps(): len=%d cap=%d, want both %d", len(all), cap(all), total)
+	}
+}
+
+func TestStepBufferAppendToRejectsLongerDst(t *testing.T) {
+	var b StepBuffer
+	b.Append(mkStep(0))
+	defer func() {
+		if recover() == nil {
+			t.Error("AppendTo with over-long dst did not panic")
+		}
+	}()
+	b.AppendTo(make([]Step, 2))
+}

@@ -26,19 +26,22 @@ import (
 // Point-to-point sends and receives are not (the channel-level specs are
 // the deterministic runtime's domain).
 type recorder struct {
-	mu      sync.Mutex
-	x       *model.Execution // nil in streaming-only mode
-	mon     *spec.Monitor    // nil without live specs
+	mu sync.Mutex
+	// buf holds the kept step log in chunked blocks — node goroutines
+	// append under the mutex, and chunked growth keeps the critical
+	// section free of realloc-and-copy pauses on long runs. keep is false
+	// in streaming-only mode (no step log retained).
+	buf     model.StepBuffer
+	keep    bool
+	n       int
+	mon     *spec.Monitor // nil without live specs
 	steps   int
 	liveV   *spec.Violation
 	liveIdx int
 }
 
 func newRecorder(n int, keep bool, specs []spec.Spec) *recorder {
-	r := &recorder{liveIdx: -1}
-	if keep {
-		r.x = model.NewExecution(n)
-	}
+	r := &recorder{liveIdx: -1, keep: keep, n: n}
 	if len(specs) > 0 {
 		r.mon = spec.NewMonitor(n, specs...)
 	}
@@ -54,8 +57,8 @@ func (r *recorder) record(s model.Step) {
 	r.mu.Lock()
 	idx := r.steps
 	r.steps++
-	if r.x != nil {
-		r.x.Append(s)
+	if r.keep {
+		r.buf.Append(s)
 	}
 	if r.mon != nil {
 		if v := r.mon.Feed(s); v != nil && r.liveV == nil {
@@ -71,12 +74,12 @@ func (r *recorder) record(s model.Step) {
 // the network cannot know a run quiesced; callers that do (the conformance
 // harness, after every delivery arrived) set it before checking liveness.
 func (nw *Network) Trace() *trace.Trace {
-	if nw.rec == nil || nw.rec.x == nil {
+	if nw.rec == nil || !nw.rec.keep {
 		return nil
 	}
 	nw.rec.mu.Lock()
 	defer nw.rec.mu.Unlock()
-	return &trace.Trace{X: nw.rec.x.Clone()}
+	return &trace.Trace{X: &model.Execution{N: nw.rec.n, Steps: nw.rec.buf.Steps()}}
 }
 
 // LiveViolation returns the first violation latched by the live checkers

@@ -61,6 +61,21 @@ func (s *Source) Split() *Source {
 	return New(s.Uint64())
 }
 
+// Derive returns the seed of sub-stream i of the stream rooted at root.
+// Unlike Split, the derivation is a pure function of (root, i): any party
+// that knows the root seed and the sub-stream index obtains the same seed,
+// in any order. The parallel sweep engine (internal/sweep) relies on this
+// to hand every grid cell its own deterministic generator regardless of
+// which worker picks the cell up, keeping sweep results bit-identical
+// across worker counts.
+//
+// The derivation is one splitmix64 step at state root + (i+1)·golden — the
+// same increment the generator itself uses — so distinct indices land on
+// distinct states of the underlying Weyl sequence.
+func Derive(root uint64, i uint64) uint64 {
+	return New(root + (i+1)*0x9e3779b97f4a7c15).Uint64()
+}
+
 // Perm returns a pseudo-random permutation of [0, n).
 func (s *Source) Perm(n int) []int {
 	p := make([]int, n)

@@ -60,7 +60,7 @@ func (r *Runtime) liveError() error {
 	if r.liveV == nil {
 		return nil
 	}
-	return &LiveViolationError{V: r.liveV, StepIdx: r.liveIdx, Trace: &trace.Trace{X: r.x}}
+	return &LiveViolationError{V: r.liveV, StepIdx: r.liveIdx, Trace: &trace.Trace{X: r.Execution()}}
 }
 
 func (o RunOptions) maxEvents() int {
@@ -202,7 +202,7 @@ func (r *Runtime) RunRandom(opts RunOptions) (*trace.Trace, error) {
 		count++
 	}
 	r.met.dispatched(count)
-	return &trace.Trace{X: r.x, Complete: r.quiescentWith(st)}, nil
+	return &trace.Trace{X: r.Execution(), Complete: r.quiescentWith(st)}, nil
 }
 
 // RunFair drives the runtime with a deterministic fair schedule: each
@@ -285,5 +285,5 @@ func (r *Runtime) RunFair(opts RunOptions) (*trace.Trace, error) {
 		}
 	}
 	r.met.dispatched(count)
-	return &trace.Trace{X: r.x, Complete: r.quiescentWith(st)}, nil
+	return &trace.Trace{X: r.Execution(), Complete: r.quiescentWith(st)}, nil
 }

@@ -251,12 +251,21 @@ const DefaultAppObject model.KSAID = 1000
 
 // Runtime executes automata step by step and records the execution.
 type Runtime struct {
-	cfg     Config
+	cfg Config
+	// buf holds the recorded steps in chunked blocks (no realloc-and-copy
+	// growth on long runs); x is the contiguous view, materialized lazily
+	// by Execution and extended incrementally as the run grows.
+	buf     model.StepBuffer
 	x       *model.Execution
 	procs   []*procState
 	network []inFlight
 	nextMsg model.MsgID
 	met     *schedMetrics
+	// envFree pools the action slices handlers emit into: dispatch reuses
+	// a drained slice's backing array instead of allocating one per
+	// handler call. Handlers never run nested (only the dispatch loop
+	// invokes them), so a small free list suffices.
+	envFree [][]action
 	// mon checks LiveSpecs incrementally as steps are recorded; nil when
 	// no live specs are configured.
 	mon     *spec.Monitor
@@ -317,15 +326,26 @@ func New(cfg Config) (*Runtime, error) {
 }
 
 // Execution returns the execution recorded so far. Callers must not
-// mutate it while the runtime is still running.
-func (r *Runtime) Execution() *model.Execution { return r.x }
+// mutate it while the runtime is still running. The returned value is the
+// runtime's canonical execution: steps recorded since the previous call
+// are appended to it (one exact-size reallocation at most), and later
+// calls extend the same object, so traces built from it observe run
+// extensions just as they did when recording appended directly.
+func (r *Runtime) Execution() *model.Execution {
+	r.x.Steps = r.buf.AppendTo(r.x.Steps)
+	return r.x
+}
+
+// StepCount returns the number of steps recorded so far without
+// materializing the execution.
+func (r *Runtime) StepCount() int { return r.buf.Len() }
 
 // record appends a step to the execution and counts it. With live specs
 // configured, the step is also fed to their incremental checkers, and the
 // first overall violation is latched together with its step index.
 func (r *Runtime) record(s model.Step) {
-	idx := len(r.x.Steps)
-	r.x.Append(s)
+	idx := r.buf.Len()
+	r.buf.Append(s)
 	r.met.record(s)
 	if r.mon != nil {
 		if v := r.mon.Feed(s); v != nil && r.liveV == nil {
@@ -362,12 +382,23 @@ func (r *Runtime) proc(p model.ProcID) (*procState, error) {
 }
 
 // runAutomaton invokes an automaton handler and appends the emitted
-// actions to the process's queue.
+// actions to the process's queue. The emission slice comes from a per-
+// runtime free list: the actions are copied onto the process queue as soon
+// as the handler returns, so the backing array is immediately reusable by
+// the next dispatch instead of garbage.
 func (r *Runtime) runAutomaton(ps *procState, call func(env *Env)) {
-	env := &Env{id: ps.id, n: r.cfg.N}
-	call(env)
+	var scratch []action
+	if k := len(r.envFree); k > 0 {
+		scratch = r.envFree[k-1]
+		r.envFree = r.envFree[:k-1]
+	}
+	env := Env{id: ps.id, n: r.cfg.N, emitted: scratch}
+	call(&env)
 	r.met.emitted(len(env.emitted))
 	ps.pending = append(ps.pending, env.emitted...)
+	if cap(env.emitted) > 0 {
+		r.envFree = append(r.envFree, env.emitted[:0])
+	}
 }
 
 // appEnv adapts the runtime to the AppEnv interface.

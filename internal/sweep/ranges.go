@@ -1,0 +1,31 @@
+package sweep
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseRange parses the CLI grid-axis syntax: a single integer "3" (a
+// one-point range) or an inclusive span "2..5". The span must be ascending.
+func ParseRange(s string) (lo, hi int, err error) {
+	if a, b, ok := strings.Cut(s, ".."); ok {
+		lo, err = strconv.Atoi(strings.TrimSpace(a))
+		if err != nil {
+			return 0, 0, fmt.Errorf("sweep: bad range %q: %v", s, err)
+		}
+		hi, err = strconv.Atoi(strings.TrimSpace(b))
+		if err != nil {
+			return 0, 0, fmt.Errorf("sweep: bad range %q: %v", s, err)
+		}
+		if hi < lo {
+			return 0, 0, fmt.Errorf("sweep: descending range %q", s)
+		}
+		return lo, hi, nil
+	}
+	lo, err = strconv.Atoi(strings.TrimSpace(s))
+	if err != nil {
+		return 0, 0, fmt.Errorf("sweep: bad range %q: %v", s, err)
+	}
+	return lo, lo, nil
+}

@@ -1,0 +1,263 @@
+// Package sweep runs parameter grids — (candidate, k, N, seed, …) cells —
+// across a bounded worker pool while keeping the aggregate result
+// bit-identical to a serial run. Determinism under parallelism rests on two
+// rules:
+//
+//  1. Every cell's randomness comes from a generator seeded by
+//     rng.Derive(root, index) — a pure function of the sweep's root seed
+//     and the cell's position, independent of which worker runs the cell
+//     or in what order.
+//  2. Results land in a slice indexed by cell position, so collection
+//     order is the cell order, not completion order.
+//
+// A cell that panics is captured (value plus stack) and surfaced as a
+// structured *CellError rather than tearing the pool down; with
+// Options.FailFast the first failure cancels the remaining cells instead.
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"nobroadcast/internal/obs"
+	"nobroadcast/internal/rng"
+)
+
+// Options configures one sweep.
+type Options struct {
+	// Workers bounds the number of cells in flight. Zero or negative means
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// Seed is the root seed; cell i runs with Seed derived as
+	// rng.Derive(Seed, i). The worker count never enters the derivation.
+	Seed uint64
+	// FailFast cancels outstanding cells after the first failure. Without
+	// it every cell runs and all failures are reported together.
+	FailFast bool
+	// Obs, when non-nil, receives sweep instrumentation: counters
+	// sweep.cells_started / sweep.cells_completed / sweep.cells_failed and
+	// sweep.busy_ns (summed per-cell wall time, for wall-vs-cpu
+	// comparison), gauge sweep.inflight, and a "sweep.wall" span per Run.
+	Obs *obs.Registry
+}
+
+// Cell identifies one unit of sweep work: its position in the grid and the
+// seed every run of that position receives.
+type Cell struct {
+	Index int
+	Seed  uint64
+}
+
+// RNG returns a fresh generator for the cell. Multiple calls return
+// generators with identical streams.
+func (c Cell) RNG() *rng.Source { return rng.New(c.Seed) }
+
+// CellError wraps a failure of one cell with its position.
+type CellError struct {
+	Index int
+	Err   error
+}
+
+func (e *CellError) Error() string { return fmt.Sprintf("cell %d: %v", e.Index, e.Err) }
+
+// Unwrap exposes the underlying error to errors.Is / errors.As.
+func (e *CellError) Unwrap() error { return e.Err }
+
+// PanicError is the error a panicking cell is converted to.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string { return fmt.Sprintf("panic: %v", e.Value) }
+
+// Errors aggregates every failed cell of a sweep, ordered by cell index.
+type Errors []*CellError
+
+func (es Errors) Error() string {
+	if len(es) == 1 {
+		return es[0].Error()
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d cells failed:", len(es))
+	for _, e := range es {
+		b.WriteString("\n\t")
+		b.WriteString(e.Error())
+	}
+	return b.String()
+}
+
+// Unwrap exposes the individual cell errors to errors.Is / errors.As.
+func (es Errors) Unwrap() []error {
+	out := make([]error, len(es))
+	for i, e := range es {
+		out[i] = e
+	}
+	return out
+}
+
+// Run evaluates fn over cells 0..n-1 on a bounded worker pool and returns
+// the results in cell order. The returned slice always has length n; a
+// cell that failed (or was cancelled) leaves the zero T at its index.
+//
+// The error is nil when every cell succeeded; otherwise it is an Errors
+// listing every failed cell by index. Cancellation — the caller's ctx, or
+// fail-fast after a first failure — surfaces as cells failing with
+// context.Canceled.
+//
+// fn must be safe to call from multiple goroutines for distinct cells.
+// Determinism contract: if fn's output depends only on its Cell (using
+// Cell.Seed / Cell.RNG for all randomness), the returned slice is
+// bit-identical for every worker count.
+func Run[T any](ctx context.Context, n int, opts Options, fn func(ctx context.Context, c Cell) (T, error)) ([]T, error) {
+	results := make([]T, max(n, 0))
+	if n <= 0 {
+		return results, nil
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	reg := opts.Obs
+	started := reg.Counter("sweep.cells_started")
+	completed := reg.Counter("sweep.cells_completed")
+	failed := reg.Counter("sweep.cells_failed")
+	busyNS := reg.Counter("sweep.busy_ns")
+	inflight := reg.Gauge("sweep.inflight")
+	span := reg.StartSpan("sweep.wall")
+	defer span.End()
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		mu       sync.Mutex
+		failures Errors
+		wg       sync.WaitGroup
+	)
+	fail := func(i int, err error) {
+		mu.Lock()
+		failures = append(failures, &CellError{Index: i, Err: err})
+		mu.Unlock()
+		failed.Inc()
+		if opts.FailFast {
+			cancel()
+		}
+	}
+
+	// runCell isolates the recover scope so a panic in fn aborts only the
+	// cell, not the worker.
+	runCell := func(c Cell) (result T, err error) {
+		defer func() {
+			if v := recover(); v != nil {
+				err = &PanicError{Value: v, Stack: debug.Stack()}
+			}
+		}()
+		return fn(ctx, c)
+	}
+
+	idx := make(chan int)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				// A cell handed over concurrently with cancellation is
+				// failed, not run: after fail-fast fires, no further fn
+				// call starts.
+				if ctx.Err() != nil {
+					fail(i, context.Cause(ctx))
+					continue
+				}
+				started.Inc()
+				inflight.Inc()
+				t0 := time.Now()
+				v, err := runCell(Cell{Index: i, Seed: rng.Derive(opts.Seed, uint64(i))})
+				busyNS.Add(time.Since(t0).Nanoseconds())
+				inflight.Dec()
+				if err != nil {
+					fail(i, err)
+				} else {
+					results[i] = v
+					completed.Inc()
+				}
+			}
+		}()
+	}
+
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			// Cells never handed to a worker fail with the cancellation
+			// cause, so callers can tell "not run" from "ran and failed".
+			for ; i < n; i++ {
+				fail(i, context.Cause(ctx))
+			}
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+
+	if len(failures) == 0 {
+		return results, nil
+	}
+	sort.Slice(failures, func(a, b int) bool { return failures[a].Index < failures[b].Index })
+	return results, failures
+}
+
+// Range returns the inclusive integer range lo..hi as a slice (empty when
+// hi < lo), a convenience for building sweep grids.
+func Range(lo, hi int) []int {
+	if hi < lo {
+		return nil
+	}
+	out := make([]int, 0, hi-lo+1)
+	for v := lo; v <= hi; v++ {
+		out = append(out, v)
+	}
+	return out
+}
+
+// Pair is one point of a two-axis grid.
+type Pair struct{ A, B int }
+
+// Pairs returns the row-major cross product a × b: the cell order every
+// two-axis sweep in this repository uses.
+func Pairs(a, b []int) []Pair {
+	out := make([]Pair, 0, len(a)*len(b))
+	for _, x := range a {
+		for _, y := range b {
+			out = append(out, Pair{A: x, B: y})
+		}
+	}
+	return out
+}
+
+// IsCancelled reports whether err (possibly an Errors aggregate) is due
+// solely to cancellation rather than real cell failures.
+func IsCancelled(err error) bool {
+	var es Errors
+	if !errors.As(err, &es) {
+		return errors.Is(err, context.Canceled)
+	}
+	for _, e := range es {
+		if !errors.Is(e.Err, context.Canceled) {
+			return false
+		}
+	}
+	return len(es) > 0
+}

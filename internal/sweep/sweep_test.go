@@ -1,0 +1,294 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"nobroadcast/internal/obs"
+	"nobroadcast/internal/rng"
+)
+
+func TestRunCollectsInCellOrder(t *testing.T) {
+	t.Parallel()
+	for _, workers := range []int{1, 3, 8} {
+		got, err := Run(context.Background(), 100, Options{Workers: workers},
+			func(_ context.Context, c Cell) (int, error) { return c.Index * c.Index, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: results[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestRunEmptyAndNegative(t *testing.T) {
+	t.Parallel()
+	for _, n := range []int{0, -3} {
+		got, err := Run(context.Background(), n, Options{},
+			func(_ context.Context, _ Cell) (int, error) { return 1, nil })
+		if err != nil || len(got) != 0 {
+			t.Errorf("n=%d: got %v, %v; want empty, nil", n, got, err)
+		}
+	}
+}
+
+func TestRunSeedsAreWorkerIndependent(t *testing.T) {
+	t.Parallel()
+	const root = 42
+	collect := func(workers int) []uint64 {
+		seeds, err := Run(context.Background(), 64, Options{Workers: workers, Seed: root},
+			func(_ context.Context, c Cell) (uint64, error) { return c.Seed, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return seeds
+	}
+	base := collect(1)
+	for i, s := range base {
+		if want := rng.Derive(root, uint64(i)); s != want {
+			t.Fatalf("cell %d seed = %#x, want Derive = %#x", i, s, want)
+		}
+	}
+	for _, workers := range []int{4, 16} {
+		for i, s := range collect(workers) {
+			if s != base[i] {
+				t.Fatalf("workers=%d: cell %d seed differs from serial run", workers, i)
+			}
+		}
+	}
+}
+
+func TestRunCapturesPanics(t *testing.T) {
+	t.Parallel()
+	got, err := Run(context.Background(), 5, Options{Workers: 2},
+		func(_ context.Context, c Cell) (int, error) {
+			if c.Index == 3 {
+				panic("boom in cell three")
+			}
+			return c.Index, nil
+		})
+	var es Errors
+	if !errors.As(err, &es) || len(es) != 1 {
+		t.Fatalf("err = %v, want Errors with one cell", err)
+	}
+	if es[0].Index != 3 {
+		t.Errorf("failed cell = %d, want 3", es[0].Index)
+	}
+	var pe *PanicError
+	if !errors.As(es[0], &pe) {
+		t.Fatalf("cell error %v does not unwrap to *PanicError", es[0])
+	}
+	if pe.Value != "boom in cell three" {
+		t.Errorf("panic value = %v", pe.Value)
+	}
+	if !strings.Contains(string(pe.Stack), "sweep") {
+		t.Error("panic stack not captured")
+	}
+	// The pool survived: every other cell still produced its result.
+	for _, i := range []int{0, 1, 2, 4} {
+		if got[i] != i {
+			t.Errorf("results[%d] = %d after unrelated panic", i, got[i])
+		}
+	}
+}
+
+func TestRunAggregatesAllFailuresByIndex(t *testing.T) {
+	t.Parallel()
+	sentinel := errors.New("odd cell")
+	_, err := Run(context.Background(), 10, Options{Workers: 4},
+		func(_ context.Context, c Cell) (int, error) {
+			if c.Index%2 == 1 {
+				return 0, fmt.Errorf("cell says: %w", sentinel)
+			}
+			return c.Index, nil
+		})
+	var es Errors
+	if !errors.As(err, &es) || len(es) != 5 {
+		t.Fatalf("err = %v, want 5 aggregated failures", err)
+	}
+	for i, e := range es {
+		if want := 2*i + 1; e.Index != want {
+			t.Errorf("failures[%d].Index = %d, want %d (sorted by cell)", i, e.Index, want)
+		}
+		if !errors.Is(e, sentinel) {
+			t.Errorf("failures[%d] does not unwrap to the sentinel", i)
+		}
+	}
+	if !errors.Is(err, sentinel) {
+		t.Error("aggregate Errors does not unwrap to the sentinel")
+	}
+}
+
+func TestRunFailFastCancelsRemainingCells(t *testing.T) {
+	t.Parallel()
+	// One worker makes the schedule sequential: cell 2 fails, so cells
+	// 3..9 must be cancelled without running.
+	ran := make([]bool, 10)
+	_, err := Run(context.Background(), 10, Options{Workers: 1, FailFast: true},
+		func(_ context.Context, c Cell) (int, error) {
+			ran[c.Index] = true
+			if c.Index == 2 {
+				return 0, errors.New("fatal cell")
+			}
+			return c.Index, nil
+		})
+	var es Errors
+	if !errors.As(err, &es) {
+		t.Fatalf("err = %v, want Errors", err)
+	}
+	if len(es) != 8 {
+		t.Fatalf("got %d failures, want 8 (the fatal cell plus 7 cancelled)", len(es))
+	}
+	if es[0].Index != 2 || es[0].Err.Error() != "fatal cell" {
+		t.Errorf("first failure = %v, want the fatal cell", es[0])
+	}
+	for i := 3; i < 10; i++ {
+		if ran[i] {
+			t.Errorf("cell %d ran after fail-fast cancellation", i)
+		}
+		if !errors.Is(es[i-2], context.Canceled) {
+			t.Errorf("cell %d error = %v, want context.Canceled", i, es[i-2].Err)
+		}
+	}
+}
+
+func TestRunHonorsCallerCancellation(t *testing.T) {
+	t.Parallel()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	got, err := Run(ctx, 4, Options{Workers: 2},
+		func(_ context.Context, c Cell) (int, error) { return c.Index + 1, nil })
+	if len(got) != 4 {
+		t.Fatalf("len(results) = %d, want 4 (zero-filled)", len(got))
+	}
+	if !IsCancelled(err) {
+		t.Fatalf("err = %v, want pure cancellation", err)
+	}
+	var es Errors
+	if !errors.As(err, &es) || len(es) != 4 {
+		t.Fatalf("err = %v, want 4 cancelled cells", err)
+	}
+}
+
+func TestIsCancelledDistinguishesRealFailures(t *testing.T) {
+	t.Parallel()
+	if IsCancelled(nil) {
+		t.Error("IsCancelled(nil)")
+	}
+	mixed := Errors{
+		{Index: 0, Err: context.Canceled},
+		{Index: 1, Err: errors.New("real")},
+	}
+	if IsCancelled(mixed) {
+		t.Error("IsCancelled true on a mix of cancellations and real failures")
+	}
+	pure := Errors{{Index: 0, Err: context.Canceled}}
+	if !IsCancelled(pure) {
+		t.Error("IsCancelled false on pure cancellation")
+	}
+}
+
+func TestRunObsInstrumentation(t *testing.T) {
+	t.Parallel()
+	reg := obs.New()
+	_, err := Run(context.Background(), 8, Options{Workers: 2, Obs: reg},
+		func(_ context.Context, c Cell) (int, error) {
+			if c.Index == 5 {
+				return 0, errors.New("one failure")
+			}
+			return 0, nil
+		})
+	if err == nil {
+		t.Fatal("expected one failure")
+	}
+	if v := reg.Counter("sweep.cells_started").Value(); v != 8 {
+		t.Errorf("cells_started = %d, want 8", v)
+	}
+	if v := reg.Counter("sweep.cells_completed").Value(); v != 7 {
+		t.Errorf("cells_completed = %d, want 7", v)
+	}
+	if v := reg.Counter("sweep.cells_failed").Value(); v != 1 {
+		t.Errorf("cells_failed = %d, want 1", v)
+	}
+	if v := reg.Gauge("sweep.inflight").Value(); v != 0 {
+		t.Errorf("inflight = %d after Run returned", v)
+	}
+	if m := reg.Gauge("sweep.inflight").Max(); m < 1 || m > 2 {
+		t.Errorf("inflight max = %d, want within worker bound 2", m)
+	}
+	spans := reg.Spans()
+	if len(spans) != 1 || spans[0].Name != "sweep.wall" {
+		t.Fatalf("spans = %v, want one sweep.wall", spans)
+	}
+	if reg.Counter("sweep.busy_ns").Value() < 0 {
+		t.Error("busy_ns negative")
+	}
+}
+
+func TestRangeAndPairs(t *testing.T) {
+	t.Parallel()
+	if got := Range(2, 5); len(got) != 4 || got[0] != 2 || got[3] != 5 {
+		t.Errorf("Range(2,5) = %v", got)
+	}
+	if got := Range(3, 3); len(got) != 1 || got[0] != 3 {
+		t.Errorf("Range(3,3) = %v", got)
+	}
+	if got := Range(5, 2); got != nil {
+		t.Errorf("Range(5,2) = %v, want nil", got)
+	}
+	ps := Pairs([]int{1, 2}, []int{10, 20, 30})
+	want := []Pair{{1, 10}, {1, 20}, {1, 30}, {2, 10}, {2, 20}, {2, 30}}
+	if len(ps) != len(want) {
+		t.Fatalf("Pairs = %v", ps)
+	}
+	for i := range want {
+		if ps[i] != want[i] {
+			t.Errorf("Pairs[%d] = %v, want %v (row-major)", i, ps[i], want[i])
+		}
+	}
+}
+
+func TestParseRange(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		in     string
+		lo, hi int
+		ok     bool
+	}{
+		{"3", 3, 3, true},
+		{"2..5", 2, 5, true},
+		{" 2 .. 5 ", 2, 5, true},
+		{"7..7", 7, 7, true},
+		{"5..2", 0, 0, false},
+		{"", 0, 0, false},
+		{"a..b", 0, 0, false},
+		{"2..", 0, 0, false},
+	}
+	for _, c := range cases {
+		lo, hi, err := ParseRange(c.in)
+		if c.ok != (err == nil) {
+			t.Errorf("ParseRange(%q) err = %v, want ok=%t", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && (lo != c.lo || hi != c.hi) {
+			t.Errorf("ParseRange(%q) = %d..%d, want %d..%d", c.in, lo, hi, c.lo, c.hi)
+		}
+	}
+}
+
+func TestCellRNGIsReplayable(t *testing.T) {
+	t.Parallel()
+	c := Cell{Index: 7, Seed: rng.Derive(99, 7)}
+	a, b := c.RNG(), c.RNG()
+	for i := 0; i < 16; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("two RNGs from the same cell diverge")
+		}
+	}
+}

@@ -9,6 +9,7 @@ package vc
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -90,37 +91,58 @@ func (v VC) Equal(other VC) bool {
 
 // String renders the clock as "[1 0 2]".
 func (v VC) String() string {
-	parts := make([]string, len(v))
+	b := make([]byte, 0, 2+4*len(v))
+	b = append(b, '[')
 	for i, x := range v {
-		parts[i] = fmt.Sprintf("%d", x)
+		if i > 0 {
+			b = append(b, ' ')
+		}
+		b = strconv.AppendUint(b, x, 10)
 	}
-	return "[" + strings.Join(parts, " ") + "]"
+	b = append(b, ']')
+	return string(b)
 }
 
 // Encode serializes the clock to a compact string for embedding in message
-// payloads ("1,0,2"). Decode inverts it.
+// payloads ("1,0,2"). Decode inverts it. The encoding is on the wire path
+// of every causal-broadcast message, so it builds the string with a single
+// allocation (strconv.AppendUint into a sized buffer) instead of the
+// per-component fmt round trips it used before.
 func (v VC) Encode() string {
-	parts := make([]string, len(v))
-	for i, x := range v {
-		parts[i] = fmt.Sprintf("%d", x)
+	if len(v) == 0 {
+		return ""
 	}
-	return strings.Join(parts, ",")
+	b := make([]byte, 0, 4*len(v))
+	for i, x := range v {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendUint(b, x, 10)
+	}
+	return string(b)
 }
 
 // Decode parses a clock produced by Encode. It returns an error on
-// malformed input.
+// malformed input. Components are scanned in place (string slicing, no
+// Split allocation); each must be a plain decimal uint64 — Decode rejects
+// trailing garbage such as "1x" that the old fmt.Sscanf-based scanner
+// silently tolerated.
 func Decode(s string) (VC, error) {
 	if s == "" {
 		return VC{}, nil
 	}
-	parts := strings.Split(s, ",")
-	v := make(VC, len(parts))
-	for i, p := range parts {
-		var x uint64
-		if _, err := fmt.Sscanf(p, "%d", &x); err != nil {
-			return nil, fmt.Errorf("vc: bad component %q: %w", p, err)
+	v := make(VC, 0, strings.Count(s, ",")+1)
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i < len(s) && s[i] != ',' {
+			continue
 		}
-		v[i] = x
+		x, err := strconv.ParseUint(s[start:i], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("vc: bad component %q: %w", s[start:i], err)
+		}
+		v = append(v, x)
+		start = i + 1
 	}
 	return v, nil
 }
