@@ -1,10 +1,10 @@
 # Convenience targets for the reproduction artifact.
-.PHONY: all test race bench bench-pr4 bench-all figure1 impossibility outputs metrics-smoke
+.PHONY: all test race bench bench-pr4 bench-all figure1 impossibility outputs metrics-smoke serve-smoke
 all: test
 test:
 	go build ./... && go vet ./... && go test ./...
 race:
-	go test -race ./internal/net ./internal/sharedmem ./internal/sched ./internal/conformance ./internal/sweep
+	go test -race ./internal/net ./internal/sharedmem ./internal/sched ./internal/conformance ./internal/sweep ./internal/serve
 stress:
 	go test -race -count=3 -run 'Reentrant|Concurrent|Stress|Stop|Reorder' ./internal/net
 
@@ -74,6 +74,26 @@ metrics-smoke:
 	grep -q 'sched.steps' /tmp/nobroadcast-metrics.txt
 	awk 'NF && ($$0 !~ /^\{"ts":".*","event":".*\}$$/) { bad=1 } END { exit bad }' /tmp/nobroadcast-events.jsonl
 	@echo "metrics smoke test passed"
+# serve-smoke: the daemon end to end — start ksasimd, run the same job
+# twice, require the repeat to be a cache hit (X-Cache header and the
+# serve.cache_hits counter on /vars), then SIGTERM and require a clean
+# drain: exit code 0 and the drain banner in the log.
+serve-smoke:
+	go build -o /tmp/ksasimd ./cmd/ksasimd
+	@set -e; \
+	/tmp/ksasimd -addr 127.0.0.1:8321 > /tmp/ksasimd.log 2>&1 & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true' EXIT; \
+	for i in $$(seq 1 100); do curl -sf http://127.0.0.1:8321/healthz >/dev/null 2>&1 && break; sleep 0.1; done; \
+	curl -sf -XPOST http://127.0.0.1:8321/v1/run -d '{"candidate":"fifo","n":3}' >/dev/null; \
+	curl -sf -XPOST http://127.0.0.1:8321/v1/run -d '{"candidate":"fifo","n":3}' -D /tmp/ksasimd-h2.txt >/dev/null; \
+	grep -qi 'x-cache: hit' /tmp/ksasimd-h2.txt; \
+	curl -sf http://127.0.0.1:8321/vars | grep -q '"serve.cache_hits":1'; \
+	kill -TERM $$pid; \
+	rc=0; wait $$pid || rc=$$?; \
+	trap - EXIT; \
+	test $$rc -eq 0; \
+	grep -q 'drained cleanly' /tmp/ksasimd.log; \
+	echo "serve smoke test passed"
 outputs:
 	go test ./... 2>&1 | tee test_output.txt
 	go test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt

@@ -34,13 +34,21 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "adversary:", err)
-		os.Exit(1)
-	}
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, out io.Writer) error {
+// run maps the command body to a process exit code. The body defers its
+// observability flush, so a failing invocation still emits the -metrics
+// summary and finalizes the -events log before the process exits.
+func run(args []string, out, errw io.Writer) int {
+	if err := cmdRun(args, out); err != nil {
+		fmt.Fprintln(errw, "adversary:", err)
+		return 1
+	}
+	return 0
+}
+
+func cmdRun(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("adversary", flag.ContinueOnError)
 	name := fs.String("b", "first-k", "broadcast implementation to drive ("+strings.Join(broadcast.Names(), ", ")+")")
 	k := fs.Int("k", 3, "agreement degree k (the system has k+1 processes); k > 1")
@@ -58,6 +66,13 @@ func run(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// The sinks flush on every exit path — a failing run keeps its
+	// telemetry instead of losing it to an early return.
+	defer func() {
+		if ferr := oc.Finish(out); err == nil {
+			err = ferr
+		}
+	}()
 	reg, err := oc.Registry()
 	if err != nil {
 		return err
@@ -69,10 +84,7 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if *sweepK != "" {
-		if err := runGrid(out, cand, *sweepK, *sweepN, *n, *workers, reg); err != nil {
-			return err
-		}
-		return oc.Finish(out)
+		return runGrid(out, cand, *sweepK, *sweepN, *n, *workers, reg)
 	}
 	if *sweepN != "" {
 		return fmt.Errorf("-N is a grid-mode flag; pass -sweep as well (or use -n for a single run)")
@@ -171,7 +183,7 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "universal properties violated: %s\n", v)
 		}
 	}
-	return oc.Finish(out)
+	return nil
 }
 
 // gridRow is one cell's summary in grid mode.
@@ -187,11 +199,20 @@ func runGrid(out io.Writer, cand broadcast.Candidate, sweepK, sweepN string, def
 	if err != nil {
 		return err
 	}
+	if kLo < 2 {
+		return fmt.Errorf("-sweep: agreement degree k must be > 1, got %d", kLo)
+	}
 	nLo, nHi := defaultN, defaultN
 	if sweepN != "" {
 		if nLo, nHi, err = sweep.ParseRange(sweepN); err != nil {
 			return err
 		}
+	}
+	if nLo < 1 {
+		return fmt.Errorf("-N: solo-delivery count must be >= 1, got %d", nLo)
+	}
+	if cells := (kHi - kLo + 1) * (nHi - nLo + 1); cells > sweep.DefaultMaxSpan {
+		return fmt.Errorf("grid of %d cells exceeds the cap of %d; narrow -sweep/-N", cells, sweep.DefaultMaxSpan)
 	}
 	grid := sweep.Pairs(sweep.Range(kLo, kHi), sweep.Range(nLo, nHi))
 	rows, err := sweep.Run(context.Background(), len(grid),

@@ -2,15 +2,18 @@ package main
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"nobroadcast/internal/sweep"
 )
 
 func TestRunDefaultFigure1(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(nil, &out); err != nil {
+	if err := cmdRun(nil, &out); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	s := out.String()
@@ -32,7 +35,7 @@ func TestRunDefaultFigure1(t *testing.T) {
 func TestRunJSONAndExtend(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "alpha.json")
 	var out bytes.Buffer
-	err := run([]string{"-b", "kbo", "-k", "2", "-n", "1", "-diagram=false", "-summary=false", "-json", path, "-extend"}, &out)
+	err := cmdRun([]string{"-b", "kbo", "-k", "2", "-n", "1", "-diagram=false", "-summary=false", "-json", path, "-extend"}, &out)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -46,13 +49,13 @@ func TestRunJSONAndExtend(t *testing.T) {
 
 func TestRunRejectsBadArgs(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-b", "nope"}, &out); err == nil {
+	if err := cmdRun([]string{"-b", "nope"}, &out); err == nil {
 		t.Error("expected error for unknown candidate")
 	}
-	if err := run([]string{"-k", "1"}, &out); err == nil {
+	if err := cmdRun([]string{"-k", "1"}, &out); err == nil {
 		t.Error("expected error for k=1")
 	}
-	if err := run([]string{"-badflag"}, &out); err == nil {
+	if err := cmdRun([]string{"-badflag"}, &out); err == nil {
 		t.Error("expected flag parse error")
 	}
 }
@@ -60,7 +63,7 @@ func TestRunRejectsBadArgs(t *testing.T) {
 func TestRunDOTExport(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "fig1.dot")
 	var out bytes.Buffer
-	if err := run([]string{"-k", "2", "-n", "1", "-diagram=false", "-summary=false", "-dot", path}, &out); err != nil {
+	if err := cmdRun([]string{"-k", "2", "-n", "1", "-diagram=false", "-summary=false", "-dot", path}, &out); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	data, err := os.ReadFile(path)
@@ -74,7 +77,7 @@ func TestRunDOTExport(t *testing.T) {
 
 func TestAdversaryMetrics(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-b", "first-k", "-k", "3", "-n", "2", "-diagram=false", "-summary=false", "-metrics"}, &out); err != nil {
+	if err := cmdRun([]string{"-b", "first-k", "-k", "3", "-n", "2", "-diagram=false", "-summary=false", "-metrics"}, &out); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	s := out.String()
@@ -97,10 +100,10 @@ func TestAdversaryMetrics(t *testing.T) {
 func TestRunGridMode(t *testing.T) {
 	var parallel, serial bytes.Buffer
 	args := []string{"-b", "kbo", "-sweep", "2..3", "-N", "1..2"}
-	if err := run(append(args, "-workers", "4"), &parallel); err != nil {
+	if err := cmdRun(append(args, "-workers", "4"), &parallel); err != nil {
 		t.Fatalf("run: %v", err)
 	}
-	if err := run(append(args, "-workers", "1"), &serial); err != nil {
+	if err := cmdRun(append(args, "-workers", "1"), &serial); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	if parallel.String() != serial.String() {
@@ -125,13 +128,54 @@ func TestRunGridMode(t *testing.T) {
 // rejected.
 func TestRunGridModeBadArgs(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-b", "kbo", "-sweep", "3..2"}, &out); err == nil {
+	if err := cmdRun([]string{"-b", "kbo", "-sweep", "3..2"}, &out); err == nil {
 		t.Error("expected error for descending -sweep range")
 	}
-	if err := run([]string{"-b", "kbo", "-sweep", "2..3", "-N", "x"}, &out); err == nil {
+	if err := cmdRun([]string{"-b", "kbo", "-sweep", "2..3", "-N", "x"}, &out); err == nil {
 		t.Error("expected error for malformed -N range")
 	}
-	if err := run([]string{"-b", "kbo", "-N", "1..2"}, &out); err == nil {
+	if err := cmdRun([]string{"-b", "kbo", "-N", "1..2"}, &out); err == nil {
 		t.Error("expected error for -N without -sweep")
+	}
+}
+
+// TestFailedRunStillEmitsMetrics: a failure after the construction (the
+// -json export hitting a bad path) must not lose the telemetry recorded
+// during Algorithm 1 — the deferred flush in cmdRun emits the summary on
+// every exit path.
+func TestFailedRunStillEmitsMetrics(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := run([]string{"-k", "2", "-n", "1", "-diagram=false", "-summary=false",
+		"-json", filepath.Join(t.TempDir(), "no-such-dir", "alpha.json"), "-metrics"}, &out, &errw)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstderr: %s", code, errw.String())
+	}
+	s := out.String()
+	for _, w := range []string{"-- counters", "adversary.sync_broadcasts", "adversary.resets"} {
+		if !strings.Contains(s, w) {
+			t.Errorf("failed run lost its metrics summary (missing %q):\n%s", w, s)
+		}
+	}
+}
+
+// TestGridRejectsInvalidAxes: the cmd layer validates the k/N axes before
+// any grid is allocated — k must exceed 1, N must be positive, and an
+// unbounded span is rejected with the sweep package's structured cap
+// error rather than attempting the allocation.
+func TestGridRejectsInvalidAxes(t *testing.T) {
+	var out bytes.Buffer
+	if err := cmdRun([]string{"-b", "kbo", "-sweep", "1..3"}, &out); err == nil {
+		t.Error("expected rejection of k=1 axis")
+	}
+	if err := cmdRun([]string{"-b", "kbo", "-sweep", "2..3", "-N", "0..2"}, &out); err == nil {
+		t.Error("expected rejection of N=0 axis")
+	}
+	if err := cmdRun([]string{"-b", "kbo", "-sweep", "-2..3"}, &out); err == nil {
+		t.Error("expected rejection of negative axis")
+	}
+	err := cmdRun([]string{"-b", "kbo", "-sweep", "2..100000000"}, &out)
+	var se *sweep.SpanError
+	if !errors.As(err, &se) {
+		t.Errorf("unbounded span error = %v, want *sweep.SpanError", err)
 	}
 }

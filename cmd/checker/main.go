@@ -35,12 +35,24 @@ import (
 var errRejected = errors.New("trace rejected")
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		if errors.Is(err, errRejected) {
-			os.Exit(2)
-		}
-		fmt.Fprintln(os.Stderr, "checker:", err)
-		os.Exit(1)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run maps the command body to a process exit code (2 = trace rejected,
+// 1 = tool error). The body defers its observability flush, so a failing
+// invocation — rejected trace or tool error alike — still emits the
+// -metrics summary and finalizes the -events log before the process
+// exits.
+func run(args []string, out, errw io.Writer) int {
+	err := cmdRun(args, out)
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, errRejected):
+		return 2
+	default:
+		fmt.Fprintln(errw, "checker:", err)
+		return 1
 	}
 }
 
@@ -66,6 +78,13 @@ func runStream(s spec.Spec, r io.Reader, reg *obs.Registry, out io.Writer) error
 	c := spec.NewCheckerFor(s, hdr.N)
 	sp := reg.StartSpan("checker.stream")
 	steps := 0
+	// The span and step count are recorded even when the stream errors
+	// out mid-way (truncated or corrupt input) — partial progress is
+	// telemetry too.
+	defer func() {
+		sp.End()
+		reg.Counter("checker.steps").Add(int64(steps))
+	}()
 	var v *spec.Violation
 	violIdx := -1
 	for {
@@ -74,7 +93,6 @@ func runStream(s spec.Spec, r io.Reader, reg *obs.Registry, out io.Writer) error
 			break
 		}
 		if err != nil {
-			sp.End()
 			return err
 		}
 		if v == nil {
@@ -87,8 +105,6 @@ func runStream(s spec.Spec, r io.Reader, reg *obs.Registry, out io.Writer) error
 	if v == nil {
 		v = c.Finish(hdr.Complete)
 	}
-	sp.End()
-	reg.Counter("checker.steps").Add(int64(steps))
 	reg.Emit("checker.verdict", obs.Str("spec", s.Name()), obs.Int("rejected", boolInt(v != nil)))
 	fmt.Fprintf(out, "checked %d steps online\n", steps)
 	if v != nil {
@@ -103,7 +119,7 @@ func runStream(s spec.Spec, r io.Reader, reg *obs.Registry, out io.Writer) error
 	return nil
 }
 
-func run(args []string, out io.Writer) error {
+func cmdRun(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("checker", flag.ContinueOnError)
 	specName := fs.String("spec", "basic", "specification to check")
 	k := fs.Int("k", 2, "agreement/ordering degree for parameterized specs")
@@ -120,6 +136,13 @@ func run(args []string, out io.Writer) error {
 	if *stream && *symmetry {
 		return fmt.Errorf("-symmetry needs the whole trace; it cannot be combined with -stream")
 	}
+	// The sinks flush on every exit path — a rejected trace or a failing
+	// run keeps its telemetry instead of losing it to an early return.
+	defer func() {
+		if ferr := oc.Finish(out); err == nil {
+			err = ferr
+		}
+	}()
 	reg, err := oc.Registry()
 	if err != nil {
 		return err
@@ -139,13 +162,7 @@ func run(args []string, out io.Writer) error {
 			defer f.Close()
 			in = f
 		}
-		if err := runStream(s, in, reg, out); err != nil {
-			if errors.Is(err, errRejected) {
-				oc.Finish(out)
-			}
-			return err
-		}
-		return oc.Finish(out)
+		return runStream(s, in, reg, out)
 	}
 
 	f, err := os.Open(fs.Arg(0))
@@ -172,7 +189,6 @@ func run(args []string, out io.Writer) error {
 	reg.Emit("checker.verdict", obs.Str("spec", s.Name()), obs.Int("rejected", boolInt(v != nil)))
 	if v != nil {
 		fmt.Fprintf(out, "REJECTED by %s:\n  %s\n", s.Name(), v)
-		oc.Finish(out)
 		return errRejected
 	}
 	fmt.Fprintf(out, "admitted by %s\n", s.Name())
@@ -202,7 +218,7 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "content-neutrality: REFUTED by renaming %v:\n  %s\n", cn.WitnessRenaming, cn.Violation)
 		}
 	}
-	return oc.Finish(out)
+	return nil
 }
 
 func boolInt(b bool) int64 {

@@ -49,7 +49,7 @@ func violatingTrace() *trace.Trace {
 func TestCheckerAdmits(t *testing.T) {
 	path := writeTrace(t, admissibleTrace())
 	var out bytes.Buffer
-	if err := run([]string{"-spec", "total-order", path}, &out); err != nil {
+	if err := cmdRun([]string{"-spec", "total-order", path}, &out); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	if !strings.Contains(out.String(), "admitted by Total-Order-Broadcast") {
@@ -60,7 +60,7 @@ func TestCheckerAdmits(t *testing.T) {
 func TestCheckerRejects(t *testing.T) {
 	path := writeTrace(t, violatingTrace())
 	var out bytes.Buffer
-	err := run([]string{"-spec", "basic", path}, &out)
+	err := cmdRun([]string{"-spec", "basic", path}, &out)
 	if !errors.Is(err, errRejected) {
 		t.Fatalf("expected errRejected, got %v", err)
 	}
@@ -72,7 +72,7 @@ func TestCheckerRejects(t *testing.T) {
 func TestCheckerSymmetry(t *testing.T) {
 	path := writeTrace(t, admissibleTrace())
 	var out bytes.Buffer
-	if err := run([]string{"-spec", "kbo", "-k", "2", "-symmetry", path}, &out); err != nil {
+	if err := cmdRun([]string{"-spec", "kbo", "-k", "2", "-symmetry", path}, &out); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	s := out.String()
@@ -97,14 +97,14 @@ func TestCheckerAllSpecNames(t *testing.T) {
 
 func TestCheckerBadUsage(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(nil, &out); err == nil {
+	if err := cmdRun(nil, &out); err == nil {
 		t.Error("expected usage error without a trace file")
 	}
-	if err := run([]string{"/nonexistent/file.json"}, &out); err == nil {
+	if err := cmdRun([]string{"/nonexistent/file.json"}, &out); err == nil {
 		t.Error("expected error for missing file")
 	}
 	path := writeTrace(t, admissibleTrace())
-	if err := run([]string{"-spec", "bogus", path}, &out); err == nil {
+	if err := cmdRun([]string{"-spec", "bogus", path}, &out); err == nil {
 		t.Error("expected error for unknown spec")
 	}
 }
@@ -113,7 +113,7 @@ func TestCheckerMetricsAndEvents(t *testing.T) {
 	path := writeTrace(t, admissibleTrace())
 	events := filepath.Join(t.TempDir(), "events.jsonl")
 	var out bytes.Buffer
-	if err := run([]string{"-spec", "kbo", "-k", "2", "-symmetry", "-metrics", "-events", events, path}, &out); err != nil {
+	if err := cmdRun([]string{"-spec", "kbo", "-k", "2", "-symmetry", "-metrics", "-events", events, path}, &out); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	s := out.String()
@@ -141,7 +141,7 @@ func TestCheckerMetricsOnRejection(t *testing.T) {
 	// The summary must still be rendered when the trace is rejected.
 	path := writeTrace(t, violatingTrace())
 	var out bytes.Buffer
-	err := run([]string{"-spec", "basic", "-metrics", path}, &out)
+	err := cmdRun([]string{"-spec", "basic", "-metrics", path}, &out)
 	if !errors.Is(err, errRejected) {
 		t.Fatalf("expected errRejected, got %v", err)
 	}
@@ -168,7 +168,7 @@ func writeTraceJSONL(t *testing.T, tr *trace.Trace) string {
 func TestCheckerStreamAdmits(t *testing.T) {
 	path := writeTraceJSONL(t, admissibleTrace())
 	var out bytes.Buffer
-	if err := run([]string{"-spec", "fifo", "-stream", path}, &out); err != nil {
+	if err := cmdRun([]string{"-spec", "fifo", "-stream", path}, &out); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	s := out.String()
@@ -180,7 +180,7 @@ func TestCheckerStreamAdmits(t *testing.T) {
 func TestCheckerStreamRejects(t *testing.T) {
 	path := writeTraceJSONL(t, violatingTrace())
 	var out bytes.Buffer
-	err := run([]string{"-spec", "basic", "-stream", path}, &out)
+	err := cmdRun([]string{"-spec", "basic", "-stream", path}, &out)
 	if !errors.Is(err, errRejected) {
 		t.Fatalf("expected errRejected, got %v", err)
 	}
@@ -192,7 +192,52 @@ func TestCheckerStreamRejects(t *testing.T) {
 func TestCheckerStreamExcludesSymmetry(t *testing.T) {
 	path := writeTraceJSONL(t, admissibleTrace())
 	var out bytes.Buffer
-	if err := run([]string{"-spec", "fifo", "-stream", "-symmetry", path}, &out); err == nil {
+	if err := cmdRun([]string{"-spec", "fifo", "-stream", "-symmetry", path}, &out); err == nil {
 		t.Error("expected -stream/-symmetry conflict error")
+	}
+}
+
+// TestCheckerExitCodes: run maps outcomes to process exit codes — 0
+// admitted, 2 rejected, 1 tool error.
+func TestCheckerExitCodes(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-spec", "fifo", writeTrace(t, admissibleTrace())}, &out, &errw); code != 0 {
+		t.Errorf("admitted trace: exit %d, want 0\n%s", code, errw.String())
+	}
+	if code := run([]string{"-spec", "basic", writeTrace(t, violatingTrace())}, &out, &errw); code != 2 {
+		t.Errorf("rejected trace: exit %d, want 2", code)
+	}
+	if code := run([]string{"/nonexistent/file.json"}, &out, &errw); code != 1 {
+		t.Errorf("tool error: exit %d, want 1", code)
+	}
+}
+
+// TestCheckerTruncatedStreamStillEmitsMetrics: a truncated JSONL upload is
+// a distinct truncation error (not a generic decode failure), and the
+// failing invocation still flushes its -metrics summary via the deferred
+// flush in cmdRun.
+func TestCheckerTruncatedStreamStillEmitsMetrics(t *testing.T) {
+	path := writeTraceJSONL(t, admissibleTrace())
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := filepath.Join(t.TempDir(), "cut.jsonl")
+	if err := os.WriteFile(cut, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errw bytes.Buffer
+	code := run([]string{"-spec", "fifo", "-stream", "-metrics", cut}, &out, &errw)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstderr: %s", code, errw.String())
+	}
+	if !strings.Contains(errw.String(), "truncated") {
+		t.Errorf("stderr does not name the truncation:\n%s", errw.String())
+	}
+	s := out.String()
+	for _, w := range []string{"-- spans", "checker.stream", "-- counters", "checker.steps"} {
+		if !strings.Contains(s, w) {
+			t.Errorf("failed run lost its metrics summary (missing %q):\n%s", w, s)
+		}
 	}
 }

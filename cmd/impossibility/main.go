@@ -29,13 +29,21 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "impossibility:", err)
-		os.Exit(1)
-	}
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, out io.Writer) error {
+// run maps the command body to a process exit code. The body defers its
+// observability flush, so a failing invocation still emits the -metrics
+// summary and finalizes the -events log before the process exits.
+func run(args []string, out, errw io.Writer) int {
+	if err := cmdRun(args, out); err != nil {
+		fmt.Fprintln(errw, "impossibility:", err)
+		return 1
+	}
+	return 0
+}
+
+func cmdRun(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("impossibility", flag.ContinueOnError)
 	name := fs.String("b", "", "candidate abstraction ("+strings.Join(broadcast.Names(), ", ")+")")
 	all := fs.Bool("all", false, "run the pipeline on every k-SA-claiming candidate")
@@ -46,6 +54,13 @@ func run(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// The sinks flush on every exit path — a failing run keeps its
+	// telemetry instead of losing it to an early return.
+	defer func() {
+		if ferr := oc.Finish(out); err == nil {
+			err = ferr
+		}
+	}()
 	reg, err := oc.Registry()
 	if err != nil {
 		return err
@@ -53,6 +68,9 @@ func run(args []string, out io.Writer) error {
 	kLo, kHi, err := sweep.ParseRange(*kRange)
 	if err != nil {
 		return err
+	}
+	if kLo < 2 {
+		return fmt.Errorf("-k: Theorem 1 concerns 1 < k < n; got k=%d", kLo)
 	}
 	var cands []broadcast.Candidate
 	switch {
@@ -97,7 +115,7 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintln(out, "Theorem 1: for 1 < k < n, no content-neutral and compositional broadcast")
 	fmt.Fprintln(out, "abstraction is computationally equivalent to k-set agreement in CAMP_n[0].")
 	fmt.Fprintln(out, "Each candidate above fails at least one hypothesis, as the outcomes show.")
-	return oc.Finish(out)
+	return nil
 }
 
 // renderPipeline runs the Theorem 1 pipeline for one (candidate, k) cell

@@ -11,7 +11,7 @@ import (
 
 func TestImpossibilityAll(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-all", "-k", "2"}, &out); err != nil {
+	if err := cmdRun([]string{"-all", "-k", "2"}, &out); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	s := out.String()
@@ -33,7 +33,7 @@ func TestImpossibilityAll(t *testing.T) {
 
 func TestImpossibilitySingleVerbose(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-b", "kbo", "-k", "2", "-v"}, &out); err != nil {
+	if err := cmdRun([]string{"-b", "kbo", "-k", "2", "-v"}, &out); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	s := out.String()
@@ -48,10 +48,10 @@ func TestImpossibilitySingleVerbose(t *testing.T) {
 // serial run.
 func TestImpossibilityKRangeSweep(t *testing.T) {
 	var parallel, serial bytes.Buffer
-	if err := run([]string{"-all", "-k", "2..3", "-workers", "4"}, &parallel); err != nil {
+	if err := cmdRun([]string{"-all", "-k", "2..3", "-workers", "4"}, &parallel); err != nil {
 		t.Fatalf("run: %v", err)
 	}
-	if err := run([]string{"-all", "-k", "2..3", "-workers", "1"}, &serial); err != nil {
+	if err := cmdRun([]string{"-all", "-k", "2..3", "-workers", "1"}, &serial); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	if parallel.String() != serial.String() {
@@ -73,13 +73,13 @@ func TestImpossibilityKRangeSweep(t *testing.T) {
 
 func TestImpossibilityBadArgs(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(nil, &out); err == nil {
+	if err := cmdRun(nil, &out); err == nil {
 		t.Error("expected usage error")
 	}
-	if err := run([]string{"-b", "nope"}, &out); err == nil {
+	if err := cmdRun([]string{"-b", "nope"}, &out); err == nil {
 		t.Error("expected unknown-candidate error")
 	}
-	if err := run([]string{"-b", "kbo", "-k", "1"}, &out); err == nil {
+	if err := cmdRun([]string{"-b", "kbo", "-k", "1"}, &out); err == nil {
 		t.Error("expected k=1 error")
 	}
 }
@@ -87,7 +87,7 @@ func TestImpossibilityBadArgs(t *testing.T) {
 func TestImpossibilityMetricsAndEvents(t *testing.T) {
 	events := filepath.Join(t.TempDir(), "out.jsonl")
 	var out bytes.Buffer
-	if err := run([]string{"-all", "-k", "2", "-metrics", "-events", events}, &out); err != nil {
+	if err := cmdRun([]string{"-all", "-k", "2", "-metrics", "-events", events}, &out); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	s := out.String()
@@ -124,5 +124,24 @@ func TestImpossibilityMetricsAndEvents(t *testing.T) {
 		if m["ts"] == nil || m["event"] == nil {
 			t.Fatalf("line %d lacks ts/event: %s", i+1, line)
 		}
+	}
+}
+
+// TestRunExitCodes: run maps the command body to process exit codes, and
+// the deferred sink flush means a failing invocation still finalizes its
+// -events log.
+func TestRunExitCodes(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-b", "nope"}, &out, &errw); code != 1 {
+		t.Errorf("unknown candidate: exit %d, want 1", code)
+	}
+	if !strings.Contains(errw.String(), "impossibility:") {
+		t.Errorf("stderr missing prefix:\n%s", errw.String())
+	}
+	if code := run([]string{"-b", "kbo", "-k", "1"}, &out, &errw); code != 1 {
+		t.Errorf("k=1: exit %d, want 1", code)
+	}
+	if code := run([]string{"-b", "kbo", "-k", "2..100000000"}, &out, &errw); code != 1 {
+		t.Errorf("unbounded k range: exit %d, want 1", code)
 	}
 }

@@ -54,13 +54,21 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "ksasim:", err)
-		os.Exit(1)
-	}
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, out io.Writer) error {
+// run maps the command body to a process exit code. The body defers its
+// observability flush, so a failing invocation still emits the -metrics
+// summary and finalizes the -events log before the process exits.
+func run(args []string, out, errw io.Writer) int {
+	if err := cmdRun(args, out); err != nil {
+		fmt.Fprintln(errw, "ksasim:", err)
+		return 1
+	}
+	return 0
+}
+
+func cmdRun(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("ksasim", flag.ContinueOnError)
 	name := fs.String("b", "first-k", "broadcast abstraction ("+strings.Join(broadcast.Names(), ", ")+")")
 	n := fs.Int("n", 5, "number of processes")
@@ -81,15 +89,19 @@ func run(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// The sinks flush on every exit path — a failing run keeps its
+	// telemetry instead of losing it to an early return.
+	defer func() {
+		if ferr := oc.Finish(out); err == nil {
+			err = ferr
+		}
+	}()
 	if *name == "all" && *conformance {
 		reg, err := oc.Registry()
 		if err != nil {
 			return err
 		}
-		if err := runCorpus(out, *seed, *workers, reg); err != nil {
-			return err
-		}
-		return oc.Finish(out)
+		return runCorpus(out, *seed, *workers, reg)
 	}
 	cand, err := broadcast.Lookup(*name)
 	if err != nil {
@@ -130,10 +142,7 @@ func run(args []string, out io.Writer) error {
 		}
 		err = runDeterministic(out, cand, *n, *k, *runs, *crashes, *live, reg)
 	}
-	if err != nil {
-		return err
-	}
-	return oc.Finish(out)
+	return err
 }
 
 func runDeterministic(out io.Writer, cand broadcast.Candidate, n, k, runs, crashes int, live bool, reg *obs.Registry) error {

@@ -2,13 +2,15 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
 
 func TestKsasimDeterministic(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-b", "first-k", "-n", "4", "-k", "2", "-runs", "20"}, &out); err != nil {
+	if err := cmdRun([]string{"-b", "first-k", "-n", "4", "-k", "2", "-runs", "20"}, &out); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	s := out.String()
@@ -22,7 +24,7 @@ func TestKsasimDeterministic(t *testing.T) {
 
 func TestKsasimWithCrashes(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-b", "first-k", "-n", "4", "-k", "2", "-runs", "10", "-crashes", "2"}, &out); err != nil {
+	if err := cmdRun([]string{"-b", "first-k", "-n", "4", "-k", "2", "-runs", "10", "-crashes", "2"}, &out); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	if !strings.Contains(out.String(), "crashes=2") {
@@ -34,7 +36,7 @@ func TestKsasimWeakBroadcastShowsDisagreement(t *testing.T) {
 	// send-to-all does not solve k-SA: the histogram may exceed k, and
 	// since the candidate does not claim to solve it, run still succeeds.
 	var out bytes.Buffer
-	if err := run([]string{"-b", "send-to-all", "-n", "5", "-k", "2", "-runs", "30"}, &out); err != nil {
+	if err := cmdRun([]string{"-b", "send-to-all", "-n", "5", "-k", "2", "-runs", "30"}, &out); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	if !strings.Contains(out.String(), "distinct-decision histogram") {
@@ -44,7 +46,7 @@ func TestKsasimWeakBroadcastShowsDisagreement(t *testing.T) {
 
 func TestKsasimConcurrent(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-b", "reliable", "-n", "3", "-concurrent"}, &out); err != nil {
+	if err := cmdRun([]string{"-b", "reliable", "-n", "3", "-concurrent"}, &out); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	if !strings.Contains(out.String(), "reliable (concurrent): n=3") {
@@ -54,17 +56,17 @@ func TestKsasimConcurrent(t *testing.T) {
 
 func TestKsasimBadArgs(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-b", "nope"}, &out); err == nil {
+	if err := cmdRun([]string{"-b", "nope"}, &out); err == nil {
 		t.Error("expected unknown-candidate error")
 	}
-	if err := run([]string{"-n", "3", "-crashes", "3"}, &out); err == nil {
+	if err := cmdRun([]string{"-n", "3", "-crashes", "3"}, &out); err == nil {
 		t.Error("expected too-many-crashes error")
 	}
 }
 
 func TestKsasimMetricsAndHTTP(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-b", "first-k", "-n", "4", "-k", "2", "-runs", "5", "-metrics", "-http", "127.0.0.1:0"}, &out); err != nil {
+	if err := cmdRun([]string{"-b", "first-k", "-n", "4", "-k", "2", "-runs", "5", "-metrics", "-http", "127.0.0.1:0"}, &out); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	s := out.String()
@@ -84,7 +86,7 @@ func TestKsasimMetricsAndHTTP(t *testing.T) {
 
 func TestKsasimConcurrentMetrics(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-b", "reliable", "-n", "3", "-concurrent", "-metrics"}, &out); err != nil {
+	if err := cmdRun([]string{"-b", "reliable", "-n", "3", "-concurrent", "-metrics"}, &out); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	s := out.String()
@@ -97,7 +99,7 @@ func TestKsasimConcurrentMetrics(t *testing.T) {
 
 func TestKsasimConcurrentWithDrop(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-b", "reliable", "-n", "4", "-concurrent", "-drop", "0.1", "-seed", "7", "-wait", "5s", "-metrics"}, &out); err != nil {
+	if err := cmdRun([]string{"-b", "reliable", "-n", "4", "-concurrent", "-drop", "0.1", "-seed", "7", "-wait", "5s", "-metrics"}, &out); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	s := out.String()
@@ -118,7 +120,7 @@ func TestKsasimConcurrentWithPartition(t *testing.T) {
 	var out bytes.Buffer
 	// Permanent cut {1}|{2,3}: send-to-all cannot complete deliveries, which
 	// under injected faults is reported, not an error.
-	if err := run([]string{"-b", "send-to-all", "-n", "3", "-concurrent", "-partition", "1|2,3", "-seed", "3", "-wait", "300ms"}, &out); err != nil {
+	if err := cmdRun([]string{"-b", "send-to-all", "-n", "3", "-concurrent", "-partition", "1|2,3", "-seed", "3", "-wait", "300ms"}, &out); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	s := out.String()
@@ -132,7 +134,7 @@ func TestKsasimConcurrentWithPartition(t *testing.T) {
 
 func TestKsasimConformance(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-b", "reliable", "-n", "3", "-k", "2", "-conformance", "-seed", "5"}, &out); err != nil {
+	if err := cmdRun([]string{"-b", "reliable", "-n", "3", "-k", "2", "-conformance", "-seed", "5"}, &out); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	s := out.String()
@@ -149,19 +151,19 @@ func TestKsasimConformance(t *testing.T) {
 
 func TestKsasimFaultFlagValidation(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-b", "reliable", "-n", "3", "-drop", "0.1"}, &out); err == nil {
+	if err := cmdRun([]string{"-b", "reliable", "-n", "3", "-drop", "0.1"}, &out); err == nil {
 		t.Error("expected error: fault flags without -concurrent")
 	}
-	if err := run([]string{"-b", "reliable", "-n", "3", "-concurrent", "-drop", "1.5"}, &out); err == nil {
+	if err := cmdRun([]string{"-b", "reliable", "-n", "3", "-concurrent", "-drop", "1.5"}, &out); err == nil {
 		t.Error("expected error: drop probability out of range")
 	}
-	if err := run([]string{"-b", "reliable", "-n", "3", "-concurrent", "-partition", "1,2"}, &out); err == nil {
+	if err := cmdRun([]string{"-b", "reliable", "-n", "3", "-concurrent", "-partition", "1,2"}, &out); err == nil {
 		t.Error("expected error: partition without the | separator")
 	}
-	if err := run([]string{"-b", "reliable", "-n", "3", "-concurrent", "-partition", "1|9"}, &out); err == nil {
+	if err := cmdRun([]string{"-b", "reliable", "-n", "3", "-concurrent", "-partition", "1|9"}, &out); err == nil {
 		t.Error("expected error: partition names an out-of-range process")
 	}
-	if err := run([]string{"-b", "reliable", "-n", "3", "-concurrent", "-partition", "1|2@5s+1s"}, &out); err == nil {
+	if err := cmdRun([]string{"-b", "reliable", "-n", "3", "-concurrent", "-partition", "1|2@5s+1s"}, &out); err == nil {
 		t.Error("expected error: heal before start")
 	}
 }
@@ -187,7 +189,7 @@ func TestParsePartitionTimings(t *testing.T) {
 // on the sweep engine and reports every cell.
 func TestKsasimCorpus(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-b", "all", "-conformance", "-workers", "4", "-seed", "9"}, &out); err != nil {
+	if err := cmdRun([]string{"-b", "all", "-conformance", "-workers", "4", "-seed", "9"}, &out); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	s := out.String()
@@ -200,5 +202,43 @@ func TestKsasimCorpus(t *testing.T) {
 		if !strings.Contains(s, w) {
 			t.Errorf("output missing %q:\n%s", w, s)
 		}
+	}
+}
+
+// TestFailedRunStillEmitsMetrics: a run that fails mid-way (convergence
+// timeout) must still flush its observability sinks — the deferred flush
+// in cmdRun runs on every exit path, so the -metrics summary and the
+// -events log survive the failure.
+func TestFailedRunStillEmitsMetrics(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := run([]string{"-b", "reliable", "-n", "3", "-concurrent", "-seed", "5", "-wait", "1ns", "-metrics"}, &out, &errw)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstderr: %s", code, errw.String())
+	}
+	if !strings.Contains(errw.String(), "deliveries incomplete") {
+		t.Errorf("stderr missing failure cause:\n%s", errw.String())
+	}
+	s := out.String()
+	for _, w := range []string{"-- spans", "ksasim.concurrent", "-- counters"} {
+		if !strings.Contains(s, w) {
+			t.Errorf("failed run lost its metrics summary (missing %q):\n%s", w, s)
+		}
+	}
+}
+
+// TestFailedRunStillWritesEvents: the -events JSONL log is finalized (and
+// reported) even when the run errors out.
+func TestFailedRunStillWritesEvents(t *testing.T) {
+	events := filepath.Join(t.TempDir(), "events.jsonl")
+	var out, errw bytes.Buffer
+	code := run([]string{"-b", "reliable", "-n", "3", "-concurrent", "-seed", "5", "-wait", "1ns", "-events", events}, &out, &errw)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstderr: %s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "events written to") {
+		t.Errorf("event log not finalized on failure:\n%s", out.String())
+	}
+	if _, err := os.Stat(events); err != nil {
+		t.Errorf("event log file missing: %v", err)
 	}
 }

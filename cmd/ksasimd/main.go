@@ -1,0 +1,121 @@
+// Command ksasimd is the long-lived simulation daemon: an HTTP service
+// (internal/serve) running workload simulations, adversary (Algorithm 1)
+// constructions, and streaming trace checks as managed jobs, with
+// determinism-keyed result caching and bounded admission.
+//
+// Usage:
+//
+//	ksasimd [-addr 127.0.0.1:8321] [-workers 4] [-queue 64] [-cache 128]
+//	        [-job-timeout 60s] [-drain-timeout 30s] [-metrics] [-events out.jsonl]
+//
+// On SIGTERM or SIGINT the daemon drains gracefully: the listener closes,
+// requests that would start new jobs get 503, jobs already accepted run
+// to completion (bounded by -drain-timeout), and the observability sinks
+// flush before exit. A clean drain exits 0.
+//
+//	curl -s localhost:8321/healthz
+//	curl -s -XPOST localhost:8321/v1/run -d '{"candidate":"fifo","n":4}'
+//	curl -s -XPOST localhost:8321/v1/check?spec=fifo --data-binary @trace.jsonl
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"nobroadcast/internal/obs"
+	"nobroadcast/internal/serve"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run maps the daemon body to a process exit code. The body defers its
+// observability flush, so a daemon dying on an error still emits the
+// -metrics summary and finalizes the -events log — a clean SIGTERM drain
+// and a crashed listener alike leave their telemetry behind.
+func run(args []string, out, errw io.Writer) int {
+	if err := cmdRun(args, out); err != nil {
+		fmt.Fprintln(errw, "ksasimd:", err)
+		return 1
+	}
+	return 0
+}
+
+func cmdRun(args []string, out io.Writer) (err error) {
+	fs := flag.NewFlagSet("ksasimd", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8321", "listen address")
+	workers := fs.Int("workers", 0, "jobs executing at once; 0 means GOMAXPROCS")
+	queue := fs.Int("queue", 64, "admission queue depth beyond the workers (429 past it)")
+	cacheN := fs.Int("cache", 128, "result cache entries (completed jobs with traces)")
+	jobTimeout := fs.Duration("job-timeout", 60*time.Second, "server-side ceiling per job")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "SIGTERM drain budget for in-flight jobs")
+	oc := obs.BindFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	// The sinks flush on every exit path — a failing daemon keeps its
+	// telemetry instead of losing it to an early return.
+	defer func() {
+		if ferr := oc.Finish(out); err == nil {
+			err = ferr
+		}
+	}()
+	reg, err := oc.Registry()
+	if err != nil {
+		return err
+	}
+
+	srv := serve.New(serve.Config{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		CacheEntries: *cacheN,
+		JobTimeout:   *jobTimeout,
+		Obs:          reg, // nil lets serve build its own, /metrics stays live
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "ksasimd: listening on http://%s\n", ln.Addr())
+
+	hs := &http.Server{Handler: srv}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process the default way
+
+	// Graceful drain: refuse new jobs, close the listener, wait for the
+	// accepted jobs and their in-flight responses, then flush (deferred).
+	fmt.Fprintln(out, "ksasimd: signal received, draining")
+	srv.StopAdmitting()
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(dctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if serr := <-errc; serr != nil && !errors.Is(serr, http.ErrServerClosed) {
+		return serr
+	}
+	if err := srv.Drain(dctx); err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "ksasimd: drained cleanly")
+	return nil
+}

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"os"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// syncBuffer is an io.Writer safe for the daemon goroutine and the test
+// to share.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var listenLine = regexp.MustCompile(`listening on (http://[^\s]+)`)
+
+// TestDaemonLifecycle is the end-to-end smoke: start the daemon on an
+// ephemeral port, serve a run, serve its repeat from cache, then drain
+// cleanly on SIGTERM with the -metrics summary flushed.
+func TestDaemonLifecycle(t *testing.T) {
+	out := &syncBuffer{}
+	done := make(chan error, 1)
+	go func() { done <- cmdRun([]string{"-addr", "127.0.0.1:0", "-metrics"}, out) }()
+
+	var base string
+	deadline := time.Now().Add(10 * time.Second)
+	for base == "" {
+		if m := listenLine.FindStringSubmatch(out.String()); m != nil {
+			base = m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never reported its address; output:\n%s", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status = %d", resp.StatusCode)
+	}
+
+	post := func() (*http.Response, string) {
+		resp, err := http.Post(base+"/v1/run", "application/json",
+			strings.NewReader(`{"candidate":"fifo","n":3}`))
+		if err != nil {
+			t.Fatalf("POST /v1/run: %v", err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp, string(b)
+	}
+	r1, b1 := post()
+	if r1.StatusCode != http.StatusOK {
+		t.Fatalf("run: status %d, body %s", r1.StatusCode, b1)
+	}
+	r2, b2 := post()
+	if r2.Header.Get("X-Cache") != "hit" || b1 != b2 {
+		t.Fatalf("repeat not cached: X-Cache=%q", r2.Header.Get("X-Cache"))
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatalf("signalling self: %v", err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exited with error: %v\noutput:\n%s", err, out.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("daemon did not drain after SIGTERM; output:\n%s", out.String())
+	}
+	text := out.String()
+	for _, want := range []string{"drained cleanly", "-- counters", "serve.cache_hits"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("daemon output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestDaemonBadFlags: a bad listen address is an error exit that still
+// leaves the run() wrapper's error on stderr.
+func TestDaemonBadFlags(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-addr", "256.0.0.1:bad"}, &out, &errw); code != 1 {
+		t.Fatalf("bad addr exit = %d, want 1", code)
+	}
+	if !strings.Contains(errw.String(), "ksasimd:") {
+		t.Fatalf("stderr = %q, want ksasimd: prefix", errw.String())
+	}
+}

@@ -1,0 +1,212 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"nobroadcast/internal/spec"
+	"nobroadcast/internal/trace"
+)
+
+// checkVerdict is one per-spec verdict line of a /v1/check response.
+// LatchedStep is the index of the step that latched the violation, or -1
+// when the spec was not rejected or rejected only at finish time (a
+// liveness clause on the complete trace).
+type checkVerdict struct {
+	Spec        string `json:"spec"`
+	Rejected    bool   `json:"rejected"`
+	Violation   string `json:"violation,omitempty"`
+	LatchedStep int    `json:"latched_step"`
+}
+
+// handleCheck serves POST /v1/check?spec=all&k=2: the uploaded JSONL
+// trace is streamed through the selected online checkers — only checker
+// state is resident, never the trace — and the response is JSONL: a
+// header echo, one verdict line per spec, and a summary line. Checks are
+// admission-controlled managed jobs like runs, but uncached: the input
+// arrives in the request body, so there is no parameter hash to key a
+// cache by.
+func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
+	specName := r.URL.Query().Get("spec")
+	if specName == "" {
+		specName = "all"
+	}
+	k := 2
+	if ks := r.URL.Query().Get("k"); ks != "" {
+		v, err := strconv.Atoi(ks)
+		if err != nil || v < 1 {
+			httpError(w, http.StatusBadRequest, "k must be a positive integer, got "+ks)
+			return
+		}
+		k = v
+	}
+	if specName != "all" {
+		if _, err := spec.ByName(specName, k); err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", "5")
+		httpError(w, http.StatusServiceUnavailable, "draining: not admitting new jobs")
+		return
+	}
+	j := s.newJobLocked("check", "")
+	s.wg.Add(1)
+	s.mu.Unlock()
+	defer s.wg.Done()
+
+	release, err := s.acquire(r.Context())
+	if err != nil {
+		if errors.Is(err, errSaturated) {
+			s.rejected.Inc()
+			s.settle(j, jobOutput{}, err)
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusTooManyRequests, "admission queue saturated; retry later")
+			return
+		}
+		s.settle(j, jobOutput{}, err)
+		httpError(w, http.StatusRequestTimeout, "cancelled while queued: "+err.Error())
+		return
+	}
+	defer release()
+	s.admitted.Inc()
+	s.checks.Inc()
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.JobTimeout)
+	defer cancel()
+	out, err := s.execute(ctx, 0, func(ctx context.Context) (jobOutput, error) {
+		return runCheck(ctx, specName, k, r.Body)
+	})
+	s.settle(j, out, err)
+	switch {
+	case err == nil:
+		w.Header().Set("Content-Type", "application/x-ndjson; charset=utf-8")
+		w.Header().Set("X-Job-Id", j.ID)
+		w.Write(j.Body)
+	case errors.Is(err, trace.ErrTruncated):
+		httpError(w, http.StatusBadRequest, "truncated upload: "+err.Error())
+	case errors.Is(err, context.DeadlineExceeded):
+		httpError(w, http.StatusGatewayTimeout, "check exceeded the server-side timeout")
+	case errors.Is(err, context.Canceled):
+		httpError(w, http.StatusRequestTimeout, "check cancelled")
+	default:
+		// Every remaining error is a malformed upload: a stray second
+		// header, an invalid step kind, or broken JSON.
+		httpError(w, http.StatusBadRequest, err.Error())
+	}
+}
+
+// runCheck streams one uploaded trace through the selected checkers.
+func runCheck(ctx context.Context, specName string, k int, body io.Reader) (jobOutput, error) {
+	sr, err := trace.NewStepReader(body)
+	if err != nil {
+		return jobOutput{}, err
+	}
+	hdr := sr.Header()
+
+	// Verdict lines carry the registry key (the name a client selects
+	// by), not the spec's display name.
+	type selected struct {
+		key string
+		sp  spec.Spec
+	}
+	var specs []selected
+	if specName == "all" {
+		for _, e := range spec.Registry() {
+			specs = append(specs, selected{e.Key, e.New(k)})
+		}
+	} else {
+		sp, err := spec.ByName(specName, k)
+		if err != nil {
+			return jobOutput{}, err
+		}
+		specs = append(specs, selected{specName, sp})
+	}
+	checkers := make([]spec.Checker, len(specs))
+	verdicts := make([]checkVerdict, len(specs))
+	for i, sel := range specs {
+		checkers[i] = spec.NewCheckerFor(sel.sp, hdr.N)
+		verdicts[i] = checkVerdict{Spec: sel.key, LatchedStep: -1}
+	}
+
+	steps := 0
+	for {
+		st, err := sr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return jobOutput{}, err
+		}
+		for i := range checkers {
+			if verdicts[i].Rejected {
+				continue
+			}
+			if v := checkers[i].Feed(st); v != nil {
+				verdicts[i].Rejected = true
+				verdicts[i].Violation = v.String()
+				verdicts[i].LatchedStep = steps
+			}
+		}
+		steps++
+		if steps%4096 == 0 {
+			if err := ctx.Err(); err != nil {
+				return jobOutput{}, err
+			}
+		}
+	}
+	rejected := 0
+	for i := range checkers {
+		if !verdicts[i].Rejected {
+			if v := checkers[i].Finish(hdr.Complete); v != nil {
+				verdicts[i].Rejected = true
+				verdicts[i].Violation = v.String()
+			}
+		}
+		if verdicts[i].Rejected {
+			rejected++
+		}
+	}
+
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	if err := enc.Encode(map[string]any{
+		"trace": hdr.Name, "n": hdr.N, "complete": hdr.Complete, "k": k,
+	}); err != nil {
+		return jobOutput{}, err
+	}
+	for i := range verdicts {
+		if err := enc.Encode(&verdicts[i]); err != nil {
+			return jobOutput{}, err
+		}
+	}
+	if err := enc.Encode(map[string]any{
+		"steps": steps, "specs": len(verdicts), "rejected": rejected,
+	}); err != nil {
+		return jobOutput{}, err
+	}
+	return jobOutput{body: buf.Bytes()}, nil
+}
+
+// summaryLine decodes a check body's trailing summary line (test seam).
+func summaryLine(body []byte) (map[string]any, error) {
+	lines := bytes.Split(bytes.TrimSpace(body), []byte("\n"))
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("empty check body")
+	}
+	var m map[string]any
+	if err := json.Unmarshal(lines[len(lines)-1], &m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

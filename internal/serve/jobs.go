@@ -1,0 +1,213 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"nobroadcast/internal/trace"
+)
+
+// Job statuses.
+const (
+	StatusRunning   = "running"
+	StatusDone      = "done"
+	StatusFailed    = "failed"
+	StatusCancelled = "cancelled"
+	StatusRejected  = "rejected" // bounced off the saturated admission queue
+)
+
+// Job is one managed request: the canonical parameter hash it was keyed
+// by, its lifecycle status, and — once settled — the response body every
+// identical request is served from, plus the recorded trace.
+type Job struct {
+	ID     string `json:"id"`
+	Kind   string `json:"kind"`
+	Hash   string `json:"hash"`
+	Status string `json:"status"`
+	Err    string `json:"error,omitempty"`
+
+	// Body is the result document (immutable once Status is done).
+	Body []byte `json:"-"`
+	// Trace is the recorded execution, when the job kind produces one.
+	Trace *trace.Trace `json:"-"`
+
+	done chan struct{}
+}
+
+// newJobLocked mints a job record; the caller holds s.mu.
+func (s *Server) newJobLocked(kind, hash string) *Job {
+	s.seq++
+	j := &Job{
+		ID:     fmt.Sprintf("j%d", s.seq),
+		Kind:   kind,
+		Hash:   hash,
+		Status: StatusRunning,
+		done:   make(chan struct{}),
+	}
+	s.jobs[j.ID] = j
+	return j
+}
+
+// settle publishes a job's outcome exactly once: success inserts it into
+// the result cache (evicting LRU entries and their job records), failure
+// parks it on the bounded failed ring. Either way the singleflight slot
+// is released and waiters are woken.
+func (s *Server) settle(j *Job, out jobOutput, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case <-j.done:
+		return // already settled
+	default:
+	}
+	if s.flight[j.Hash] == j {
+		delete(s.flight, j.Hash)
+	}
+	if err != nil {
+		switch {
+		case errors.Is(err, errSaturated):
+			j.Status = StatusRejected // counted by serve.jobs_rejected at the admission point
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			j.Status = StatusCancelled
+			s.cancel.Inc()
+		default:
+			j.Status = StatusFailed
+			s.failedC.Inc()
+		}
+		j.Err = err.Error()
+		s.parkLocked(j)
+	} else {
+		j.Status = StatusDone
+		j.Body = out.body
+		j.Trace = out.tr
+		if j.Hash != "" {
+			s.cache.put(j.Hash, j)
+		} else {
+			// Hashless jobs (trace checks) are uncacheable; retain their
+			// records on the bounded ring instead.
+			s.parkLocked(j)
+		}
+		s.completed.Inc()
+	}
+	close(j.done)
+}
+
+// parkLocked retains a job record outside the result cache — failures and
+// uncached check jobs — on a FIFO ring bounded like the cache, so job ids
+// stay resolvable for a while without growing without bound. The caller
+// holds s.mu.
+func (s *Server) parkLocked(j *Job) {
+	s.parked = append(s.parked, j.ID)
+	for len(s.parked) > s.cfg.CacheEntries {
+		delete(s.jobs, s.parked[0])
+		s.parked = s.parked[1:]
+	}
+}
+
+// lookup fetches a job by id.
+func (s *Server) lookup(id string) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// handleJob serves GET /v1/jobs/{id}: the job descriptor, with the
+// result document embedded once the job settled.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		httpError(w, http.StatusNotFound, "unknown job (evicted or never created)")
+		return
+	}
+	view := struct {
+		*Job
+		Result   json.RawMessage `json:"result,omitempty"`
+		HasTrace bool            `json:"has_trace"`
+	}{Job: j, HasTrace: j.Trace != nil}
+	// Check jobs settle with a JSONL body, which is not a single JSON
+	// value and cannot be embedded in the descriptor document.
+	if j.Status == StatusDone && json.Valid(j.Body) {
+		view.Result = json.RawMessage(j.Body)
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	json.NewEncoder(w).Encode(view)
+}
+
+// handleJobTrace serves GET /v1/jobs/{id}/trace: the recorded execution
+// as a streaming JSONL download (EncodeJSONL), never materialized as one
+// response buffer.
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		httpError(w, http.StatusNotFound, "unknown job (evicted or never created)")
+		return
+	}
+	if j.Status == StatusRunning {
+		select {
+		case <-j.done:
+		case <-r.Context().Done():
+			return
+		case <-time.After(s.cfg.JobTimeout):
+			httpError(w, http.StatusGatewayTimeout, "job still running")
+			return
+		}
+	}
+	if j.Trace == nil {
+		httpError(w, http.StatusNotFound, "job recorded no trace")
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson; charset=utf-8")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", j.ID+".jsonl"))
+	if err := j.Trace.EncodeJSONL(w); err != nil {
+		// Headers are gone; nothing to do but drop the connection.
+		return
+	}
+}
+
+// lru is a bounded most-recently-used cache of completed jobs keyed by
+// parameter hash. onEvict releases the evicted job's secondary index
+// entry; the caller holds the server mutex around every method.
+type lru struct {
+	cap     int
+	ll      *list.List               // front = most recent; values are *Job
+	entries map[string]*list.Element // hash -> element
+	onEvict func(*Job)
+}
+
+func newLRU(capacity int, onEvict func(*Job)) *lru {
+	return &lru{cap: capacity, ll: list.New(), entries: make(map[string]*list.Element), onEvict: onEvict}
+}
+
+func (c *lru) get(hash string) *Job {
+	e, ok := c.entries[hash]
+	if !ok {
+		return nil
+	}
+	c.ll.MoveToFront(e)
+	return e.Value.(*Job)
+}
+
+func (c *lru) put(hash string, j *Job) {
+	if e, ok := c.entries[hash]; ok {
+		c.ll.MoveToFront(e)
+		e.Value = j
+		return
+	}
+	c.entries[hash] = c.ll.PushFront(j)
+	for c.ll.Len() > c.cap {
+		back := c.ll.Back()
+		old := back.Value.(*Job)
+		c.ll.Remove(back)
+		delete(c.entries, old.Hash)
+		if c.onEvict != nil {
+			c.onEvict(old)
+		}
+	}
+}
+
+func (c *lru) len() int { return c.ll.Len() }

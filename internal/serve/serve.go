@@ -1,0 +1,340 @@
+// Package serve is the long-lived simulation service behind cmd/ksasimd:
+// it runs workload simulations, adversary (Algorithm 1) constructions,
+// and streaming trace checks as managed jobs over HTTP.
+//
+// The job manager exploits the repository's central invariant: an
+// execution is fully determined by (workload, parameters, seed). Every
+// request is normalized to a canonical parameter set and hashed; repeats
+// are served byte-identical from a bounded LRU result cache, and
+// identical in-flight requests coalesce onto one execution
+// (singleflight). Determinism makes these cache hits exact — the cached
+// body is the body a fresh run would produce — not approximate.
+//
+// New work passes a bounded admission queue (HTTP 429 + Retry-After when
+// saturated) onto a bounded worker pool; each job runs as a single-cell
+// sweep (internal/sweep), which buys the daemon panic isolation — a
+// panicking candidate fails one job, not the process — and the sweep.*
+// metrics for free. Jobs carry a per-request context with a server-side
+// timeout; a client that disconnects cancels its job. Shutdown is a
+// graceful drain: stop admitting, finish the jobs already accepted,
+// then let the caller flush its sinks.
+//
+// Endpoints:
+//
+//	POST /v1/run            workload simulation on either runtime
+//	POST /v1/adversary      Algorithm 1 construction, β projection summary
+//	POST /v1/check          upload a JSONL trace, per-spec verdicts (streamed checking)
+//	GET  /v1/jobs/{id}      job status and result
+//	GET  /v1/jobs/{id}/trace  streaming JSONL trace download
+//	GET  /metrics, /vars, /   observability views (internal/obs)
+//	GET  /healthz           liveness/drain status
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"nobroadcast/internal/obs"
+	"nobroadcast/internal/sweep"
+	"nobroadcast/internal/trace"
+)
+
+// Config parameterizes the service.
+type Config struct {
+	// Workers bounds the jobs executing at once. Zero or negative means
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// QueueDepth bounds the jobs admitted but not yet executing; a request
+	// arriving with the queue full is rejected with 429. Default 64.
+	QueueDepth int
+	// CacheEntries bounds the LRU result cache (completed jobs, including
+	// their traces). Default 128.
+	CacheEntries int
+	// JobTimeout is the server-side ceiling on one job's execution.
+	// Default 60s.
+	JobTimeout time.Duration
+	// MaxBodyBytes bounds an uploaded request body. Default 64 MiB (trace
+	// uploads are line-streamed, never resident).
+	MaxBodyBytes int64
+	// Obs receives service metrics (serve.* counters and gauges) and is
+	// threaded through to the runtimes. Nil constructs a fresh registry so
+	// /metrics is always live.
+	Obs *obs.Registry
+}
+
+func (c *Config) defaults() {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 128
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 60 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	if c.Obs == nil {
+		c.Obs = obs.New()
+	}
+}
+
+// Server is the HTTP service. Create with New; it implements
+// http.Handler.
+type Server struct {
+	cfg Config
+	reg *obs.Registry
+	mux *http.ServeMux
+
+	mu       sync.Mutex
+	draining bool
+	seq      int
+	jobs     map[string]*Job // id -> job (running, cached, or recently failed)
+	flight   map[string]*Job // param hash -> running job (singleflight)
+	cache    *lru            // param hash -> completed job, bounded
+	parked   []string        // uncacheable job ids (failed, cancelled, checks), FIFO-evicted
+
+	admit chan struct{} // admission tickets: Workers+QueueDepth
+	slots chan struct{} // execution slots: Workers
+	wg    sync.WaitGroup
+
+	hits, misses, coalesced    *obs.Counter
+	admitted, rejected         *obs.Counter
+	completed, failedC, cancel *obs.Counter
+	checks                     *obs.Counter
+	queueDepth, inflight       *obs.Gauge
+}
+
+// New builds the service.
+func New(cfg Config) *Server {
+	cfg.defaults()
+	s := &Server{
+		cfg:    cfg,
+		reg:    cfg.Obs,
+		jobs:   make(map[string]*Job),
+		flight: make(map[string]*Job),
+		admit:  make(chan struct{}, cfg.Workers+cfg.QueueDepth),
+		slots:  make(chan struct{}, cfg.Workers),
+	}
+	s.cache = newLRU(cfg.CacheEntries, func(j *Job) { delete(s.jobs, j.ID) })
+	s.hits = s.reg.Counter("serve.cache_hits")
+	s.misses = s.reg.Counter("serve.cache_misses")
+	s.coalesced = s.reg.Counter("serve.coalesced")
+	s.admitted = s.reg.Counter("serve.jobs_admitted")
+	s.rejected = s.reg.Counter("serve.jobs_rejected")
+	s.completed = s.reg.Counter("serve.jobs_completed")
+	s.failedC = s.reg.Counter("serve.jobs_failed")
+	s.cancel = s.reg.Counter("serve.jobs_cancelled")
+	s.checks = s.reg.Counter("serve.checks")
+	s.queueDepth = s.reg.Gauge("serve.queue_depth")
+	s.inflight = s.reg.Gauge("serve.inflight")
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/run", s.handleRun)
+	mux.HandleFunc("POST /v1/adversary", s.handleAdversary)
+	mux.HandleFunc("POST /v1/check", s.handleCheck)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.Handle("GET /metrics", s.reg)
+	mux.Handle("GET /vars", s.reg)
+	mux.Handle("GET /{$}", s.reg)
+	s.mux = mux
+	return s
+}
+
+// Registry exposes the service's observability registry (for the daemon's
+// -metrics summary at exit).
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.MaxBodyBytes > 0 && r.Body != nil {
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	}
+	s.mux.ServeHTTP(w, r)
+}
+
+// StopAdmitting switches the server into drain mode: every subsequent
+// request that would start work is answered 503; jobs already accepted
+// keep running.
+func (s *Server) StopAdmitting() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+}
+
+// Drain stops admission and waits for every accepted job to settle, or
+// for ctx. The SIGTERM half of "stop admitting, finish running jobs".
+func (s *Server) Drain(ctx context.Context) error {
+	s.StopAdmitting()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain interrupted: %w", ctx.Err())
+	}
+}
+
+// errSaturated is the admission-queue-full rejection (HTTP 429).
+var errSaturated = errors.New("serve: admission queue saturated")
+
+// acquire claims an admission ticket (non-blocking; saturation is an
+// immediate 429) and then an execution slot (blocking; the queued wait
+// respects ctx). The returned release frees both.
+func (s *Server) acquire(ctx context.Context) (release func(), err error) {
+	select {
+	case s.admit <- struct{}{}:
+	default:
+		return nil, errSaturated
+	}
+	s.queueDepth.Inc()
+	select {
+	case s.slots <- struct{}{}:
+	case <-ctx.Done():
+		s.queueDepth.Dec()
+		<-s.admit
+		return nil, context.Cause(ctx)
+	}
+	s.inflight.Inc()
+	return func() {
+		s.inflight.Dec()
+		s.queueDepth.Dec()
+		<-s.slots
+		<-s.admit
+	}, nil
+}
+
+// jobOutput is what one executed job yields: the response body served to
+// this and every future identical request, and the recorded trace behind
+// GET /v1/jobs/{id}/trace.
+type jobOutput struct {
+	body []byte
+	tr   *trace.Trace
+}
+
+// execute runs one job body as a single-cell sweep: a panic in a
+// candidate implementation surfaces as a structured error on this job
+// instead of tearing the daemon down.
+func (s *Server) execute(ctx context.Context, seed uint64, fn func(ctx context.Context) (jobOutput, error)) (jobOutput, error) {
+	out, err := sweep.Run(ctx, 1, sweep.Options{Workers: 1, Seed: seed, Obs: s.reg},
+		func(ctx context.Context, _ sweep.Cell) (jobOutput, error) { return fn(ctx) })
+	if err != nil {
+		var es sweep.Errors
+		if errors.As(err, &es) && len(es) > 0 {
+			return jobOutput{}, es[0].Err
+		}
+		return jobOutput{}, err
+	}
+	return out[0], nil
+}
+
+// runManaged is the shared lifecycle of the cacheable endpoints: cache
+// lookup, singleflight coalescing, admission, execution with per-job
+// timeout, and result publication.
+func (s *Server) runManaged(w http.ResponseWriter, r *http.Request, kind, hash string, seed uint64, fn func(ctx context.Context) (jobOutput, error)) {
+	s.mu.Lock()
+	if j := s.cache.get(hash); j != nil {
+		s.mu.Unlock()
+		s.hits.Inc()
+		serveResult(w, j, "hit")
+		return
+	}
+	if j := s.flight[hash]; j != nil {
+		s.mu.Unlock()
+		s.coalesced.Inc()
+		select {
+		case <-j.done:
+			if j.Status == StatusDone {
+				serveResult(w, j, "coalesced")
+			} else {
+				httpError(w, http.StatusInternalServerError, j.Err)
+			}
+		case <-r.Context().Done():
+			httpError(w, http.StatusRequestTimeout, "client went away while coalesced on "+j.ID)
+		}
+		return
+	}
+	if s.draining {
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", "5")
+		httpError(w, http.StatusServiceUnavailable, "draining: not admitting new jobs")
+		return
+	}
+	s.misses.Inc()
+	j := s.newJobLocked(kind, hash)
+	s.flight[hash] = j
+	s.wg.Add(1)
+	s.mu.Unlock()
+	defer s.wg.Done()
+
+	release, err := s.acquire(r.Context())
+	if err != nil {
+		if errors.Is(err, errSaturated) {
+			s.rejected.Inc()
+			s.settle(j, jobOutput{}, err)
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusTooManyRequests, "admission queue saturated; retry later")
+			return
+		}
+		s.settle(j, jobOutput{}, err)
+		httpError(w, http.StatusRequestTimeout, "cancelled while queued: "+err.Error())
+		return
+	}
+	defer release()
+	s.admitted.Inc()
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.JobTimeout)
+	defer cancel()
+	out, err := s.execute(ctx, seed, fn)
+	s.settle(j, out, err)
+	switch {
+	case err == nil:
+		serveResult(w, j, "miss")
+	case errors.Is(err, context.DeadlineExceeded):
+		httpError(w, http.StatusGatewayTimeout, "job exceeded the server-side timeout")
+	case errors.Is(err, context.Canceled):
+		httpError(w, http.StatusRequestTimeout, "job cancelled")
+	default:
+		httpError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+func serveResult(w http.ResponseWriter, j *Job, cacheStatus string) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.Header().Set("X-Cache", cacheStatus)
+	w.Header().Set("X-Job-Id", j.ID)
+	w.Write(j.Body)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	if draining {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(map[string]any{"ok": !draining, "draining": draining})
+}

@@ -1,0 +1,579 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"nobroadcast/internal/broadcast"
+	"nobroadcast/internal/obs"
+	"nobroadcast/internal/sched"
+	"nobroadcast/internal/trace"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Obs == nil {
+		cfg.Obs = obs.New()
+	}
+	s := New(cfg)
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postJSON(t *testing.T, url string, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("reading response: %v", err)
+	}
+	return resp, b
+}
+
+// TestRunCacheByteIdentical is the acceptance criterion: a repeated
+// identical POST /v1/run is served from the cache with a byte-identical
+// body, and serve.cache_hits increments.
+func TestRunCacheByteIdentical(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2})
+	req := `{"candidate":"fifo","n":3,"workload":{"messages":6}}`
+
+	r1, b1 := postJSON(t, ts.URL+"/v1/run", req)
+	if r1.StatusCode != http.StatusOK {
+		t.Fatalf("first run: status %d, body %s", r1.StatusCode, b1)
+	}
+	if got := r1.Header.Get("X-Cache"); got != "miss" {
+		t.Fatalf("first run X-Cache = %q, want miss", got)
+	}
+	r2, b2 := postJSON(t, ts.URL+"/v1/run", req)
+	if r2.StatusCode != http.StatusOK {
+		t.Fatalf("second run: status %d, body %s", r2.StatusCode, b2)
+	}
+	if got := r2.Header.Get("X-Cache"); got != "hit" {
+		t.Fatalf("second run X-Cache = %q, want hit", got)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("cached body differs:\n first: %s\nsecond: %s", b1, b2)
+	}
+	if hits := s.hits.Value(); hits != 1 {
+		t.Fatalf("serve.cache_hits = %d, want 1", hits)
+	}
+	if misses := s.misses.Value(); misses != 1 {
+		t.Fatalf("serve.cache_misses = %d, want 1", misses)
+	}
+	var doc RunResponse
+	if err := json.Unmarshal(b1, &doc); err != nil {
+		t.Fatalf("result document: %v", err)
+	}
+	if doc.Verdict != "" {
+		t.Fatalf("fifo run rejected: %s", doc.Verdict)
+	}
+	if !doc.Complete || doc.Deliveries != 6*3 {
+		t.Fatalf("unexpected result: complete=%v deliveries=%d", doc.Complete, doc.Deliveries)
+	}
+
+	// An equivalent request with defaults spelled out normalizes to the
+	// same hash and also hits.
+	r3, _ := postJSON(t, ts.URL+"/v1/run", `{"candidate":"fifo","runtime":"sched","n":3,"k":2,"workload":{"kind":"uniform","messages":6}}`)
+	if got := r3.Header.Get("X-Cache"); got != "hit" {
+		t.Fatalf("normalized-equal request X-Cache = %q, want hit", got)
+	}
+}
+
+// TestRunValidation: malformed parameters are rejected up front with 400,
+// before touching the job machinery.
+func TestRunValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	for _, body := range []string{
+		`{"candidate":"no-such-candidate"}`,
+		`{"candidate":"fifo","n":-2}`,
+		`{"candidate":"fifo","n":100000}`,
+		`{"candidate":"fifo","k":9,"n":4}`,
+		`{"candidate":"fifo","runtime":"quantum"}`,
+		`{"candidate":"fifo","workload":{"kind":"prime"}}`,
+		`{"candidate":"fifo","drop":0.5}`,
+		`not json`,
+	} {
+		resp, b := postJSON(t, ts.URL+"/v1/run", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %s: status %d (%s), want 400", body, resp.StatusCode, b)
+		}
+	}
+}
+
+// blockingJob submits a managed job whose body blocks until release is
+// closed, through the real handler path.
+func blockingJob(s *Server, hash string, start chan<- struct{}, release <-chan struct{}) *httptest.ResponseRecorder {
+	w := httptest.NewRecorder()
+	r := httptest.NewRequest("POST", "/test", nil)
+	s.runManaged(w, r, "test", hash, 0, func(ctx context.Context) (jobOutput, error) {
+		start <- struct{}{}
+		select {
+		case <-release:
+			return jobOutput{body: []byte(`{"ok":true}`)}, nil
+		case <-ctx.Done():
+			return jobOutput{}, ctx.Err()
+		}
+	})
+	return w
+}
+
+// TestSaturationReturns429: with one worker and a queue of one, a third
+// distinct job bounces off the admission queue with 429 + Retry-After and
+// is counted by serve.jobs_rejected; the accepted jobs still finish.
+func TestSaturationReturns429(t *testing.T) {
+	s, _ := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+	start := make(chan struct{}, 8)
+	release := make(chan struct{})
+
+	var wg sync.WaitGroup
+	results := make([]*httptest.ResponseRecorder, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = blockingJob(s, fmt.Sprintf("h%d", i), start, release)
+		}(i)
+	}
+	<-start // the running job occupies the single slot
+
+	// Wait until the second job holds its admission ticket (queued).
+	deadline := time.Now().Add(5 * time.Second)
+	for s.queueDepth.Value() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("second job never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	w := httptest.NewRecorder()
+	r := httptest.NewRequest("POST", "/test", nil)
+	s.runManaged(w, r, "test", "h-overflow", 0, func(ctx context.Context) (jobOutput, error) {
+		t.Error("overflow job must not execute")
+		return jobOutput{}, nil
+	})
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("overflow status = %d, want 429; body %s", w.Code, w.Body)
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	if got := s.rejected.Value(); got != 1 {
+		t.Errorf("serve.jobs_rejected = %d, want 1", got)
+	}
+
+	close(release)
+	<-start // the queued job starts once the slot frees
+	wg.Wait()
+	for i, w := range results {
+		if w.Code != http.StatusOK {
+			t.Errorf("job %d status = %d, want 200; body %s", i, w.Code, w.Body)
+		}
+	}
+	if got := s.completed.Value(); got != 2 {
+		t.Errorf("serve.jobs_completed = %d, want 2", got)
+	}
+}
+
+// TestCancellationMidJob: cancelling the request context mid-execution
+// settles the job as cancelled, counts it, and frees the slot for the
+// next job.
+func TestCancellationMidJob(t *testing.T) {
+	s, _ := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+	start := make(chan struct{}, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+
+	w := httptest.NewRecorder()
+	r := httptest.NewRequest("POST", "/test", nil).WithContext(ctx)
+	done := make(chan struct{})
+	var jobID string
+	go func() {
+		defer close(done)
+		s.runManaged(w, r, "test", "h-cancel", 0, func(ctx context.Context) (jobOutput, error) {
+			start <- struct{}{}
+			<-ctx.Done()
+			return jobOutput{}, ctx.Err()
+		})
+	}()
+	<-start
+	s.mu.Lock()
+	if j := s.flight["h-cancel"]; j != nil {
+		jobID = j.ID
+	}
+	s.mu.Unlock()
+	cancel()
+	<-done
+	if w.Code != http.StatusRequestTimeout {
+		t.Fatalf("cancelled job status = %d, want 408; body %s", w.Code, w.Body)
+	}
+	if got := s.cancel.Value(); got != 1 {
+		t.Errorf("serve.jobs_cancelled = %d, want 1", got)
+	}
+	if j := s.lookup(jobID); j == nil || j.Status != StatusCancelled {
+		t.Errorf("job record not cancelled: %+v", j)
+	}
+
+	// The slot is free again: a fresh job runs to completion.
+	w2 := httptest.NewRecorder()
+	r2 := httptest.NewRequest("POST", "/test", nil)
+	s.runManaged(w2, r2, "test", "h-after", 0, func(ctx context.Context) (jobOutput, error) {
+		return jobOutput{body: []byte(`{}`)}, nil
+	})
+	if w2.Code != http.StatusOK {
+		t.Fatalf("post-cancel job status = %d, want 200", w2.Code)
+	}
+}
+
+// TestGracefulDrain: drain mode rejects new work with 503 while the jobs
+// already accepted run to completion, and Drain returns once they settle.
+func TestGracefulDrain(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2})
+	start := make(chan struct{}, 1)
+	release := make(chan struct{})
+
+	var w *httptest.ResponseRecorder
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		w = blockingJob(s, "h-drain", start, release)
+	}()
+	<-start
+
+	s.StopAdmitting()
+	resp, body := postJSON(t, ts.URL+"/v1/run", `{"candidate":"fifo"}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining run status = %d (%s), want 503", resp.StatusCode, body)
+	}
+	hresp, _ := http.Get(ts.URL + "/healthz")
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz status = %d, want 503", hresp.StatusCode)
+	}
+
+	drained := make(chan error, 1)
+	go func() { drained <- s.Drain(context.Background()) }()
+	select {
+	case err := <-drained:
+		t.Fatalf("Drain returned before the in-flight job settled: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	if err := <-drained; err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	<-done
+	if w.Code != http.StatusOK {
+		t.Fatalf("in-flight job during drain: status = %d, want 200", w.Code)
+	}
+
+	// A bounded drain against a stuck job reports the interruption.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("second drain with nothing in flight: %v", err)
+	}
+}
+
+// TestCoalescing: identical in-flight requests share one execution.
+func TestCoalescing(t *testing.T) {
+	s, _ := newTestServer(t, Config{Workers: 2})
+	start := make(chan struct{}, 1)
+	release := make(chan struct{})
+	executions := 0
+
+	var wg sync.WaitGroup
+	var w1 *httptest.ResponseRecorder
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		w := httptest.NewRecorder()
+		r := httptest.NewRequest("POST", "/test", nil)
+		s.runManaged(w, r, "test", "h-shared", 0, func(ctx context.Context) (jobOutput, error) {
+			executions++ // safe: the follower must not execute at all
+			start <- struct{}{}
+			<-release
+			return jobOutput{body: []byte(`{"shared":true}`)}, nil
+		})
+		w1 = w
+	}()
+	<-start
+
+	var w2 *httptest.ResponseRecorder
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		w := httptest.NewRecorder()
+		r := httptest.NewRequest("POST", "/test", nil)
+		s.runManaged(w, r, "test", "h-shared", 0, func(ctx context.Context) (jobOutput, error) {
+			t.Error("coalesced follower executed its own job")
+			return jobOutput{}, nil
+		})
+		w2 = w
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.coalesced.Value() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("second request never coalesced")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if executions != 1 {
+		t.Fatalf("executions = %d, want 1", executions)
+	}
+	if w1.Code != http.StatusOK || w2.Code != http.StatusOK {
+		t.Fatalf("statuses = %d, %d, want 200, 200", w1.Code, w2.Code)
+	}
+	if !bytes.Equal(w1.Body.Bytes(), w2.Body.Bytes()) {
+		t.Fatalf("coalesced bodies differ: %s vs %s", w1.Body, w2.Body)
+	}
+	if got := w2.Header().Get("X-Cache"); got != "coalesced" {
+		t.Fatalf("follower X-Cache = %q, want coalesced", got)
+	}
+}
+
+// TestAdversaryEndpoint: a construction returns the β summary with every
+// lemma verified, and the α trace streams from the jobs endpoint.
+func TestAdversaryEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	resp, body := postJSON(t, ts.URL+"/v1/adversary", `{"candidate":"first-k","k":2,"n":2}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("adversary: status %d, body %s", resp.StatusCode, body)
+	}
+	var doc AdversaryResponse
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("decoding summary: %v", err)
+	}
+	if !doc.LemmasOK {
+		t.Fatalf("lemmas failed: %+v", doc.Lemmas)
+	}
+	if doc.AlphaSteps == 0 || doc.BetaEvents == 0 || len(doc.Counted) != doc.K+1 {
+		t.Fatalf("degenerate summary: %+v", doc)
+	}
+
+	// The α trace is downloadable and parses back as JSONL.
+	id := resp.Header.Get("X-Job-Id")
+	tresp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tresp.Body.Close()
+	if tresp.StatusCode != http.StatusOK {
+		t.Fatalf("trace download: status %d", tresp.StatusCode)
+	}
+	sr, err := trace.NewStepReader(tresp.Body)
+	if err != nil {
+		t.Fatalf("downloaded trace header: %v", err)
+	}
+	steps := 0
+	for {
+		_, err := sr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("downloaded trace step %d: %v", steps, err)
+		}
+		steps++
+	}
+	if steps != doc.AlphaSteps {
+		t.Fatalf("downloaded %d steps, summary says %d", steps, doc.AlphaSteps)
+	}
+
+	// Job status view embeds the settled result.
+	jresp, jbody := getBody(t, ts.URL+"/v1/jobs/"+id)
+	if jresp.StatusCode != http.StatusOK {
+		t.Fatalf("job view: status %d", jresp.StatusCode)
+	}
+	var view struct {
+		Status string          `json:"status"`
+		Result json.RawMessage `json:"result"`
+	}
+	if err := json.Unmarshal(jbody, &view); err != nil {
+		t.Fatalf("job view: %v", err)
+	}
+	if view.Status != StatusDone || len(view.Result) == 0 {
+		t.Fatalf("job view = %s", jbody)
+	}
+}
+
+func getBody(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+// sampleTrace runs a small fifo workload on the deterministic runtime —
+// a genuinely admissible execution, not a handcrafted approximation.
+func sampleTrace(t *testing.T) *trace.Trace {
+	t.Helper()
+	cand, err := broadcast.Lookup("fifo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := sched.New(sched.Config{N: 2, NewAutomaton: cand.NewAutomaton, Oracle: cand.OracleFor(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := rt.RunFair(sched.RunOptions{Broadcasts: []sched.BroadcastReq{
+		{Proc: 1, Payload: "a"}, {Proc: 2, Payload: "b"}, {Proc: 1, Payload: "c"},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// sampleJSONL renders the sample trace in streaming form.
+func sampleJSONL(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := sampleTrace(t).EncodeJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestCheckEndpoint: an uploaded JSONL trace is checked against every
+// spec in streaming form, with per-spec verdict lines and a summary.
+func TestCheckEndpoint(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2})
+	resp, body := postJSON(t, ts.URL+"/v1/check?spec=all&k=2", string(sampleJSONL(t)))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("check: status %d, body %s", resp.StatusCode, body)
+	}
+	sum, err := summaryLine(body)
+	if err != nil {
+		t.Fatalf("summary line: %v (body %s)", err, body)
+	}
+	wantSteps := float64(sampleTrace(t).X.Len())
+	if sum["steps"].(float64) != wantSteps {
+		t.Fatalf("summary steps = %v, want %v", sum["steps"], wantSteps)
+	}
+	if sum["specs"].(float64) < 10 {
+		t.Fatalf("summary specs = %v, want the full registry", sum["specs"])
+	}
+	// The sample is well-formed and fifo-ordered; both verdict lines say so.
+	for _, want := range []string{`"spec":"well-formed","rejected":false`, `"spec":"fifo-order","rejected":false`} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("check body missing %s:\n%s", want, body)
+		}
+	}
+	if got := s.checks.Value(); got != 1 {
+		t.Errorf("serve.checks = %d, want 1", got)
+	}
+
+	// A single named spec checks just that spec.
+	resp, body = postJSON(t, ts.URL+"/v1/check?spec=fifo&k=2", string(sampleJSONL(t)))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("single-spec check: status %d, body %s", resp.StatusCode, body)
+	}
+	if sum, _ := summaryLine(body); sum["specs"].(float64) != 1 {
+		t.Fatalf("single-spec summary = %v", sum)
+	}
+
+	// Unknown spec name is a 400 before any job is created.
+	resp, _ = postJSON(t, ts.URL+"/v1/check?spec=nope", "")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown spec: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestCheckTruncatedUpload is the satellite acceptance: a truncated JSONL
+// upload is answered 400 with a "truncated upload" error, not a generic
+// parse failure or a hang.
+func TestCheckTruncatedUpload(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	full := sampleJSONL(t)
+	cut := bytes.TrimRight(full, "\n")
+	cut = cut[:len(cut)-7] // mid-way through the final step line
+
+	resp, body := postJSON(t, ts.URL+"/v1/check?spec=well-formed", string(cut))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("truncated check: status %d, body %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "truncated upload") {
+		t.Fatalf("truncated check body = %s, want 'truncated upload'", body)
+	}
+
+	// A stray second header mid-stream is a 400 too, named as such.
+	lines := bytes.SplitN(full, []byte("\n"), 2)
+	dup := append(append(append([]byte{}, lines[0]...), '\n'), full...)
+	resp, body = postJSON(t, ts.URL+"/v1/check?spec=well-formed", string(dup))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("double-header check: status %d, body %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "second header") {
+		t.Fatalf("double-header body = %s, want 'second header'", body)
+	}
+}
+
+// TestNetRuntimeRun: the concurrent runtime path works end to end and is
+// cached like the deterministic one.
+func TestNetRuntimeRun(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	req := `{"candidate":"reliable","runtime":"net","n":3,"seed":7,"workload":{"messages":6}}`
+	resp, body := postJSON(t, ts.URL+"/v1/run", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("net run: status %d, body %s", resp.StatusCode, body)
+	}
+	var doc RunResponse
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if !doc.Complete || doc.Sends == 0 {
+		t.Fatalf("net run degenerate: %+v", doc)
+	}
+	resp2, body2 := postJSON(t, ts.URL+"/v1/run", req)
+	if resp2.Header.Get("X-Cache") != "hit" || !bytes.Equal(body, body2) {
+		t.Fatalf("net repeat not served from cache (X-Cache=%q)", resp2.Header.Get("X-Cache"))
+	}
+}
+
+// TestCacheEviction: the LRU keeps the job index bounded.
+func TestCacheEviction(t *testing.T) {
+	s, _ := newTestServer(t, Config{Workers: 2, CacheEntries: 2})
+	for i := 0; i < 5; i++ {
+		w := httptest.NewRecorder()
+		r := httptest.NewRequest("POST", "/test", nil)
+		body := []byte(fmt.Sprintf(`{"i":%d}`, i))
+		s.runManaged(w, r, "test", fmt.Sprintf("h-ev-%d", i), 0, func(ctx context.Context) (jobOutput, error) {
+			return jobOutput{body: body}, nil
+		})
+		if w.Code != http.StatusOK {
+			t.Fatalf("job %d: status %d", i, w.Code)
+		}
+	}
+	s.mu.Lock()
+	cached, jobs := s.cache.len(), len(s.jobs)
+	s.mu.Unlock()
+	if cached != 2 {
+		t.Fatalf("cache holds %d entries, want 2", cached)
+	}
+	if jobs != 2 {
+		t.Fatalf("job index holds %d records, want 2 (evictions must release them)", jobs)
+	}
+}

@@ -6,9 +6,42 @@ import (
 	"strings"
 )
 
+// DefaultMaxSpan caps the number of grid points a single parsed range may
+// produce when the caller does not choose its own bound. A sweep axis is
+// a handful-to-thousands of cells; a span like "2..100000000" is a typo
+// (or abuse, once ranges arrive over HTTP) that would otherwise allocate
+// the whole grid before any downstream validation runs.
+const DefaultMaxSpan = 1 << 20
+
+// SpanError is the structured rejection of a range whose point count
+// exceeds the cap. Callers can errors.As it out to report the offending
+// bounds and limit (an HTTP layer would map it to 400, not OOM).
+type SpanError struct {
+	Range    string
+	Lo, Hi   int
+	Span     int
+	MaxCells int
+}
+
+func (e *SpanError) Error() string {
+	return fmt.Sprintf("sweep: range %q spans %d points, exceeding the cap of %d cells", e.Range, e.Span, e.MaxCells)
+}
+
 // ParseRange parses the CLI grid-axis syntax: a single integer "3" (a
-// one-point range) or an inclusive span "2..5". The span must be ascending.
+// one-point range) or an inclusive span "2..5". The span must be
+// ascending, its low bound non-negative, and its point count within
+// DefaultMaxSpan (use ParseRangeMax to pick the cap).
 func ParseRange(s string) (lo, hi int, err error) {
+	return ParseRangeMax(s, DefaultMaxSpan)
+}
+
+// ParseRangeMax is ParseRange with a caller-chosen cap on the number of
+// points the range may span; maxCells <= 0 selects DefaultMaxSpan. An
+// oversized span fails with a *SpanError before anything is allocated.
+func ParseRangeMax(s string, maxCells int) (lo, hi int, err error) {
+	if maxCells <= 0 {
+		maxCells = DefaultMaxSpan
+	}
 	if a, b, ok := strings.Cut(s, ".."); ok {
 		lo, err = strconv.Atoi(strings.TrimSpace(a))
 		if err != nil {
@@ -18,14 +51,21 @@ func ParseRange(s string) (lo, hi int, err error) {
 		if err != nil {
 			return 0, 0, fmt.Errorf("sweep: bad range %q: %v", s, err)
 		}
-		if hi < lo {
-			return 0, 0, fmt.Errorf("sweep: descending range %q", s)
+	} else {
+		lo, err = strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			return 0, 0, fmt.Errorf("sweep: bad range %q: %v", s, err)
 		}
-		return lo, hi, nil
+		hi = lo
 	}
-	lo, err = strconv.Atoi(strings.TrimSpace(s))
-	if err != nil {
-		return 0, 0, fmt.Errorf("sweep: bad range %q: %v", s, err)
+	if lo < 0 {
+		return 0, 0, fmt.Errorf("sweep: range %q has negative low bound %d", s, lo)
 	}
-	return lo, lo, nil
+	if hi < lo {
+		return 0, 0, fmt.Errorf("sweep: descending range %q", s)
+	}
+	if span := hi - lo + 1; span > maxCells {
+		return 0, 0, &SpanError{Range: s, Lo: lo, Hi: hi, Span: span, MaxCells: maxCells}
+	}
+	return lo, hi, nil
 }

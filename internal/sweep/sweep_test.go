@@ -269,6 +269,10 @@ func TestParseRange(t *testing.T) {
 		{"", 0, 0, false},
 		{"a..b", 0, 0, false},
 		{"2..", 0, 0, false},
+		{"-3", 0, 0, false},
+		{"-2..5", 0, 0, false},
+		{"-5..-2", 0, 0, false},
+		{"2..100000000", 0, 0, false},
 	}
 	for _, c := range cases {
 		lo, hi, err := ParseRange(c.in)
@@ -279,6 +283,26 @@ func TestParseRange(t *testing.T) {
 		if c.ok && (lo != c.lo || hi != c.hi) {
 			t.Errorf("ParseRange(%q) = %d..%d, want %d..%d", c.in, lo, hi, c.lo, c.hi)
 		}
+	}
+}
+
+// TestParseRangeSpanCap: an unbounded span fails with a structured
+// *SpanError before any grid is allocated, and the cap is configurable.
+func TestParseRangeSpanCap(t *testing.T) {
+	t.Parallel()
+	_, _, err := ParseRange("2..100000000")
+	var se *SpanError
+	if !errors.As(err, &se) {
+		t.Fatalf("ParseRange err = %v, want *SpanError", err)
+	}
+	if se.Lo != 2 || se.Hi != 100000000 || se.MaxCells != DefaultMaxSpan {
+		t.Errorf("SpanError = %+v", se)
+	}
+	if _, _, err := ParseRangeMax("1..10", 5); err == nil {
+		t.Error("ParseRangeMax(1..10, 5) accepted a span over the cap")
+	}
+	if lo, hi, err := ParseRangeMax("1..5", 5); err != nil || lo != 1 || hi != 5 {
+		t.Errorf("ParseRangeMax(1..5, 5) = %d..%d, %v; want 1..5", lo, hi, err)
 	}
 }
 

@@ -3,11 +3,19 @@ package trace
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 
 	"nobroadcast/internal/model"
 )
+
+// ErrTruncated reports a JSONL stream that ended in the middle of a line:
+// the producer (or the transport) cut the stream short. It is distinct
+// from a decode error on a complete line — callers such as an upload
+// endpoint can tell "resend the file" from "the file is corrupt". Test
+// with errors.Is.
+var ErrTruncated = errors.New("truncated jsonl stream")
 
 // Streaming trace support: a JSONL wire format (one header object, then
 // one step object per line) and the Sink interface the runtimes tee
@@ -67,6 +75,9 @@ func NewStepReader(r io.Reader) (*StepReader, error) {
 	dec := json.NewDecoder(bufio.NewReader(r))
 	var hdr StreamHeader
 	if err := dec.Decode(&hdr); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, fmt.Errorf("trace: jsonl header: %w", ErrTruncated)
+		}
 		return nil, fmt.Errorf("trace: jsonl header: %w", err)
 	}
 	if hdr.N <= 0 {
@@ -78,20 +89,38 @@ func NewStepReader(r io.Reader) (*StepReader, error) {
 // Header returns the stream metadata.
 func (r *StepReader) Header() StreamHeader { return r.hdr }
 
-// Next returns the next step, or io.EOF when the stream is exhausted.
+// stepLine is a step with the header-only keys alongside, so a stray
+// second header line mid-stream is rejected as such rather than
+// misreported as a step with an invalid kind.
+type stepLine struct {
+	model.Step
+	N        *int  `json:"n"`
+	Complete *bool `json:"complete"`
+}
+
+// Next returns the next step, or io.EOF when the stream is exhausted. A
+// stream cut off mid-line fails with an error wrapping ErrTruncated —
+// distinct from a corrupt complete line — and a second header object
+// appearing after the first is rejected explicitly.
 func (r *StepReader) Next() (model.Step, error) {
-	var s model.Step
-	if err := r.dec.Decode(&s); err != nil {
+	var line stepLine
+	if err := r.dec.Decode(&line); err != nil {
 		if err == io.EOF {
-			return s, io.EOF
+			return line.Step, io.EOF
 		}
-		return s, fmt.Errorf("trace: jsonl step %d: %w", r.i, err)
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return line.Step, fmt.Errorf("trace: jsonl step %d: %w", r.i, ErrTruncated)
+		}
+		return line.Step, fmt.Errorf("trace: jsonl step %d: %w", r.i, err)
 	}
-	if !s.Kind.Valid() {
-		return s, fmt.Errorf("trace: jsonl step %d has invalid kind %d", r.i, int(s.Kind))
+	if line.N != nil || line.Complete != nil {
+		return line.Step, fmt.Errorf("trace: jsonl step %d: unexpected second header line", r.i)
+	}
+	if !line.Kind.Valid() {
+		return line.Step, fmt.Errorf("trace: jsonl step %d has invalid kind %d", r.i, int(line.Kind))
 	}
 	r.i++
-	return s, nil
+	return line.Step, nil
 }
 
 // DecodeJSONL materializes a full trace from a JSONL stream — the inverse

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"strings"
 	"testing"
@@ -104,5 +105,67 @@ func TestStepReaderRejectsGarbage(t *testing.T) {
 	}
 	if _, err := sr.Next(); err == nil || err == io.EOF {
 		t.Fatalf("invalid step kind accepted: %v", err)
+	}
+}
+
+// TestStepReaderTruncation: a stream cut off mid-line surfaces
+// ErrTruncated — distinct from a corrupt complete line — from both the
+// header and the step positions, and DecodeJSONL propagates it.
+func TestStepReaderTruncation(t *testing.T) {
+	tr := sample()
+	var buf bytes.Buffer
+	if err := tr.EncodeJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+
+	// Cut the final step line in half.
+	cut := whole[:len(whole)-8]
+	sr, err := NewStepReader(bytes.NewReader(cut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		_, err = sr.Next()
+		if err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, ErrTruncated) {
+		t.Fatalf("truncated step error = %v, want ErrTruncated", err)
+	}
+	if _, err := DecodeJSONL(bytes.NewReader(cut)); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("DecodeJSONL on truncated stream = %v, want ErrTruncated", err)
+	}
+
+	// Cut inside the header line.
+	if _, err := NewStepReader(bytes.NewReader(whole[:5])); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("truncated header error = %v, want ErrTruncated", err)
+	}
+
+	// A corrupt complete line is NOT a truncation.
+	sr, err = NewStepReader(strings.NewReader(`{"n":2}` + "\n" + `{"proc":1,"kind":99}` + "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sr.Next(); err == nil || errors.Is(err, ErrTruncated) {
+		t.Fatalf("corrupt step reported as truncation: %v", err)
+	}
+}
+
+// TestStepReaderRejectsSecondHeader: a stray header object mid-stream is
+// reported as such, not as a step with an invalid kind.
+func TestStepReaderRejectsSecondHeader(t *testing.T) {
+	in := `{"n":2}` + "\n" + `{"proc":1,"kind":1,"msg":1,"payload":"a"}` + "\n" + `{"n":2,"complete":true}` + "\n"
+	sr, err := NewStepReader(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sr.Next(); err != nil {
+		t.Fatalf("first step: %v", err)
+	}
+	_, err = sr.Next()
+	if err == nil || !strings.Contains(err.Error(), "second header") {
+		t.Fatalf("second header error = %v, want explicit rejection", err)
 	}
 }
