@@ -7,7 +7,6 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"time"
 
 	"nobroadcast/internal/trace"
 )
@@ -24,17 +23,21 @@ const (
 // Job is one managed request: the canonical parameter hash it was keyed
 // by, its lifecycle status, and — once settled — the response body every
 // identical request is served from, plus the recorded trace.
+//
+// Every mutable field is written by settle under s.mu; readers must
+// either hold s.mu (snapshot) or have observed <-done, which settle
+// closes after its last write.
 type Job struct {
-	ID     string `json:"id"`
-	Kind   string `json:"kind"`
-	Hash   string `json:"hash"`
-	Status string `json:"status"`
-	Err    string `json:"error,omitempty"`
+	ID     string
+	Kind   string
+	Hash   string
+	Status string
+	Err    string
 
 	// Body is the result document (immutable once Status is done).
-	Body []byte `json:"-"`
+	Body []byte
 	// Trace is the recorded execution, when the job kind produces one.
-	Trace *trace.Trace `json:"-"`
+	Trace *trace.Trace
 
 	done chan struct{}
 }
@@ -85,11 +88,12 @@ func (s *Server) settle(j *Job, out jobOutput, err error) {
 		j.Status = StatusDone
 		j.Body = out.body
 		j.Trace = out.tr
-		if j.Hash != "" {
+		if j.Hash != "" && !out.uncacheable {
 			s.cache.put(j.Hash, j)
 		} else {
-			// Hashless jobs (trace checks) are uncacheable; retain their
-			// records on the bounded ring instead.
+			// Hashless jobs (trace checks) and timing-sensitive results
+			// (net runtime) are uncacheable; retain their records on the
+			// bounded ring instead.
 			s.parkLocked(j)
 		}
 		s.completed.Inc()
@@ -116,19 +120,49 @@ func (s *Server) lookup(id string) *Job {
 	return s.jobs[id]
 }
 
+// jobView is a consistent copy of a job's externally visible state,
+// taken under s.mu so the GET handlers never race with a concurrent
+// settle. Body and Trace are set exactly once (by settle, under the
+// lock), so the copied references are immutable if Status is settled.
+type jobView struct {
+	ID     string
+	Kind   string
+	Hash   string
+	Status string
+	Err    string
+	Body   []byte
+	Trace  *trace.Trace
+}
+
+// snapshot copies a job's fields under s.mu; ok is false for ids that
+// were never created or have been evicted.
+func (s *Server) snapshot(id string) (jobView, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.jobs[id]
+	if j == nil {
+		return jobView{}, false
+	}
+	return jobView{ID: j.ID, Kind: j.Kind, Hash: j.Hash, Status: j.Status, Err: j.Err, Body: j.Body, Trace: j.Trace}, true
+}
+
 // handleJob serves GET /v1/jobs/{id}: the job descriptor, with the
 // result document embedded once the job settled.
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
-	j := s.lookup(r.PathValue("id"))
-	if j == nil {
+	j, ok := s.snapshot(r.PathValue("id"))
+	if !ok {
 		httpError(w, http.StatusNotFound, "unknown job (evicted or never created)")
 		return
 	}
 	view := struct {
-		*Job
+		ID       string          `json:"id"`
+		Kind     string          `json:"kind"`
+		Hash     string          `json:"hash"`
+		Status   string          `json:"status"`
+		Err      string          `json:"error,omitempty"`
 		Result   json.RawMessage `json:"result,omitempty"`
 		HasTrace bool            `json:"has_trace"`
-	}{Job: j, HasTrace: j.Trace != nil}
+	}{ID: j.ID, Kind: j.Kind, Hash: j.Hash, Status: j.Status, Err: j.Err, HasTrace: j.Trace != nil}
 	// Check jobs settle with a JSONL body, which is not a single JSON
 	// value and cannot be embedded in the descriptor document.
 	if j.Status == StatusDone && json.Valid(j.Body) {
@@ -140,22 +174,19 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 
 // handleJobTrace serves GET /v1/jobs/{id}/trace: the recorded execution
 // as a streaming JSONL download (EncodeJSONL), never materialized as one
-// response buffer.
+// response buffer. A still-running job answers immediately — pinning the
+// connection for up to another full JobTimeout would stretch drains and
+// tie up sockets — and the client polls.
 func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
-	j := s.lookup(r.PathValue("id"))
-	if j == nil {
+	j, ok := s.snapshot(r.PathValue("id"))
+	if !ok {
 		httpError(w, http.StatusNotFound, "unknown job (evicted or never created)")
 		return
 	}
 	if j.Status == StatusRunning {
-		select {
-		case <-j.done:
-		case <-r.Context().Done():
-			return
-		case <-time.After(s.cfg.JobTimeout):
-			httpError(w, http.StatusGatewayTimeout, "job still running")
-			return
-		}
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusConflict, "job still running; retry once it settles")
+		return
 	}
 	if j.Trace == nil {
 		httpError(w, http.StatusNotFound, "job recorded no trace")

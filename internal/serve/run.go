@@ -185,7 +185,15 @@ func (s *Server) executeRun(ctx context.Context, q *RunRequest) (jobOutput, erro
 			resp.Deliveries++
 		}
 	}
-	return encodeBody(&resp, tr)
+	out, err := encodeBody(&resp, tr)
+	// Net-runtime documents are not pure functions of (params, seed):
+	// runNet races real goroutines with ~100µs delays against a
+	// wall-clock convergence budget, so under load a faulty run can
+	// settle with complete=false or different send/fault counts. Caching
+	// one would replay a timing accident as the permanent verdict for
+	// that parameter hash, so these jobs bypass the result cache.
+	out.uncacheable = q.Runtime == "net"
+	return out, err
 }
 
 // encodeBody renders a result document to the bytes cached and served to

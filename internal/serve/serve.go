@@ -2,13 +2,16 @@
 // it runs workload simulations, adversary (Algorithm 1) constructions,
 // and streaming trace checks as managed jobs over HTTP.
 //
-// The job manager exploits the repository's central invariant: an
-// execution is fully determined by (workload, parameters, seed). Every
-// request is normalized to a canonical parameter set and hashed; repeats
-// are served byte-identical from a bounded LRU result cache, and
-// identical in-flight requests coalesce onto one execution
-// (singleflight). Determinism makes these cache hits exact — the cached
-// body is the body a fresh run would produce — not approximate.
+// The job manager exploits the repository's central invariant: a
+// deterministic-runtime execution is fully determined by (workload,
+// parameters, seed). Every request is normalized to a canonical
+// parameter set and hashed; repeats are served byte-identical from a
+// bounded LRU result cache, and identical in-flight requests coalesce
+// onto one execution (singleflight). Determinism makes these cache hits
+// exact — the cached body is the body a fresh run would produce — not
+// approximate. Net-runtime results are the exception: they depend on
+// real goroutine scheduling against wall-clock budgets, so they are
+// never cached (X-Cache: uncached), only coalesced while in flight.
 //
 // New work passes a bounded admission queue (HTTP 429 + Retry-After when
 // saturated) onto a bounded worker pool; each job runs as a single-cell
@@ -206,6 +209,10 @@ func (s *Server) acquire(ctx context.Context) (release func(), err error) {
 	s.queueDepth.Inc()
 	select {
 	case s.slots <- struct{}{}:
+		// Queued → executing: the job leaves the queue the moment it
+		// claims a slot, so queue_depth counts only waiting jobs and never
+		// double-counts with serve.inflight.
+		s.queueDepth.Dec()
 	case <-ctx.Done():
 		s.queueDepth.Dec()
 		<-s.admit
@@ -214,7 +221,6 @@ func (s *Server) acquire(ctx context.Context) (release func(), err error) {
 	s.inflight.Inc()
 	return func() {
 		s.inflight.Dec()
-		s.queueDepth.Dec()
 		<-s.slots
 		<-s.admit
 	}, nil
@@ -222,10 +228,13 @@ func (s *Server) acquire(ctx context.Context) (release func(), err error) {
 
 // jobOutput is what one executed job yields: the response body served to
 // this and every future identical request, and the recorded trace behind
-// GET /v1/jobs/{id}/trace.
+// GET /v1/jobs/{id}/trace. uncacheable marks results that are not pure
+// functions of the request hash (the net runtime races real goroutines
+// against wall-clock budgets) and must not be replayed from the cache.
 type jobOutput struct {
-	body []byte
-	tr   *trace.Trace
+	body        []byte
+	tr          *trace.Trace
+	uncacheable bool
 }
 
 // execute runs one job body as a single-cell sweep: a panic in a
@@ -305,7 +314,11 @@ func (s *Server) runManaged(w http.ResponseWriter, r *http.Request, kind, hash s
 	s.settle(j, out, err)
 	switch {
 	case err == nil:
-		serveResult(w, j, "miss")
+		status := "miss"
+		if out.uncacheable {
+			status = "uncached"
+		}
+		serveResult(w, j, status)
 	case errors.Is(err, context.DeadlineExceeded):
 		httpError(w, http.StatusGatewayTimeout, "job exceeded the server-side timeout")
 	case errors.Is(err, context.Canceled):

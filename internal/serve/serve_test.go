@@ -151,8 +151,11 @@ func TestSaturationReturns429(t *testing.T) {
 	<-start // the running job occupies the single slot
 
 	// Wait until the second job holds its admission ticket (queued).
+	// queue_depth counts only jobs waiting for a slot — the executing job
+	// left the queue when it claimed its slot — so both tickets are held
+	// exactly when one job is in flight and one is queued.
 	deadline := time.Now().Add(5 * time.Second)
-	for s.queueDepth.Value() < 2 {
+	for s.inflight.Value() < 1 || s.queueDepth.Value() < 1 {
 		if time.Now().After(deadline) {
 			t.Fatal("second job never queued")
 		}
@@ -531,14 +534,21 @@ func TestCheckTruncatedUpload(t *testing.T) {
 	}
 }
 
-// TestNetRuntimeRun: the concurrent runtime path works end to end and is
-// cached like the deterministic one.
+// TestNetRuntimeRun: the concurrent runtime path works end to end but
+// bypasses the result cache — its documents depend on real goroutine
+// scheduling against wall-clock convergence budgets, so a cached copy
+// could freeze a timing accident (an incomplete faulty run, a different
+// send count) as the permanent verdict for that parameter hash. A repeat
+// therefore re-executes.
 func TestNetRuntimeRun(t *testing.T) {
-	_, ts := newTestServer(t, Config{Workers: 2})
+	s, ts := newTestServer(t, Config{Workers: 2})
 	req := `{"candidate":"reliable","runtime":"net","n":3,"seed":7,"workload":{"messages":6}}`
 	resp, body := postJSON(t, ts.URL+"/v1/run", req)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("net run: status %d, body %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Cache"); got != "uncached" {
+		t.Fatalf("net run X-Cache = %q, want uncached", got)
 	}
 	var doc RunResponse
 	if err := json.Unmarshal(body, &doc); err != nil {
@@ -548,8 +558,98 @@ func TestNetRuntimeRun(t *testing.T) {
 		t.Fatalf("net run degenerate: %+v", doc)
 	}
 	resp2, body2 := postJSON(t, ts.URL+"/v1/run", req)
-	if resp2.Header.Get("X-Cache") != "hit" || !bytes.Equal(body, body2) {
-		t.Fatalf("net repeat not served from cache (X-Cache=%q)", resp2.Header.Get("X-Cache"))
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("net repeat: status %d, body %s", resp2.StatusCode, body2)
+	}
+	if got := resp2.Header.Get("X-Cache"); got != "uncached" {
+		t.Fatalf("net repeat X-Cache = %q, want uncached (timing-sensitive results must not be replayed)", got)
+	}
+	if id1, id2 := resp.Header.Get("X-Job-Id"), resp2.Header.Get("X-Job-Id"); id1 == id2 {
+		t.Fatalf("net repeat reused job %s instead of re-executing", id1)
+	}
+	if hits := s.hits.Value(); hits != 0 {
+		t.Fatalf("serve.cache_hits = %d, want 0 (net jobs bypass the cache)", hits)
+	}
+	// The uncached job records are still parked and resolvable by id.
+	jresp, jbody := getBody(t, ts.URL+"/v1/jobs/"+resp.Header.Get("X-Job-Id"))
+	if jresp.StatusCode != http.StatusOK || !strings.Contains(string(jbody), `"status":"done"`) {
+		t.Fatalf("net job record not resolvable: %d %s", jresp.StatusCode, jbody)
+	}
+}
+
+// TestJobViewDuringExecution: the job GET endpoints are safe while the
+// job is still running and while it settles concurrently — the
+// regression was handleJob/handleJobTrace reading Status/Err/Body
+// without s.mu while settle mutated them under the lock, which tests
+// that only poll after completion never exercise under -race.
+func TestJobViewDuringExecution(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	start := make(chan struct{}, 1)
+	release := make(chan struct{})
+	jobDone := make(chan struct{})
+	go func() {
+		defer close(jobDone)
+		blockingJob(s, "h-live", start, release)
+	}()
+	<-start
+	s.mu.Lock()
+	j := s.flight["h-live"]
+	s.mu.Unlock()
+	if j == nil {
+		t.Fatal("running job not registered in flight")
+	}
+
+	// Readers hammer both endpoints across the running→done transition.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get(ts.URL + "/v1/jobs/" + j.ID)
+				if err != nil {
+					t.Errorf("job view: %v", err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("job view status = %d, want 200", resp.StatusCode)
+					return
+				}
+				tresp, err := http.Get(ts.URL + "/v1/jobs/" + j.ID + "/trace")
+				if err != nil {
+					t.Errorf("trace view: %v", err)
+					return
+				}
+				io.Copy(io.Discard, tresp.Body)
+				tresp.Body.Close()
+				// 409 while running (no blocking wait), 404 once settled:
+				// this job records no trace.
+				if tresp.StatusCode != http.StatusConflict && tresp.StatusCode != http.StatusNotFound {
+					t.Errorf("trace view status = %d, want 409 or 404", tresp.StatusCode)
+					return
+				}
+			}
+		}()
+	}
+	time.Sleep(10 * time.Millisecond) // let readers observe the running state
+	close(release)
+	<-jobDone
+	close(stop)
+	wg.Wait()
+
+	// Settled: the view embeds the result and the trace endpoint answers
+	// definitively without waiting.
+	jresp, jbody := getBody(t, ts.URL+"/v1/jobs/"+j.ID)
+	if jresp.StatusCode != http.StatusOK || !strings.Contains(string(jbody), `"status":"done"`) {
+		t.Fatalf("settled job view: %d %s", jresp.StatusCode, jbody)
 	}
 }
 
