@@ -1,5 +1,5 @@
 # Convenience targets for the reproduction artifact.
-.PHONY: all test race bench bench-pr4 bench-all figure1 impossibility outputs metrics-smoke serve-smoke
+.PHONY: all test race bench bench-pr4 bench-pr6 bench-all figure1 impossibility outputs metrics-smoke serve-smoke load-smoke
 all: test
 test:
 	go build ./... && go vet ./... && go test ./...
@@ -94,6 +94,42 @@ serve-smoke:
 	test $$rc -eq 0; \
 	grep -q 'drained cleanly' /tmp/ksasimd.log; \
 	echo "serve smoke test passed"
+# load-smoke: the serving path under generated load — start ksasimd with
+# tracing and pprof on, point ksasimload at it for a short closed-loop
+# burst, and require nonzero throughput plus a parseable JSON report and
+# a clean daemon drain.
+load-smoke:
+	go build -o /tmp/ksasimd ./cmd/ksasimd
+	go build -o /tmp/ksasimload ./cmd/ksasimload
+	@set -e; \
+	/tmp/ksasimd -addr 127.0.0.1:8322 -trace -pprof > /tmp/ksasimd-load.log 2>&1 & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true' EXIT; \
+	for i in $$(seq 1 100); do curl -sf http://127.0.0.1:8322/healthz >/dev/null 2>&1 && break; sleep 0.1; done; \
+	/tmp/ksasimload -addr http://127.0.0.1:8322 -requests 200 -concurrency 4 -duration 60s -universe 16 -json /tmp/ksasimload-smoke.json; \
+	curl -sf http://127.0.0.1:8322/debug/runtime | grep -q goroutines; \
+	kill -TERM $$pid; \
+	rc=0; wait $$pid || rc=$$?; \
+	trap - EXIT; \
+	test $$rc -eq 0; \
+	grep -q 'drained cleanly' /tmp/ksasimd-load.log; \
+	python3 -c 'import json; r = json.load(open("/tmp/ksasimload-smoke.json")); assert r["throughput_rps"] > 0, r; assert r["requests"] == 200, r; assert r["latency_us"]["p99"] >= r["latency_us"]["p50"] > 0, r'; \
+	echo "load smoke test passed"
+
+# bench-pr6: the PR 6 headline artifact — a closed-loop ksasimload run
+# against a local daemon, recorded as BENCH_PR6.json (latency quantiles,
+# throughput, cache hit rate, daemon counter deltas). The load generator
+# writes the JSON itself; no awk distillation needed.
+bench-pr6:
+	go build -o /tmp/ksasimd ./cmd/ksasimd
+	go build -o /tmp/ksasimload ./cmd/ksasimload
+	@set -e; \
+	/tmp/ksasimd -addr 127.0.0.1:8323 > /tmp/ksasimd-bench.log 2>&1 & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true' EXIT; \
+	for i in $$(seq 1 100); do curl -sf http://127.0.0.1:8323/healthz >/dev/null 2>&1 && break; sleep 0.1; done; \
+	/tmp/ksasimload -addr http://127.0.0.1:8323 -duration 10s -concurrency 8 -universe 64 -json BENCH_PR6.json; \
+	kill -TERM $$pid; wait $$pid; \
+	trap - EXIT
+	cat BENCH_PR6.json
 outputs:
 	go test ./... 2>&1 | tee test_output.txt
 	go test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt

@@ -6,7 +6,8 @@
 // Usage:
 //
 //	ksasimd [-addr 127.0.0.1:8321] [-workers 4] [-queue 64] [-cache 128]
-//	        [-job-timeout 60s] [-drain-timeout 30s] [-metrics] [-events out.jsonl]
+//	        [-job-timeout 60s] [-drain-timeout 30s] [-trace] [-pprof]
+//	        [-metrics] [-events out.jsonl]
 //
 // On SIGTERM or SIGINT the daemon drains gracefully: the listener closes,
 // requests that would start new jobs get 503, jobs already accepted run
@@ -59,6 +60,8 @@ func cmdRun(args []string, out io.Writer) (err error) {
 	cacheN := fs.Int("cache", 128, "result cache entries (completed jobs with traces)")
 	jobTimeout := fs.Duration("job-timeout", 60*time.Second, "server-side ceiling per job")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "SIGTERM drain budget for in-flight jobs")
+	traceOn := fs.Bool("trace", false, "request-scoped tracing: per-request span trees in the -events sink, X-Trace-Id echo")
+	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof at /debug/pprof/ and runtime metrics at /debug/runtime")
 	oc := obs.BindFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -81,6 +84,8 @@ func cmdRun(args []string, out io.Writer) (err error) {
 		CacheEntries: *cacheN,
 		JobTimeout:   *jobTimeout,
 		Obs:          reg, // nil lets serve build its own, /metrics stays live
+		Trace:        *traceOn,
+		Pprof:        *pprofOn,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

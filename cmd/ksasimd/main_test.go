@@ -102,6 +102,58 @@ func TestDaemonLifecycle(t *testing.T) {
 	}
 }
 
+// TestDaemonTracePprofFlags: -trace puts an X-Trace-Id on every response
+// and -pprof mounts the debug endpoints; both are off by default.
+func TestDaemonTracePprofFlags(t *testing.T) {
+	out := &syncBuffer{}
+	done := make(chan error, 1)
+	go func() {
+		done <- cmdRun([]string{"-addr", "127.0.0.1:0", "-trace", "-pprof"}, out)
+	}()
+
+	var base string
+	deadline := time.Now().Add(10 * time.Second)
+	for base == "" {
+		if m := listenLine.FindStringSubmatch(out.String()); m != nil {
+			base = m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never reported its address; output:\n%s", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Trace-Id"); got == "" {
+		t.Error("-trace daemon response has no X-Trace-Id")
+	}
+	rresp, err := http.Get(base + "/debug/runtime")
+	if err != nil {
+		t.Fatalf("debug/runtime: %v", err)
+	}
+	rresp.Body.Close()
+	if rresp.StatusCode != http.StatusOK {
+		t.Errorf("-pprof daemon GET /debug/runtime = %d, want 200", rresp.StatusCode)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatalf("signalling self: %v", err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exited with error: %v\noutput:\n%s", err, out.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("daemon did not drain after SIGTERM; output:\n%s", out.String())
+	}
+}
+
 // TestDaemonBadFlags: a bad listen address is an error exit that still
 // leaves the run() wrapper's error on stderr.
 func TestDaemonBadFlags(t *testing.T) {

@@ -1,0 +1,625 @@
+// Command ksasimload is the load generator for the ksasimd serving path:
+// it drives a zipfian mix of workload-run, adversary-construction, and
+// trace-check requests at a target rate (open loop) or at full tilt
+// under bounded concurrency (closed loop), and reports client-side
+// latency quantiles next to the daemon's own counter deltas.
+//
+// Usage:
+//
+//	ksasimload -addr http://127.0.0.1:8321 [-duration 10s] [-requests 0]
+//	           [-rate 0] [-concurrency 8] [-mix run=8,adversary=1,check=1]
+//	           [-universe 64] [-zipf 1.2] [-runtime sched] [-seed 1]
+//	           [-timeout 10s] [-json bench.json]
+//
+// The generator builds a fixed universe of distinct request bodies per
+// kind and picks among them zipfian (exponent -zipf; <=1 means uniform),
+// so a skewed popular set exercises the daemon's result cache the way
+// real repeat traffic would. -rate 0 is the closed loop: -concurrency
+// workers issue requests back to back. -rate > 0 is the open loop:
+// arrivals are scheduled at the target rate and latency is measured from
+// the scheduled arrival, so queueing delay counts against the daemon;
+// arrivals that find the bounded queue full are counted as shed, not
+// silently dropped. The daemon's /vars is scraped before and after the
+// run and the serve.* deltas are attributed to this run.
+//
+// The report is a human table on stdout and, with -json, a machine
+// document (latency p50/p90/p99/p999, throughput, cache hit rate,
+// per-outcome counts) for benchmark tracking.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nobroadcast/internal/broadcast"
+	"nobroadcast/internal/obs"
+	"nobroadcast/internal/sched"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, out, errw io.Writer) int {
+	if err := cmdRun(args, out); err != nil {
+		fmt.Fprintln(errw, "ksasimload:", err)
+		return 1
+	}
+	return 0
+}
+
+// loadConfig is the parsed flag set.
+type loadConfig struct {
+	addr        string
+	duration    time.Duration
+	requests    int64 // 0 = unbounded, stop on duration
+	rate        float64
+	concurrency int
+	mix         []kindWeight
+	universe    int
+	zipf        float64
+	runtime     string
+	seed        uint64
+	timeout     time.Duration
+	jsonPath    string
+}
+
+type kindWeight struct {
+	kind   string
+	weight int
+}
+
+// request is one prebuilt universe entry: everything a worker needs to
+// issue it without allocating or encoding on the hot path.
+type request struct {
+	kind string
+	path string
+	body []byte
+}
+
+// latencyBuckets covers the serving path in microseconds: sub-100µs
+// cache hits up to multi-second jobs.
+var latencyBuckets = []int64{
+	50, 100, 250, 500,
+	1000, 2500, 5000, 10000, 25000, 50000, 100000, 250000, 500000,
+	1000000, 2500000, 5000000, 10000000, 30000000,
+}
+
+func cmdRun(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ksasimload", flag.ContinueOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8321", "daemon base URL")
+	duration := fs.Duration("duration", 10*time.Second, "run length (ignored when -requests is hit first)")
+	requests := fs.Int64("requests", 0, "stop after this many requests; 0 means run for -duration")
+	rate := fs.Float64("rate", 0, "open-loop target arrival rate in req/s; 0 means closed loop")
+	concurrency := fs.Int("concurrency", 8, "in-flight request bound")
+	mixSpec := fs.String("mix", "run=8,adversary=1,check=1", "request mix as kind=weight[,kind=weight...]")
+	universe := fs.Int("universe", 64, "distinct request bodies per kind (zipfian popularity)")
+	zipfS := fs.Float64("zipf", 1.2, "zipf exponent over the universe; <=1 means uniform")
+	runtimeKind := fs.String("runtime", "sched", "runtime for run requests: sched | net")
+	seed := fs.Uint64("seed", 1, "request-selection RNG seed")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-request client timeout")
+	jsonPath := fs.String("json", "", "write the machine-readable report to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	mix, err := parseMix(*mixSpec)
+	if err != nil {
+		return err
+	}
+	if *concurrency < 1 {
+		return fmt.Errorf("concurrency must be >= 1, got %d", *concurrency)
+	}
+	if *universe < 1 {
+		return fmt.Errorf("universe must be >= 1, got %d", *universe)
+	}
+	if *runtimeKind != "sched" && *runtimeKind != "net" {
+		return fmt.Errorf("runtime must be \"sched\" or \"net\", got %q", *runtimeKind)
+	}
+	cfg := loadConfig{
+		addr: strings.TrimRight(*addr, "/"), duration: *duration, requests: *requests,
+		rate: *rate, concurrency: *concurrency, mix: mix, universe: *universe,
+		zipf: *zipfS, runtime: *runtimeKind, seed: *seed, timeout: *timeout, jsonPath: *jsonPath,
+	}
+
+	client := &http.Client{Timeout: cfg.timeout}
+	if _, err := scrapeVars(client, cfg.addr); err != nil {
+		return fmt.Errorf("daemon not reachable at %s: %w", cfg.addr, err)
+	}
+
+	reqs, err := buildUniverse(cfg)
+	if err != nil {
+		return err
+	}
+	rep, err := drive(cfg, client, reqs)
+	if err != nil {
+		return err
+	}
+	writeHuman(out, rep)
+	if cfg.jsonPath != "" {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.jsonPath, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "ksasimload: report written to %s\n", cfg.jsonPath)
+	}
+	return nil
+}
+
+// parseMix decodes "run=8,adversary=1,check=1" into weighted kinds.
+func parseMix(spec string) ([]kindWeight, error) {
+	var mix []kindWeight
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kind, ws, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("mix entry %q: want kind=weight", part)
+		}
+		w, err := strconv.Atoi(ws)
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("mix entry %q: weight must be a non-negative integer", part)
+		}
+		switch kind {
+		case "run", "adversary", "check":
+		default:
+			return nil, fmt.Errorf("mix entry %q: unknown kind (want run, adversary, or check)", part)
+		}
+		if w > 0 {
+			mix = append(mix, kindWeight{kind, w})
+		}
+	}
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("mix %q selects nothing", spec)
+	}
+	return mix, nil
+}
+
+// buildUniverse prebuilds every request body the run will issue. Distinct
+// entries normalize to distinct cache keys on the daemon, so zipfian
+// popularity over the universe translates directly into a cache hit rate.
+func buildUniverse(cfg loadConfig) (map[string][]request, error) {
+	kinds := make(map[string]bool, len(cfg.mix))
+	for _, kw := range cfg.mix {
+		kinds[kw.kind] = true
+	}
+	out := make(map[string][]request)
+	names := broadcast.Names()
+	if kinds["run"] {
+		rs := make([]request, 0, cfg.universe)
+		for i := 0; i < cfg.universe; i++ {
+			n := 2 + i%4 // 2..5 processes
+			body, err := json.Marshal(map[string]any{
+				"candidate": names[i%len(names)],
+				"runtime":   cfg.runtime,
+				"n":         n,
+				"seed":      i / (4 * len(names)), // new seed once candidate×n cycles repeat
+				"workload":  map[string]any{"messages": 3 * n},
+			})
+			if err != nil {
+				return nil, err
+			}
+			rs = append(rs, request{kind: "run", path: "/v1/run", body: body})
+		}
+		out["run"] = rs
+	}
+	if kinds["adversary"] {
+		var rs []request
+		for k := 2; k <= 4; k++ {
+			for n := 1; n <= 2; n++ {
+				for _, cand := range []string{"first-k", "k-stepped"} {
+					body, err := json.Marshal(map[string]any{"candidate": cand, "k": k, "n": n})
+					if err != nil {
+						return nil, err
+					}
+					rs = append(rs, request{kind: "adversary", path: "/v1/adversary", body: body})
+				}
+			}
+		}
+		if len(rs) > cfg.universe {
+			rs = rs[:cfg.universe]
+		}
+		out["adversary"] = rs
+	}
+	if kinds["check"] {
+		body, err := checkBody()
+		if err != nil {
+			return nil, err
+		}
+		out["check"] = []request{{kind: "check", path: "/v1/check?spec=all&k=2", body: body}}
+	}
+	return out, nil
+}
+
+// checkBody produces one admissible JSONL trace for /v1/check uploads by
+// running a small fifo workload on the deterministic runtime in-process.
+func checkBody() ([]byte, error) {
+	cand, err := broadcast.Lookup("fifo")
+	if err != nil {
+		return nil, err
+	}
+	rt, err := sched.New(sched.Config{N: 3, NewAutomaton: cand.NewAutomaton, Oracle: cand.OracleFor(2)})
+	if err != nil {
+		return nil, err
+	}
+	tr, err := rt.RunFair(sched.RunOptions{Broadcasts: []sched.BroadcastReq{
+		{Proc: 1, Payload: "a"}, {Proc: 2, Payload: "b"}, {Proc: 3, Payload: "c"},
+		{Proc: 1, Payload: "d"}, {Proc: 2, Payload: "e"}, {Proc: 3, Payload: "f"},
+	}})
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := tr.EncodeJSONL(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// picker selects the next request: a weighted kind choice, then a
+// zipfian (or uniform) index into that kind's universe. Each worker owns
+// one picker, so selection is contention-free.
+type picker struct {
+	rng         *rand.Rand
+	mix         []kindWeight
+	totalWeight int
+	reqs        map[string][]request
+	zipf        map[string]*rand.Zipf // nil values mean uniform
+}
+
+func newPicker(cfg loadConfig, reqs map[string][]request, workerSeed uint64) *picker {
+	rng := rand.New(rand.NewPCG(cfg.seed, workerSeed))
+	p := &picker{rng: rng, mix: cfg.mix, reqs: reqs, zipf: make(map[string]*rand.Zipf)}
+	for _, kw := range cfg.mix {
+		p.totalWeight += kw.weight
+		if n := len(reqs[kw.kind]); n > 1 && cfg.zipf > 1 {
+			p.zipf[kw.kind] = rand.NewZipf(rng, cfg.zipf, 1, uint64(n-1))
+		}
+	}
+	return p
+}
+
+func (p *picker) next() request {
+	w := p.rng.IntN(p.totalWeight)
+	kind := p.mix[len(p.mix)-1].kind
+	for _, kw := range p.mix {
+		if w < kw.weight {
+			kind = kw.kind
+			break
+		}
+		w -= kw.weight
+	}
+	rs := p.reqs[kind]
+	if len(rs) == 1 {
+		return rs[0]
+	}
+	if z := p.zipf[kind]; z != nil {
+		return rs[z.Uint64()]
+	}
+	return rs[p.rng.IntN(len(rs))]
+}
+
+// report is the machine-readable result document (-json writes it).
+type report struct {
+	Benchmark     string                 `json:"benchmark"`
+	Mode          string                 `json:"mode"` // closed | open
+	TargetRate    float64                `json:"target_rate_rps,omitempty"`
+	Concurrency   int                    `json:"concurrency"`
+	DurationS     float64                `json:"duration_s"`
+	Requests      int64                  `json:"requests"`
+	ThroughputRPS float64                `json:"throughput_rps"`
+	Latency       latencySummary         `json:"latency_us"`
+	PerKind       map[string]kindSummary `json:"per_kind"`
+	Outcomes      map[string]int64       `json:"outcomes"`
+	Cache         cacheSummary           `json:"cache"`
+	Daemon        map[string]int64       `json:"daemon_deltas"`
+}
+
+type latencySummary struct {
+	P50  int64   `json:"p50"`
+	P90  int64   `json:"p90"`
+	P99  int64   `json:"p99"`
+	P999 int64   `json:"p999"`
+	Max  int64   `json:"max"`
+	Mean float64 `json:"mean"`
+}
+
+type kindSummary struct {
+	Requests int64 `json:"requests"`
+	P50      int64 `json:"p50_us"`
+	P99      int64 `json:"p99_us"`
+	Max      int64 `json:"max_us"`
+}
+
+type cacheSummary struct {
+	Hits      int64   `json:"hits"`
+	Misses    int64   `json:"misses"`
+	Uncached  int64   `json:"uncached"`
+	Coalesced int64   `json:"coalesced"`
+	HitRate   float64 `json:"hit_rate"`
+}
+
+func summarize(s obs.HistogramSnapshot) latencySummary {
+	var mean float64
+	if s.Count > 0 {
+		mean = float64(s.Sum) / float64(s.Count)
+	}
+	return latencySummary{
+		P50: quantile(s, 0.50), P90: quantile(s, 0.90),
+		P99: quantile(s, 0.99), P999: quantile(s, 0.999),
+		Max: s.Max, Mean: mean,
+	}
+}
+
+// quantile clamps the interpolated estimate to the observed maximum: in
+// a report the upper quantiles reading above max is just confusing.
+func quantile(s obs.HistogramSnapshot, q float64) int64 {
+	v := s.Quantile(q)
+	if s.Count > 0 && v > s.Max {
+		return s.Max
+	}
+	return v
+}
+
+// drive runs the workload and aggregates the report. The measurement
+// registry is this repository's own obs package — the same interpolated
+// histogram quantiles the daemon serves are used to read the client side.
+func drive(cfg loadConfig, client *http.Client, reqs map[string][]request) (*report, error) {
+	reg := obs.New()
+	total := reg.Histogram("lat.total", latencyBuckets...)
+	perKind := make(map[string]*obs.Histogram, len(reqs))
+	kindCount := make(map[string]*obs.Counter, len(reqs))
+	for kind := range reqs {
+		perKind[kind] = reg.Histogram("lat."+kind, latencyBuckets...)
+		kindCount[kind] = reg.Counter("reqs." + kind)
+	}
+	var outMu sync.Mutex
+	outcomes := make(map[string]int64)
+	cacheStates := make(map[string]int64)
+	record := func(kind, outcome, cacheState string, lat time.Duration) {
+		if outcome == "ok" {
+			total.Observe(lat.Microseconds())
+			perKind[kind].Observe(lat.Microseconds())
+		}
+		kindCount[kind].Inc()
+		outMu.Lock()
+		outcomes[outcome]++
+		if cacheState != "" {
+			cacheStates[cacheState]++
+		}
+		outMu.Unlock()
+	}
+
+	before, err := scrapeVars(client, cfg.addr)
+	if err != nil {
+		return nil, err
+	}
+
+	var issued atomic.Int64
+	budgetLeft := func() bool {
+		if cfg.requests <= 0 {
+			return true
+		}
+		return issued.Add(1) <= cfg.requests
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.duration)
+	defer cancel()
+
+	issue := func(req request, scheduled time.Time) {
+		hr, err := http.NewRequestWithContext(ctx, "POST", cfg.addr+req.path, bytes.NewReader(req.body))
+		if err != nil {
+			record(req.kind, "error", "", 0)
+			return
+		}
+		hr.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(hr)
+		lat := time.Since(scheduled)
+		if err != nil {
+			if ctx.Err() != nil {
+				record(req.kind, "interrupted", "", 0)
+			} else {
+				record(req.kind, "error", "", 0)
+			}
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		var outcome string
+		switch {
+		case resp.StatusCode < 300:
+			outcome = "ok"
+		case resp.StatusCode == http.StatusTooManyRequests:
+			outcome = "rejected_429"
+		case resp.StatusCode < 500:
+			outcome = fmt.Sprintf("http_%d", resp.StatusCode)
+		default:
+			outcome = fmt.Sprintf("http_%d", resp.StatusCode)
+		}
+		record(req.kind, outcome, resp.Header.Get("X-Cache"), lat)
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	mode := "closed"
+	if cfg.rate > 0 {
+		mode = "open"
+		// Open loop: arrivals are scheduled at the target rate regardless of
+		// completions. Latency is measured from the scheduled arrival, so a
+		// daemon that cannot keep up shows it as queueing delay; arrivals
+		// that find every worker busy and the queue full are shed.
+		arrivals := make(chan time.Time, cfg.concurrency)
+		var shed atomic.Int64
+		for i := 0; i < cfg.concurrency; i++ {
+			wg.Add(1)
+			go func(workerSeed uint64) {
+				defer wg.Done()
+				p := newPicker(cfg, reqs, workerSeed)
+				for sched := range arrivals {
+					issue(p.next(), sched)
+				}
+			}(uint64(i) + 2)
+		}
+		interval := time.Duration(float64(time.Second) / cfg.rate)
+		next := start
+	pace:
+		for ctx.Err() == nil && budgetLeft() {
+			next = next.Add(interval)
+			if d := time.Until(next); d > 0 {
+				select {
+				case <-time.After(d):
+				case <-ctx.Done():
+					break pace
+				}
+			}
+			select {
+			case arrivals <- next:
+			default:
+				shed.Add(1)
+			}
+		}
+		close(arrivals)
+		wg.Wait()
+		if n := shed.Load(); n > 0 {
+			outcomes["shed"] = n
+		}
+	} else {
+		// Closed loop: each worker issues back to back; concurrency is the
+		// offered load.
+		for i := 0; i < cfg.concurrency; i++ {
+			wg.Add(1)
+			go func(workerSeed uint64) {
+				defer wg.Done()
+				p := newPicker(cfg, reqs, workerSeed)
+				for ctx.Err() == nil && budgetLeft() {
+					issue(p.next(), time.Now())
+				}
+			}(uint64(i) + 2)
+		}
+		wg.Wait()
+	}
+	elapsed := time.Since(start)
+	cancel()
+
+	after, err := scrapeVars(client, cfg.addr)
+	if err != nil {
+		return nil, err
+	}
+	deltas := make(map[string]int64)
+	for k, v := range after {
+		if d := v - before[k]; d != 0 && strings.HasPrefix(k, "serve.") {
+			deltas[k] = d
+		}
+	}
+
+	var completed int64
+	for _, n := range outcomes {
+		completed += n
+	}
+	completed -= outcomes["shed"]
+	rep := &report{
+		Benchmark:   "ksasimload",
+		Mode:        mode,
+		TargetRate:  cfg.rate,
+		Concurrency: cfg.concurrency,
+		DurationS:   elapsed.Seconds(),
+		Requests:    completed,
+		Latency:     summarize(total.Snapshot()),
+		PerKind:     make(map[string]kindSummary, len(perKind)),
+		Outcomes:    outcomes,
+		Daemon:      deltas,
+	}
+	if elapsed > 0 {
+		rep.ThroughputRPS = float64(outcomes["ok"]) / elapsed.Seconds()
+	}
+	for kind, h := range perKind {
+		s := h.Snapshot()
+		rep.PerKind[kind] = kindSummary{
+			Requests: kindCount[kind].Value(),
+			P50:      quantile(s, 0.50), P99: quantile(s, 0.99), Max: s.Max,
+		}
+	}
+	rep.Cache = cacheSummary{
+		Hits: cacheStates["hit"], Misses: cacheStates["miss"],
+		Uncached: cacheStates["uncached"], Coalesced: cacheStates["coalesced"],
+	}
+	if served := rep.Cache.Hits + rep.Cache.Misses; served > 0 {
+		rep.Cache.HitRate = float64(rep.Cache.Hits) / float64(served)
+	}
+	return rep, nil
+}
+
+// scrapeVars fetches the daemon's /vars JSON counter+gauge map.
+func scrapeVars(client *http.Client, addr string) (map[string]int64, error) {
+	resp, err := client.Get(addr + "/vars")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /vars: status %d", resp.StatusCode)
+	}
+	var m map[string]int64
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return nil, fmt.Errorf("GET /vars: %w", err)
+	}
+	return m, nil
+}
+
+func writeHuman(out io.Writer, rep *report) {
+	fmt.Fprintf(out, "ksasimload: %d requests in %.2fs (%.1f ok rps), mode=%s concurrency=%d",
+		rep.Requests, rep.DurationS, rep.ThroughputRPS, rep.Mode, rep.Concurrency)
+	if rep.Mode == "open" {
+		fmt.Fprintf(out, " target=%.1f rps", rep.TargetRate)
+	}
+	fmt.Fprintln(out)
+	l := rep.Latency
+	fmt.Fprintf(out, "  latency us: p50=%d p90=%d p99=%d p999=%d max=%d mean=%.1f\n",
+		l.P50, l.P90, l.P99, l.P999, l.Max, l.Mean)
+	kinds := make([]string, 0, len(rep.PerKind))
+	for k := range rep.PerKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	fmt.Fprintf(out, "  %-10s %8s %10s %10s %10s\n", "kind", "reqs", "p50_us", "p99_us", "max_us")
+	for _, k := range kinds {
+		s := rep.PerKind[k]
+		fmt.Fprintf(out, "  %-10s %8d %10d %10d %10d\n", k, s.Requests, s.P50, s.P99, s.Max)
+	}
+	fmt.Fprintf(out, "  outcomes:%s\n", formatCounts(rep.Outcomes))
+	fmt.Fprintf(out, "  cache: hits=%d misses=%d uncached=%d coalesced=%d hit_rate=%.3f\n",
+		rep.Cache.Hits, rep.Cache.Misses, rep.Cache.Uncached, rep.Cache.Coalesced, rep.Cache.HitRate)
+	fmt.Fprintf(out, "  daemon deltas:%s\n", formatCounts(rep.Daemon))
+}
+
+func formatCounts(m map[string]int64) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, " %s=%d", k, m[k])
+	}
+	if b.Len() == 0 {
+		return " none"
+	}
+	return b.String()
+}

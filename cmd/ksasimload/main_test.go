@@ -1,0 +1,144 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nobroadcast/internal/serve"
+)
+
+func testDaemon(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(serve.New(serve.Config{Workers: 4}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestClosedLoop is the end-to-end run: a fixed request budget against an
+// in-process daemon, human table on stdout, and a parseable JSON report
+// with nonzero throughput — the same contract make load-smoke checks.
+func TestClosedLoop(t *testing.T) {
+	ts := testDaemon(t)
+	jsonPath := filepath.Join(t.TempDir(), "bench.json")
+	var out bytes.Buffer
+	err := cmdRun([]string{
+		"-addr", ts.URL, "-requests", "60", "-concurrency", "4",
+		"-duration", "30s", "-universe", "8", "-seed", "7", "-json", jsonPath,
+	}, &out)
+	if err != nil {
+		t.Fatalf("cmdRun: %v\noutput:\n%s", err, out.String())
+	}
+	for _, want := range []string{"ksasimload:", "latency us:", "cache:", "daemon deltas:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("human output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	b, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatalf("reading report: %v", err)
+	}
+	var rep report
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatalf("report not JSON: %v\n%s", err, b)
+	}
+	if rep.Benchmark != "ksasimload" || rep.Mode != "closed" {
+		t.Errorf("benchmark/mode = %q/%q", rep.Benchmark, rep.Mode)
+	}
+	if rep.Requests != 60 {
+		t.Errorf("requests = %d, want 60", rep.Requests)
+	}
+	if rep.ThroughputRPS <= 0 {
+		t.Errorf("throughput = %v, want > 0", rep.ThroughputRPS)
+	}
+	if rep.Outcomes["ok"] != 60 {
+		t.Errorf("outcomes = %v, want 60 ok", rep.Outcomes)
+	}
+	if rep.Latency.P50 <= 0 || rep.Latency.P99 < rep.Latency.P50 {
+		t.Errorf("implausible latency summary: %+v", rep.Latency)
+	}
+	// A zipfian draw over 8 bodies across 60 requests repeats some of
+	// them, so the daemon's cache must have been hit.
+	if rep.Cache.Hits == 0 || rep.Cache.HitRate <= 0 {
+		t.Errorf("no cache hits recorded: %+v", rep.Cache)
+	}
+	if rep.Daemon["serve.cache_hits"] != rep.Cache.Hits {
+		t.Errorf("daemon delta serve.cache_hits = %d, client saw %d",
+			rep.Daemon["serve.cache_hits"], rep.Cache.Hits)
+	}
+	if rep.PerKind["run"].Requests == 0 {
+		t.Errorf("per-kind summary missing runs: %v", rep.PerKind)
+	}
+}
+
+// TestOpenLoop: the paced mode issues at a target rate and reports
+// mode=open with the target.
+func TestOpenLoop(t *testing.T) {
+	ts := testDaemon(t)
+	var out bytes.Buffer
+	err := cmdRun([]string{
+		"-addr", ts.URL, "-rate", "200", "-duration", "300ms",
+		"-concurrency", "4", "-universe", "4", "-mix", "run=1",
+	}, &out)
+	if err != nil {
+		t.Fatalf("cmdRun: %v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "mode=open") || !strings.Contains(out.String(), "target=200.0 rps") {
+		t.Errorf("open-loop header missing:\n%s", out.String())
+	}
+}
+
+// TestCheckOnlyMix: a pure check mix exercises the upload path.
+func TestCheckOnlyMix(t *testing.T) {
+	ts := testDaemon(t)
+	var out bytes.Buffer
+	err := cmdRun([]string{
+		"-addr", ts.URL, "-requests", "5", "-concurrency", "2",
+		"-duration", "30s", "-mix", "check=1",
+	}, &out)
+	if err != nil {
+		t.Fatalf("cmdRun: %v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "check") {
+		t.Errorf("check kind missing from output:\n%s", out.String())
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	good, err := parseMix("run=8, adversary=1,check=0")
+	if err != nil {
+		t.Fatalf("parseMix: %v", err)
+	}
+	if len(good) != 2 || good[0].kind != "run" || good[0].weight != 8 || good[1].kind != "adversary" {
+		t.Errorf("parseMix = %+v", good)
+	}
+	for _, bad := range []string{"", "run", "run=x", "run=-1", "teapot=1", "check=0"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Errorf("parseMix(%q) accepted", bad)
+		}
+	}
+}
+
+// TestBadFlags: an unreachable daemon and invalid flags are error exits.
+func TestBadFlags(t *testing.T) {
+	var out, errw bytes.Buffer
+	for _, args := range [][]string{
+		{"-addr", "http://127.0.0.1:1", "-duration", "1s"}, // nothing listens on port 1
+		{"-concurrency", "0"},
+		{"-runtime", "quantum"},
+		{"-universe", "0"},
+		{"-mix", "bogus"},
+	} {
+		if code := run(args, &out, &errw); code != 1 {
+			t.Errorf("args %v: exit %d, want 1", args, code)
+		}
+	}
+	if !strings.Contains(errw.String(), "ksasimload:") {
+		t.Errorf("stderr = %q, want ksasimload: prefix", errw.String())
+	}
+}

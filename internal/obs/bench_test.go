@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"io"
 	"testing"
 )
@@ -40,5 +41,31 @@ func BenchmarkObsOverhead(b *testing.B) {
 		r := New()
 		r.AttachEvents(NewEventLog(io.Discard))
 		run(b, r)
+	})
+
+	// The trace-context path, in the states the serving hot path meets:
+	// tracing off (nil registry, or registry without a traced context —
+	// both must be 0 allocs/op) and tracing on (the only state allowed
+	// to allocate: span id assignment plus the derived context).
+	runTrace := func(b *testing.B, r *Registry, ctx context.Context) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sp, sctx := r.StartSpanCtx(ctx, "bench.request")
+			cell, _ := r.StartSpanIfTraced(sctx, "bench.cell")
+			cell.End()
+			sp.End()
+		}
+	}
+	b.Run("trace-disabled", func(b *testing.B) {
+		runTrace(b, nil, context.Background())
+	})
+	b.Run("trace-untraced", func(b *testing.B) {
+		// Registry live, no trace in ctx: StartSpanIfTraced must skip;
+		// StartSpanCtx records a plain span (the sweep.wall case).
+		runTrace(b, New(), context.Background())
+	})
+	b.Run("trace-enabled", func(b *testing.B) {
+		runTrace(b, New(), ContextWithTrace(context.Background(), TraceContext{TraceID: "bench"}))
 	})
 }

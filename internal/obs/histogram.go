@@ -84,26 +84,56 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	return s
 }
 
-// Quantile returns the upper bound of the bucket containing the q-th
-// quantile (0 < q <= 1) of the observations, or Max for the overflow
-// bucket. It is a bucketed approximation, good enough for summaries.
+// Quantile estimates the q-th quantile of the observations by linear
+// interpolation inside the bucket the quantile rank falls into
+// (Prometheus histogram_quantile semantics): the bucket's observations
+// are assumed uniformly spread between its lower and upper bound, so a
+// p999 landing in a wide latency bucket is no longer quantized to the
+// bucket edge. The bucketed exactness is kept where it existed before:
+// a rank landing exactly on a bucket's last observation returns that
+// bucket's upper bound, the overflow bucket reports Max (the largest
+// observation ever seen), and the first bucket interpolates from 0
+// (observations are assumed non-negative, as every histogram in this
+// repository is).
+//
+// q is clamped to (0, 1]: q <= 0 behaves like the smallest recorded
+// rank, q > 1 like the largest. An empty snapshot returns 0.
 func (s HistogramSnapshot) Quantile(q float64) int64 {
 	if s.Count == 0 {
 		return 0
 	}
-	target := int64(q * float64(s.Count))
+	target := q * float64(s.Count)
 	if target < 1 {
 		target = 1
 	}
+	if target > float64(s.Count) {
+		target = float64(s.Count)
+	}
 	var cum int64
 	for i, c := range s.Counts {
-		cum += c
-		if cum >= target {
-			if i < len(s.Bounds) {
-				return s.Bounds[i]
-			}
-			return s.Max
+		if c == 0 {
+			continue
 		}
+		prev := float64(cum)
+		cum += c
+		if float64(cum) < target {
+			continue
+		}
+		if i >= len(s.Bounds) {
+			return s.Max // overflow bucket: unbounded above, Max is honest
+		}
+		hi := s.Bounds[i]
+		frac := (target - prev) / float64(c)
+		if frac >= 1 {
+			return hi // exact boundary hit: the pre-interpolation answer
+		}
+		var lo int64
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		} else if hi < 0 {
+			lo = hi
+		}
+		return lo + int64(frac*float64(hi-lo))
 	}
 	return s.Max
 }

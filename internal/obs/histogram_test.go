@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// quantileBucketed is the pre-interpolation Quantile: the upper bound of
+// the bucket containing the target rank, Max for the overflow bucket.
+// Kept verbatim as the reference the interpolation is pinned against.
+func quantileBucketed(s HistogramSnapshot, q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	target := int64(q * float64(s.Count))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, c := range s.Counts {
+		cum += c
+		if cum >= target {
+			if i < len(s.Bounds) {
+				return s.Bounds[i]
+			}
+			return s.Max
+		}
+	}
+	return s.Max
+}
+
+// TestQuantileInterpolationVsBucketed pins old against new behavior on a
+// wide latency bucket: 1000 observations all recorded in (1000, 100000].
+// The bucketed quantile collapsed every percentile to the bucket edge
+// 100000; interpolation spreads the ranks across the bucket — and the
+// exact-boundary hit (q=1.0, rank == the bucket's last observation)
+// still returns the edge, matching the old answer.
+func TestQuantileInterpolationVsBucketed(t *testing.T) {
+	h := NewHistogram(1000, 100000)
+	for i := 0; i < 1000; i++ {
+		h.Observe(50000)
+	}
+	s := h.Snapshot()
+
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		if old := quantileBucketed(s, q); old != 100000 {
+			t.Fatalf("bucketed q%g = %d, want the 100000 bucket edge", q, old)
+		}
+	}
+	// Interpolated: rank q·1000 of 1000 uniform-assumed points in
+	// (1000, 100000] sits at 1000 + q·99000.
+	for _, tc := range []struct {
+		q    float64
+		want int64
+	}{
+		{0.5, 1000 + 49500},
+		{0.9, 1000 + 89100},
+		{0.999, 1000 + 98901},
+	} {
+		if got := s.Quantile(tc.q); got != tc.want {
+			t.Errorf("interpolated q%g = %d, want %d", tc.q, got, tc.want)
+		}
+	}
+	// Exact boundary hit: the very last rank is the bucket's last
+	// observation, so old and new agree on the upper bound.
+	if old, now := quantileBucketed(s, 1.0), s.Quantile(1.0); old != 100000 || now != 100000 {
+		t.Errorf("boundary hit: bucketed=%d interpolated=%d, want 100000/100000", old, now)
+	}
+}
+
+// TestQuantileExactBoundaryHits: whenever the target rank lands exactly
+// on a bucket's cumulative count, interpolation must reproduce the
+// bucketed answer (the bucket's upper bound).
+func TestQuantileExactBoundaryHits(t *testing.T) {
+	h := NewHistogram(10, 20, 30, 40)
+	for _, v := range []int64{5, 5, 15, 15, 25, 25, 35, 35} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	// 8 observations, 2 per bucket: ranks 2,4,6,8 are boundary hits.
+	for i, q := range []float64{0.25, 0.5, 0.75, 1.0} {
+		want := s.Bounds[i]
+		if got, old := s.Quantile(q), quantileBucketed(s, q); got != want || old != want {
+			t.Errorf("q%g: interpolated=%d bucketed=%d, want %d", q, got, old, want)
+		}
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	t.Run("empty snapshot", func(t *testing.T) {
+		var s HistogramSnapshot
+		for _, q := range []float64{0, 0.5, 1, 2} {
+			if got := s.Quantile(q); got != 0 {
+				t.Errorf("empty Quantile(%g) = %d, want 0", q, got)
+			}
+		}
+		if s = NewHistogram(1, 10).Snapshot(); s.Quantile(0.99) != 0 {
+			t.Errorf("unobserved histogram Quantile = %d, want 0", s.Quantile(0.99))
+		}
+	})
+	t.Run("single bucket", func(t *testing.T) {
+		h := NewHistogram(100)
+		h.Observe(7)
+		s := h.Snapshot()
+		// One observation: every quantile is a boundary hit on the only
+		// bucket, so the bound comes back exactly.
+		for _, q := range []float64{0.01, 0.5, 1} {
+			if got := s.Quantile(q); got != 100 {
+				t.Errorf("single-bucket Quantile(%g) = %d, want 100", q, got)
+			}
+		}
+		h.Observe(7)
+		h.Observe(7)
+		h.Observe(7)
+		// Rank 2 of 4 in (0-assumed, 100]: interpolates to 50.
+		if got := h.Snapshot().Quantile(0.5); got != 50 {
+			t.Errorf("single-bucket p50 of 4 = %d, want 50", got)
+		}
+	})
+	t.Run("q=0 clamps to the first rank", func(t *testing.T) {
+		h := NewHistogram(10, 100)
+		h.Observe(5)
+		h.Observe(50)
+		s := h.Snapshot()
+		if got, want := s.Quantile(0), s.Quantile(0.5); got != want {
+			t.Errorf("Quantile(0) = %d, want the rank-1 value %d", got, want)
+		}
+	})
+	t.Run("q>1 clamps to the last rank", func(t *testing.T) {
+		h := NewHistogram(10, 100)
+		h.Observe(5)
+		h.Observe(50)
+		h.Observe(5000)
+		s := h.Snapshot()
+		if got, want := s.Quantile(4.2), s.Quantile(1); got != want {
+			t.Errorf("Quantile(4.2) = %d, want the q=1 value %d", got, want)
+		}
+		if got := s.Quantile(4.2); got != s.Max {
+			t.Errorf("Quantile(4.2) = %d, want Max %d (overflow bucket)", got, s.Max)
+		}
+	})
+	t.Run("overflow-only observations report Max", func(t *testing.T) {
+		h := NewHistogram(1, 2)
+		h.Observe(99)
+		h.Observe(1000)
+		s := h.Snapshot()
+		if got := s.Quantile(0.5); got != 1000 {
+			t.Errorf("overflow p50 = %d, want Max 1000", got)
+		}
+	})
+}
+
+// TestHistogramObserveWhileSnapshot exercises concurrent Observe against
+// Snapshot/Quantile under the race detector: snapshots must be
+// internally usable (never panic, quantiles within the observed range)
+// while writers are live, and the final drained snapshot must be exact.
+func TestHistogramObserveWhileSnapshot(t *testing.T) {
+	h := NewHistogram(DefaultLatencyBuckets...)
+	const writers, perWriter = 4, 5000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for j := 0; j < perWriter; j++ {
+				h.Observe(int64(j%997) * int64(w+1))
+			}
+		}(w)
+	}
+	var snaps int
+	go func() {
+		defer close(stop)
+		wg.Wait()
+	}()
+	for {
+		s := h.Snapshot()
+		snaps++
+		if s.Count > 0 {
+			// A mid-flight snapshot is not field-atomic (Max may trail the
+			// buckets), so the sound invariant is: the quantile is
+			// non-negative and no larger than anything Quantile can return —
+			// the snapshot Max or the last finite bucket bound.
+			hi := s.Max
+			if b := s.Bounds[len(s.Bounds)-1]; b > hi {
+				hi = b
+			}
+			if q := s.Quantile(0.999); q < 0 || q > hi {
+				t.Errorf("mid-flight p999 = %d outside [0, %d]", q, hi)
+			}
+		}
+		select {
+		case <-stop:
+			final := h.Snapshot()
+			if final.Count != writers*perWriter {
+				t.Fatalf("final count = %d, want %d", final.Count, writers*perWriter)
+			}
+			var cum int64
+			for _, c := range final.Counts {
+				cum += c
+			}
+			if cum != final.Count {
+				t.Fatalf("bucket sum = %d, count = %d", cum, final.Count)
+			}
+			if snaps == 0 {
+				t.Fatal("no snapshots taken")
+			}
+			return
+		default:
+		}
+	}
+}

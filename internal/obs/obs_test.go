@@ -78,8 +78,10 @@ func TestHistogram(t *testing.T) {
 			t.Errorf("bucket %d = %d, want %d", i, s.Counts[i], w)
 		}
 	}
-	if q := s.Quantile(0.5); q != 100 {
-		t.Errorf("p50 = %d, want 100", q)
+	// p50: rank 4 of 8 lands one observation into the (10,100] bucket of
+	// three, so interpolation reports 10 + (1/3)·90 = 40.
+	if q := s.Quantile(0.5); q != 40 {
+		t.Errorf("p50 = %d, want 40", q)
 	}
 	if q := s.Quantile(1.0); q != 5000 {
 		t.Errorf("p100 = %d, want 5000 (overflow max)", q)

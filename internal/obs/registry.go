@@ -26,6 +26,11 @@ type Registry struct {
 	spanMu sync.Mutex
 	spans  []SpanRecord
 
+	// spanSeq allocates span ids for trace-linked spans (StartSpanCtx).
+	// Ids are unique per registry and never reused, so a JSONL consumer
+	// can key a span tree by (trace, span).
+	spanSeq atomic.Uint64
+
 	events atomic.Pointer[EventLog]
 }
 
@@ -94,11 +99,16 @@ func (r *Registry) Histogram(name string, bounds ...int64) *Histogram {
 	return h
 }
 
-// SpanRecord is one completed span.
+// SpanRecord is one completed span. Trace, Span, and Parent are set
+// only for spans opened through StartSpanCtx under a traced context
+// (Trace empty otherwise); Parent 0 marks a trace's root span.
 type SpanRecord struct {
 	Name     string
 	Start    time.Time
 	Duration time.Duration
+	Trace    string
+	Span     uint64
+	Parent   uint64
 }
 
 // Span times one phase of a run. End records it on the registry (and emits
@@ -108,6 +118,11 @@ type Span struct {
 	r     *Registry
 	name  string
 	start time.Time
+
+	// trace linkage, set by StartSpanCtx on traced contexts.
+	trace  string
+	span   uint64
+	parent uint64
 }
 
 // StartSpan opens a named span. Nil (a no-op span) on a nil registry.
@@ -118,16 +133,30 @@ func (r *Registry) StartSpan(name string) *Span {
 	return &Span{r: r, name: name, start: time.Now()}
 }
 
-// End closes the span and returns its duration (0 on nil).
+// End closes the span and returns its duration (0 on nil). Trace-linked
+// spans carry their trace/span/parent ids into both the SpanRecord and
+// the emitted "span" event (the parent field is omitted on roots).
 func (s *Span) End() time.Duration {
 	if s == nil {
 		return 0
 	}
 	d := time.Since(s.start)
 	s.r.spanMu.Lock()
-	s.r.spans = append(s.r.spans, SpanRecord{Name: s.name, Start: s.start, Duration: d})
+	s.r.spans = append(s.r.spans, SpanRecord{
+		Name: s.name, Start: s.start, Duration: d,
+		Trace: s.trace, Span: s.span, Parent: s.parent,
+	})
 	s.r.spanMu.Unlock()
-	s.r.Emit("span", Str("name", s.name), Int("dur_us", d.Microseconds()))
+	switch {
+	case s.trace == "":
+		s.r.Emit("span", Str("name", s.name), Int("dur_us", d.Microseconds()))
+	case s.parent == 0:
+		s.r.Emit("span", Str("name", s.name), Int("dur_us", d.Microseconds()),
+			Str("trace", s.trace), Int("span", int64(s.span)))
+	default:
+		s.r.Emit("span", Str("name", s.name), Int("dur_us", d.Microseconds()),
+			Str("trace", s.trace), Int("span", int64(s.span)), Int("parent", int64(s.parent)))
+	}
 	return d
 }
 

@@ -46,8 +46,9 @@ func (r *Registry) WriteSummary(w io.Writer) error {
 				continue
 			}
 			mean := float64(s.Sum) / float64(s.Count)
-			fmt.Fprintf(w, "  %-40s count=%d mean=%.1f p50<=%d p99<=%d max=%d\n",
-				h.name, s.Count, mean, s.Quantile(0.50), s.Quantile(0.99), s.Max)
+			fmt.Fprintf(w, "  %-40s count=%d mean=%.1f p50=%d p90=%d p99=%d p999=%d max=%d\n",
+				h.name, s.Count, mean,
+				s.Quantile(0.50), s.Quantile(0.90), s.Quantile(0.99), s.Quantile(0.999), s.Max)
 		}
 	}
 	if l := r.EventLogged(); l != nil {

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"context"
+	"math/rand/v2"
+	"strconv"
+)
+
+// TraceContext names a position inside one request's span tree: the
+// trace every span of the request shares, and the span id that acts as
+// the parent of whatever is opened next. It travels through
+// context.Context (ContextWithTrace / TraceFrom), so instrumentation
+// layers that never see each other — the HTTP handler, the admission
+// queue, the sweep worker pool, the runtimes — still stitch their spans
+// into one connected tree.
+//
+// The zero TraceContext (empty TraceID) means "untraced"; storing it is
+// a no-op. SpanID 0 is the root: spans opened under it emit no parent
+// field.
+type TraceContext struct {
+	TraceID string
+	SpanID  uint64
+}
+
+// traceKey is the private context key; TraceContext values are stored
+// by value, so reading one back never aliases mutable state.
+type traceKey struct{}
+
+// ContextWithTrace returns a context carrying tc. An untraced tc
+// returns ctx unchanged, so callers can thread possibly-empty trace
+// contexts unconditionally.
+func ContextWithTrace(ctx context.Context, tc TraceContext) context.Context {
+	if tc.TraceID == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey{}, tc)
+}
+
+// TraceFrom extracts the trace context from ctx. ok is false (and tc
+// zero) on an untraced context. The lookup is one context walk and no
+// allocation — cheap enough for hot paths that are usually untraced.
+func TraceFrom(ctx context.Context) (tc TraceContext, ok bool) {
+	tc, ok = ctx.Value(traceKey{}).(TraceContext)
+	return tc, ok
+}
+
+// NewTraceID mints a fresh 16-hex-digit trace id. Ids only need to be
+// unique among the traces one consumer correlates, not cryptographic,
+// so a process-seeded PRNG draw is enough.
+func NewTraceID() string {
+	var buf [16]byte
+	b := strconv.AppendUint(buf[:0], rand.Uint64()|1<<63, 16)
+	return string(b)
+}
+
+// StartSpanCtx opens a named span like StartSpan and, when ctx carries
+// a trace context, links it into the trace: the span gets the trace id,
+// the context's span id as parent, and a fresh id of its own. The
+// returned context carries the new span as parent, so nested
+// StartSpanCtx calls build a tree. On an untraced ctx the span is a
+// plain StartSpan span and ctx comes back unchanged; on a nil registry
+// both returns are free ((nil, ctx), zero allocations).
+func (r *Registry) StartSpanCtx(ctx context.Context, name string) (*Span, context.Context) {
+	if r == nil {
+		return nil, ctx
+	}
+	s := r.StartSpan(name)
+	if tc, ok := TraceFrom(ctx); ok {
+		s.trace = tc.TraceID
+		s.parent = tc.SpanID
+		s.span = r.spanSeq.Add(1)
+		ctx = ContextWithTrace(ctx, TraceContext{TraceID: tc.TraceID, SpanID: s.span})
+	}
+	return s, ctx
+}
+
+// StartSpanIfTraced is StartSpanCtx for spans that only exist to serve
+// a trace: on an untraced ctx (or nil registry) it records nothing and
+// returns (nil, ctx) without allocating. Per-cell sweep spans and the
+// serving path's queue/job spans use it so untraced runs — every CLI
+// sweep, every request without tracing enabled — pay nil checks only.
+func (r *Registry) StartSpanIfTraced(ctx context.Context, name string) (*Span, context.Context) {
+	if r == nil {
+		return nil, ctx
+	}
+	if _, ok := TraceFrom(ctx); !ok {
+		return nil, ctx
+	}
+	return r.StartSpanCtx(ctx, name)
+}

@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestTraceContextRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	if _, ok := TraceFrom(ctx); ok {
+		t.Fatal("background context reports a trace")
+	}
+	tc := TraceContext{TraceID: "abc123", SpanID: 7}
+	ctx = ContextWithTrace(ctx, tc)
+	got, ok := TraceFrom(ctx)
+	if !ok || got != tc {
+		t.Fatalf("TraceFrom = %+v ok=%v, want %+v", got, ok, tc)
+	}
+	// The zero TraceContext is "untraced" and must not be stored.
+	if ctx2 := ContextWithTrace(context.Background(), TraceContext{}); ctx2 != context.Background() {
+		t.Error("empty trace context changed the context")
+	}
+}
+
+func TestNewTraceID(t *testing.T) {
+	a, b := NewTraceID(), NewTraceID()
+	if len(a) != 16 || len(b) != 16 {
+		t.Fatalf("trace id lengths = %d/%d, want 16: %q %q", len(a), len(b), a, b)
+	}
+	if a == b {
+		t.Fatalf("consecutive trace ids collide: %q", a)
+	}
+	for _, c := range a {
+		if !strings.ContainsRune("0123456789abcdef", c) {
+			t.Fatalf("trace id %q is not lowercase hex", a)
+		}
+	}
+}
+
+// TestStartSpanCtxBuildsATree: nested StartSpanCtx calls under one trace
+// share the trace id and chain parent pointers root → child → leaf, in
+// both the SpanRecords and the emitted span events.
+func TestStartSpanCtxBuildsATree(t *testing.T) {
+	r := New()
+	var buf bytes.Buffer
+	r.AttachEvents(NewEventLog(&buf))
+
+	ctx := ContextWithTrace(context.Background(), TraceContext{TraceID: "t1"})
+	root, ctx := r.StartSpanCtx(ctx, "root")
+	child, cctx := r.StartSpanCtx(ctx, "child")
+	leaf, _ := r.StartSpanCtx(cctx, "leaf")
+	leaf.End()
+	child.End()
+	root.End()
+
+	spans := r.Spans() // end order: leaf, child, root
+	if len(spans) != 3 {
+		t.Fatalf("spans = %d, want 3", len(spans))
+	}
+	lf, ch, rt := spans[0], spans[1], spans[2]
+	for _, s := range spans {
+		if s.Trace != "t1" {
+			t.Errorf("span %q trace = %q, want t1", s.Name, s.Trace)
+		}
+	}
+	if rt.Parent != 0 {
+		t.Errorf("root parent = %d, want 0", rt.Parent)
+	}
+	if ch.Parent != rt.Span || lf.Parent != ch.Span {
+		t.Errorf("parent chain broken: root=%d child=(%d parent %d) leaf=(%d parent %d)",
+			rt.Span, ch.Span, ch.Parent, lf.Span, lf.Parent)
+	}
+	if rt.Span == ch.Span || ch.Span == lf.Span || rt.Span == lf.Span {
+		t.Errorf("span ids not unique: %d %d %d", rt.Span, ch.Span, lf.Span)
+	}
+
+	// The JSONL mirror: every span event carries trace and span; parent
+	// appears on non-roots only.
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("event lines = %d, want 3", len(lines))
+	}
+	byName := map[string]map[string]any{}
+	for _, line := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("bad span event %q: %v", line, err)
+		}
+		byName[m["name"].(string)] = m
+	}
+	if byName["root"]["trace"] != "t1" || byName["leaf"]["trace"] != "t1" {
+		t.Errorf("events missing trace field: %v", byName)
+	}
+	if _, has := byName["root"]["parent"]; has {
+		t.Error("root span event has a parent field")
+	}
+	if byName["leaf"]["parent"] != byName["child"]["span"] {
+		t.Errorf("leaf parent %v != child span %v", byName["leaf"]["parent"], byName["child"]["span"])
+	}
+}
+
+// TestStartSpanCtxUntraced: without a trace in ctx the span behaves like
+// a plain StartSpan (no trace linkage, no trace fields in the event)
+// and the context comes back unchanged.
+func TestStartSpanCtxUntraced(t *testing.T) {
+	r := New()
+	var buf bytes.Buffer
+	r.AttachEvents(NewEventLog(&buf))
+	ctx := context.Background()
+	sp, ctx2 := r.StartSpanCtx(ctx, "plain")
+	if ctx2 != ctx {
+		t.Error("untraced StartSpanCtx changed the context")
+	}
+	sp.End()
+	if s := r.Spans()[0]; s.Trace != "" || s.Span != 0 || s.Parent != 0 {
+		t.Errorf("untraced span leaked trace linkage: %+v", s)
+	}
+	if strings.Contains(buf.String(), "trace") {
+		t.Errorf("untraced span event has trace fields: %s", buf.String())
+	}
+}
+
+func TestStartSpanIfTraced(t *testing.T) {
+	r := New()
+	if sp, _ := r.StartSpanIfTraced(context.Background(), "skip"); sp != nil {
+		t.Error("untraced StartSpanIfTraced returned a live span")
+	}
+	if len(r.Spans()) != 0 {
+		t.Error("untraced StartSpanIfTraced recorded a span")
+	}
+	ctx := ContextWithTrace(context.Background(), TraceContext{TraceID: "t2"})
+	sp, _ := r.StartSpanIfTraced(ctx, "cell")
+	if sp == nil {
+		t.Fatal("traced StartSpanIfTraced returned nil")
+	}
+	sp.End()
+	if s := r.Spans()[0]; s.Trace != "t2" || s.Span == 0 {
+		t.Errorf("traced span not linked: %+v", s)
+	}
+
+	// Nil registry: both variants are free and safe.
+	var nilReg *Registry
+	if sp, c := nilReg.StartSpanCtx(ctx, "x"); sp != nil || c != ctx {
+		t.Error("nil registry StartSpanCtx not a no-op")
+	}
+	if sp, c := nilReg.StartSpanIfTraced(ctx, "x"); sp != nil || c != ctx {
+		t.Error("nil registry StartSpanIfTraced not a no-op")
+	}
+}
+
+// TestTracePathDisabledAllocatesNothing is the trace-context face of the
+// zero-overhead contract: with tracing off (nil registry, or a live
+// registry on an untraced context), the per-request trace plumbing on
+// the serving hot path must not allocate.
+func TestTracePathDisabledAllocatesNothing(t *testing.T) {
+	ctx := context.Background()
+	var nilReg *Registry
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, ok := TraceFrom(ctx); ok {
+			t.Fatal("unexpected trace")
+		}
+		sp, _ := nilReg.StartSpanCtx(ctx, "off")
+		sp.End()
+		sp2, _ := nilReg.StartSpanIfTraced(ctx, "off")
+		sp2.End()
+	})
+	if allocs != 0 {
+		t.Errorf("disabled trace path allocates %v allocs/op, want 0", allocs)
+	}
+
+	r := New()
+	allocs = testing.AllocsPerRun(1000, func() {
+		sp, _ := r.StartSpanIfTraced(ctx, "off")
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Errorf("untraced StartSpanIfTraced allocates %v allocs/op, want 0", allocs)
+	}
+}

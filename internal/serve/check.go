@@ -9,6 +9,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"time"
 
 	"nobroadcast/internal/spec"
 	"nobroadcast/internal/trace"
@@ -33,6 +34,8 @@ type checkVerdict struct {
 // arrives in the request body, so there is no parameter hash to key a
 // cache by.
 func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	defer func() { s.totalUS.Observe(time.Since(t0).Microseconds()) }()
 	specName := r.URL.Query().Get("spec")
 	if specName == "" {
 		specName = "all"
@@ -65,7 +68,9 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 	defer s.wg.Done()
 
+	qsp, _ := s.reg.StartSpanIfTraced(r.Context(), "serve.queue")
 	release, err := s.acquire(r.Context())
+	qsp.End()
 	if err != nil {
 		if errors.Is(err, errSaturated) {
 			s.rejected.Inc()
@@ -82,11 +87,15 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	s.admitted.Inc()
 	s.checks.Inc()
 
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.JobTimeout)
+	jsp, jctx := s.reg.StartSpanIfTraced(r.Context(), "serve.job")
+	ctx, cancel := context.WithTimeout(jctx, s.cfg.JobTimeout)
 	defer cancel()
+	execStart := time.Now()
 	out, err := s.execute(ctx, 0, func(ctx context.Context) (jobOutput, error) {
-		return runCheck(ctx, specName, k, r.Body)
+		return s.runCheck(ctx, specName, k, r.Body)
 	})
+	s.execUS.Observe(time.Since(execStart).Microseconds())
+	jsp.End()
 	s.settle(j, out, err)
 	switch {
 	case err == nil:
@@ -106,9 +115,16 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// runCheck streams one uploaded trace through the selected checkers.
-func runCheck(ctx context.Context, specName string, k int, body io.Reader) (jobOutput, error) {
+// runCheck streams one uploaded trace through the selected checkers,
+// accounting the JSONL decode time (NewStepReader header parse plus
+// every Next call) to serve.check_decode_us — on large uploads decode
+// dominates the check, and the histogram makes that visible.
+func (s *Server) runCheck(ctx context.Context, specName string, k int, body io.Reader) (jobOutput, error) {
+	var decodeNS int64
+	defer func() { s.decodeUS.Observe(decodeNS / 1e3) }()
+	decodeStart := time.Now()
 	sr, err := trace.NewStepReader(body)
+	decodeNS += time.Since(decodeStart).Nanoseconds()
 	if err != nil {
 		return jobOutput{}, err
 	}
@@ -141,7 +157,9 @@ func runCheck(ctx context.Context, specName string, k int, body io.Reader) (jobO
 
 	steps := 0
 	for {
+		nextStart := time.Now()
 		st, err := sr.Next()
+		decodeNS += time.Since(nextStart).Nanoseconds()
 		if err == io.EOF {
 			break
 		}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"net/http"
 
+	"nobroadcast/internal/sweep"
 	"nobroadcast/internal/trace"
 )
 
@@ -75,12 +76,22 @@ func (s *Server) settle(j *Job, out jobOutput, err error) {
 		switch {
 		case errors.Is(err, errSaturated):
 			j.Status = StatusRejected // counted by serve.jobs_rejected at the admission point
-		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		case errors.Is(err, context.DeadlineExceeded):
+			// The server-side job timeout fired. Same lifecycle status as a
+			// client cancellation, but its own counter: a daemon timing jobs
+			// out is overloaded or misconfigured, a client hanging up is not.
+			j.Status = StatusCancelled
+			s.timeouts.Inc()
+		case errors.Is(err, context.Canceled):
 			j.Status = StatusCancelled
 			s.cancel.Inc()
 		default:
 			j.Status = StatusFailed
 			s.failedC.Inc()
+			var pe *sweep.PanicError
+			if errors.As(err, &pe) {
+				s.panics.Inc()
+			}
 		}
 		j.Err = err.Error()
 		s.parkLocked(j)

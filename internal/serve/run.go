@@ -213,6 +213,8 @@ func (s *Server) runSched(ctx context.Context, cand broadcast.Candidate, q *RunR
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	sp, _ := s.reg.StartSpanIfTraced(ctx, "serve.runtime")
+	defer sp.End()
 	rt, err := sched.New(sched.Config{
 		N:            q.N,
 		NewAutomaton: cand.NewAutomaton,
@@ -242,6 +244,8 @@ func oracleDegree(c broadcast.Candidate, k int) int {
 // runtime with trace recording on. The convergence wait polls in short
 // slices so a cancelled job context stops the wait promptly.
 func (s *Server) runNet(ctx context.Context, cand broadcast.Candidate, q *RunRequest, reqs []sched.BroadcastReq, resp *RunResponse) (*trace.Trace, error) {
+	sp, _ := s.reg.StartSpanIfTraced(ctx, "serve.runtime")
+	defer sp.End()
 	var faults *net.FaultPlan
 	if q.Drop != 0 || q.Dup != 0 {
 		faults = &net.FaultPlan{Drop: q.Drop, Dup: q.Dup}

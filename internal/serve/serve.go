@@ -39,6 +39,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"sync"
 	"time"
@@ -69,6 +70,18 @@ type Config struct {
 	// threaded through to the runtimes. Nil constructs a fresh registry so
 	// /metrics is always live.
 	Obs *obs.Registry
+	// Trace enables request-scoped tracing: every request gets a trace id
+	// (the X-Trace-Id header, validated, or a generated one), an
+	// http.request root span, and nested serve.queue / serve.job /
+	// sweep.cell / serve.runtime spans, all emitted through the obs event
+	// sink with trace/span/parent fields. Off by default; when off the
+	// serving path does no trace work at all.
+	Trace bool
+	// Pprof mounts net/http/pprof under /debug/pprof/ and a Go runtime
+	// metrics view at /debug/runtime. Off by default: the profile
+	// endpoints can block for seconds and expose internals, so they are
+	// strictly opt-in.
+	Pprof bool
 }
 
 func (c *Config) defaults() {
@@ -115,7 +128,19 @@ type Server struct {
 	admitted, rejected         *obs.Counter
 	completed, failedC, cancel *obs.Counter
 	checks                     *obs.Counter
+	uncached, timeouts, panics *obs.Counter
 	queueDepth, inflight       *obs.Gauge
+
+	// Stage histograms (microseconds): where a request's time went.
+	queueWaitUS, execUS, totalUS, decodeUS *obs.Histogram
+}
+
+// serveLatencyBuckets covers the serving path's range: sub-100µs cache
+// hits up to the 60s default job timeout (values in microseconds).
+var serveLatencyBuckets = []int64{
+	10, 25, 50, 100, 250, 500,
+	1000, 2500, 5000, 10000, 25000, 50000, 100000, 250000, 500000,
+	1000000, 2500000, 5000000, 10000000, 30000000, 60000000,
 }
 
 // New builds the service.
@@ -139,8 +164,15 @@ func New(cfg Config) *Server {
 	s.failedC = s.reg.Counter("serve.jobs_failed")
 	s.cancel = s.reg.Counter("serve.jobs_cancelled")
 	s.checks = s.reg.Counter("serve.checks")
+	s.uncached = s.reg.Counter("serve.uncached")
+	s.timeouts = s.reg.Counter("serve.timeouts")
+	s.panics = s.reg.Counter("serve.panics")
 	s.queueDepth = s.reg.Gauge("serve.queue_depth")
 	s.inflight = s.reg.Gauge("serve.inflight")
+	s.queueWaitUS = s.reg.Histogram("serve.queue_wait_us", serveLatencyBuckets...)
+	s.execUS = s.reg.Histogram("serve.exec_us", serveLatencyBuckets...)
+	s.totalUS = s.reg.Histogram("serve.total_us", serveLatencyBuckets...)
+	s.decodeUS = s.reg.Histogram("serve.check_decode_us", serveLatencyBuckets...)
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/run", s.handleRun)
@@ -152,20 +184,100 @@ func New(cfg Config) *Server {
 	mux.Handle("GET /metrics", s.reg)
 	mux.Handle("GET /vars", s.reg)
 	mux.Handle("GET /{$}", s.reg)
+	if cfg.Pprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+		mux.HandleFunc("GET /debug/runtime", handleRuntimeMetrics)
+	}
 	s.mux = mux
 	return s
+}
+
+// handleRuntimeMetrics serves a JSON snapshot of the Go runtime: the
+// numbers a profiler reaches for before attaching pprof — goroutine
+// count, heap occupancy, GC activity. Mounted only with Config.Pprof.
+func handleRuntimeMetrics(w http.ResponseWriter, r *http.Request) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	json.NewEncoder(w).Encode(map[string]any{
+		"goroutines":        runtime.NumGoroutine(),
+		"gomaxprocs":        runtime.GOMAXPROCS(0),
+		"heap_alloc_bytes":  ms.HeapAlloc,
+		"heap_objects":      ms.HeapObjects,
+		"total_alloc_bytes": ms.TotalAlloc,
+		"sys_bytes":         ms.Sys,
+		"gc_runs":           ms.NumGC,
+		"gc_pause_total_ns": ms.PauseTotalNs,
+		"next_gc_bytes":     ms.NextGC,
+	})
 }
 
 // Registry exposes the service's observability registry (for the daemon's
 // -metrics summary at exit).
 func (s *Server) Registry() *obs.Registry { return s.reg }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. With Config.Trace set it is also
+// the tracing middleware: the request's trace id comes from a valid
+// X-Trace-Id header or is generated, an http.request root span wraps
+// the handler, and the id is echoed back in the response's X-Trace-Id
+// so clients can correlate. With tracing off this is exactly the old
+// two-line dispatch — no ids, no spans, no allocations.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.MaxBodyBytes > 0 && r.Body != nil {
 		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	}
-	s.mux.ServeHTTP(w, r)
+	if !s.cfg.Trace {
+		s.mux.ServeHTTP(w, r)
+		return
+	}
+	tid := r.Header.Get("X-Trace-Id")
+	if !validTraceID(tid) {
+		tid = obs.NewTraceID()
+	}
+	ctx := obs.ContextWithTrace(r.Context(), obs.TraceContext{TraceID: tid})
+	sp, ctx := s.reg.StartSpanCtx(ctx, "http.request")
+	w.Header().Set("X-Trace-Id", tid)
+	sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+	s.mux.ServeHTTP(sw, r.WithContext(ctx))
+	d := sp.End()
+	s.reg.Emit("serve.request",
+		obs.Str("trace", tid), obs.Str("method", r.Method), obs.Str("path", r.URL.Path),
+		obs.Int("status", int64(sw.code)), obs.Int("dur_us", d.Microseconds()))
+}
+
+// statusWriter captures the response status for the serve.request event.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// validTraceID bounds what the daemon accepts from the network as a
+// trace id: 1–64 characters of [A-Za-z0-9._-]. Anything else — empty,
+// oversized, or with characters that could corrupt a JSONL consumer's
+// assumptions — is replaced by a generated id.
+func validTraceID(s string) bool {
+	if len(s) == 0 || len(s) > 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
 }
 
 // StopAdmitting switches the server into drain mode: every subsequent
@@ -207,12 +319,14 @@ func (s *Server) acquire(ctx context.Context) (release func(), err error) {
 		return nil, errSaturated
 	}
 	s.queueDepth.Inc()
+	waitStart := time.Now()
 	select {
 	case s.slots <- struct{}{}:
 		// Queued → executing: the job leaves the queue the moment it
 		// claims a slot, so queue_depth counts only waiting jobs and never
 		// double-counts with serve.inflight.
 		s.queueDepth.Dec()
+		s.queueWaitUS.Observe(time.Since(waitStart).Microseconds())
 	case <-ctx.Done():
 		s.queueDepth.Dec()
 		<-s.admit
@@ -257,6 +371,8 @@ func (s *Server) execute(ctx context.Context, seed uint64, fn func(ctx context.C
 // lookup, singleflight coalescing, admission, execution with per-job
 // timeout, and result publication.
 func (s *Server) runManaged(w http.ResponseWriter, r *http.Request, kind, hash string, seed uint64, fn func(ctx context.Context) (jobOutput, error)) {
+	t0 := time.Now()
+	defer func() { s.totalUS.Observe(time.Since(t0).Microseconds()) }()
 	s.mu.Lock()
 	if j := s.cache.get(hash); j != nil {
 		s.mu.Unlock()
@@ -292,7 +408,9 @@ func (s *Server) runManaged(w http.ResponseWriter, r *http.Request, kind, hash s
 	s.mu.Unlock()
 	defer s.wg.Done()
 
+	qsp, _ := s.reg.StartSpanIfTraced(r.Context(), "serve.queue")
 	release, err := s.acquire(r.Context())
+	qsp.End()
 	if err != nil {
 		if errors.Is(err, errSaturated) {
 			s.rejected.Inc()
@@ -308,15 +426,20 @@ func (s *Server) runManaged(w http.ResponseWriter, r *http.Request, kind, hash s
 	defer release()
 	s.admitted.Inc()
 
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.JobTimeout)
+	jsp, jctx := s.reg.StartSpanIfTraced(r.Context(), "serve.job")
+	ctx, cancel := context.WithTimeout(jctx, s.cfg.JobTimeout)
 	defer cancel()
+	execStart := time.Now()
 	out, err := s.execute(ctx, seed, fn)
+	s.execUS.Observe(time.Since(execStart).Microseconds())
+	jsp.End()
 	s.settle(j, out, err)
 	switch {
 	case err == nil:
 		status := "miss"
 		if out.uncacheable {
 			status = "uncached"
+			s.uncached.Inc()
 		}
 		serveResult(w, j, status)
 	case errors.Is(err, context.DeadlineExceeded):

@@ -1,0 +1,298 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"nobroadcast/internal/obs"
+)
+
+// syncWriter lets the test read the event log while the daemon
+// goroutines are still writing.
+type syncWriter struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.Write(p)
+}
+
+func (w *syncWriter) Lines() []string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	s := strings.TrimSpace(w.buf.String())
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, "\n")
+}
+
+// spanEvent is the JSONL shape of one emitted span.
+type spanEvent struct {
+	Event  string `json:"event"`
+	Name   string `json:"name"`
+	Trace  string `json:"trace"`
+	Span   uint64 `json:"span"`
+	Parent uint64 `json:"parent"`
+}
+
+func spanEvents(t *testing.T, w *syncWriter) map[string]spanEvent {
+	t.Helper()
+	out := map[string]spanEvent{}
+	for _, line := range w.Lines() {
+		var ev spanEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("bad event line %q: %v", line, err)
+		}
+		if ev.Event == "span" {
+			out[ev.Name] = ev
+		}
+	}
+	return out
+}
+
+// TestTraceSpanTree is the acceptance criterion: a single traced request
+// yields a connected span tree — http.request → {serve.queue, serve.job
+// → sweep.wall → sweep.cell → serve.runtime} — in the JSONL event
+// stream, every span sharing the trace id the client supplied in
+// X-Trace-Id.
+func TestTraceSpanTree(t *testing.T) {
+	events := &syncWriter{}
+	reg := obs.New()
+	reg.AttachEvents(obs.NewEventLog(events))
+	_, ts := newTestServer(t, Config{Workers: 2, Obs: reg, Trace: true})
+
+	req, err := http.NewRequest("POST", ts.URL+"/v1/run",
+		strings.NewReader(`{"candidate":"fifo","n":3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Trace-Id", "client-trace-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run status = %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Trace-Id"); got != "client-trace-1" {
+		t.Fatalf("response X-Trace-Id = %q, want the client's id echoed", got)
+	}
+
+	spans := spanEvents(t, events)
+	want := []string{"http.request", "serve.queue", "serve.job", "sweep.wall", "sweep.cell", "serve.runtime"}
+	for _, name := range want {
+		ev, ok := spans[name]
+		if !ok {
+			t.Fatalf("span %q missing; have %v", name, spans)
+		}
+		if ev.Trace != "client-trace-1" {
+			t.Errorf("span %q trace = %q, want client-trace-1", name, ev.Trace)
+		}
+	}
+	// Connectivity: the parent chain walks back to the http.request root.
+	edges := map[string]string{
+		"serve.queue":   "http.request",
+		"serve.job":     "http.request",
+		"sweep.wall":    "serve.job",
+		"sweep.cell":    "sweep.wall",
+		"serve.runtime": "sweep.cell",
+	}
+	for child, parent := range edges {
+		if spans[child].Parent != spans[parent].Span {
+			t.Errorf("%s.parent = %d, want %s.span = %d",
+				child, spans[child].Parent, parent, spans[parent].Span)
+		}
+	}
+	if spans["http.request"].Parent != 0 {
+		t.Errorf("http.request parent = %d, want 0 (root)", spans["http.request"].Parent)
+	}
+
+	// The serve.request event carries the verdict fields for the same trace.
+	var reqEvents int
+	for _, line := range events.Lines() {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("bad line %q: %v", line, err)
+		}
+		if m["event"] == "serve.request" {
+			reqEvents++
+			if m["trace"] != "client-trace-1" || m["status"] != float64(200) || m["path"] != "/v1/run" {
+				t.Errorf("serve.request fields wrong: %v", m)
+			}
+		}
+	}
+	if reqEvents != 1 {
+		t.Errorf("serve.request events = %d, want 1", reqEvents)
+	}
+}
+
+// TestTraceIDGenerated: a traced request without (or with an invalid)
+// X-Trace-Id gets a server-generated id, echoed on the response.
+func TestTraceIDGenerated(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, Trace: true})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	got := resp.Header.Get("X-Trace-Id")
+	if len(got) != 16 || !validTraceID(got) {
+		t.Fatalf("generated X-Trace-Id = %q, want 16 valid chars", got)
+	}
+
+	req, _ := http.NewRequest("GET", ts.URL+"/healthz", nil)
+	req.Header.Set("X-Trace-Id", "bad id with spaces!")
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	echoed := resp2.Header.Get("X-Trace-Id")
+	if echoed == "" || strings.Contains(echoed, " ") || len(echoed) != 16 {
+		t.Fatalf("invalid client id not replaced: %q", echoed)
+	}
+}
+
+// TestTraceDisabledByDefault: without Config.Trace there is no trace id
+// on responses and no span events beyond the untraced sweep.wall.
+func TestTraceDisabledByDefault(t *testing.T) {
+	events := &syncWriter{}
+	reg := obs.New()
+	reg.AttachEvents(obs.NewEventLog(events))
+	_, ts := newTestServer(t, Config{Workers: 1, Obs: reg})
+	resp, _ := postJSON(t, ts.URL+"/v1/run", `{"candidate":"fifo","n":3}`)
+	if got := resp.Header.Get("X-Trace-Id"); got != "" {
+		t.Fatalf("untraced response carries X-Trace-Id %q", got)
+	}
+	for _, line := range events.Lines() {
+		if strings.Contains(line, `"trace"`) {
+			t.Fatalf("untraced run emitted a trace-linked event: %s", line)
+		}
+		if strings.Contains(line, "serve.request") || strings.Contains(line, "sweep.cell") {
+			t.Fatalf("untraced run emitted tracing-only event: %s", line)
+		}
+	}
+}
+
+func TestValidTraceID(t *testing.T) {
+	for id, want := range map[string]bool{
+		"abc":                   true,
+		"A-b_c.9":               true,
+		strings.Repeat("x", 64): true,
+		"":                      false,
+		strings.Repeat("x", 65): false,
+		"has space":             false,
+		"new\nline":             false,
+		"uni¢ode":               false,
+	} {
+		if got := validTraceID(id); got != want {
+			t.Errorf("validTraceID(%q) = %v, want %v", id, got, want)
+		}
+	}
+}
+
+// TestStageHistograms: one served run populates the queue-wait, exec,
+// and total stage histograms; a check populates the decode histogram.
+func TestStageHistograms(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2})
+	if resp, body := postJSON(t, ts.URL+"/v1/run", `{"candidate":"fifo","n":3}`); resp.StatusCode != 200 {
+		t.Fatalf("run failed: %d %s", resp.StatusCode, body)
+	}
+	for name, h := range map[string]*obs.Histogram{
+		"serve.queue_wait_us": s.queueWaitUS,
+		"serve.exec_us":       s.execUS,
+		"serve.total_us":      s.totalUS,
+	} {
+		if snap := h.Snapshot(); snap.Count == 0 {
+			t.Errorf("%s unobserved after a run", name)
+		}
+	}
+	if snap := s.decodeUS.Snapshot(); snap.Count != 0 {
+		t.Errorf("decode histogram observed %d before any check", snap.Count)
+	}
+	if resp, body := postJSON(t, ts.URL+"/v1/check?spec=fifo&k=2", string(sampleJSONL(t))); resp.StatusCode != 200 {
+		t.Fatalf("check failed: %d %s", resp.StatusCode, body)
+	}
+	if snap := s.decodeUS.Snapshot(); snap.Count != 1 {
+		t.Errorf("serve.check_decode_us count = %d, want 1", snap.Count)
+	}
+	// A cache hit still lands in total_us (the serving path covers hits).
+	before := s.totalUS.Snapshot().Count
+	postJSON(t, ts.URL+"/v1/run", `{"candidate":"fifo","n":3}`)
+	if after := s.totalUS.Snapshot().Count; after != before+1 {
+		t.Errorf("total_us count = %d after hit, want %d", after, before+1)
+	}
+}
+
+// TestPprofOptIn: the profiling and runtime endpoints exist only with
+// Config.Pprof.
+func TestPprofOptIn(t *testing.T) {
+	_, off := newTestServer(t, Config{Workers: 1})
+	for _, path := range []string{"/debug/pprof/", "/debug/runtime"} {
+		resp, err := http.Get(off.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("pprof off: GET %s = %d, want 404", path, resp.StatusCode)
+		}
+	}
+
+	_, on := newTestServer(t, Config{Workers: 1, Pprof: true})
+	resp, err := http.Get(on.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof on: GET /debug/pprof/ = %d, want 200", resp.StatusCode)
+	}
+	rresp, err := http.Get(on.URL + "/debug/runtime")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rt map[string]any
+	err = json.NewDecoder(rresp.Body).Decode(&rt)
+	rresp.Body.Close()
+	if err != nil {
+		t.Fatalf("/debug/runtime not JSON: %v", err)
+	}
+	for _, key := range []string{"goroutines", "heap_alloc_bytes", "gc_runs"} {
+		if _, ok := rt[key]; !ok {
+			t.Errorf("/debug/runtime missing %q: %v", key, rt)
+		}
+	}
+	if rt["goroutines"].(float64) < 1 {
+		t.Errorf("goroutines = %v, want >= 1", rt["goroutines"])
+	}
+}
+
+// TestOutcomeCounters: the new per-outcome counters move — uncached on a
+// net-runtime result, panics on a panicking job.
+func TestOutcomeCounters(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2})
+	resp, body := postJSON(t, ts.URL+"/v1/run",
+		`{"candidate":"fifo","runtime":"net","n":3,"workload":{"messages":3}}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("net run failed: %d %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Cache"); got != "uncached" {
+		t.Fatalf("net run X-Cache = %q, want uncached", got)
+	}
+	if got := s.uncached.Value(); got != 1 {
+		t.Errorf("serve.uncached = %d, want 1", got)
+	}
+	if got := s.timeouts.Value(); got != 0 {
+		t.Errorf("serve.timeouts = %d, want 0", got)
+	}
+}

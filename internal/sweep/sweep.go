@@ -135,7 +135,10 @@ func Run[T any](ctx context.Context, n int, opts Options, fn func(ctx context.Co
 	failed := reg.Counter("sweep.cells_failed")
 	busyNS := reg.Counter("sweep.busy_ns")
 	inflight := reg.Gauge("sweep.inflight")
-	span := reg.StartSpan("sweep.wall")
+	// The wall span joins the caller's trace when ctx carries one (the
+	// serving path), so per-request span trees extend into the pool;
+	// untraced callers get the same standalone sweep.wall span as before.
+	span, ctx := reg.StartSpanCtx(ctx, "sweep.wall")
 	defer span.End()
 
 	ctx, cancel := context.WithCancel(ctx)
@@ -157,14 +160,19 @@ func Run[T any](ctx context.Context, n int, opts Options, fn func(ctx context.Co
 	}
 
 	// runCell isolates the recover scope so a panic in fn aborts only the
-	// cell, not the worker.
+	// cell, not the worker. Traced runs get a per-cell span nested under
+	// sweep.wall (and pass the derived context on, so spans fn opens nest
+	// under the cell); untraced runs skip the span entirely — a grid of
+	// thousands of cells must not accumulate thousands of span records.
 	runCell := func(c Cell) (result T, err error) {
+		cellSpan, cctx := reg.StartSpanIfTraced(ctx, "sweep.cell")
+		defer cellSpan.End()
 		defer func() {
 			if v := recover(); v != nil {
 				err = &PanicError{Value: v, Stack: debug.Stack()}
 			}
 		}()
-		return fn(ctx, c)
+		return fn(cctx, c)
 	}
 
 	idx := make(chan int)

@@ -231,6 +231,48 @@ func TestRunObsInstrumentation(t *testing.T) {
 	}
 }
 
+// TestRunTracedSpans: under a traced context the pool emits one
+// sweep.cell span per cell, parented on the sweep.wall span, all
+// sharing the caller's trace id — and the derived context reaches fn so
+// deeper instrumentation keeps nesting.
+func TestRunTracedSpans(t *testing.T) {
+	t.Parallel()
+	reg := obs.New()
+	ctx := obs.ContextWithTrace(context.Background(), obs.TraceContext{TraceID: "sweep-test"})
+	_, err := Run(ctx, 4, Options{Workers: 2, Obs: reg},
+		func(cctx context.Context, c Cell) (int, error) {
+			tc, ok := obs.TraceFrom(cctx)
+			if !ok || tc.TraceID != "sweep-test" || tc.SpanID == 0 {
+				t.Errorf("cell %d: fn context not traced: %+v ok=%v", c.Index, tc, ok)
+			}
+			return c.Index, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wall obs.SpanRecord
+	cells := 0
+	for _, s := range reg.Spans() {
+		switch s.Name {
+		case "sweep.wall":
+			wall = s
+		case "sweep.cell":
+			cells++
+		}
+	}
+	if wall.Trace != "sweep-test" || wall.Span == 0 {
+		t.Fatalf("sweep.wall not trace-linked: %+v", wall)
+	}
+	if cells != 4 {
+		t.Fatalf("sweep.cell spans = %d, want 4", cells)
+	}
+	for _, s := range reg.Spans() {
+		if s.Name == "sweep.cell" && (s.Trace != "sweep-test" || s.Parent != wall.Span) {
+			t.Errorf("cell span not parented on wall: %+v (wall span %d)", s, wall.Span)
+		}
+	}
+}
+
 func TestRangeAndPairs(t *testing.T) {
 	t.Parallel()
 	if got := Range(2, 5); len(got) != 4 || got[0] != 2 || got[3] != 5 {
