@@ -1,5 +1,5 @@
 # Convenience targets for the reproduction artifact.
-.PHONY: all test race bench bench-pr4 bench-pr6 bench-all figure1 impossibility outputs metrics-smoke serve-smoke load-smoke
+.PHONY: all test race bench bench-pr4 bench-pr6 bench-pr7 bench-all fuzz-smoke figure1 impossibility outputs metrics-smoke serve-smoke load-smoke
 all: test
 test:
 	go build ./... && go vet ./... && go test ./...
@@ -130,6 +130,41 @@ bench-pr6:
 	kill -TERM $$pid; wait $$pid; \
 	trap - EXIT
 	cat BENCH_PR6.json
+# bench-pr7: the PR 7 headline artifact — the binary ksatrace wire format
+# against JSONL, as BENCH_PR7.json. Two comparisons over the same
+# 100k-step trace: the end-to-end serving path (decode + online checkers,
+# what /v1/check does per upload) and pure decode (where the block format
+# and string interning pay off). The awk program scans for unit tokens
+# (ns/op, allocs/op, trace-steps) instead of fixed columns, so the
+# distill survives benchmark-output column drift.
+AWK_PR7 = '/^Benchmark(StreamCheck|WireDecode)\// { \
+    ns=0; al=0; st=0; \
+    for (i=2; i<=NF; i++) { \
+      if ($$i == "ns/op") ns=$$(i-1); \
+      if ($$i == "allocs/op") al=$$(i-1); \
+      if ($$i == "trace-steps") st=$$(i-1); \
+    } \
+    if ($$1 ~ /^BenchmarkStreamCheck\/jsonl/)  { cjns=ns; steps=st } \
+    if ($$1 ~ /^BenchmarkStreamCheck\/binary/) { cbns=ns } \
+    if ($$1 ~ /^BenchmarkWireDecode\/jsonl/)   { djns=ns; djal=al } \
+    if ($$1 ~ /^BenchmarkWireDecode\/binary/)  { dbns=ns; dbal=al } \
+  } \
+  END { if (!cjns || !cbns || !djns || !dbns || !steps) exit 1; \
+    printf "{\n  \"benchmark\": \"trace wire format v1: binary ksatrace vs JSONL\",\n  \"trace_steps\": %.0f,\n  \"stream_check\": {\n    \"jsonl_ns_per_op\": %.0f,\n    \"binary_ns_per_op\": %.0f,\n    \"jsonl_steps_per_sec\": %.0f,\n    \"binary_steps_per_sec\": %.0f,\n    \"binary_speedup\": %.2f\n  },\n  \"decode_only\": {\n    \"jsonl_ns_per_op\": %.0f,\n    \"binary_ns_per_op\": %.0f,\n    \"jsonl_steps_per_sec\": %.0f,\n    \"binary_steps_per_sec\": %.0f,\n    \"binary_speedup\": %.2f,\n    \"jsonl_allocs_per_step\": %.3f,\n    \"binary_allocs_per_step\": %.3f\n  }\n}\n", \
+      steps, cjns, cbns, steps*1e9/cjns, steps*1e9/cbns, cjns/cbns, \
+      djns, dbns, steps*1e9/djns, steps*1e9/dbns, djns/dbns, \
+      djal/steps, dbal/steps }'
+bench-pr7:
+	go test -run '^$$' -bench 'BenchmarkStreamCheck$$' -benchmem ./internal/spec | tee /tmp/bench_pr7.txt
+	go test -run '^$$' -bench 'BenchmarkWireDecode$$' -benchmem ./internal/trace | tee -a /tmp/bench_pr7.txt
+	$(call bench-json,/tmp/bench_pr7.txt,AWK_PR7,BENCH_PR7.json)
+
+# fuzz-smoke: a short budgeted run of every fuzz target — enough to catch
+# an outright decoder regression on the seed-adjacent frontier without
+# holding CI hostage to a real fuzzing campaign.
+fuzz-smoke:
+	go test -run '^$$' -fuzz 'FuzzStepReader$$' -fuzztime 15s ./internal/trace
+
 outputs:
 	go test ./... 2>&1 | tee test_output.txt
 	go test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt

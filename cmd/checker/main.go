@@ -6,12 +6,14 @@
 // Usage:
 //
 //	checker -spec kbo -k 2 [-symmetry] [-seed 1] [-metrics] [-events out.jsonl] trace.json
-//	checker -spec fifo -stream trace.jsonl     # or "-" for stdin
+//	checker -spec fifo -stream trace.jsonl     # or trace.ktr, or "-" for stdin
 //
 // The trace file is the JSON produced by `adversary -json` or by the
-// trace package. With -stream the input is JSONL (one header line, one
-// step per line) and is checked incrementally: only online checker state
-// is resident, so traces of any length fit in constant memory. Spec
+// trace package. With -stream the input is either wire format — binary
+// ksatrace (cmd/ksatrace, /v1/jobs/{id}/trace) or JSONL (one header
+// line, one step per line), auto-detected — and is checked
+// incrementally: only online checker state is resident, so traces of any
+// length fit in constant memory. Spec
 // names are the registry keys (spec.Names); the classics: well-formed,
 // channels, basic, send-to-all, fifo, causal, total-order, kbo,
 // k-stepped, first-k, sa-tagged, mutual, uniform-reliable, scd, ksa.
@@ -65,11 +67,13 @@ func specByName(name string, k int) (spec.Spec, error) {
 	return s, nil
 }
 
-// runStream checks a JSONL step stream incrementally, without ever
-// materializing the trace. The verdict reports the index of the step
-// that latched the violation, when the checker knows it.
+// runStream checks a step stream incrementally, without ever
+// materializing the trace. Both wire formats are accepted — binary
+// ksatrace streams and JSONL are sniffed apart by NewAnyReader. The
+// verdict reports the index of the step that latched the violation, when
+// the checker knows it.
 func runStream(s spec.Spec, r io.Reader, reg *obs.Registry, out io.Writer) error {
-	sr, err := trace.NewStepReader(r)
+	sr, err := trace.NewAnyReader(r)
 	if err != nil {
 		return err
 	}

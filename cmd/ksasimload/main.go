@@ -286,10 +286,22 @@ type picker struct {
 
 func newPicker(cfg loadConfig, reqs map[string][]request, workerSeed uint64) *picker {
 	rng := rand.New(rand.NewPCG(cfg.seed, workerSeed))
-	p := &picker{rng: rng, mix: cfg.mix, reqs: reqs, zipf: make(map[string]*rand.Zipf)}
+	p := &picker{rng: rng, reqs: reqs, zipf: make(map[string]*rand.Zipf)}
 	for _, kw := range cfg.mix {
+		n := len(reqs[kw.kind])
+		if n == 0 {
+			// A kind with an empty universe can never be served; dropping it
+			// from the weighted choice keeps next() total instead of
+			// panicking on a zero-length index. At least one kind must be
+			// non-empty (buildUniverse guarantees it for every CLI mix).
+			continue
+		}
+		p.mix = append(p.mix, kw)
 		p.totalWeight += kw.weight
-		if n := len(reqs[kw.kind]); n > 1 && cfg.zipf > 1 {
+		// rand.NewZipf needs s > 1 and imax >= 1: a single-request universe
+		// (imax = n-1 = 0) is degenerate, so it falls through to the
+		// constant pick in next(), and s <= 1 falls through to uniform.
+		if n > 1 && cfg.zipf > 1 {
 			p.zipf[kw.kind] = rand.NewZipf(rng, cfg.zipf, 1, uint64(n-1))
 		}
 	}
@@ -318,9 +330,13 @@ func (p *picker) next() request {
 
 // report is the machine-readable result document (-json writes it).
 type report struct {
-	Benchmark     string                 `json:"benchmark"`
-	Mode          string                 `json:"mode"` // closed | open
-	TargetRate    float64                `json:"target_rate_rps,omitempty"`
+	Benchmark  string  `json:"benchmark"`
+	Mode       string  `json:"mode"` // closed | open
+	TargetRate float64 `json:"target_rate_rps,omitempty"`
+	// RealizedRate is the arrival rate the open-loop pacer actually
+	// generated over its pacing window; material drift from TargetRate
+	// means the generator itself (not the daemon) was the bottleneck.
+	RealizedRate  float64                `json:"realized_rate_rps,omitempty"`
 	Concurrency   int                    `json:"concurrency"`
 	DurationS     float64                `json:"duration_s"`
 	Requests      int64                  `json:"requests"`
@@ -458,6 +474,7 @@ func drive(cfg loadConfig, client *http.Client, reqs map[string][]request) (*rep
 	start := time.Now()
 	var wg sync.WaitGroup
 	mode := "closed"
+	var realizedRate float64
 	if cfg.rate > 0 {
 		mode = "open"
 		// Open loop: arrivals are scheduled at the target rate regardless of
@@ -476,15 +493,22 @@ func drive(cfg loadConfig, client *http.Client, reqs map[string][]request) (*rep
 				}
 			}(uint64(i) + 2)
 		}
-		interval := time.Duration(float64(time.Second) / cfg.rate)
-		next := start
+		// Arrival i is scheduled at start + i/rate from the absolute start
+		// offset. A fixed per-tick interval both truncates to a whole
+		// nanosecond count (-rate 3000 → 333,333ns ≈ 3003 rps) and
+		// compounds that error every tick; computing each deadline from
+		// the start keeps the realized rate within one tick of the target
+		// over any horizon.
+		var ticks int64
 	pace:
 		for ctx.Err() == nil && budgetLeft() {
-			next = next.Add(interval)
+			ticks++
+			next := start.Add(time.Duration(float64(ticks) * float64(time.Second) / cfg.rate))
 			if d := time.Until(next); d > 0 {
 				select {
 				case <-time.After(d):
 				case <-ctx.Done():
+					ticks--
 					break pace
 				}
 			}
@@ -493,6 +517,11 @@ func drive(cfg loadConfig, client *http.Client, reqs map[string][]request) (*rep
 			default:
 				shed.Add(1)
 			}
+		}
+		// Realized arrival rate over the pacing window (before worker
+		// drain), reported next to the target so drift is visible.
+		if paced := time.Since(start); paced > 0 && ticks > 0 {
+			realizedRate = float64(ticks) / paced.Seconds()
 		}
 		close(arrivals)
 		wg.Wait()
@@ -534,16 +563,17 @@ func drive(cfg loadConfig, client *http.Client, reqs map[string][]request) (*rep
 	}
 	completed -= outcomes["shed"]
 	rep := &report{
-		Benchmark:   "ksasimload",
-		Mode:        mode,
-		TargetRate:  cfg.rate,
-		Concurrency: cfg.concurrency,
-		DurationS:   elapsed.Seconds(),
-		Requests:    completed,
-		Latency:     summarize(total.Snapshot()),
-		PerKind:     make(map[string]kindSummary, len(perKind)),
-		Outcomes:    outcomes,
-		Daemon:      deltas,
+		Benchmark:    "ksasimload",
+		Mode:         mode,
+		TargetRate:   cfg.rate,
+		RealizedRate: realizedRate,
+		Concurrency:  cfg.concurrency,
+		DurationS:    elapsed.Seconds(),
+		Requests:     completed,
+		Latency:      summarize(total.Snapshot()),
+		PerKind:      make(map[string]kindSummary, len(perKind)),
+		Outcomes:     outcomes,
+		Daemon:       deltas,
 	}
 	if elapsed > 0 {
 		rep.ThroughputRPS = float64(outcomes["ok"]) / elapsed.Seconds()
@@ -586,7 +616,7 @@ func writeHuman(out io.Writer, rep *report) {
 	fmt.Fprintf(out, "ksasimload: %d requests in %.2fs (%.1f ok rps), mode=%s concurrency=%d",
 		rep.Requests, rep.DurationS, rep.ThroughputRPS, rep.Mode, rep.Concurrency)
 	if rep.Mode == "open" {
-		fmt.Fprintf(out, " target=%.1f rps", rep.TargetRate)
+		fmt.Fprintf(out, " target=%.1f rps realized=%.1f rps", rep.TargetRate, rep.RealizedRate)
 	}
 	fmt.Fprintln(out)
 	l := rep.Latency

@@ -142,3 +142,81 @@ func TestBadFlags(t *testing.T) {
 		t.Errorf("stderr = %q, want ksasimload: prefix", errw.String())
 	}
 }
+
+// TestPickerDegenerateUniverses: the zipf sampler's domain is s > 1 and
+// imax >= 1, and the weighted choice's domain is a nonzero total weight.
+// Single-request and empty universes must route around both rather than
+// panic (regression: an empty kind used to reach rng.IntN(0)).
+func TestPickerDegenerateUniverses(t *testing.T) {
+	// A one-request universe with a skewed zipf exponent: every pick is
+	// the constant entry, no rand.NewZipf construction with imax=0.
+	one := loadConfig{
+		mix:  []kindWeight{{kind: "run", weight: 1}},
+		zipf: 1.2,
+		seed: 1,
+	}
+	p := newPicker(one, map[string][]request{"run": {{kind: "run", path: "/only"}}}, 0)
+	for i := 0; i < 32; i++ {
+		if got := p.next(); got.path != "/only" {
+			t.Fatalf("pick %d = %q, want the single entry", i, got.path)
+		}
+	}
+
+	// A kind whose universe is empty is dropped from the mix; the
+	// surviving kind absorbs every pick.
+	mixed := loadConfig{
+		mix:  []kindWeight{{kind: "check", weight: 9}, {kind: "run", weight: 1}},
+		zipf: 1.2,
+		seed: 1,
+	}
+	p = newPicker(mixed, map[string][]request{
+		"check": nil,
+		"run":   {{kind: "run", path: "/a"}, {kind: "run", path: "/b"}},
+	}, 0)
+	if p.totalWeight != 1 || len(p.mix) != 1 || p.mix[0].kind != "run" {
+		t.Fatalf("empty-universe kind not dropped: mix=%+v total=%d", p.mix, p.totalWeight)
+	}
+	for i := 0; i < 32; i++ {
+		if got := p.next(); got.kind != "run" {
+			t.Fatalf("pick %d drew dropped kind %q", i, got.kind)
+		}
+	}
+}
+
+// TestOpenLoopRealizedRate: the open-loop report carries the arrival
+// rate the pacer actually achieved, and the human header prints it; on
+// an idle in-process daemon a 200 rps target should be realized within
+// a loose factor (the field exists to expose drift, not hide it).
+func TestOpenLoopRealizedRate(t *testing.T) {
+	ts := testDaemon(t)
+	jsonPath := filepath.Join(t.TempDir(), "open.json")
+	var out bytes.Buffer
+	err := cmdRun([]string{
+		"-addr", ts.URL, "-rate", "200", "-duration", "500ms",
+		"-concurrency", "4", "-universe", "4", "-mix", "run=1",
+		"-json", jsonPath,
+	}, &out)
+	if err != nil {
+		t.Fatalf("cmdRun: %v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "realized=") {
+		t.Errorf("human output missing realized rate:\n%s", out.String())
+	}
+	b, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatalf("reading report: %v", err)
+	}
+	var rep report
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatalf("report not JSON: %v\n%s", err, b)
+	}
+	if rep.RealizedRate <= 0 {
+		t.Fatalf("realized_rate_rps = %v, want > 0", rep.RealizedRate)
+	}
+	// Absolute-offset scheduling keeps long-run drift at zero; allow wide
+	// slack for CI jitter but catch the old compounding-interval bug,
+	// which undershot badly at coarse timer granularities.
+	if rep.RealizedRate < 100 || rep.RealizedRate > 400 {
+		t.Errorf("realized rate %.1f rps drifted far from 200 rps target", rep.RealizedRate)
+	}
+}

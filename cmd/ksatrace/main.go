@@ -1,0 +1,259 @@
+// Command ksatrace converts and inspects trace streams in the two wire
+// formats: binary ksatrace (wire format v1, the compact transport) and
+// JSONL (the human-debuggable view). The two are informationally
+// identical; convert moves between them streaming, so traces of any
+// length fit in constant memory.
+//
+// Usage:
+//
+//	ksatrace convert -to binary in.jsonl out.ktr   # JSONL → binary
+//	ksatrace convert -to jsonl  in.ktr   out.jsonl # binary → JSONL
+//	ksatrace inspect in.ktr                        # header + step stats
+//	ksatrace cat in.ktr                            # steps as JSONL on stdout
+//
+// "-" stands for stdin/stdout in every file position. Input format is
+// auto-detected (the binary magic against a JSON object), so convert
+// also normalizes: converting a stream to its own format re-encodes it
+// canonically.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"nobroadcast/internal/model"
+	"nobroadcast/internal/trace"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run maps the command body to a process exit code (1 = tool error,
+// including truncated or corrupt inputs).
+func run(args []string, out, errw io.Writer) int {
+	if err := cmdRun(args, out); err != nil {
+		fmt.Fprintln(errw, "ksatrace:", err)
+		return 1
+	}
+	return 0
+}
+
+func cmdRun(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return errors.New("usage: ksatrace convert|inspect|cat [flags] files...")
+	}
+	switch args[0] {
+	case "convert":
+		return cmdConvert(args[1:], out)
+	case "inspect":
+		return cmdInspect(args[1:], out)
+	case "cat":
+		return cmdCat(args[1:], out)
+	default:
+		return fmt.Errorf("unknown subcommand %q (want convert, inspect, or cat)", args[0])
+	}
+}
+
+// openIn resolves a file argument ("-" = stdin) to a reader.
+func openIn(name string) (io.Reader, func() error, error) {
+	if name == "-" {
+		return os.Stdin, func() error { return nil }, nil
+	}
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, f.Close, nil
+}
+
+// openOut resolves a file argument ("-" = the command's stdout writer).
+func openOut(name string, out io.Writer) (io.Writer, func() error, error) {
+	if name == "-" {
+		return out, func() error { return nil }, nil
+	}
+	f, err := os.Create(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, f.Close, nil
+}
+
+// cmdConvert streams a trace from one wire format to the other: read
+// side auto-detected, write side selected by -to. Steps flow reader →
+// writer one at a time; the whole trace is never resident.
+func cmdConvert(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("convert", flag.ContinueOnError)
+	to := fs.String("to", "binary", "output format: binary or jsonl")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *to != "binary" && *to != "jsonl" {
+		return fmt.Errorf("-to %q: want binary or jsonl", *to)
+	}
+	if fs.NArg() != 2 {
+		return errors.New("usage: ksatrace convert [-to binary|jsonl] IN OUT (use - for stdin/stdout)")
+	}
+	in, closeIn, err := openIn(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer closeIn()
+	dst, closeOut, err := openOut(fs.Arg(1), out)
+	if err != nil {
+		return err
+	}
+
+	sr, err := trace.NewAnyReader(in)
+	if err != nil {
+		closeOut()
+		return err
+	}
+	hdr := sr.Header()
+
+	var sink trace.Sink
+	var finish func() error
+	if *to == "binary" {
+		bw, err := trace.NewBinaryWriter(dst, hdr)
+		if err != nil {
+			closeOut()
+			return err
+		}
+		sink, finish = bw, bw.Close
+	} else {
+		jw, err := newJSONLWriter(dst, hdr)
+		if err != nil {
+			closeOut()
+			return err
+		}
+		sink, finish = jw, jw.Close
+	}
+	for {
+		s, err := sr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			closeOut()
+			return err
+		}
+		sink.Step(s)
+	}
+	if err := finish(); err != nil {
+		closeOut()
+		return err
+	}
+	return closeOut()
+}
+
+// jsonlWriter is the streaming JSONL counterpart of trace.BinaryWriter:
+// header line up front, one step line per Step call, sticky errors.
+type jsonlWriter struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+func newJSONLWriter(w io.Writer, hdr trace.StreamHeader) (*jsonlWriter, error) {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(hdr); err != nil {
+		return nil, fmt.Errorf("encode jsonl header: %w", err)
+	}
+	return &jsonlWriter{bw: bw, enc: enc}, nil
+}
+
+func (w *jsonlWriter) Step(s model.Step) {
+	if w.err != nil {
+		return
+	}
+	w.err = w.enc.Encode(&s)
+}
+
+func (w *jsonlWriter) Close() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.bw.Flush()
+}
+
+// cmdInspect prints a stream's header and per-kind step histogram — and,
+// because it decodes every step, doubles as an integrity check:
+// truncated or corrupt streams fail here with the decoder's error.
+func cmdInspect(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("inspect", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return errors.New("usage: ksatrace inspect FILE (use - for stdin)")
+	}
+	in, closeIn, err := openIn(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer closeIn()
+
+	sr, err := trace.NewAnyReader(in)
+	if err != nil {
+		return err
+	}
+	hdr := sr.Header()
+	format := "jsonl"
+	if _, ok := sr.(*trace.BinaryReader); ok {
+		format = "binary"
+	}
+	fmt.Fprintf(out, "format:   %s\n", format)
+	fmt.Fprintf(out, "name:     %q\n", hdr.Name)
+	fmt.Fprintf(out, "n:        %d\n", hdr.N)
+	fmt.Fprintf(out, "complete: %v\n", hdr.Complete)
+	if hdr.Steps >= 0 {
+		fmt.Fprintf(out, "declared: %d steps\n", hdr.Steps)
+	}
+
+	kinds := make(map[model.StepKind]int)
+	procs := make(map[model.ProcID]bool)
+	steps := 0
+	for {
+		s, err := sr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		kinds[s.Kind]++
+		procs[s.Proc] = true
+		steps++
+	}
+	fmt.Fprintf(out, "steps:    %d (%d processes active)\n", steps, len(procs))
+	ordered := make([]model.StepKind, 0, len(kinds))
+	for k := range kinds {
+		ordered = append(ordered, k)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
+	for _, k := range ordered {
+		fmt.Fprintf(out, "  %-18s %d\n", k.String(), kinds[k])
+	}
+	return nil
+}
+
+// cmdCat streams a trace of either format to stdout as JSONL — the
+// quickest debug view of a binary stream.
+func cmdCat(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("cat", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return errors.New("usage: ksatrace cat FILE (use - for stdin)")
+	}
+	return cmdConvert([]string{"-to", "jsonl", fs.Arg(0), "-"}, out)
+}

@@ -1,0 +1,195 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nobroadcast/internal/model"
+	"nobroadcast/internal/trace"
+)
+
+// fixture writes a small trace to dir in both formats and returns the
+// two paths plus the trace itself.
+func fixture(t *testing.T, dir string) (jsonlPath, binPath string, tr *trace.Trace) {
+	t.Helper()
+	x := model.NewExecution(2)
+	x.Append(
+		model.Step{Proc: 1, Kind: model.KindBroadcastInvoke, Msg: 1, Payload: "<p>&q"},
+		model.Step{Proc: 1, Kind: model.KindBroadcastReturn, Msg: 1},
+		model.Step{Proc: 2, Kind: model.KindDeliver, Peer: 1, Msg: 1, Payload: "<p>&q"},
+		model.Step{Proc: 2, Kind: model.KindDecide, Obj: 1, Val: "v"},
+	)
+	tr = trace.New(x)
+	tr.Complete = true
+	tr.Name = "fixture"
+
+	var jsonl, bin bytes.Buffer
+	if err := tr.EncodeJSONL(&jsonl); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.EncodeBinary(&bin); err != nil {
+		t.Fatal(err)
+	}
+	jsonlPath = filepath.Join(dir, "t.jsonl")
+	binPath = filepath.Join(dir, "t.ktr")
+	if err := os.WriteFile(jsonlPath, jsonl.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(binPath, bin.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return jsonlPath, binPath, tr
+}
+
+// TestConvertRoundTrip: converting JSONL → binary → JSONL reproduces the
+// canonical encodings byte for byte (modulo the binary header's step
+// count: a streaming convert cannot know the total up front, so the
+// JSONL-sourced binary differs from EncodeBinary only there and the
+// decoded traces are compared instead).
+func TestConvertRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	jsonlPath, binPath, tr := fixture(t, dir)
+
+	// JSONL → binary.
+	outBin := filepath.Join(dir, "out.ktr")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"convert", "-to", "binary", jsonlPath, outBin}, &stdout, &stderr); code != 0 {
+		t.Fatalf("convert to binary failed: %s", stderr.String())
+	}
+	f, err := os.Open(outBin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := trace.DecodeBinary(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.X.Len() != tr.X.Len() || got.Name != tr.Name || got.Complete != tr.Complete {
+		t.Fatalf("converted binary trace mismatch: %d steps %q", got.X.Len(), got.Name)
+	}
+	for i := range got.X.Steps {
+		if got.X.Steps[i] != tr.X.Steps[i] {
+			t.Fatalf("step %d mismatch after convert: %+v vs %+v", i, got.X.Steps[i], tr.X.Steps[i])
+		}
+	}
+
+	// binary → JSONL lands byte-identically on the canonical JSONL.
+	outJSONL := filepath.Join(dir, "out.jsonl")
+	if code := run([]string{"convert", "-to", "jsonl", binPath, outJSONL}, &stdout, &stderr); code != 0 {
+		t.Fatalf("convert to jsonl failed: %s", stderr.String())
+	}
+	want, err := os.ReadFile(jsonlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotBytes, err := os.ReadFile(outJSONL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotBytes, want) {
+		t.Fatalf("binary → jsonl not byte-identical:\n%s\nvs\n%s", gotBytes, want)
+	}
+}
+
+// TestConvertStdinStdout: "-" works in both file positions.
+func TestConvertStdinStdout(t *testing.T) {
+	dir := t.TempDir()
+	_, binPath, tr := fixture(t, dir)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"convert", "-to", "jsonl", binPath, "-"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("convert to stdout failed: %s", stderr.String())
+	}
+	got, err := trace.DecodeJSONL(bytes.NewReader(stdout.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.X.Len() != tr.X.Len() {
+		t.Fatalf("stdout convert has %d steps, want %d", got.X.Len(), tr.X.Len())
+	}
+}
+
+// TestInspect: header fields, step totals, and the per-kind histogram.
+func TestInspect(t *testing.T) {
+	dir := t.TempDir()
+	jsonlPath, binPath, _ := fixture(t, dir)
+	for path, format := range map[string]string{binPath: "binary", jsonlPath: "jsonl"} {
+		var stdout, stderr bytes.Buffer
+		if code := run([]string{"inspect", path}, &stdout, &stderr); code != 0 {
+			t.Fatalf("inspect %s failed: %s", path, stderr.String())
+		}
+		out := stdout.String()
+		for _, want := range []string{
+			"format:   " + format,
+			`name:     "fixture"`,
+			"n:        2",
+			"complete: true",
+			"steps:    4 (2 processes active)",
+			"deliver",
+		} {
+			if !strings.Contains(out, want) {
+				t.Errorf("inspect %s output missing %q:\n%s", format, want, out)
+			}
+		}
+	}
+}
+
+// TestInspectDetectsTruncation: inspect decodes every step, so a cut
+// binary stream fails loudly instead of printing a partial histogram.
+func TestInspectDetectsTruncation(t *testing.T) {
+	dir := t.TempDir()
+	_, binPath, _ := fixture(t, dir)
+	whole, err := os.ReadFile(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cutPath := filepath.Join(dir, "cut.ktr")
+	if err := os.WriteFile(cutPath, whole[:len(whole)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"inspect", cutPath}, &stdout, &stderr); code == 0 {
+		t.Fatal("inspect accepted a truncated stream")
+	}
+	if !strings.Contains(stderr.String(), "truncated") {
+		t.Fatalf("inspect error = %q, want mention of truncation", stderr.String())
+	}
+}
+
+// TestCat: cat emits the JSONL view of a binary stream.
+func TestCat(t *testing.T) {
+	dir := t.TempDir()
+	jsonlPath, binPath, _ := fixture(t, dir)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"cat", binPath}, &stdout, &stderr); code != 0 {
+		t.Fatalf("cat failed: %s", stderr.String())
+	}
+	want, err := os.ReadFile(jsonlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(stdout.Bytes(), want) {
+		t.Fatalf("cat output differs from canonical JSONL:\n%s\nvs\n%s", stdout.Bytes(), want)
+	}
+}
+
+// TestUsageErrors: bad subcommands and flag values are exit code 1 with
+// a usage message, not panics.
+func TestUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{},
+		{"frobnicate"},
+		{"convert", "-to", "xml", "a", "b"},
+		{"convert", "only-one-file"},
+		{"inspect"},
+		{"cat"},
+	} {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code == 0 {
+			t.Errorf("args %v: expected failure", args)
+		}
+	}
+}

@@ -25,6 +25,11 @@ type StepBuffer struct {
 // traces don't overcommit.
 const chunkSize = 1024
 
+// ChunkSteps exposes the chunk size so downstream encoders (the binary
+// trace wire format blocks its steps identically) can align their block
+// boundaries with the buffer's chunk boundaries.
+const ChunkSteps = chunkSize
+
 // Append adds one step at the end of the buffer.
 func (b *StepBuffer) Append(s Step) {
 	last := len(b.chunks) - 1

@@ -35,13 +35,14 @@ type recorder struct {
 	keep    bool
 	n       int
 	mon     *spec.Monitor // nil without live specs
+	sink    trace.Sink    // nil without a streaming tee
 	steps   int
 	liveV   *spec.Violation
 	liveIdx int
 }
 
-func newRecorder(n int, keep bool, specs []spec.Spec) *recorder {
-	r := &recorder{liveIdx: -1, keep: keep, n: n}
+func newRecorder(n int, keep bool, specs []spec.Spec, sink trace.Sink) *recorder {
+	r := &recorder{liveIdx: -1, keep: keep, n: n, sink: sink}
 	if len(specs) > 0 {
 		r.mon = spec.NewMonitor(n, specs...)
 	}
@@ -65,6 +66,9 @@ func (r *recorder) record(s model.Step) {
 			r.liveV = v
 			r.liveIdx = idx
 		}
+	}
+	if r.sink != nil {
+		r.sink.Step(s)
 	}
 	r.mu.Unlock()
 }

@@ -33,6 +33,7 @@ import (
 	"nobroadcast/internal/model"
 	"nobroadcast/internal/obs"
 	"nobroadcast/internal/spec"
+	"nobroadcast/internal/trace"
 )
 
 // Automaton is a deterministic reactive process implementing a broadcast
@@ -242,6 +243,12 @@ type Config struct {
 	// violating step (see LiveViolationError); the verdicts are available
 	// through LiveMonitor whether or not a violation occurred.
 	LiveSpecs []spec.Spec
+	// Sink, when non-nil, receives every recorded step the moment it is
+	// appended — a live tee for streaming consumers, typically a
+	// trace.BinaryWriter persisting the run in wire format v1 without the
+	// step log ever being materialized twice. Called synchronously on the
+	// recording path; a slow sink slows the run.
+	Sink trace.Sink
 }
 
 // DefaultAppObject is the object id used to record app-level (implemented)
@@ -342,7 +349,8 @@ func (r *Runtime) StepCount() int { return r.buf.Len() }
 
 // record appends a step to the execution and counts it. With live specs
 // configured, the step is also fed to their incremental checkers, and the
-// first overall violation is latched together with its step index.
+// first overall violation is latched together with its step index. A
+// configured Sink observes the step last, after it is durably buffered.
 func (r *Runtime) record(s model.Step) {
 	idx := r.buf.Len()
 	r.buf.Append(s)
@@ -352,6 +360,9 @@ func (r *Runtime) record(s model.Step) {
 			r.liveV = v
 			r.liveIdx = idx
 		}
+	}
+	if r.cfg.Sink != nil {
+		r.cfg.Sink.Step(s)
 	}
 }
 

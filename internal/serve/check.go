@@ -9,6 +9,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"nobroadcast/internal/spec"
@@ -26,10 +27,13 @@ type checkVerdict struct {
 	LatchedStep int    `json:"latched_step"`
 }
 
-// handleCheck serves POST /v1/check?spec=all&k=2: the uploaded JSONL
-// trace is streamed through the selected online checkers — only checker
-// state is resident, never the trace — and the response is JSONL: a
-// header echo, one verdict line per spec, and a summary line. Checks are
+// handleCheck serves POST /v1/check?spec=all&k=2: the uploaded trace is
+// streamed through the selected online checkers — only checker state is
+// resident, never the trace — and the response is JSONL: a header echo,
+// one verdict line per spec, and a summary line. The upload format is
+// negotiated by Content-Type: application/x-ksatrace is decoded as wire
+// format v1 (the fast path), anything else is sniffed, so both binary
+// and JSONL bodies work with or without the header. Checks are
 // admission-controlled managed jobs like runs, but uncached: the input
 // arrives in the request body, so there is no parameter hash to key a
 // cache by.
@@ -92,7 +96,7 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	execStart := time.Now()
 	out, err := s.execute(ctx, 0, func(ctx context.Context) (jobOutput, error) {
-		return s.runCheck(ctx, specName, k, r.Body)
+		return s.runCheck(ctx, specName, k, r.Header.Get("Content-Type"), r.Body)
 	})
 	s.execUS.Observe(time.Since(execStart).Microseconds())
 	jsp.End()
@@ -116,14 +120,22 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 }
 
 // runCheck streams one uploaded trace through the selected checkers,
-// accounting the JSONL decode time (NewStepReader header parse plus
-// every Next call) to serve.check_decode_us — on large uploads decode
-// dominates the check, and the histogram makes that visible.
-func (s *Server) runCheck(ctx context.Context, specName string, k int, body io.Reader) (jobOutput, error) {
+// accounting the decode time (header parse plus every Next call) to
+// serve.check_decode_us — on large JSONL uploads decode dominates the
+// check, which is why the binary format exists; the histogram makes the
+// difference visible. An explicit application/x-ksatrace Content-Type
+// selects the binary reader outright; otherwise the format is sniffed.
+func (s *Server) runCheck(ctx context.Context, specName string, k int, contentType string, body io.Reader) (jobOutput, error) {
 	var decodeNS int64
 	defer func() { s.decodeUS.Observe(decodeNS / 1e3) }()
 	decodeStart := time.Now()
-	sr, err := trace.NewStepReader(body)
+	var sr trace.Reader
+	var err error
+	if strings.HasPrefix(contentType, trace.ContentTypeBinary) {
+		sr, err = trace.NewBinaryReader(body)
+	} else {
+		sr, err = trace.NewAnyReader(body)
+	}
 	decodeNS += time.Since(decodeStart).Nanoseconds()
 	if err != nil {
 		return jobOutput{}, err

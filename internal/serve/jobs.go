@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strings"
 
 	"nobroadcast/internal/sweep"
 	"nobroadcast/internal/trace"
@@ -184,10 +185,12 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleJobTrace serves GET /v1/jobs/{id}/trace: the recorded execution
-// as a streaming JSONL download (EncodeJSONL), never materialized as one
-// response buffer. A still-running job answers immediately — pinning the
-// connection for up to another full JobTimeout would stretch drains and
-// tie up sockets — and the client polls.
+// as a streaming download, never materialized as one response buffer.
+// The format is negotiated by Accept: application/x-ksatrace selects
+// wire format v1 (a .ktr attachment, typically 5-10× smaller), anything
+// else gets the JSONL debug view. A still-running job answers
+// immediately — pinning the connection for up to another full JobTimeout
+// would stretch drains and tie up sockets — and the client polls.
 func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.snapshot(r.PathValue("id"))
 	if !ok {
@@ -203,7 +206,15 @@ func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "job recorded no trace")
 		return
 	}
-	w.Header().Set("Content-Type", "application/x-ndjson; charset=utf-8")
+	if strings.Contains(r.Header.Get("Accept"), trace.ContentTypeBinary) {
+		w.Header().Set("Content-Type", trace.ContentTypeBinary)
+		w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", j.ID+".ktr"))
+		// Encode errors past the header mean the client hung up; the
+		// connection is all there is to drop.
+		j.Trace.EncodeBinary(w)
+		return
+	}
+	w.Header().Set("Content-Type", trace.ContentTypeJSONL+"; charset=utf-8")
 	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", j.ID+".jsonl"))
 	if err := j.Trace.EncodeJSONL(w); err != nil {
 		// Headers are gone; nothing to do but drop the connection.

@@ -26,9 +26,11 @@
 //
 //	POST /v1/run            workload simulation on either runtime
 //	POST /v1/adversary      Algorithm 1 construction, β projection summary
-//	POST /v1/check          upload a JSONL trace, per-spec verdicts (streamed checking)
+//	POST /v1/check          upload a trace (binary ksatrace or JSONL, by
+//	                        Content-Type), per-spec verdicts (streamed checking)
 //	GET  /v1/jobs/{id}      job status and result
-//	GET  /v1/jobs/{id}/trace  streaming JSONL trace download
+//	GET  /v1/jobs/{id}/trace  streaming trace download (binary ksatrace or
+//	                          JSONL, by Accept)
 //	GET  /metrics, /vars, /   observability views (internal/obs)
 //	GET  /healthz           liveness/drain status
 package serve

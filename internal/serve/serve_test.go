@@ -677,3 +677,126 @@ func TestCacheEviction(t *testing.T) {
 		t.Fatalf("job index holds %d records, want 2 (evictions must release them)", jobs)
 	}
 }
+
+// sampleBinary renders the sample trace in wire format v1.
+func sampleBinary(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := sampleTrace(t).EncodeBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestCheckBinaryUpload: the same trace uploaded in wire format v1 —
+// with the explicit Content-Type or sniffed without one — produces a
+// check document identical to its JSONL upload, and a truncated binary
+// upload is the same 400 "truncated upload" the JSONL path answers.
+func TestCheckBinaryUpload(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	url := ts.URL + "/v1/check?spec=all&k=2"
+
+	resp, jsonlBody := postJSON(t, url, string(sampleJSONL(t)))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("jsonl check: status %d, body %s", resp.StatusCode, jsonlBody)
+	}
+
+	bin := sampleBinary(t)
+	for _, ct := range []string{trace.ContentTypeBinary, ""} {
+		req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(bin))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ct != "" {
+			req.Header.Set("Content-Type", ct)
+		}
+		bresp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		binBody, err := io.ReadAll(bresp.Body)
+		bresp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bresp.StatusCode != http.StatusOK {
+			t.Fatalf("binary check (ct=%q): status %d, body %s", ct, bresp.StatusCode, binBody)
+		}
+		if !bytes.Equal(binBody, jsonlBody) {
+			t.Fatalf("binary check (ct=%q) body differs from jsonl upload:\n%s\nvs\n%s", ct, binBody, jsonlBody)
+		}
+	}
+
+	// A cut binary upload is detected as truncation, not a parse error.
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/check?spec=well-formed", bytes.NewReader(bin[:len(bin)-5]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", trace.ContentTypeBinary)
+	tresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbody, _ := io.ReadAll(tresp.Body)
+	tresp.Body.Close()
+	if tresp.StatusCode != http.StatusBadRequest || !strings.Contains(string(tbody), "truncated upload") {
+		t.Fatalf("truncated binary check: status %d, body %s", tresp.StatusCode, tbody)
+	}
+}
+
+// TestJobTraceBinaryDownload: Accept: application/x-ksatrace on the
+// trace endpoint streams wire format v1 (a .ktr attachment) carrying
+// exactly the execution the default JSONL download carries.
+func TestJobTraceBinaryDownload(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	resp, body := postJSON(t, ts.URL+"/v1/adversary", `{"candidate":"first-k","k":2,"n":2}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("adversary: status %d, body %s", resp.StatusCode, body)
+	}
+	id := resp.Header.Get("X-Job-Id")
+
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/v1/jobs/"+id+"/trace", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", trace.ContentTypeBinary)
+	bresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bresp.Body.Close()
+	if bresp.StatusCode != http.StatusOK {
+		t.Fatalf("binary trace download: status %d", bresp.StatusCode)
+	}
+	if got := bresp.Header.Get("Content-Type"); got != trace.ContentTypeBinary {
+		t.Fatalf("binary download Content-Type = %q", got)
+	}
+	if got := bresp.Header.Get("Content-Disposition"); !strings.Contains(got, ".ktr") {
+		t.Fatalf("binary download Content-Disposition = %q, want a .ktr attachment", got)
+	}
+	fromBin, err := trace.DecodeBinary(bresp.Body)
+	if err != nil {
+		t.Fatalf("decoding binary download: %v", err)
+	}
+
+	jresp, jbody := getBody(t, ts.URL+"/v1/jobs/"+id+"/trace")
+	if jresp.StatusCode != http.StatusOK {
+		t.Fatalf("jsonl trace download: status %d", jresp.StatusCode)
+	}
+	if got := jresp.Header.Get("Content-Disposition"); !strings.Contains(got, ".jsonl") {
+		t.Fatalf("jsonl download Content-Disposition = %q", got)
+	}
+	fromJSONL, err := trace.DecodeJSONL(bytes.NewReader(jbody))
+	if err != nil {
+		t.Fatalf("decoding jsonl download: %v", err)
+	}
+	if len(fromBin.X.Steps) != len(fromJSONL.X.Steps) || fromBin.X.N != fromJSONL.X.N {
+		t.Fatalf("downloads disagree: %d/%d steps, N %d/%d",
+			len(fromBin.X.Steps), len(fromJSONL.X.Steps), fromBin.X.N, fromJSONL.X.N)
+	}
+	for i := range fromBin.X.Steps {
+		if fromBin.X.Steps[i] != fromJSONL.X.Steps[i] {
+			t.Fatalf("step %d differs between formats: %+v vs %+v", i, fromBin.X.Steps[i], fromJSONL.X.Steps[i])
+		}
+	}
+}

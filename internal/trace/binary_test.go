@@ -1,0 +1,459 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"strings"
+	"testing"
+
+	"nobroadcast/internal/model"
+)
+
+// randTrace builds a seeded pseudo-random trace exercising every step
+// kind, optional-field combination, repeated and awkward payloads
+// (including the HTML-escape characters and empty-vs-absent strings),
+// and negative batch ids. Shared with the fuzz and property tests.
+func randTrace(seed uint64, n, steps int) *Trace {
+	rng := rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15))
+	payloads := []model.Payload{"a", "b", "<tag>&amp;", "répété", "", "x\n\"y\"", model.Payload("long-" + strings.Repeat("z", 100))}
+	kinds := []model.StepKind{
+		model.KindBroadcastInvoke, model.KindBroadcastReturn, model.KindDeliver,
+		model.KindSend, model.KindReceive, model.KindPropose, model.KindDecide,
+		model.KindCrash, model.KindInternal,
+	}
+	x := model.NewExecution(n)
+	for i := 0; i < steps; i++ {
+		s := model.Step{
+			Proc: model.ProcID(rng.IntN(n) + 1),
+			Kind: kinds[rng.IntN(len(kinds))],
+		}
+		if rng.IntN(2) == 0 {
+			s.Peer = model.ProcID(rng.IntN(n) + 1)
+		}
+		if rng.IntN(2) == 0 {
+			s.Msg = model.MsgID(rng.Int64N(1 << 40))
+		}
+		if rng.IntN(2) == 0 {
+			s.Payload = payloads[rng.IntN(len(payloads))]
+		}
+		if rng.IntN(4) == 0 {
+			s.Obj = model.KSAID(rng.IntN(8))
+		}
+		if rng.IntN(4) == 0 {
+			s.Val = model.Value(payloads[rng.IntN(len(payloads))])
+		}
+		if rng.IntN(8) == 0 {
+			s.Note = "note-" + string(payloads[rng.IntN(len(payloads))])
+		}
+		if rng.IntN(8) == 0 {
+			s.Batch = rng.Int64N(1<<50) - 1<<49 // negative batches too
+		}
+		x.Append(s)
+	}
+	tr := New(x)
+	tr.Complete = rng.IntN(2) == 0
+	tr.Name = fmt.Sprintf("rand-%d", seed)
+	return tr
+}
+
+func sameTrace(t *testing.T, got, want *Trace) {
+	t.Helper()
+	if got.Name != want.Name || got.Complete != want.Complete || got.X.N != want.X.N {
+		t.Fatalf("header mismatch: %q/%v/%d vs %q/%v/%d",
+			got.Name, got.Complete, got.X.N, want.Name, want.Complete, want.X.N)
+	}
+	if len(got.X.Steps) != len(want.X.Steps) {
+		t.Fatalf("step count mismatch: %d vs %d", len(got.X.Steps), len(want.X.Steps))
+	}
+	for i := range got.X.Steps {
+		if got.X.Steps[i] != want.X.Steps[i] {
+			t.Fatalf("step %d mismatch:\n got %+v\nwant %+v", i, got.X.Steps[i], want.X.Steps[i])
+		}
+	}
+}
+
+// TestBinaryRoundTrip: EncodeBinary → DecodeBinary is the identity, on
+// the sample fixture and on multi-block random traces covering every
+// kind and field combination.
+func TestBinaryRoundTrip(t *testing.T) {
+	traces := []*Trace{
+		sample(),
+		randTrace(1, 3, 7),
+		randTrace(2, 5, BlockSteps),     // exactly one full block
+		randTrace(3, 4, BlockSteps+1),   // block boundary + 1
+		randTrace(4, 6, 3*BlockSteps+9), // several blocks + partial tail
+	}
+	for _, tr := range traces {
+		var buf bytes.Buffer
+		if err := tr.EncodeBinary(&buf); err != nil {
+			t.Fatalf("%s: %v", tr.Name, err)
+		}
+		got, err := DecodeBinary(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: %v", tr.Name, err)
+		}
+		sameTrace(t, got, tr)
+	}
+}
+
+// TestBinaryInterning: repeated payloads cost a 1–2 byte reference, so a
+// payload-repeating trace is dramatically smaller than its JSONL view.
+func TestBinaryInterning(t *testing.T) {
+	x := model.NewExecution(3)
+	for i := 0; i < 2000; i++ {
+		x.Append(model.Step{
+			Proc: model.ProcID(i%3 + 1), Kind: model.KindDeliver,
+			Peer: 1, Msg: model.MsgID(i % 5), Payload: "the-same-longish-payload-every-time",
+		})
+	}
+	tr := New(x)
+	var bin, jsonl bytes.Buffer
+	if err := tr.EncodeBinary(&bin); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.EncodeJSONL(&jsonl); err != nil {
+		t.Fatal(err)
+	}
+	if bin.Len()*5 > jsonl.Len() {
+		t.Fatalf("binary %d bytes vs jsonl %d: expected ≥5× compression on repeated payloads", bin.Len(), jsonl.Len())
+	}
+	got, err := DecodeBinary(&bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameTrace(t, got, tr)
+}
+
+// TestBinaryHeaderSteps: EncodeBinary stamps the exact step count into
+// the header; a streaming BinaryWriter with an unknown total writes
+// Steps = -1 and the reader reports it as such.
+func TestBinaryHeaderSteps(t *testing.T) {
+	tr := sample()
+	var buf bytes.Buffer
+	if err := tr.EncodeBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	br, err := NewBinaryReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := br.Header().Steps; got != tr.X.Len() {
+		t.Fatalf("header Steps = %d, want %d", got, tr.X.Len())
+	}
+
+	// Streaming writer: total unknown up front.
+	buf.Reset()
+	bw, err := NewBinaryWriter(&buf, StreamHeader{N: 2, Complete: true, Name: "live", Steps: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tr.X.Steps {
+		bw.Step(tr.X.Steps[i])
+	}
+	if err := bw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	br, err = NewBinaryReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := br.Header().Steps; got != -1 {
+		t.Fatalf("streaming header Steps = %d, want -1", got)
+	}
+	n := 0
+	for {
+		if _, err := br.Next(); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n != tr.X.Len() {
+		t.Fatalf("read %d steps, want %d", n, tr.X.Len())
+	}
+}
+
+// TestBinaryWriterCountMismatch: a header that promised a step count is
+// cross-checked at Close.
+func TestBinaryWriterCountMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	bw, err := NewBinaryWriter(&buf, StreamHeader{N: 2, Steps: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw.Step(model.Step{Proc: 1, Kind: model.KindInternal})
+	if err := bw.Close(); err == nil || !strings.Contains(err.Error(), "promised 5") {
+		t.Fatalf("Close after count mismatch = %v, want promised-count error", err)
+	}
+}
+
+// TestBinaryWriterStepAfterClose: stepping a closed writer is a sticky
+// error, not silent data loss.
+func TestBinaryWriterStepAfterClose(t *testing.T) {
+	var buf bytes.Buffer
+	bw, err := NewBinaryWriter(&buf, StreamHeader{N: 1, Steps: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	bw.Step(model.Step{Proc: 1, Kind: model.KindInternal})
+	if bw.Err() == nil {
+		t.Fatal("Step after Close left no error")
+	}
+}
+
+// TestBinaryTruncation: EVERY strict prefix of a valid stream fails with
+// an error wrapping ErrTruncated — cuts inside the magic, the header, a
+// block, at a block boundary, and just before the end marker all count.
+func TestBinaryTruncation(t *testing.T) {
+	tr := randTrace(7, 3, BlockSteps+17) // spans a block boundary
+	var buf bytes.Buffer
+	if err := tr.EncodeBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+	for cut := 0; cut < len(whole); cut++ {
+		_, err := DecodeBinary(bytes.NewReader(whole[:cut]))
+		if err == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded without error", cut, len(whole))
+		}
+		if !errors.Is(err, ErrTruncated) {
+			t.Fatalf("prefix of %d/%d bytes: %v, want ErrTruncated", cut, len(whole), err)
+		}
+	}
+	// The whole stream still decodes.
+	if _, err := DecodeBinary(bytes.NewReader(whole)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBinaryTruncationUnknownCount: even without a header step count, a
+// stream cut at a block boundary (missing only the end marker) is
+// detected as truncated.
+func TestBinaryTruncationUnknownCount(t *testing.T) {
+	var buf bytes.Buffer
+	bw, err := NewBinaryWriter(&buf, StreamHeader{N: 2, Steps: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < BlockSteps; i++ { // exactly one full block, flushed by Step
+		bw.Step(model.Step{Proc: 1, Kind: model.KindInternal})
+	}
+	if err := bw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+	cut := whole[:len(whole)-1] // drop exactly the end marker
+	_, err = DecodeBinary(bytes.NewReader(cut))
+	if !errors.Is(err, ErrTruncated) {
+		t.Fatalf("stream missing only the end marker: %v, want ErrTruncated", err)
+	}
+}
+
+// TestBinaryCorruptNotTruncated: complete-but-wrong inputs are reported
+// as corruption, never as ErrTruncated.
+func TestBinaryCorruptNotTruncated(t *testing.T) {
+	tr := sample()
+	var buf bytes.Buffer
+	if err := tr.EncodeBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+
+	// A stream carrying a step with an invalid kind: the writer does not
+	// validate kinds, so it can produce one for the reader to reject.
+	var badKind bytes.Buffer
+	bw, err := NewBinaryWriter(&badKind, StreamHeader{N: 2, Steps: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw.Step(model.Step{Proc: 1, Kind: model.StepKind(99)})
+	if err := bw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := map[string][]byte{
+		"bad magic":         append([]byte("NOTKSATR"), whole[8:]...),
+		"invalid step kind": badKind.Bytes(),
+	}
+	for name, in := range cases {
+		_, err := DecodeBinary(bytes.NewReader(in))
+		if err == nil {
+			t.Fatalf("%s: decoded without error", name)
+		}
+		if errors.Is(err, ErrTruncated) {
+			t.Fatalf("%s: reported as truncation: %v", name, err)
+		}
+	}
+}
+
+// TestBinaryCorruptOverpromise: a stream whose header under-promises
+// (more steps arrive than the count) is corruption; one that
+// over-promises (fewer arrive before the end marker) is truncation —
+// whole blocks were dropped even though the marker survived.
+func TestBinaryCorruptOverpromise(t *testing.T) {
+	encode := func(promised, actual int) []byte {
+		// Close would catch the mismatch, so write the tail by hand: a real
+		// writer emits the lying header and the steps, then we flush and
+		// append the end marker ourselves.
+		var buf bytes.Buffer
+		bw, err := NewBinaryWriter(&buf, StreamHeader{N: 2, Steps: promised})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < actual; i++ {
+			bw.Step(model.Step{Proc: 1, Kind: model.KindInternal})
+		}
+		bw.flushBlock()
+		bw.w.WriteByte(0)
+		bw.w.Flush()
+		return buf.Bytes()
+	}
+
+	if _, err := DecodeBinary(bytes.NewReader(encode(1, 3))); err == nil || errors.Is(err, ErrTruncated) {
+		t.Fatalf("under-promised count: %v, want corruption error", err)
+	}
+	if _, err := DecodeBinary(bytes.NewReader(encode(5, 3))); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("over-promised count: %v, want ErrTruncated", err)
+	}
+}
+
+// TestBinaryReaderHardeningBounds: adversarial length fields fail as
+// corruption before any oversized allocation happens.
+func TestBinaryReaderHardeningBounds(t *testing.T) {
+	// Giant header length.
+	in := append([]byte(wireMagic), 0xff, 0xff, 0xff, 0xff, 0x7f)
+	if _, err := NewBinaryReader(bytes.NewReader(in)); err == nil || errors.Is(err, ErrTruncated) {
+		t.Fatalf("giant header length: %v, want corruption error", err)
+	}
+
+	// Valid header, then a giant block length.
+	var buf bytes.Buffer
+	bw, err := NewBinaryWriter(&buf, StreamHeader{N: 2, Steps: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	in = append(bytes.Clone(good[:len(good)-1]), 0xff, 0xff, 0xff, 0xff, 0x7f)
+	br, err := NewBinaryReader(bytes.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := br.Next(); err == nil || errors.Is(err, ErrTruncated) {
+		t.Fatalf("giant block length: %v, want corruption error", err)
+	}
+
+	// Block step count larger than the block body.
+	in = append(bytes.Clone(good[:len(good)-1]), 2, 200, 1)
+	br, err = NewBinaryReader(bytes.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := br.Next(); err == nil || errors.Is(err, ErrTruncated) {
+		t.Fatalf("inconsistent block step count: %v, want corruption error", err)
+	}
+}
+
+// TestBinaryReaderStickyError: after a decode error, Next keeps
+// returning the same error rather than resynchronizing on garbage.
+func TestBinaryReaderStickyError(t *testing.T) {
+	tr := sample()
+	var buf bytes.Buffer
+	if err := tr.EncodeBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-3]
+	br, err := NewBinaryReader(bytes.NewReader(cut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first error
+	for {
+		_, err := br.Next()
+		if err != nil {
+			first = err
+			break
+		}
+	}
+	if _, again := br.Next(); again != first {
+		t.Fatalf("error not sticky: %v then %v", first, again)
+	}
+}
+
+// TestAnyReaderSniffing: NewAnyReader routes binary streams to the
+// binary reader and JSONL ones to the JSONL reader, transparently.
+func TestAnyReaderSniffing(t *testing.T) {
+	tr := sample()
+	var bin, jsonl bytes.Buffer
+	if err := tr.EncodeBinary(&bin); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.EncodeJSONL(&jsonl); err != nil {
+		t.Fatal(err)
+	}
+	for name, in := range map[string][]byte{"binary": bin.Bytes(), "jsonl": jsonl.Bytes()} {
+		got, err := DecodeAny(bytes.NewReader(in))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		sameTrace(t, got, tr)
+	}
+
+	// A strict prefix of the magic is a cut binary stream, not JSONL.
+	if _, err := NewAnyReader(strings.NewReader(wireMagic[:3])); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("magic prefix: %v, want ErrTruncated", err)
+	}
+	// An empty stream is truncated too.
+	if _, err := NewAnyReader(strings.NewReader("")); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("empty stream: %v, want ErrTruncated", err)
+	}
+	// Neither magic nor JSON: the JSONL reader rejects it (not truncation).
+	if _, err := NewAnyReader(strings.NewReader("garbage here")); err == nil || errors.Is(err, ErrTruncated) {
+		t.Fatalf("garbage stream: %v, want non-truncation error", err)
+	}
+}
+
+// TestJSONLNoHTMLEscaping: payloads containing <, >, & round-trip
+// byte-identically through EncodeJSONL — the regression test for the
+// SetEscapeHTML fix.
+func TestJSONLNoHTMLEscaping(t *testing.T) {
+	x := model.NewExecution(2)
+	x.Append(
+		model.Step{Proc: 1, Kind: model.KindBroadcastInvoke, Msg: 1, Payload: "<a>&<b>"},
+		model.Step{Proc: 1, Kind: model.KindPropose, Obj: 1, Val: "x&y<z>"},
+		model.Step{Proc: 1, Kind: model.KindInternal, Note: "m -> n && p"},
+	)
+	tr := New(x)
+	var buf bytes.Buffer
+	if err := tr.EncodeJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if s := buf.String(); strings.Contains(s, `\u003c`) || strings.Contains(s, `\u0026`) || !strings.Contains(s, `<a>&<b>`) {
+		t.Fatalf("JSONL stream HTML-escapes payload bytes:\n%s", s)
+	}
+	got, err := DecodeJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameTrace(t, got, tr)
+
+	// And the binary form agrees byte-for-byte after conversion back.
+	var bin bytes.Buffer
+	if err := tr.EncodeBinary(&bin); err != nil {
+		t.Fatal(err)
+	}
+	got2, err := DecodeBinary(&bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameTrace(t, got2, tr)
+}

@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// fuzzSeeds returns representative streams in both wire formats: valid
+// encodings of varied traces, their truncations, and corrupt variants.
+// Each is a starting point the fuzzer mutates.
+func fuzzSeeds(tb testing.TB) [][]byte {
+	tb.Helper()
+	var seeds [][]byte
+	for _, tr := range []*Trace{sample(), randTrace(11, 3, 40), randTrace(12, 5, BlockSteps+3)} {
+		var jb, bb bytes.Buffer
+		if err := tr.EncodeJSONL(&jb); err != nil {
+			tb.Fatal(err)
+		}
+		if err := tr.EncodeBinary(&bb); err != nil {
+			tb.Fatal(err)
+		}
+		seeds = append(seeds, jb.Bytes(), bb.Bytes())
+		// Truncations: header-only, mid-block, missing end marker.
+		seeds = append(seeds,
+			bb.Bytes()[:12], bb.Bytes()[:len(bb.Bytes())/2], bb.Bytes()[:len(bb.Bytes())-1],
+			jb.Bytes()[:len(jb.Bytes())/2])
+		// Corruptions: flipped magic, garbage after a valid header.
+		bad := append([]byte(nil), bb.Bytes()...)
+		bad[0] ^= 0xff
+		seeds = append(seeds, bad, append(append([]byte(nil), bb.Bytes()[:12]...), 0xff, 0xff, 0xff))
+	}
+	seeds = append(seeds, nil, []byte("{}"), []byte("not a trace"), []byte(wireMagic))
+	return seeds
+}
+
+// FuzzStepReader drains arbitrary bytes through the format-sniffing
+// reader path (the same entry /v1/check uses on uploads). Invariants:
+// never panic, bounded work per input, and every failure is a returned
+// error — with ErrTruncated reserved for genuine truncation: any input
+// that decodes cleanly must fail with ErrTruncated once its last byte
+// is cut (binary streams; JSONL tolerates a missing final newline).
+func FuzzStepReader(f *testing.F) {
+	for _, seed := range fuzzSeeds(f) {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sr, err := NewAnyReader(bytes.NewReader(data))
+		if err != nil {
+			return // structured rejection at the header is a valid outcome
+		}
+		steps := 0
+		for {
+			_, err := sr.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return
+			}
+			if steps++; steps > 1<<22 {
+				t.Fatalf("decoder yielded over 4M steps from a %d-byte input", len(data))
+			}
+		}
+		// The input decoded cleanly end to end. A binary stream cut one
+		// byte short must now report truncation, not success or a
+		// corruption error: the byte removed is (part of) the end marker
+		// or a length the decoder is still owed.
+		if _, ok := sr.(*BinaryReader); ok && len(data) > 0 {
+			if _, err := DecodeBinary(bytes.NewReader(data[:len(data)-1])); !errors.Is(err, ErrTruncated) {
+				t.Fatalf("cut binary stream: error = %v, want ErrTruncated", err)
+			}
+		}
+	})
+}
+
+// TestCrossFormatPropertyRoundTrip: for seeded random traces, converting
+// between the wire formats through a decode/encode cycle reproduces the
+// canonical bytes of the target format exactly. This is the property
+// behind ksatrace convert: the formats are informationally identical,
+// so JSONL → binary → JSONL (and the reverse) are bit-exact.
+func TestCrossFormatPropertyRoundTrip(t *testing.T) {
+	for seed := uint64(100); seed < 120; seed++ {
+		tr := randTrace(seed, int(seed%7)+1, int(seed%5)*700+int(seed%11))
+		var jsonl, bin bytes.Buffer
+		if err := tr.EncodeJSONL(&jsonl); err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.EncodeBinary(&bin); err != nil {
+			t.Fatal(err)
+		}
+
+		// JSONL → trace → binary lands on the canonical binary bytes.
+		fromJSONL, err := DecodeJSONL(bytes.NewReader(jsonl.Bytes()))
+		if err != nil {
+			t.Fatalf("seed %d: decode jsonl: %v", seed, err)
+		}
+		var bin2 bytes.Buffer
+		if err := fromJSONL.EncodeBinary(&bin2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(bin2.Bytes(), bin.Bytes()) {
+			t.Fatalf("seed %d: jsonl→binary not bit-exact (%d vs %d bytes)",
+				seed, bin2.Len(), bin.Len())
+		}
+
+		// Binary → trace → JSONL lands on the canonical JSONL bytes.
+		fromBin, err := DecodeBinary(bytes.NewReader(bin.Bytes()))
+		if err != nil {
+			t.Fatalf("seed %d: decode binary: %v", seed, err)
+		}
+		var jsonl2 bytes.Buffer
+		if err := fromBin.EncodeJSONL(&jsonl2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(jsonl2.Bytes(), jsonl.Bytes()) {
+			t.Fatalf("seed %d: binary→jsonl not bit-exact:\n%s\nvs\n%s",
+				seed, jsonl2.Bytes(), jsonl.Bytes())
+		}
+		sameTrace(t, fromBin, tr)
+	}
+}

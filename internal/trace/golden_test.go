@@ -11,6 +11,7 @@ package trace_test
 // and review the diff like any other code change.
 
 import (
+	"bytes"
 	"flag"
 	"os"
 	"path/filepath"
@@ -90,4 +91,49 @@ func TestGoldenDecisionTable(t *testing.T) {
 func TestGoldenDOT(t *testing.T) {
 	res, highlight := figure1(t)
 	checkGolden(t, "figure1_dot.golden", trace.RenderDOT(res.Beta, highlight))
+}
+
+// TestGoldenWireFormats pins both wire encodings of the Figure 1 trace
+// byte for byte — the binary golden guards wire format v1 against silent
+// layout drift (old readers must keep reading old streams) — and proves
+// the two formats carry identical information: decoding either one and
+// re-encoding it as the other reproduces the other golden exactly.
+func TestGoldenWireFormats(t *testing.T) {
+	res, _ := figure1(t)
+
+	var jsonl, bin bytes.Buffer
+	if err := res.Beta.EncodeJSONL(&jsonl); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Beta.EncodeBinary(&bin); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "figure1_trace.jsonl.golden", jsonl.String())
+	checkGolden(t, "figure1_trace.ktr.golden", bin.String())
+
+	// Cross-format equivalence: JSONL → binary and binary → JSONL both
+	// land exactly on the other golden.
+	fromJSONL, err := trace.DecodeJSONL(bytes.NewReader(jsonl.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reBin bytes.Buffer
+	if err := fromJSONL.EncodeBinary(&reBin); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(reBin.Bytes(), bin.Bytes()) {
+		t.Error("JSONL → binary conversion does not reproduce the binary golden byte-for-byte")
+	}
+
+	fromBin, err := trace.DecodeBinary(bytes.NewReader(bin.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reJSONL bytes.Buffer
+	if err := fromBin.EncodeJSONL(&reJSONL); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(reJSONL.Bytes(), jsonl.Bytes()) {
+		t.Error("binary → JSONL conversion does not reproduce the JSONL golden byte-for-byte")
+	}
 }

@@ -10,12 +10,12 @@ import (
 	"nobroadcast/internal/model"
 )
 
-// ErrTruncated reports a JSONL stream that ended in the middle of a line:
-// the producer (or the transport) cut the stream short. It is distinct
-// from a decode error on a complete line — callers such as an upload
-// endpoint can tell "resend the file" from "the file is corrupt". Test
-// with errors.Is.
-var ErrTruncated = errors.New("truncated jsonl stream")
+// ErrTruncated reports a trace stream that was cut short — a JSONL
+// stream ending in the middle of a line, or a binary stream missing its
+// end marker or part of a block. It is distinct from a decode error on
+// complete input — callers such as an upload endpoint can tell "resend
+// the file" from "the file is corrupt". Test with errors.Is.
+var ErrTruncated = errors.New("truncated trace stream")
 
 // Streaming trace support: a JSONL wire format (one header object, then
 // one step object per line) and the Sink interface the runtimes tee
@@ -35,19 +35,27 @@ type SinkFunc func(s model.Step)
 // Step implements Sink.
 func (f SinkFunc) Step(s model.Step) { f(s) }
 
-// StreamHeader is the first line of a JSONL trace stream.
+// StreamHeader is the metadata at the head of a trace stream: the first
+// line of a JSONL stream, or the header block of a binary one.
 type StreamHeader struct {
 	N        int    `json:"n"`
 	Complete bool   `json:"complete"`
 	Name     string `json:"name,omitempty"`
+	// Steps is the total step count when the producer knew it (the binary
+	// header can carry one; JSONL never does), else -1. Not serialized:
+	// the binary encoding carries it in its own header field.
+	Steps int `json:"-"`
 }
 
 // EncodeJSONL writes the trace in streaming JSONL form: a header line
 // followed by one step per line. The counterpart of DecodeJSONL and
-// NewStepReader.
+// NewStepReader. The encoder does not HTML-escape: a payload containing
+// `<`, `>`, or `&` round-trips byte-identical instead of coming back as
+// < escapes — the stream is a wire format, not an HTML fragment.
 func (t *Trace) EncodeJSONL(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
+	enc.SetEscapeHTML(false)
 	if err := enc.Encode(StreamHeader{N: t.X.N, Complete: t.Complete, Name: t.Name}); err != nil {
 		return fmt.Errorf("trace: encode jsonl header: %w", err)
 	}
@@ -83,6 +91,7 @@ func NewStepReader(r io.Reader) (*StepReader, error) {
 	if hdr.N <= 0 {
 		return nil, fmt.Errorf("trace: jsonl header: invalid process count %d", hdr.N)
 	}
+	hdr.Steps = -1 // JSONL headers never carry a step count
 	return &StepReader{hdr: hdr, dec: dec}, nil
 }
 
@@ -130,16 +139,5 @@ func DecodeJSONL(r io.Reader) (*Trace, error) {
 	if err != nil {
 		return nil, err
 	}
-	x := model.NewExecution(sr.hdr.N)
-	for {
-		s, err := sr.Next()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return nil, err
-		}
-		x.Append(s)
-	}
-	return &Trace{X: x, Complete: sr.hdr.Complete, Name: sr.hdr.Name}, nil
+	return readAll(sr)
 }
