@@ -1,10 +1,10 @@
 # Convenience targets for the reproduction artifact.
-.PHONY: all test race bench bench-pr4 bench-pr6 bench-pr7 bench-all fuzz-smoke figure1 impossibility outputs metrics-smoke serve-smoke load-smoke
+.PHONY: all test race bench bench-pr4 bench-pr6 bench-pr7 bench-pr8 bench-all fuzz-smoke figure1 impossibility outputs metrics-smoke serve-smoke load-smoke
 all: test
 test:
 	go build ./... && go vet ./... && go test ./...
 race:
-	go test -race ./internal/net ./internal/sharedmem ./internal/sched ./internal/conformance ./internal/sweep ./internal/serve
+	go test -race ./internal/net ./internal/sharedmem ./internal/sched ./internal/conformance ./internal/sweep ./internal/explore ./internal/serve
 stress:
 	go test -race -count=3 -run 'Reentrant|Concurrent|Stress|Stop|Reorder' ./internal/net
 
@@ -158,6 +158,30 @@ bench-pr7:
 	go test -run '^$$' -bench 'BenchmarkStreamCheck$$' -benchmem ./internal/spec | tee /tmp/bench_pr7.txt
 	go test -run '^$$' -bench 'BenchmarkWireDecode$$' -benchmem ./internal/trace | tee -a /tmp/bench_pr7.txt
 	$(call bench-json,/tmp/bench_pr7.txt,AWK_PR7,BENCH_PR7.json)
+
+# bench-pr8: the PR 8 headline artifact — the violation-hunting fleet on
+# the kbo candidate (the abstraction the paper refutes), recorded as
+# BENCH_PR8.json: schedules/sec through the exploration path, violations
+# found, and mean minimized-prefix length, for both the random and the
+# PCT sampler. Everything but the schedules/sec figure is deterministic
+# in the seeds below.
+AWK_PR8 = '/: explore / { strat=""; \
+    for (i=1; i<=NF; i++) if ($$i ~ /^strategy=/) { s=$$i; sub("strategy=","",s); strat=s; order[++nstrat]=s } } \
+  /schedules violate/ { split($$1, a, "/"); viol[strat]=a[1]; scheds[strat]=a[2]; \
+    for (i=2; i<=NF; i++) if ($$i == "schedules/sec)") { r=$$(i-1); sub(/\(/,"",r); rate[strat]=r } } \
+  /minimized [0-9]+ -> [0-9]+ decisions/ { full[strat]+=$$2; minsum[strat]+=$$4; nmin[strat]++ } \
+  END { if (nstrat != 2) exit 1; \
+    printf "{\n  \"benchmark\": \"schedule exploration: violation hunting and delta-debugging on kbo n=4 k=2\",\n  \"runs\": {\n"; \
+    for (j=1; j<=nstrat; j++) { s=order[j]; \
+      if (!scheds[s] || !viol[s] || !nmin[s]) exit 1; \
+      printf "    \"%s\": {\n      \"schedules\": %d,\n      \"violations\": %d,\n      \"hit_rate\": %.3f,\n      \"schedules_per_sec\": %d,\n      \"findings_minimized\": %d,\n      \"mean_schedule_len\": %.1f,\n      \"mean_minimized_len\": %.1f\n    }%s\n", \
+        s, scheds[s], viol[s], viol[s]/scheds[s], rate[s], nmin[s], full[s]/nmin[s], minsum[s]/nmin[s], (j<nstrat)?",":""; } \
+    printf "  }\n}\n" }'
+bench-pr8:
+	go build -o /tmp/ksasim ./cmd/ksasim
+	/tmp/ksasim -b kbo -n 4 -k 2 -explore -strategy random -schedules 400 -seed 1 -minimize 3 | tee /tmp/bench_pr8.txt
+	/tmp/ksasim -b kbo -n 4 -k 2 -explore -strategy pct -depth 3 -schedules 400 -seed 1 -minimize 3 | tee -a /tmp/bench_pr8.txt
+	$(call bench-json,/tmp/bench_pr8.txt,AWK_PR8,BENCH_PR8.json)
 
 # fuzz-smoke: a short budgeted run of every fuzz target — enough to catch
 # an outright decoder regression on the seed-adjacent frontier without

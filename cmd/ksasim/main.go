@@ -9,7 +9,19 @@
 //	ksasim -b first-k -n 5 -k 2 -runs 100 [-crashes 2] [-concurrent]
 //	       [-drop 0.1] [-dup 0.05] [-partition "1,2|3,4@100ms+500ms"]
 //	       [-seed 7] [-wait 30s] [-conformance]
+//	       [-explore] [-strategy pct] [-depth 3] [-schedules 1000]
+//	       [-minimize 3] [-trace-out ce]
 //	       [-metrics] [-events out.jsonl] [-http 127.0.0.1:8123]
+//
+// -explore runs the violation-hunting fleet (internal/explore) instead
+// of a workload: a parallel sweep of seeded schedules under the chosen
+// -strategy (fair, random, or pct), fail-fast live checking of the
+// candidate's spec and k-SA, and delta-debugging of each violating
+// schedule down to a 1-minimal decision prefix. Findings print with the
+// run seed that reproduces them, and -trace-out writes each minimized
+// counterexample to `prefix`-<cell>.ktr for replay and inspection with
+// ksatrace. The whole report is deterministic in (-seed, -strategy,
+// -schedules, ...) at any -workers count.
 //
 // The fault flags apply to the concurrent runtime: -drop and -dup are
 // per-transit loss/duplication probabilities, and -partition cuts the
@@ -44,6 +56,7 @@ import (
 
 	"nobroadcast/internal/broadcast"
 	conf "nobroadcast/internal/conformance"
+	"nobroadcast/internal/explore"
 	"nobroadcast/internal/ksa"
 	"nobroadcast/internal/model"
 	"nobroadcast/internal/net"
@@ -82,7 +95,13 @@ func cmdRun(args []string, out io.Writer) (err error) {
 	seed := fs.Uint64("seed", 0, "delay/fault seed for the concurrent runtime (0 = wall clock)")
 	wait := fs.Duration("wait", 30*time.Second, "delivery-convergence timeout (concurrent runtime)")
 	conformance := fs.Bool("conformance", false, "run the cross-runtime differential check instead of a workload")
-	workers := fs.Int("workers", 0, "corpus worker bound for -b all -conformance; 0 means GOMAXPROCS")
+	exploreMode := fs.Bool("explore", false, "hunt for spec-violating schedules and delta-debug them to minimized counterexamples")
+	strategy := fs.String("strategy", "pct", "exploration scheduling strategy ("+strings.Join(sched.StrategyNames(), ", ")+")")
+	depth := fs.Int("depth", 0, "pct priority-change points (0 = default)")
+	schedules := fs.Int("schedules", 1000, "seeded schedules to explore with -explore")
+	minimize := fs.Int("minimize", 0, "violating schedules to delta-debug with -explore (0 = default, -1 = none)")
+	traceOut := fs.String("trace-out", "", "write each minimized counterexample to `prefix`-<cell>.ktr (-explore)")
+	workers := fs.Int("workers", 0, "worker bound for -explore and -b all -conformance; 0 means GOMAXPROCS")
 	live := fs.Bool("live", false, "check specs incrementally while runs execute (streaming, no post-hoc rescan)")
 	httpAddr := fs.String("http", "", "serve live metrics (/, /metrics, /vars) on this `address` while the workload runs")
 	oc := obs.BindFlags(fs)
@@ -132,6 +151,23 @@ func cmdRun(args []string, out io.Writer) (err error) {
 		fmt.Fprintf(out, "metrics endpoint: http://%s/ (paths: /, /metrics, /vars)\n", ln.Addr())
 	}
 	switch {
+	case *exploreMode:
+		if faults != nil {
+			return fmt.Errorf("-drop/-dup/-partition do not apply to -explore (schedule faults come from -crashes)")
+		}
+		err = runExplore(out, explore.Options{
+			Candidate: *name,
+			N:         *n,
+			K:         *k,
+			Strategy:  *strategy,
+			Depth:     *depth,
+			Schedules: *schedules,
+			Seed:      *seed,
+			Crashes:   *crashes,
+			Workers:   *workers,
+			Minimize:  *minimize,
+			Obs:       reg,
+		}, *traceOut, reg)
 	case *conformance:
 		err = runConformance(out, cand, *n, *k, *seed, faults, *wait)
 	case *concurrent:
@@ -232,6 +268,48 @@ func runDeterministic(out io.Writer, cand broadcast.Candidate, n, k, runs, crash
 	fmt.Fprintf(out, "  avg steps/run: %d   avg sends/run: %d\n", steps/runs, sends/runs)
 	if cand.SolvesKSA && violations > 0 {
 		return fmt.Errorf("%s claims to solve %d-SA but violated it", cand.Name, k)
+	}
+	return nil
+}
+
+// runExplore runs the violation-hunting fleet and prints its report:
+// hit rate, schedules/sec, and one entry per minimized finding with the
+// seed that reproduces it. The report body (everything but the timing
+// line) is deterministic in the exploration options.
+func runExplore(out io.Writer, o explore.Options, traceOut string, reg *obs.Registry) error {
+	span := reg.StartSpan("ksasim.explore")
+	defer span.End()
+	start := time.Now()
+	res, err := explore.Run(context.Background(), o)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	fmt.Fprintf(out, "%s: explore n=%d k=%d strategy=%s schedules=%d seed=%d crashes=%d\n",
+		res.Candidate, res.N, res.K, res.Strategy, res.Schedules, res.Seed, res.Crashes)
+	rate := float64(res.Schedules) / elapsed.Seconds()
+	fmt.Fprintf(out, "  %d/%d schedules violate; %d steps in %v (%.0f schedules/sec)\n",
+		res.Violations, res.Schedules, res.TotalSteps, elapsed.Round(time.Millisecond), rate)
+	if res.Violations == 0 {
+		fmt.Fprintf(out, "  no violating schedule found; try more -schedules, another -strategy, or -crashes\n")
+		return nil
+	}
+	for _, f := range res.Findings {
+		fmt.Fprintf(out, "  cell %d: %s/%s at step %d (reproduce with seed %d)\n",
+			f.Cell, f.Spec, f.Property, f.StepIdx, f.Seed)
+		if f.MinLen > 0 {
+			fmt.Fprintf(out, "    minimized %d -> %d decisions (%d steps)\n", f.ScheduleLen, f.MinLen, f.MinSteps)
+		}
+		if traceOut != "" && len(f.KTR) > 0 {
+			path := fmt.Sprintf("%s-%d.ktr", traceOut, f.Cell)
+			if err := os.WriteFile(path, f.KTR, 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "    counterexample written to %s\n", path)
+		}
+	}
+	if res.Replays > 0 {
+		fmt.Fprintf(out, "  minimization: %d findings delta-debugged in %d replays\n", len(res.Findings), res.Replays)
 	}
 	return nil
 }

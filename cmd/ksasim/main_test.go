@@ -205,6 +205,80 @@ func TestKsasimCorpus(t *testing.T) {
 	}
 }
 
+// TestKsasimExplore: -explore hunts the k-bounded-order candidate (the
+// abstraction the paper refutes), minimizes a violating schedule, writes
+// the counterexample .ktr, and prints the seed that reproduces it.
+func TestKsasimExplore(t *testing.T) {
+	prefix := filepath.Join(t.TempDir(), "ce")
+	var out bytes.Buffer
+	err := cmdRun([]string{
+		"-b", "kbo", "-n", "3", "-k", "2", "-explore",
+		"-strategy", "random", "-schedules", "10", "-seed", "1",
+		"-minimize", "1", "-trace-out", prefix, "-metrics",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	for _, w := range []string{
+		"kbo: explore n=3 k=2 strategy=random schedules=10 seed=1",
+		"schedules violate",
+		"schedules/sec",
+		"2-BO-Order/k-Bounded-Order",
+		"reproduce with seed",
+		"minimized",
+		"counterexample written to " + prefix,
+		"explore.violations", // obs instrumentation reaches -metrics
+		"ksasim.explore",
+	} {
+		if !strings.Contains(s, w) {
+			t.Errorf("output missing %q:\n%s", w, s)
+		}
+	}
+	if _, err := os.Stat(prefix + "-2.ktr"); err != nil {
+		t.Errorf("minimized counterexample file: %v", err)
+	}
+}
+
+// TestKsasimExploreDeterministicReport: everything above the per-finding
+// detail except the wall-clock line is a pure function of the flags.
+func TestKsasimExploreDeterministicReport(t *testing.T) {
+	report := func() []string {
+		var out bytes.Buffer
+		err := cmdRun([]string{
+			"-b", "send-to-all", "-n", "3", "-k", "1", "-explore",
+			"-strategy", "pct", "-depth", "3", "-schedules", "8",
+			"-seed", "42", "-minimize", "1",
+		}, &out)
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		var lines []string
+		for _, l := range strings.Split(out.String(), "\n") {
+			if !strings.Contains(l, "schedules/sec") { // the one timing line
+				lines = append(lines, l)
+			}
+		}
+		return lines
+	}
+	a, b := report(), report()
+	if strings.Join(a, "\n") != strings.Join(b, "\n") {
+		t.Errorf("explore report not deterministic:\n%v\nvs\n%v", a, b)
+	}
+}
+
+// TestKsasimExploreFlagValidation: transport-fault flags are concurrent-
+// runtime concepts and are rejected under -explore.
+func TestKsasimExploreFlagValidation(t *testing.T) {
+	var out bytes.Buffer
+	if err := cmdRun([]string{"-b", "kbo", "-explore", "-drop", "0.1"}, &out); err == nil {
+		t.Error("expected error: -drop with -explore")
+	}
+	if err := cmdRun([]string{"-b", "kbo", "-explore", "-strategy", "zigzag", "-schedules", "1"}, &out); err == nil {
+		t.Error("expected error: unknown strategy")
+	}
+}
+
 // TestFailedRunStillEmitsMetrics: a run that fails mid-way (convergence
 // timeout) must still flush its observability sinks — the deferred flush
 // in cmdRun runs on every exit path, so the -metrics summary and the

@@ -1,0 +1,369 @@
+// Package explore hunts for specification-violating schedules: it fans
+// seeds out across the schedule space of one broadcast candidate through
+// internal/sweep, runs each seed under a pluggable sched.Strategy
+// (random or PCT priority-based sampling) with the candidate's spec and
+// k-SA checked live, and delta-debugs every violating schedule down to a
+// minimized decision prefix recorded as a wire-format-v1 (.ktr) trace.
+//
+// This is the model checker ROADMAP item 3 describes: the deterministic
+// runtime supplies replayability, the online checkers supply fail-fast
+// verdicts, and the sweep engine supplies scale. Determinism is end to
+// end — every cell's randomness derives positionally from the root seed
+// (rng.Derive), results collect in cell order, and minimization replays
+// are pure functions of the recorded decisions — so a Result, including
+// the minimized .ktr bytes, is bit-identical at any worker count, and
+// any finding reproduces from its reported seed alone.
+package explore
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+
+	"nobroadcast/internal/broadcast"
+	"nobroadcast/internal/model"
+	"nobroadcast/internal/obs"
+	"nobroadcast/internal/rng"
+	"nobroadcast/internal/sched"
+	"nobroadcast/internal/spec"
+	"nobroadcast/internal/sweep"
+)
+
+// Default bounds.
+const (
+	// DefaultMaxEvents bounds one schedule. Solver-driven runs quiesce
+	// within a few hundred events at explorable system sizes; the bound
+	// only cuts pathological schedules.
+	DefaultMaxEvents = 5000
+	// DefaultMinimize is how many violating schedules are delta-debugged
+	// per exploration (the rest are counted but not minimized).
+	DefaultMinimize = 3
+)
+
+// Options configures one exploration.
+type Options struct {
+	// Candidate names the broadcast abstraction under test (registry
+	// name, e.g. "kbo" or "send-to-all").
+	Candidate string
+	// N is the number of processes, K the agreement degree: each run
+	// drives the candidate's k-SA solver app with inputs v1..vN and
+	// checks the candidate's own spec plus k-set-agreement live.
+	N, K int
+	// Strategy names the schedule sampler: "random", "pct", or "fair"
+	// (fair explores nothing — every cell replays the same schedule —
+	// but is allowed for baselines). Depth parameterizes "pct".
+	Strategy string
+	Depth    int
+	// Schedules is the number of seeds to explore.
+	Schedules int
+	// Seed is the root seed; schedule i runs with rng.Derive(Seed, i).
+	Seed uint64
+	// MaxEvents bounds each schedule; zero selects DefaultMaxEvents.
+	MaxEvents int
+	// Crashes injects that many seeded crash faults per schedule (must
+	// leave at least one process alive: 0 <= Crashes < N). Ordinals and
+	// victims derive from the cell seed.
+	Crashes int
+	// Workers bounds the sweep pool; zero means GOMAXPROCS. The worker
+	// count never changes the Result.
+	Workers int
+	// Minimize caps how many violating schedules are delta-debugged;
+	// zero selects DefaultMinimize, negative disables minimization.
+	Minimize int
+	// Obs, when non-nil, receives exploration instrumentation (counters
+	// explore.schedules / explore.violations / explore.steps /
+	// explore.minimize_replays, histogram explore.min_len) on top of the
+	// sweep's own metrics.
+	Obs *obs.Registry
+}
+
+func (o Options) maxEvents() int {
+	if o.MaxEvents <= 0 {
+		return DefaultMaxEvents
+	}
+	return o.MaxEvents
+}
+
+func (o Options) minimize() int {
+	switch {
+	case o.Minimize == 0:
+		return DefaultMinimize
+	case o.Minimize < 0:
+		return 0
+	}
+	return o.Minimize
+}
+
+// Finding is one violating schedule, minimized when within the
+// exploration's Minimize budget (MinLen/MinSteps/KTR are zero otherwise).
+type Finding struct {
+	// Cell is the schedule's position in the sweep; Seed its derived
+	// seed. Re-running the strategy with this seed (same candidate, n,
+	// k, crashes, event bound) reproduces the violation exactly.
+	Cell int    `json:"cell"`
+	Seed uint64 `json:"seed"`
+	// Spec/Property/Detail identify the violated property; StepIdx is
+	// the violating step in the original schedule.
+	Spec     string `json:"spec"`
+	Property string `json:"property"`
+	Detail   string `json:"detail,omitempty"`
+	StepIdx  int    `json:"step_idx"`
+	// ScheduleLen is the number of scheduler decisions up to the
+	// violation; MinLen the decision count after delta-debugging and
+	// MinSteps the recorded steps of the minimized run.
+	ScheduleLen int `json:"schedule_len"`
+	MinLen      int `json:"min_len,omitempty"`
+	MinSteps    int `json:"min_steps,omitempty"`
+	// KTR is the minimized violating trace in wire format v1
+	// (application/x-ksatrace), ending at the violating step.
+	KTR []byte `json:"ktr,omitempty"`
+}
+
+// Result is one exploration's deterministic outcome: identical Options
+// (including Seed) produce byte-identical Results at any worker count.
+// Wall-clock figures (schedules/sec) deliberately live outside, in obs
+// metrics and caller-side timing, to keep the Result cacheable by value.
+type Result struct {
+	Candidate  string    `json:"candidate"`
+	Strategy   string    `json:"strategy"`
+	Depth      int       `json:"depth,omitempty"`
+	N          int       `json:"n"`
+	K          int       `json:"k"`
+	Schedules  int       `json:"schedules"`
+	Seed       uint64    `json:"seed"`
+	MaxEvents  int       `json:"max_events"`
+	Crashes    int       `json:"crashes,omitempty"`
+	Violations int       `json:"violations"`
+	TotalSteps int       `json:"total_steps"`
+	Replays    int       `json:"minimize_replays,omitempty"`
+	Findings   []Finding `json:"findings"`
+}
+
+// cellOut is one schedule's outcome inside the sweep.
+type cellOut struct {
+	steps     int
+	v         *spec.Violation
+	stepIdx   int
+	decisions []sched.Event
+}
+
+// engine carries the per-exploration constants shared by search and
+// minimization runs.
+type engine struct {
+	opts   Options
+	cand   broadcast.Candidate
+	inputs []model.Value
+}
+
+// validate resolves the candidate and rejects unusable parameter
+// combinations.
+func newEngine(o Options) (*engine, error) {
+	cand, err := broadcast.Lookup(o.Candidate)
+	if err != nil {
+		return nil, err
+	}
+	if o.N < 1 || o.N > 64 {
+		return nil, fmt.Errorf("explore: n must be in [1,64], got %d", o.N)
+	}
+	if o.K < 1 || o.K > o.N {
+		return nil, fmt.Errorf("explore: k must be in [1,n], got %d", o.K)
+	}
+	if o.Schedules < 1 {
+		return nil, fmt.Errorf("explore: schedules must be positive, got %d", o.Schedules)
+	}
+	if o.Crashes < 0 || o.Crashes >= o.N {
+		return nil, fmt.Errorf("explore: crashes must be in [0,n), got %d", o.Crashes)
+	}
+	if _, err := sched.NewStrategy(o.Strategy, o.Depth); err != nil {
+		return nil, err
+	}
+	inputs := make([]model.Value, o.N)
+	for i := range inputs {
+		inputs[i] = model.Value(fmt.Sprintf("v%d", i+1))
+	}
+	return &engine{opts: o, cand: cand, inputs: inputs}, nil
+}
+
+// runtime builds a fresh, identically-configured runtime for one run.
+func (e *engine) runtime() (*sched.Runtime, error) {
+	return sched.New(sched.Config{
+		N:            e.opts.N,
+		NewAutomaton: e.cand.NewAutomaton,
+		Oracle:       e.cand.OracleFor(e.opts.K),
+		NewApp:       e.cand.SolverFor(),
+		Inputs:       e.inputs,
+		LiveSpecs:    []spec.Spec{e.cand.Spec(e.opts.K), spec.KSA(e.opts.K)},
+	})
+}
+
+// crashPlan derives the cell's seeded crash injections. The stream is
+// separate from the strategy's (positional derivation off the cell
+// seed), so the same faults hit whatever the strategy picks. Ordinals
+// land early in the run — crashes beyond quiescence would be no-ops.
+func (e *engine) crashPlan(cellSeed uint64) map[int]model.ProcID {
+	if e.opts.Crashes == 0 {
+		return nil
+	}
+	src := rng.New(rng.Derive(cellSeed, 0x6372617368)) // "crash"
+	plan := make(map[int]model.ProcID, e.opts.Crashes)
+	window := 64 * e.opts.N
+	for len(plan) < e.opts.Crashes {
+		plan[1+src.Intn(window)] = model.ProcID(1 + src.Intn(e.opts.N))
+	}
+	return plan
+}
+
+// runOptions builds the RunOptions for one cell seed.
+func (e *engine) runOptions(cellSeed uint64) sched.RunOptions {
+	return sched.RunOptions{
+		Seed:      cellSeed,
+		MaxEvents: e.opts.maxEvents(),
+		CrashAt:   e.crashPlan(cellSeed),
+	}
+}
+
+// search runs one schedule, recording its decisions. A live violation is
+// a successful outcome (captured in the cellOut); any other run error is
+// a genuine failure.
+func (e *engine) search(c sweep.Cell) (cellOut, error) {
+	rt, err := e.runtime()
+	if err != nil {
+		return cellOut{}, err
+	}
+	strat, err := sched.NewStrategy(e.opts.Strategy, e.opts.Depth)
+	if err != nil {
+		return cellOut{}, err
+	}
+	rec := sched.NewRecorder(strat)
+	_, err = rt.Run(rec, e.runOptions(c.Seed))
+	out := cellOut{steps: rt.StepCount()}
+	var lve *sched.LiveViolationError
+	switch {
+	case err == nil:
+	case errors.As(err, &lve):
+		out.v = lve.V
+		out.stepIdx = lve.StepIdx
+		out.decisions = append([]sched.Event(nil), rec.Decisions()...)
+	default:
+		return cellOut{}, err
+	}
+	return out, nil
+}
+
+// reproduces replays a decision sequence and reports whether it still
+// triggers a violation of the same property. replays counts attempts.
+func (e *engine) reproduces(decisions []sched.Event, want *spec.Violation, cellSeed uint64, replays *int) (*sched.LiveViolationError, bool, error) {
+	*replays++
+	rt, err := e.runtime()
+	if err != nil {
+		return nil, false, err
+	}
+	_, err = rt.Run(sched.NewReplay(decisions), e.runOptions(cellSeed))
+	var lve *sched.LiveViolationError
+	switch {
+	case err == nil:
+		return nil, false, nil
+	case errors.As(err, &lve):
+		return lve, lve.V.Spec == want.Spec && lve.V.Property == want.Property, nil
+	default:
+		return nil, false, err
+	}
+}
+
+// Run explores the schedule space. The returned Result is deterministic
+// in Options; ctx cancels both the sweep and the minimization phase.
+func Run(ctx context.Context, o Options) (*Result, error) {
+	e, err := newEngine(o)
+	if err != nil {
+		return nil, err
+	}
+	outs, err := sweep.Run(ctx, o.Schedules, sweep.Options{
+		Workers: o.Workers,
+		Seed:    o.Seed,
+		Obs:     o.Obs,
+	}, func(ctx context.Context, c sweep.Cell) (cellOut, error) {
+		return e.search(c)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Candidate: o.Candidate, Strategy: o.Strategy, Depth: o.Depth,
+		N: o.N, K: o.K, Schedules: o.Schedules, Seed: o.Seed,
+		MaxEvents: o.maxEvents(), Crashes: o.Crashes,
+		Findings: []Finding{},
+	}
+	reg := o.Obs
+	for i, out := range outs {
+		res.TotalSteps += out.steps
+		if out.v == nil {
+			continue
+		}
+		res.Violations++
+		if len(res.Findings) >= o.minimize() {
+			continue
+		}
+		f := Finding{
+			Cell: i, Seed: rng.Derive(o.Seed, uint64(i)),
+			Spec: out.v.Spec, Property: out.v.Property, Detail: out.v.Detail,
+			StepIdx: out.v.StepIdx, ScheduleLen: len(out.decisions),
+		}
+		min, replays, err := e.minimizeFinding(ctx, out, f.Seed)
+		if err != nil {
+			return nil, err
+		}
+		res.Replays += replays
+		if min != nil {
+			f.MinLen = min.len
+			f.MinSteps = min.steps
+			f.KTR = min.ktr
+			reg.Histogram("explore.min_len").Observe(int64(min.len))
+		}
+		res.Findings = append(res.Findings, f)
+	}
+	reg.Counter("explore.schedules").Add(int64(o.Schedules))
+	reg.Counter("explore.violations").Add(int64(res.Violations))
+	reg.Counter("explore.steps").Add(int64(res.TotalSteps))
+	reg.Counter("explore.minimize_replays").Add(int64(res.Replays))
+	return res, nil
+}
+
+// minimized is the outcome of delta-debugging one finding.
+type minimized struct {
+	len   int
+	steps int
+	ktr   []byte
+}
+
+// minimizeFinding ddmin-reduces the finding's decision sequence and
+// encodes the minimized violating run as a .ktr trace.
+func (e *engine) minimizeFinding(ctx context.Context, out cellOut, cellSeed uint64) (*minimized, int, error) {
+	replays := 0
+	test := func(decisions []sched.Event) (bool, error) {
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
+		_, ok, err := e.reproduces(decisions, out.v, cellSeed, &replays)
+		return ok, err
+	}
+	min, err := ddmin(out.decisions, test)
+	if err != nil {
+		return nil, replays, err
+	}
+	// Re-execute the minimized schedule once more for its trace; by
+	// construction it still violates the same property.
+	lve, ok, err := e.reproduces(min, out.v, cellSeed, &replays)
+	if err != nil {
+		return nil, replays, err
+	}
+	if !ok {
+		return nil, replays, fmt.Errorf("explore: minimized schedule (%d decisions) stopped reproducing %s/%s", len(min), out.v.Spec, out.v.Property)
+	}
+	var ktr bytes.Buffer
+	if err := lve.Trace.EncodeBinary(&ktr); err != nil {
+		return nil, replays, err
+	}
+	return &minimized{len: len(min), steps: lve.Trace.X.Len(), ktr: ktr.Bytes()}, replays, nil
+}

@@ -1,0 +1,123 @@
+package sched_test
+
+// Golden replay tests for the scheduler run loops. The testdata files
+// were generated from the pre-Strategy monolithic RunFair/RunRandom
+// implementations (PR 7 tree); the refactored strategy-based loops must
+// reproduce them byte for byte — same steps, same order, same Complete
+// flag — or replay determinism (Lemma 9's foundation) is broken.
+//
+// Regenerate with UPDATE_SCHED_GOLDENS=1 go test ./internal/sched — but
+// only when a trace change is intended and understood; a diff here is a
+// finding, not noise.
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"nobroadcast/internal/broadcast"
+	"nobroadcast/internal/model"
+	"nobroadcast/internal/sched"
+	"nobroadcast/internal/trace"
+	"nobroadcast/internal/workload"
+)
+
+// goldenCase is one pinned (config, schedule) pair.
+type goldenCase struct {
+	name      string
+	candidate string
+	n, k      int
+	app       bool // drive the candidate's solver app with inputs
+	messages  int  // upper-layer broadcasts when app is false
+	wseed     uint64
+	random    bool // RunRandom(seed) vs RunFair
+	seed      uint64
+	crashAt   map[int]model.ProcID
+}
+
+var goldenCases = []goldenCase{
+	{name: "fair_fifo", candidate: "fifo", n: 3, k: 1, messages: 6, wseed: 11},
+	{name: "fair_reliable_crash", candidate: "reliable", n: 4, k: 1, messages: 8, wseed: 3,
+		crashAt: map[int]model.ProcID{6: 4}},
+	{name: "random_fifo_crash", candidate: "fifo", n: 3, k: 1, messages: 6, wseed: 11,
+		random: true, seed: 2, crashAt: map[int]model.ProcID{5: 3}},
+	{name: "random_firstk_app", candidate: "first-k", n: 4, k: 2, app: true, random: true, seed: 7},
+	{name: "random_kbo_app", candidate: "kbo", n: 4, k: 2, app: true, random: true, seed: 5},
+}
+
+// runGolden executes one golden case on the current runtime.
+func runGolden(t *testing.T, gc goldenCase) *trace.Trace {
+	t.Helper()
+	cand, err := broadcast.Lookup(gc.candidate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sched.Config{N: gc.n, NewAutomaton: cand.NewAutomaton, Oracle: cand.OracleFor(gc.k)}
+	opts := sched.RunOptions{Seed: gc.seed, CrashAt: gc.crashAt}
+	if gc.app {
+		cfg.NewApp = cand.SolverFor()
+		cfg.Inputs = make([]model.Value, gc.n)
+		for i := range cfg.Inputs {
+			cfg.Inputs[i] = model.Value(fmt.Sprintf("v%d", i+1))
+		}
+	} else {
+		reqs, err := workload.Generate(workload.Config{
+			Kind: workload.Uniform, N: gc.n, Messages: gc.messages, Seed: gc.wseed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts.Broadcasts = reqs
+	}
+	rt, err := sched.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr *trace.Trace
+	if gc.random {
+		tr, err = rt.RunRandom(opts)
+	} else {
+		tr, err = rt.RunFair(opts)
+	}
+	if err != nil {
+		t.Fatalf("%s: run: %v", gc.name, err)
+	}
+	return tr
+}
+
+func goldenPath(name string) string {
+	return filepath.Join("testdata", "golden_"+name+".jsonl")
+}
+
+func TestRunLoopGoldens(t *testing.T) {
+	update := os.Getenv("UPDATE_SCHED_GOLDENS") != ""
+	for _, gc := range goldenCases {
+		t.Run(gc.name, func(t *testing.T) {
+			tr := runGolden(t, gc)
+			var buf bytes.Buffer
+			if err := tr.EncodeJSONL(&buf); err != nil {
+				t.Fatal(err)
+			}
+			path := goldenPath(gc.name)
+			if update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with UPDATE_SCHED_GOLDENS=1 to generate): %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Fatalf("trace diverged from pre-refactor golden %s\n got %d bytes, want %d bytes",
+					path, buf.Len(), len(want))
+			}
+		})
+	}
+}

@@ -4,18 +4,20 @@ import (
 	"fmt"
 
 	"nobroadcast/internal/model"
-	"nobroadcast/internal/rng"
 	"nobroadcast/internal/spec"
 	"nobroadcast/internal/trace"
 )
 
-// This file provides generic schedulers on top of the event primitives:
-// a deterministic fair scheduler and a seeded random scheduler with crash
-// injection. The paper's adversarial scheduler lives in internal/adversary.
+// This file provides the unified strategy-driven run loop on top of the
+// event primitives: crash injection, enabled-event enumeration, and
+// fail-fast live checking are shared, while the pick itself is delegated
+// to a Strategy (strategy.go). RunFair and RunRandom are thin wrappers
+// preserving the historical entry points and their exact schedules. The
+// paper's adversarial scheduler lives in internal/adversary.
 
 // RunOptions configures a scheduler run.
 type RunOptions struct {
-	// Seed drives the random scheduler. Ignored by RunFair.
+	// Seed drives seeded strategies (random, pct). Ignored by fair.
 	Seed uint64
 	// MaxEvents bounds the run; zero selects the default (100000).
 	// Exceeding the bound returns an incomplete trace, not an error: the
@@ -23,7 +25,9 @@ type RunOptions struct {
 	MaxEvents int
 	// CrashAt injects crashes: after the event with the given ordinal has
 	// executed, the listed process crashes. Crashing an already-crashed
-	// process is ignored.
+	// process is ignored. Strategies implementing CrashPointer can defer
+	// a due injection to their next crash point (fair defers to slot
+	// boundaries).
 	CrashAt map[int]model.ProcID
 	// Broadcasts feeds upper-layer B.broadcast invocations: each entry
 	// (proc, payload) is invoked, in per-process order, as soon as the
@@ -39,11 +43,12 @@ type BroadcastReq struct {
 	Payload model.Payload
 }
 
-// LiveViolationError is returned by RunRandom and RunFair when a live
-// spec checker rejects a recorded step: the run stops at the violating
-// step instead of executing to the event bound. Trace holds the recorded
-// prefix up to and including that step (never complete — the run was cut
-// short).
+// LiveViolationError is returned by Run (and the RunFair/RunRandom
+// wrappers) when a live spec checker rejects a recorded step: the run
+// stops at the violating step instead of executing to the event bound.
+// Trace holds the recorded prefix truncated to end at the violating
+// step, with Complete left false — the run was cut short, so liveness
+// verdicts over it are vacuous by design.
 type LiveViolationError struct {
 	V       *spec.Violation
 	StepIdx int
@@ -55,12 +60,22 @@ func (e *LiveViolationError) Error() string {
 	return fmt.Sprintf("sched: live spec violation at step %d: %v", e.StepIdx, e.V)
 }
 
-// liveError wraps the latched live violation, nil when none.
+// liveError wraps the latched live violation, nil when none. The trace
+// is truncated to the violating step: a handler dispatch records several
+// steps at once, so the raw execution may extend past the step the
+// checker latched, and downstream consumers must not mistake the cut
+// run for a longer (or complete) one.
 func (r *Runtime) liveError() error {
 	if r.liveV == nil {
 		return nil
 	}
-	return &LiveViolationError{V: r.liveV, StepIdx: r.liveIdx, Trace: &trace.Trace{X: r.Execution()}}
+	x := r.Execution()
+	steps := x.Steps
+	if n := r.liveIdx + 1; n >= 0 && n <= len(steps) {
+		steps = steps[:n:n]
+	}
+	trunc := &model.Execution{N: x.N, Steps: steps}
+	return &LiveViolationError{V: r.liveV, StepIdx: r.liveIdx, Trace: &trace.Trace{X: trunc}}
 }
 
 func (o RunOptions) maxEvents() int {
@@ -68,13 +83,6 @@ func (o RunOptions) maxEvents() int {
 		return 100000
 	}
 	return o.MaxEvents
-}
-
-// event is one enabled scheduler choice.
-type event struct {
-	kind int // 0 exec, 1 decide, 2 receive, 3 invoke broadcast
-	proc model.ProcID
-	net  int
 }
 
 // runState carries the per-run scheduling state.
@@ -103,57 +111,61 @@ func (r *Runtime) canInvoke(st *runState, p model.ProcID) bool {
 }
 
 // enabledEvents lists the currently enabled events in a deterministic
-// order.
-func (r *Runtime) enabledEvents(st *runState) []event {
-	var out []event
+// order. The returned slice is backed by a per-runtime scratch buffer
+// reused across steps (enumeration runs once per scheduled event and
+// dominated allocations in long explorations); callers — strategies
+// included — must not retain it past the step.
+func (r *Runtime) enabledEvents(st *runState) []Event {
+	out := r.evScratch[:0]
 	for _, ps := range r.procs {
 		if ps.crashed {
 			continue
 		}
 		if ps.blocked && ps.pendingDecide != nil {
-			out = append(out, event{kind: 1, proc: ps.id})
+			out = append(out, Event{Kind: EventDecide, Proc: ps.id})
 		} else if !ps.blocked && len(ps.pending) > 0 {
-			out = append(out, event{kind: 0, proc: ps.id})
+			out = append(out, Event{Kind: EventExec, Proc: ps.id})
 		}
 		if r.canInvoke(st, ps.id) {
-			out = append(out, event{kind: 3, proc: ps.id})
+			out = append(out, Event{Kind: EventInvoke, Proc: ps.id})
 		}
 	}
 	for i, f := range r.network {
 		if to, err := r.proc(f.to); err == nil && !to.crashed {
-			out = append(out, event{kind: 2, net: i})
+			out = append(out, Event{Kind: EventReceive, Proc: f.to, Net: i, Msg: f.inst, From: f.from})
 		}
 	}
+	r.evScratch = out
 	return out
 }
 
-func (r *Runtime) execEvent(st *runState, e event) error {
-	switch e.kind {
-	case 0:
-		_, ok, err := r.ExecNext(e.proc)
+func (r *Runtime) execEvent(st *runState, e Event) error {
+	switch e.Kind {
+	case EventExec:
+		_, ok, err := r.ExecNext(e.Proc)
 		if err != nil {
 			return err
 		}
 		if !ok {
-			return fmt.Errorf("sched: exec event on %v not enabled", e.proc)
+			return fmt.Errorf("sched: exec event on %v not enabled", e.Proc)
 		}
 		return nil
-	case 1:
-		_, err := r.FireDecide(e.proc)
+	case EventDecide:
+		_, err := r.FireDecide(e.Proc)
 		return err
-	case 2:
-		_, err := r.ReceiveIndex(e.net)
+	case EventReceive:
+		_, err := r.ReceiveIndex(e.Net)
 		return err
-	case 3:
-		q := st.queues[e.proc]
+	case EventInvoke:
+		q := st.queues[e.Proc]
 		if len(q) == 0 {
-			return fmt.Errorf("sched: no queued broadcast for %v", e.proc)
+			return fmt.Errorf("sched: no queued broadcast for %v", e.Proc)
 		}
-		st.queues[e.proc] = q[1:]
-		_, err := r.InvokeBroadcast(e.proc, q[0])
+		st.queues[e.Proc] = q[1:]
+		_, err := r.InvokeBroadcast(e.Proc, q[0])
 		return err
 	default:
-		return fmt.Errorf("sched: unknown event kind %d", e.kind)
+		return fmt.Errorf("sched: unknown event kind %d", e.Kind)
 	}
 }
 
@@ -174,116 +186,59 @@ func (r *Runtime) quiescentWith(st *runState) bool {
 	return true
 }
 
-// RunRandom drives the runtime with a uniformly random (seeded,
-// deterministic) choice among enabled events until quiescence or the event
-// bound. It returns the recorded trace, with Complete set iff the run
-// reached quiescence.
-func (r *Runtime) RunRandom(opts RunOptions) (*trace.Trace, error) {
+// Run drives the runtime under the given strategy until quiescence, the
+// event bound, a strategy-requested stop, or a live spec violation
+// (returned as *LiveViolationError). Each step the loop applies due
+// crash injections (at the strategy's crash points, see CrashPointer),
+// enumerates the enabled events, and executes the strategy's pick. It
+// returns the recorded trace, with Complete set iff the run reached
+// quiescence. Equal (strategy, options) pairs produce bit-identical
+// traces — see the Strategy determinism contract.
+func (r *Runtime) Run(s Strategy, opts RunOptions) (*trace.Trace, error) {
 	st := newRunState(opts)
-	src := rng.New(opts.Seed)
+	s.Begin(r, opts)
+	cp, gated := s.(CrashPointer)
+	crashes := newCrashSchedule(opts.CrashAt)
 	count := 0
 	for count < opts.maxEvents() {
-		if p, ok := opts.CrashAt[count]; ok && !r.Crashed(p) {
-			if err := r.Crash(p); err != nil {
+		if crashes.pending() && (!gated || cp.AtCrashPoint()) {
+			if err := crashes.apply(r, count); err != nil {
 				return nil, err
 			}
 		}
-		events := r.enabledEvents(st)
-		if len(events) == 0 {
+		enabled := r.enabledEvents(st)
+		if len(enabled) == 0 {
 			break
 		}
-		if err := r.execEvent(st, events[src.Intn(len(events))]); err != nil {
-			return nil, err
+		pick := s.Next(enabled, count)
+		if pick == StopRun {
+			break
 		}
-		if err := r.liveError(); err != nil {
-			r.met.dispatched(count + 1)
+		if pick < 0 || pick >= len(enabled) {
+			return nil, fmt.Errorf("sched: strategy %s picked %d of %d enabled events", s.Name(), pick, len(enabled))
+		}
+		if err := r.execEvent(st, enabled[pick]); err != nil {
 			return nil, err
 		}
 		count++
+		if err := r.liveError(); err != nil {
+			r.met.dispatched(count)
+			return nil, err
+		}
 	}
 	r.met.dispatched(count)
 	return &trace.Trace{X: r.Execution(), Complete: r.quiescentWith(st)}, nil
 }
 
-// RunFair drives the runtime with a deterministic fair schedule: each
-// round lets every live process invoke a queued broadcast if possible and
-// execute one action or decision, then delivers every message currently in
-// flight (oldest first). Message transit is thus bounded by one round — a
-// convenient synchronous-looking special case of the asynchronous model.
+// RunRandom drives the runtime with a uniformly random (seeded,
+// deterministic) choice among enabled events until quiescence or the event
+// bound. Equivalent to Run(NewRandom(), opts).
+func (r *Runtime) RunRandom(opts RunOptions) (*trace.Trace, error) {
+	return r.Run(NewRandom(), opts)
+}
+
+// RunFair drives the runtime with the deterministic fair schedule (see
+// NewFair). Equivalent to Run(NewFair(), opts).
 func (r *Runtime) RunFair(opts RunOptions) (*trace.Trace, error) {
-	st := newRunState(opts)
-	count := 0
-	max := opts.maxEvents()
-	// RunFair executes several events per pass, so crash points are
-	// honored at the first opportunity at or after their scheduled event
-	// ordinal.
-	maybeCrash := func() error {
-		for at, p2 := range opts.CrashAt {
-			if count >= at && !r.Crashed(p2) {
-				if err := r.Crash(p2); err != nil {
-					return err
-				}
-			}
-		}
-		return nil
-	}
-	for count < max {
-		progress := false
-		for p := 1; p <= r.cfg.N; p++ {
-			if err := maybeCrash(); err != nil {
-				return nil, err
-			}
-			pid := model.ProcID(p)
-			if r.canInvoke(st, pid) {
-				if err := r.execEvent(st, event{kind: 3, proc: pid}); err != nil {
-					return nil, err
-				}
-				progress = true
-				count++
-			}
-			if r.Blocked(pid) {
-				if _, err := r.FireDecide(pid); err != nil {
-					return nil, err
-				}
-				progress = true
-				count++
-			} else if r.HasPending(pid) {
-				if _, ok, err := r.ExecNext(pid); err != nil {
-					return nil, err
-				} else if ok {
-					progress = true
-					count++
-				}
-			}
-			if err := r.liveError(); err != nil {
-				r.met.dispatched(count)
-				return nil, err
-			}
-		}
-		// Deliver everything currently in flight to live processes.
-		// Receivers may send more; those wait for the next round.
-		snapshot := len(r.network)
-		for i := 0; i < snapshot && i < len(r.network); {
-			f := r.network[i]
-			if to, err := r.proc(f.to); err == nil && !to.crashed {
-				if _, err := r.ReceiveIndex(i); err != nil {
-					return nil, err
-				}
-				if err := r.liveError(); err != nil {
-					r.met.dispatched(count + 1)
-					return nil, err
-				}
-				progress = true
-				count++
-				snapshot-- // the slice shifted left; same index, one fewer old message
-				continue
-			}
-			i++
-		}
-		if !progress {
-			break
-		}
-	}
-	r.met.dispatched(count)
-	return &trace.Trace{X: r.Execution(), Complete: r.quiescentWith(st)}, nil
+	return r.Run(NewFair(), opts)
 }

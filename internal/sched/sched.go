@@ -278,6 +278,10 @@ type Runtime struct {
 	mon     *spec.Monitor
 	liveV   *spec.Violation
 	liveIdx int
+	// evScratch backs enabledEvents: enumeration runs once per scheduled
+	// step, so the slice is reused across steps instead of allocated
+	// fresh (strategies must not retain it — see the Strategy contract).
+	evScratch []Event
 }
 
 // New builds a runtime. It returns an error on invalid configuration.

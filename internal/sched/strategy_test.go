@@ -1,0 +1,213 @@
+package sched
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"nobroadcast/internal/model"
+	"nobroadcast/internal/spec"
+	"nobroadcast/internal/trace"
+)
+
+func encodeTrace(t *testing.T, tr *trace.Trace) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tr.EncodeJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+var strategyTestBroadcasts = []BroadcastReq{
+	{Proc: 1, Payload: "a"}, {Proc: 2, Payload: "b"},
+	{Proc: 3, Payload: "c"}, {Proc: 1, Payload: "d"},
+}
+
+func echoRuntime(t *testing.T, n int) *Runtime {
+	t.Helper()
+	r, err := New(Config{N: n, NewAutomaton: newEcho})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestPCTDeterminism: the PCT sampler is a pure function of its seed —
+// same seed replays bit-identically, and different seeds actually explore
+// (at least two distinct schedules among a handful of seeds).
+func TestPCTDeterminism(t *testing.T) {
+	run := func(seed uint64) []byte {
+		r := echoRuntime(t, 3)
+		tr, err := r.Run(NewPCT(3), RunOptions{Seed: seed, Broadcasts: strategyTestBroadcasts})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tr.Complete {
+			t.Fatalf("seed %d: echo run should quiesce", seed)
+		}
+		return encodeTrace(t, tr)
+	}
+	if !bytes.Equal(run(7), run(7)) {
+		t.Fatal("same seed produced different PCT schedules")
+	}
+	distinct := map[string]bool{}
+	for seed := uint64(1); seed <= 6; seed++ {
+		distinct[string(run(seed))] = true
+	}
+	if len(distinct) < 2 {
+		t.Fatalf("6 seeds produced %d distinct schedules; PCT is not exploring", len(distinct))
+	}
+}
+
+// TestRecorderReplayRoundTrip: recording a run is transparent, and
+// replaying the recorded decision sequence on a fresh runtime reproduces
+// the trace byte for byte — the foundation the explore minimizer builds
+// on.
+func TestRecorderReplayRoundTrip(t *testing.T) {
+	opts := RunOptions{Seed: 3, Broadcasts: strategyTestBroadcasts,
+		CrashAt: map[int]model.ProcID{9: 3}}
+
+	plain := echoRuntime(t, 3)
+	want, err := plain.RunRandom(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rec := NewRecorder(NewRandom())
+	recorded := echoRuntime(t, 3)
+	tr, err := recorded.Run(rec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encodeTrace(t, tr), encodeTrace(t, want)) {
+		t.Fatal("recording changed the schedule")
+	}
+	if len(rec.Decisions()) == 0 {
+		t.Fatal("no decisions recorded")
+	}
+
+	replayed := echoRuntime(t, 3)
+	got, err := replayed.Run(NewReplay(rec.Decisions()), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encodeTrace(t, got), encodeTrace(t, want)) {
+		t.Fatal("replay diverged from the recorded run")
+	}
+}
+
+// TestReplayPrefixStops: an exhausted decision sequence stops the run
+// (StopRun) and the prefix trace is not marked complete.
+func TestReplayPrefixStops(t *testing.T) {
+	opts := RunOptions{Seed: 3, Broadcasts: strategyTestBroadcasts}
+	rec := NewRecorder(NewRandom())
+	full, err := echoRuntime(t, 3).Run(rec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := append([]Event(nil), rec.Decisions()[:len(rec.Decisions())/2]...)
+	tr, err := echoRuntime(t, 3).Run(NewReplay(half), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.X.Len() >= full.X.Len() {
+		t.Fatalf("half the decisions produced %d steps, full run %d", tr.X.Len(), full.X.Len())
+	}
+	if tr.Complete {
+		t.Fatal("a cut-short replay must not claim completeness")
+	}
+}
+
+// TestFairCrashOrderDeterministic: several injections becoming due at the
+// same fair crash point fire in sorted (ordinal, process) order — the
+// run replays bit-identically. (The pre-Strategy RunFair iterated the
+// CrashAt map, so simultaneous injections fired in random map order.)
+func TestFairCrashOrderDeterministic(t *testing.T) {
+	opts := RunOptions{Broadcasts: strategyTestBroadcasts,
+		CrashAt: map[int]model.ProcID{4: 2, 5: 3}}
+	run := func() []byte {
+		tr, err := echoRuntime(t, 3).RunFair(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return encodeTrace(t, tr)
+	}
+	first := run()
+	for i := 0; i < 10; i++ {
+		if !bytes.Equal(run(), first) {
+			t.Fatal("fair run with simultaneous crash injections is not deterministic")
+		}
+	}
+}
+
+// TestNewStrategy: name resolution round-trips and unknown names error.
+func TestNewStrategy(t *testing.T) {
+	for _, name := range StrategyNames() {
+		s, err := NewStrategy(name, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Name() != name {
+			t.Fatalf("NewStrategy(%q).Name() = %q", name, s.Name())
+		}
+	}
+	if _, err := NewStrategy("round-robin", 0); err == nil {
+		t.Fatal("unknown strategy name should error")
+	}
+}
+
+// decideThenActApp decides on its first delivery and keeps acting within
+// the same scheduler event, so the runtime records steps after the
+// violating decide before the run loop can observe the latched violation.
+type decideThenActApp struct{}
+
+func (decideThenActApp) Init(env AppEnv, input model.Value) {
+	env.Broadcast(model.Payload(input))
+}
+func (decideThenActApp) OnDeliver(env AppEnv, from model.ProcID, msg model.MsgID, payload model.Payload) {
+	env.Decide(model.Value(fmt.Sprint(payload)))
+	env.Broadcast("post-violation")
+}
+func (decideThenActApp) OnReturn(AppEnv, model.MsgID) {}
+
+// TestLiveViolationTraceTruncated: the trace carried by a
+// LiveViolationError ends exactly at the violating step and is flagged
+// incomplete, even when the runtime recorded further steps inside the
+// same event dispatch — downstream checkers must never mistake the cut
+// prefix for a longer or complete run.
+func TestLiveViolationTraceTruncated(t *testing.T) {
+	r, err := New(Config{
+		N:            2,
+		NewAutomaton: newEcho,
+		NewApp:       func(model.ProcID) App { return decideThenActApp{} },
+		Inputs:       []model.Value{"a", "b"},
+		LiveSpecs:    []spec.Spec{spec.KSA(1)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = r.RunFair(RunOptions{})
+	var lve *LiveViolationError
+	if !errors.As(err, &lve) {
+		t.Fatalf("want LiveViolationError, got %v", err)
+	}
+	if lve.V.Property != "k-SA-Agreement" {
+		t.Fatalf("want k-SA-Agreement, got %v", lve.V)
+	}
+	if got := lve.Trace.X.Len(); got != lve.StepIdx+1 {
+		t.Fatalf("trace has %d steps, violation at index %d", got, lve.StepIdx)
+	}
+	if last := lve.Trace.X.Steps[lve.StepIdx]; last.Kind != model.KindDecide {
+		t.Fatalf("violating step should be the second decide, got %v", last)
+	}
+	if lve.Trace.Complete {
+		t.Fatal("a run cut at a violation must not be complete")
+	}
+	// The truncation mattered: the app's post-decide broadcast was
+	// recorded past the violating step.
+	if r.StepCount() <= lve.StepIdx+1 {
+		t.Fatalf("expected overshoot past step %d, runtime recorded %d", lve.StepIdx, r.StepCount())
+	}
+}

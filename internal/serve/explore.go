@@ -1,0 +1,147 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"nobroadcast/internal/broadcast"
+	"nobroadcast/internal/explore"
+	"nobroadcast/internal/trace"
+)
+
+// Explore-specific service ceilings: the product of schedules and the
+// per-schedule event bound caps the job's total work, sized so a cold
+// exploration fits comfortably inside the default 60s job timeout.
+const (
+	maxSchedules     = 65536
+	maxExploreEvents = 100000
+	maxExploreWork   = 50_000_000 // schedules × max_events
+	maxMinimize      = 8
+)
+
+// ExploreRequest is the body of POST /v1/explore: a violation-hunting
+// sweep over the schedule space of one candidate (see internal/explore).
+// The normalized form is the job's cache identity — exploration results
+// are deterministic in these parameters at any worker count, so repeats
+// are exact cache hits.
+type ExploreRequest struct {
+	Candidate string `json:"candidate"`
+	N         int    `json:"n,omitempty"`         // processes, default 4
+	K         int    `json:"k,omitempty"`         // agreement degree, default 2
+	Strategy  string `json:"strategy,omitempty"`  // random | pct (default) | fair
+	Depth     int    `json:"depth,omitempty"`     // pct priority-change points
+	Schedules int    `json:"schedules,omitempty"` // seeds to explore, default 256
+	Seed      uint64 `json:"seed,omitempty"`      // root seed
+	MaxEvents int    `json:"max_events,omitempty"`
+	Crashes   int    `json:"crashes,omitempty"`  // seeded crash faults per schedule
+	Minimize  int    `json:"minimize,omitempty"` // findings to delta-debug; -1 disables
+}
+
+func (q *ExploreRequest) normalize() error {
+	if q.N == 0 {
+		q.N = 4
+	}
+	if q.N < 1 || q.N > maxProcs {
+		return fmt.Errorf("n must be in 1..%d, got %d", maxProcs, q.N)
+	}
+	if q.K == 0 {
+		q.K = 2
+	}
+	if q.K < 1 || q.K > q.N {
+		return fmt.Errorf("k must be in 1..n, got k=%d n=%d", q.K, q.N)
+	}
+	if q.Strategy == "" {
+		q.Strategy = "pct"
+	}
+	if q.Depth < 0 || q.Depth > 64 {
+		return fmt.Errorf("depth must be in 0..64, got %d", q.Depth)
+	}
+	if q.Schedules == 0 {
+		q.Schedules = 256
+	}
+	if q.Schedules < 1 || q.Schedules > maxSchedules {
+		return fmt.Errorf("schedules must be in 1..%d, got %d", maxSchedules, q.Schedules)
+	}
+	if q.MaxEvents == 0 {
+		q.MaxEvents = explore.DefaultMaxEvents
+	}
+	if q.MaxEvents < 1 || q.MaxEvents > maxExploreEvents {
+		return fmt.Errorf("max_events must be in 1..%d, got %d", maxExploreEvents, q.MaxEvents)
+	}
+	if work := int64(q.Schedules) * int64(q.MaxEvents); work > maxExploreWork {
+		return fmt.Errorf("schedules×max_events = %d exceeds the per-job work ceiling %d", work, maxExploreWork)
+	}
+	if q.Crashes < 0 || q.Crashes >= q.N {
+		return fmt.Errorf("crashes must be in 0..n-1, got %d", q.Crashes)
+	}
+	if q.Minimize < -1 || q.Minimize > maxMinimize {
+		return fmt.Errorf("minimize must be in -1..%d, got %d", maxMinimize, q.Minimize)
+	}
+	if _, err := broadcast.Lookup(q.Candidate); err != nil {
+		return err
+	}
+	// Strategy names are validated by the exploration itself, but doing
+	// it here turns a typo into a 400 instead of a failed job.
+	if q.Strategy != "fair" && q.Strategy != "random" && q.Strategy != "pct" {
+		return fmt.Errorf("strategy must be fair, random, or pct, got %q", q.Strategy)
+	}
+	return nil
+}
+
+func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
+	var q ExploreRequest
+	if err := json.NewDecoder(r.Body).Decode(&q); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if err := q.normalize(); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	hash := canonicalHash("explore", &q)
+	s.runManaged(w, r, "explore", hash, q.Seed, func(ctx context.Context) (jobOutput, error) {
+		return s.executeExplore(ctx, &q)
+	})
+}
+
+// executeExplore runs the exploration and renders its deterministic
+// Result as the response document. The first minimized finding's .ktr
+// trace doubles as the job trace, so GET /v1/jobs/{id}/trace downloads
+// the machine-found counterexample directly.
+func (s *Server) executeExplore(ctx context.Context, q *ExploreRequest) (jobOutput, error) {
+	s.explores.Inc()
+	start := time.Now()
+	res, err := explore.Run(ctx, explore.Options{
+		Candidate: q.Candidate,
+		N:         q.N,
+		K:         q.K,
+		Strategy:  q.Strategy,
+		Depth:     q.Depth,
+		Schedules: q.Schedules,
+		Seed:      q.Seed,
+		MaxEvents: q.MaxEvents,
+		Crashes:   q.Crashes,
+		Minimize:  q.Minimize,
+		Workers:   s.cfg.Workers,
+		Obs:       s.reg,
+	})
+	if err != nil {
+		return jobOutput{}, err
+	}
+	// schedules/sec is the tracked benchmark of the exploration path; it
+	// is wall-clock, so it lives in obs, never in the cacheable body.
+	if secs := time.Since(start).Seconds(); secs > 0 {
+		s.exploreRate.Observe(int64(float64(res.Schedules) / secs))
+	}
+	var tr *trace.Trace
+	if len(res.Findings) > 0 && len(res.Findings[0].KTR) > 0 {
+		if tr, err = trace.DecodeBinary(bytes.NewReader(res.Findings[0].KTR)); err != nil {
+			return jobOutput{}, fmt.Errorf("serve: minimized trace does not decode: %w", err)
+		}
+	}
+	return encodeBody(res, tr)
+}

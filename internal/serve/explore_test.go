@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"nobroadcast/internal/explore"
+	"nobroadcast/internal/spec"
+	"nobroadcast/internal/trace"
+)
+
+// TestExploreEndpoint: POST /v1/explore hunts the seeded-fault target
+// (send-to-all cannot solve k-SA for k<n), returns minimized findings,
+// caches the result byte-identically, and serves the first finding's
+// minimized counterexample as the job trace.
+func TestExploreEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	req := `{"candidate":"send-to-all","n":3,"k":1,"strategy":"random","schedules":12,"seed":42,"minimize":1}`
+
+	r1, b1 := postJSON(t, ts.URL+"/v1/explore", req)
+	if r1.StatusCode != http.StatusOK {
+		t.Fatalf("explore: status %d, body %s", r1.StatusCode, b1)
+	}
+	var res explore.Result
+	if err := json.Unmarshal(b1, &res); err != nil {
+		t.Fatalf("result document: %v", err)
+	}
+	if res.Violations == 0 || len(res.Findings) == 0 {
+		t.Fatalf("no violations found: %s", b1)
+	}
+	f := res.Findings[0]
+	if f.Property != "k-SA-Agreement" || f.MinLen == 0 || len(f.KTR) == 0 {
+		t.Fatalf("finding not minimized: %+v", f)
+	}
+
+	// Determinism makes the repeat an exact cache hit.
+	r2, b2 := postJSON(t, ts.URL+"/v1/explore", req)
+	if got := r2.Header.Get("X-Cache"); got != "hit" {
+		t.Fatalf("second explore X-Cache = %q, want hit", got)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("cached explore body differs")
+	}
+
+	// The job trace is the minimized .ktr counterexample.
+	jobID := r1.Header.Get("X-Job-Id")
+	httpReq, err := http.NewRequest("GET", ts.URL+"/v1/jobs/"+jobID+"/trace", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpReq.Header.Set("Accept", trace.ContentTypeBinary)
+	resp, err := http.DefaultClient.Do(httpReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace download: status %d", resp.StatusCode)
+	}
+	tr, err := trace.DecodeBinary(resp.Body)
+	if err != nil {
+		t.Fatalf("downloaded trace: %v", err)
+	}
+	if tr.X.Len() != f.MinSteps {
+		t.Fatalf("downloaded %d steps, finding says %d", tr.X.Len(), f.MinSteps)
+	}
+	if v := spec.KSA(1).Check(tr); v == nil || v.Property != f.Property {
+		t.Fatalf("downloaded counterexample does not re-check: %v", v)
+	}
+}
+
+// TestExploreValidationHTTP: malformed explorations are 400s, before any
+// work is admitted.
+func TestExploreValidationHTTP(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	bad := []string{
+		`{"candidate":"no-such"}`,
+		`{"candidate":"kbo","n":200}`,
+		`{"candidate":"kbo","k":9}`,
+		`{"candidate":"kbo","strategy":"zigzag"}`,
+		`{"candidate":"kbo","schedules":1000000}`,
+		`{"candidate":"kbo","schedules":65536,"max_events":100000}`,
+		`{"candidate":"kbo","crashes":4}`,
+		`{"candidate":"kbo","minimize":99}`,
+	}
+	for _, body := range bad {
+		resp, b := postJSON(t, ts.URL+"/v1/explore", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d (%s), want 400", body, resp.StatusCode, b)
+		}
+	}
+}

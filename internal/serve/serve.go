@@ -28,6 +28,10 @@
 //	POST /v1/adversary      Algorithm 1 construction, β projection summary
 //	POST /v1/check          upload a trace (binary ksatrace or JSONL, by
 //	                        Content-Type), per-spec verdicts (streamed checking)
+//	POST /v1/explore        violation-hunting schedule-space sweep with
+//	                        delta-debugged minimized counterexamples
+//	                        (internal/explore); the first finding's .ktr is
+//	                        the job trace
 //	GET  /v1/jobs/{id}      job status and result
 //	GET  /v1/jobs/{id}/trace  streaming trace download (binary ksatrace or
 //	                          JSONL, by Accept)
@@ -129,9 +133,10 @@ type Server struct {
 	hits, misses, coalesced    *obs.Counter
 	admitted, rejected         *obs.Counter
 	completed, failedC, cancel *obs.Counter
-	checks                     *obs.Counter
+	checks, explores           *obs.Counter
 	uncached, timeouts, panics *obs.Counter
 	queueDepth, inflight       *obs.Gauge
+	exploreRate                *obs.Histogram
 
 	// Stage histograms (microseconds): where a request's time went.
 	queueWaitUS, execUS, totalUS, decodeUS *obs.Histogram
@@ -166,6 +171,9 @@ func New(cfg Config) *Server {
 	s.failedC = s.reg.Counter("serve.jobs_failed")
 	s.cancel = s.reg.Counter("serve.jobs_cancelled")
 	s.checks = s.reg.Counter("serve.checks")
+	s.explores = s.reg.Counter("serve.explores")
+	s.exploreRate = s.reg.Histogram("serve.explore_sched_per_sec",
+		10, 50, 100, 500, 1000, 5000, 10000, 50000, 100000, 500000)
 	s.uncached = s.reg.Counter("serve.uncached")
 	s.timeouts = s.reg.Counter("serve.timeouts")
 	s.panics = s.reg.Counter("serve.panics")
@@ -180,6 +188,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /v1/run", s.handleRun)
 	mux.HandleFunc("POST /v1/adversary", s.handleAdversary)
 	mux.HandleFunc("POST /v1/check", s.handleCheck)
+	mux.HandleFunc("POST /v1/explore", s.handleExplore)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
