@@ -1,10 +1,10 @@
 # Convenience targets for the reproduction artifact.
-.PHONY: all test race bench bench-pr4 bench-pr6 bench-pr7 bench-pr8 bench-all fuzz-smoke figure1 impossibility outputs metrics-smoke serve-smoke load-smoke
+.PHONY: all test race bench bench-pr4 bench-pr6 bench-pr7 bench-pr8 bench-pr9 bench-all fuzz-smoke figure1 impossibility outputs metrics-smoke serve-smoke load-smoke fabric-smoke profile-feed
 all: test
 test:
 	go build ./... && go vet ./... && go test ./...
 race:
-	go test -race ./internal/net ./internal/sharedmem ./internal/sched ./internal/conformance ./internal/sweep ./internal/explore ./internal/serve
+	go test -race ./internal/net ./internal/sharedmem ./internal/sched ./internal/conformance ./internal/sweep ./internal/explore ./internal/fabric ./internal/serve
 stress:
 	go test -race -count=3 -run 'Reentrant|Concurrent|Stress|Stop|Reorder' ./internal/net
 
@@ -182,6 +182,38 @@ bench-pr8:
 	/tmp/ksasim -b kbo -n 4 -k 2 -explore -strategy random -schedules 400 -seed 1 -minimize 3 | tee /tmp/bench_pr8.txt
 	/tmp/ksasim -b kbo -n 4 -k 2 -explore -strategy pct -depth 3 -schedules 400 -seed 1 -minimize 3 | tee -a /tmp/bench_pr8.txt
 	$(call bench-json,/tmp/bench_pr8.txt,AWK_PR8,BENCH_PR8.json)
+
+# bench-pr9: the PR 9 headline artifact — aggregate conformance-corpus
+# throughput on a single daemon vs a coordinator sharding the same grid
+# over 2 and 4 in-process worker daemons, as BENCH_PR9.json. The corpus
+# is latency-bound (timer waits dominate each cell), so the fabric's
+# overlap shows near-linear speedup even on one core; fresh seeds per
+# iteration keep every cache out of the measurement.
+AWK_PR9 = '/^BenchmarkFabricCorpus\/single/ { s1=$$3 } \
+  /^BenchmarkFabricCorpus\/workers=2/ { w2=$$3 } \
+  /^BenchmarkFabricCorpus\/workers=4/ { w4=$$3 } \
+  END { if (!s1 || !w2 || !w4) exit 1; \
+    printf "{\n  \"benchmark\": \"distributed sweep fabric: conformance corpus sharded over worker daemons\",\n  \"gomaxprocs\": %d,\n  \"workload\": \"full conformance corpus (30 cells), merged byte-identical to single-host\",\n  \"single_daemon_ns_per_op\": %.0f,\n  \"fabric_2workers_ns_per_op\": %.0f,\n  \"fabric_4workers_ns_per_op\": %.0f,\n  \"speedup_2v1\": %.2f,\n  \"speedup_4v1\": %.2f\n}\n", gomaxprocs, s1, w2, w4, s1/w2, s1/w4 }'
+bench-pr9:
+	go test -run '^$$' -bench 'BenchmarkFabricCorpus$$' -benchtime 5x ./internal/serve | tee /tmp/bench_pr9.txt
+	awk -v gomaxprocs=$$(nproc) $(AWK_PR9) /tmp/bench_pr9.txt > BENCH_PR9.json
+	cat BENCH_PR9.json
+
+# fabric-smoke: the cluster path end to end, in-process — a coordinator
+# with two worker daemons (one an injected straggler) runs one corpus
+# sweep; the test asserts the merged body is byte-identical to a
+# single-host run and that work-stealing engaged (fabric.steals > 0).
+fabric-smoke:
+	go test -run 'TestFabricSmoke$$' -count=1 -v ./internal/serve
+	@echo "fabric smoke test passed"
+
+# profile-feed: CPU profile of the checker hot path (every registered
+# spec's online Feed loop) for pprof archaeology:
+#   go tool pprof /tmp/spec.test /tmp/feed.pprof
+profile-feed:
+	go test -run '^$$' -bench 'BenchmarkCheckerFeed$$' -benchtime 2x \
+	  -cpuprofile /tmp/feed.pprof -o /tmp/spec.test ./internal/spec
+	@echo "profile written to /tmp/feed.pprof (binary /tmp/spec.test)"
 
 # fuzz-smoke: a short budgeted run of every fuzz target — enough to catch
 # an outright decoder regression on the seed-adjacent frontier without

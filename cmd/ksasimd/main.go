@@ -8,11 +8,21 @@
 //	ksasimd [-addr 127.0.0.1:8321] [-workers 4] [-queue 64] [-cache 128]
 //	        [-job-timeout 60s] [-drain-timeout 30s] [-trace] [-pprof]
 //	        [-metrics] [-events out.jsonl]
+//	        [-coordinator http://w1:8321,http://w2:8321] [-steal 100ms]
+//
+// With -coordinator the daemon fans sweep-shaped jobs (/v1/explore,
+// /v1/corpus) out to the listed worker daemons as cell-range shards
+// (internal/fabric: work-stealing after -steal of straggling, retry with
+// backoff, readiness-aware dispatch) and merges the results — the
+// positional seed derivation makes the merged body byte-identical to a
+// single-host run. Workers need no special configuration: every daemon
+// already serves /v1/shards and the fleet cache.
 //
 // On SIGTERM or SIGINT the daemon drains gracefully: the listener closes,
-// requests that would start new jobs get 503, jobs already accepted run
-// to completion (bounded by -drain-timeout), and the observability sinks
-// flush before exit. A clean drain exits 0.
+// requests that would start new jobs get 503 (and /readyz flips to 503 so
+// coordinators stop dispatching here, while /healthz stays 200), jobs
+// already accepted run to completion (bounded by -drain-timeout), and the
+// observability sinks flush before exit. A clean drain exits 0.
 //
 //	curl -s localhost:8321/healthz
 //	curl -s -XPOST localhost:8321/v1/run -d '{"candidate":"fifo","n":4}'
@@ -29,6 +39,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -38,6 +49,18 @@ import (
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// splitWorkers parses the -coordinator flag: a comma-separated worker
+// URL list, empty meaning a plain single daemon.
+func splitWorkers(s string) []string {
+	var urls []string
+	for _, u := range strings.Split(s, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	return urls
 }
 
 // run maps the daemon body to a process exit code. The body defers its
@@ -62,6 +85,9 @@ func cmdRun(args []string, out io.Writer) (err error) {
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "SIGTERM drain budget for in-flight jobs")
 	traceOn := fs.Bool("trace", false, "request-scoped tracing: per-request span trees in the -events sink, X-Trace-Id echo")
 	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof at /debug/pprof/ and runtime metrics at /debug/runtime")
+	coordinator := fs.String("coordinator", "", "comma-separated worker daemon URLs; shard sweep jobs over them")
+	steal := fs.Duration("steal", 100*time.Millisecond, "age at which a straggling shard is stolen and re-split; 0 disables")
+	shardLag := fs.Duration("shard-lag", 0, "test hook: injected latency before every shard this worker executes")
 	oc := obs.BindFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -78,14 +104,21 @@ func cmdRun(args []string, out io.Writer) (err error) {
 		return err
 	}
 
+	stealAge := *steal
+	if stealAge <= 0 {
+		stealAge = -1 // fabric reads negative as "stealing disabled"
+	}
 	srv := serve.New(serve.Config{
-		Workers:      *workers,
-		QueueDepth:   *queue,
-		CacheEntries: *cacheN,
-		JobTimeout:   *jobTimeout,
-		Obs:          reg, // nil lets serve build its own, /metrics stays live
-		Trace:        *traceOn,
-		Pprof:        *pprofOn,
+		Workers:       *workers,
+		QueueDepth:    *queue,
+		CacheEntries:  *cacheN,
+		JobTimeout:    *jobTimeout,
+		Obs:           reg, // nil lets serve build its own, /metrics stays live
+		Trace:         *traceOn,
+		Pprof:         *pprofOn,
+		FabricWorkers: splitWorkers(*coordinator),
+		StealAge:      stealAge,
+		ShardLag:      *shardLag,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -1,8 +1,10 @@
 // Command ksasimload is the load generator for the ksasimd serving path:
-// it drives a zipfian mix of workload-run, adversary-construction, and
-// trace-check requests at a target rate (open loop) or at full tilt
-// under bounded concurrency (closed loop), and reports client-side
-// latency quantiles next to the daemon's own counter deltas.
+// it drives a zipfian mix of workload-run, adversary-construction,
+// trace-check, exploration, and conformance-corpus requests at a target
+// rate (open loop) or at full tilt under bounded concurrency (closed
+// loop), and reports client-side latency quantiles next to the daemon's
+// own counter deltas. Pointed at a coordinator daemon, an
+// explore/corpus mix loads the whole sweep fabric.
 //
 // Usage:
 //
@@ -178,9 +180,9 @@ func parseMix(spec string) ([]kindWeight, error) {
 			return nil, fmt.Errorf("mix entry %q: weight must be a non-negative integer", part)
 		}
 		switch kind {
-		case "run", "adversary", "check":
+		case "run", "adversary", "check", "explore", "corpus":
 		default:
-			return nil, fmt.Errorf("mix entry %q: unknown kind (want run, adversary, or check)", part)
+			return nil, fmt.Errorf("mix entry %q: unknown kind (want run, adversary, check, explore, or corpus)", part)
 		}
 		if w > 0 {
 			mix = append(mix, kindWeight{kind, w})
@@ -244,6 +246,38 @@ func buildUniverse(cfg loadConfig) (map[string][]request, error) {
 			return nil, err
 		}
 		out["check"] = []request{{kind: "check", path: "/v1/check?spec=all&k=2", body: body}}
+	}
+	if kinds["explore"] {
+		// Small violation-hunting sweeps, sized so one request is a few
+		// hundred milliseconds of sweep work rather than a full hunt. On a
+		// coordinator daemon these exercise the whole fabric per request.
+		rs := make([]request, 0, cfg.universe)
+		for i := 0; i < cfg.universe; i++ {
+			body, err := json.Marshal(map[string]any{
+				"candidate": "kbo",
+				"n":         3 + i%2,
+				"strategy":  []string{"random", "pct"}[i%2],
+				"schedules": 16,
+				"seed":      i,
+				"minimize":  -1, // latency-focused: skip delta-debugging
+			})
+			if err != nil {
+				return nil, err
+			}
+			rs = append(rs, request{kind: "explore", path: "/v1/explore", body: body})
+		}
+		out["explore"] = rs
+	}
+	if kinds["corpus"] {
+		rs := make([]request, 0, cfg.universe)
+		for i := 0; i < cfg.universe; i++ {
+			body, err := json.Marshal(map[string]any{"seed": i})
+			if err != nil {
+				return nil, err
+			}
+			rs = append(rs, request{kind: "corpus", path: "/v1/corpus", body: body})
+		}
+		out["corpus"] = rs
 	}
 	return out, nil
 }

@@ -20,6 +20,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 
 	"nobroadcast/internal/broadcast"
 	"nobroadcast/internal/model"
@@ -274,19 +275,126 @@ func (e *engine) reproduces(decisions []sched.Event, want *spec.Violation, cellS
 // Run explores the schedule space. The returned Result is deterministic
 // in Options; ctx cancels both the sweep and the minimization phase.
 func Run(ctx context.Context, o Options) (*Result, error) {
+	sh, err := Scan(ctx, o, 0, o.Schedules)
+	if err != nil {
+		return nil, err
+	}
+	return Merge(o, []*Shard{sh})
+}
+
+// Shard is the outcome of scanning one contiguous cell range [Lo, Hi) of
+// an exploration. Because every cell's randomness derives positionally
+// from the root seed, a Shard is a pure function of (Options, Lo, Hi):
+// the same range scanned on any host, at any worker count, inside any
+// partitioning, yields the same Shard — which is what lets a coordinator
+// fan ranges out to a fleet and still merge a byte-identical Result.
+type Shard struct {
+	Lo         int            `json:"lo"`
+	Hi         int            `json:"hi"`
+	Violations int            `json:"violations"`
+	TotalSteps int            `json:"total_steps"`
+	Findings   []ShardFinding `json:"findings,omitempty"`
+}
+
+// ShardFinding carries one minimized finding plus the replay count its
+// minimization spent. Replays stay per-finding (not summed into the
+// shard) because the merged Result counts only the replays of the
+// findings it keeps: a shard minimizes up to the budget within its own
+// range, but globally-late findings are dropped at merge time and their
+// replay cost must not leak into the deterministic Result.
+type ShardFinding struct {
+	Finding
+	Replays int `json:"replays"`
+}
+
+// Scan explores the cell range [lo, hi) of the schedule space described
+// by o. Cell seeds derive from the cell's GLOBAL index — rng.Derive(Seed,
+// cell), not the position within this shard — so any partitioning of
+// [0, Schedules) into Scan calls is bit-identical to one full-range run.
+// Per-shard findings are minimized up to o's budget (a finding that is
+// within the budget globally is necessarily within it in its own shard).
+func Scan(ctx context.Context, o Options, lo, hi int) (*Shard, error) {
 	e, err := newEngine(o)
 	if err != nil {
 		return nil, err
 	}
-	outs, err := sweep.Run(ctx, o.Schedules, sweep.Options{
+	if lo < 0 || hi > o.Schedules || lo >= hi {
+		return nil, fmt.Errorf("explore: shard range [%d,%d) outside schedules [0,%d)", lo, hi, o.Schedules)
+	}
+	outs, err := sweep.Run(ctx, hi-lo, sweep.Options{
 		Workers: o.Workers,
 		Seed:    o.Seed,
 		Obs:     o.Obs,
 	}, func(ctx context.Context, c sweep.Cell) (cellOut, error) {
-		return e.search(c)
+		// Global positional seed: cell lo+c.Index of the exploration, not
+		// cell c.Index of this shard.
+		return e.search(sweep.Cell{Index: lo + c.Index, Seed: rng.Derive(o.Seed, uint64(lo+c.Index))})
 	})
 	if err != nil {
 		return nil, err
+	}
+
+	sh := &Shard{Lo: lo, Hi: hi}
+	reg := o.Obs
+	replays := 0
+	for i, out := range outs {
+		cell := lo + i
+		sh.TotalSteps += out.steps
+		if out.v == nil {
+			continue
+		}
+		sh.Violations++
+		if len(sh.Findings) >= o.minimize() {
+			continue
+		}
+		f := Finding{
+			Cell: cell, Seed: rng.Derive(o.Seed, uint64(cell)),
+			Spec: out.v.Spec, Property: out.v.Property, Detail: out.v.Detail,
+			StepIdx: out.v.StepIdx, ScheduleLen: len(out.decisions),
+		}
+		min, r, err := e.minimizeFinding(ctx, out, f.Seed)
+		if err != nil {
+			return nil, err
+		}
+		replays += r
+		if min != nil {
+			f.MinLen = min.len
+			f.MinSteps = min.steps
+			f.KTR = min.ktr
+			reg.Histogram("explore.min_len").Observe(int64(min.len))
+		}
+		sh.Findings = append(sh.Findings, ShardFinding{Finding: f, Replays: r})
+	}
+	reg.Counter("explore.schedules").Add(int64(hi - lo))
+	reg.Counter("explore.violations").Add(int64(sh.Violations))
+	reg.Counter("explore.steps").Add(int64(sh.TotalSteps))
+	reg.Counter("explore.minimize_replays").Add(int64(replays))
+	return sh, nil
+}
+
+// Merge assembles shards covering [0, o.Schedules) into the Result a
+// single full-range run would produce, byte-identical: violation and
+// step totals sum; findings concatenate in cell order up to the minimize
+// budget (each shard over-collects at most its own budget, so the first
+// budget findings globally are all present); Replays counts only the
+// minimizations of the findings kept. Shards may arrive in any order but
+// must tile the range exactly.
+func Merge(o Options, shards []*Shard) (*Result, error) {
+	ordered := make([]*Shard, len(shards))
+	copy(ordered, shards)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Lo < ordered[j].Lo })
+	next := 0
+	for _, sh := range ordered {
+		if sh == nil {
+			return nil, fmt.Errorf("explore: merge: missing shard at cell %d", next)
+		}
+		if sh.Lo != next || sh.Hi <= sh.Lo {
+			return nil, fmt.Errorf("explore: merge: shard [%d,%d) does not continue coverage at cell %d", sh.Lo, sh.Hi, next)
+		}
+		next = sh.Hi
+	}
+	if next != o.Schedules {
+		return nil, fmt.Errorf("explore: merge: shards cover [0,%d), want [0,%d)", next, o.Schedules)
 	}
 
 	res := &Result{
@@ -295,38 +403,17 @@ func Run(ctx context.Context, o Options) (*Result, error) {
 		MaxEvents: o.maxEvents(), Crashes: o.Crashes,
 		Findings: []Finding{},
 	}
-	reg := o.Obs
-	for i, out := range outs {
-		res.TotalSteps += out.steps
-		if out.v == nil {
-			continue
+	for _, sh := range ordered {
+		res.Violations += sh.Violations
+		res.TotalSteps += sh.TotalSteps
+		for _, sf := range sh.Findings {
+			if len(res.Findings) >= o.minimize() {
+				break
+			}
+			res.Replays += sf.Replays
+			res.Findings = append(res.Findings, sf.Finding)
 		}
-		res.Violations++
-		if len(res.Findings) >= o.minimize() {
-			continue
-		}
-		f := Finding{
-			Cell: i, Seed: rng.Derive(o.Seed, uint64(i)),
-			Spec: out.v.Spec, Property: out.v.Property, Detail: out.v.Detail,
-			StepIdx: out.v.StepIdx, ScheduleLen: len(out.decisions),
-		}
-		min, replays, err := e.minimizeFinding(ctx, out, f.Seed)
-		if err != nil {
-			return nil, err
-		}
-		res.Replays += replays
-		if min != nil {
-			f.MinLen = min.len
-			f.MinSteps = min.steps
-			f.KTR = min.ktr
-			reg.Histogram("explore.min_len").Observe(int64(min.len))
-		}
-		res.Findings = append(res.Findings, f)
 	}
-	reg.Counter("explore.schedules").Add(int64(o.Schedules))
-	reg.Counter("explore.violations").Add(int64(res.Violations))
-	reg.Counter("explore.steps").Add(int64(res.TotalSteps))
-	reg.Counter("explore.minimize_replays").Add(int64(res.Replays))
 	return res, nil
 }
 

@@ -1,0 +1,97 @@
+package explore
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+// shardOpts is a small exploration known to find violations (kbo's
+// k-Bounded-Order breaks under random sampling at k=2), so the identity
+// checks below cover findings, minimized .ktr bytes, and replay counts —
+// not just the zero-violation counters.
+func shardOpts() Options {
+	return Options{
+		Candidate: "kbo", N: 4, K: 2,
+		Strategy: "random", Schedules: 24, Seed: 1,
+		Minimize: 2, Workers: 2,
+	}
+}
+
+// TestScanMergeMatchesRun is the invariant the distributed fabric is
+// built on: any partitioning of [0, Schedules) into Scan ranges, merged,
+// is byte-identical to one full-range Run.
+func TestScanMergeMatchesRun(t *testing.T) {
+	o := shardOpts()
+	want, err := Run(context.Background(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Violations == 0 || len(want.Findings) != 2 {
+		t.Fatalf("test exploration found %d violations, %d findings; want violations>0 and exactly 2 findings",
+			want.Violations, len(want.Findings))
+	}
+	wantJSON, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A fine-grained partition (single-cell shards) would also pass but
+	// delta-debugs every violating cell in its own shard, which is most of
+	// a minute; these cover the interesting cut shapes at test speed.
+	partitions := [][]int{
+		{0, 24},
+		{0, 12, 24},
+		{0, 5, 6, 17, 24},
+	}
+	for _, cuts := range partitions {
+		var shards []*Shard
+		// Scan out of order to exercise Merge's sorting.
+		for i := len(cuts) - 2; i >= 0; i-- {
+			sh, err := Scan(context.Background(), o, cuts[i], cuts[i+1])
+			if err != nil {
+				t.Fatalf("Scan[%d,%d): %v", cuts[i], cuts[i+1], err)
+			}
+			shards = append(shards, sh)
+		}
+		got, err := Merge(o, shards)
+		if err != nil {
+			t.Fatalf("Merge(%v): %v", cuts, err)
+		}
+		gotJSON, err := json.Marshal(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(gotJSON) != string(wantJSON) {
+			t.Errorf("partition %v: merged result differs from single-range run\n got: %s\nwant: %s", cuts, gotJSON, wantJSON)
+		}
+	}
+}
+
+// TestMergeRejectsBadCoverage: gaps, overlaps, and short coverage are
+// structural errors, never silently merged.
+func TestMergeRejectsBadCoverage(t *testing.T) {
+	o := shardOpts()
+	cases := map[string][]*Shard{
+		"gap":     {{Lo: 0, Hi: 10}, {Lo: 12, Hi: 24}},
+		"overlap": {{Lo: 0, Hi: 14}, {Lo: 12, Hi: 24}},
+		"short":   {{Lo: 0, Hi: 20}},
+		"empty":   {{Lo: 0, Hi: 0}, {Lo: 0, Hi: 24}},
+		"nil":     {nil},
+	}
+	for name, shards := range cases {
+		if _, err := Merge(o, shards); err == nil {
+			t.Errorf("%s: Merge accepted bad shard coverage", name)
+		}
+	}
+}
+
+// TestScanRejectsBadRange: out-of-bounds shard ranges fail fast.
+func TestScanRejectsBadRange(t *testing.T) {
+	o := shardOpts()
+	for _, r := range [][2]int{{-1, 5}, {0, 25}, {5, 5}, {6, 2}} {
+		if _, err := Scan(context.Background(), o, r[0], r[1]); err == nil {
+			t.Errorf("Scan[%d,%d): accepted out-of-range shard", r[0], r[1])
+		}
+	}
+}

@@ -1,0 +1,570 @@
+// Package fabric is the coordinator side of the distributed sweep
+// cluster (ROADMAP item 1): it splits a sweep-shaped job — a grid of
+// independent cells whose randomness derives positionally from one root
+// seed — into contiguous cell-range shards, fans the shards out to
+// worker daemons over HTTP (POST /v1/shards), and hands the partial
+// bodies back in grid order for the caller to merge.
+//
+// Everything here leans on one invariant: a shard's result is a pure
+// function of (request, lo, hi). That makes shard retry idempotent — a
+// worker dying mid-shard loses nothing, the range just runs again
+// elsewhere — and it makes work-stealing free of coordination: a stolen
+// straggler is cancelled outright and its range re-split, because
+// re-executing half a shard costs only time, never correctness. It is
+// also why the fleet can share one result cache: the canonical parameter
+// hash names the bytes, so any worker's cache entry (GET /v1/cache/) is
+// the answer.
+//
+// Robustness model:
+//
+//   - Per-shard retry with capped exponential backoff + jitter; a shard
+//     that fails MaxAttempts times fails the run.
+//   - A worker's 429/503 Retry-After is honored as the backoff floor,
+//     and the worker is probed via /readyz before it is dispatched to
+//     again — a SIGTERM-draining worker drops out of rotation instead of
+//     eating its shards' retry budget.
+//   - Work-stealing: an idle worker with an empty queue cancels the
+//     oldest big in-flight shard (age ≥ StealAge, span ≥ 2 cells),
+//     splits its range in half, and requeues both — recursively, so a
+//     straggler's tail shrinks geometrically.
+//
+// Observability: fabric.{shards,steals,retries,worker_fail,peer_hits,
+// peer_misses,cache_push} counters, fabric.workers / fabric.workers_ready
+// gauges, and per-shard spans (fabric.dispatch → fabric.shard) joined to
+// the request's trace context; the X-Trace-Id travels to workers so one
+// trace id names the whole fan-out.
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"nobroadcast/internal/obs"
+)
+
+// ShardEnvelope is the body of POST /v1/shards: one cell range of the
+// embedded request. Kind selects the worker-side executor ("explore" or
+// "corpus"); Req is the normalized request whose cells [Lo, Hi) this
+// shard covers.
+type ShardEnvelope struct {
+	Kind string          `json:"kind"`
+	Lo   int             `json:"lo"`
+	Hi   int             `json:"hi"`
+	Req  json.RawMessage `json:"req"`
+}
+
+// Partial is one shard's result body, positioned in the grid.
+type Partial struct {
+	Lo, Hi int
+	Body   []byte
+}
+
+// Config parameterizes a Coordinator.
+type Config struct {
+	// Workers are the worker daemons' base URLs (e.g.
+	// "http://10.0.0.2:8321"). At least one is required.
+	Workers []string
+	// ShardsPer is the initial shard count per worker (default 4): small
+	// enough to amortize HTTP round-trips, large enough that the natural
+	// tail is short before stealing even starts.
+	ShardsPer int
+	// StealAge is how long an in-flight shard must have been running
+	// before an idle worker may cancel-and-resplit it. Zero selects the
+	// 100ms default; negative disables stealing.
+	StealAge time.Duration
+	// MaxAttempts bounds one shard's dispatch attempts (default 5).
+	MaxAttempts int
+	// BackoffBase/BackoffMax bound the per-worker retry backoff
+	// (defaults 50ms / 2s); a worker's Retry-After raises the floor.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// ProbeTimeout bounds one /readyz or /v1/cache probe (default 1s).
+	ProbeTimeout time.Duration
+	// Client is the HTTP client for all worker traffic; nil uses a
+	// dedicated client with no global timeout (shard contexts bound it).
+	Client *http.Client
+	// Obs receives the fabric.* counters, gauges, and spans.
+	Obs *obs.Registry
+}
+
+func (c *Config) defaults() {
+	if c.ShardsPer <= 0 {
+		c.ShardsPer = 4
+	}
+	if c.StealAge == 0 {
+		c.StealAge = 100 * time.Millisecond
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 5
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 50 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 2 * time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = time.Second
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{}
+	}
+	if c.Obs == nil {
+		c.Obs = obs.New()
+	}
+}
+
+// Coordinator fans shard ranges out to a fixed worker fleet. It is safe
+// for concurrent Runs; per-run dispatch state is private to each Run.
+type Coordinator struct {
+	cfg Config
+	reg *obs.Registry
+
+	shards, steals, retries *obs.Counter
+	workerFail              *obs.Counter
+	peerHits, peerMisses    *obs.Counter
+	cachePush               *obs.Counter
+	workersG, readyG        *obs.Gauge
+}
+
+// New builds a coordinator over cfg.Workers.
+func New(cfg Config) (*Coordinator, error) {
+	if len(cfg.Workers) == 0 {
+		return nil, fmt.Errorf("fabric: no workers configured")
+	}
+	cfg.defaults()
+	c := &Coordinator{
+		cfg:        cfg,
+		reg:        cfg.Obs,
+		shards:     cfg.Obs.Counter("fabric.shards"),
+		steals:     cfg.Obs.Counter("fabric.steals"),
+		retries:    cfg.Obs.Counter("fabric.retries"),
+		workerFail: cfg.Obs.Counter("fabric.worker_fail"),
+		peerHits:   cfg.Obs.Counter("fabric.peer_hits"),
+		peerMisses: cfg.Obs.Counter("fabric.peer_misses"),
+		cachePush:  cfg.Obs.Counter("fabric.cache_push"),
+		workersG:   cfg.Obs.Gauge("fabric.workers"),
+		readyG:     cfg.Obs.Gauge("fabric.workers_ready"),
+	}
+	c.workersG.Set(int64(len(cfg.Workers)))
+	c.readyG.Set(int64(len(cfg.Workers)))
+	return c, nil
+}
+
+// Workers reports the fleet size.
+func (c *Coordinator) Workers() int { return len(c.cfg.Workers) }
+
+// task is one queued cell range; attempts survive requeues (a steal
+// carries attempts over, a failure increments them).
+type task struct {
+	lo, hi   int
+	attempts int
+}
+
+// running is one dispatched task: who runs it, since when, and the
+// cancel that a stealer pulls to reclaim the range.
+type running struct {
+	t      *task
+	worker int
+	start  time.Time
+	ctx    context.Context
+	cancel context.CancelFunc
+	stolen bool
+}
+
+// runState is the per-Run dispatch ledger. done closes when the run
+// settles (full coverage or first fatal error), waking sleepers.
+type runState struct {
+	mu       sync.Mutex
+	queue    []*task
+	inflight map[*task]*running
+	parts    []Partial
+	covered  int
+	cells    int
+	err      error
+	done     chan struct{}
+	finished bool
+}
+
+func (st *runState) settleLocked() {
+	if !st.finished && (st.err != nil || st.covered == st.cells) {
+		st.finished = true
+		close(st.done)
+	}
+}
+
+// failLocked records the first fatal error; later ones lose the race and
+// are dropped (the first is what aborted the run).
+func (st *runState) failLocked(err error) {
+	if st.err == nil {
+		st.err = err
+	}
+	st.settleLocked()
+}
+
+// Run splits cells into shards, dispatches them across the fleet until
+// [0, cells) is covered, and returns the partial bodies sorted in grid
+// order. kind and req travel verbatim in each shard's envelope; ctx
+// cancellation aborts every in-flight shard request.
+func (c *Coordinator) Run(ctx context.Context, kind string, req json.RawMessage, cells int) ([]Partial, error) {
+	if cells < 1 {
+		return nil, fmt.Errorf("fabric: run has %d cells", cells)
+	}
+	sp, ctx := c.reg.StartSpanIfTraced(ctx, "fabric.dispatch")
+	defer sp.End()
+	rctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	st := &runState{
+		inflight: make(map[*task]*running),
+		cells:    cells,
+		done:     make(chan struct{}),
+	}
+	nshards := min(cells, c.cfg.ShardsPer*len(c.cfg.Workers))
+	for i := 0; i < nshards; i++ {
+		st.queue = append(st.queue, &task{lo: i * cells / nshards, hi: (i + 1) * cells / nshards})
+	}
+
+	var wg sync.WaitGroup
+	for wi := range c.cfg.Workers {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			c.workerLoop(rctx, st, wi, kind, req)
+		}(wi)
+	}
+	wg.Wait()
+
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.err != nil {
+		return nil, st.err
+	}
+	if err := context.Cause(ctx); err != nil {
+		return nil, err
+	}
+	if st.covered != cells {
+		return nil, fmt.Errorf("fabric: internal: covered %d of %d cells", st.covered, cells)
+	}
+	sort.Slice(st.parts, func(i, j int) bool { return st.parts[i].Lo < st.parts[j].Lo })
+	return st.parts, nil
+}
+
+// workerLoop is one worker's dispatch pump: claim a range (or steal
+// one), POST it, publish or requeue, back off on failure, and re-probe
+// readiness before rejoining the rotation.
+func (c *Coordinator) workerLoop(ctx context.Context, st *runState, wi int, kind string, req json.RawMessage) {
+	fails := 0
+	for {
+		rec := c.next(ctx, st, wi)
+		if rec == nil {
+			return
+		}
+		body, retryAfter, err := c.dispatch(rec, wi, kind, req)
+		if err == nil {
+			fails = 0
+			c.shards.Inc()
+			st.mu.Lock()
+			if !rec.stolen {
+				delete(st.inflight, rec.t)
+				st.parts = append(st.parts, Partial{Lo: rec.t.lo, Hi: rec.t.hi, Body: body})
+				st.covered += rec.t.hi - rec.t.lo
+				st.settleLocked()
+			}
+			st.mu.Unlock()
+			continue
+		}
+		st.mu.Lock()
+		if rec.stolen {
+			// The range was reclaimed and re-split while we were in
+			// flight; the failure is the steal's cancel, not ours.
+			st.mu.Unlock()
+			continue
+		}
+		delete(st.inflight, rec.t)
+		rec.t.attempts++
+		if rec.t.attempts >= c.cfg.MaxAttempts {
+			st.failLocked(fmt.Errorf("fabric: shard [%d,%d) failed after %d attempts: %w",
+				rec.t.lo, rec.t.hi, rec.t.attempts, err))
+			st.mu.Unlock()
+			c.workerFail.Inc()
+			return
+		}
+		st.queue = append(st.queue, rec.t)
+		st.mu.Unlock()
+		c.workerFail.Inc()
+		c.retries.Inc()
+		fails++
+
+		// This worker just failed a shard: sit out the backoff (the
+		// worker's own Retry-After raises the floor), then stay benched
+		// until /readyz answers 200 — meanwhile the requeued range is
+		// free for healthy workers to claim.
+		c.readyG.Dec()
+		delay := c.backoff(fails)
+		if retryAfter > delay {
+			delay = retryAfter
+		}
+		ok := sleepRun(ctx, st, delay) && c.awaitReady(ctx, st, wi)
+		c.readyG.Inc()
+		if !ok {
+			return
+		}
+	}
+}
+
+// next claims the front of the queue for worker wi. With the queue empty
+// it tries to steal: cancel the biggest in-flight range older than
+// StealAge and ≥ 2 cells, requeue its halves, and claim one. nil means
+// the run settled (or ctx ended) and the loop should exit.
+func (c *Coordinator) next(ctx context.Context, st *runState, wi int) *running {
+	for {
+		st.mu.Lock()
+		if st.finished || ctx.Err() != nil {
+			st.mu.Unlock()
+			return nil
+		}
+		if len(st.queue) > 0 {
+			t := st.queue[0]
+			st.queue = st.queue[1:]
+			tctx, cancel := context.WithCancel(ctx)
+			rec := &running{t: t, worker: wi, start: time.Now(), ctx: tctx, cancel: cancel}
+			st.inflight[t] = rec
+			st.mu.Unlock()
+			return rec
+		}
+		if c.cfg.StealAge >= 0 {
+			if v := stealVictim(st, c.cfg.StealAge); v != nil {
+				v.stolen = true
+				v.cancel()
+				delete(st.inflight, v.t)
+				mid := (v.t.lo + v.t.hi) / 2
+				st.queue = append(st.queue,
+					&task{lo: v.t.lo, hi: mid, attempts: v.t.attempts},
+					&task{lo: mid, hi: v.t.hi, attempts: v.t.attempts})
+				c.steals.Inc()
+				st.mu.Unlock()
+				continue
+			}
+		}
+		st.mu.Unlock()
+		if !sleepRun(ctx, st, 2*time.Millisecond) {
+			return nil
+		}
+	}
+}
+
+// stealVictim picks the in-flight shard most worth reclaiming: the
+// widest range at least minAge old with room to split. The caller holds
+// st.mu.
+func stealVictim(st *runState, minAge time.Duration) *running {
+	var best *running
+	now := time.Now()
+	for _, rec := range st.inflight {
+		if rec.stolen || rec.t.hi-rec.t.lo < 2 || now.Sub(rec.start) < minAge {
+			continue
+		}
+		if best == nil || rec.t.hi-rec.t.lo > best.t.hi-best.t.lo {
+			best = rec
+		}
+	}
+	return best
+}
+
+// dispatch POSTs one shard envelope to worker wi and returns the body.
+// A non-200 answer or transport error is returned with the parsed
+// Retry-After (zero when absent); the caller distinguishes steals.
+func (c *Coordinator) dispatch(rec *running, wi int, kind string, req json.RawMessage) ([]byte, time.Duration, error) {
+	env, err := json.Marshal(ShardEnvelope{Kind: kind, Lo: rec.t.lo, Hi: rec.t.hi, Req: req})
+	if err != nil {
+		return nil, 0, err
+	}
+	sp, sctx := c.reg.StartSpanIfTraced(rec.ctx, "fabric.shard")
+	defer sp.End()
+	url := c.cfg.Workers[wi] + "/v1/shards"
+	hreq, err := http.NewRequestWithContext(sctx, http.MethodPost, url, bytes.NewReader(env))
+	if err != nil {
+		return nil, 0, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	if tc, ok := obs.TraceFrom(sctx); ok {
+		hreq.Header.Set("X-Trace-Id", tc.TraceID)
+	}
+	resp, err := c.cfg.Client.Do(hreq)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		ra := parseRetryAfter(resp.Header.Get("Retry-After"))
+		msg := string(body)
+		if len(msg) > 200 {
+			msg = msg[:200]
+		}
+		return nil, ra, fmt.Errorf("fabric: worker %s: shard [%d,%d): %s: %s",
+			c.cfg.Workers[wi], rec.t.lo, rec.t.hi, resp.Status, msg)
+	}
+	return body, 0, nil
+}
+
+// awaitReady polls worker wi's /readyz until it answers 200, the run
+// settles, or ctx ends. Transport errors count as not ready — a dead
+// worker stays benched instead of burning shard attempts — and each miss
+// waits the worker's Retry-After or the capped backoff.
+func (c *Coordinator) awaitReady(ctx context.Context, st *runState, wi int) bool {
+	probes := 0
+	for {
+		if runOver(ctx, st) {
+			return false
+		}
+		probes++
+		pctx, cancel := context.WithTimeout(ctx, c.cfg.ProbeTimeout)
+		req, err := http.NewRequestWithContext(pctx, http.MethodGet, c.cfg.Workers[wi]+"/readyz", nil)
+		if err != nil {
+			cancel()
+			return false
+		}
+		resp, err := c.cfg.Client.Do(req)
+		wait := c.backoff(probes)
+		if err == nil {
+			if resp.StatusCode == http.StatusOK {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				cancel()
+				return true
+			}
+			if ra := parseRetryAfter(resp.Header.Get("Retry-After")); ra > wait {
+				wait = ra
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		cancel()
+		if !sleepRun(ctx, st, wait) {
+			return false
+		}
+	}
+}
+
+// backoff is the capped exponential retry delay with ±25% jitter.
+func (c *Coordinator) backoff(fails int) time.Duration {
+	if fails < 1 {
+		fails = 1
+	}
+	d := c.cfg.BackoffMax
+	if fails-1 < 20 {
+		if v := c.cfg.BackoffBase << (fails - 1); v > 0 && v < d {
+			d = v
+		}
+	}
+	j := 1 + (rand.Float64()-0.5)/2
+	return time.Duration(float64(d) * j)
+}
+
+// PeerFill probes the fleet's caches for hash and returns the first hit:
+// body bytes and the job kind that produced them. Determinism makes the
+// bytes exact — a cache entry under the canonical hash is the result.
+func (c *Coordinator) PeerFill(ctx context.Context, hash string) (body []byte, kind string, ok bool) {
+	for _, w := range c.cfg.Workers {
+		pctx, cancel := context.WithTimeout(ctx, c.cfg.ProbeTimeout)
+		req, err := http.NewRequestWithContext(pctx, http.MethodGet, w+"/v1/cache/"+hash, nil)
+		if err != nil {
+			cancel()
+			continue
+		}
+		resp, err := c.cfg.Client.Do(req)
+		if err != nil {
+			cancel()
+			continue
+		}
+		b, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		cancel()
+		if resp.StatusCode != http.StatusOK || rerr != nil {
+			continue
+		}
+		c.peerHits.Inc()
+		return b, resp.Header.Get("X-Job-Kind"), true
+	}
+	c.peerMisses.Inc()
+	return nil, "", false
+}
+
+// Push replicates a settled result to every worker's cache (PUT
+// /v1/cache/{hash}), asynchronously and best-effort: a worker that
+// misses the push simply peer-fills later.
+func (c *Coordinator) Push(hash, kind string, body []byte) {
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		for _, w := range c.cfg.Workers {
+			req, err := http.NewRequestWithContext(ctx, http.MethodPut, w+"/v1/cache/"+hash, bytes.NewReader(body))
+			if err != nil {
+				continue
+			}
+			req.Header.Set("Content-Type", "application/json")
+			req.Header.Set("X-Job-Kind", kind)
+			resp, err := c.cfg.Client.Do(req)
+			if err != nil {
+				continue
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode < 300 {
+				c.cachePush.Inc()
+			}
+		}
+	}()
+}
+
+// runOver reports that the run settled or ctx ended.
+func runOver(ctx context.Context, st *runState) bool {
+	if ctx.Err() != nil {
+		return true
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.finished
+}
+
+// sleepRun sleeps d but wakes early (returning false) when the run
+// settles or ctx ends, so backed-off workers never stall a finished Run.
+func sleepRun(ctx context.Context, st *runState, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return !runOver(ctx, st)
+	case <-st.done:
+		return false
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// parseRetryAfter reads a Retry-After header's delay-seconds form; the
+// HTTP-date form and garbage parse to zero (caller falls back to its own
+// backoff).
+func parseRetryAfter(h string) time.Duration {
+	if h == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(h)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}

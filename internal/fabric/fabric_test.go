@@ -1,0 +1,299 @@
+package fabric
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nobroadcast/internal/obs"
+)
+
+// fakeWorker is a minimal /v1/shards + /readyz daemon whose shard
+// handler is injectable per test.
+func fakeWorker(t *testing.T, shards http.HandlerFunc, ready http.HandlerFunc) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/shards", shards)
+	if ready == nil {
+		ready = func(w http.ResponseWriter, r *http.Request) { w.WriteHeader(http.StatusOK) }
+	}
+	mux.HandleFunc("GET /readyz", ready)
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// echoShard answers a shard request with its own range, so tests can
+// verify coverage and ordering of the merged partials.
+func echoShard(w http.ResponseWriter, r *http.Request) {
+	var env ShardEnvelope
+	if err := json.NewDecoder(r.Body).Decode(&env); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	json.NewEncoder(w).Encode(map[string]int{"lo": env.Lo, "hi": env.Hi})
+}
+
+// checkCoverage asserts the partials tile [0, cells) in order.
+func checkCoverage(t *testing.T, parts []Partial, cells int) {
+	t.Helper()
+	next := 0
+	for _, p := range parts {
+		if p.Lo != next || p.Hi <= p.Lo {
+			t.Fatalf("partial [%d,%d) does not continue coverage at %d", p.Lo, p.Hi, next)
+		}
+		var got map[string]int
+		if err := json.Unmarshal(p.Body, &got); err != nil {
+			t.Fatalf("partial body: %v", err)
+		}
+		if got["lo"] != p.Lo || got["hi"] != p.Hi {
+			t.Fatalf("partial body range [%d,%d) mismatches position [%d,%d)", got["lo"], got["hi"], p.Lo, p.Hi)
+		}
+		next = p.Hi
+	}
+	if next != cells {
+		t.Fatalf("partials cover [0,%d), want [0,%d)", next, cells)
+	}
+}
+
+func TestRunCoversAllCells(t *testing.T) {
+	w1 := fakeWorker(t, echoShard, nil)
+	w2 := fakeWorker(t, echoShard, nil)
+	reg := obs.New()
+	c, err := New(Config{Workers: []string{w1.URL, w2.URL}, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := c.Run(context.Background(), "test", json.RawMessage(`{}`), 37)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCoverage(t, parts, 37)
+	if got := reg.Counter("fabric.shards").Value(); got < 8 {
+		t.Errorf("fabric.shards = %d, want >= 8 (4 per worker)", got)
+	}
+}
+
+func TestRunSingleCellSingleWorker(t *testing.T) {
+	w1 := fakeWorker(t, echoShard, nil)
+	c, err := New(Config{Workers: []string{w1.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := c.Run(context.Background(), "test", json.RawMessage(`{}`), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCoverage(t, parts, 1)
+}
+
+// TestRetryAfterWorkerFailure: a worker whose first two shard attempts
+// die with 500s still converges — the ranges requeue and complete, and
+// the retry/failure counters record it.
+func TestRetryAfterWorkerFailure(t *testing.T) {
+	var calls atomic.Int64
+	flaky := func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, "injected failure", http.StatusInternalServerError)
+			return
+		}
+		echoShard(w, r)
+	}
+	w1 := fakeWorker(t, flaky, nil)
+	reg := obs.New()
+	c, err := New(Config{
+		Workers: []string{w1.URL}, Obs: reg,
+		BackoffBase: time.Millisecond, BackoffMax: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := c.Run(context.Background(), "test", json.RawMessage(`{}`), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCoverage(t, parts, 16)
+	if reg.Counter("fabric.retries").Value() != 2 {
+		t.Errorf("fabric.retries = %d, want 2", reg.Counter("fabric.retries").Value())
+	}
+	if reg.Counter("fabric.worker_fail").Value() != 2 {
+		t.Errorf("fabric.worker_fail = %d, want 2", reg.Counter("fabric.worker_fail").Value())
+	}
+}
+
+// TestShardFailsAfterMaxAttempts: a permanently broken fleet fails the
+// run with the shard's last error instead of spinning forever.
+func TestShardFailsAfterMaxAttempts(t *testing.T) {
+	broken := func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "permanently broken", http.StatusInternalServerError)
+	}
+	w1 := fakeWorker(t, broken, nil)
+	c, err := New(Config{
+		Workers: []string{w1.URL}, MaxAttempts: 3,
+		BackoffBase: time.Millisecond, BackoffMax: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Run(context.Background(), "test", json.RawMessage(`{}`), 8)
+	if err == nil {
+		t.Fatal("run succeeded against a permanently broken fleet")
+	}
+}
+
+// TestStealResplitsStraggler: with one worker stalling on every shard,
+// the idle fast worker must steal — cancel the straggler's range, split
+// it, and finish the tail itself.
+func TestStealResplitsStraggler(t *testing.T) {
+	slow := func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-time.After(2 * time.Second):
+		case <-r.Context().Done():
+			return
+		}
+		echoShard(w, r)
+	}
+	w1 := fakeWorker(t, slow, nil)
+	w2 := fakeWorker(t, echoShard, nil)
+	reg := obs.New()
+	c, err := New(Config{
+		Workers: []string{w1.URL, w2.URL}, Obs: reg,
+		StealAge: 20 * time.Millisecond, ShardsPer: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	parts, err := c.Run(ctx, "test", json.RawMessage(`{}`), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCoverage(t, parts, 32)
+	if got := reg.Counter("fabric.steals").Value(); got == 0 {
+		t.Error("fabric.steals = 0, want > 0 under an injected straggler")
+	}
+}
+
+// TestDrainingWorkerBenched: a worker answering 503 (draining) with a
+// dead /readyz must not burn the shards' retry budget — the healthy
+// worker completes the run.
+func TestDrainingWorkerBenched(t *testing.T) {
+	draining := func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+	}
+	w1 := fakeWorker(t, draining, draining)
+	w2 := fakeWorker(t, echoShard, nil)
+	c, err := New(Config{
+		Workers: []string{w1.URL, w2.URL}, MaxAttempts: 2,
+		BackoffBase: time.Millisecond, BackoffMax: 5 * time.Millisecond,
+		StealAge: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := c.Run(context.Background(), "test", json.RawMessage(`{}`), 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCoverage(t, parts, 24)
+}
+
+// TestPeerFillAndPush exercises the fleet cache path against fake cache
+// endpoints.
+func TestPeerFillAndPush(t *testing.T) {
+	store := map[string][]byte{}
+	var mu = make(chan struct{}, 1)
+	mu <- struct{}{}
+	cacheMux := http.NewServeMux()
+	cacheMux.HandleFunc("GET /v1/cache/{hash}", func(w http.ResponseWriter, r *http.Request) {
+		<-mu
+		b, ok := store[r.PathValue("hash")]
+		mu <- struct{}{}
+		if !ok {
+			http.Error(w, "miss", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("X-Job-Kind", "explore")
+		w.Write(b)
+	})
+	cacheMux.HandleFunc("PUT /v1/cache/{hash}", func(w http.ResponseWriter, r *http.Request) {
+		var buf [64]byte
+		n, _ := r.Body.Read(buf[:])
+		<-mu
+		store[r.PathValue("hash")] = append([]byte(nil), buf[:n]...)
+		mu <- struct{}{}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	ts := httptest.NewServer(cacheMux)
+	t.Cleanup(ts.Close)
+
+	reg := obs.New()
+	c, err := New(Config{Workers: []string{ts.URL}, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := c.PeerFill(context.Background(), "deadbeef"); ok {
+		t.Fatal("PeerFill hit on an empty fleet cache")
+	}
+	c.Push("deadbeef", "explore", []byte(`{"x":1}`))
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if body, kind, ok := c.PeerFill(context.Background(), "deadbeef"); ok {
+			if string(body) != `{"x":1}` || kind != "explore" {
+				t.Fatalf("PeerFill = %q kind %q", body, kind)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("pushed entry never became peer-fillable")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if reg.Counter("fabric.cache_push").Value() != 1 {
+		t.Errorf("fabric.cache_push = %d, want 1", reg.Counter("fabric.cache_push").Value())
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	for h, want := range map[string]time.Duration{
+		"": 0, "0": 0, "2": 2 * time.Second, "-3": 0, "garbage": 0,
+		"Tue, 29 Oct 2024 16:56:32 GMT": 0,
+	} {
+		if got := parseRetryAfter(h); got != want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", h, got, want)
+		}
+	}
+}
+
+func TestBackoffBoundedAndGrowing(t *testing.T) {
+	c := &Coordinator{cfg: Config{BackoffBase: 10 * time.Millisecond, BackoffMax: 100 * time.Millisecond}}
+	for fails := 0; fails < 100; fails++ {
+		d := c.backoff(fails)
+		if d < 5*time.Millisecond || d > 150*time.Millisecond {
+			t.Fatalf("backoff(%d) = %v outside jittered [base/2, 1.25*max]", fails, d)
+		}
+	}
+}
+
+func TestNewRejectsEmptyFleet(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New accepted an empty worker list")
+	}
+}
+
+func TestRunRejectsZeroCells(t *testing.T) {
+	w1 := fakeWorker(t, echoShard, nil)
+	c, err := New(Config{Workers: []string{w1.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(context.Background(), "test", nil, 0); err == nil {
+		t.Fatal("Run accepted 0 cells")
+	}
+}

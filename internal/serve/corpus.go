@@ -1,0 +1,195 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"nobroadcast/internal/broadcast"
+	"nobroadcast/internal/conformance"
+)
+
+// CorpusRequest is the body of POST /v1/corpus: the standard
+// differential conformance battery (internal/conformance.Corpus) — every
+// registered candidate crossed with the standard (N, K, workload)
+// points — optionally filtered to a candidate subset. The grid and its
+// per-cell seeds are a pure function of Seed, and filtering happens
+// after seed derivation, so a filtered cell is bit-identical to the same
+// cell of the full corpus.
+type CorpusRequest struct {
+	Seed       uint64   `json:"seed,omitempty"`
+	Candidates []string `json:"candidates,omitempty"`
+}
+
+func (q *CorpusRequest) normalize() error {
+	seen := make(map[string]bool, len(q.Candidates))
+	for _, name := range q.Candidates {
+		if _, err := broadcast.Lookup(name); err != nil {
+			return err
+		}
+		if seen[name] {
+			return fmt.Errorf("duplicate candidate %q", name)
+		}
+		seen[name] = true
+	}
+	return nil
+}
+
+// corpusConfigs derives the request's cell list. Both the coordinator
+// (to size the shard plan) and every worker (to slice its range) compute
+// this from the normalized request, so they always agree on the grid.
+func corpusConfigs(q *CorpusRequest) []conformance.Config {
+	cfgs := conformance.Corpus(q.Seed)
+	if len(q.Candidates) == 0 {
+		return cfgs
+	}
+	want := make(map[string]bool, len(q.Candidates))
+	for _, name := range q.Candidates {
+		want[name] = true
+	}
+	var out []conformance.Config
+	for _, cfg := range cfgs {
+		if want[cfg.Candidate.Name] {
+			out = append(out, cfg)
+		}
+	}
+	return out
+}
+
+// CorpusCell is one corpus cell's comparable outcome in the response
+// document (conformance.CellSummary with wire names).
+//
+// The raw (VerdictsAgree, CounterexampleFound) pair is interleaving-
+// dependent for schedule-sensitive candidates: the concurrent runtime's
+// real interleaving decides whether the sanctioned counterexample shows
+// up on a given run, and either outcome is conforming. The document
+// therefore folds the pair into VerdictsConsistent — true unless the
+// verdicts diverge *without* the sanctioned asymmetry — which is the
+// timing-independent bit. That keeps the corpus response a pure function
+// of the request, and so cacheable, shardable, and byte-identical at any
+// fleet width.
+type CorpusCell struct {
+	Candidate          string `json:"candidate"`
+	N                  int    `json:"n"`
+	K                  int    `json:"k"`
+	Steps              int    `json:"steps"`
+	VerdictsConsistent bool   `json:"verdicts_consistent"`
+	DeliverySetsAgree  bool   `json:"delivery_sets_agree"`
+	NetComplete        bool   `json:"net_complete"`
+	LiveAgrees         bool   `json:"live_agrees"`
+}
+
+// corpusCells maps summaries to wire rows, preserving cell order.
+func corpusCells(sums []conformance.CellSummary) []CorpusCell {
+	rows := make([]CorpusCell, len(sums))
+	for i, s := range sums {
+		rows[i] = CorpusCell{
+			Candidate:          s.Candidate,
+			N:                  s.N,
+			K:                  s.K,
+			Steps:              s.Steps,
+			VerdictsConsistent: s.VerdictsAgree || s.CounterexampleFound,
+			DeliverySetsAgree:  s.DeliverySetsAgree,
+			NetComplete:        s.NetComplete,
+			LiveAgrees:         s.LiveAgrees,
+		}
+	}
+	return rows
+}
+
+// CorpusResponse is the result document of a /v1/corpus job.
+// Disagreements counts the cells whose verdict bits indicate a real
+// runtime divergence: verdicts differing without the sanctioned
+// counterexample asymmetry, delivery sets differing, or live/batch
+// verdicts differing.
+type CorpusResponse struct {
+	Seed          uint64       `json:"seed"`
+	Cells         int          `json:"cells"`
+	Disagreements int          `json:"disagreements"`
+	Rows          []CorpusCell `json:"rows"`
+}
+
+func buildCorpusResponse(q *CorpusRequest, rows []CorpusCell) *CorpusResponse {
+	resp := &CorpusResponse{Seed: q.Seed, Cells: len(rows), Rows: rows}
+	for _, c := range rows {
+		if !c.VerdictsConsistent || !c.DeliverySetsAgree || !c.LiveAgrees {
+			resp.Disagreements++
+		}
+	}
+	return resp
+}
+
+func (s *Server) handleCorpus(w http.ResponseWriter, r *http.Request) {
+	var q CorpusRequest
+	if err := json.NewDecoder(r.Body).Decode(&q); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if err := q.normalize(); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	cfgs := corpusConfigs(&q)
+	if len(cfgs) == 0 {
+		httpError(w, http.StatusBadRequest, "candidate filter selects no corpus cells")
+		return
+	}
+	hash := canonicalHash("corpus", &q)
+	s.runManaged(w, r, "corpus", hash, q.Seed, func(ctx context.Context) (jobOutput, error) {
+		if s.fab != nil && len(cfgs) >= 2 {
+			return s.executeCorpusFabric(ctx, &q, cfgs)
+		}
+		return s.executeCorpus(ctx, &q, cfgs)
+	})
+}
+
+// executeCorpus runs the whole battery locally on the sweep pool.
+func (s *Server) executeCorpus(ctx context.Context, q *CorpusRequest, cfgs []conformance.Config) (jobOutput, error) {
+	sums, err := conformance.RunCorpus(ctx, cfgs, s.cfg.Workers, s.reg)
+	if err != nil {
+		return jobOutput{}, err
+	}
+	return encodeBody(buildCorpusResponse(q, corpusCells(sums)), nil)
+}
+
+// executeCorpusShard runs one cell range of the battery (the worker side
+// of a sharded corpus). Slicing the config list is all the sharding
+// there is: each cell's seed is embedded in its Config by Corpus, so any
+// partition reproduces the full-grid cells exactly.
+func (s *Server) executeCorpusShard(ctx context.Context, cfgs []conformance.Config, lo, hi int) (jobOutput, error) {
+	if err := s.lagShard(ctx); err != nil {
+		return jobOutput{}, err
+	}
+	sums, err := conformance.RunCorpus(ctx, cfgs[lo:hi], s.cfg.Workers, s.reg)
+	if err != nil {
+		return jobOutput{}, err
+	}
+	return encodeBody(corpusCells(sums), nil)
+}
+
+// executeCorpusFabric is the coordinator path: shard the grid over the
+// fleet and concatenate the row ranges in cell order. The merged body is
+// byte-identical to executeCorpus on one host.
+func (s *Server) executeCorpusFabric(ctx context.Context, q *CorpusRequest, cfgs []conformance.Config) (jobOutput, error) {
+	req, err := json.Marshal(q)
+	if err != nil {
+		return jobOutput{}, err
+	}
+	parts, err := s.fab.Run(ctx, "corpus", req, len(cfgs))
+	if err != nil {
+		return jobOutput{}, err
+	}
+	rows := make([]CorpusCell, 0, len(cfgs))
+	for _, p := range parts {
+		var rs []CorpusCell
+		if err := json.Unmarshal(p.Body, &rs); err != nil {
+			return jobOutput{}, fmt.Errorf("serve: corpus shard [%d,%d) body does not decode: %w", p.Lo, p.Hi, err)
+		}
+		if len(rs) != p.Hi-p.Lo {
+			return jobOutput{}, fmt.Errorf("serve: corpus shard [%d,%d) returned %d rows", p.Lo, p.Hi, len(rs))
+		}
+		rows = append(rows, rs...)
+	}
+	return encodeBody(buildCorpusResponse(q, rows), nil)
+}

@@ -104,18 +104,21 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	}
 	hash := canonicalHash("explore", &q)
 	s.runManaged(w, r, "explore", hash, q.Seed, func(ctx context.Context) (jobOutput, error) {
+		// Coordinator mode shards the schedule range over the fleet; the
+		// merged body is byte-identical to the local path (and so is the
+		// cache identity above).
+		if s.fab != nil && q.Schedules >= 2 {
+			return s.executeExploreFabric(ctx, &q)
+		}
 		return s.executeExplore(ctx, &q)
 	})
 }
 
-// executeExplore runs the exploration and renders its deterministic
-// Result as the response document. The first minimized finding's .ktr
-// trace doubles as the job trace, so GET /v1/jobs/{id}/trace downloads
-// the machine-found counterexample directly.
-func (s *Server) executeExplore(ctx context.Context, q *ExploreRequest) (jobOutput, error) {
-	s.explores.Inc()
-	start := time.Now()
-	res, err := explore.Run(ctx, explore.Options{
+// exploreOptions maps a normalized request to the exploration options.
+// Workers parameterizes only the local sweep pool; it never changes the
+// Result (which is what makes the fabric's partitioning sound).
+func (s *Server) exploreOptions(q *ExploreRequest) explore.Options {
+	return explore.Options{
 		Candidate: q.Candidate,
 		N:         q.N,
 		K:         q.K,
@@ -128,7 +131,17 @@ func (s *Server) executeExplore(ctx context.Context, q *ExploreRequest) (jobOutp
 		Minimize:  q.Minimize,
 		Workers:   s.cfg.Workers,
 		Obs:       s.reg,
-	})
+	}
+}
+
+// executeExplore runs the exploration and renders its deterministic
+// Result as the response document. The first minimized finding's .ktr
+// trace doubles as the job trace, so GET /v1/jobs/{id}/trace downloads
+// the machine-found counterexample directly.
+func (s *Server) executeExplore(ctx context.Context, q *ExploreRequest) (jobOutput, error) {
+	s.explores.Inc()
+	start := time.Now()
+	res, err := explore.Run(ctx, s.exploreOptions(q))
 	if err != nil {
 		return jobOutput{}, err
 	}

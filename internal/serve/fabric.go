@@ -1,0 +1,238 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"nobroadcast/internal/explore"
+	"nobroadcast/internal/fabric"
+	"nobroadcast/internal/trace"
+)
+
+// This file is the serving side of the distributed sweep fabric
+// (internal/fabric): the worker endpoints every daemon exposes —
+// POST /v1/shards executes one cell range of a sweep-shaped job,
+// GET/PUT /v1/cache/{hash} expose the result cache to the fleet — and
+// the coordinator-side execution paths that fan a job out and merge the
+// partials byte-identical to a single-host run.
+
+// shardKey is the canonical cache identity of one shard: the normalized
+// embedded request plus the cell range. Two daemons hashing the same
+// range of the same job agree on the key, so shard results replay from
+// any worker's cache.
+type shardKey struct {
+	Lo  int `json:"lo"`
+	Hi  int `json:"hi"`
+	Req any `json:"req"`
+}
+
+// handleShard serves POST /v1/shards: one cell range [lo, hi) of an
+// embedded explore or corpus request, run through the same managed-job
+// lifecycle as every endpoint (admission, caching, panic isolation,
+// tracing). Determinism makes the response a pure function of the
+// envelope, which is what lets the coordinator retry or re-split a
+// shard on any worker without coordination.
+func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
+	var env fabric.ShardEnvelope
+	if err := json.NewDecoder(r.Body).Decode(&env); err != nil {
+		httpError(w, http.StatusBadRequest, "bad shard envelope: "+err.Error())
+		return
+	}
+	var (
+		cells int
+		seed  uint64
+		key   any
+		fn    func(ctx context.Context) (jobOutput, error)
+	)
+	switch env.Kind {
+	case "explore":
+		var q ExploreRequest
+		if err := json.Unmarshal(env.Req, &q); err != nil {
+			httpError(w, http.StatusBadRequest, "bad explore shard request: "+err.Error())
+			return
+		}
+		if err := q.normalize(); err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		cells, seed, key = q.Schedules, q.Seed, &q
+		lo, hi := env.Lo, env.Hi
+		fn = func(ctx context.Context) (jobOutput, error) {
+			return s.executeExploreShard(ctx, &q, lo, hi)
+		}
+	case "corpus":
+		var q CorpusRequest
+		if err := json.Unmarshal(env.Req, &q); err != nil {
+			httpError(w, http.StatusBadRequest, "bad corpus shard request: "+err.Error())
+			return
+		}
+		if err := q.normalize(); err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		cfgs := corpusConfigs(&q)
+		cells, seed, key = len(cfgs), q.Seed, &q
+		lo, hi := env.Lo, env.Hi
+		fn = func(ctx context.Context) (jobOutput, error) {
+			return s.executeCorpusShard(ctx, cfgs, lo, hi)
+		}
+	default:
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("unknown shard kind %q", env.Kind))
+		return
+	}
+	if env.Lo < 0 || env.Hi > cells || env.Lo >= env.Hi {
+		httpError(w, http.StatusBadRequest,
+			fmt.Sprintf("shard range [%d,%d) outside the job's cells [0,%d)", env.Lo, env.Hi, cells))
+		return
+	}
+	hash := canonicalHash("shard."+env.Kind, &shardKey{Lo: env.Lo, Hi: env.Hi, Req: key})
+	s.runManaged(w, r, "shard", hash, seed, fn)
+}
+
+// lagShard injects the configured straggler latency (Config.ShardLag)
+// before a shard executes; the test hook behind `-shard-lag`.
+func (s *Server) lagShard(ctx context.Context) error {
+	if s.cfg.ShardLag <= 0 {
+		return nil
+	}
+	t := time.NewTimer(s.cfg.ShardLag)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return context.Cause(ctx)
+	}
+}
+
+// executeExploreShard scans one cell range of an exploration. The body
+// is the explore.Shard document the coordinator merges.
+func (s *Server) executeExploreShard(ctx context.Context, q *ExploreRequest, lo, hi int) (jobOutput, error) {
+	if err := s.lagShard(ctx); err != nil {
+		return jobOutput{}, err
+	}
+	sh, err := explore.Scan(ctx, s.exploreOptions(q), lo, hi)
+	if err != nil {
+		return jobOutput{}, err
+	}
+	return encodeBody(sh, nil)
+}
+
+// executeExploreFabric is the coordinator path of POST /v1/explore: fan
+// the schedule range out over the fleet and merge the shards. Merge
+// reconstructs exactly the Result a local explore.Run would have built —
+// same bytes, same cache identity — so clients cannot tell (except by
+// speed) whether a daemon is a coordinator.
+func (s *Server) executeExploreFabric(ctx context.Context, q *ExploreRequest) (jobOutput, error) {
+	s.explores.Inc()
+	start := time.Now()
+	req, err := json.Marshal(q)
+	if err != nil {
+		return jobOutput{}, err
+	}
+	parts, err := s.fab.Run(ctx, "explore", req, q.Schedules)
+	if err != nil {
+		return jobOutput{}, err
+	}
+	shards := make([]*explore.Shard, len(parts))
+	for i, p := range parts {
+		sh := new(explore.Shard)
+		if err := json.Unmarshal(p.Body, sh); err != nil {
+			return jobOutput{}, fmt.Errorf("serve: shard [%d,%d) body does not decode: %w", p.Lo, p.Hi, err)
+		}
+		shards[i] = sh
+	}
+	res, err := explore.Merge(s.exploreOptions(q), shards)
+	if err != nil {
+		return jobOutput{}, err
+	}
+	if secs := time.Since(start).Seconds(); secs > 0 {
+		s.exploreRate.Observe(int64(float64(res.Schedules) / secs))
+	}
+	var tr *trace.Trace
+	if len(res.Findings) > 0 && len(res.Findings[0].KTR) > 0 {
+		if tr, err = trace.DecodeBinary(bytes.NewReader(res.Findings[0].KTR)); err != nil {
+			return jobOutput{}, fmt.Errorf("serve: minimized trace does not decode: %w", err)
+		}
+	}
+	return encodeBody(res, tr)
+}
+
+// handleCacheGet serves GET /v1/cache/{hash}: the fleet-shared face of
+// the result cache. 200 with the cached body and its job kind on a hit,
+// 404 on a miss. Only completed cacheable results live here, so the
+// bytes are exact replays by the determinism argument.
+func (s *Server) handleCacheGet(w http.ResponseWriter, r *http.Request) {
+	hash := r.PathValue("hash")
+	if !validHash(hash) {
+		httpError(w, http.StatusBadRequest, "malformed hash")
+		return
+	}
+	s.mu.Lock()
+	j := s.cache.get(hash)
+	s.mu.Unlock()
+	if j == nil {
+		httpError(w, http.StatusNotFound, "not cached here")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.Header().Set("X-Job-Kind", j.Kind)
+	w.Header().Set("X-Job-Id", j.ID)
+	w.Write(j.Body)
+}
+
+// handleCachePut serves PUT /v1/cache/{hash}: a peer (the coordinator,
+// after merging a fleet job) replicates a settled result into this
+// daemon's cache. The entry is inserted as an already-settled job, so
+// subsequent identical requests and GET /v1/cache probes hit. First
+// write wins — by determinism a second body under the same hash is the
+// same bytes.
+func (s *Server) handleCachePut(w http.ResponseWriter, r *http.Request) {
+	hash := r.PathValue("hash")
+	if !validHash(hash) {
+		httpError(w, http.StatusBadRequest, "malformed hash")
+		return
+	}
+	kind := r.Header.Get("X-Job-Kind")
+	if !fleetCached(kind) {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("kind %q is not fleet-cached", kind))
+		return
+	}
+	var body bytes.Buffer
+	if _, err := body.ReadFrom(r.Body); err != nil {
+		httpError(w, http.StatusBadRequest, "short body: "+err.Error())
+		return
+	}
+	s.mu.Lock()
+	if s.cache.get(hash) != nil || s.flight[hash] != nil {
+		s.mu.Unlock()
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	j := s.newJobLocked(kind, hash)
+	j.Status = StatusDone
+	j.Body = body.Bytes()
+	close(j.done)
+	s.cache.put(hash, j)
+	s.mu.Unlock()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// validHash bounds what the cache endpoints accept as a parameter hash:
+// exactly the 32 lowercase hex digits canonicalHash produces.
+func validHash(h string) bool {
+	if len(h) != 32 {
+		return false
+	}
+	for i := 0; i < len(h); i++ {
+		c := h[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}

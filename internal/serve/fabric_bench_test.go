@@ -1,0 +1,66 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"nobroadcast/internal/obs"
+)
+
+// benchDaemon builds one in-process daemon for benchmarking.
+func benchDaemon(b *testing.B, cfg Config) *httptest.Server {
+	b.Helper()
+	if cfg.Obs == nil {
+		cfg.Obs = obs.New()
+	}
+	ts := httptest.NewServer(New(cfg))
+	b.Cleanup(ts.Close)
+	return ts
+}
+
+// BenchmarkFabricCorpus is the PR 9 headline: aggregate throughput of
+// the conformance corpus on a single daemon versus a coordinator
+// sharding it over 2 and 4 in-process workers. The corpus is
+// latency-bound — each cell's concurrent network spends most of its
+// wall-clock waiting on timers — so sharding overlaps those waits and
+// the job speeds up even on one core. Every iteration uses a fresh seed,
+// so no result cache (local or fleet) short-circuits the measurement.
+func BenchmarkFabricCorpus(b *testing.B) {
+	seed := uint64(1 << 32)
+	run := func(b *testing.B, url string) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			seed++
+			resp, err := http.Post(url+"/v1/corpus", "application/json",
+				strings.NewReader(fmt.Sprintf(`{"seed":%d}`, seed)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("corpus: status %d", resp.StatusCode)
+			}
+		}
+	}
+	b.Run("single", func(b *testing.B) {
+		ts := benchDaemon(b, Config{Workers: 1})
+		b.ResetTimer()
+		run(b, ts.URL)
+	})
+	for _, n := range []int{2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", n), func(b *testing.B) {
+			urls := make([]string, n)
+			for i := range urls {
+				urls[i] = benchDaemon(b, Config{Workers: 1}).URL
+			}
+			coord := benchDaemon(b, Config{Workers: 1, FabricWorkers: urls})
+			b.ResetTimer()
+			run(b, coord.URL)
+		})
+	}
+}

@@ -1,0 +1,379 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nobroadcast/internal/explore"
+	"nobroadcast/internal/trace"
+)
+
+// newFleet builds nworkers single-pool worker daemons plus a coordinator
+// daemon fanning out to them, all in-process. workerCfg customizes one
+// worker (nil means Workers: 1).
+func newFleet(t *testing.T, nworkers int, workerCfg func(i int) Config, coordCfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	urls := make([]string, nworkers)
+	for i := range urls {
+		cfg := Config{Workers: 1}
+		if workerCfg != nil {
+			cfg = workerCfg(i)
+		}
+		_, wts := newTestServer(t, cfg)
+		urls[i] = wts.URL
+	}
+	coordCfg.FabricWorkers = urls
+	if coordCfg.Workers == 0 {
+		coordCfg.Workers = 1
+	}
+	return newTestServer(t, coordCfg)
+}
+
+// fetchKTR downloads the response's job trace in binary wire format.
+func fetchKTR(t *testing.T, base string, resp *http.Response) []byte {
+	t.Helper()
+	id := resp.Header.Get("X-Job-Id")
+	if id == "" {
+		t.Fatal("response carries no X-Job-Id")
+	}
+	req, err := http.NewRequest("GET", base+"/v1/jobs/"+id+"/trace", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", trace.ContentTypeBinary)
+	r, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("GET trace: %v", err)
+	}
+	b, err := io.ReadAll(r.Body)
+	r.Body.Close()
+	if err != nil || r.StatusCode != http.StatusOK {
+		t.Fatalf("GET trace: status %d, err %v", r.StatusCode, err)
+	}
+	return b
+}
+
+// The byte-identity workload: a violation-rich exploration small enough
+// to run four times in a test, with minimization on so the merged
+// first-finding .ktr bytes are part of the comparison.
+const fabricExploreReq = `{"candidate":"kbo","n":4,"k":2,"strategy":"random","schedules":24,"seed":1,"minimize":1}`
+
+// TestFabricExploreByteIdentical is the tentpole acceptance criterion
+// for /v1/explore: the merged body of a sharded exploration — and the
+// minimized counterexample trace behind it — is byte-identical to the
+// single-host run at every fleet width.
+func TestFabricExploreByteIdentical(t *testing.T) {
+	_, single := newTestServer(t, Config{Workers: 1})
+	resp, want := postJSON(t, single.URL+"/v1/explore", fabricExploreReq)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("single-host explore: status %d (%s)", resp.StatusCode, want)
+	}
+	var doc explore.Result
+	if err := json.Unmarshal(want, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Violations == 0 || len(doc.Findings) == 0 {
+		t.Fatalf("workload found no violations (violations=%d findings=%d); byte-identity would be vacuous",
+			doc.Violations, len(doc.Findings))
+	}
+	wantKTR := fetchKTR(t, single.URL, resp)
+
+	for _, n := range []int{1, 2, 4} {
+		s, coord := newFleet(t, n, nil, Config{})
+		r, got := postJSON(t, coord.URL+"/v1/explore", fabricExploreReq)
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("%d-worker explore: status %d (%s)", n, r.StatusCode, got)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%d-worker explore body differs from single-host:\n want: %s\n  got: %s", n, want, got)
+		}
+		if gotKTR := fetchKTR(t, coord.URL, r); !bytes.Equal(gotKTR, wantKTR) {
+			t.Fatalf("%d-worker minimized .ktr differs from single-host (%d vs %d bytes)", n, len(gotKTR), len(wantKTR))
+		}
+		if shards := s.reg.Counter("fabric.shards").Value(); shards < int64(n) {
+			t.Errorf("%d-worker explore dispatched %d shards, want >= %d", n, shards, n)
+		}
+	}
+}
+
+// TestFabricCorpusByteIdentical: the conformance battery sharded over
+// 1/2/4 workers merges to the exact single-host document.
+func TestFabricCorpusByteIdentical(t *testing.T) {
+	_, single := newTestServer(t, Config{Workers: 1})
+	resp, want := postJSON(t, single.URL+"/v1/corpus", `{"seed":7}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("single-host corpus: status %d (%s)", resp.StatusCode, want)
+	}
+	var doc CorpusResponse
+	if err := json.Unmarshal(want, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Cells == 0 || len(doc.Rows) != doc.Cells {
+		t.Fatalf("corpus document malformed: cells=%d rows=%d", doc.Cells, len(doc.Rows))
+	}
+	for _, n := range []int{1, 2, 4} {
+		_, coord := newFleet(t, n, nil, Config{})
+		r, got := postJSON(t, coord.URL+"/v1/corpus", `{"seed":7}`)
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("%d-worker corpus: status %d (%s)", n, r.StatusCode, got)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%d-worker corpus body differs from single-host:\n want: %s\n  got: %s", n, want, got)
+		}
+	}
+}
+
+// TestFabricRetryRecoversKilledShard: one worker's connection is severed
+// mid-shard (hijack + close, no response); the coordinator retries the
+// range — idempotent by determinism — and the merged body is still
+// byte-identical to single-host.
+func TestFabricRetryRecoversKilledShard(t *testing.T) {
+	_, single := newTestServer(t, Config{Workers: 1})
+	resp, want := postJSON(t, single.URL+"/v1/corpus", `{"seed":3}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("single-host corpus: status %d", resp.StatusCode)
+	}
+
+	_, healthy := newTestServer(t, Config{Workers: 1})
+	_, victim := newTestServer(t, Config{Workers: 1})
+	var killed atomic.Bool
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && r.URL.Path == "/v1/shards" && killed.CompareAndSwap(false, true) {
+			conn, _, err := w.(http.Hijacker).Hijack()
+			if err != nil {
+				t.Errorf("hijack: %v", err)
+				return
+			}
+			conn.Close() // worker death mid-shard, as seen by the coordinator
+			return
+		}
+		req, err := http.NewRequest(r.Method, victim.URL+r.URL.Path, r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		req.Header = r.Header.Clone()
+		fwd, err := http.DefaultClient.Do(req)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		defer fwd.Body.Close()
+		for k, vs := range fwd.Header {
+			w.Header()[k] = vs
+		}
+		w.WriteHeader(fwd.StatusCode)
+		io.Copy(w, fwd.Body)
+	}))
+	t.Cleanup(proxy.Close)
+
+	s, coord := newTestServer(t, Config{Workers: 1, FabricWorkers: []string{healthy.URL, proxy.URL}})
+	r, got := postJSON(t, coord.URL+"/v1/corpus", `{"seed":3}`)
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("fleet corpus after shard kill: status %d (%s)", r.StatusCode, got)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("merged body after shard kill differs from single-host:\n want: %s\n  got: %s", want, got)
+	}
+	if !killed.Load() {
+		t.Fatal("kill hook never fired; test exercised nothing")
+	}
+	if retries := s.reg.Counter("fabric.retries").Value(); retries == 0 {
+		t.Error("fabric.retries = 0, want > 0 after a severed shard")
+	}
+	if fails := s.reg.Counter("fabric.worker_fail").Value(); fails == 0 {
+		t.Error("fabric.worker_fail = 0, want > 0 after a severed shard")
+	}
+}
+
+// TestFabricSmoke is the cluster smoke: an in-process coordinator with
+// two workers, one an injected straggler, runs one sweep job — the
+// merged body must be byte-identical to single-host and work-stealing
+// must demonstrably engage. `make fabric-smoke` runs exactly this.
+func TestFabricSmoke(t *testing.T) {
+	_, single := newTestServer(t, Config{Workers: 1})
+	resp, want := postJSON(t, single.URL+"/v1/corpus", `{"seed":11}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("single-host corpus: status %d", resp.StatusCode)
+	}
+	workerCfg := func(i int) Config {
+		cfg := Config{Workers: 1}
+		if i == 0 {
+			cfg.ShardLag = 250 * time.Millisecond // the straggler
+		}
+		return cfg
+	}
+	s, coord := newFleet(t, 2, workerCfg, Config{StealAge: 30 * time.Millisecond})
+	r, got := postJSON(t, coord.URL+"/v1/corpus", `{"seed":11}`)
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("fleet corpus: status %d (%s)", r.StatusCode, got)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("fleet corpus body differs from single-host:\n want: %s\n  got: %s", want, got)
+	}
+	steals := s.reg.Counter("fabric.steals").Value()
+	if steals == 0 {
+		t.Error("fabric.steals = 0, want > 0 with an injected straggler")
+	}
+	t.Logf("fabric-smoke: shards=%d steals=%d retries=%d",
+		s.reg.Counter("fabric.shards").Value(), steals, s.reg.Counter("fabric.retries").Value())
+}
+
+// TestFleetCacheEndpoints: the GET/PUT /v1/cache surface — validation,
+// round trip, and the replicated entry serving a real job as a cache hit
+// under the canonical parameter hash.
+func TestFleetCacheEndpoints(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	put := func(hash, kind string, body []byte) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPut, ts.URL+"/v1/cache/"+hash, bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if kind != "" {
+			req.Header.Set("X-Job-Kind", kind)
+		}
+		r, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		return r
+	}
+	q := ExploreRequest{Candidate: "fifo"}
+	if err := q.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	hash := canonicalHash("explore", &q)
+
+	if r := put("not-a-hash", "explore", nil); r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("PUT malformed hash: status %d, want 400", r.StatusCode)
+	}
+	if r := put(hash, "run", []byte("{}")); r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("PUT non-fleet kind: status %d, want 400", r.StatusCode)
+	}
+	if r, err := http.Get(ts.URL + "/v1/cache/" + hash); err != nil || r.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET before PUT: status %d err %v, want 404", r.StatusCode, err)
+	}
+
+	body := []byte(`{"pushed":true}` + "\n")
+	if r := put(hash, "explore", body); r.StatusCode != http.StatusNoContent {
+		t.Fatalf("PUT: status %d, want 204", r.StatusCode)
+	}
+	r, err := http.Get(ts.URL + "/v1/cache/" + hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(r.Body)
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK || !bytes.Equal(got, body) {
+		t.Fatalf("GET after PUT: status %d body %q, want the pushed bytes", r.StatusCode, got)
+	}
+	if kind := r.Header.Get("X-Job-Kind"); kind != "explore" {
+		t.Fatalf("GET X-Job-Kind = %q, want explore", kind)
+	}
+
+	// The replicated entry IS the job's cache identity: an equivalent
+	// /v1/explore request replays it as a hit without executing.
+	jr, jb := postJSON(t, ts.URL+"/v1/explore", `{"candidate":"fifo"}`)
+	if jr.StatusCode != http.StatusOK || jr.Header.Get("X-Cache") != "hit" {
+		t.Fatalf("explore after cache PUT: status %d X-Cache %q, want 200 hit", jr.StatusCode, jr.Header.Get("X-Cache"))
+	}
+	if !bytes.Equal(jb, body) {
+		t.Fatalf("explore served %q, want the replicated bytes %q", jb, body)
+	}
+}
+
+// TestFabricPeerFill: a result already settled on a worker is served by
+// the coordinator via peer-fill (X-Cache: peer), never re-executed.
+func TestFabricPeerFill(t *testing.T) {
+	_, wts := newTestServer(t, Config{Workers: 1})
+	q := ExploreRequest{Candidate: "fifo"}
+	if err := q.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	hash := canonicalHash("explore", &q)
+	body := []byte(`{"peer":"filled"}` + "\n")
+	req, err := http.NewRequest(http.MethodPut, wts.URL+"/v1/cache/"+hash, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Job-Kind", "explore")
+	if r, err := http.DefaultClient.Do(req); err != nil || r.StatusCode != http.StatusNoContent {
+		t.Fatalf("seeding worker cache: status %d err %v", r.StatusCode, err)
+	}
+
+	s, coord := newTestServer(t, Config{Workers: 1, FabricWorkers: []string{wts.URL}})
+	r, got := postJSON(t, coord.URL+"/v1/explore", `{"candidate":"fifo"}`)
+	if r.StatusCode != http.StatusOK || r.Header.Get("X-Cache") != "peer" {
+		t.Fatalf("explore via peer-fill: status %d X-Cache %q, want 200 peer", r.StatusCode, r.Header.Get("X-Cache"))
+	}
+	if !bytes.Equal(got, body) {
+		t.Fatalf("peer-filled body %q, want %q", got, body)
+	}
+	if hits := s.reg.Counter("fabric.peer_hits").Value(); hits != 1 {
+		t.Errorf("fabric.peer_hits = %d, want 1", hits)
+	}
+}
+
+// TestRetryAfterFromLoad: the 429/503 Retry-After figure follows the
+// measured mean execution time and is clamped to [1, 60] seconds.
+func TestRetryAfterFromLoad(t *testing.T) {
+	s, _ := newTestServer(t, Config{Workers: 1})
+	if got := s.retryAfterSeconds(); got != "1" {
+		t.Errorf("cold retryAfterSeconds = %q, want 1 (10ms prior, clamped up)", got)
+	}
+	s.execUS.Observe(5_000_000) // one 5s job observed
+	if got := s.retryAfterSeconds(); got != "5" {
+		t.Errorf("retryAfterSeconds after a 5s mean = %q, want 5", got)
+	}
+	s.execUS.Observe(500_000_000) // absurd mean clamps at the ceiling
+	if got := s.retryAfterSeconds(); got != "60" {
+		t.Errorf("retryAfterSeconds with a 252s mean = %q, want 60", got)
+	}
+}
+
+// TestReadyzSaturation: /readyz flips to 503 while the admission queue
+// is full and recovers when tickets free up.
+func TestReadyzSaturation(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	r, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("fresh readyz status = %d, want 200", r.StatusCode)
+	}
+	for i := 0; i < cap(s.admit); i++ {
+		s.admit <- struct{}{}
+	}
+	r, err = http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("saturated readyz status = %d, want 503", r.StatusCode)
+	}
+	if r.Header.Get("Retry-After") == "" {
+		t.Fatal("saturated readyz has no Retry-After")
+	}
+	for i := 0; i < cap(s.admit); i++ {
+		<-s.admit
+	}
+	r, err = http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("recovered readyz status = %d, want 200", r.StatusCode)
+	}
+}

@@ -32,11 +32,27 @@
 //	                        delta-debugged minimized counterexamples
 //	                        (internal/explore); the first finding's .ktr is
 //	                        the job trace
+//	POST /v1/corpus         differential conformance battery (both runtimes,
+//	                        every registered candidate or a subset)
+//	POST /v1/shards         one cell range of a sweep-shaped job — the worker
+//	                        side of the distributed fabric (internal/fabric)
+//	GET  /v1/cache/{hash}   fleet-shared result cache probe (content-addressed
+//	PUT  /v1/cache/{hash}   by the canonical parameter hash); PUT replicates
+//	                        a settled result into this daemon's cache
 //	GET  /v1/jobs/{id}      job status and result
 //	GET  /v1/jobs/{id}/trace  streaming trace download (binary ksatrace or
 //	                          JSONL, by Accept)
 //	GET  /metrics, /vars, /   observability views (internal/obs)
-//	GET  /healthz           liveness/drain status
+//	GET  /healthz           liveness (always 200 while the process serves)
+//	GET  /readyz            readiness: 503 + Retry-After while draining or
+//	                        queue-saturated
+//
+// With Config.FabricWorkers set the daemon is a cluster coordinator:
+// sweep-shaped jobs (/v1/explore, /v1/corpus) are split into cell-range
+// shards, fanned out to the worker daemons (internal/fabric: work-
+// stealing, retry, readiness-aware backoff), and merged in grid order —
+// byte-identical to a single-host run, because every cell's randomness
+// derives positionally from the root seed.
 package serve
 
 import (
@@ -44,12 +60,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
+	"nobroadcast/internal/fabric"
 	"nobroadcast/internal/obs"
 	"nobroadcast/internal/sweep"
 	"nobroadcast/internal/trace"
@@ -88,6 +107,22 @@ type Config struct {
 	// endpoints can block for seconds and expose internals, so they are
 	// strictly opt-in.
 	Pprof bool
+	// FabricWorkers lists worker daemons' base URLs. Non-empty switches
+	// this server into coordinator mode: sweep-shaped jobs (/v1/explore,
+	// /v1/corpus) are split into cell-range shards fanned out over the
+	// fleet (internal/fabric) and merged byte-identical to a single-host
+	// run, and the result cache becomes fleet-shared (peer-fill on miss,
+	// push on completion). Other endpoints still execute locally.
+	FabricWorkers []string
+	// StealAge is how long a dispatched shard must run before an idle
+	// worker may cancel-and-resplit it (coordinator mode). Zero selects
+	// the fabric default (100ms); negative disables work-stealing.
+	StealAge time.Duration
+	// ShardLag injects artificial latency before each /v1/shards
+	// execution on this daemon — a straggler fault injection hook for
+	// exercising work-stealing in tests and smoke targets. Zero (the
+	// default) means no injected lag.
+	ShardLag time.Duration
 }
 
 func (c *Config) defaults() {
@@ -117,6 +152,7 @@ type Server struct {
 	cfg Config
 	reg *obs.Registry
 	mux *http.ServeMux
+	fab *fabric.Coordinator // non-nil in coordinator mode
 
 	mu       sync.Mutex
 	draining bool
@@ -184,14 +220,28 @@ func New(cfg Config) *Server {
 	s.totalUS = s.reg.Histogram("serve.total_us", serveLatencyBuckets...)
 	s.decodeUS = s.reg.Histogram("serve.check_decode_us", serveLatencyBuckets...)
 
+	if len(cfg.FabricWorkers) > 0 {
+		// len > 0 satisfies fabric.New's only error condition.
+		s.fab, _ = fabric.New(fabric.Config{
+			Workers:  cfg.FabricWorkers,
+			StealAge: cfg.StealAge,
+			Obs:      s.reg,
+		})
+	}
+
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/run", s.handleRun)
 	mux.HandleFunc("POST /v1/adversary", s.handleAdversary)
 	mux.HandleFunc("POST /v1/check", s.handleCheck)
 	mux.HandleFunc("POST /v1/explore", s.handleExplore)
+	mux.HandleFunc("POST /v1/corpus", s.handleCorpus)
+	mux.HandleFunc("POST /v1/shards", s.handleShard)
+	mux.HandleFunc("GET /v1/cache/{hash}", s.handleCacheGet)
+	mux.HandleFunc("PUT /v1/cache/{hash}", s.handleCachePut)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.Handle("GET /metrics", s.reg)
 	mux.Handle("GET /vars", s.reg)
 	mux.Handle("GET /{$}", s.reg)
@@ -408,7 +458,7 @@ func (s *Server) runManaged(w http.ResponseWriter, r *http.Request, kind, hash s
 	}
 	if s.draining {
 		s.mu.Unlock()
-		w.Header().Set("Retry-After", "5")
+		w.Header().Set("Retry-After", s.retryAfterSeconds())
 		httpError(w, http.StatusServiceUnavailable, "draining: not admitting new jobs")
 		return
 	}
@@ -419,6 +469,19 @@ func (s *Server) runManaged(w http.ResponseWriter, r *http.Request, kind, hash s
 	s.mu.Unlock()
 	defer s.wg.Done()
 
+	// Coordinator mode: before paying for an execution, ask the fleet.
+	// Results are content-addressed by the canonical hash, so any
+	// worker's cache entry IS the byte-exact answer. Only the expensive
+	// sweep-shaped kinds are worth a network probe; identical concurrent
+	// requests are already coalesced onto this flight slot.
+	if s.fab != nil && fleetCached(kind) {
+		if body, _, ok := s.fab.PeerFill(r.Context(), hash); ok {
+			s.settle(j, jobOutput{body: body}, nil)
+			serveResult(w, j, "peer")
+			return
+		}
+	}
+
 	qsp, _ := s.reg.StartSpanIfTraced(r.Context(), "serve.queue")
 	release, err := s.acquire(r.Context())
 	qsp.End()
@@ -426,7 +489,7 @@ func (s *Server) runManaged(w http.ResponseWriter, r *http.Request, kind, hash s
 		if errors.Is(err, errSaturated) {
 			s.rejected.Inc()
 			s.settle(j, jobOutput{}, err)
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", s.retryAfterSeconds())
 			httpError(w, http.StatusTooManyRequests, "admission queue saturated; retry later")
 			return
 		}
@@ -452,6 +515,11 @@ func (s *Server) runManaged(w http.ResponseWriter, r *http.Request, kind, hash s
 			status = "uncached"
 			s.uncached.Inc()
 		}
+		if s.fab != nil && fleetCached(kind) && !out.uncacheable {
+			// Replicate the settled result across the fleet so any worker
+			// can serve this replay without a peer probe.
+			s.fab.Push(hash, kind, out.body)
+		}
 		serveResult(w, j, status)
 	case errors.Is(err, context.DeadlineExceeded):
 		httpError(w, http.StatusGatewayTimeout, "job exceeded the server-side timeout")
@@ -461,6 +529,13 @@ func (s *Server) runManaged(w http.ResponseWriter, r *http.Request, kind, hash s
 		httpError(w, http.StatusInternalServerError, err.Error())
 	}
 }
+
+// fleetCached marks the job kinds whose results travel through the
+// fleet-shared cache (peer-fill on miss, push on completion): the
+// sweep-shaped jobs whose execution cost dwarfs a cache probe. Cheap
+// single-cell kinds stay local — a peer round-trip would often cost more
+// than re-executing them.
+func fleetCached(kind string) bool { return kind == "explore" || kind == "corpus" }
 
 func serveResult(w http.ResponseWriter, j *Job, cacheStatus string) {
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
@@ -475,13 +550,60 @@ func httpError(w http.ResponseWriter, code int, msg string) {
 	json.NewEncoder(w).Encode(map[string]string{"error": msg})
 }
 
+// handleHealth is pure liveness: the process is up and serving HTTP.
+// Always 200 — a draining daemon is still alive (kubernetes would
+// restart a liveness-failing pod mid-drain, which is exactly wrong).
+// Routing decisions belong to /readyz.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	draining := s.draining
 	s.mu.Unlock()
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
-	if draining {
+	json.NewEncoder(w).Encode(map[string]any{"ok": true, "draining": draining})
+}
+
+// handleReady is readiness: 503 while draining or with the admission
+// queue saturated, so a coordinator (or load balancer) stops dispatching
+// to this worker instead of eating per-request 429/503s. The Retry-After
+// estimate tells the caller when capacity should free up.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	saturated := len(s.admit) >= cap(s.admit)
+	ready := !draining && !saturated
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	if !ready {
+		w.Header().Set("Retry-After", s.retryAfterSeconds())
 		w.WriteHeader(http.StatusServiceUnavailable)
 	}
-	json.NewEncoder(w).Encode(map[string]any{"ok": !draining, "draining": draining})
+	json.NewEncoder(w).Encode(map[string]any{
+		"ready":           ready,
+		"draining":        draining,
+		"queue_saturated": saturated,
+		"queue_depth":     s.queueDepth.Value(),
+		"inflight":        s.inflight.Value(),
+	})
+}
+
+// retryAfterSeconds estimates when admission capacity frees up: the jobs
+// ahead (queued + executing + this one) spread over the worker pool,
+// times the observed mean execution time. Before any job has completed
+// the estimate uses a 10ms prior; the result is clamped to [1, 60]s.
+// Serving a measured figure instead of a constant lets the fabric
+// coordinator's backoff track the worker's actual load.
+func (s *Server) retryAfterSeconds() string {
+	meanUS := 10_000.0
+	if snap := s.execUS.Snapshot(); snap.Count > 0 {
+		meanUS = float64(snap.Sum) / float64(snap.Count)
+	}
+	ahead := float64(s.queueDepth.Value()+s.inflight.Value()) + 1
+	secs := int64(math.Ceil(ahead * meanUS / float64(s.cfg.Workers) / 1e6))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return strconv.FormatInt(secs, 10)
 }

@@ -260,10 +260,21 @@ func TestGracefulDrain(t *testing.T) {
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("draining run status = %d (%s), want 503", resp.StatusCode, body)
 	}
+	// Liveness and readiness split: the draining process is still alive
+	// (200, so orchestrators don't kill it mid-drain) but not ready (503
+	// with a Retry-After, so coordinators stop dispatching to it).
 	hresp, _ := http.Get(ts.URL + "/healthz")
 	hresp.Body.Close()
-	if hresp.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("draining healthz status = %d, want 503", hresp.StatusCode)
+	if hresp.StatusCode != http.StatusOK {
+		t.Fatalf("draining healthz status = %d, want 200 (liveness)", hresp.StatusCode)
+	}
+	rresp, _ := http.Get(ts.URL + "/readyz")
+	rresp.Body.Close()
+	if rresp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining readyz status = %d, want 503", rresp.StatusCode)
+	}
+	if rresp.Header.Get("Retry-After") == "" {
+		t.Fatal("draining readyz has no Retry-After")
 	}
 
 	drained := make(chan error, 1)

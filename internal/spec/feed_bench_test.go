@@ -1,0 +1,30 @@
+package spec
+
+import (
+	"testing"
+)
+
+// BenchmarkCheckerFeed measures the per-step Feed cost of every
+// registered spec's online checker, streaming the same admissible trace
+// through each. This is the checker hot path the serving layer sits on
+// (every /v1/check and every net-runtime live monitor is a Feed loop),
+// and the profile target behind `make profile-feed`. 20k steps keeps the
+// total-order family — whose online form is quadratic in delivered
+// messages, visibly so in this table — under a second per pass.
+func BenchmarkCheckerFeed(b *testing.B) {
+	const n, k = 5, 2
+	tr := benchTrace(n, 20_000)
+	for _, e := range Registry() {
+		b.Run(e.Key, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c := NewCheckerFor(e.New(k), n)
+				for _, s := range tr.X.Steps {
+					if v := c.Feed(s); v != nil {
+						b.Fatalf("%s latched on the admissible bench trace: %v", e.Key, v)
+					}
+				}
+			}
+			b.ReportMetric(float64(tr.X.Len()), "trace-steps")
+		})
+	}
+}
