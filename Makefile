@@ -1,10 +1,10 @@
 # Convenience targets for the reproduction artifact.
-.PHONY: all test race bench bench-pr4 bench-pr6 bench-pr7 bench-pr8 bench-pr9 bench-all fuzz-smoke figure1 impossibility outputs metrics-smoke serve-smoke load-smoke fabric-smoke profile-feed
+.PHONY: all test race bench bench-pr4 bench-pr6 bench-pr7 bench-pr8 bench-pr9 bench-all fuzz-smoke figure1 impossibility outputs metrics-smoke serve-smoke load-smoke fabric-smoke socket-smoke profile-feed
 all: test
 test:
 	go build ./... && go vet ./... && go test ./...
 race:
-	go test -race ./internal/net ./internal/sharedmem ./internal/sched ./internal/conformance ./internal/sweep ./internal/explore ./internal/fabric ./internal/serve
+	go test -race ./internal/net ./internal/nettcp ./internal/sharedmem ./internal/sched ./internal/conformance ./internal/sweep ./internal/explore ./internal/fabric ./internal/serve
 stress:
 	go test -race -count=3 -run 'Reentrant|Concurrent|Stress|Stop|Reorder' ./internal/net
 
@@ -199,13 +199,50 @@ bench-pr9:
 	awk -v gomaxprocs=$$(nproc) $(AWK_PR9) /tmp/bench_pr9.txt > BENCH_PR9.json
 	cat BENCH_PR9.json
 
-# fabric-smoke: the cluster path end to end, in-process — a coordinator
-# with two worker daemons (one an injected straggler) runs one corpus
-# sweep; the test asserts the merged body is byte-identical to a
-# single-host run and that work-stealing engaged (fabric.steals > 0).
+# fabric-smoke: the cluster path end to end, twice. First in-process — a
+# coordinator with two worker daemons (one an injected straggler) runs
+# one corpus sweep; the test asserts the merged body is byte-identical to
+# a single-host run and that work-stealing engaged (fabric.steals > 0).
+# Then with real OS processes: two ksasimd workers and a coordinator
+# daemon on loopback TCP; the coordinator's sharded corpus body must be
+# byte-identical to a single worker's, and a worker must execute a
+# tcp-runtime job (a nettcp socket cluster inside the worker process).
 fabric-smoke:
 	go test -run 'TestFabricSmoke$$' -count=1 -v ./internal/serve
-	@echo "fabric smoke test passed"
+	go build -o /tmp/ksasimd ./cmd/ksasimd
+	@set -e; \
+	/tmp/ksasimd -addr 127.0.0.1:8331 > /tmp/ksasimd-fw1.log 2>&1 & w1=$$!; \
+	/tmp/ksasimd -addr 127.0.0.1:8332 > /tmp/ksasimd-fw2.log 2>&1 & w2=$$!; \
+	/tmp/ksasimd -addr 127.0.0.1:8330 -coordinator http://127.0.0.1:8331,http://127.0.0.1:8332 > /tmp/ksasimd-fco.log 2>&1 & co=$$!; \
+	trap 'kill $$w1 $$w2 $$co 2>/dev/null || true' EXIT; \
+	for p in 8330 8331 8332; do \
+	  for i in $$(seq 1 100); do curl -sf http://127.0.0.1:$$p/healthz >/dev/null 2>&1 && break; sleep 0.1; done; \
+	done; \
+	curl -sf -XPOST http://127.0.0.1:8331/v1/corpus -d '{"seed":23}' > /tmp/fabric-single.json; \
+	curl -sf -XPOST http://127.0.0.1:8330/v1/corpus -d '{"seed":23}' > /tmp/fabric-fleet.json; \
+	cmp /tmp/fabric-single.json /tmp/fabric-fleet.json; \
+	curl -sf -XPOST http://127.0.0.1:8332/v1/run \
+	  -d '{"candidate":"send-to-all","runtime":"tcp","n":3,"workload":{"messages":6}}' \
+	  | grep -q '"complete":true'; \
+	kill -TERM $$w1 $$w2 $$co; \
+	rc=0; wait $$w1 || rc=$$?; test $$rc -eq 0; \
+	rc=0; wait $$w2 || rc=$$?; test $$rc -eq 0; \
+	rc=0; wait $$co || rc=$$?; test $$rc -eq 0; \
+	trap - EXIT; \
+	echo "fabric smoke test passed (in-process + process workers)"
+
+# socket-smoke: the TCP socket transport end to end with real OS
+# processes — ksasim re-execs itself once per CAMP node (-node), the
+# harness merges the per-node .ktr streams, and the verdict must agree
+# with the deterministic runtime. Runs twice: direct unicast with the
+# oracle round-trip (first-k), and rebroadcast flood mode.
+socket-smoke:
+	go build -o /tmp/ksasim ./cmd/ksasim
+	/tmp/ksasim -sockets -b first-k -n 3 -k 2 -seed 42 | tee /tmp/socket-smoke.txt
+	/tmp/ksasim -sockets -b reliable -n 3 -k 1 -seed 7 -rebroadcast | tee -a /tmp/socket-smoke.txt
+	grep -c 'verdicts-agree=true delivery-sets-agree=true' /tmp/socket-smoke.txt | grep -qx 2
+	grep -c 'complete=true' /tmp/socket-smoke.txt | grep -qx 2
+	@echo "socket smoke test passed"
 
 # profile-feed: CPU profile of the checker hot path (every registered
 # spec's online Feed loop) for pprof archaeology:

@@ -9,9 +9,23 @@
 //	ksasim -b first-k -n 5 -k 2 -runs 100 [-crashes 2] [-concurrent]
 //	       [-drop 0.1] [-dup 0.05] [-partition "1,2|3,4@100ms+500ms"]
 //	       [-seed 7] [-wait 30s] [-conformance]
+//	       [-sockets] [-rebroadcast] [-hosts cluster.hosts] [-listen :9000]
 //	       [-explore] [-strategy pct] [-depth 3] [-schedules 1000]
 //	       [-minimize 3] [-trace-out ce]
 //	       [-metrics] [-events out.jsonl] [-http 127.0.0.1:8123]
+//	ksasim -node -id 2 -harness 10.0.0.1:9000
+//
+// -sockets runs the workload on the third transport (internal/nettcp):
+// every CAMP process is a real operating-system process exchanging
+// length-prefixed frames over TCP. The command re-execs itself once per
+// node with -node, collects the per-node .ktr trace streams, merges
+// them by the identity-erased conformance projection, and differentially
+// checks the verdict against the deterministic runtime. -rebroadcast
+// floods every message to all peers with hash dedup instead of direct
+// unicast. With -hosts the command forks nothing: it reads a flag file
+// ("<id> <host>" per line), binds the harness at the explicit -listen
+// address, and waits for operator-started `ksasim -node` processes to
+// dial in from the listed hosts — the multi-host mode.
 //
 // -explore runs the violation-hunting fleet (internal/explore) instead
 // of a workload: a parallel sweep of seeded schedules under the chosen
@@ -51,6 +65,7 @@ import (
 	stdnet "net"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -60,6 +75,7 @@ import (
 	"nobroadcast/internal/ksa"
 	"nobroadcast/internal/model"
 	"nobroadcast/internal/net"
+	"nobroadcast/internal/nettcp"
 	"nobroadcast/internal/obs"
 	"nobroadcast/internal/sched"
 	"nobroadcast/internal/spec"
@@ -95,6 +111,13 @@ func cmdRun(args []string, out io.Writer) (err error) {
 	seed := fs.Uint64("seed", 0, "delay/fault seed for the concurrent runtime (0 = wall clock)")
 	wait := fs.Duration("wait", 30*time.Second, "delivery-convergence timeout (concurrent runtime)")
 	conformance := fs.Bool("conformance", false, "run the cross-runtime differential check instead of a workload")
+	sockets := fs.Bool("sockets", false, "run the workload on the TCP socket transport (one OS process per CAMP node) and differentially check it against the deterministic runtime")
+	rebroadcast := fs.Bool("rebroadcast", false, "flood messages to all peers with hash dedup instead of direct unicast (-sockets)")
+	hostsFile := fs.String("hosts", "", "multi-host flag `file` (\"<id> <host>\" per line): await operator-started -node processes instead of forking (-sockets)")
+	listen := fs.String("listen", "", "harness bind `address` for -sockets (default loopback ephemeral; an explicit port is required with -hosts)")
+	nodeMode := fs.Bool("node", false, "run as a single socket-transport CAMP node (child mode; needs -id and -harness)")
+	nodeID := fs.Int("id", 0, "this node's 1-based process id (-node)")
+	harnessAddr := fs.String("harness", "", "harness `address` to dial (-node)")
 	exploreMode := fs.Bool("explore", false, "hunt for spec-violating schedules and delta-debug them to minimized counterexamples")
 	strategy := fs.String("strategy", "pct", "exploration scheduling strategy ("+strings.Join(sched.StrategyNames(), ", ")+")")
 	depth := fs.Int("depth", 0, "pct priority-change points (0 = default)")
@@ -115,6 +138,16 @@ func cmdRun(args []string, out io.Writer) (err error) {
 			err = ferr
 		}
 	}()
+	if *nodeMode {
+		// Child mode: this process is one CAMP node. Everything it needs
+		// (candidate, peers, seed, fault plan) arrives in the harness's
+		// start frame, so the only flags that matter are -id and -harness.
+		reg, err := oc.Registry()
+		if err != nil {
+			return err
+		}
+		return nettcp.RunNode(nettcp.NodeConfig{ID: *nodeID, Harness: *harnessAddr, Obs: reg})
+	}
 	if *name == "all" && *conformance {
 		reg, err := oc.Registry()
 		if err != nil {
@@ -168,6 +201,8 @@ func cmdRun(args []string, out io.Writer) (err error) {
 			Minimize:  *minimize,
 			Obs:       reg,
 		}, *traceOut, reg)
+	case *sockets:
+		err = runSockets(out, cand, *n, *k, *seed, faults, *wait, *rebroadcast, *hostsFile, *listen)
 	case *conformance:
 		err = runConformance(out, cand, *n, *k, *seed, faults, *wait)
 	case *concurrent:
@@ -497,6 +532,76 @@ func runCorpus(out io.Writer, seed uint64, workers int, reg *obs.Registry) error
 	}
 	fmt.Fprintln(out, "all cells conform")
 	return nil
+}
+
+// runSockets runs the workload on the socket transport — one OS process
+// per CAMP node, forked from this binary via -node — and prints the
+// differential comparison against the deterministic runtime. With a
+// -hosts file it spawns nothing and instead waits for externally started
+// node processes, which makes the same differential check work across
+// real machines.
+func runSockets(out io.Writer, cand broadcast.Candidate, n, k int, seed uint64, faults *net.FaultPlan, wait time.Duration, rebroadcast bool, hostsFile, listen string) error {
+	cfg := conf.SocketConfig{
+		Config: conf.Config{
+			Candidate:   cand,
+			N:           n,
+			K:           k,
+			Workload:    workload.Config{Kind: workload.Uniform, Messages: 3 * n, Seed: seed},
+			Seed:        seed,
+			Faults:      faults,
+			WaitTimeout: wait,
+		},
+		Rebroadcast: rebroadcast,
+		Listen:      listen,
+	}
+	if hostsFile != "" {
+		hn, hosts, err := nettcp.ReadHostsFile(hostsFile)
+		if err != nil {
+			return err
+		}
+		if listen == "" || strings.HasSuffix(listen, ":0") {
+			return fmt.Errorf("-hosts needs an explicit -listen address the remote nodes can dial (got %q)", listen)
+		}
+		cfg.N = hn
+		cfg.Config.Workload.Messages = 3 * hn
+		cfg.External = true
+		// Operators start nodes by hand; give them time to do it.
+		cfg.StartTimeout = 5 * time.Minute
+		fmt.Fprintf(out, "%s (sockets): waiting for %d external nodes on %s\n", cand.Name, hn, listen)
+		fmt.Fprintf(out, "  start on each listed host:\n")
+		for id := 1; id <= hn; id++ {
+			fmt.Fprintf(out, "    [%s] ksasim -node -id %d -harness %s\n", hosts[id], id, listen)
+		}
+	} else {
+		bin, err := os.Executable()
+		if err != nil {
+			return err
+		}
+		cfg.Spawn = nettcp.ExecSpawn(bin, func(id int, harnessAddr string) []string {
+			return []string{"-node", "-id", strconv.Itoa(id), "-harness", harnessAddr}
+		})
+	}
+	res, err := conf.CheckSockets(cfg)
+	if res != nil {
+		verdict := func(v *spec.Violation) string {
+			if v == nil {
+				return "admissible"
+			}
+			return v.String()
+		}
+		fmt.Fprintf(out, "%s (sockets): n=%d k=%d messages=%d rebroadcast=%v\n",
+			cand.Name, cfg.N, k, cfg.Config.Workload.Messages, rebroadcast)
+		fmt.Fprintf(out, "  deterministic runtime: %s\n", verdict(res.Sched.Verdict))
+		fmt.Fprintf(out, "  socket cluster:        %s (complete=%v)\n", verdict(res.Socket.Verdict), res.SocketComplete)
+		fmt.Fprintf(out, "  verdicts-agree=%v delivery-sets-agree=%v\n", res.VerdictsAgree, res.DeliverySetsAgree)
+		if res.CounterexampleFound {
+			fmt.Fprintf(out, "  counterexample schedule found (expected: %s is schedule-sensitive)\n", cand.Name)
+		}
+		if len(res.Truncated) > 0 {
+			fmt.Fprintf(out, "  truncated node streams: %v\n", res.Truncated)
+		}
+	}
+	return err
 }
 
 // runConformance runs the cross-runtime differential check for the chosen

@@ -1,0 +1,120 @@
+package conformance
+
+import (
+	"testing"
+	"time"
+
+	"nobroadcast/internal/broadcast"
+	"nobroadcast/internal/net"
+	"nobroadcast/internal/workload"
+)
+
+// TestSocketCorpusVerdictEquivalence runs the socket verdict-equivalence
+// corpus: every registered candidate's 3-process cell, deterministic
+// runtime vs TCP cluster. The assertion is the transport contract —
+// same spec verdicts (modulo the sanctioned ScheduleSensitive
+// asymmetry) and same per-process delivery sets.
+func TestSocketCorpusVerdictEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("socket corpus spins a TCP cluster per candidate")
+	}
+	for _, cfg := range SocketCorpus(0xC0FFEE) {
+		cfg := cfg
+		t.Run(cfg.Candidate.Name, func(t *testing.T) {
+			t.Parallel()
+			res, err := CheckSockets(cfg)
+			if err != nil {
+				t.Fatalf("socket conformance: %v", err)
+			}
+			if !res.VerdictsAgree && !res.CounterexampleFound {
+				t.Errorf("verdicts diverge: sched=%v socket=%v", res.Sched.Verdict, res.Socket.Verdict)
+			}
+		})
+	}
+}
+
+// TestSocketConformanceUnderFaults is the corpus's fault-plan cell:
+// seeded message loss on the socket side only. Safety verdicts must
+// still agree — drops never excuse a mis-ordered or duplicated
+// delivery — while liveness is vacuous on the non-converged trace.
+func TestSocketConformanceUnderFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("socket fault cell spins a TCP cluster")
+	}
+	cand, err := broadcast.Lookup("send-to-all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := CheckSockets(SocketConfig{Config: Config{
+		Candidate:   cand,
+		N:           3,
+		K:           1,
+		Seed:        99,
+		Faults:      &net.FaultPlan{Drop: 0.4},
+		Workload:    workload.Config{Kind: workload.Uniform, Messages: 6, Seed: 99},
+		WaitTimeout: 3 * time.Second,
+	}})
+	if err != nil {
+		t.Fatalf("fault cell diverged: %v", err)
+	}
+	if res.Sched.Verdict != nil {
+		t.Errorf("fault-free deterministic side rejected: %v", res.Sched.Verdict)
+	}
+	if res.Socket.Verdict != nil {
+		t.Errorf("drops must not produce a safety violation, got: %v", res.Socket.Verdict)
+	}
+}
+
+// TestSocketDeterministicOrder pins the strict sequence comparison on a
+// deterministic-order candidate: a single broadcaster under FIFO must
+// deliver identically on both transports, byte for byte.
+func TestSocketDeterministicOrder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("socket run spins a TCP cluster")
+	}
+	cand, err := broadcast.Lookup("fifo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := CheckSockets(SocketConfig{Config: Config{
+		Candidate: cand,
+		N:         3,
+		K:         1,
+		Seed:      7,
+		Workload:  workload.Config{Kind: workload.Single, Messages: 6, Seed: 7},
+	}})
+	if err != nil {
+		t.Fatalf("socket conformance: %v", err)
+	}
+	if !res.DeterministicOrder {
+		t.Fatal("single-broadcaster FIFO cell should assert strict order")
+	}
+	if !res.DeliveriesAgree {
+		t.Error("per-process delivery sequences diverge between transports")
+	}
+}
+
+// TestSocketRebroadcastConformance runs the reliable-broadcast
+// candidate in flood mode: hash-dedup rebroadcast must not change the
+// verdict or the delivery sets.
+func TestSocketRebroadcastConformance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("socket run spins a TCP cluster")
+	}
+	cand, err := broadcast.Lookup("reliable")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CheckSockets(SocketConfig{
+		Config: Config{
+			Candidate: cand,
+			N:         3,
+			K:         1,
+			Seed:      21,
+			Workload:  workload.Config{Kind: workload.Uniform, Messages: 6, Seed: 21},
+		},
+		Rebroadcast: true,
+	}); err != nil {
+		t.Fatalf("rebroadcast conformance: %v", err)
+	}
+}

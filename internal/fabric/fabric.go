@@ -39,17 +39,26 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand/v2"
+	"net"
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"nobroadcast/internal/obs"
 )
+
+// ErrBodyTooLarge marks a worker response whose body exceeded
+// Config.MaxBodyBytes. It is distinct from a truncated read: the worker
+// sent more than the coordinator is willing to buffer, so the shard
+// fails (and retries elsewhere) instead of OOMing the coordinator.
+var ErrBodyTooLarge = errors.New("fabric: worker response body over the configured maximum")
 
 // ShardEnvelope is the body of POST /v1/shards: one cell range of the
 // embedded request. Kind selects the worker-side executor ("explore" or
@@ -89,8 +98,23 @@ type Config struct {
 	BackoffMax  time.Duration
 	// ProbeTimeout bounds one /readyz or /v1/cache probe (default 1s).
 	ProbeTimeout time.Duration
+	// DialTimeout bounds connection establishment (and the TLS
+	// handshake) to a worker on the default client (default 5s).
+	DialTimeout time.Duration
+	// ResponseHeaderTimeout bounds how long the default client waits,
+	// after writing a shard request, for the worker to start answering
+	// (default 90s — above serve's 60s job ceiling, so legitimate slow
+	// shards still finish). A worker that accepts the connection and then
+	// hangs fails the attempt instead of pinning the dispatch until the
+	// whole job context dies.
+	ResponseHeaderTimeout time.Duration
+	// MaxBodyBytes caps one worker response body (default 64 MiB, the
+	// same bound the daemons put on request bodies and trace blocks).
+	// Larger bodies fail the shard with ErrBodyTooLarge.
+	MaxBodyBytes int64
 	// Client is the HTTP client for all worker traffic; nil uses a
-	// dedicated client with no global timeout (shard contexts bound it).
+	// dedicated client with dial/TLS-handshake/response-header timeouts
+	// but no global timeout (shard contexts bound each request).
 	Client *http.Client
 	// Obs receives the fabric.* counters, gauges, and spans.
 	Obs *obs.Registry
@@ -115,8 +139,26 @@ func (c *Config) defaults() {
 	if c.ProbeTimeout <= 0 {
 		c.ProbeTimeout = time.Second
 	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	if c.ResponseHeaderTimeout <= 0 {
+		c.ResponseHeaderTimeout = 90 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
 	if c.Client == nil {
-		c.Client = &http.Client{}
+		c.Client = &http.Client{Transport: &http.Transport{
+			DialContext: (&net.Dialer{
+				Timeout:   c.DialTimeout,
+				KeepAlive: 30 * time.Second,
+			}).DialContext,
+			TLSHandshakeTimeout:   c.DialTimeout,
+			ResponseHeaderTimeout: c.ResponseHeaderTimeout,
+			MaxIdleConnsPerHost:   4,
+			IdleConnTimeout:       90 * time.Second,
+		}}
 	}
 	if c.Obs == nil {
 		c.Obs = obs.New()
@@ -404,12 +446,12 @@ func (c *Coordinator) dispatch(rec *running, wi int, kind string, req json.RawMe
 		return nil, 0, err
 	}
 	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
+	body, err := c.readBody(resp.Body)
 	if err != nil {
 		return nil, 0, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		ra := parseRetryAfter(resp.Header.Get("Retry-After"))
+		ra := c.retryAfter(resp.Header.Get("Retry-After"))
 		msg := string(body)
 		if len(msg) > 200 {
 			msg = msg[:200]
@@ -446,7 +488,7 @@ func (c *Coordinator) awaitReady(ctx context.Context, st *runState, wi int) bool
 				cancel()
 				return true
 			}
-			if ra := parseRetryAfter(resp.Header.Get("Retry-After")); ra > wait {
+			if ra := c.retryAfter(resp.Header.Get("Retry-After")); ra > wait {
 				wait = ra
 			}
 			io.Copy(io.Discard, resp.Body)
@@ -490,7 +532,7 @@ func (c *Coordinator) PeerFill(ctx context.Context, hash string) (body []byte, k
 			cancel()
 			continue
 		}
-		b, rerr := io.ReadAll(resp.Body)
+		b, rerr := c.readBody(resp.Body)
 		resp.Body.Close()
 		cancel()
 		if resp.StatusCode != http.StatusOK || rerr != nil {
@@ -555,16 +597,49 @@ func sleepRun(ctx context.Context, st *runState, d time.Duration) bool {
 	}
 }
 
-// parseRetryAfter reads a Retry-After header's delay-seconds form; the
-// HTTP-date form and garbage parse to zero (caller falls back to its own
-// backoff).
-func parseRetryAfter(h string) time.Duration {
-	if h == "" {
-		return 0
+// readBody reads one worker response body, capped at MaxBodyBytes. A
+// body over the cap fails with ErrBodyTooLarge — distinct from a
+// truncated read, whose transport error passes through unchanged.
+func (c *Coordinator) readBody(r io.Reader) ([]byte, error) {
+	max := c.cfg.MaxBodyBytes
+	b, err := io.ReadAll(io.LimitReader(r, max+1))
+	if err != nil {
+		return nil, err
 	}
-	secs, err := strconv.Atoi(h)
-	if err != nil || secs < 0 {
-		return 0
+	if int64(len(b)) > max {
+		return nil, fmt.Errorf("%w (%d-byte cap)", ErrBodyTooLarge, max)
 	}
-	return time.Duration(secs) * time.Second
+	return b, nil
+}
+
+// retryAfter parses a worker's Retry-After header, clamped to
+// [0, BackoffMax] so a confused worker cannot park the coordinator.
+func (c *Coordinator) retryAfter(h string) time.Duration {
+	return parseRetryAfter(h, time.Now(), c.cfg.BackoffMax)
+}
+
+// parseRetryAfter reads both Retry-After forms — delay-seconds and the
+// HTTP-date formats http.ParseTime accepts — and clamps the result to
+// [0, max]. Garbage (and dates already past) parse to zero, so the
+// caller falls back to its own backoff.
+func parseRetryAfter(h string, now time.Time, max time.Duration) time.Duration {
+	h = strings.TrimSpace(h)
+	var d time.Duration
+	switch {
+	case h == "":
+		return 0
+	default:
+		if secs, err := strconv.Atoi(h); err == nil {
+			d = time.Duration(secs) * time.Second
+		} else if t, err := http.ParseTime(h); err == nil {
+			d = t.Sub(now)
+		}
+	}
+	if d < 0 {
+		d = 0
+	}
+	if d > max {
+		d = max
+	}
+	return d
 }

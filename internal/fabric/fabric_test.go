@@ -1,8 +1,10 @@
 package fabric
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"sync/atomic"
@@ -261,13 +263,93 @@ func TestPeerFillAndPush(t *testing.T) {
 }
 
 func TestParseRetryAfter(t *testing.T) {
-	for h, want := range map[string]time.Duration{
-		"": 0, "0": 0, "2": 2 * time.Second, "-3": 0, "garbage": 0,
-		"Tue, 29 Oct 2024 16:56:32 GMT": 0,
+	now := time.Date(2024, 10, 29, 16, 56, 30, 0, time.UTC)
+	const max = 5 * time.Second
+	for _, tc := range []struct {
+		h    string
+		want time.Duration
+	}{
+		{"", 0},
+		{"0", 0},
+		{"2", 2 * time.Second},
+		{" 2 ", 2 * time.Second},
+		{"-3", 0},      // negative seconds clamp to zero
+		{"9999", max},  // seconds clamp to BackoffMax
+		{"garbage", 0}, // unparseable falls back to backoff
+		{"Tue, 29 Oct 2024 16:56:32 GMT", 2 * time.Second},   // HTTP-date
+		{"Tue, 29 Oct 2024 16:56:20 GMT", 0},                 // date in the past
+		{"Tue, 29 Oct 2024 17:56:32 GMT", max},               // far date clamps
+		{"Tuesday, 29-Oct-24 16:56:32 GMT", 2 * time.Second}, // RFC 850 form
 	} {
-		if got := parseRetryAfter(h); got != want {
-			t.Errorf("parseRetryAfter(%q) = %v, want %v", h, got, want)
+		if got := parseRetryAfter(tc.h, now, max); got != tc.want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", tc.h, got, tc.want)
 		}
+	}
+}
+
+// TestHungWorkerRecovered: a worker that accepts the TCP connection but
+// never writes a byte of response must not pin the dispatch until the
+// job context dies. The default transport's response-header timeout
+// fails the attempt, the range requeues, and steal + retry complete the
+// run within a bound far below the hang.
+func TestHungWorkerRecovered(t *testing.T) {
+	hung := make(chan struct{})
+	defer close(hung)
+	hang := func(w http.ResponseWriter, r *http.Request) {
+		conn, _, err := http.NewResponseController(w).Hijack()
+		if err != nil {
+			t.Errorf("hijack: %v", err)
+			return
+		}
+		defer conn.Close()
+		<-hung // hold the connection open, never write
+	}
+	w1 := fakeWorker(t, hang, nil)
+	w2 := fakeWorker(t, echoShard, nil)
+	reg := obs.New()
+	c, err := New(Config{
+		Workers: []string{w1.URL, w2.URL}, Obs: reg,
+		ResponseHeaderTimeout: 100 * time.Millisecond,
+		BackoffBase:           time.Millisecond, BackoffMax: 20 * time.Millisecond,
+		StealAge: 25 * time.Millisecond, ShardsPer: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	start := time.Now()
+	parts, err := c.Run(ctx, "test", json.RawMessage(`{}`), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCoverage(t, parts, 16)
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("run took %v against a hung worker, want well under the job bound", elapsed)
+	}
+	if reg.Counter("fabric.retries").Value()+reg.Counter("fabric.steals").Value() == 0 {
+		t.Error("neither retries nor steals engaged against a hung worker")
+	}
+}
+
+// TestOversizeBodyFailsShard: a worker answering with a body over
+// MaxBodyBytes fails the shard with ErrBodyTooLarge instead of buffering
+// it, and the error survives the retry wrapping.
+func TestOversizeBodyFailsShard(t *testing.T) {
+	huge := func(w http.ResponseWriter, r *http.Request) {
+		w.Write(bytes.Repeat([]byte("x"), 4096))
+	}
+	w1 := fakeWorker(t, huge, nil)
+	c, err := New(Config{
+		Workers: []string{w1.URL}, MaxAttempts: 2, MaxBodyBytes: 1024,
+		BackoffBase: time.Millisecond, BackoffMax: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Run(context.Background(), "test", json.RawMessage(`{}`), 4)
+	if !errors.Is(err, ErrBodyTooLarge) {
+		t.Fatalf("Run error = %v, want ErrBodyTooLarge", err)
 	}
 }
 

@@ -1,0 +1,104 @@
+package net
+
+import (
+	"time"
+
+	"nobroadcast/internal/model"
+	"nobroadcast/internal/obs"
+	"nobroadcast/internal/rng"
+)
+
+// This file exports the sender-egress half of the fault machinery for
+// transports that live outside this package. The in-process runtime
+// applies a FaultPlan inside route(); the TCP transport (internal/nettcp)
+// runs each CAMP node in its own process and needs the identical
+// decision procedure — cut by active partition, drop, duplicate, delay —
+// evaluated at the sender's egress before a frame touches a socket.
+
+// Validate checks the plan against an n-process system; a nil plan is
+// valid. It is the exported face of the constructor-time validation the
+// in-process runtime performs.
+func (fp *FaultPlan) Validate(n int) error { return fp.validate(n) }
+
+// Egress evaluates a FaultPlan at one sender's egress. Each call to Pass
+// decides the fate of one point-to-point transmission: severed links and
+// drops return no copies, duplication returns two, and every copy
+// carries its own transit delay drawn from the configured distribution.
+// All randomness comes from the seeded generator, so a transport
+// replaying the same send sequence sees the same faults. Safe for
+// concurrent use.
+type Egress struct {
+	fs       *faultState
+	rng      *safeRng
+	met      *netMetrics
+	start    time.Time
+	maxDelay time.Duration
+}
+
+// NewEgress compiles plan for an n-process system. maxDelay bounds the
+// default uniform transit delay (zero = no artificial delay), exactly
+// like Config.MaxDelay on the in-process runtime. reg receives the
+// net.* metrics (send/fault counters, delay histogram); nil keeps
+// standalone counters readable via Stats.
+func NewEgress(plan *FaultPlan, n int, seed uint64, maxDelay time.Duration, reg *obs.Registry) (*Egress, error) {
+	if err := plan.validate(n); err != nil {
+		return nil, err
+	}
+	return &Egress{
+		fs:       compileFaults(plan),
+		rng:      &safeRng{src: rng.New(seed)},
+		met:      newNetMetrics(reg),
+		start:    time.Now(),
+		maxDelay: maxDelay,
+	}, nil
+}
+
+// Pass decides one transmission from→to: the returned slice holds one
+// transit delay per copy to put on the wire. Empty means the message is
+// lost (an active partition severs the link, or the drop coin fired);
+// two entries mean the duplication coin fired. Fault injections count
+// under the same net.faults.* metrics the in-process runtime uses.
+func (e *Egress) Pass(from, to model.ProcID) []time.Duration {
+	e.met.sent.Inc()
+	if e.fs.cut(from, to, time.Since(e.start), e.met) {
+		return nil
+	}
+	drop, dup := e.fs.linkProbs(from, to)
+	if drop > 0 && e.rng.float64() < drop {
+		e.met.faultDropped.Inc()
+		return nil
+	}
+	copies := 1
+	if dup > 0 && e.rng.float64() < dup {
+		copies = 2
+		e.met.faultDuplicated.Inc()
+	}
+	out := make([]time.Duration, copies)
+	for i := range out {
+		d := e.delay()
+		e.met.delayUS.Observe(d.Microseconds())
+		out[i] = d
+	}
+	return out
+}
+
+// delay draws one transit delay from the plan's distribution override,
+// or uniform [0, maxDelay).
+func (e *Egress) delay() time.Duration {
+	if d := e.fs.delayDist(); d != nil {
+		return d.sample(e.rng)
+	}
+	return e.rng.uniform(e.maxDelay)
+}
+
+// Stats returns the egress's counter snapshot (sends and the fault
+// counters; the delivery-side counters stay zero — they belong to the
+// transport).
+func (e *Egress) Stats() StatsSnapshot {
+	return StatsSnapshot{
+		Sent:           e.met.sent.Value(),
+		FaultDrops:     e.met.faultDropped.Value(),
+		FaultDups:      e.met.faultDuplicated.Value(),
+		PartitionDrops: e.met.faultPartitionDropped.Value(),
+	}
+}

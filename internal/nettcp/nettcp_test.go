@@ -1,0 +1,351 @@
+package nettcp
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"nobroadcast/internal/broadcast"
+	"nobroadcast/internal/model"
+	"nobroadcast/internal/net"
+	"nobroadcast/internal/obs"
+	"nobroadcast/internal/spec"
+	"nobroadcast/internal/trace"
+)
+
+const testWait = 20 * time.Second
+
+// startTestCluster brings up an in-process socket cluster (goroutine
+// nodes, real loopback TCP) and registers cleanup.
+func startTestCluster(t *testing.T, cfg ClusterConfig) *Cluster {
+	t.Helper()
+	cl, err := StartCluster(cfg)
+	if err != nil {
+		t.Fatalf("StartCluster: %v", err)
+	}
+	t.Cleanup(cl.Stop)
+	return cl
+}
+
+// broadcastAll injects per broadcasts at every node and waits for full
+// delivery everywhere (n nodes × n·per messages each for send-to-all
+// style candidates).
+func broadcastAll(t *testing.T, cl *Cluster, n, per int) {
+	t.Helper()
+	for p := 1; p <= n; p++ {
+		for i := 0; i < per; i++ {
+			if _, err := cl.Broadcast(model.ProcID(p), model.Payload(fmt.Sprintf("m-%d-%d", p, i))); err != nil {
+				t.Fatalf("Broadcast(%d): %v", p, err)
+			}
+		}
+	}
+	want := int64(n * per)
+	ok := cl.WaitUntil(func() bool {
+		for p := 1; p <= n; p++ {
+			if cl.Delivered(model.ProcID(p)) < want || cl.Returned(model.ProcID(p)) < int64(per) {
+				return false
+			}
+		}
+		return true
+	}, testWait)
+	if !ok {
+		for p := 1; p <= n; p++ {
+			t.Logf("node %d: delivered=%d returned=%d", p, cl.Delivered(model.ProcID(p)), cl.Returned(model.ProcID(p)))
+		}
+		t.Fatal("cluster never reached full delivery")
+	}
+}
+
+func TestClusterSendToAllConformsToSpec(t *testing.T) {
+	const n, per = 3, 2
+	cl := startTestCluster(t, ClusterConfig{N: n, K: 1, Candidate: "send-to-all", Seed: 7})
+	broadcastAll(t, cl, n, per)
+	cl.Stop()
+	tr, perNode, err := cl.Collect()
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	if !tr.Complete {
+		t.Error("clean run collected an incomplete trace")
+	}
+	for _, nt := range perNode {
+		if nt.Err != nil {
+			t.Errorf("node %d stream error: %v", nt.ID, nt.Err)
+		}
+	}
+	if v := spec.SendToAll().Check(tr); v != nil {
+		t.Errorf("merged socket trace rejected: %v", v)
+	}
+}
+
+func TestClusterOracleRoundTrip(t *testing.T) {
+	// first-k consults the k-SA oracle on every delivery election, so
+	// this run exercises the fPropose/fDecide control round-trip.
+	const n, k, per = 3, 2, 2
+	c, err := broadcast.Lookup("first-k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := startTestCluster(t, ClusterConfig{N: n, K: k, Candidate: "first-k", Seed: 11})
+	broadcastAll(t, cl, n, per)
+	cl.Stop()
+	tr, _, err := cl.Collect()
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	if v := c.Spec(k).Check(tr); v != nil {
+		t.Errorf("merged first-k trace rejected: %v", v)
+	}
+	if v := spec.KSA(k).Check(tr); v != nil {
+		t.Errorf("oracle usage violates k-SA: %v", v)
+	}
+}
+
+func TestRebroadcastFloodDelivers(t *testing.T) {
+	const n, per = 3, 2
+	reg := obs.New()
+	cl := startTestCluster(t, ClusterConfig{
+		N: n, K: 1, Candidate: "reliable", Seed: 3, Rebroadcast: true, Obs: reg,
+	})
+	broadcastAll(t, cl, n, per)
+	cl.Stop()
+	tr, _, err := cl.Collect()
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	if v := spec.BasicBroadcast().Check(tr); v != nil {
+		t.Errorf("merged rebroadcast trace rejected: %v", v)
+	}
+	// Flooding a 3-node mesh necessarily relays and dedups: every frame
+	// reaches its destination twice (direct + one relay hop).
+	if reg.Counter("nettcp.rebroadcast.relays").Value() == 0 {
+		t.Error("rebroadcast mode relayed nothing")
+	}
+	if reg.Counter("nettcp.rebroadcast.dedups").Value() == 0 {
+		t.Error("rebroadcast mode deduplicated nothing")
+	}
+}
+
+func TestCrashMidBroadcastEnvelope(t *testing.T) {
+	// Failure envelope: a node crashes between a broadcast invocation
+	// and the end of the run. The survivors keep delivering, the run
+	// shuts down cleanly, and the merged trace carries the crash step
+	// yet stays admissible.
+	const n = 3
+	cl := startTestCluster(t, ClusterConfig{N: n, K: 1, Candidate: "send-to-all", Seed: 5})
+	if _, err := cl.Broadcast(1, "pre-crash"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Crash(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Broadcast(3, "post-crash"); err != nil {
+		t.Fatal(err)
+	}
+	ok := cl.WaitUntil(func() bool {
+		return cl.Delivered(1) >= 2 && cl.Delivered(3) >= 2
+	}, testWait)
+	if !ok {
+		t.Fatalf("survivors stalled: delivered 1=%d 3=%d", cl.Delivered(1), cl.Delivered(3))
+	}
+	cl.Stop()
+	tr, perNode, err := cl.Collect()
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	if !tr.Complete {
+		t.Error("crashed (not killed) node should still close its stream cleanly")
+	}
+	for _, nt := range perNode {
+		if nt.Err != nil {
+			t.Errorf("node %d stream error: %v", nt.ID, nt.Err)
+		}
+	}
+	sawCrash := false
+	for _, s := range tr.X.Steps {
+		if s.Kind == model.KindCrash && s.Proc == 2 {
+			sawCrash = true
+		}
+	}
+	if !sawCrash {
+		t.Error("merged trace misses the crash step of process 2")
+	}
+	if v := spec.SendToAll().Check(tr); v != nil {
+		t.Errorf("crash envelope trace rejected: %v", v)
+	}
+}
+
+func TestPartitionHealsOnSchedule(t *testing.T) {
+	// Failure envelope: a loopback pair starts partitioned and heals on
+	// schedule. Messages sent during the partition are lost at egress
+	// (indistinguishable from infinite transit); messages sent after
+	// the heal arrive.
+	const heal = 400 * time.Millisecond
+	cl := startTestCluster(t, ClusterConfig{
+		N: 2, K: 1, Candidate: "send-to-all", Seed: 9,
+		Faults: &net.FaultPlan{Partitions: []net.Partition{{
+			A: []model.ProcID{1}, B: []model.ProcID{2}, Start: 0, Heal: heal,
+		}}},
+	})
+	began := time.Now()
+	if _, err := cl.Broadcast(1, "during-partition"); err != nil {
+		t.Fatal(err)
+	}
+	if !cl.WaitUntil(func() bool { return cl.Delivered(1) >= 1 }, testWait) {
+		t.Fatal("node 1 never self-delivered")
+	}
+	if got := cl.Delivered(2); got != 0 {
+		t.Fatalf("node 2 delivered %d across an active partition", got)
+	}
+	// Egress partitions are evaluated against each node's own start
+	// clock, slightly behind the cluster's; wait past both.
+	time.Sleep(heal + 200*time.Millisecond - time.Since(began))
+	if _, err := cl.Broadcast(1, "after-heal"); err != nil {
+		t.Fatal(err)
+	}
+	if !cl.WaitUntil(func() bool { return cl.Delivered(2) >= 1 }, testWait) {
+		t.Fatal("healed partition never let a message through")
+	}
+	cl.Stop()
+	tr, _, err := cl.Collect()
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	// The message lost to the partition is a genuine reliability
+	// violation, and it must be visible in the merged socket trace:
+	// the liveness checker blames the never-delivered broadcast.
+	v := spec.SendToAll().Check(tr)
+	if v == nil {
+		t.Fatal("partitioned run admitted by the reliable-delivery spec")
+	}
+	if !strings.Contains(v.Property, "Termination") {
+		t.Errorf("expected a termination violation, got: %v", v)
+	}
+}
+
+func TestKilledNodeTraceTruncated(t *testing.T) {
+	// Failure envelope: a killed node (process death, not a modeled
+	// crash) cuts its trace stream without the end marker; Collect
+	// surfaces it as trace.ErrTruncated and the merged trace is marked
+	// incomplete.
+	const n = 3
+	cl := startTestCluster(t, ClusterConfig{N: n, K: 1, Candidate: "send-to-all", Seed: 13})
+	broadcastAll(t, cl, n, 1)
+	if err := cl.Kill(3); err != nil {
+		t.Fatalf("Kill: %v", err)
+	}
+	cl.Stop()
+	tr, perNode, err := cl.Collect()
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	if !errors.Is(perNode[2].Err, trace.ErrTruncated) {
+		t.Errorf("killed node stream error = %v, want trace.ErrTruncated", perNode[2].Err)
+	}
+	for _, nt := range perNode[:2] {
+		if nt.Err != nil {
+			t.Errorf("surviving node %d stream error: %v", nt.ID, nt.Err)
+		}
+	}
+	if tr.Complete {
+		t.Error("trace with a truncated stream marked complete")
+	}
+}
+
+func TestMergeStreamsRespectsCrossStreamEnablers(t *testing.T) {
+	inv := model.Step{Proc: 1, Kind: model.KindBroadcastInvoke, Msg: 1, Payload: "x"}
+	del := model.Step{Proc: 2, Kind: model.KindDeliver, Peer: 1, Msg: 1, Payload: "x"}
+	prop := model.Step{Proc: 1, Kind: model.KindPropose, Obj: 1, Val: "a"}
+	dec := model.Step{Proc: 2, Kind: model.KindDecide, Obj: 1, Val: "a"}
+	// Stream 1 (earlier in round-robin order) holds the dependents;
+	// stream 2 holds the enablers. The merge must reorder across
+	// streams while preserving each stream's own order.
+	merged := mergeStreams([][]model.Step{{del, dec}, {inv, prop}})
+	if len(merged) != 4 {
+		t.Fatalf("merged %d of 4 steps", len(merged))
+	}
+	pos := func(want model.Step) int {
+		for i, s := range merged {
+			if s == want {
+				return i
+			}
+		}
+		t.Fatalf("step %+v missing from merge", want)
+		return -1
+	}
+	if pos(inv) > pos(del) {
+		t.Error("delivery merged before its broadcast invocation")
+	}
+	if pos(prop) > pos(dec) {
+		t.Error("decision merged before its value's proposition")
+	}
+}
+
+func TestMergeStreamsTerminatesOnTruncatedProducer(t *testing.T) {
+	// The invoke of msg 99 was lost with a killed producer: the merge
+	// must still emit the orphaned delivery and terminate.
+	orphan := model.Step{Proc: 2, Kind: model.KindDeliver, Peer: 1, Msg: 99, Payload: "x"}
+	other := model.Step{Proc: 3, Kind: model.KindBroadcastInvoke, Msg: 1, Payload: "y"}
+	merged := mergeStreams([][]model.Step{{orphan}, {other}})
+	if len(merged) != 2 {
+		t.Fatalf("merged %d of 2 steps", len(merged))
+	}
+}
+
+func TestWireFaultPlanRoundTrip(t *testing.T) {
+	fp := &net.FaultPlan{
+		Drop: 0.25, Dup: 0.125,
+		Links: map[net.Link]net.LinkFaults{
+			{From: 1, To: 2}: {Drop: 0.5},
+			{From: 2, To: 1}: {Dup: 0.75},
+		},
+		Partitions: []net.Partition{{
+			A: []model.ProcID{1}, B: []model.ProcID{2},
+			Start: time.Second, Heal: 2 * time.Second,
+		}},
+	}
+	got := wireFaults(fp).plan()
+	if got.Drop != fp.Drop || got.Dup != fp.Dup {
+		t.Errorf("global probabilities lost: %+v", got)
+	}
+	if len(got.Links) != 2 || got.Links[net.Link{From: 1, To: 2}].Drop != 0.5 ||
+		got.Links[net.Link{From: 2, To: 1}].Dup != 0.75 {
+		t.Errorf("per-link overrides lost: %+v", got.Links)
+	}
+	if len(got.Partitions) != 1 || got.Partitions[0].Heal != 2*time.Second {
+		t.Errorf("partitions lost: %+v", got.Partitions)
+	}
+	if wireFaults(nil) != nil || (*wireFaultPlan)(nil).plan() != nil {
+		t.Error("nil plans must stay nil through the wire")
+	}
+}
+
+func TestReadHostsFile(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		path := dir + "/" + name
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	n, hosts, err := ReadHostsFile(write("ok", "# fleet\n1 10.0.0.1\n2 10.0.0.2\n\n3 10.0.0.3\n"))
+	if err != nil {
+		t.Fatalf("valid hosts file rejected: %v", err)
+	}
+	if n != 3 || hosts[2] != "10.0.0.2" {
+		t.Errorf("parsed n=%d hosts=%v", n, hosts)
+	}
+	if _, _, err := ReadHostsFile(write("dup", "1 a\n1 b\n")); err == nil {
+		t.Error("duplicate id accepted")
+	}
+	if _, _, err := ReadHostsFile(write("gap", "1 a\n3 c\n")); err == nil {
+		t.Error("non-contiguous ids accepted")
+	}
+	if _, _, err := ReadHostsFile(write("empty", "# nothing\n")); err == nil {
+		t.Error("empty hosts file accepted")
+	}
+}

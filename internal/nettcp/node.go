@@ -1,0 +1,631 @@
+package nettcp
+
+import (
+	"fmt"
+	"hash/fnv"
+	stdnet "net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nobroadcast/internal/broadcast"
+	"nobroadcast/internal/model"
+	"nobroadcast/internal/net"
+	"nobroadcast/internal/obs"
+	"nobroadcast/internal/rng"
+	"nobroadcast/internal/sched"
+	"nobroadcast/internal/trace"
+)
+
+// NodeConfig configures one CAMP node process.
+type NodeConfig struct {
+	// ID is the node's process identity (1-based).
+	ID int
+	// Harness is the coordinator's listen address. Required.
+	Harness string
+	// Listen is the node's own listen address (default "127.0.0.1:0").
+	Listen string
+	// NewAutomaton overrides the candidate named in the start frame —
+	// used by in-process tests running custom automata. Nil resolves the
+	// candidate from the broadcast registry.
+	NewAutomaton func(id model.ProcID) sched.Automaton
+	// DialTimeout bounds each dial (harness, trace, peers); default 10s.
+	DialTimeout time.Duration
+	// Obs receives the node's metrics (nettcp.* counters plus the
+	// net.faults.* counters of the egress). Nil disables recording.
+	Obs *obs.Registry
+}
+
+// nodeEvent is one inbox entry: a point-to-point reception or a
+// B.broadcast invocation injected by the harness.
+type nodeEvent struct {
+	kind    int // 0 receive, 1 broadcast
+	from    model.ProcID
+	msg     model.MsgID
+	payload model.Payload
+}
+
+// Node is one CAMP process speaking the nettcp wire protocol. The event
+// loop mirrors internal/net's node goroutine: a single goroutine runs
+// the automaton's handlers and executes the emitted actions, so the
+// determinism contract automata rely on holds here too.
+type Node struct {
+	cfg NodeConfig
+	id  model.ProcID
+	n   int
+
+	automaton   sched.Automaton
+	egress      *net.Egress
+	rebroadcast bool
+
+	control *frameConn
+	traceC  stdnet.Conn
+	ln      stdnet.Listener
+	peers   []*frameConn // index p-1; nil at own id
+	outs    []chan dataMsg
+
+	inbox    chan nodeEvent
+	decideCh chan model.Value
+	stopCh   chan struct{}
+	stopOnce sync.Once
+	killed   atomic.Bool
+	crashed  atomic.Bool
+
+	// recMu serializes trace recording: the event loop and the control
+	// reader (crash steps) both record.
+	recMu sync.Mutex
+	bw    *trace.BinaryWriter
+
+	delivered atomic.Int64
+	returned  atomic.Int64
+	// seq[q-1] is the next send ordinal toward q; only the event loop
+	// assigns ordinals (delayed copies capture theirs at Pass time).
+	seq []int64
+
+	// seen dedups flood copies in rebroadcast mode.
+	seenMu sync.Mutex
+	seen   map[uint64]struct{}
+
+	delayWg sync.WaitGroup
+	connWg  sync.WaitGroup
+
+	framesOut, framesIn, relays, dedups *obs.Counter
+}
+
+// RunNode wires a node into the harness's run and blocks until the run
+// ends (fStop, a kill, or a connection failure). It is the whole
+// lifetime of a node process: cmd/ksasim's -node mode calls exactly
+// this.
+func RunNode(cfg NodeConfig) error {
+	nd, err := newNode(cfg)
+	if err != nil {
+		return err
+	}
+	return nd.run()
+}
+
+func newNode(cfg NodeConfig) (*Node, error) {
+	if cfg.ID < 1 {
+		return nil, fmt.Errorf("nettcp: node id must be positive, got %d", cfg.ID)
+	}
+	if cfg.Harness == "" {
+		return nil, fmt.Errorf("nettcp: node needs the harness address")
+	}
+	if cfg.Listen == "" {
+		cfg.Listen = "127.0.0.1:0"
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 10 * time.Second
+	}
+	return &Node{
+		cfg:       cfg,
+		id:        model.ProcID(cfg.ID),
+		decideCh:  make(chan model.Value, 1),
+		stopCh:    make(chan struct{}),
+		seen:      make(map[uint64]struct{}),
+		framesOut: cfg.Obs.Counter("nettcp.frames.out"),
+		framesIn:  cfg.Obs.Counter("nettcp.frames.in"),
+		relays:    cfg.Obs.Counter("nettcp.rebroadcast.relays"),
+		dedups:    cfg.Obs.Counter("nettcp.rebroadcast.dedups"),
+	}, nil
+}
+
+// run executes the node lifecycle: listen, register, receive the start
+// frame, wire the mesh, init the automaton, signal ready, then serve the
+// event loop until stopped.
+func (nd *Node) run() error {
+	sp := nd.cfg.Obs.StartSpan("nettcp.node.run")
+	defer sp.End()
+
+	var err error
+	nd.ln, err = stdnet.Listen("tcp", nd.cfg.Listen)
+	if err != nil {
+		return fmt.Errorf("nettcp: node %d listen: %w", nd.cfg.ID, err)
+	}
+	defer nd.ln.Close()
+
+	hc, err := dialRetry(nd.cfg.Harness, nd.cfg.DialTimeout)
+	if err != nil {
+		return err
+	}
+	nd.control = newFrameConn(hc)
+	defer nd.control.Close()
+	if err := nd.control.send(fHello, helloMsg{ID: nd.cfg.ID, Addr: nd.ln.Addr().String()}); err != nil {
+		return fmt.Errorf("nettcp: node %d hello: %w", nd.cfg.ID, err)
+	}
+
+	t, body, err := nd.control.recv()
+	if err != nil {
+		return fmt.Errorf("nettcp: node %d awaiting start: %w", nd.cfg.ID, err)
+	}
+	if t != fStart {
+		return fmt.Errorf("nettcp: node %d expected start frame, got type %d", nd.cfg.ID, t)
+	}
+	var start startMsg
+	if err := decode(t, body, &start); err != nil {
+		return err
+	}
+	if err := nd.applyStart(start); err != nil {
+		return err
+	}
+
+	if err := nd.openTrace(start); err != nil {
+		return err
+	}
+	go nd.acceptPeers()
+	if err := nd.dialPeers(start.Peers); err != nil {
+		return err
+	}
+	go nd.readControl()
+
+	// The mesh is wired: Init may emit sends.
+	nd.handle(func(env *sched.Env) { nd.automaton.Init(env) })
+	if err := nd.control.send(fReady, struct{}{}); err != nil {
+		return fmt.Errorf("nettcp: node %d ready: %w", nd.cfg.ID, err)
+	}
+
+	nd.loop()
+	nd.shutdown()
+	return nil
+}
+
+// applyStart validates the start frame and builds the automaton and
+// egress from it.
+func (nd *Node) applyStart(start startMsg) error {
+	if start.N < 1 || nd.cfg.ID > start.N {
+		return fmt.Errorf("nettcp: node %d outside system of %d processes", nd.cfg.ID, start.N)
+	}
+	if len(start.Peers) != start.N {
+		return fmt.Errorf("nettcp: start frame carries %d peer addresses for %d processes", len(start.Peers), start.N)
+	}
+	nd.n = start.N
+	nd.rebroadcast = start.Rebroadcast
+	nd.inbox = make(chan nodeEvent, 1024)
+	nd.seq = make([]int64, start.N)
+	nd.peers = make([]*frameConn, start.N)
+	nd.outs = make([]chan dataMsg, start.N)
+
+	newAutomaton := nd.cfg.NewAutomaton
+	if newAutomaton == nil {
+		c, err := broadcast.Lookup(start.Candidate)
+		if err != nil {
+			return err
+		}
+		newAutomaton = c.NewAutomaton
+	}
+	nd.automaton = newAutomaton(nd.id)
+
+	egress, err := net.NewEgress(start.Faults.plan(), start.N,
+		rng.Derive(start.Seed, uint64(nd.cfg.ID)), time.Duration(start.MaxDelayNS), nd.cfg.Obs)
+	if err != nil {
+		return err
+	}
+	nd.egress = egress
+	return nil
+}
+
+// openTrace dials the harness a second time and turns the connection
+// into a raw wire-format-v1 stream after one identifying frame.
+func (nd *Node) openTrace(start startMsg) error {
+	tc, err := dialRetry(nd.cfg.Harness, nd.cfg.DialTimeout)
+	if err != nil {
+		return err
+	}
+	if err := newFrameConn(tc).send(fTraceHello, helloMsg{ID: nd.cfg.ID}); err != nil {
+		tc.Close()
+		return fmt.Errorf("nettcp: node %d trace hello: %w", nd.cfg.ID, err)
+	}
+	bw, err := trace.NewBinaryWriter(tc, trace.StreamHeader{
+		N: start.N, Complete: true, Name: fmt.Sprintf("node-%d", nd.cfg.ID), Steps: -1,
+	})
+	if err != nil {
+		tc.Close()
+		return err
+	}
+	nd.traceC = tc
+	nd.bw = bw
+	return nil
+}
+
+// acceptPeers accepts inbound peer connections and serves each with a
+// reader goroutine until the listener closes at shutdown.
+func (nd *Node) acceptPeers() {
+	for {
+		c, err := nd.ln.Accept()
+		if err != nil {
+			return
+		}
+		nd.connWg.Add(1)
+		go func() {
+			defer nd.connWg.Done()
+			defer c.Close()
+			fc := newFrameConn(c)
+			t, body, err := fc.recv()
+			if err != nil || t != fPeerHello {
+				return
+			}
+			var ph peerHelloMsg
+			if decode(t, body, &ph) != nil {
+				return
+			}
+			for {
+				t, body, err := fc.recv()
+				if err != nil {
+					return
+				}
+				if t != fData {
+					continue
+				}
+				var dm dataMsg
+				if decode(t, body, &dm) != nil {
+					continue
+				}
+				nd.framesIn.Inc()
+				nd.onData(dm)
+			}
+		}()
+	}
+}
+
+// dialPeers connects to every other node and starts one dispatcher
+// goroutine per peer, drand-style: the event loop never blocks on a
+// socket write — it hands frames to the peer's out channel and the
+// dispatcher pumps them.
+func (nd *Node) dialPeers(peers []string) error {
+	for p := 1; p <= nd.n; p++ {
+		if p == nd.cfg.ID {
+			continue
+		}
+		c, err := dialRetry(peers[p-1], nd.cfg.DialTimeout)
+		if err != nil {
+			return err
+		}
+		fc := newFrameConn(c)
+		if err := fc.send(fPeerHello, peerHelloMsg{From: nd.cfg.ID}); err != nil {
+			c.Close()
+			return fmt.Errorf("nettcp: node %d peer hello to %d: %w", nd.cfg.ID, p, err)
+		}
+		out := make(chan dataMsg, 1024)
+		nd.peers[p-1] = fc
+		nd.outs[p-1] = out
+		nd.connWg.Add(1)
+		go func(fc *frameConn, out chan dataMsg) {
+			defer nd.connWg.Done()
+			for {
+				select {
+				case dm := <-out:
+					// Write errors mean the peer died or the run is
+					// tearing down: a lost frame is indistinguishable
+					// from one forever in transit.
+					if fc.send(fData, dm) == nil {
+						nd.framesOut.Inc()
+					}
+				case <-nd.stopCh:
+					return
+				}
+			}
+		}(fc, out)
+	}
+	return nil
+}
+
+// readControl serves the harness's control frames. A read error (the
+// harness hung up) ends the run like an fStop would.
+func (nd *Node) readControl() {
+	for {
+		t, body, err := nd.control.recv()
+		if err != nil {
+			nd.stop()
+			return
+		}
+		switch t {
+		case fBcast:
+			var bm bcastMsg
+			if decode(t, body, &bm) != nil {
+				continue
+			}
+			nd.enqueue(nodeEvent{kind: 1, msg: bm.Msg, payload: bm.Payload})
+		case fCrash:
+			if nd.crashed.CompareAndSwap(false, true) {
+				nd.record(model.Step{Proc: nd.id, Kind: model.KindCrash})
+			}
+		case fDecide:
+			var km ksaMsg
+			if decode(t, body, &km) != nil {
+				continue
+			}
+			select {
+			case nd.decideCh <- km.Val:
+			case <-nd.stopCh:
+				return
+			}
+		case fStop:
+			nd.stop()
+			return
+		}
+	}
+}
+
+// enqueue hands ev to the event loop without blocking the caller: a full
+// inbox sheds to a goroutine parked until space frees or the run stops
+// (the same non-FIFO shed internal/net uses).
+func (nd *Node) enqueue(ev nodeEvent) {
+	select {
+	case nd.inbox <- ev:
+	default:
+		go func() {
+			select {
+			case nd.inbox <- ev:
+			case <-nd.stopCh:
+			}
+		}()
+	}
+}
+
+// loop is the node's event loop: one goroutine, exactly like a node
+// goroutine of internal/net.
+func (nd *Node) loop() {
+	for {
+		select {
+		case <-nd.stopCh:
+			return
+		case ev := <-nd.inbox:
+			if nd.crashed.Load() {
+				continue // drain without processing
+			}
+			switch ev.kind {
+			case 0:
+				nd.handle(func(env *sched.Env) { nd.automaton.OnReceive(env, ev.from, ev.payload) })
+			case 1:
+				nd.record(model.Step{Proc: nd.id, Kind: model.KindBroadcastInvoke, Msg: ev.msg, Payload: ev.payload})
+				nd.handle(func(env *sched.Env) { nd.automaton.OnBroadcast(env, ev.msg, ev.payload) })
+			}
+		}
+	}
+}
+
+// handle runs a handler and executes the emitted actions, including the
+// cascading effects of k-SA decisions — the remote twin of
+// internal/net's handle, with the oracle round-trip travelling over the
+// control connection.
+func (nd *Node) handle(call func(env *sched.Env)) {
+	env := sched.NewEnv(nd.id, nd.n)
+	call(env)
+	queue := env.TakeActions()
+	for len(queue) > 0 {
+		a := queue[0]
+		queue = queue[1:]
+		switch a.Kind {
+		case model.KindSend:
+			nd.send(a.To, a.Payload)
+		case model.KindPropose:
+			nd.record(model.Step{Proc: nd.id, Kind: model.KindPropose, Obj: a.Obj, Val: a.Val})
+			val, ok := nd.propose(a.Obj, a.Val)
+			if !ok {
+				return // stopping; the decision never arrives
+			}
+			nd.record(model.Step{Proc: nd.id, Kind: model.KindDecide, Obj: a.Obj, Val: val})
+			env := sched.NewEnv(nd.id, nd.n)
+			nd.automaton.OnDecide(env, a.Obj, val)
+			queue = append(queue, env.TakeActions()...)
+		case model.KindDeliver:
+			nd.delivered.Add(1)
+			nd.record(model.Step{Proc: nd.id, Kind: model.KindDeliver, Peer: a.Origin, Msg: a.Msg, Payload: a.Payload})
+			nd.pushStatus()
+		case model.KindBroadcastReturn:
+			nd.returned.Add(1)
+			nd.record(model.Step{Proc: nd.id, Kind: model.KindBroadcastReturn, Msg: a.Msg})
+			nd.pushStatus()
+		case model.KindInternal:
+			// No effect at the transport layer.
+		}
+	}
+}
+
+// propose round-trips one k-SA proposition through the harness-hosted
+// oracle. ok is false when the run stopped before the decision arrived.
+func (nd *Node) propose(obj model.KSAID, val model.Value) (model.Value, bool) {
+	if err := nd.control.send(fPropose, ksaMsg{Obj: obj, Val: val}); err != nil {
+		return "", false
+	}
+	select {
+	case v := <-nd.decideCh:
+		return v, true
+	case <-nd.stopCh:
+		return "", false
+	}
+}
+
+// send executes one KindSend action: the egress decides the copies and
+// their transit delays, then each copy goes on the wire (or, addressed
+// to self, back into the local inbox).
+func (nd *Node) send(to model.ProcID, payload model.Payload) {
+	if to < 1 || int(to) > nd.n {
+		return
+	}
+	delays := nd.egress.Pass(nd.id, to)
+	if len(delays) == 0 {
+		return
+	}
+	seq := nd.seq[to-1]
+	nd.seq[to-1]++
+	for ci, d := range delays {
+		dm := dataMsg{From: nd.cfg.ID, Dest: int(to), Seq: seq, Copy: ci, Payload: payload}
+		if d == 0 {
+			nd.emit(dm)
+			continue
+		}
+		nd.delayWg.Add(1)
+		go func(d time.Duration, dm dataMsg) {
+			defer nd.delayWg.Done()
+			select {
+			case <-time.After(d):
+				nd.emit(dm)
+			case <-nd.stopCh:
+			}
+		}(d, dm)
+	}
+}
+
+// emit puts one copy on the wire at its origin. In direct mode the
+// frame goes straight to its destination (or the local inbox). In
+// rebroadcast mode every copy floods to all peers — destination
+// included — and dedup keeps each copy's first sighting only.
+func (nd *Node) emit(dm dataMsg) {
+	if !nd.rebroadcast {
+		if dm.Dest == nd.cfg.ID {
+			nd.enqueue(nodeEvent{kind: 0, from: model.ProcID(dm.From), payload: dm.Payload})
+			return
+		}
+		nd.toPeer(dm.Dest, dm)
+		return
+	}
+	nd.markSeen(dm)
+	if dm.Dest == nd.cfg.ID {
+		nd.enqueue(nodeEvent{kind: 0, from: model.ProcID(dm.From), payload: dm.Payload})
+	}
+	for p := 1; p <= nd.n; p++ {
+		if p == nd.cfg.ID {
+			continue
+		}
+		nd.toPeer(p, dm)
+	}
+}
+
+// onData handles one inbound data frame. Direct mode delivers it to the
+// event loop; rebroadcast mode dedups, relays once, and delivers only
+// frames addressed here.
+func (nd *Node) onData(dm dataMsg) {
+	if nd.rebroadcast {
+		if !nd.markSeen(dm) {
+			nd.dedups.Inc()
+			return
+		}
+		nd.relay(dm)
+		if dm.Dest != nd.cfg.ID {
+			return
+		}
+	}
+	nd.enqueue(nodeEvent{kind: 0, from: model.ProcID(dm.From), payload: dm.Payload})
+}
+
+// relay forwards a first-sighted flood copy to every peer except
+// ourselves, the origin, and the hop it arrived from.
+func (nd *Node) relay(dm dataMsg) {
+	via := dm.Via
+	dm.Via = nd.cfg.ID
+	for p := 1; p <= nd.n; p++ {
+		if p == nd.cfg.ID || p == dm.From || p == via {
+			continue
+		}
+		nd.relays.Inc()
+		nd.toPeer(p, dm)
+	}
+}
+
+// toPeer hands a frame to peer p's dispatcher. A full out channel
+// blocks briefly: the dispatcher always drains (peer readers never
+// block — see enqueue's shed), so this cannot deadlock.
+func (nd *Node) toPeer(p int, dm dataMsg) {
+	out := nd.outs[p-1]
+	if out == nil {
+		return
+	}
+	select {
+	case out <- dm:
+	case <-nd.stopCh:
+	}
+}
+
+// markSeen records a flood copy's identity hash; false means it was
+// already seen. The hash keys origin, destination, send ordinal, copy
+// index, and payload, so fault-injected duplicates (distinct Copy)
+// still arrive as duplicates.
+func (nd *Node) markSeen(dm dataMsg) bool {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%d|%d|%d|", dm.From, dm.Dest, dm.Seq, dm.Copy)
+	h.Write([]byte(dm.Payload))
+	key := h.Sum64()
+	nd.seenMu.Lock()
+	defer nd.seenMu.Unlock()
+	if _, ok := nd.seen[key]; ok {
+		return false
+	}
+	nd.seen[key] = struct{}{}
+	return true
+}
+
+// record appends one step to the node's trace stream.
+func (nd *Node) record(s model.Step) {
+	nd.recMu.Lock()
+	defer nd.recMu.Unlock()
+	if nd.bw != nil {
+		nd.bw.Step(s)
+	}
+}
+
+// pushStatus sends the progress counters to the harness, best-effort.
+func (nd *Node) pushStatus() {
+	nd.control.send(fStatus, statusMsg{Delivered: nd.delivered.Load(), Returned: nd.returned.Load()})
+}
+
+// stop ends the run; idempotent.
+func (nd *Node) stop() {
+	nd.stopOnce.Do(func() { close(nd.stopCh) })
+}
+
+// Kill tears the node down abruptly — no trace end marker, no final
+// status — emulating a killed process for in-process clusters. The
+// harness observes the cut trace stream as trace.ErrTruncated.
+func (nd *Node) Kill() {
+	nd.killed.Store(true)
+	nd.stop()
+	if nd.traceC != nil {
+		nd.traceC.Close()
+	}
+}
+
+// shutdown finishes a clean run: delayed copies unpark, the trace
+// stream's end marker flushes, and a final status reaches the harness
+// before the connections close. A killed node skips the clean half.
+func (nd *Node) shutdown() {
+	nd.delayWg.Wait()
+	if !nd.killed.Load() {
+		nd.recMu.Lock()
+		if nd.bw != nil {
+			nd.bw.Close()
+		}
+		nd.recMu.Unlock()
+		nd.pushStatus()
+	}
+	if nd.traceC != nil {
+		nd.traceC.Close()
+	}
+	nd.ln.Close()
+	for _, fc := range nd.peers {
+		if fc != nil {
+			fc.Close()
+		}
+	}
+	nd.connWg.Wait()
+}

@@ -13,6 +13,7 @@ import (
 	"nobroadcast/internal/broadcast"
 	"nobroadcast/internal/model"
 	"nobroadcast/internal/net"
+	"nobroadcast/internal/nettcp"
 	"nobroadcast/internal/sched"
 	"nobroadcast/internal/trace"
 	"nobroadcast/internal/workload"
@@ -25,6 +26,10 @@ const (
 	maxMessages = 10000
 	maxAdvK     = 8
 	maxAdvN     = 64
+	// The tcp runtime opens a full mesh of real loopback connections plus
+	// harness control and trace streams per node, so it gets a tighter
+	// process ceiling than the in-memory runtimes.
+	maxTCPProcs = 16
 )
 
 // WorkloadSpec selects the broadcast request pattern of a /v1/run job.
@@ -51,12 +56,12 @@ var workloadKinds = map[string]workload.Kind{
 // form of this struct is the job's cache identity.
 type RunRequest struct {
 	Candidate string       `json:"candidate"`
-	Runtime   string       `json:"runtime,omitempty"` // sched (default) | net
+	Runtime   string       `json:"runtime,omitempty"` // sched (default) | net | tcp
 	N         int          `json:"n,omitempty"`       // processes, default 4
 	K         int          `json:"k,omitempty"`       // agreement degree, default 2
-	Seed      uint64       `json:"seed,omitempty"`    // concurrent runtime delay seed
-	Drop      float64      `json:"drop,omitempty"`    // per-transit loss probability (net)
-	Dup       float64      `json:"dup,omitempty"`     // per-transit duplication probability (net)
+	Seed      uint64       `json:"seed,omitempty"`    // concurrent/tcp runtime delay seed
+	Drop      float64      `json:"drop,omitempty"`    // per-transit loss probability (net/tcp)
+	Dup       float64      `json:"dup,omitempty"`     // per-transit duplication probability (net/tcp)
 	Workload  WorkloadSpec `json:"workload"`
 }
 
@@ -64,14 +69,17 @@ func (q *RunRequest) normalize() error {
 	if q.Runtime == "" {
 		q.Runtime = "sched"
 	}
-	if q.Runtime != "sched" && q.Runtime != "net" {
-		return fmt.Errorf("runtime must be \"sched\" or \"net\", got %q", q.Runtime)
+	if q.Runtime != "sched" && q.Runtime != "net" && q.Runtime != "tcp" {
+		return fmt.Errorf("runtime must be \"sched\", \"net\", or \"tcp\", got %q", q.Runtime)
 	}
 	if q.N == 0 {
 		q.N = 4
 	}
 	if q.N < 1 || q.N > maxProcs {
 		return fmt.Errorf("n must be in 1..%d, got %d", maxProcs, q.N)
+	}
+	if q.Runtime == "tcp" && q.N > maxTCPProcs {
+		return fmt.Errorf("n must be in 1..%d on the tcp runtime, got %d", maxTCPProcs, q.N)
 	}
 	if q.K == 0 {
 		q.K = 2
@@ -82,8 +90,8 @@ func (q *RunRequest) normalize() error {
 	if q.Drop < 0 || q.Drop >= 1 || q.Dup < 0 || q.Dup >= 1 {
 		return fmt.Errorf("drop/dup must be probabilities in [0,1), got %g/%g", q.Drop, q.Dup)
 	}
-	if (q.Drop != 0 || q.Dup != 0) && q.Runtime != "net" {
-		return fmt.Errorf("drop/dup need the net runtime (the deterministic runtime has no transport faults)")
+	if (q.Drop != 0 || q.Dup != 0) && q.Runtime != "net" && q.Runtime != "tcp" {
+		return fmt.Errorf("drop/dup need the net or tcp runtime (the deterministic runtime has no transport faults)")
 	}
 	if q.Workload.Kind == "" {
 		q.Workload.Kind = "uniform"
@@ -167,9 +175,12 @@ func (s *Server) executeRun(ctx context.Context, q *RunRequest) (jobOutput, erro
 	}
 	var tr *trace.Trace
 	resp := RunResponse{Candidate: cand.Name, Runtime: q.Runtime, N: q.N, K: q.K}
-	if q.Runtime == "sched" {
+	switch q.Runtime {
+	case "sched":
 		tr, err = s.runSched(ctx, cand, q, reqs, &resp)
-	} else {
+	case "tcp":
+		tr, err = s.runTCP(ctx, cand, q, reqs, &resp)
+	default:
 		tr, err = s.runNet(ctx, cand, q, reqs, &resp)
 	}
 	if err != nil {
@@ -186,13 +197,13 @@ func (s *Server) executeRun(ctx context.Context, q *RunRequest) (jobOutput, erro
 		}
 	}
 	out, err := encodeBody(&resp, tr)
-	// Net-runtime documents are not pure functions of (params, seed):
-	// runNet races real goroutines with ~100µs delays against a
+	// Net- and tcp-runtime documents are not pure functions of
+	// (params, seed): both race real goroutines (or processes) against a
 	// wall-clock convergence budget, so under load a faulty run can
 	// settle with complete=false or different send/fault counts. Caching
 	// one would replay a timing accident as the permanent verdict for
 	// that parameter hash, so these jobs bypass the result cache.
-	out.uncacheable = q.Runtime == "net"
+	out.uncacheable = q.Runtime == "net" || q.Runtime == "tcp"
 	return out, err
 }
 
@@ -270,7 +281,7 @@ func (s *Server) runNet(ctx context.Context, cand broadcast.Candidate, q *RunReq
 			return nil, err
 		}
 		p := req.Proc
-		if !s.waitUntil(ctx, nw, func() bool { return nw.Returned(p) >= submitted[p] }) {
+		if !s.waitUntil(ctx, nw.WaitUntil, func() bool { return nw.Returned(p) >= submitted[p] }) {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
@@ -282,7 +293,7 @@ func (s *Server) runNet(ctx context.Context, cand broadcast.Candidate, q *RunReq
 		submitted[p]++
 	}
 	want := int64(len(reqs))
-	complete := s.waitUntil(ctx, nw, func() bool {
+	complete := s.waitUntil(ctx, nw.WaitUntil, func() bool {
 		for p := 1; p <= q.N; p++ {
 			if nw.Delivered(model.ProcID(p)) < want {
 				return false
@@ -313,20 +324,100 @@ func (s *Server) runNet(ctx context.Context, cand broadcast.Candidate, q *RunReq
 
 // waitUntil polls cond via the runtime's convergence wait in short
 // slices until it holds, the job context ends, or the overall fault-wait
-// budget (a fraction of the job timeout) runs out.
-func (s *Server) waitUntil(ctx context.Context, nw *net.Network, cond func() bool) bool {
+// budget (a fraction of the job timeout) runs out. The wait argument is
+// the runtime's own bounded wait (net.Network.WaitUntil or
+// nettcp.Cluster.WaitUntil — same shape on both transports).
+func (s *Server) waitUntil(ctx context.Context, wait func(func() bool, time.Duration) bool, cond func() bool) bool {
 	deadline := time.Now().Add(s.cfg.JobTimeout / 2)
 	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
 		deadline = d
 	}
 	for {
-		if nw.WaitUntil(cond, 25*time.Millisecond) {
+		if wait(cond, 25*time.Millisecond) {
 			return true
 		}
 		if ctx.Err() != nil || time.Now().After(deadline) {
 			return false
 		}
 	}
+}
+
+// runTCP executes the workload script on the socket transport: an
+// in-process nettcp cluster whose nodes speak the real wire protocol
+// over loopback TCP, each recording its own trace stream; the harness
+// merges the streams by the conformance projection. Like runNet, the
+// run is conformance-grade rather than byte-replayable, so its result
+// documents bypass the cache.
+func (s *Server) runTCP(ctx context.Context, cand broadcast.Candidate, q *RunRequest, reqs []sched.BroadcastReq, resp *RunResponse) (*trace.Trace, error) {
+	sp, _ := s.reg.StartSpanIfTraced(ctx, "serve.runtime")
+	defer sp.End()
+	var faults *net.FaultPlan
+	if q.Drop != 0 || q.Dup != 0 {
+		faults = &net.FaultPlan{Drop: q.Drop, Dup: q.Dup}
+	}
+	cl, err := nettcp.StartCluster(nettcp.ClusterConfig{
+		N:         q.N,
+		K:         oracleDegree(cand, q.K),
+		Candidate: cand.Name,
+		Seed:      q.Seed,
+		Faults:    faults,
+		Obs:       s.reg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Stop()
+	submitted := make(map[model.ProcID]int64)
+	for _, req := range reqs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		p := req.Proc
+		if !s.waitUntil(ctx, cl.WaitUntil, func() bool { return cl.Returned(p) >= submitted[p] }) {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			return nil, fmt.Errorf("serve: %v's broadcast never returned on the tcp runtime", p)
+		}
+		if _, err := cl.Broadcast(p, req.Payload); err != nil {
+			return nil, err
+		}
+		submitted[p]++
+	}
+	want := int64(len(reqs))
+	complete := s.waitUntil(ctx, cl.WaitUntil, func() bool {
+		for p := 1; p <= q.N; p++ {
+			if cl.Delivered(model.ProcID(p)) < want {
+				return false
+			}
+		}
+		for p, n := range submitted {
+			if cl.Returned(p) < n {
+				return false
+			}
+		}
+		return true
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if !complete && faults == nil {
+		return nil, fmt.Errorf("serve: fault-free tcp run did not converge within the job timeout")
+	}
+	cl.Stop()
+	tr, perNode, err := cl.Collect()
+	if err != nil {
+		return nil, err
+	}
+	for _, nt := range perNode {
+		if nt.Err != nil {
+			return nil, fmt.Errorf("serve: node %d trace stream: %w", nt.ID, nt.Err)
+		}
+	}
+	// Node streams carry the identity-erased projection (no KindSend
+	// steps), so the tcp runtime reports no send count.
+	tr.Complete = tr.Complete && complete
+	return tr, nil
 }
 
 // AdversaryRequest is the body of POST /v1/adversary: one Algorithm 1

@@ -588,6 +588,41 @@ func TestNetRuntimeRun(t *testing.T) {
 	}
 }
 
+// TestTCPRuntimeRun: the socket-transport path works end to end —
+// loopback TCP nodes, per-node trace streams merged by the harness —
+// and bypasses the result cache for the same reason the net runtime
+// does: the documents race real sockets against wall-clock budgets.
+func TestTCPRuntimeRun(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	req := `{"candidate":"send-to-all","runtime":"tcp","n":3,"seed":11,"workload":{"messages":6}}`
+	resp, body := postJSON(t, ts.URL+"/v1/run", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("tcp run: status %d, body %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Cache"); got != "uncached" {
+		t.Fatalf("tcp run X-Cache = %q, want uncached", got)
+	}
+	var doc RunResponse
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Runtime != "tcp" || !doc.Complete {
+		t.Fatalf("tcp run degenerate: %+v", doc)
+	}
+	if doc.Verdict != "" {
+		t.Fatalf("tcp run rejected by spec: %s", doc.Verdict)
+	}
+	if want := 3 * 6; doc.Deliveries != want {
+		t.Fatalf("tcp run deliveries = %d, want %d", doc.Deliveries, want)
+	}
+	// The tcp runtime shares the n ceiling enforcement with the others
+	// but at a tighter bound (a full TCP mesh per extra node).
+	resp2, body2 := postJSON(t, ts.URL+"/v1/run", `{"candidate":"send-to-all","runtime":"tcp","n":32,"workload":{"messages":6}}`)
+	if resp2.StatusCode != http.StatusBadRequest || !strings.Contains(string(body2), "tcp runtime") {
+		t.Fatalf("oversize tcp run: status %d, body %s", resp2.StatusCode, body2)
+	}
+}
+
 // TestJobViewDuringExecution: the job GET endpoints are safe while the
 // job is still running and while it settles concurrently — the
 // regression was handleJob/handleJobTrace reading Status/Err/Body
